@@ -1,0 +1,53 @@
+//! Regenerates the paper's **Table 1** (RQ1–RQ3): for each of the eleven
+//! common cryptographic use cases, whether generation succeeds, the mean
+//! generation runtime over ten runs, and the peak memory consumed by a
+//! generation run.
+//!
+//! Absolute numbers differ from the paper (their measurements include a
+//! full Eclipse/JDT stack on a 2013-era laptop; ours is a native library).
+//! The shape to compare: runtime is flat across use cases, and memory
+//! overhead is small and roughly tracks artefact complexity.
+//!
+//! Run with: `cargo run --release -p cognicrypt-bench --bin table1`
+
+use cognicrypt_bench::{mean_runtime_ms, CountingAllocator};
+use cognicrypt_core::generate;
+use javamodel::jca::jca_type_table;
+use rules::jca_rules;
+use sast::{analyze_unit, AnalyzerOptions};
+use usecases::all_use_cases;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+fn main() {
+    let rules = jca_rules();
+    let table = jca_type_table();
+
+    println!("Table 1 — Common Cryptographic Use Cases (reproduction)");
+    println!(
+        "{:<3} {:<32} {:<12} {:>14} {:>16}  SAST",
+        "#", "Use Case", "Sources", "Runtime (ms)", "Peak Mem (KB)"
+    );
+    for uc in all_use_cases() {
+        // RQ2: mean of ten runs, as in the paper.
+        let runtime_ms = mean_runtime_ms(10, || {
+            let g = generate(&uc.template, &rules, &table).expect("generation succeeds");
+            std::hint::black_box(g);
+        });
+        // RQ3: peak allocation during one generation run.
+        let before = ALLOC.reset_peak();
+        let generated = generate(&uc.template, &rules, &table).expect("generation succeeds");
+        let peak_kb = (ALLOC.peak().saturating_sub(before)) as f64 / 1024.0;
+        // RQ1 validity: the generated code is misuse-free.
+        let misuses = analyze_unit(&generated.unit, &rules, &table, AnalyzerOptions::default());
+        let verdict = if misuses.is_empty() { "clean" } else { "MISUSES!" };
+        println!(
+            "{:<3} {:<32} {:<12} {:>14.3} {:>16.1}  {}",
+            uc.id, uc.name, uc.sources, runtime_ms, peak_kb, verdict
+        );
+    }
+    println!();
+    println!("Paper reference: runtimes 6.6–8.1 s (Eclipse stack), memory 2.5–66.6 MB;");
+    println!("expected shape: flat runtime across use cases, small memory overhead.");
+}

@@ -1,0 +1,167 @@
+//! Step 1 of the pipeline: collect rules and template parameters from a
+//! fluent-API call chain (paper Fig. 6, step 1).
+
+use crysl::ast::Rule;
+use crysl::RuleSet;
+use javamodel::ast::JavaType;
+
+use crate::error::GenError;
+use crate::template::{Binding, GeneratorChain, TemplateMethod};
+
+/// A rule included in the generation, together with its template bindings
+/// and the Java types of the bound template variables.
+#[derive(Debug, Clone)]
+pub struct CollectedRule<'r> {
+    /// The CrySL rule.
+    pub rule: &'r Rule,
+    /// Bindings from `addParameter`, validated against the rule's OBJECTS.
+    pub bindings: Vec<Binding>,
+    /// `(template_var, java_type)` for every binding, in binding order.
+    pub binding_types: Vec<(String, JavaType)>,
+}
+
+impl CollectedRule<'_> {
+    /// The template variable bound to `rule_var`, if any.
+    pub fn bound_template_var(&self, rule_var: &str) -> Option<&str> {
+        self.bindings
+            .iter()
+            .find(|b| b.rule_var == rule_var)
+            .map(|b| b.template_var.as_str())
+    }
+
+    /// The Java type of the template variable bound to `rule_var`.
+    pub fn bound_type(&self, rule_var: &str) -> Option<&JavaType> {
+        let tv = self.bound_template_var(rule_var)?;
+        self.binding_types
+            .iter()
+            .find(|(v, _)| v == tv)
+            .map(|(_, t)| t)
+    }
+}
+
+/// Resolves every `considerCrySLRule` entry of `chain` against `rules` and
+/// validates the `addParameter` bindings against both sides: the rule must
+/// declare the rule variable, and the template method must declare the
+/// template variable.
+///
+/// # Errors
+///
+/// [`GenError::UnknownRule`], [`GenError::UnknownRuleVariable`] or
+/// [`GenError::UnknownTemplateVariable`] describing the first violation.
+pub fn collect<'r>(
+    chain: &GeneratorChain,
+    method: &TemplateMethod,
+    rules: &'r RuleSet,
+) -> Result<Vec<CollectedRule<'r>>, GenError> {
+    let mut out = Vec::with_capacity(chain.entries.len());
+    for entry in &chain.entries {
+        let rule = rules
+            .by_name(&entry.rule)
+            .ok_or_else(|| GenError::UnknownRule(entry.rule.clone()))?;
+        let mut binding_types = Vec::new();
+        for b in &entry.bindings {
+            if rule.object(&b.rule_var).is_none() {
+                return Err(GenError::UnknownRuleVariable {
+                    rule: rule.class_name.to_string(),
+                    variable: b.rule_var.clone(),
+                });
+            }
+            let ty = method
+                .var_type(&b.template_var)
+                .ok_or_else(|| GenError::UnknownTemplateVariable(b.template_var.clone()))?;
+            binding_types.push((b.template_var.clone(), ty.clone()));
+        }
+        out.push(CollectedRule {
+            rule,
+            bindings: entry.bindings.clone(),
+            binding_types,
+        });
+    }
+    if let Some(ret) = &chain.return_object {
+        if method.var_type(ret).is_none() {
+            return Err(GenError::UnknownTemplateVariable(ret.clone()));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::CrySlCodeGenerator;
+    use javamodel::ast::{Expr, Stmt};
+
+    fn ruleset() -> RuleSet {
+        let mut set = RuleSet::new();
+        set.add_source(
+            "SPEC java.security.SecureRandom\nOBJECTS byte[] out;\nEVENTS n: nextBytes(out);\nENSURES randomized[out];",
+        )
+        .unwrap();
+        set
+    }
+
+    fn method() -> TemplateMethod {
+        TemplateMethod::new("go", JavaType::Void).pre(Stmt::decl_init(
+            JavaType::byte_array(),
+            "salt",
+            Expr::new_array(JavaType::Byte, Expr::int(32)),
+        ))
+    }
+
+    #[test]
+    fn collects_and_types_bindings() {
+        let chain = CrySlCodeGenerator::get_instance()
+            .consider_crysl_rule("SecureRandom")
+            .add_parameter("salt", "out")
+            .build();
+        let set = ruleset();
+        let collected = collect(&chain, &method(), &set).unwrap();
+        assert_eq!(collected.len(), 1);
+        assert_eq!(collected[0].bound_template_var("out"), Some("salt"));
+        assert_eq!(collected[0].bound_type("out"), Some(&JavaType::byte_array()));
+    }
+
+    #[test]
+    fn unknown_rule_is_reported() {
+        let chain = CrySlCodeGenerator::get_instance()
+            .consider_crysl_rule("javax.crypto.Nonexistent")
+            .build();
+        assert_eq!(
+            collect(&chain, &method(), &ruleset()).unwrap_err(),
+            GenError::UnknownRule("javax.crypto.Nonexistent".into())
+        );
+    }
+
+    #[test]
+    fn unknown_rule_variable_is_reported() {
+        let chain = CrySlCodeGenerator::get_instance()
+            .consider_crysl_rule("SecureRandom")
+            .add_parameter("salt", "wrongVar")
+            .build();
+        assert!(matches!(
+            collect(&chain, &method(), &ruleset()).unwrap_err(),
+            GenError::UnknownRuleVariable { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_template_variable_is_reported() {
+        let chain = CrySlCodeGenerator::get_instance()
+            .consider_crysl_rule("SecureRandom")
+            .add_parameter("ghost", "out")
+            .build();
+        assert_eq!(
+            collect(&chain, &method(), &ruleset()).unwrap_err(),
+            GenError::UnknownTemplateVariable("ghost".into())
+        );
+    }
+
+    #[test]
+    fn unknown_return_object_is_reported() {
+        let chain = CrySlCodeGenerator::get_instance()
+            .consider_crysl_rule("SecureRandom")
+            .add_return_object("ghost")
+            .build();
+        assert!(collect(&chain, &method(), &ruleset()).is_err());
+    }
+}

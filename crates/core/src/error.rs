@@ -1,0 +1,88 @@
+//! Error type for the generation pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by the CogniCryptGEN pipeline.
+///
+/// Every variant names the rule, variable or template construct at fault so
+/// rule authors can fix their artefacts — the paper stresses that during
+/// template development the generator's feedback drives debugging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// `considerCrySLRule` named a class with no rule in the rule set.
+    UnknownRule(String),
+    /// `addParameter` referenced a variable the rule's OBJECTS section does
+    /// not declare.
+    UnknownRuleVariable {
+        /// Rule class name.
+        rule: String,
+        /// Offending variable.
+        variable: String,
+    },
+    /// `addParameter`/`addReturnObject` referenced a template variable that
+    /// is neither a method parameter nor declared in the glue code.
+    UnknownTemplateVariable(String),
+    /// No accepting call sequence of the rule survived filtering.
+    NoViablePath {
+        /// Rule class name.
+        rule: String,
+        /// Why the last candidates were discarded.
+        reason: String,
+    },
+    /// A rule's usage-pattern could not be compiled or enumerated.
+    StateMachine(String),
+    /// A method parameter could not be resolved and fallback hoisting was
+    /// disabled.
+    UnresolvedParameter {
+        /// Rule class name.
+        rule: String,
+        /// The unresolved CrySL variable.
+        variable: String,
+    },
+    /// The rule's instance object could not be connected to any producer.
+    UnresolvedInstance {
+        /// Rule class name.
+        rule: String,
+    },
+    /// The generated code failed the Java type checker — a generator bug
+    /// or a rule/type-table mismatch.
+    TypeCheck(String),
+    /// The modelled class library knows nothing about a class referenced
+    /// by a rule.
+    UnknownClass(String),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::UnknownRule(r) => write!(f, "no CrySL rule for `{r}`"),
+            GenError::UnknownRuleVariable { rule, variable } => {
+                write!(f, "rule `{rule}` declares no object `{variable}`")
+            }
+            GenError::UnknownTemplateVariable(v) => {
+                write!(f, "template declares no variable `{v}`")
+            }
+            GenError::NoViablePath { rule, reason } => {
+                write!(f, "no viable call sequence for `{rule}`: {reason}")
+            }
+            GenError::StateMachine(m) => write!(f, "usage pattern error: {m}"),
+            GenError::UnresolvedParameter { rule, variable } => {
+                write!(f, "cannot resolve parameter `{variable}` of `{rule}`")
+            }
+            GenError::UnresolvedInstance { rule } => {
+                write!(f, "cannot resolve the instance object of `{rule}`")
+            }
+            GenError::TypeCheck(m) => write!(f, "generated code fails type check: {m}"),
+            GenError::UnknownClass(c) => write!(f, "class `{c}` is not modelled"),
+        }
+    }
+}
+
+impl Error for GenError {}
+
+impl From<statemachine::StateMachineError> for GenError {
+    fn from(e: statemachine::StateMachineError) -> Self {
+        GenError::StateMachine(e.to_string())
+    }
+}

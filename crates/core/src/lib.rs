@@ -1,0 +1,56 @@
+//! CogniCryptGEN — generating code for the secure usage of crypto APIs.
+//!
+//! This crate reproduces the paper's contribution: a code generator that
+//! combines minimal Java code templates with CrySL rules and emits a
+//! complete, compilable, rule-compliant implementation of a cryptographic
+//! use case. The pipeline follows the paper's Figure 6:
+//!
+//! 1. [`collect`] — gather the rules and template parameters from each
+//!    fluent-API call chain,
+//! 2. [`link`] — connect rules through ENSURES/REQUIRES predicates,
+//! 3. [`pathsel`] — select method sequences from each rule's finite state
+//!    machine, filtering by template objects and predicate compatibility,
+//! 4. [`resolve`] — find values for every method parameter (template
+//!    bindings, predicate-matched objects, constraint literals, fallback
+//!    hoisting),
+//! 5. [`assemble`] — emit the Java code plus the showcase
+//!    `templateUsage()` method.
+//!
+//! The entry point is [`generate`] (or [`Generator`] for configured runs).
+//!
+//! # Example
+//!
+//! ```
+//! use cognicrypt_core::template::{CrySlCodeGenerator, Template, TemplateMethod};
+//! use cognicrypt_core::generate;
+//! use javamodel::ast::{Expr, JavaType, Stmt};
+//! use javamodel::jca::jca_type_table;
+//!
+//! let chain = CrySlCodeGenerator::get_instance()
+//!     .consider_crysl_rule("java.security.MessageDigest")
+//!     .add_parameter("data", "input")
+//!     .add_return_object("hash")
+//!     .build();
+//! let method = TemplateMethod::new("hash", JavaType::byte_array())
+//!     .param(JavaType::byte_array(), "data")
+//!     .pre(Stmt::decl_init(JavaType::byte_array(), "hash", Expr::null()))
+//!     .chain(chain)
+//!     .post(Stmt::Return(Some(Expr::var("hash"))));
+//! let template = Template::new("de.crypto.cognicrypt", "Hasher").method(method);
+//! let generated = generate(&template, &rules::jca_rules(), &jca_type_table())?;
+//! assert!(generated.java_source.contains("MessageDigest.getInstance(\"SHA-256\")"));
+//! # Ok::<(), cognicrypt_core::GenError>(())
+//! ```
+
+pub mod assemble;
+pub mod collect;
+pub mod error;
+pub mod generator;
+pub mod link;
+pub mod pathsel;
+pub mod resolve;
+pub mod template;
+
+pub use error::GenError;
+pub use generator::{generate, Generated, Generator, GeneratorOptions};
+pub use template::{CrySlCodeGenerator, Template, TemplateMethod};

@@ -1,0 +1,211 @@
+//! Step 2 of the pipeline: link rules through predicates (paper Fig. 6,
+//! step 2).
+//!
+//! For every pair of considered rules where an earlier rule ENSURES a
+//! predicate a later rule REQUIRES, a [`Link`] is recorded. The links form
+//! the path the generator uses to select method sequences and to route
+//! generated objects into parameter positions. A rule that REQUIRES a
+//! predicate on `this` receives its *instance* from the ensurer (e.g. the
+//! `SecretKey` rule operates on the key produced by `SecretKeyFactory`).
+
+use crysl::ast::PredArg;
+
+use crate::collect::CollectedRule;
+
+/// The variable on which a predicate is ensured or required.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Carrier {
+    /// The rule's own instance (`this`).
+    This,
+    /// A declared OBJECTS variable.
+    Var(String),
+}
+
+impl Carrier {
+    fn from_arg(arg: &PredArg) -> Option<Carrier> {
+        match arg {
+            PredArg::This => Some(Carrier::This),
+            PredArg::Var(v) => Some(Carrier::Var(v.clone())),
+            _ => None,
+        }
+    }
+}
+
+/// A predicate connection between two considered rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    /// Predicate name.
+    pub predicate: String,
+    /// Index (into the collected-rule list) of the ensuring rule.
+    pub from_rule: usize,
+    /// Carrier of the ensured predicate in the ensuring rule.
+    pub from_carrier: Carrier,
+    /// Event label after which the predicate holds, if restricted.
+    pub from_after: Option<String>,
+    /// Index of the requiring rule.
+    pub to_rule: usize,
+    /// Carrier of the required predicate in the requiring rule.
+    pub to_carrier: Carrier,
+}
+
+/// Computes all predicate links between the collected rules.
+///
+/// Only *forward* links (ensurer strictly before requirer in chain order)
+/// are created — the chain order is the generation order, so a later rule
+/// cannot supply objects to an earlier one. When several earlier rules
+/// ensure the same predicate, each candidate becomes a link; resolution
+/// picks the latest producer (closest match, mirroring the paper's
+/// "objects in the generated code that have received a matching
+/// predicate").
+pub fn link(rules: &[CollectedRule<'_>]) -> Vec<Link> {
+    let mut links = Vec::new();
+    for (to_idx, to) in rules.iter().enumerate() {
+        for req in &to.rule.requires {
+            let Some(to_carrier) = req.args.first().and_then(Carrier::from_arg) else {
+                continue;
+            };
+            for (from_idx, from) in rules.iter().enumerate().take(to_idx) {
+                for ens in &from.rule.ensures {
+                    if ens.predicate.name != req.name {
+                        continue;
+                    }
+                    let Some(from_carrier) =
+                        ens.predicate.args.first().and_then(Carrier::from_arg)
+                    else {
+                        continue;
+                    };
+                    links.push(Link {
+                        predicate: req.name.clone(),
+                        from_rule: from_idx,
+                        from_carrier,
+                        from_after: ens.after.clone(),
+                        to_rule: to_idx,
+                        to_carrier: to_carrier.clone(),
+                    });
+                }
+            }
+        }
+    }
+    links
+}
+
+/// Queries over the link set used by path selection and resolution.
+pub trait LinkSetExt {
+    /// Links that flow *into* rule `idx` (predicates it requires).
+    fn incoming(&self, idx: usize) -> Vec<&Link>;
+    /// Links that flow *out of* rule `idx` (predicates others consume).
+    fn outgoing(&self, idx: usize) -> Vec<&Link>;
+    /// The producing link for a variable of rule `idx`, if its value
+    /// arrives via a predicate. Picks the link with the largest
+    /// `from_rule` (the most recently generated producer).
+    fn producer_for(&self, idx: usize, carrier: &Carrier) -> Option<&Link>;
+}
+
+impl LinkSetExt for [Link] {
+    fn incoming(&self, idx: usize) -> Vec<&Link> {
+        self.iter().filter(|l| l.to_rule == idx).collect()
+    }
+
+    fn outgoing(&self, idx: usize) -> Vec<&Link> {
+        self.iter().filter(|l| l.from_rule == idx).collect()
+    }
+
+    fn producer_for(&self, idx: usize, carrier: &Carrier) -> Option<&Link> {
+        self.iter()
+            .filter(|l| l.to_rule == idx && l.to_carrier == *carrier)
+            .max_by_key(|l| l.from_rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::collect;
+    use crate::template::{CrySlCodeGenerator, TemplateMethod};
+    use crysl::RuleSet;
+    use javamodel::ast::JavaType;
+
+    fn pbe_like_ruleset() -> RuleSet {
+        let mut set = RuleSet::new();
+        set.add_source(
+            "SPEC a.Random\nOBJECTS byte[] out;\nEVENTS n: nextBytes(out);\nENSURES randomized[out];",
+        )
+        .unwrap();
+        set.add_source(
+            "SPEC a.Spec\nOBJECTS byte[] salt;\nEVENTS c: Spec(salt);\nORDER c\nREQUIRES randomized[salt];\nENSURES specced[this] after c;",
+        )
+        .unwrap();
+        set.add_source(
+            "SPEC a.Factory\nOBJECTS a.Spec spec; a.Key key;\nEVENTS g: key = make(spec);\nORDER g\nREQUIRES specced[spec];\nENSURES made[key];",
+        )
+        .unwrap();
+        set.add_source(
+            "SPEC a.Key\nOBJECTS byte[] raw;\nEVENTS e: raw = encoded();\nORDER e\nREQUIRES made[this];\nENSURES rawKey[raw] after e;",
+        )
+        .unwrap();
+        set
+    }
+
+    fn collected(set: &RuleSet) -> Vec<CollectedRule<'_>> {
+        let chain = CrySlCodeGenerator::get_instance()
+            .consider_crysl_rule("a.Random")
+            .consider_crysl_rule("a.Spec")
+            .consider_crysl_rule("a.Factory")
+            .consider_crysl_rule("a.Key")
+            .build();
+        let method = TemplateMethod::new("go", JavaType::Void);
+        collect(&chain, &method, set).unwrap()
+    }
+
+    #[test]
+    fn links_form_the_pbe_chain() {
+        let set = pbe_like_ruleset();
+        let rules = collected(&set);
+        let links = link(&rules);
+        assert_eq!(links.len(), 3);
+        // Random.out --randomized--> Spec.salt
+        assert_eq!(links[0].predicate, "randomized");
+        assert_eq!(links[0].from_rule, 0);
+        assert_eq!(links[0].from_carrier, Carrier::Var("out".into()));
+        assert_eq!(links[0].to_carrier, Carrier::Var("salt".into()));
+        // Spec.this --specced--> Factory.spec (with `after c`)
+        assert_eq!(links[1].from_carrier, Carrier::This);
+        assert_eq!(links[1].from_after.as_deref(), Some("c"));
+        // Factory.key --made--> Key.this
+        assert_eq!(links[2].to_carrier, Carrier::This);
+    }
+
+    #[test]
+    fn no_backward_links() {
+        let mut set = RuleSet::new();
+        // B requires what A ensures, but A is listed after B.
+        set.add_source("SPEC a.B\nOBJECTS byte[] x;\nEVENTS e: f(x);\nREQUIRES p[x];").unwrap();
+        set.add_source("SPEC a.A\nOBJECTS byte[] y;\nEVENTS e: g(y);\nENSURES p[y];").unwrap();
+        let chain = CrySlCodeGenerator::get_instance()
+            .consider_crysl_rule("a.B")
+            .consider_crysl_rule("a.A")
+            .build();
+        let method = TemplateMethod::new("go", JavaType::Void);
+        let rules = collect(&chain, &method, &set).unwrap();
+        assert!(link(&rules).is_empty());
+    }
+
+    #[test]
+    fn producer_picks_latest() {
+        let mut set = RuleSet::new();
+        set.add_source("SPEC a.P1\nOBJECTS byte[] a;\nEVENTS e: f(a);\nENSURES p[a];").unwrap();
+        set.add_source("SPEC a.P2\nOBJECTS byte[] b;\nEVENTS e: f(b);\nENSURES p[b];").unwrap();
+        set.add_source("SPEC a.C\nOBJECTS byte[] x;\nEVENTS e: g(x);\nREQUIRES p[x];").unwrap();
+        let chain = CrySlCodeGenerator::get_instance()
+            .consider_crysl_rule("a.P1")
+            .consider_crysl_rule("a.P2")
+            .consider_crysl_rule("a.C")
+            .build();
+        let method = TemplateMethod::new("go", JavaType::Void);
+        let rules = collect(&chain, &method, &set).unwrap();
+        let links = link(&rules);
+        assert_eq!(links.len(), 2);
+        let producer = links.producer_for(2, &Carrier::Var("x".into())).unwrap();
+        assert_eq!(producer.from_rule, 1);
+    }
+}

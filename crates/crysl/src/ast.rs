@@ -1,0 +1,564 @@
+//! Abstract syntax tree for CrySL rules.
+//!
+//! The structure mirrors the sections of a CrySL rule in source order:
+//! `SPEC`, `OBJECTS`, `EVENTS`, `ORDER`, `CONSTRAINTS`, `FORBIDDEN`,
+//! `REQUIRES`, `ENSURES`, `NEGATES`. All sections except `SPEC` are
+//! optional in the language; the AST represents absent sections as empty
+//! collections (and a missing `ORDER` as [`OrderExpr::Empty`]).
+
+use std::fmt;
+
+/// A dot-separated, fully-qualified Java class name such as
+/// `javax.crypto.spec.PBEKeySpec`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QualifiedName(pub String);
+
+impl QualifiedName {
+    /// Creates a qualified name from its textual form.
+    pub fn new(name: impl Into<String>) -> Self {
+        QualifiedName(name.into())
+    }
+
+    /// The last dot-separated segment (`PBEKeySpec` for
+    /// `javax.crypto.spec.PBEKeySpec`).
+    pub fn simple_name(&self) -> &str {
+        self.0.rsplit('.').next().unwrap_or(&self.0)
+    }
+
+    /// The full dotted name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for QualifiedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for QualifiedName {
+    fn from(s: &str) -> Self {
+        QualifiedName::new(s)
+    }
+}
+
+/// A (possibly array) type reference appearing in `OBJECTS` declarations,
+/// e.g. `char[]`, `int`, or `java.security.Key`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TypeRef {
+    /// The base type name: a primitive (`int`, `char`, `byte`, `boolean`,
+    /// `long`) or a (possibly qualified) class name.
+    pub name: String,
+    /// Number of array dimensions (`char[]` has 1, `byte[][]` has 2).
+    pub array_dims: u8,
+}
+
+impl TypeRef {
+    /// A scalar (non-array) type.
+    pub fn scalar(name: impl Into<String>) -> Self {
+        TypeRef {
+            name: name.into(),
+            array_dims: 0,
+        }
+    }
+
+    /// A one-dimensional array of the named base type.
+    pub fn array(name: impl Into<String>) -> Self {
+        TypeRef {
+            name: name.into(),
+            array_dims: 1,
+        }
+    }
+
+    /// Whether this is one of the Java primitive types understood by CrySL.
+    pub fn is_primitive(&self) -> bool {
+        self.array_dims == 0
+            && matches!(
+                self.name.as_str(),
+                "int" | "long" | "char" | "byte" | "boolean" | "short" | "float" | "double"
+            )
+    }
+}
+
+impl fmt::Display for TypeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        for _ in 0..self.array_dims {
+            f.write_str("[]")?;
+        }
+        Ok(())
+    }
+}
+
+/// An object declaration in the `OBJECTS` section: a named, typed variable
+/// that events, constraints and predicates may refer to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectDecl {
+    /// Declared type.
+    pub ty: TypeRef,
+    /// Variable name.
+    pub name: String,
+}
+
+/// A parameter pattern inside a method-event signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamPattern {
+    /// A reference to an `OBJECTS` variable.
+    Var(String),
+    /// `_` — the parameter is irrelevant to the rule.
+    Wildcard,
+    /// `this` — the specified object itself.
+    This,
+}
+
+impl fmt::Display for ParamPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamPattern::Var(v) => f.write_str(v),
+            ParamPattern::Wildcard => f.write_str("_"),
+            ParamPattern::This => f.write_str("this"),
+        }
+    }
+}
+
+/// A method-event pattern: `label: retVar = methodName(params);`.
+///
+/// When `method_name` equals the simple name of the rule's class the event
+/// denotes a constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodEvent {
+    /// The label used by `ORDER`, `after`-clauses and aggregates.
+    pub label: String,
+    /// Optional binding of the call's return value to an `OBJECTS` variable.
+    pub return_var: Option<String>,
+    /// The method (or constructor) name.
+    pub method_name: String,
+    /// Parameter patterns, in call order.
+    pub params: Vec<ParamPattern>,
+}
+
+impl MethodEvent {
+    /// Whether this event denotes a constructor of `class_simple_name`.
+    pub fn is_constructor_of(&self, class_simple_name: &str) -> bool {
+        self.method_name == class_simple_name
+    }
+}
+
+/// One entry of the `EVENTS` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventDecl {
+    /// A concrete method-call pattern.
+    Method(MethodEvent),
+    /// An aggregate: `Label := a | b | c;` groups several labels under one
+    /// name usable in `ORDER`.
+    Aggregate {
+        /// The aggregate's own label.
+        label: String,
+        /// Labels of the aggregated events (or nested aggregates).
+        members: Vec<String>,
+    },
+}
+
+impl EventDecl {
+    /// The label this declaration introduces.
+    pub fn label(&self) -> &str {
+        match self {
+            EventDecl::Method(m) => &m.label,
+            EventDecl::Aggregate { label, .. } => label,
+        }
+    }
+}
+
+/// A regular expression over event labels — the `ORDER` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderExpr {
+    /// No usage-pattern restriction (rule had no `ORDER` section).
+    Empty,
+    /// A single event or aggregate label.
+    Label(String),
+    /// Sequential composition (`a, b`).
+    Seq(Vec<OrderExpr>),
+    /// Alternatives (`a | b`).
+    Alt(Vec<OrderExpr>),
+    /// Zero-or-one (`a?`).
+    Opt(Box<OrderExpr>),
+    /// Zero-or-more (`a*`).
+    Star(Box<OrderExpr>),
+    /// One-or-more (`a+`).
+    Plus(Box<OrderExpr>),
+}
+
+impl OrderExpr {
+    /// Collects every label mentioned anywhere in the expression.
+    pub fn labels(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_labels(&mut out);
+        out
+    }
+
+    fn collect_labels<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            OrderExpr::Empty => {}
+            OrderExpr::Label(l) => out.push(l),
+            OrderExpr::Seq(xs) | OrderExpr::Alt(xs) => {
+                for x in xs {
+                    x.collect_labels(out);
+                }
+            }
+            OrderExpr::Opt(x) | OrderExpr::Star(x) | OrderExpr::Plus(x) => x.collect_labels(out),
+        }
+    }
+}
+
+/// A literal value usable in constraints and predicate arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (algorithm names, transformations, …).
+    Str(String),
+    /// A boolean literal.
+    Bool(bool),
+}
+
+impl Eq for Literal {}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Str(s) => write!(f, "\"{s}\""),
+            Literal::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Comparison operators available in `CONSTRAINTS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An atomic operand of a comparison constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Atom {
+    /// An `OBJECTS` variable.
+    Var(String),
+    /// A literal value.
+    Lit(Literal),
+}
+
+/// One constraint of the `CONSTRAINTS` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// `var in {lit1, ..., litN}` — the variable must take one of the listed
+    /// values. CogniCryptGEN's generator picks the *first* literal, so rule
+    /// authors order the list by preference (paper §4).
+    In {
+        /// Constrained variable.
+        var: String,
+        /// Allowed values, most preferred first.
+        choices: Vec<Literal>,
+    },
+    /// A binary comparison, e.g. `iterationCount >= 10000`.
+    Cmp {
+        /// Left operand.
+        left: Atom,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Atom,
+    },
+    /// `instanceof[var, some.java.Type]` — the built-in predicate introduced
+    /// by the paper (§4) to distinguish symmetric from asymmetric keys.
+    InstanceOf {
+        /// Constrained variable.
+        var: String,
+        /// Required Java type.
+        java_type: QualifiedName,
+    },
+    /// `neverTypeOf[var, some.java.Type]` — the value must never originate
+    /// from the given type (CrySL's guard against `String` passwords).
+    NeverTypeOf {
+        /// Constrained variable.
+        var: String,
+        /// Forbidden origin type.
+        java_type: QualifiedName,
+    },
+    /// `antecedent => consequent` — the consequent must hold whenever the
+    /// antecedent does.
+    Implies {
+        /// Guard constraint.
+        antecedent: Box<Constraint>,
+        /// Implied constraint.
+        consequent: Box<Constraint>,
+    },
+    /// Conjunction of two constraints (`A && B`).
+    And(Box<Constraint>, Box<Constraint>),
+    /// Disjunction of two constraints (`A || B`).
+    Or(Box<Constraint>, Box<Constraint>),
+}
+
+impl Constraint {
+    /// All variables mentioned by the constraint.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Constraint::In { var, .. }
+            | Constraint::InstanceOf { var, .. }
+            | Constraint::NeverTypeOf { var, .. } => out.push(var),
+            Constraint::Cmp { left, right, .. } => {
+                if let Atom::Var(v) = left {
+                    out.push(v);
+                }
+                if let Atom::Var(v) = right {
+                    out.push(v);
+                }
+            }
+            Constraint::Implies {
+                antecedent,
+                consequent,
+            } => {
+                antecedent.collect_vars(out);
+                consequent.collect_vars(out);
+            }
+            Constraint::And(a, b) | Constraint::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+/// An argument of a predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredArg {
+    /// An `OBJECTS` variable.
+    Var(String),
+    /// `this` — the specified object.
+    This,
+    /// `_` — any value.
+    Wildcard,
+    /// A literal.
+    Lit(Literal),
+}
+
+impl fmt::Display for PredArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredArg::Var(v) => f.write_str(v),
+            PredArg::This => f.write_str("this"),
+            PredArg::Wildcard => f.write_str("_"),
+            PredArg::Lit(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// A predicate occurrence: `name[arg1, ..., argN]`.
+///
+/// By CrySL convention the first argument names the object the predicate is
+/// *on* (the value that carries the guarantee).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    /// Predicate name, e.g. `randomized` or `generatedKey`.
+    pub name: String,
+    /// Arguments; the first one is the carrier object.
+    pub args: Vec<PredArg>,
+}
+
+impl Predicate {
+    /// The argument carrying the guarantee (first position), if any.
+    pub fn carrier(&self) -> Option<&PredArg> {
+        self.args.first()
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// An `ENSURES` entry: a predicate the rule guarantees, optionally only
+/// `after` a given event label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsuredPredicate {
+    /// The guaranteed predicate.
+    pub predicate: Predicate,
+    /// If set, the guarantee only holds after this event has executed.
+    pub after: Option<String>,
+}
+
+/// A `FORBIDDEN` entry: a method that must never be called, with an optional
+/// replacement event suggestion (`PBEKeySpec(char[]) => c1;`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForbiddenMethod {
+    /// The forbidden method (or constructor) name.
+    pub method_name: String,
+    /// Parameter *types* distinguishing the overload, as written.
+    pub param_types: Vec<TypeRef>,
+    /// Label of the event to use instead, if the rule suggests one.
+    pub replacement: Option<String>,
+}
+
+/// A complete CrySL rule for one class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The fully-qualified class this rule specifies (`SPEC`).
+    pub class_name: QualifiedName,
+    /// Declared objects (`OBJECTS`).
+    pub objects: Vec<ObjectDecl>,
+    /// Method events and aggregates (`EVENTS`).
+    pub events: Vec<EventDecl>,
+    /// The usage pattern (`ORDER`).
+    pub order: OrderExpr,
+    /// Parameter constraints (`CONSTRAINTS`).
+    pub constraints: Vec<Constraint>,
+    /// Methods that must never be called (`FORBIDDEN`).
+    pub forbidden: Vec<ForbiddenMethod>,
+    /// Predicates this rule relies on (`REQUIRES`).
+    pub requires: Vec<Predicate>,
+    /// Predicates this rule guarantees (`ENSURES`).
+    pub ensures: Vec<EnsuredPredicate>,
+    /// Predicates this rule invalidates (`NEGATES`).
+    pub negates: Vec<Predicate>,
+}
+
+impl Rule {
+    /// Looks up a declared object by name.
+    pub fn object(&self, name: &str) -> Option<&ObjectDecl> {
+        self.objects.iter().find(|o| o.name == name)
+    }
+
+    /// Looks up a method event by label (aggregates are not returned).
+    pub fn method_event(&self, label: &str) -> Option<&MethodEvent> {
+        self.events.iter().find_map(|e| match e {
+            EventDecl::Method(m) if m.label == label => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Resolves a label to the set of concrete method events it stands for,
+    /// expanding aggregates transitively.
+    pub fn resolve_label<'a>(&'a self, label: &str) -> Vec<&'a MethodEvent> {
+        let mut out = Vec::new();
+        self.resolve_label_into(label, &mut out);
+        out
+    }
+
+    fn resolve_label_into<'a>(&'a self, label: &str, out: &mut Vec<&'a MethodEvent>) {
+        for e in &self.events {
+            match e {
+                EventDecl::Method(m) if m.label == label => out.push(m),
+                EventDecl::Aggregate { label: l, members } if l == label => {
+                    for m in members {
+                        self.resolve_label_into(m, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Every `In` constraint on `var`, most preferred choices first.
+    pub fn in_choices(&self, var: &str) -> Option<&[Literal]> {
+        self.constraints.iter().find_map(|c| match c {
+            Constraint::In { var: v, choices } if v == var => Some(choices.as_slice()),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qualified_name_simple() {
+        let q = QualifiedName::new("javax.crypto.Cipher");
+        assert_eq!(q.simple_name(), "Cipher");
+        assert_eq!(QualifiedName::new("Cipher").simple_name(), "Cipher");
+    }
+
+    #[test]
+    fn type_ref_display() {
+        assert_eq!(TypeRef::array("char").to_string(), "char[]");
+        assert_eq!(TypeRef::scalar("int").to_string(), "int");
+        assert!(TypeRef::scalar("int").is_primitive());
+        assert!(!TypeRef::array("char").is_primitive());
+        assert!(!TypeRef::scalar("java.lang.String").is_primitive());
+    }
+
+    #[test]
+    fn order_labels_collects_all() {
+        let e = OrderExpr::Seq(vec![
+            OrderExpr::Label("a".into()),
+            OrderExpr::Alt(vec![OrderExpr::Label("b".into()), OrderExpr::Label("c".into())]),
+            OrderExpr::Opt(Box::new(OrderExpr::Label("d".into()))),
+        ]);
+        assert_eq!(e.labels(), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn constraint_variables() {
+        let c = Constraint::Implies {
+            antecedent: Box::new(Constraint::In {
+                var: "alg".into(),
+                choices: vec![Literal::Str("AES".into())],
+            }),
+            consequent: Box::new(Constraint::Cmp {
+                left: Atom::Var("keySize".into()),
+                op: CmpOp::Ge,
+                right: Atom::Lit(Literal::Int(128)),
+            }),
+        };
+        assert_eq!(c.variables(), vec!["alg", "keySize"]);
+    }
+
+    #[test]
+    fn predicate_display() {
+        let p = Predicate {
+            name: "speccedKey".into(),
+            args: vec![PredArg::This, PredArg::Wildcard],
+        };
+        assert_eq!(p.to_string(), "speccedKey[this, _]");
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by the CrySL front end.
+
+use std::error::Error;
+use std::fmt;
+
+/// A position in CrySL source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position from 1-based line and column numbers.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced while lexing, parsing, or validating a CrySL rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryslError {
+    /// The tokenizer hit a character it does not understand.
+    Lex {
+        /// Position of the offending character.
+        pos: Pos,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The parser found an unexpected token or missing section.
+    Parse {
+        /// Position of the offending token.
+        pos: Pos,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The rule parsed but violates a well-formedness requirement
+    /// (undeclared object, unknown event label, duplicate name, …).
+    Validate {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl CryslError {
+    /// Convenience constructor for lexer errors.
+    pub fn lex(pos: Pos, message: impl Into<String>) -> Self {
+        CryslError::Lex {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for parser errors.
+    pub fn parse(pos: Pos, message: impl Into<String>) -> Self {
+        CryslError::Parse {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for validation errors.
+    pub fn validate(message: impl Into<String>) -> Self {
+        CryslError::Validate {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CryslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryslError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            CryslError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            CryslError::Validate { message } => write!(f, "invalid rule: {message}"),
+        }
+    }
+}
+
+impl Error for CryslError {}

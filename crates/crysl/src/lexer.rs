@@ -1,0 +1,509 @@
+//! Hand-written tokenizer for CrySL source text.
+//!
+//! The lexer tracks 1-based line/column positions for every token so that
+//! parser diagnostics can point at the offending location. Comments use the
+//! Java forms `// …` and `/* … */`.
+
+use crate::error::{CryslError, Pos};
+
+/// The kinds of token the CrySL grammar distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (section headers are recognized by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (without quotes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `:=`
+    ColonEq,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=>`
+    Arrow,
+    /// `|`
+    Pipe,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `?`
+    Question,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `_`
+    Underscore,
+    /// `[]` appearing directly after a type name.
+    Brackets,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it starts in the source.
+    pub pos: Pos,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CryslError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(CryslError::lex(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, CryslError> {
+        self.skip_trivia()?;
+        let pos = self.pos();
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
+        };
+        let kind = match c {
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'[' => {
+                self.bump();
+                if self.peek() == Some(b']') {
+                    self.bump();
+                    TokenKind::Brackets
+                } else {
+                    TokenKind::LBracket
+                }
+            }
+            b']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
+            }
+            b'.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            b'?' => {
+                self.bump();
+                TokenKind::Question
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b':' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::ColonEq
+                } else {
+                    TokenKind::Colon
+                }
+            }
+            b'=' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::EqEq
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::Arrow
+                    }
+                    _ => TokenKind::Assign,
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Ne
+                } else {
+                    return Err(CryslError::lex(pos, "expected `!=`"));
+                }
+            }
+            b'<' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    TokenKind::Pipe
+                }
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(CryslError::lex(pos, "expected `&&`"));
+                }
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'n') => s.push('\n'),
+                            Some(other) => {
+                                return Err(CryslError::lex(
+                                    pos,
+                                    format!("unknown escape `\\{}`", other as char),
+                                ))
+                            }
+                            None => return Err(CryslError::lex(pos, "unterminated string")),
+                        },
+                        Some(other) => s.push(other as char),
+                        None => return Err(CryslError::lex(pos, "unterminated string")),
+                    }
+                }
+                TokenKind::Str(s)
+            }
+            b'-' | b'0'..=b'9' => {
+                let neg = c == b'-';
+                if neg {
+                    self.bump();
+                    if !self.peek().is_some_and(|d| d.is_ascii_digit()) {
+                        return Err(CryslError::lex(pos, "expected digits after `-`"));
+                    }
+                }
+                let mut value: i64 = 0;
+                while let Some(d) = self.peek() {
+                    if !d.is_ascii_digit() {
+                        break;
+                    }
+                    self.bump();
+                    value = value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(i64::from(d - b'0')))
+                        .ok_or_else(|| CryslError::lex(pos, "integer literal overflows i64"))?;
+                }
+                TokenKind::Int(if neg { -value } else { value })
+            }
+            b'_' => {
+                // A lone underscore is the wildcard; `_foo` is an identifier.
+                if self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_alphanumeric() || d == b'_')
+                {
+                    self.lex_ident()
+                } else {
+                    self.bump();
+                    TokenKind::Underscore
+                }
+            }
+            c if c.is_ascii_alphabetic() => self.lex_ident(),
+            other => {
+                return Err(CryslError::lex(
+                    pos,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        Ok(Token { kind, pos })
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Keywords (`in`, `after`, `true`, section names, …) are
+        // context-dependent in CrySL; the parser distinguishes them.
+        TokenKind::Ident(s)
+    }
+}
+
+/// Tokenizes CrySL source text into a vector ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns [`CryslError::Lex`] for unknown characters, unterminated strings
+/// or comments, and integer overflow.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, CryslError> {
+    let mut lexer = Lexer::new(source);
+    let mut tokens = Vec::new();
+    loop {
+        let tok = lexer.next_token()?;
+        let done = tok.kind == TokenKind::Eof;
+        tokens.push(tok);
+        if done {
+            return Ok(tokens);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            kinds("( ) { } [ ] , ; : := . == != < <= > >= => | && || ? * + _ []"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::Comma,
+                TokenKind::Semi,
+                TokenKind::Colon,
+                TokenKind::ColonEq,
+                TokenKind::Dot,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Arrow,
+                TokenKind::Pipe,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Question,
+                TokenKind::Star,
+                TokenKind::Plus,
+                TokenKind::Underscore,
+                TokenKind::Brackets,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_including_negative() {
+        assert_eq!(
+            kinds("10000 -12 0"),
+            vec![
+                TokenKind::Int(10000),
+                TokenKind::Int(-12),
+                TokenKind::Int(0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""AES/CBC/PKCS5Padding" "a\"b""#),
+            vec![
+                TokenKind::Str("AES/CBC/PKCS5Padding".into()),
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // line\n b /* block\n still */ c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos::new(1, 1));
+        assert_eq!(toks[1].pos, Pos::new(2, 3));
+    }
+
+    #[test]
+    fn underscore_prefixed_identifier() {
+        assert_eq!(
+            kinds("_ _x"),
+            vec![
+                TokenKind::Underscore,
+                TokenKind::Ident("_x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("@").is_err());
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("/* open").is_err());
+        assert!(tokenize("&x").is_err());
+        assert!(tokenize("! x").is_err());
+        assert!(tokenize("- x").is_err());
+    }
+}

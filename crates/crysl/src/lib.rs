@@ -1,0 +1,66 @@
+//! CrySL — a domain-specific language for specifying the secure usage of
+//! crypto APIs, as described in the CGO 2020 paper *CogniCryptGEN* and the
+//! ECOOP 2018 paper *CrySL*.
+//!
+//! A CrySL rule specifies the correct use of one class: which methods exist
+//! ([`ast::EventDecl`]), in which order they may be called ([`ast::OrderExpr`]),
+//! which constraints parameters must satisfy ([`ast::Constraint`]), and how
+//! objects of different classes compose through ENSURES/REQUIRES/NEGATES
+//! predicates ([`ast::Predicate`]).
+//!
+//! This crate provides the full language front end:
+//!
+//! * [`lexer`] — hand-written tokenizer with source positions,
+//! * [`parser`] — recursive-descent parser producing [`ast::Rule`]s,
+//! * [`validate`] — name resolution and structural well-formedness checks,
+//! * [`ruleset`] — a collection type resolving rules by class name.
+//!
+//! # Example
+//!
+//! ```
+//! use crysl::parse_rule;
+//!
+//! let rule = parse_rule(
+//!     "SPEC javax.crypto.spec.PBEKeySpec\n\
+//!      OBJECTS\n  char[] password;\n  byte[] salt;\n  int iterationCount;\n\
+//!      EVENTS\n  c1: PBEKeySpec(password, salt, iterationCount, _);\n\
+//!      cP: clearPassword();\n\
+//!      ORDER\n  c1, cP\n\
+//!      CONSTRAINTS\n  iterationCount >= 10000;\n\
+//!      REQUIRES\n  randomized[salt];\n\
+//!      ENSURES\n  speccedKey[this] after c1;\n\
+//!      NEGATES\n  speccedKey[this, _];",
+//! )?;
+//! assert_eq!(rule.class_name.simple_name(), "PBEKeySpec");
+//! assert_eq!(rule.events.len(), 2);
+//! # Ok::<(), crysl::CryslError>(())
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod ruleset;
+pub mod validate;
+
+pub use ast::Rule;
+pub use error::CryslError;
+pub use ruleset::RuleSet;
+
+/// Parses and validates a single CrySL rule from source text.
+///
+/// This is the main entry point of the crate: it tokenizes `source`, parses
+/// it into an [`ast::Rule`], and runs the [`validate`] pass so that every
+/// returned rule is known to be well-formed.
+///
+/// # Errors
+///
+/// Returns [`CryslError`] if the source fails to tokenize, parse, or
+/// validate. The error carries a line/column position where applicable.
+pub fn parse_rule(source: &str) -> Result<Rule, CryslError> {
+    let tokens = lexer::tokenize(source)?;
+    let rule = parser::Parser::new(&tokens).parse_rule()?;
+    validate::validate(&rule)?;
+    Ok(rule)
+}

@@ -1,0 +1,701 @@
+//! Recursive-descent parser for CrySL rules.
+//!
+//! Grammar (sections in fixed order, all optional except `SPEC`):
+//!
+//! ```text
+//! rule        := "SPEC" qname
+//!                ["OBJECTS"     objectDecl*]
+//!                ["EVENTS"      eventDecl*]
+//!                ["ORDER"       orderExpr]
+//!                ["CONSTRAINTS" constraint*]
+//!                ["FORBIDDEN"   forbidden*]
+//!                ["REQUIRES"    predicate*]
+//!                ["ENSURES"     ensured*]
+//!                ["NEGATES"     predicate*]
+//! objectDecl  := type ident ";"
+//! eventDecl   := ident ":" [ident "="] ident "(" params ")" ";"
+//!              | ident ":=" ident ("|" ident)* ";"
+//! orderExpr   := alt                      // "," binds tighter than "|"
+//! constraint  := orConstraint ["=>" orConstraint] ";"
+//! predicate   := ident "[" predArgs "]" ";"
+//! ensured     := predicate ["after" ident] ";"
+//! forbidden   := ident "(" types ")" ["=>" ident] ";"
+//! ```
+
+use crate::ast::*;
+use crate::error::{CryslError, Pos};
+use crate::lexer::{Token, TokenKind};
+
+/// Section keywords, in the order they must appear.
+const SECTIONS: &[&str] = &[
+    "SPEC",
+    "OBJECTS",
+    "EVENTS",
+    "ORDER",
+    "CONSTRAINTS",
+    "FORBIDDEN",
+    "REQUIRES",
+    "ENSURES",
+    "NEGATES",
+];
+
+/// A recursive-descent parser over a token slice produced by
+/// [`crate::lexer::tokenize`].
+pub struct Parser<'t> {
+    tokens: &'t [Token],
+    i: usize,
+}
+
+impl<'t> Parser<'t> {
+    /// Creates a parser positioned at the first token.
+    pub fn new(tokens: &'t [Token]) -> Self {
+        Parser { tokens, i: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.i.min(self.tokens.len() - 1)].kind
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.i.min(self.tokens.len() - 1)].pos
+    }
+
+    fn bump(&mut self) -> &TokenKind {
+        let t = &self.tokens[self.i.min(self.tokens.len() - 1)].kind;
+        if self.i < self.tokens.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), CryslError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(CryslError::parse(
+                self.pos(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, CryslError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(CryslError::parse(
+                self.pos(),
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    /// Whether the current token starts a new section header.
+    fn at_section(&self) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if SECTIONS.contains(&s.as_str()))
+            || *self.peek() == TokenKind::Eof
+    }
+
+    /// Parses a complete rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryslError::Parse`] on any grammar violation; the error's
+    /// position points at the unexpected token.
+    pub fn parse_rule(&mut self) -> Result<Rule, CryslError> {
+        self.expect_keyword("SPEC")?;
+        let class_name = self.parse_qname()?;
+        let mut rule = Rule {
+            class_name,
+            objects: Vec::new(),
+            events: Vec::new(),
+            order: OrderExpr::Empty,
+            constraints: Vec::new(),
+            forbidden: Vec::new(),
+            requires: Vec::new(),
+            ensures: Vec::new(),
+            negates: Vec::new(),
+        };
+        if self.eat_keyword("OBJECTS") {
+            while !self.at_section() {
+                rule.objects.push(self.parse_object_decl()?);
+            }
+        }
+        if self.eat_keyword("EVENTS") {
+            while !self.at_section() {
+                rule.events.push(self.parse_event_decl()?);
+            }
+        }
+        if self.eat_keyword("ORDER") {
+            rule.order = self.parse_order_alt()?;
+            self.eat(&TokenKind::Semi);
+        }
+        if self.eat_keyword("CONSTRAINTS") {
+            while !self.at_section() {
+                let c = self.parse_constraint()?;
+                self.expect(&TokenKind::Semi, "`;` after constraint")?;
+                rule.constraints.push(c);
+            }
+        }
+        if self.eat_keyword("FORBIDDEN") {
+            while !self.at_section() {
+                rule.forbidden.push(self.parse_forbidden()?);
+            }
+        }
+        if self.eat_keyword("REQUIRES") {
+            while !self.at_section() {
+                let p = self.parse_predicate()?;
+                self.expect(&TokenKind::Semi, "`;` after predicate")?;
+                rule.requires.push(p);
+            }
+        }
+        if self.eat_keyword("ENSURES") {
+            while !self.at_section() {
+                rule.ensures.push(self.parse_ensured()?);
+            }
+        }
+        if self.eat_keyword("NEGATES") {
+            while !self.at_section() {
+                let p = self.parse_predicate()?;
+                self.expect(&TokenKind::Semi, "`;` after predicate")?;
+                rule.negates.push(p);
+            }
+        }
+        if *self.peek() != TokenKind::Eof {
+            return Err(CryslError::parse(
+                self.pos(),
+                format!("unexpected trailing input: {:?}", self.peek()),
+            ));
+        }
+        Ok(rule)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), CryslError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(CryslError::parse(
+                self.pos(),
+                format!("expected section `{kw}`, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_qname(&mut self) -> Result<QualifiedName, CryslError> {
+        let mut name = self.expect_ident("class name")?;
+        while self.eat(&TokenKind::Dot) {
+            name.push('.');
+            name.push_str(&self.expect_ident("name segment")?);
+        }
+        Ok(QualifiedName::new(name))
+    }
+
+    fn parse_type(&mut self) -> Result<TypeRef, CryslError> {
+        let name = self.parse_qname()?.0;
+        let mut dims = 0;
+        while self.eat(&TokenKind::Brackets) {
+            dims += 1;
+        }
+        Ok(TypeRef {
+            name,
+            array_dims: dims,
+        })
+    }
+
+    fn parse_object_decl(&mut self) -> Result<ObjectDecl, CryslError> {
+        let ty = self.parse_type()?;
+        let name = self.expect_ident("object name")?;
+        self.expect(&TokenKind::Semi, "`;` after object declaration")?;
+        Ok(ObjectDecl { ty, name })
+    }
+
+    fn parse_event_decl(&mut self) -> Result<EventDecl, CryslError> {
+        let label = self.expect_ident("event label")?;
+        if self.eat(&TokenKind::ColonEq) {
+            let mut members = vec![self.expect_ident("aggregate member")?];
+            while self.eat(&TokenKind::Pipe) {
+                members.push(self.expect_ident("aggregate member")?);
+            }
+            self.expect(&TokenKind::Semi, "`;` after aggregate")?;
+            return Ok(EventDecl::Aggregate { label, members });
+        }
+        self.expect(&TokenKind::Colon, "`:` after event label")?;
+        let first = self.expect_ident("method name")?;
+        let (return_var, method_name) = if self.eat(&TokenKind::Assign) {
+            (Some(first), self.expect_ident("method name")?)
+        } else {
+            (None, first)
+        };
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                params.push(self.parse_param_pattern()?);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma, "`,` between parameters")?;
+            }
+        }
+        self.expect(&TokenKind::Semi, "`;` after event")?;
+        Ok(EventDecl::Method(MethodEvent {
+            label,
+            return_var,
+            method_name,
+            params,
+        }))
+    }
+
+    fn parse_param_pattern(&mut self) -> Result<ParamPattern, CryslError> {
+        match self.peek().clone() {
+            TokenKind::Underscore => {
+                self.bump();
+                Ok(ParamPattern::Wildcard)
+            }
+            TokenKind::Ident(s) if s == "this" => {
+                self.bump();
+                Ok(ParamPattern::This)
+            }
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(ParamPattern::Var(s))
+            }
+            other => Err(CryslError::parse(
+                self.pos(),
+                format!("expected parameter pattern, found {other:?}"),
+            )),
+        }
+    }
+
+    // ORDER — precedence: `|` < `,` < postfix ?*+ < atom
+    fn parse_order_alt(&mut self) -> Result<OrderExpr, CryslError> {
+        let mut parts = vec![self.parse_order_seq()?];
+        while self.eat(&TokenKind::Pipe) {
+            parts.push(self.parse_order_seq()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            OrderExpr::Alt(parts)
+        })
+    }
+
+    fn parse_order_seq(&mut self) -> Result<OrderExpr, CryslError> {
+        let mut parts = vec![self.parse_order_postfix()?];
+        while self.eat(&TokenKind::Comma) {
+            parts.push(self.parse_order_postfix()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            OrderExpr::Seq(parts)
+        })
+    }
+
+    fn parse_order_postfix(&mut self) -> Result<OrderExpr, CryslError> {
+        let mut e = self.parse_order_atom()?;
+        loop {
+            if self.eat(&TokenKind::Question) {
+                e = OrderExpr::Opt(Box::new(e));
+            } else if self.eat(&TokenKind::Star) {
+                e = OrderExpr::Star(Box::new(e));
+            } else if self.eat(&TokenKind::Plus) {
+                e = OrderExpr::Plus(Box::new(e));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_order_atom(&mut self) -> Result<OrderExpr, CryslError> {
+        if self.eat(&TokenKind::LParen) {
+            let e = self.parse_order_alt()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            Ok(e)
+        } else {
+            let label = self.expect_ident("event label")?;
+            Ok(OrderExpr::Label(label))
+        }
+    }
+
+    // CONSTRAINTS — precedence: `=>` < `||` < `&&` < atom
+    fn parse_constraint(&mut self) -> Result<Constraint, CryslError> {
+        let lhs = self.parse_constraint_or()?;
+        if self.eat(&TokenKind::Arrow) {
+            let rhs = self.parse_constraint_or()?;
+            Ok(Constraint::Implies {
+                antecedent: Box::new(lhs),
+                consequent: Box::new(rhs),
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_constraint_or(&mut self) -> Result<Constraint, CryslError> {
+        let mut lhs = self.parse_constraint_and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.parse_constraint_and()?;
+            lhs = Constraint::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_constraint_and(&mut self) -> Result<Constraint, CryslError> {
+        let mut lhs = self.parse_constraint_atom()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.parse_constraint_atom()?;
+            lhs = Constraint::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_constraint_atom(&mut self) -> Result<Constraint, CryslError> {
+        if self.eat(&TokenKind::LParen) {
+            let c = self.parse_constraint()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(c);
+        }
+        // instanceof[var, Type] / neverTypeOf[var, Type]
+        let builtin = match self.peek() {
+            TokenKind::Ident(s) if s == "instanceof" || s == "neverTypeOf" => Some(s.clone()),
+            _ => None,
+        };
+        if let Some(kw) = builtin {
+            self.bump();
+            self.expect(&TokenKind::LBracket, "`[` after built-in constraint")?;
+            let var = self.expect_ident("variable")?;
+            self.expect(&TokenKind::Comma, "`,`")?;
+            let java_type = self.parse_qname()?;
+            self.expect(&TokenKind::RBracket, "`]`")?;
+            return Ok(if kw == "instanceof" {
+                Constraint::InstanceOf { var, java_type }
+            } else {
+                Constraint::NeverTypeOf { var, java_type }
+            });
+        }
+        let left = self.parse_atom()?;
+        // `var in { ... }`
+        if matches!(self.peek(), TokenKind::Ident(s) if s == "in") {
+            let Atom::Var(var) = left else {
+                return Err(CryslError::parse(
+                    self.pos(),
+                    "left-hand side of `in` must be a variable",
+                ));
+            };
+            self.bump();
+            self.expect(&TokenKind::LBrace, "`{`")?;
+            let mut choices = Vec::new();
+            if !self.eat(&TokenKind::RBrace) {
+                loop {
+                    choices.push(self.parse_literal()?);
+                    if self.eat(&TokenKind::RBrace) {
+                        break;
+                    }
+                    self.expect(&TokenKind::Comma, "`,` between literals")?;
+                }
+            }
+            return Ok(Constraint::In { var, choices });
+        }
+        let op = match self.peek() {
+            TokenKind::EqEq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => {
+                return Err(CryslError::parse(
+                    self.pos(),
+                    format!("expected comparison operator or `in`, found {other:?}"),
+                ))
+            }
+        };
+        self.bump();
+        let right = self.parse_atom()?;
+        Ok(Constraint::Cmp { left, op, right })
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, CryslError> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Atom::Lit(Literal::Int(i)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Atom::Lit(Literal::Str(s)))
+            }
+            TokenKind::Ident(s) if s == "true" => {
+                self.bump();
+                Ok(Atom::Lit(Literal::Bool(true)))
+            }
+            TokenKind::Ident(s) if s == "false" => {
+                self.bump();
+                Ok(Atom::Lit(Literal::Bool(false)))
+            }
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(Atom::Var(s))
+            }
+            other => Err(CryslError::parse(
+                self.pos(),
+                format!("expected variable or literal, found {other:?}"),
+            )),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, CryslError> {
+        match self.parse_atom()? {
+            Atom::Lit(l) => Ok(l),
+            Atom::Var(v) => Err(CryslError::parse(
+                self.pos(),
+                format!("expected literal, found variable `{v}`"),
+            )),
+        }
+    }
+
+    fn parse_forbidden(&mut self) -> Result<ForbiddenMethod, CryslError> {
+        let method_name = self.expect_ident("method name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut param_types = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                param_types.push(self.parse_type()?);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma, "`,` between types")?;
+            }
+        }
+        let replacement = if self.eat(&TokenKind::Arrow) {
+            Some(self.expect_ident("replacement event label")?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi, "`;` after forbidden method")?;
+        Ok(ForbiddenMethod {
+            method_name,
+            param_types,
+            replacement,
+        })
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate, CryslError> {
+        let name = self.expect_ident("predicate name")?;
+        self.expect(&TokenKind::LBracket, "`[`")?;
+        let mut args = Vec::new();
+        if !self.eat(&TokenKind::RBracket) {
+            loop {
+                args.push(self.parse_pred_arg()?);
+                if self.eat(&TokenKind::RBracket) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma, "`,` between predicate arguments")?;
+            }
+        }
+        Ok(Predicate { name, args })
+    }
+
+    fn parse_pred_arg(&mut self) -> Result<PredArg, CryslError> {
+        match self.peek().clone() {
+            TokenKind::Underscore => {
+                self.bump();
+                Ok(PredArg::Wildcard)
+            }
+            TokenKind::Ident(s) if s == "this" => {
+                self.bump();
+                Ok(PredArg::This)
+            }
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(PredArg::Lit(Literal::Int(i)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(PredArg::Lit(Literal::Str(s)))
+            }
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(PredArg::Var(s))
+            }
+            other => Err(CryslError::parse(
+                self.pos(),
+                format!("expected predicate argument, found {other:?}"),
+            )),
+        }
+    }
+
+    fn parse_ensured(&mut self) -> Result<EnsuredPredicate, CryslError> {
+        let predicate = self.parse_predicate()?;
+        let after = if self.eat_keyword("after") {
+            Some(self.expect_ident("event label")?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi, "`;` after ensured predicate")?;
+        Ok(EnsuredPredicate { predicate, after })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse(src: &str) -> Result<Rule, CryslError> {
+        let toks = tokenize(src)?;
+        Parser::new(&toks).parse_rule()
+    }
+
+    const PBEKEYSPEC: &str = r#"
+        SPEC javax.crypto.spec.PBEKeySpec
+        OBJECTS
+            char[] password;
+            byte[] salt;
+            int iterationCount;
+            int keylength;
+        EVENTS
+            c1: PBEKeySpec(password, salt, iterationCount, keylength);
+            cP: clearPassword();
+        ORDER
+            c1, cP
+        CONSTRAINTS
+            iterationCount >= 10000;
+        REQUIRES
+            randomized[salt];
+        ENSURES
+            speccedKey[this, keylength] after c1;
+        NEGATES
+            speccedKey[this, _];
+    "#;
+
+    #[test]
+    fn parses_paper_figure_2() {
+        let rule = parse(PBEKEYSPEC).unwrap();
+        assert_eq!(rule.class_name.as_str(), "javax.crypto.spec.PBEKeySpec");
+        assert_eq!(rule.objects.len(), 4);
+        assert_eq!(rule.objects[0].ty, TypeRef::array("char"));
+        assert_eq!(rule.events.len(), 2);
+        let c1 = rule.method_event("c1").unwrap();
+        assert!(c1.is_constructor_of("PBEKeySpec"));
+        assert_eq!(c1.params.len(), 4);
+        assert_eq!(
+            rule.order,
+            OrderExpr::Seq(vec![
+                OrderExpr::Label("c1".into()),
+                OrderExpr::Label("cP".into())
+            ])
+        );
+        assert_eq!(rule.constraints.len(), 1);
+        assert_eq!(rule.requires[0].name, "randomized");
+        assert_eq!(rule.ensures[0].after.as_deref(), Some("c1"));
+        assert_eq!(rule.negates[0].args[1], PredArg::Wildcard);
+    }
+
+    #[test]
+    fn parses_aggregates_and_regex_order() {
+        let rule = parse(
+            "SPEC X\nEVENTS\n  g1: getInstance(alg);\n  g2: getInstance(alg, _);\n  Gets := g1 | g2;\n  i: init(_);\n  u: update(_);\n  f: doFinal(_);\nORDER\n  Gets, i, u*, (f | u)+",
+        )
+        .unwrap();
+        assert_eq!(rule.events.len(), 6);
+        let gets = rule.resolve_label("Gets");
+        assert_eq!(gets.len(), 2);
+        match &rule.order {
+            OrderExpr::Seq(parts) => {
+                assert_eq!(parts.len(), 4);
+                assert!(matches!(parts[2], OrderExpr::Star(_)));
+                assert!(matches!(parts[3], OrderExpr::Plus(_)));
+            }
+            other => panic!("expected Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_in_constraint_and_implication() {
+        let rule = parse(
+            "SPEC X\nOBJECTS\n int k; java.lang.String a;\nCONSTRAINTS\n a in {\"AES\", \"Blowfish\"};\n a == \"AES\" => k >= 128;",
+        )
+        .unwrap();
+        assert_eq!(
+            rule.in_choices("a").unwrap(),
+            &[Literal::Str("AES".into()), Literal::Str("Blowfish".into())]
+        );
+        assert!(matches!(rule.constraints[1], Constraint::Implies { .. }));
+    }
+
+    #[test]
+    fn parses_instanceof_builtin() {
+        let rule = parse(
+            "SPEC javax.crypto.Cipher\nOBJECTS\n java.security.Key key;\nCONSTRAINTS\n instanceof[key, javax.crypto.SecretKey] => key == key;",
+        )
+        .unwrap();
+        match &rule.constraints[0] {
+            Constraint::Implies { antecedent, .. } => match antecedent.as_ref() {
+                Constraint::InstanceOf { var, java_type } => {
+                    assert_eq!(var, "key");
+                    assert_eq!(java_type.as_str(), "javax.crypto.SecretKey");
+                }
+                other => panic!("expected InstanceOf, got {other:?}"),
+            },
+            other => panic!("expected Implies, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_return_binding_and_forbidden() {
+        let rule = parse(
+            "SPEC javax.crypto.SecretKeyFactory\nOBJECTS\n javax.crypto.SecretKey key; java.security.spec.KeySpec spec;\nEVENTS\n gs: key = generateSecret(spec);\nFORBIDDEN\n PBEKeySpec(char[]) => gs;\n translateKey(java.security.Key);",
+        )
+        .unwrap();
+        let gs = rule.method_event("gs").unwrap();
+        assert_eq!(gs.return_var.as_deref(), Some("key"));
+        assert_eq!(rule.forbidden.len(), 2);
+        assert_eq!(rule.forbidden[0].replacement.as_deref(), Some("gs"));
+        assert_eq!(rule.forbidden[0].param_types[0], TypeRef::array("char"));
+        assert_eq!(rule.forbidden[1].replacement, None);
+    }
+
+    #[test]
+    fn error_on_missing_spec() {
+        assert!(parse("OBJECTS int k;").is_err());
+    }
+
+    #[test]
+    fn error_on_trailing_garbage() {
+        assert!(parse("SPEC X\nORDER a\n garbage!").is_err());
+    }
+
+    #[test]
+    fn error_on_literal_lhs_of_in() {
+        assert!(parse("SPEC X\nCONSTRAINTS 5 in {1};").is_err());
+    }
+
+    #[test]
+    fn empty_sections_are_fine() {
+        let rule = parse("SPEC java.security.SecureRandom").unwrap();
+        assert_eq!(rule.order, OrderExpr::Empty);
+        assert!(rule.events.is_empty());
+    }
+}

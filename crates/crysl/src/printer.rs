@@ -1,0 +1,201 @@
+//! Pretty-printer for CrySL rules: renders an [`crate::ast::Rule`] back to
+//! source text that the parser accepts, giving the language a full
+//! round trip (`parse(print(rule))` equals `rule`). Rule-set maintainers
+//! can therefore manipulate rules programmatically and write them back.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a rule as CrySL source text.
+pub fn print_rule(rule: &Rule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "SPEC {}", rule.class_name);
+    if !rule.objects.is_empty() {
+        let _ = writeln!(out, "OBJECTS");
+        for o in &rule.objects {
+            let _ = writeln!(out, "    {} {};", o.ty, o.name);
+        }
+    }
+    if !rule.events.is_empty() {
+        let _ = writeln!(out, "EVENTS");
+        for e in &rule.events {
+            match e {
+                EventDecl::Method(m) => {
+                    let params: Vec<String> =
+                        m.params.iter().map(|p| p.to_string()).collect();
+                    match &m.return_var {
+                        Some(rv) => {
+                            let _ = writeln!(
+                                out,
+                                "    {}: {} = {}({});",
+                                m.label,
+                                rv,
+                                m.method_name,
+                                params.join(", ")
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(
+                                out,
+                                "    {}: {}({});",
+                                m.label,
+                                m.method_name,
+                                params.join(", ")
+                            );
+                        }
+                    }
+                }
+                EventDecl::Aggregate { label, members } => {
+                    let _ = writeln!(out, "    {} := {};", label, members.join(" | "));
+                }
+            }
+        }
+    }
+    if rule.order != OrderExpr::Empty {
+        let _ = writeln!(out, "ORDER");
+        let _ = writeln!(out, "    {}", print_order(&rule.order));
+    }
+    if !rule.constraints.is_empty() {
+        let _ = writeln!(out, "CONSTRAINTS");
+        for c in &rule.constraints {
+            let _ = writeln!(out, "    {};", print_constraint(c));
+        }
+    }
+    if !rule.forbidden.is_empty() {
+        let _ = writeln!(out, "FORBIDDEN");
+        for f in &rule.forbidden {
+            let tys: Vec<String> = f.param_types.iter().map(|t| t.to_string()).collect();
+            match &f.replacement {
+                Some(r) => {
+                    let _ = writeln!(out, "    {}({}) => {};", f.method_name, tys.join(", "), r);
+                }
+                None => {
+                    let _ = writeln!(out, "    {}({});", f.method_name, tys.join(", "));
+                }
+            }
+        }
+    }
+    if !rule.requires.is_empty() {
+        let _ = writeln!(out, "REQUIRES");
+        for p in &rule.requires {
+            let _ = writeln!(out, "    {p};");
+        }
+    }
+    if !rule.ensures.is_empty() {
+        let _ = writeln!(out, "ENSURES");
+        for e in &rule.ensures {
+            match &e.after {
+                Some(a) => {
+                    let _ = writeln!(out, "    {} after {};", e.predicate, a);
+                }
+                None => {
+                    let _ = writeln!(out, "    {};", e.predicate);
+                }
+            }
+        }
+    }
+    if !rule.negates.is_empty() {
+        let _ = writeln!(out, "NEGATES");
+        for p in &rule.negates {
+            let _ = writeln!(out, "    {p};");
+        }
+    }
+    out
+}
+
+/// Renders an ORDER expression (fully parenthesized below the top level,
+/// which the parser accepts unambiguously).
+pub fn print_order(e: &OrderExpr) -> String {
+    match e {
+        OrderExpr::Empty => String::new(),
+        OrderExpr::Label(l) => l.clone(),
+        OrderExpr::Seq(parts) => parts
+            .iter()
+            .map(print_order_atomized)
+            .collect::<Vec<_>>()
+            .join(", "),
+        OrderExpr::Alt(parts) => parts
+            .iter()
+            .map(print_order_atomized)
+            .collect::<Vec<_>>()
+            .join(" | "),
+        OrderExpr::Opt(x) => format!("{}?", print_order_atomized(x)),
+        OrderExpr::Star(x) => format!("{}*", print_order_atomized(x)),
+        OrderExpr::Plus(x) => format!("{}+", print_order_atomized(x)),
+    }
+}
+
+fn print_order_atomized(e: &OrderExpr) -> String {
+    match e {
+        OrderExpr::Label(_) | OrderExpr::Empty => print_order(e),
+        OrderExpr::Opt(_) | OrderExpr::Star(_) | OrderExpr::Plus(_) => print_order(e),
+        _ => format!("({})", print_order(e)),
+    }
+}
+
+/// Renders a constraint.
+pub fn print_constraint(c: &Constraint) -> String {
+    match c {
+        Constraint::In { var, choices } => {
+            let lits: Vec<String> = choices.iter().map(|l| l.to_string()).collect();
+            format!("{var} in {{{}}}", lits.join(", "))
+        }
+        Constraint::Cmp { left, op, right } => {
+            format!("{} {} {}", print_atom(left), op, print_atom(right))
+        }
+        Constraint::InstanceOf { var, java_type } => {
+            format!("instanceof[{var}, {java_type}]")
+        }
+        Constraint::NeverTypeOf { var, java_type } => {
+            format!("neverTypeOf[{var}, {java_type}]")
+        }
+        Constraint::Implies {
+            antecedent,
+            consequent,
+        } => format!(
+            "{} => {}",
+            print_constraint(antecedent),
+            print_constraint(consequent)
+        ),
+        Constraint::And(a, b) => format!("{} && {}", print_constraint(a), print_constraint(b)),
+        Constraint::Or(a, b) => format!("{} || {}", print_constraint(a), print_constraint(b)),
+    }
+}
+
+fn print_atom(a: &Atom) -> String {
+    match a {
+        Atom::Var(v) => v.clone(),
+        Atom::Lit(l) => l.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_rule;
+
+    #[test]
+    fn prints_a_full_rule_with_every_section() {
+        let src = "SPEC javax.crypto.spec.PBEKeySpec\nOBJECTS\n    char[] password;\n    byte[] salt;\n    int iterationCount;\nEVENTS\n    c1: PBEKeySpec(password, salt, iterationCount, _);\n    cP: clearPassword();\nORDER\n    c1, cP\nCONSTRAINTS\n    iterationCount >= 10000;\nFORBIDDEN\n    PBEKeySpec(char[]) => c1;\nREQUIRES\n    randomized[salt];\nENSURES\n    speccedKey[this] after c1;\nNEGATES\n    speccedKey[this, _];\n";
+        let rule = parse_rule(src).unwrap();
+        let printed = print_rule(&rule);
+        assert_eq!(printed, src);
+    }
+
+    #[test]
+    fn roundtrip_is_identity_on_the_shipped_semantics() {
+        let src = "SPEC X\nEVENTS\n    a: fa();\n    b: fb();\n    c: fc();\n    G := a | b;\nORDER\n    G, (a | c)+, b?, c*\n";
+        let rule = parse_rule(src).unwrap();
+        let reparsed = parse_rule(&print_rule(&rule)).unwrap();
+        assert_eq!(rule, reparsed);
+    }
+
+    #[test]
+    fn constraint_rendering_covers_all_forms() {
+        let src = "SPEC X\nOBJECTS\n    int k;\n    java.lang.String a;\n    java.security.Key key;\nCONSTRAINTS\n    a in {\"AES\", \"DES\"};\n    k >= 10 && k != 11;\n    instanceof[key, javax.crypto.SecretKey] => a in {\"AES\"};\n    neverTypeOf[a, java.lang.String] || k == 1;\n";
+        let rule = parse_rule(src).unwrap();
+        let reparsed = parse_rule(&print_rule(&rule)).unwrap();
+        assert_eq!(rule.constraints, reparsed.constraints);
+    }
+}

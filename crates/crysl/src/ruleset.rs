@@ -1,0 +1,145 @@
+//! Collections of CrySL rules keyed by the class they specify.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{QualifiedName, Rule};
+use crate::error::CryslError;
+use crate::parse_rule;
+
+/// A set of CrySL rules, at most one per class, resolvable by either the
+/// fully-qualified or the simple class name (when unambiguous).
+///
+/// # Example
+///
+/// ```
+/// use crysl::RuleSet;
+///
+/// let mut set = RuleSet::new();
+/// set.add_source("SPEC java.security.SecureRandom\nEVENTS g: getInstance(_);")?;
+/// assert!(set.by_name("java.security.SecureRandom").is_some());
+/// assert!(set.by_name("SecureRandom").is_some());
+/// # Ok::<(), crysl::CryslError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: BTreeMap<QualifiedName, Rule>,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new() -> Self {
+        RuleSet::default()
+    }
+
+    /// Parses, validates and inserts a rule from source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse/validation error, or a validation error if a rule
+    /// for the same class is already present.
+    pub fn add_source(&mut self, source: &str) -> Result<(), CryslError> {
+        self.add(parse_rule(source)?)
+    }
+
+    /// Inserts an already-parsed rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryslError::Validate`] if a rule for the same class is
+    /// already present.
+    pub fn add(&mut self, rule: Rule) -> Result<(), CryslError> {
+        if self.rules.contains_key(&rule.class_name) {
+            return Err(CryslError::validate(format!(
+                "duplicate rule for `{}`",
+                rule.class_name
+            )));
+        }
+        self.rules.insert(rule.class_name.clone(), rule);
+        Ok(())
+    }
+
+    /// Number of rules in the set.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set contains no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Looks a rule up by fully-qualified name, or by simple name if exactly
+    /// one rule matches it.
+    pub fn by_name(&self, name: &str) -> Option<&Rule> {
+        if let Some(r) = self.rules.get(&QualifiedName::new(name)) {
+            return Some(r);
+        }
+        let mut matches = self
+            .rules
+            .values()
+            .filter(|r| r.class_name.simple_name() == name);
+        let first = matches.next()?;
+        if matches.next().is_some() {
+            None // ambiguous simple name
+        } else {
+            Some(first)
+        }
+    }
+
+    /// Iterates over all rules in deterministic (class-name) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.values()
+    }
+
+    /// All rules that `ENSURES` a predicate with the given name.
+    pub fn ensurers_of(&self, predicate_name: &str) -> Vec<&Rule> {
+        self.rules
+            .values()
+            .filter(|r| r.ensures.iter().any(|e| e.predicate.name == predicate_name))
+            .collect()
+    }
+}
+
+impl FromIterator<Rule> for RuleSet {
+    fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> Self {
+        let mut set = RuleSet::new();
+        for rule in iter {
+            // Duplicates are a programming error when bulk-constructing.
+            set.add(rule).expect("duplicate rule in FromIterator");
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_name_lookup_requires_uniqueness() {
+        let mut set = RuleSet::new();
+        set.add_source("SPEC a.b.Cipher").unwrap();
+        set.add_source("SPEC x.y.Cipher").unwrap();
+        assert!(set.by_name("Cipher").is_none());
+        assert!(set.by_name("a.b.Cipher").is_some());
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut set = RuleSet::new();
+        set.add_source("SPEC a.B").unwrap();
+        assert!(set.add_source("SPEC a.B").is_err());
+    }
+
+    #[test]
+    fn finds_ensurers() {
+        let mut set = RuleSet::new();
+        set.add_source("SPEC a.Random\nOBJECTS byte[] out;\nEVENTS n: nextBytes(out);\nENSURES randomized[out];")
+            .unwrap();
+        set.add_source("SPEC a.Other").unwrap();
+        let ensurers = set.ensurers_of("randomized");
+        assert_eq!(ensurers.len(), 1);
+        assert_eq!(ensurers[0].class_name.as_str(), "a.Random");
+    }
+}

@@ -1,0 +1,287 @@
+//! Well-formedness validation for parsed CrySL rules.
+//!
+//! Validation enforces the structural properties the rest of the pipeline
+//! (FSM construction, code generation, static analysis) relies on:
+//!
+//! * object names, event labels and aggregate members are unique and resolve,
+//! * `ORDER` only references declared labels,
+//! * every variable used in events, constraints and predicates is declared
+//!   in `OBJECTS` (or is `this` / `_`),
+//! * `after` clauses reference method events,
+//! * aggregates are acyclic,
+//! * return-value bindings refer to declared objects.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::*;
+use crate::error::CryslError;
+
+/// Validates a parsed rule.
+///
+/// # Errors
+///
+/// Returns [`CryslError::Validate`] describing the first violation found.
+pub fn validate(rule: &Rule) -> Result<(), CryslError> {
+    let mut objects = HashSet::new();
+    for o in &rule.objects {
+        if !objects.insert(o.name.as_str()) {
+            return Err(CryslError::validate(format!(
+                "duplicate object `{}`",
+                o.name
+            )));
+        }
+        if o.name == "this" || o.name == "_" {
+            return Err(CryslError::validate(format!(
+                "object name `{}` is reserved",
+                o.name
+            )));
+        }
+    }
+
+    let mut labels: HashMap<&str, &EventDecl> = HashMap::new();
+    for e in &rule.events {
+        if labels.insert(e.label(), e).is_some() {
+            return Err(CryslError::validate(format!(
+                "duplicate event label `{}`",
+                e.label()
+            )));
+        }
+    }
+
+    for e in &rule.events {
+        match e {
+            EventDecl::Method(m) => {
+                if let Some(rv) = &m.return_var {
+                    if !objects.contains(rv.as_str()) && rv != "this" {
+                        return Err(CryslError::validate(format!(
+                            "event `{}` binds return value to undeclared object `{rv}`",
+                            m.label
+                        )));
+                    }
+                }
+                for p in &m.params {
+                    if let ParamPattern::Var(v) = p {
+                        if !objects.contains(v.as_str()) {
+                            return Err(CryslError::validate(format!(
+                                "event `{}` references undeclared object `{v}`",
+                                m.label
+                            )));
+                        }
+                    }
+                }
+            }
+            EventDecl::Aggregate { label, members } => {
+                for m in members {
+                    if !labels.contains_key(m.as_str()) {
+                        return Err(CryslError::validate(format!(
+                            "aggregate `{label}` references unknown label `{m}`"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    check_aggregate_cycles(rule)?;
+
+    for l in rule.order.labels() {
+        if !labels.contains_key(l) {
+            return Err(CryslError::validate(format!(
+                "ORDER references unknown label `{l}`"
+            )));
+        }
+    }
+
+    for c in &rule.constraints {
+        for v in c.variables() {
+            if !objects.contains(v) {
+                return Err(CryslError::validate(format!(
+                    "constraint references undeclared object `{v}`"
+                )));
+            }
+        }
+    }
+
+    for p in rule.requires.iter().chain(rule.negates.iter()) {
+        check_predicate_args(p, &objects)?;
+    }
+    for e in &rule.ensures {
+        check_predicate_args(&e.predicate, &objects)?;
+        if let Some(after) = &e.after {
+            match labels.get(after.as_str()) {
+                Some(EventDecl::Method(_)) | Some(EventDecl::Aggregate { .. }) => {}
+                None => {
+                    return Err(CryslError::validate(format!(
+                        "ENSURES `after {after}` references unknown label"
+                    )))
+                }
+            }
+        }
+    }
+
+    for f in &rule.forbidden {
+        if let Some(r) = &f.replacement {
+            if !labels.contains_key(r.as_str()) {
+                return Err(CryslError::validate(format!(
+                    "FORBIDDEN replacement `{r}` references unknown label"
+                )));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+fn check_predicate_args(p: &Predicate, objects: &HashSet<&str>) -> Result<(), CryslError> {
+    if p.args.is_empty() {
+        return Err(CryslError::validate(format!(
+            "predicate `{}` has no arguments; the first argument must name the carrier object",
+            p.name
+        )));
+    }
+    for a in &p.args {
+        if let PredArg::Var(v) = a {
+            if !objects.contains(v.as_str()) {
+                return Err(CryslError::validate(format!(
+                    "predicate `{}` references undeclared object `{v}`",
+                    p.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_aggregate_cycles(rule: &Rule) -> Result<(), CryslError> {
+    // Depth-first search over aggregate membership edges.
+    fn visit<'a>(
+        rule: &'a Rule,
+        label: &'a str,
+        visiting: &mut Vec<&'a str>,
+        done: &mut HashSet<&'a str>,
+    ) -> Result<(), CryslError> {
+        if done.contains(label) {
+            return Ok(());
+        }
+        if visiting.contains(&label) {
+            return Err(CryslError::validate(format!(
+                "aggregate cycle involving `{label}`"
+            )));
+        }
+        visiting.push(label);
+        if let Some(EventDecl::Aggregate { members, .. }) = rule
+            .events
+            .iter()
+            .find(|e| e.label() == label && matches!(e, EventDecl::Aggregate { .. }))
+        {
+            for m in members {
+                visit(rule, m, visiting, done)?;
+            }
+        }
+        visiting.pop();
+        done.insert(label);
+        Ok(())
+    }
+
+    let mut done = HashSet::new();
+    for e in &rule.events {
+        visit(rule, e.label(), &mut Vec::new(), &mut done)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::parser::Parser;
+
+    fn parse_only(src: &str) -> Rule {
+        let toks = tokenize(src).unwrap();
+        Parser::new(&toks).parse_rule().unwrap()
+    }
+
+    fn check(src: &str) -> Result<(), CryslError> {
+        validate(&parse_only(src))
+    }
+
+    #[test]
+    fn accepts_well_formed_rule() {
+        check(
+            "SPEC X\nOBJECTS int k;\nEVENTS e: init(k);\nORDER e\nCONSTRAINTS k >= 1;\nENSURES p[this, k] after e;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicate_objects() {
+        let err = check("SPEC X\nOBJECTS int k; int k;").unwrap_err();
+        assert!(err.to_string().contains("duplicate object"));
+    }
+
+    #[test]
+    fn rejects_reserved_object_names() {
+        assert!(check("SPEC X\nOBJECTS int this;").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_labels() {
+        assert!(check("SPEC X\nEVENTS e: a(); e: b();").is_err());
+    }
+
+    #[test]
+    fn rejects_undeclared_event_param() {
+        let err = check("SPEC X\nEVENTS e: init(missing);").unwrap_err();
+        assert!(err.to_string().contains("undeclared object `missing`"));
+    }
+
+    #[test]
+    fn rejects_unknown_order_label() {
+        assert!(check("SPEC X\nEVENTS e: a();\nORDER e, f").is_err());
+    }
+
+    #[test]
+    fn rejects_undeclared_constraint_var() {
+        assert!(check("SPEC X\nCONSTRAINTS k >= 1;").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_predicate() {
+        // `p[]` lexes as an array-brackets token, so an empty argument list
+        // can only arise from a programmatically built rule.
+        let mut rule = parse_only("SPEC X");
+        rule.ensures.push(crate::ast::EnsuredPredicate {
+            predicate: crate::ast::Predicate {
+                name: "p".into(),
+                args: Vec::new(),
+            },
+            after: None,
+        });
+        assert!(validate(&rule).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_after_label() {
+        assert!(check("SPEC X\nEVENTS e: a();\nENSURES p[this] after zz;").is_err());
+    }
+
+    #[test]
+    fn rejects_aggregate_cycle() {
+        assert!(check("SPEC X\nEVENTS a := b; b := a;").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_aggregate_member() {
+        assert!(check("SPEC X\nEVENTS a := zz;").is_err());
+    }
+
+    #[test]
+    fn rejects_undeclared_return_binding() {
+        assert!(check("SPEC X\nEVENTS e: out = a();").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_forbidden_replacement() {
+        assert!(check("SPEC X\nEVENTS e: a();\nFORBIDDEN bad() => zz;").is_err());
+    }
+}

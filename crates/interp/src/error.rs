@@ -1,0 +1,36 @@
+//! Interpreter error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// A runtime error raised while interpreting a program: unknown
+/// class/method, dynamic type mismatch, or a crypto failure surfaced by
+/// the simulated provider.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl InterpError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        InterpError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl Error for InterpError {}
+
+impl From<jcasim::CryptoError> for InterpError {
+    fn from(e: jcasim::CryptoError) -> Self {
+        InterpError::new(e.to_string())
+    }
+}

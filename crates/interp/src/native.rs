@@ -1,0 +1,799 @@
+//! Native dispatch: constructors, static calls, instance calls and static
+//! fields of the modelled JCA classes.
+
+use jcasim::provider::{KeyMaterial, Transformation};
+
+use crate::base64;
+use crate::error::InterpError;
+use crate::value::{NativeState, Value};
+use crate::Interpreter;
+
+fn chars_to_utf8(chars: &[char]) -> Vec<u8> {
+    chars.iter().collect::<String>().into_bytes()
+}
+
+/// `new C(args)` on a modelled class.
+pub fn construct(
+    _interp: &mut Interpreter<'_>,
+    class: &str,
+    args: Vec<Value>,
+) -> Result<Value, InterpError> {
+    match class {
+        "javax.crypto.spec.PBEKeySpec" => {
+            if args.len() != 4 {
+                return Err(InterpError::new(
+                    "PBEKeySpec needs (char[], byte[], int, int) — the one-argument \
+                     constructor is forbidden by the rule set and not modelled",
+                ));
+            }
+            let password = chars_to_utf8(&args[0].as_chars()?);
+            let salt = args[1].as_bytes()?;
+            let iterations = args[2].as_int()?;
+            let key_length = args[3].as_int()?;
+            Ok(Value::native(
+                class,
+                NativeState::PbeKeySpec {
+                    password: Some(password),
+                    salt,
+                    iterations,
+                    key_length,
+                },
+            ))
+        }
+        "javax.crypto.spec.SecretKeySpec" => {
+            let bytes = args
+                .first()
+                .ok_or_else(|| InterpError::new("SecretKeySpec needs (byte[], String)"))?
+                .as_bytes()?;
+            let algorithm = args
+                .get(1)
+                .ok_or_else(|| InterpError::new("SecretKeySpec needs (byte[], String)"))?
+                .as_str()?;
+            Ok(Value::native(
+                class,
+                NativeState::Key(KeyMaterial::Secret { bytes, algorithm }),
+            ))
+        }
+        "javax.crypto.spec.IvParameterSpec" => {
+            let iv = args
+                .first()
+                .ok_or_else(|| InterpError::new("IvParameterSpec needs (byte[])"))?
+                .as_bytes()?;
+            Ok(Value::native(class, NativeState::IvParameterSpec(iv)))
+        }
+        "javax.crypto.spec.GCMParameterSpec" => {
+            let tag_bits = args
+                .first()
+                .ok_or_else(|| InterpError::new("GCMParameterSpec needs (int, byte[])"))?
+                .as_int()?;
+            let iv = args
+                .get(1)
+                .ok_or_else(|| InterpError::new("GCMParameterSpec needs (int, byte[])"))?
+                .as_bytes()?;
+            Ok(Value::native(
+                class,
+                NativeState::GcmParameterSpec { tag_bits, iv },
+            ))
+        }
+        "java.lang.String" => match args.first() {
+            Some(Value::Bytes(b)) => Ok(Value::Str(
+                String::from_utf8_lossy(&b.borrow()).into_owned(),
+            )),
+            Some(Value::Chars(c)) => Ok(Value::Str(c.borrow().iter().collect())),
+            _ => Err(InterpError::new("String needs (byte[]) or (char[])")),
+        },
+        other => Err(InterpError::new(format!("cannot construct `{other}`"))),
+    }
+}
+
+/// `C.m(args)` static dispatch.
+pub fn invoke_static(
+    interp: &mut Interpreter<'_>,
+    class: &str,
+    name: &str,
+    args: Vec<Value>,
+) -> Result<Value, InterpError> {
+    match (class, name) {
+        ("java.security.SecureRandom", "getInstance") => {
+            let alg = args
+                .first()
+                .ok_or_else(|| InterpError::new("getInstance needs an algorithm"))?
+                .as_str()?;
+            if alg != "SHA1PRNG" {
+                return Err(InterpError::new(format!("no such PRNG `{alg}`")));
+            }
+            let rng = interp.fresh_rng();
+            Ok(Value::native(class, NativeState::SecureRandom(rng)))
+        }
+        ("javax.crypto.SecretKeyFactory", "getInstance") => {
+            let algorithm = first_str(&args)?;
+            Ok(Value::native(class, NativeState::SecretKeyFactory { algorithm }))
+        }
+        ("javax.crypto.KeyGenerator", "getInstance") => {
+            let algorithm = first_str(&args)?;
+            Ok(Value::native(
+                class,
+                NativeState::KeyGenerator {
+                    algorithm,
+                    bits: 128,
+                },
+            ))
+        }
+        ("javax.crypto.Cipher", "getInstance") => {
+            let transformation = Transformation::parse(&first_str(&args)?)?;
+            Ok(Value::native(
+                class,
+                NativeState::Cipher {
+                    transformation,
+                    mode: None,
+                    key: None,
+                    iv: None,
+                },
+            ))
+        }
+        ("java.security.MessageDigest", "getInstance") => {
+            let algorithm = first_str(&args)?;
+            if algorithm != "SHA-256" {
+                return Err(InterpError::new(format!("no such digest `{algorithm}`")));
+            }
+            Ok(Value::native(
+                class,
+                NativeState::MessageDigest {
+                    algorithm,
+                    buffer: Vec::new(),
+                },
+            ))
+        }
+        ("javax.crypto.Mac", "getInstance") => {
+            let algorithm = first_str(&args)?;
+            Ok(Value::native(class, NativeState::Mac { algorithm, key: None }))
+        }
+        ("java.security.Signature", "getInstance") => {
+            let algorithm = first_str(&args)?;
+            Ok(Value::native(
+                class,
+                NativeState::Signature {
+                    algorithm,
+                    sign_key: None,
+                    verify_key: None,
+                    buffer: Vec::new(),
+                },
+            ))
+        }
+        ("java.security.KeyPairGenerator", "getInstance") => {
+            let algorithm = first_str(&args)?;
+            Ok(Value::native(
+                class,
+                NativeState::KeyPairGenerator {
+                    algorithm,
+                    bits: 2048,
+                },
+            ))
+        }
+        ("java.nio.file.Files", "readAllBytes") => {
+            let path = first_str(&args)?;
+            Ok(Value::bytes(interp.read_file(&path)?))
+        }
+        ("java.nio.file.Files", "write") => {
+            let path = first_str(&args)?;
+            let data = args
+                .get(1)
+                .ok_or_else(|| InterpError::new("Files.write needs data"))?
+                .as_bytes()?;
+            interp.write_file(path, data);
+            Ok(Value::Null)
+        }
+        ("java.util.Arrays", "equals") => {
+            let a = args
+                .first()
+                .ok_or_else(|| InterpError::new("Arrays.equals needs two arrays"))?
+                .as_bytes()?;
+            let b = args
+                .get(1)
+                .ok_or_else(|| InterpError::new("Arrays.equals needs two arrays"))?
+                .as_bytes()?;
+            Ok(Value::Bool(a == b))
+        }
+        ("de.cognicrypt.util.ByteArrays", "concat") => {
+            let mut a = args
+                .first()
+                .ok_or_else(|| InterpError::new("concat needs two arrays"))?
+                .as_bytes()?;
+            let b = args
+                .get(1)
+                .ok_or_else(|| InterpError::new("concat needs two arrays"))?
+                .as_bytes()?;
+            a.extend(b);
+            Ok(Value::bytes(a))
+        }
+        ("de.cognicrypt.util.ByteArrays", "slice") => {
+            let a = args
+                .first()
+                .ok_or_else(|| InterpError::new("slice needs an array"))?
+                .as_bytes()?;
+            let from = args
+                .get(1)
+                .ok_or_else(|| InterpError::new("slice needs bounds"))?
+                .as_int()? as usize;
+            let to = args
+                .get(2)
+                .ok_or_else(|| InterpError::new("slice needs bounds"))?
+                .as_int()? as usize;
+            if from > to || to > a.len() {
+                return Err(InterpError::new("slice bounds out of range"));
+            }
+            Ok(Value::bytes(a[from..to].to_vec()))
+        }
+        ("de.cognicrypt.util.ByteArrays", "length") => {
+            let a = args
+                .first()
+                .ok_or_else(|| InterpError::new("length needs an array"))?
+                .as_bytes()?;
+            Ok(Value::Int(a.len() as i64))
+        }
+        ("java.util.Base64", "encode") => {
+            let data = args
+                .first()
+                .ok_or_else(|| InterpError::new("Base64.encode needs bytes"))?
+                .as_bytes()?;
+            Ok(Value::Str(base64::encode(&data)))
+        }
+        ("java.util.Base64", "decode") => {
+            let text = first_str(&args)?;
+            base64::decode(&text)
+                .map(Value::bytes)
+                .ok_or_else(|| InterpError::new("malformed Base64"))
+        }
+        other => Err(InterpError::new(format!(
+            "no static method {}.{}",
+            other.0, other.1
+        ))),
+    }
+}
+
+/// `Cipher.ENCRYPT_MODE` and friends.
+pub fn static_field(class: &str, field: &str) -> Result<Value, InterpError> {
+    match (class, field) {
+        ("javax.crypto.Cipher", "ENCRYPT_MODE") => Ok(Value::Int(1)),
+        ("javax.crypto.Cipher", "DECRYPT_MODE") => Ok(Value::Int(2)),
+        ("javax.crypto.Cipher", "WRAP_MODE") => Ok(Value::Int(3)),
+        ("javax.crypto.Cipher", "UNWRAP_MODE") => Ok(Value::Int(4)),
+        ("javax.crypto.Cipher", "SECRET_KEY") => Ok(Value::Int(3)),
+        ("javax.crypto.Cipher", "PRIVATE_KEY") => Ok(Value::Int(2)),
+        ("javax.crypto.Cipher", "PUBLIC_KEY") => Ok(Value::Int(1)),
+        _ => Err(InterpError::new(format!("no constant {class}.{field}"))),
+    }
+}
+
+fn first_str(args: &[Value]) -> Result<String, InterpError> {
+    args.first()
+        .ok_or_else(|| InterpError::new("missing argument"))?
+        .as_str()
+}
+
+fn key_material(v: &Value) -> Result<KeyMaterial, InterpError> {
+    let obj = v.as_object()?;
+    match &obj.borrow().state {
+        NativeState::Key(k) => Ok(k.clone()),
+        other => Err(InterpError::new(format!("expected a key, got {other:?}"))),
+    }
+}
+
+fn param_iv(v: &Value) -> Result<Vec<u8>, InterpError> {
+    let obj = v.as_object()?;
+    match &obj.borrow().state {
+        NativeState::IvParameterSpec(iv) => Ok(iv.clone()),
+        NativeState::GcmParameterSpec { iv, .. } => Ok(iv.clone()),
+        other => Err(InterpError::new(format!(
+            "expected an AlgorithmParameterSpec, got {other:?}"
+        ))),
+    }
+}
+
+/// Instance-method dispatch.
+pub fn invoke(
+    interp: &mut Interpreter<'_>,
+    receiver: Value,
+    name: &str,
+    args: Vec<Value>,
+) -> Result<Value, InterpError> {
+    // String methods dispatch on the value itself.
+    if let Value::Str(s) = &receiver {
+        return match name {
+            "getBytes" => Ok(Value::bytes(s.clone().into_bytes())),
+            "toCharArray" => Ok(Value::chars(s.chars().collect())),
+            "length" => Ok(Value::Int(s.chars().count() as i64)),
+            "equals" => Ok(Value::Bool(matches!(args.first(), Some(Value::Str(o)) if o == s))),
+            other => Err(InterpError::new(format!("no method String.{other}"))),
+        };
+    }
+    let obj = receiver.as_object()?.clone();
+    let class = obj.borrow().class.clone();
+    let mut state = obj.borrow_mut();
+    match (&mut state.state, name) {
+        (NativeState::SecureRandom(rng), "nextBytes") => {
+            match args.first() {
+                Some(Value::Bytes(b)) => {
+                    rng.next_bytes(&mut b.borrow_mut());
+                    Ok(Value::Null)
+                }
+                _ => Err(InterpError::new("nextBytes needs a byte[]")),
+            }
+        }
+        (NativeState::SecureRandom(rng), "nextInt") => {
+            let bound = args
+                .first()
+                .ok_or_else(|| InterpError::new("nextInt needs a bound"))?
+                .as_int()?;
+            if bound <= 0 || bound > i64::from(i32::MAX) {
+                return Err(InterpError::new("nextInt bound out of range"));
+            }
+            Ok(Value::Int(i64::from(rng.next_int(bound as i32))))
+        }
+        (NativeState::PbeKeySpec { password, .. }, "clearPassword") => {
+            *password = None;
+            Ok(Value::Null)
+        }
+        (NativeState::SecretKeyFactory { algorithm }, "generateSecret") => {
+            let spec = args
+                .first()
+                .ok_or_else(|| InterpError::new("generateSecret needs a KeySpec"))?;
+            let spec_obj = spec.as_object()?;
+            let spec_state = spec_obj.borrow();
+            match &spec_state.state {
+                NativeState::PbeKeySpec {
+                    password,
+                    salt,
+                    iterations,
+                    key_length,
+                } => {
+                    let password = password.as_ref().ok_or_else(|| {
+                        InterpError::new(
+                            "password has been cleared (IllegalStateException in the JCA)",
+                        )
+                    })?;
+                    let bytes = interp.provider().derive_key(
+                        algorithm,
+                        password,
+                        salt,
+                        *iterations,
+                        *key_length,
+                    )?;
+                    Ok(Value::native(
+                        "javax.crypto.SecretKey",
+                        NativeState::Key(KeyMaterial::Secret {
+                            bytes,
+                            algorithm: "AES".to_owned(),
+                        }),
+                    ))
+                }
+                other => Err(InterpError::new(format!(
+                    "unsupported KeySpec {other:?} for generateSecret"
+                ))),
+            }
+        }
+        (NativeState::Key(k), "getEncoded") => Ok(Value::bytes(k.encoded())),
+        (NativeState::Key(k), "getAlgorithm") => Ok(Value::Str(k.algorithm().to_owned())),
+        (NativeState::KeyGenerator { bits, .. }, "init") => {
+            *bits = args
+                .first()
+                .ok_or_else(|| InterpError::new("init needs a key size"))?
+                .as_int()?;
+            Ok(Value::Null)
+        }
+        (NativeState::KeyGenerator { algorithm, bits }, "generateKey") => {
+            let algorithm = algorithm.clone();
+            let bits = *bits;
+            drop(state);
+            let mut rng = interp.fresh_rng();
+            let key = interp.provider().generate_key(&algorithm, bits, &mut rng)?;
+            Ok(Value::native("javax.crypto.SecretKey", NativeState::Key(key)))
+        }
+        (NativeState::Cipher { mode, key, iv, .. }, "init") => {
+            let m = args
+                .first()
+                .ok_or_else(|| InterpError::new("Cipher.init needs a mode"))?
+                .as_int()?;
+            let k = key_material(
+                args.get(1)
+                    .ok_or_else(|| InterpError::new("Cipher.init needs a key"))?,
+            )?;
+            *mode = Some(m);
+            *key = Some(k);
+            *iv = match args.get(2) {
+                Some(p) => Some(param_iv(p)?),
+                None => None,
+            };
+            Ok(Value::Null)
+        }
+        (
+            NativeState::Cipher {
+                transformation,
+                mode,
+                key,
+                iv,
+            },
+            "doFinal",
+        ) => {
+            let data = args
+                .first()
+                .ok_or_else(|| InterpError::new("doFinal needs data"))?
+                .as_bytes()?;
+            let t = *transformation;
+            let m = mode.ok_or_else(|| InterpError::new("Cipher not initialized"))?;
+            let k = key
+                .clone()
+                .ok_or_else(|| InterpError::new("Cipher not initialized"))?;
+            let iv = iv.clone();
+            drop(state);
+            let out = match m {
+                1 => interp.provider().encrypt(t, &k, iv.as_deref(), &data)?,
+                2 => interp.provider().decrypt(t, &k, iv.as_deref(), &data)?,
+                other => return Err(InterpError::new(format!("unsupported cipher mode {other}"))),
+            };
+            Ok(Value::bytes(out))
+        }
+        (
+            NativeState::Cipher {
+                transformation,
+                mode,
+                key,
+                ..
+            },
+            "wrap",
+        ) => {
+            let t = *transformation;
+            let m = mode.ok_or_else(|| InterpError::new("Cipher not initialized"))?;
+            if m != 3 {
+                return Err(InterpError::new("wrap requires WRAP_MODE (3)"));
+            }
+            let k = key
+                .clone()
+                .ok_or_else(|| InterpError::new("Cipher not initialized"))?;
+            let to_wrap = key_material(
+                args.first()
+                    .ok_or_else(|| InterpError::new("wrap needs a key"))?,
+            )?;
+            drop(state);
+            let out = interp.provider().encrypt(t, &k, None, &to_wrap.encoded())?;
+            Ok(Value::bytes(out))
+        }
+        (
+            NativeState::Cipher {
+                transformation,
+                mode,
+                key,
+                ..
+            },
+            "unwrap",
+        ) => {
+            let t = *transformation;
+            let m = mode.ok_or_else(|| InterpError::new("Cipher not initialized"))?;
+            if m != 4 {
+                return Err(InterpError::new("unwrap requires UNWRAP_MODE (4)"));
+            }
+            let k = key
+                .clone()
+                .ok_or_else(|| InterpError::new("Cipher not initialized"))?;
+            let wrapped = args
+                .first()
+                .ok_or_else(|| InterpError::new("unwrap needs wrapped bytes"))?
+                .as_bytes()?;
+            let alg = args
+                .get(1)
+                .ok_or_else(|| InterpError::new("unwrap needs an algorithm"))?
+                .as_str()?;
+            drop(state);
+            let bytes = interp.provider().decrypt(t, &k, None, &wrapped)?;
+            Ok(Value::native(
+                "javax.crypto.SecretKey",
+                NativeState::Key(KeyMaterial::Secret {
+                    bytes,
+                    algorithm: alg,
+                }),
+            ))
+        }
+        (NativeState::Cipher { iv, .. }, "getIV") => match iv {
+            Some(v) => Ok(Value::bytes(v.clone())),
+            None => Ok(Value::Null),
+        },
+        (NativeState::MessageDigest { buffer, .. }, "update") => {
+            buffer.extend(
+                args.first()
+                    .ok_or_else(|| InterpError::new("update needs data"))?
+                    .as_bytes()?,
+            );
+            Ok(Value::Null)
+        }
+        (NativeState::MessageDigest { algorithm, buffer }, "digest") => {
+            if let Some(extra) = args.first() {
+                buffer.extend(extra.as_bytes()?);
+            }
+            let data = std::mem::take(buffer);
+            let algorithm = algorithm.clone();
+            drop(state);
+            Ok(Value::bytes(interp.provider().digest(&algorithm, &data)?))
+        }
+        (NativeState::Mac { key, .. }, "init") => {
+            *key = Some(key_material(
+                args.first()
+                    .ok_or_else(|| InterpError::new("Mac.init needs a key"))?,
+            )?);
+            Ok(Value::Null)
+        }
+        (NativeState::Mac { algorithm, key }, "doFinal") => {
+            let data = args
+                .first()
+                .ok_or_else(|| InterpError::new("doFinal needs data"))?
+                .as_bytes()?;
+            let k = key
+                .clone()
+                .ok_or_else(|| InterpError::new("Mac not initialized"))?;
+            let key_bytes = match k {
+                KeyMaterial::Secret { bytes, .. } => bytes,
+                _ => return Err(InterpError::new("Mac needs a secret key")),
+            };
+            let algorithm = algorithm.clone();
+            drop(state);
+            Ok(Value::bytes(interp.provider().mac(&algorithm, &key_bytes, &data)?))
+        }
+        (NativeState::Signature { sign_key, buffer, .. }, "initSign") => {
+            let k = key_material(
+                args.first()
+                    .ok_or_else(|| InterpError::new("initSign needs a key"))?,
+            )?;
+            match k {
+                KeyMaterial::Private(sk) => {
+                    *sign_key = Some(sk);
+                    buffer.clear();
+                    Ok(Value::Null)
+                }
+                _ => Err(InterpError::new("initSign needs a private key")),
+            }
+        }
+        (NativeState::Signature { verify_key, buffer, .. }, "initVerify") => {
+            let k = key_material(
+                args.first()
+                    .ok_or_else(|| InterpError::new("initVerify needs a key"))?,
+            )?;
+            match k {
+                KeyMaterial::Public(pk) => {
+                    *verify_key = Some(pk);
+                    buffer.clear();
+                    Ok(Value::Null)
+                }
+                _ => Err(InterpError::new("initVerify needs a public key")),
+            }
+        }
+        (NativeState::Signature { buffer, .. }, "update") => {
+            buffer.extend(
+                args.first()
+                    .ok_or_else(|| InterpError::new("update needs data"))?
+                    .as_bytes()?,
+            );
+            Ok(Value::Null)
+        }
+        (NativeState::Signature { algorithm, sign_key, buffer, .. }, "sign") => {
+            let sk = sign_key.ok_or_else(|| InterpError::new("Signature not init for signing"))?;
+            let data = std::mem::take(buffer);
+            let algorithm = algorithm.clone();
+            drop(state);
+            Ok(Value::bytes(interp.provider().sign(
+                &algorithm,
+                &KeyMaterial::Private(sk),
+                &data,
+            )?))
+        }
+        (NativeState::Signature { algorithm, verify_key, buffer, .. }, "verify") => {
+            let pk = verify_key
+                .ok_or_else(|| InterpError::new("Signature not init for verification"))?;
+            let sig = args
+                .first()
+                .ok_or_else(|| InterpError::new("verify needs a signature"))?
+                .as_bytes()?;
+            let data = std::mem::take(buffer);
+            let algorithm = algorithm.clone();
+            drop(state);
+            Ok(Value::Bool(interp.provider().verify(
+                &algorithm,
+                &KeyMaterial::Public(pk),
+                &data,
+                &sig,
+            )?))
+        }
+        (NativeState::KeyPairGenerator { bits, .. }, "initialize") => {
+            *bits = args
+                .first()
+                .ok_or_else(|| InterpError::new("initialize needs a key size"))?
+                .as_int()?;
+            Ok(Value::Null)
+        }
+        (NativeState::KeyPairGenerator { algorithm, bits }, "generateKeyPair") => {
+            let algorithm = algorithm.clone();
+            let bits = *bits;
+            drop(state);
+            let mut rng = interp.fresh_rng();
+            let kp = interp.provider().generate_key_pair(&algorithm, bits, &mut rng)?;
+            Ok(Value::native("java.security.KeyPair", NativeState::KeyPair(kp)))
+        }
+        (NativeState::KeyPair(kp), "getPrivate") => Ok(Value::native(
+            "java.security.PrivateKey",
+            NativeState::Key(KeyMaterial::Private(kp.private)),
+        )),
+        (NativeState::KeyPair(kp), "getPublic") => Ok(Value::native(
+            "java.security.PublicKey",
+            NativeState::Key(KeyMaterial::Public(kp.public)),
+        )),
+        (other, _) => Err(InterpError::new(format!(
+            "no method `{name}` on {class} ({other:?})"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use javamodel::ast::CompilationUnit;
+
+    fn interp_unit() -> CompilationUnit {
+        CompilationUnit::new("p")
+    }
+
+    #[test]
+    fn pbe_key_spec_lifecycle() {
+        let unit = interp_unit();
+        let mut i = Interpreter::new(&unit);
+        let spec = construct(
+            &mut i,
+            "javax.crypto.spec.PBEKeySpec",
+            vec![
+                Value::chars("pw".chars().collect()),
+                Value::bytes(vec![1; 32]),
+                Value::Int(10000),
+                Value::Int(128),
+            ],
+        )
+        .unwrap();
+        let skf = invoke_static(
+            &mut i,
+            "javax.crypto.SecretKeyFactory",
+            "getInstance",
+            vec![Value::Str("PBKDF2WithHmacSHA256".into())],
+        )
+        .unwrap();
+        let key = invoke(&mut i, skf.clone(), "generateSecret", vec![spec.clone()]).unwrap();
+        let encoded = invoke(&mut i, key, "getEncoded", vec![]).unwrap();
+        assert_eq!(encoded.as_bytes().unwrap().len(), 16);
+
+        // Clearing the password invalidates the spec.
+        invoke(&mut i, spec.clone(), "clearPassword", vec![]).unwrap();
+        let err = invoke(&mut i, skf, "generateSecret", vec![spec]).unwrap_err();
+        assert!(err.message.contains("cleared"));
+    }
+
+    #[test]
+    fn cipher_cbc_roundtrip_via_natives() {
+        let unit = interp_unit();
+        let mut i = Interpreter::new(&unit);
+        let key = construct(
+            &mut i,
+            "javax.crypto.spec.SecretKeySpec",
+            vec![Value::bytes(vec![7; 16]), Value::Str("AES".into())],
+        )
+        .unwrap();
+        let ivspec = construct(
+            &mut i,
+            "javax.crypto.spec.IvParameterSpec",
+            vec![Value::bytes(vec![9; 16])],
+        )
+        .unwrap();
+        let enc = invoke_static(
+            &mut i,
+            "javax.crypto.Cipher",
+            "getInstance",
+            vec![Value::Str("AES/CBC/PKCS5Padding".into())],
+        )
+        .unwrap();
+        invoke(
+            &mut i,
+            enc.clone(),
+            "init",
+            vec![Value::Int(1), key.clone(), ivspec.clone()],
+        )
+        .unwrap();
+        let ct = invoke(&mut i, enc, "doFinal", vec![Value::bytes(b"attack at dawn".to_vec())])
+            .unwrap();
+
+        let dec = invoke_static(
+            &mut i,
+            "javax.crypto.Cipher",
+            "getInstance",
+            vec![Value::Str("AES/CBC/PKCS5Padding".into())],
+        )
+        .unwrap();
+        invoke(&mut i, dec.clone(), "init", vec![Value::Int(2), key, ivspec]).unwrap();
+        let pt = invoke(&mut i, dec, "doFinal", vec![ct]).unwrap();
+        assert_eq!(pt.as_bytes().unwrap(), b"attack at dawn");
+    }
+
+    #[test]
+    fn signature_sign_verify_via_natives() {
+        let unit = interp_unit();
+        let mut i = Interpreter::new(&unit);
+        let kpg = invoke_static(
+            &mut i,
+            "java.security.KeyPairGenerator",
+            "getInstance",
+            vec![Value::Str("RSA".into())],
+        )
+        .unwrap();
+        invoke(&mut i, kpg.clone(), "initialize", vec![Value::Int(2048)]).unwrap();
+        let kp = invoke(&mut i, kpg, "generateKeyPair", vec![]).unwrap();
+        let private = invoke(&mut i, kp.clone(), "getPrivate", vec![]).unwrap();
+        let public = invoke(&mut i, kp, "getPublic", vec![]).unwrap();
+
+        let signer = invoke_static(
+            &mut i,
+            "java.security.Signature",
+            "getInstance",
+            vec![Value::Str("SHA256withRSA".into())],
+        )
+        .unwrap();
+        invoke(&mut i, signer.clone(), "initSign", vec![private]).unwrap();
+        invoke(&mut i, signer.clone(), "update", vec![Value::bytes(b"msg".to_vec())]).unwrap();
+        let sig = invoke(&mut i, signer, "sign", vec![]).unwrap();
+
+        let verifier = invoke_static(
+            &mut i,
+            "java.security.Signature",
+            "getInstance",
+            vec![Value::Str("SHA256withRSA".into())],
+        )
+        .unwrap();
+        invoke(&mut i, verifier.clone(), "initVerify", vec![public]).unwrap();
+        invoke(&mut i, verifier.clone(), "update", vec![Value::bytes(b"msg".to_vec())]).unwrap();
+        let ok = invoke(&mut i, verifier, "verify", vec![sig]).unwrap();
+        assert!(ok.as_bool().unwrap());
+    }
+
+    #[test]
+    fn string_methods() {
+        let unit = interp_unit();
+        let mut i = Interpreter::new(&unit);
+        let s = Value::Str("hello".into());
+        assert_eq!(
+            invoke(&mut i, s.clone(), "getBytes", vec![]).unwrap().as_bytes().unwrap(),
+            b"hello"
+        );
+        assert_eq!(
+            invoke(&mut i, s.clone(), "length", vec![]).unwrap().as_int().unwrap(),
+            5
+        );
+        assert!(invoke(&mut i, s.clone(), "equals", vec![Value::Str("hello".into())])
+            .unwrap()
+            .as_bool()
+            .unwrap());
+        let chars = invoke(&mut i, s, "toCharArray", vec![]).unwrap();
+        assert_eq!(chars.as_chars().unwrap(), vec!['h', 'e', 'l', 'l', 'o']);
+    }
+
+    #[test]
+    fn insecure_transformations_rejected_at_runtime() {
+        let unit = interp_unit();
+        let mut i = Interpreter::new(&unit);
+        assert!(invoke_static(
+            &mut i,
+            "javax.crypto.Cipher",
+            "getInstance",
+            vec![Value::Str("AES/ECB/PKCS5Padding".into())],
+        )
+        .is_err());
+        assert!(invoke_static(
+            &mut i,
+            "java.security.MessageDigest",
+            "getInstance",
+            vec![Value::Str("MD5".into())],
+        )
+        .is_err());
+    }
+}

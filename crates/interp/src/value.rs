@@ -1,0 +1,243 @@
+//! Runtime values and native object state.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use jcasim::provider::{KeyMaterial, Transformation};
+use jcasim::rng::SecureRandom;
+use jcasim::rsa;
+
+use crate::error::InterpError;
+
+/// A runtime value. Arrays and objects have reference semantics
+/// (`Rc<RefCell<…>>`), matching Java.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `int` / `long`
+    Int(i64),
+    /// `boolean`
+    Bool(bool),
+    /// `java.lang.String`
+    Str(String),
+    /// `byte[]`
+    Bytes(Rc<RefCell<Vec<u8>>>),
+    /// `char[]`
+    Chars(Rc<RefCell<Vec<char>>>),
+    /// Any object of a modelled or unit-local class.
+    Object(Rc<RefCell<JObject>>),
+}
+
+impl Value {
+    /// Wraps a byte vector as a `byte[]` value.
+    pub fn bytes(v: Vec<u8>) -> Value {
+        Value::Bytes(Rc::new(RefCell::new(v)))
+    }
+
+    /// Wraps a char vector as a `char[]` value.
+    pub fn chars(v: Vec<char>) -> Value {
+        Value::Chars(Rc::new(RefCell::new(v)))
+    }
+
+    /// Creates an instance of a unit-local (template) class.
+    pub fn user_object(class: &str) -> Value {
+        Value::Object(Rc::new(RefCell::new(JObject {
+            class: class.to_owned(),
+            state: NativeState::UserObject,
+        })))
+    }
+
+    /// Creates a native object.
+    pub fn native(class: &str, state: NativeState) -> Value {
+        Value::Object(Rc::new(RefCell::new(JObject {
+            class: class.to_owned(),
+            state,
+        })))
+    }
+
+    /// Extracts an `int`.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError`] when the value is not an `Int`.
+    pub fn as_int(&self) -> Result<i64, InterpError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(InterpError::new(format!("expected int, got {other:?}"))),
+        }
+    }
+
+    /// Extracts a `boolean`.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError`] when the value is not a `Bool`.
+    pub fn as_bool(&self) -> Result<bool, InterpError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(InterpError::new(format!("expected boolean, got {other:?}"))),
+        }
+    }
+
+    /// Extracts a string.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError`] when the value is not a `Str`.
+    pub fn as_str(&self) -> Result<String, InterpError> {
+        match self {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(InterpError::new(format!("expected String, got {other:?}"))),
+        }
+    }
+
+    /// Copies out a `byte[]`.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError`] when the value is not `Bytes`.
+    pub fn as_bytes(&self) -> Result<Vec<u8>, InterpError> {
+        match self {
+            Value::Bytes(b) => Ok(b.borrow().clone()),
+            other => Err(InterpError::new(format!("expected byte[], got {other:?}"))),
+        }
+    }
+
+    /// Copies out a `char[]`.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError`] when the value is not `Chars`.
+    pub fn as_chars(&self) -> Result<Vec<char>, InterpError> {
+        match self {
+            Value::Chars(c) => Ok(c.borrow().clone()),
+            other => Err(InterpError::new(format!("expected char[], got {other:?}"))),
+        }
+    }
+
+    /// Borrows the object payload.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError`] when the value is not an object.
+    pub fn as_object(&self) -> Result<&Rc<RefCell<JObject>>, InterpError> {
+        match self {
+            Value::Object(o) => Ok(o),
+            other => Err(InterpError::new(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+/// A heap object: its class name and native state.
+#[derive(Debug)]
+pub struct JObject {
+    /// Class (simple name for unit-local classes, fully qualified for
+    /// modelled JCA classes).
+    pub class: String,
+    /// Behavioural state.
+    pub state: NativeState,
+}
+
+/// Native state of the modelled JCA classes.
+#[derive(Debug)]
+pub enum NativeState {
+    /// An instance of a unit-local (template) class.
+    UserObject,
+    /// `java.security.SecureRandom`
+    SecureRandom(SecureRandom),
+    /// `javax.crypto.spec.PBEKeySpec`
+    PbeKeySpec {
+        /// UTF-8 encoded password; `None` once cleared.
+        password: Option<Vec<u8>>,
+        /// Salt bytes (copied at construction, like the JCA).
+        salt: Vec<u8>,
+        /// Iteration count.
+        iterations: i64,
+        /// Requested key length in bits.
+        key_length: i64,
+    },
+    /// `javax.crypto.SecretKeyFactory`
+    SecretKeyFactory {
+        /// KDF algorithm.
+        algorithm: String,
+    },
+    /// Any `java.security.Key` (including `SecretKeySpec`).
+    Key(KeyMaterial),
+    /// `javax.crypto.KeyGenerator`
+    KeyGenerator {
+        /// Key algorithm.
+        algorithm: String,
+        /// Requested size in bits.
+        bits: i64,
+    },
+    /// `javax.crypto.Cipher`
+    Cipher {
+        /// Parsed transformation.
+        transformation: Transformation,
+        /// 1 = encrypt, 2 = decrypt (`Cipher.ENCRYPT_MODE`/`DECRYPT_MODE`).
+        mode: Option<i64>,
+        /// The key set by `init`.
+        key: Option<KeyMaterial>,
+        /// IV/nonce from the parameter spec.
+        iv: Option<Vec<u8>>,
+    },
+    /// `javax.crypto.spec.IvParameterSpec`
+    IvParameterSpec(Vec<u8>),
+    /// `javax.crypto.spec.GCMParameterSpec`
+    GcmParameterSpec {
+        /// Tag length in bits.
+        tag_bits: i64,
+        /// Nonce bytes.
+        iv: Vec<u8>,
+    },
+    /// `java.security.MessageDigest`
+    MessageDigest {
+        /// Digest algorithm.
+        algorithm: String,
+        /// Buffered input from `update` calls.
+        buffer: Vec<u8>,
+    },
+    /// `javax.crypto.Mac`
+    Mac {
+        /// MAC algorithm.
+        algorithm: String,
+        /// Key set by `init`.
+        key: Option<KeyMaterial>,
+    },
+    /// `java.security.Signature`
+    Signature {
+        /// Signature algorithm.
+        algorithm: String,
+        /// Private key for signing.
+        sign_key: Option<rsa::PrivateKey>,
+        /// Public key for verification.
+        verify_key: Option<rsa::PublicKey>,
+        /// Buffered input from `update` calls.
+        buffer: Vec<u8>,
+    },
+    /// `java.security.KeyPairGenerator`
+    KeyPairGenerator {
+        /// Key-pair algorithm.
+        algorithm: String,
+        /// Requested size in bits.
+        bits: i64,
+    },
+    /// `java.security.KeyPair`
+    KeyPair(rsa::KeyPair),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Bytes(b) => write!(f, "byte[{}]", b.borrow().len()),
+            Value::Chars(c) => write!(f, "char[{}]", c.borrow().len()),
+            Value::Object(o) => write!(f, "{}@obj", o.borrow().class),
+        }
+    }
+}

@@ -1,0 +1,822 @@
+//! A parser for the Java subset the pretty-printer emits.
+//!
+//! Together with [`crate::printer`] this gives the code model a textual
+//! round trip: `parse(print(ast))` reproduces `ast`. That lets tests
+//! treat generated Java source — not just the AST — as the artefact under
+//! validation, and lets the misuse analyzer consume `.java`-style text.
+//!
+//! The grammar covers exactly the printer's output: one optional
+//! `package` declaration, `public class` declarations with fields and
+//! methods, the statement forms of [`crate::ast::Stmt`] and the
+//! expression forms of [`crate::ast::Expr`]. Class references appear as
+//! *simple* names in printed code, so the parser resolves them against a
+//! [`TypeTable`]-derived map from simple to fully-qualified names.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::*;
+use crate::typetable::TypeTable;
+
+/// A parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JavaParseError {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for JavaParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "java parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for JavaParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Punct(char),
+    // Multi-char operators.
+    EqEq,
+    Ne,
+    Comment(String),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            i: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> JavaParseError {
+        JavaParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Tok, u32)>, JavaParseError> {
+        let mut out = Vec::new();
+        loop {
+            while self.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+                self.bump();
+            }
+            let line = self.line;
+            let Some(c) = self.peek() else {
+                out.push((Tok::Eof, line));
+                return Ok(out);
+            };
+            match c {
+                b'/' if self.src.get(self.i + 1) == Some(&b'/') => {
+                    self.bump();
+                    self.bump();
+                    let mut text = String::new();
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        text.push(c as char);
+                        self.bump();
+                    }
+                    out.push((Tok::Comment(text.trim().to_owned()), line));
+                }
+                b'"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(b'"') => break,
+                            Some(b'\\') => match self.bump() {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                other => {
+                                    return Err(self.err(format!("bad escape {other:?}")))
+                                }
+                            },
+                            Some(c) => s.push(c as char),
+                            None => return Err(self.err("unterminated string")),
+                        }
+                    }
+                    out.push((Tok::Str(s), line));
+                }
+                b'-' | b'0'..=b'9' => {
+                    let neg = c == b'-';
+                    if neg {
+                        self.bump();
+                        if !self.peek().is_some_and(|d| d.is_ascii_digit()) {
+                            return Err(self.err("expected digits after `-`"));
+                        }
+                    }
+                    let mut v: i64 = 0;
+                    while let Some(d) = self.peek() {
+                        if !d.is_ascii_digit() {
+                            break;
+                        }
+                        self.bump();
+                        v = v
+                            .checked_mul(10)
+                            .and_then(|x| x.checked_add(i64::from(d - b'0')))
+                            .ok_or_else(|| self.err("integer overflow"))?;
+                    }
+                    out.push((Tok::Int(if neg { -v } else { v }), line));
+                }
+                b'=' if self.src.get(self.i + 1) == Some(&b'=') => {
+                    self.bump();
+                    self.bump();
+                    out.push((Tok::EqEq, line));
+                }
+                b'!' if self.src.get(self.i + 1) == Some(&b'=') => {
+                    self.bump();
+                    self.bump();
+                    out.push((Tok::Ne, line));
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let mut s = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == b'_' {
+                            s.push(c as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push((Tok::Ident(s), line));
+                }
+                b'(' | b')' | b'{' | b'}' | b'[' | b']' | b';' | b',' | b'.' | b'=' | b'+'
+                | b'<' => {
+                    self.bump();
+                    out.push((Tok::Punct(c as char), line));
+                }
+                other => return Err(self.err(format!("unexpected character `{}`", other as char))),
+            }
+        }
+    }
+}
+
+/// The parser, resolving simple class names against a type table.
+pub struct JavaParser {
+    tokens: Vec<(Tok, u32)>,
+    i: usize,
+    simple_to_fqn: HashMap<String, String>,
+    /// Classes declared in the unit being parsed (referenced by simple
+    /// name without qualification).
+    local_classes: Vec<String>,
+}
+
+impl JavaParser {
+    /// Prepares a parser for `source`, resolving class names against
+    /// `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a lex error; class-name resolution errors surface during
+    /// parsing.
+    pub fn new(source: &str, table: &TypeTable) -> Result<Self, JavaParseError> {
+        let tokens = Lexer::new(source).tokens()?;
+        // Collect the simple-name map; ambiguous simple names are dropped
+        // (our modelled JCA has none).
+        let mut simple_to_fqn: HashMap<String, String> = HashMap::new();
+        let mut ambiguous: Vec<String> = Vec::new();
+        for fqn in table.class_names() {
+            let simple = fqn.rsplit('.').next().unwrap_or(&fqn).to_owned();
+            match simple_to_fqn.entry(simple.clone()) {
+                std::collections::hash_map::Entry::Occupied(_) => ambiguous.push(simple),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(fqn);
+                }
+            }
+        }
+        for a in ambiguous {
+            simple_to_fqn.remove(&a);
+        }
+        Ok(JavaParser {
+            tokens,
+            i: 0,
+            simple_to_fqn,
+            local_classes: Vec::new(),
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.i.min(self.tokens.len() - 1)].0
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.i + 1).min(self.tokens.len() - 1)].0
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.i.min(self.tokens.len() - 1)].1
+    }
+
+    fn err(&self, message: impl Into<String>) -> JavaParseError {
+        JavaParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.i.min(self.tokens.len() - 1)].0.clone();
+        if self.i < self.tokens.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if *self.peek() == Tok::Punct(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), JavaParseError> {
+        if self.eat_punct(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{c}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), JavaParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, JavaParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Parses a complete compilation unit.
+    ///
+    /// # Errors
+    ///
+    /// [`JavaParseError`] at the first construct outside the subset.
+    pub fn parse_unit(&mut self) -> Result<CompilationUnit, JavaParseError> {
+        let mut package = String::new();
+        if self.eat_kw("package") {
+            package = self.expect_ident()?;
+            while self.eat_punct('.') {
+                package.push('.');
+                package.push_str(&self.expect_ident()?);
+            }
+            self.expect_punct(';')?;
+        }
+        // Pre-scan class names so classes can reference each other.
+        self.local_classes = self
+            .tokens
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, (t, _))| {
+                if matches!(t, Tok::Ident(s) if s == "class") {
+                    match &self.tokens.get(idx + 1) {
+                        Some((Tok::Ident(name), _)) => Some(name.clone()),
+                        _ => None,
+                    }
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut unit = CompilationUnit::new(package);
+        while *self.peek() != Tok::Eof {
+            unit.classes.push(self.parse_class()?);
+        }
+        Ok(unit)
+    }
+
+    fn parse_class(&mut self) -> Result<ClassDecl, JavaParseError> {
+        self.expect_kw("public")?;
+        self.expect_kw("class")?;
+        let name = self.expect_ident()?;
+        self.expect_punct('{')?;
+        let mut class = ClassDecl::new(name);
+        while !self.eat_punct('}') {
+            if self.eat_kw("private") {
+                // Field.
+                let ty = self.parse_type()?;
+                let fname = self.expect_ident()?;
+                let init = if self.eat_punct('=') {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
+                self.expect_punct(';')?;
+                class.fields.push(FieldDecl {
+                    ty,
+                    name: fname,
+                    init,
+                });
+            } else {
+                class.methods.push(self.parse_method()?);
+            }
+        }
+        Ok(class)
+    }
+
+    fn parse_method(&mut self) -> Result<MethodDecl, JavaParseError> {
+        self.expect_kw("public")?;
+        let is_static = self.eat_kw("static");
+        let return_type = self.parse_type()?;
+        let name = self.expect_ident()?;
+        self.expect_punct('(')?;
+        let mut m = MethodDecl::new(name, return_type);
+        m.is_static = is_static;
+        if !self.eat_punct(')') {
+            loop {
+                let ty = self.parse_type()?;
+                let pname = self.expect_ident()?;
+                m.params.push(Param { ty, name: pname });
+                if self.eat_punct(')') {
+                    break;
+                }
+                self.expect_punct(',')?;
+            }
+        }
+        self.expect_punct('{')?;
+        m.body = self.parse_block()?;
+        Ok(m)
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, JavaParseError> {
+        let mut out = Vec::new();
+        while !self.eat_punct('}') {
+            out.push(self.parse_stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, JavaParseError> {
+        if let Tok::Comment(text) = self.peek().clone() {
+            self.bump();
+            return Ok(Stmt::Comment(text));
+        }
+        if self.eat_kw("return") {
+            if self.eat_punct(';') {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.parse_expr()?;
+            self.expect_punct(';')?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.eat_kw("if") {
+            self.expect_punct('(')?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(')')?;
+            self.expect_punct('{')?;
+            let then_body = self.parse_block()?;
+            let else_body = if self.eat_kw("else") {
+                self.expect_punct('{')?;
+                self.parse_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            });
+        }
+        // Declaration vs. assignment vs. expression statement. A
+        // declaration starts with a type followed by an identifier.
+        if self.at_type_then_ident() {
+            let ty = self.parse_type()?;
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct('=') {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(';')?;
+            return Ok(Stmt::Decl { ty, name, init });
+        }
+        // Assignment: `ident = expr;`
+        if let (Tok::Ident(name), Tok::Punct('=')) = (self.peek().clone(), self.peek2().clone()) {
+            self.bump();
+            self.bump();
+            let value = self.parse_expr()?;
+            self.expect_punct(';')?;
+            return Ok(Stmt::Assign {
+                target: name,
+                value,
+            });
+        }
+        let e = self.parse_expr()?;
+        self.expect_punct(';')?;
+        Ok(Stmt::Expr(e))
+    }
+
+    /// Lookahead: does a type followed by an identifier start here?
+    fn at_type_then_ident(&self) -> bool {
+        let Tok::Ident(first) = self.peek() else {
+            return false;
+        };
+        let primitive = matches!(
+            first.as_str(),
+            "void" | "int" | "long" | "boolean" | "char" | "byte"
+        );
+        let class_like = self.simple_to_fqn.contains_key(first)
+            || self.local_classes.iter().any(|c| c == first);
+        if !primitive && !class_like {
+            return false;
+        }
+        match self.peek2() {
+            Tok::Ident(_) => true,
+            // `T[] name`
+            Tok::Punct('[') => matches!(
+                self.tokens.get(self.i + 2).map(|(t, _)| t),
+                Some(Tok::Punct(']'))
+            ),
+            _ => false,
+        }
+    }
+
+    fn parse_type(&mut self) -> Result<JavaType, JavaParseError> {
+        let name = self.expect_ident()?;
+        let base = match name.as_str() {
+            "void" => JavaType::Void,
+            "int" => JavaType::Int,
+            "long" => JavaType::Long,
+            "boolean" => JavaType::Boolean,
+            "char" => JavaType::Char,
+            "byte" => JavaType::Byte,
+            other => JavaType::Class(self.resolve_class(other)?),
+        };
+        let mut ty = base;
+        while *self.peek() == Tok::Punct('[')
+            && matches!(self.tokens.get(self.i + 1).map(|(t, _)| t), Some(Tok::Punct(']')))
+        {
+            self.bump();
+            self.bump();
+            ty = JavaType::Array(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    fn resolve_class(&self, simple: &str) -> Result<String, JavaParseError> {
+        if self.local_classes.iter().any(|c| c == simple) {
+            return Ok(simple.to_owned());
+        }
+        self.simple_to_fqn.get(simple).cloned().ok_or_else(|| {
+            self.err(format!("unknown class `{simple}` (not in the type table)"))
+        })
+    }
+
+    // Expressions. Precedence: comparison (==, !=, <) < additive (+) <
+    // unary/primary with postfix `.name(args)` chains.
+    fn parse_expr(&mut self) -> Result<Expr, JavaParseError> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            Tok::EqEq => Some(BinOp::Eq),
+            Tok::Ne => Some(BinOp::Ne),
+            Tok::Punct('<') => Some(BinOp::Lt),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_additive()?;
+            return Ok(Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, JavaParseError> {
+        let mut lhs = self.parse_postfix()?;
+        while self.eat_punct('+') {
+            let rhs = self.parse_postfix()?;
+            lhs = Expr::Bin {
+                op: BinOp::Add,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, JavaParseError> {
+        let mut e = self.parse_primary()?;
+        while *self.peek() == Tok::Punct('.') {
+            self.bump();
+            let name = self.expect_ident()?;
+            if self.eat_punct('(') {
+                let args = self.parse_args()?;
+                e = match e {
+                    // `Simple.m(args)` where Simple resolved to a class.
+                    Expr::Var(v) if self.is_class_name(&v) => Expr::StaticCall {
+                        class: self.resolve_class(&v)?,
+                        name,
+                        args,
+                    },
+                    recv => Expr::Call {
+                        recv: Box::new(recv),
+                        name,
+                        args,
+                    },
+                };
+            } else {
+                // `Simple.FIELD` — a static constant.
+                e = match e {
+                    Expr::Var(v) if self.is_class_name(&v) => Expr::StaticField {
+                        class: self.resolve_class(&v)?,
+                        field: name,
+                    },
+                    other => {
+                        return Err(self.err(format!(
+                            "field access on non-class expression {other:?}"
+                        )))
+                    }
+                };
+            }
+        }
+        Ok(e)
+    }
+
+    fn is_class_name(&self, name: &str) -> bool {
+        self.simple_to_fqn.contains_key(name) || self.local_classes.iter().any(|c| c == name)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, JavaParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::int(v))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::str(s))
+            }
+            Tok::Ident(kw) if kw == "true" => {
+                self.bump();
+                Ok(Expr::bool(true))
+            }
+            Tok::Ident(kw) if kw == "false" => {
+                self.bump();
+                Ok(Expr::bool(false))
+            }
+            Tok::Ident(kw) if kw == "null" => {
+                self.bump();
+                Ok(Expr::null())
+            }
+            Tok::Ident(kw) if kw == "new" => {
+                self.bump();
+                let tyname = self.expect_ident()?;
+                // `new byte[...]` / `new byte[] {...}` array forms.
+                let elem = match tyname.as_str() {
+                    "int" => Some(JavaType::Int),
+                    "long" => Some(JavaType::Long),
+                    "boolean" => Some(JavaType::Boolean),
+                    "char" => Some(JavaType::Char),
+                    "byte" => Some(JavaType::Byte),
+                    _ => None,
+                };
+                if *self.peek() == Tok::Punct('[') {
+                    let elem = match elem {
+                        Some(t) => t,
+                        None => JavaType::Class(self.resolve_class(&tyname)?),
+                    };
+                    self.bump();
+                    if self.eat_punct(']') {
+                        // `new T[] { ... }`
+                        self.expect_punct('{')?;
+                        let mut elems = Vec::new();
+                        if !self.eat_punct('}') {
+                            loop {
+                                elems.push(self.parse_expr()?);
+                                if self.eat_punct('}') {
+                                    break;
+                                }
+                                self.expect_punct(',')?;
+                            }
+                        }
+                        return Ok(Expr::ArrayLit { elem, elems });
+                    }
+                    let len = self.parse_expr()?;
+                    self.expect_punct(']')?;
+                    return Ok(Expr::NewArray {
+                        elem,
+                        len: Box::new(len),
+                    });
+                }
+                // Constructor call.
+                self.expect_punct('(')?;
+                let args = self.parse_args()?;
+                Ok(Expr::New {
+                    class: self.resolve_class(&tyname)?,
+                    args,
+                })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Expr::Var(name))
+            }
+            Tok::Punct('(') => {
+                // Either a cast `(T) expr` or a parenthesized expression.
+                self.bump();
+                if let Tok::Ident(name) = self.peek().clone() {
+                    let is_type = matches!(
+                        name.as_str(),
+                        "int" | "long" | "boolean" | "char" | "byte"
+                    ) || self.is_class_name(&name);
+                    // A cast has `)` (possibly after `[]`) right after the
+                    // type, followed by a primary.
+                    if is_type {
+                        let save = self.i;
+                        if let Ok(ty) = self.parse_type() {
+                            if self.eat_punct(')') {
+                                let inner = self.parse_postfix()?;
+                                return Ok(Expr::Cast {
+                                    ty,
+                                    expr: Box::new(inner),
+                                });
+                            }
+                        }
+                        self.i = save;
+                    }
+                }
+                let e = self.parse_expr()?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn parse_args(&mut self) -> Result<Vec<Expr>, JavaParseError> {
+        let mut args = Vec::new();
+        if self.eat_punct(')') {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.parse_expr()?);
+            if self.eat_punct(')') {
+                return Ok(args);
+            }
+            self.expect_punct(',')?;
+        }
+    }
+}
+
+/// Parses Java source text (the printer's subset) into a compilation
+/// unit, resolving class names against `table`.
+///
+/// # Errors
+///
+/// [`JavaParseError`] for any construct outside the subset.
+pub fn parse_java(source: &str, table: &TypeTable) -> Result<CompilationUnit, JavaParseError> {
+    JavaParser::new(source, table)?.parse_unit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jca::jca_type_table;
+    use crate::printer::print_unit;
+
+    fn roundtrip(unit: &CompilationUnit) {
+        let printed = print_unit(unit);
+        let reparsed = parse_java(&printed, &jca_type_table())
+            .unwrap_or_else(|e| panic!("{e}\n---\n{printed}"));
+        assert_eq!(print_unit(&reparsed), printed);
+    }
+
+    #[test]
+    fn parses_a_minimal_class() {
+        let unit = parse_java(
+            "package p;\npublic class C {\n    public int f(int x) {\n        return x;\n    }\n}\n",
+            &jca_type_table(),
+        )
+        .unwrap();
+        assert_eq!(unit.package, "p");
+        let m = unit.find_class("C").unwrap().find_method("f").unwrap();
+        assert_eq!(m.return_type, JavaType::Int);
+        assert_eq!(m.body, vec![Stmt::Return(Some(Expr::var("x")))]);
+    }
+
+    #[test]
+    fn resolves_simple_class_names_to_fqn() {
+        let unit = parse_java(
+            "public class C {\n    public void f() {\n        MessageDigest md = MessageDigest.getInstance(\"SHA-256\");\n        md.digest();\n    }\n}\n",
+            &jca_type_table(),
+        )
+        .unwrap();
+        let m = unit.find_class("C").unwrap().find_method("f").unwrap();
+        match &m.body[0] {
+            Stmt::Decl { ty, init, .. } => {
+                assert_eq!(*ty, JavaType::class("java.security.MessageDigest"));
+                assert!(matches!(
+                    init,
+                    Some(Expr::StaticCall { class, .. }) if class == "java.security.MessageDigest"
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_static_fields_casts_and_array_forms() {
+        let src = "public class C {\n    public void f(byte[] data) {\n        int m = Cipher.ENCRYPT_MODE;\n        byte[] a = new byte[16];\n        byte[] b = new byte[] {1, -2, 3};\n        SecretKey k = (SecretKey) null;\n        if (m == 1) {\n            return;\n        }\n    }\n}\n";
+        let unit = parse_java(src, &jca_type_table()).unwrap();
+        let m = unit.find_class("C").unwrap().find_method("f").unwrap();
+        assert!(matches!(
+            &m.body[0],
+            Stmt::Decl { init: Some(Expr::StaticField { class, field }), .. }
+                if class == "javax.crypto.Cipher" && field == "ENCRYPT_MODE"
+        ));
+        assert!(matches!(&m.body[1], Stmt::Decl { init: Some(Expr::NewArray { .. }), .. }));
+        assert!(matches!(&m.body[2], Stmt::Decl { init: Some(Expr::ArrayLit { elems, .. }), .. } if elems.len() == 3));
+        assert!(matches!(&m.body[3], Stmt::Decl { init: Some(Expr::Cast { .. }), .. }));
+        assert!(matches!(&m.body[4], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn roundtrips_a_hand_built_unit() {
+        let m = MethodDecl::new("go", JavaType::byte_array())
+            .param(JavaType::char_array(), "pwd")
+            .statement(Stmt::decl_init(
+                JavaType::byte_array(),
+                "salt",
+                Expr::new_array(JavaType::Byte, Expr::int(32)),
+            ))
+            .statement(Stmt::Comment("a comment".into()))
+            .statement(Stmt::assign("salt", Expr::var("salt")))
+            .statement(Stmt::Return(Some(Expr::var("salt"))));
+        let unit = CompilationUnit::new("de.crypto").class(ClassDecl::new("K").method(m));
+        roundtrip(&unit);
+    }
+
+    #[test]
+    fn rejects_unknown_classes_and_garbage() {
+        assert!(parse_java("public class C { public Unknown f() { return null; } }", &jca_type_table()).is_err());
+        assert!(parse_java("class C {}", &jca_type_table()).is_err()); // missing public
+        assert!(parse_java("public class C { public void f() { @ } }", &jca_type_table()).is_err());
+        assert!(parse_java("public class C { public void f() { return 1 } }", &jca_type_table()).is_err());
+    }
+
+    #[test]
+    fn string_concat_parses_left_associative() {
+        let unit = parse_java(
+            "public class C {\n    public String f(String a) {\n        return a + \":\" + a;\n    }\n}\n",
+            &jca_type_table(),
+        )
+        .unwrap();
+        let m = unit.find_class("C").unwrap().find_method("f").unwrap();
+        match &m.body[0] {
+            Stmt::Return(Some(Expr::Bin { op: BinOp::Add, lhs, .. })) => {
+                assert!(matches!(lhs.as_ref(), Expr::Bin { op: BinOp::Add, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! Structural type checker for the Java subset.
+//!
+//! Checks a [`CompilationUnit`] against a [`TypeTable`]: every variable is
+//! declared before use, every call resolves to a modelled method with
+//! assignable argument types, declarations and returns are type-correct.
+//! This is the reproduction of the paper's guarantee that generated code
+//! "type-checks in Java".
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::*;
+use crate::typetable::TypeTable;
+
+/// A type error, with a human-readable description of the offending
+/// construct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl TypeError {
+    fn new(message: impl Into<String>) -> Self {
+        TypeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl Error for TypeError {}
+
+/// The inferred type of an expression; `null` gets its own marker so it is
+/// assignable to any reference type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inferred {
+    /// An ordinary type.
+    Ty(JavaType),
+    /// The `null` literal.
+    Null,
+}
+
+impl Inferred {
+    fn assignable_to(&self, to: &JavaType, table: &TypeTable) -> bool {
+        match self {
+            Inferred::Null => to.is_reference(),
+            Inferred::Ty(t) => table.is_assignable(t, to),
+        }
+    }
+}
+
+/// Checks every class and method of `unit` against `table`.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found, describing the method and
+/// construct at fault. Methods of classes declared inside `unit` may call
+/// each other through a synthetic local object; cross-class calls resolve
+/// against the unit's own classes as well as the table.
+pub fn check_unit(unit: &CompilationUnit, table: &TypeTable) -> Result<(), TypeError> {
+    for class in &unit.classes {
+        for method in &class.methods {
+            check_method(unit, class, method, table)
+                .map_err(|e| TypeError::new(format!("{}.{}: {}", class.name, method.name, e.message)))?;
+        }
+    }
+    Ok(())
+}
+
+fn check_method(
+    unit: &CompilationUnit,
+    class: &ClassDecl,
+    method: &MethodDecl,
+    table: &TypeTable,
+) -> Result<(), TypeError> {
+    let mut env: HashMap<String, JavaType> = HashMap::new();
+    for p in &method.params {
+        if env.insert(p.name.clone(), p.ty.clone()).is_some() {
+            return Err(TypeError::new(format!("duplicate parameter `{}`", p.name)));
+        }
+    }
+    let ck = Checker { unit, class, table };
+    ck.check_block(&method.body, &mut env, &method.return_type)
+}
+
+struct Checker<'a> {
+    unit: &'a CompilationUnit,
+    class: &'a ClassDecl,
+    table: &'a TypeTable,
+}
+
+impl Checker<'_> {
+    fn check_block(
+        &self,
+        stmts: &[Stmt],
+        env: &mut HashMap<String, JavaType>,
+        ret: &JavaType,
+    ) -> Result<(), TypeError> {
+        for s in stmts {
+            self.check_stmt(s, env, ret)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(
+        &self,
+        s: &Stmt,
+        env: &mut HashMap<String, JavaType>,
+        ret: &JavaType,
+    ) -> Result<(), TypeError> {
+        match s {
+            Stmt::Decl { ty, name, init } => {
+                if env.contains_key(name) {
+                    return Err(TypeError::new(format!("variable `{name}` redeclared")));
+                }
+                if let Some(e) = init {
+                    let it = self.infer(e, env)?;
+                    if !it.assignable_to(ty, self.table) {
+                        return Err(TypeError::new(format!(
+                            "cannot initialize `{name}: {ty}` with {it:?}"
+                        )));
+                    }
+                }
+                env.insert(name.clone(), ty.clone());
+                Ok(())
+            }
+            Stmt::Assign { target, value } => {
+                let Some(ty) = env.get(target).cloned() else {
+                    return Err(TypeError::new(format!("assignment to undeclared `{target}`")));
+                };
+                let it = self.infer(value, env)?;
+                if !it.assignable_to(&ty, self.table) {
+                    return Err(TypeError::new(format!(
+                        "cannot assign {it:?} to `{target}: {ty}`"
+                    )));
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.infer(e, env)?;
+                Ok(())
+            }
+            Stmt::Return(None) => {
+                if *ret != JavaType::Void {
+                    return Err(TypeError::new("missing return value"));
+                }
+                Ok(())
+            }
+            Stmt::Return(Some(e)) => {
+                let it = self.infer(e, env)?;
+                if *ret == JavaType::Void {
+                    return Err(TypeError::new("void method returns a value"));
+                }
+                if !it.assignable_to(ret, self.table) {
+                    return Err(TypeError::new(format!(
+                        "return type mismatch: {it:?} vs `{ret}`"
+                    )));
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let it = self.infer(cond, env)?;
+                if it != Inferred::Ty(JavaType::Boolean) {
+                    return Err(TypeError::new("if-condition must be boolean"));
+                }
+                // Each branch introduces its own scope.
+                let mut then_env = env.clone();
+                self.check_block(then_body, &mut then_env, ret)?;
+                let mut else_env = env.clone();
+                self.check_block(else_body, &mut else_env, ret)
+            }
+            Stmt::Comment(_) => Ok(()),
+        }
+    }
+
+    fn infer(&self, e: &Expr, env: &HashMap<String, JavaType>) -> Result<Inferred, TypeError> {
+        match e {
+            Expr::Lit(Lit::Int(_)) => Ok(Inferred::Ty(JavaType::Int)),
+            Expr::Lit(Lit::Str(_)) => Ok(Inferred::Ty(JavaType::string())),
+            Expr::Lit(Lit::Bool(_)) => Ok(Inferred::Ty(JavaType::Boolean)),
+            Expr::Lit(Lit::Null) => Ok(Inferred::Null),
+            Expr::Var(v) => env
+                .get(v)
+                .cloned()
+                .map(Inferred::Ty)
+                .ok_or_else(|| TypeError::new(format!("undeclared variable `{v}`"))),
+            Expr::New { class, args } => {
+                let arg_tys = self.infer_args(args, env)?;
+                if self.table.resolve_ctor(class, &arg_tys).is_none() {
+                    return Err(TypeError::new(format!(
+                        "no constructor {class}({arg_tys:?})"
+                    )));
+                }
+                Ok(Inferred::Ty(JavaType::class(class.clone())))
+            }
+            Expr::Call { recv, name, args } => {
+                let recv_t = self.infer(recv, env)?;
+                let Inferred::Ty(rt) = recv_t else {
+                    return Err(TypeError::new(format!("call `{name}` on null")));
+                };
+                // Calls on classes declared in the unit itself (template
+                // methods) resolve against the unit.
+                if let Some(class_name) = rt.class_name() {
+                    if let Some(local) = self.local_class(class_name) {
+                        return self.infer_local_call(local, name, args, env);
+                    }
+                    let arg_tys = self.infer_args(args, env)?;
+                    let m = self
+                        .table
+                        .resolve_method(class_name, name, false, &arg_tys)
+                        .ok_or_else(|| {
+                            TypeError::new(format!(
+                                "no method {class_name}.{name}({arg_tys:?})"
+                            ))
+                        })?;
+                    Ok(Inferred::Ty(m.ret.clone()))
+                } else {
+                    Err(TypeError::new(format!(
+                        "method call `{name}` on non-class type `{rt}`"
+                    )))
+                }
+            }
+            Expr::StaticCall { class, name, args } => {
+                let arg_tys = self.infer_args(args, env)?;
+                let m = self
+                    .table
+                    .resolve_method(class, name, true, &arg_tys)
+                    .ok_or_else(|| {
+                        TypeError::new(format!("no static method {class}.{name}({arg_tys:?})"))
+                    })?;
+                Ok(Inferred::Ty(m.ret.clone()))
+            }
+            Expr::StaticField { class, field } => {
+                let c = self
+                    .table
+                    .resolve_constant(class, field)
+                    .ok_or_else(|| TypeError::new(format!("no constant {class}.{field}")))?;
+                Ok(Inferred::Ty(c.ty.clone()))
+            }
+            Expr::NewArray { elem, len } => {
+                let lt = self.infer(len, env)?;
+                if lt != Inferred::Ty(JavaType::Int) {
+                    return Err(TypeError::new("array length must be int"));
+                }
+                Ok(Inferred::Ty(JavaType::Array(Box::new(elem.clone()))))
+            }
+            Expr::ArrayLit { elem, elems } => {
+                for el in elems {
+                    let it = self.infer(el, env)?;
+                    // Byte array literals are written with int literals,
+                    // mirroring Java's implicit narrowing for constants.
+                    let ok = match (&it, elem) {
+                        (Inferred::Ty(JavaType::Int), JavaType::Byte | JavaType::Char) => true,
+                        _ => it.assignable_to(elem, self.table),
+                    };
+                    if !ok {
+                        return Err(TypeError::new(format!(
+                            "array element {it:?} not assignable to `{elem}`"
+                        )));
+                    }
+                }
+                Ok(Inferred::Ty(JavaType::Array(Box::new(elem.clone()))))
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let lt = self.infer(lhs, env)?;
+                let rt = self.infer(rhs, env)?;
+                match op {
+                    BinOp::Add => {
+                        if lt == Inferred::Ty(JavaType::Int) && rt == Inferred::Ty(JavaType::Int) {
+                            Ok(Inferred::Ty(JavaType::Int))
+                        } else if lt == Inferred::Ty(JavaType::string())
+                            || rt == Inferred::Ty(JavaType::string())
+                        {
+                            Ok(Inferred::Ty(JavaType::string()))
+                        } else {
+                            Err(TypeError::new("`+` needs ints or a string"))
+                        }
+                    }
+                    BinOp::Lt => {
+                        if lt == Inferred::Ty(JavaType::Int) && rt == Inferred::Ty(JavaType::Int) {
+                            Ok(Inferred::Ty(JavaType::Boolean))
+                        } else {
+                            Err(TypeError::new("`<` needs int operands"))
+                        }
+                    }
+                    BinOp::Eq | BinOp::Ne => Ok(Inferred::Ty(JavaType::Boolean)),
+                }
+            }
+            Expr::Cast { ty, expr } => {
+                self.infer(expr, env)?;
+                Ok(Inferred::Ty(ty.clone()))
+            }
+        }
+    }
+
+    fn infer_args(
+        &self,
+        args: &[Expr],
+        env: &HashMap<String, JavaType>,
+    ) -> Result<Vec<JavaType>, TypeError> {
+        args.iter()
+            .map(|a| match self.infer(a, env)? {
+                Inferred::Ty(t) => Ok(t),
+                // `null` arguments match any reference parameter; model as
+                // Object, which our assignability accepts only for Object
+                // parameters — stricter than Java but safe.
+                Inferred::Null => Ok(JavaType::class("java.lang.Object")),
+            })
+            .collect()
+    }
+
+    fn local_class(&self, name: &str) -> Option<&ClassDecl> {
+        // Local classes are referenced by simple name.
+        self.unit
+            .classes
+            .iter()
+            .find(|c| c.name == name)
+            .or_else(|| {
+                if self.class.name == name {
+                    Some(self.class)
+                } else {
+                    None
+                }
+            })
+    }
+
+    fn infer_local_call(
+        &self,
+        class: &ClassDecl,
+        name: &str,
+        args: &[Expr],
+        env: &HashMap<String, JavaType>,
+    ) -> Result<Inferred, TypeError> {
+        let m = class
+            .find_method(name)
+            .ok_or_else(|| TypeError::new(format!("no method {}.{}", class.name, name)))?;
+        let arg_tys = self.infer_args(args, env)?;
+        if m.params.len() != arg_tys.len() {
+            return Err(TypeError::new(format!(
+                "{}.{} expects {} arguments, got {}",
+                class.name,
+                name,
+                m.params.len(),
+                arg_tys.len()
+            )));
+        }
+        for (p, a) in m.params.iter().zip(&arg_tys) {
+            if !self.table.is_assignable(a, &p.ty) {
+                return Err(TypeError::new(format!(
+                    "{}.{}: argument `{a}` not assignable to `{}`",
+                    class.name, name, p.ty
+                )));
+            }
+        }
+        Ok(Inferred::Ty(m.return_type.clone()))
+    }
+}
+
+/// Resolves `new C()` of unit-local classes: the checker treats a local
+/// class name as constructible with zero arguments (our templates only ever
+/// use the implicit default constructor).
+pub fn is_local_default_ctor(unit: &CompilationUnit, class: &str) -> bool {
+    unit.classes.iter().any(|c| c.name == class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jca::jca_type_table;
+
+    fn check_method_src(m: MethodDecl) -> Result<(), TypeError> {
+        let unit = CompilationUnit::new("p").class(ClassDecl::new("C").method(m));
+        check_unit(&unit, &jca_type_table())
+    }
+
+    #[test]
+    fn accepts_well_typed_digest() {
+        let m = MethodDecl::new("hash", JavaType::byte_array())
+            .param(JavaType::byte_array(), "data")
+            .statement(Stmt::decl_init(
+                JavaType::class("java.security.MessageDigest"),
+                "md",
+                Expr::static_call(
+                    "java.security.MessageDigest",
+                    "getInstance",
+                    vec![Expr::str("SHA-256")],
+                ),
+            ))
+            .statement(Stmt::Return(Some(Expr::call(
+                Expr::var("md"),
+                "digest",
+                vec![Expr::var("data")],
+            ))));
+        check_method_src(m).unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let m = MethodDecl::new("f", JavaType::Void).statement(Stmt::Expr(Expr::var("ghost")));
+        let err = check_method_src(m).unwrap_err();
+        assert!(err.message.contains("undeclared variable"));
+    }
+
+    #[test]
+    fn rejects_bad_argument_type() {
+        // MessageDigest.getInstance(int) does not exist.
+        let m = MethodDecl::new("f", JavaType::Void).statement(Stmt::Expr(Expr::static_call(
+            "java.security.MessageDigest",
+            "getInstance",
+            vec![Expr::int(5)],
+        )));
+        assert!(check_method_src(m).is_err());
+    }
+
+    #[test]
+    fn rejects_return_type_mismatch() {
+        let m = MethodDecl::new("f", JavaType::Int).statement(Stmt::Return(Some(Expr::str("x"))));
+        assert!(check_method_src(m).is_err());
+    }
+
+    #[test]
+    fn rejects_redeclaration() {
+        let m = MethodDecl::new("f", JavaType::Void)
+            .statement(Stmt::decl(JavaType::Int, "x"))
+            .statement(Stmt::decl(JavaType::Int, "x"));
+        assert!(check_method_src(m).is_err());
+    }
+
+    #[test]
+    fn null_assignable_to_reference_only() {
+        let ok = MethodDecl::new("f", JavaType::Void).statement(Stmt::decl_init(
+            JavaType::class("javax.crypto.SecretKey"),
+            "k",
+            Expr::null(),
+        ));
+        check_method_src(ok).unwrap();
+        let bad = MethodDecl::new("f", JavaType::Void).statement(Stmt::decl_init(
+            JavaType::Int,
+            "k",
+            Expr::null(),
+        ));
+        assert!(check_method_src(bad).is_err());
+    }
+
+    #[test]
+    fn widening_to_interface_parameter() {
+        // generateSecret takes KeySpec; PBEKeySpec implements it.
+        let m = MethodDecl::new("f", JavaType::Void)
+            .param(JavaType::char_array(), "pwd")
+            .statement(Stmt::decl_init(
+                JavaType::class("javax.crypto.spec.PBEKeySpec"),
+                "spec",
+                Expr::new_object(
+                    "javax.crypto.spec.PBEKeySpec",
+                    vec![
+                        Expr::var("pwd"),
+                        Expr::new_array(JavaType::Byte, Expr::int(32)),
+                        Expr::int(10000),
+                        Expr::int(128),
+                    ],
+                ),
+            ))
+            .statement(Stmt::decl_init(
+                JavaType::class("javax.crypto.SecretKeyFactory"),
+                "skf",
+                Expr::static_call(
+                    "javax.crypto.SecretKeyFactory",
+                    "getInstance",
+                    vec![Expr::str("PBKDF2WithHmacSHA256")],
+                ),
+            ))
+            .statement(Stmt::Expr(Expr::call(
+                Expr::var("skf"),
+                "generateSecret",
+                vec![Expr::var("spec")],
+            )));
+        check_method_src(m).unwrap();
+    }
+
+    #[test]
+    fn calls_between_unit_classes_resolve() {
+        let callee = MethodDecl::new("produce", JavaType::Int).statement(Stmt::Return(Some(Expr::int(1))));
+        let caller = MethodDecl::new("consume", JavaType::Int)
+            .statement(Stmt::decl_init(
+                JavaType::class("Helper"),
+                "h",
+                Expr::new_object("Helper", vec![]),
+            ))
+            .statement(Stmt::Return(Some(Expr::call(Expr::var("h"), "produce", vec![]))));
+        let mut table = jca_type_table();
+        // Local classes are constructible with their default constructor:
+        // model `Helper` in the table for the `new` expression.
+        table.add(crate::typetable::ClassDef::new("Helper").ctor(vec![]));
+        let unit = CompilationUnit::new("p")
+            .class(ClassDecl::new("Helper").method(callee))
+            .class(ClassDecl::new("Main").method(caller));
+        check_unit(&unit, &table).unwrap();
+    }
+
+    #[test]
+    fn if_condition_must_be_boolean() {
+        let m = MethodDecl::new("f", JavaType::Void).statement(Stmt::If {
+            cond: Expr::int(1),
+            then_body: vec![],
+            else_body: vec![],
+        });
+        assert!(check_method_src(m).is_err());
+    }
+
+    #[test]
+    fn byte_array_literal_accepts_int_constants() {
+        let m = MethodDecl::new("f", JavaType::Void).statement(Stmt::decl_init(
+            JavaType::byte_array(),
+            "salt",
+            Expr::ArrayLit {
+                elem: JavaType::Byte,
+                elems: vec![Expr::int(15), Expr::int(-12)],
+            },
+        ));
+        check_method_src(m).unwrap();
+    }
+}

@@ -1,0 +1,287 @@
+//! AES-128 block cipher (FIPS 197).
+//!
+//! The S-box is derived at first use from its mathematical definition
+//! (multiplicative inverse in GF(2^8) followed by the affine transform)
+//! instead of a hard-coded table; the key schedule and rounds follow the
+//! spec directly. Verified against the FIPS 197 Appendix C vector.
+
+use std::sync::OnceLock;
+
+/// Block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+/// AES-128 key length in bytes.
+pub const KEY_LEN: usize = 16;
+const ROUNDS: usize = 10;
+
+/// Multiplication in GF(2^8) with the AES reduction polynomial x^8+x^4+x^3+x+1.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2^8) (0 maps to 0), via exponentiation to
+/// the 254th power.
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 = a^-1 in GF(2^8)*
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+fn sboxes() -> &'static ([u8; 256], [u8; 256]) {
+    static BOXES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    BOXES.get_or_init(|| {
+        let mut sbox = [0u8; 256];
+        let mut inv = [0u8; 256];
+        for i in 0..256u16 {
+            let x = gf_inv(i as u8);
+            // Affine transform: b ^= rotl(b,1..4) ^ 0x63
+            let s = x
+                ^ x.rotate_left(1)
+                ^ x.rotate_left(2)
+                ^ x.rotate_left(3)
+                ^ x.rotate_left(4)
+                ^ 0x63;
+            sbox[i as usize] = s;
+            inv[s as usize] = i as u8;
+        }
+        (sbox, inv)
+    })
+}
+
+fn sub_byte(b: u8) -> u8 {
+    sboxes().0[b as usize]
+}
+
+fn inv_sub_byte(b: u8) -> u8 {
+    sboxes().1[b as usize]
+}
+
+/// An expanded AES-128 key (11 round keys).
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl Aes128 {
+    /// Expands a 16-byte key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not exactly 16 bytes; callers go through
+    /// [`crate::provider`], which validates lengths and returns
+    /// [`crate::CryptoError::InvalidKey`] instead.
+    pub fn new(key: &[u8]) -> Aes128 {
+        assert_eq!(key.len(), KEY_LEN, "AES-128 key must be 16 bytes");
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[i * 4..i * 4 + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in 4..4 * (ROUNDS + 1) {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = sub_byte(*b);
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        add_round_key(block, &self.round_keys[0]);
+        for r in 1..ROUNDS {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[r]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[ROUNDS]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        add_round_key(block, &self.round_keys[ROUNDS]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        for r in (1..ROUNDS).rev() {
+            add_round_key(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+// State layout: byte i of the block is state[i]; column c is bytes 4c..4c+4,
+// row r within a column is offset r (FIPS "column-major" order).
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = sub_byte(*b);
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = inv_sub_byte(*b);
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    let old = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[c * 4 + r] = old[((c + r) % 4) * 4 + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let old = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[((c + r) % 4) * 4 + r] = old[c * 4 + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col: [u8; 4] = state[c * 4..c * 4 + 4].try_into().expect("4 bytes");
+        state[c * 4] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[c * 4 + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[c * 4 + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[c * 4 + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col: [u8; 4] = state[c * 4..c * 4 + 4].try_into().expect("4 bytes");
+        state[c * 4] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        state[c * 4 + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        state[c * 4 + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        state[c * 4 + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_spot_checks() {
+        // Known S-box values from the spec.
+        assert_eq!(sub_byte(0x00), 0x63);
+        assert_eq!(sub_byte(0x01), 0x7c);
+        assert_eq!(sub_byte(0x53), 0xed);
+        assert_eq!(sub_byte(0xff), 0x16);
+        // Inverse box round-trips.
+        for b in 0..=255u8 {
+            assert_eq!(inv_sub_byte(sub_byte(b)), b);
+        }
+    }
+
+    #[test]
+    fn gf_math() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1); // FIPS 197 example
+        assert_eq!(gf_mul(gf_inv(0x53), 0x53), 1);
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let key: [u8; 16] = (0..16u8).collect::<Vec<_>>().try_into().unwrap();
+        let aes = Aes128::new(&key);
+        let mut block: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        aes.encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+        aes.decrypt_block(&mut block);
+        let expected: Vec<u8> = vec![
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        assert_eq!(block.to_vec(), expected);
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_for_many_blocks() {
+        let aes = Aes128::new(&[7u8; 16]);
+        for seed in 0..64u8 {
+            let mut block = [seed; 16];
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = b.wrapping_add(i as u8).wrapping_mul(31);
+            }
+            let original = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, original);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "16 bytes")]
+    fn wrong_key_length_panics() {
+        Aes128::new(&[0u8; 15]);
+    }
+}

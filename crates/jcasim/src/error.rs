@@ -1,0 +1,33 @@
+//! Error type for the simulated provider.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised by the simulated JCA provider.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// `getInstance` received an algorithm/transformation string the
+    /// provider does not implement (Java's `NoSuchAlgorithmException`).
+    NoSuchAlgorithm(String),
+    /// A key had the wrong length or type for the requested operation
+    /// (Java's `InvalidKeyException`).
+    InvalidKey(String),
+    /// Ciphertext failed padding or tag verification
+    /// (Java's `BadPaddingException` / `AEADBadTagException`).
+    BadCiphertext(String),
+    /// A parameter was out of range (`InvalidAlgorithmParameterException`).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::NoSuchAlgorithm(a) => write!(f, "no such algorithm: {a}"),
+            CryptoError::InvalidKey(m) => write!(f, "invalid key: {m}"),
+            CryptoError::BadCiphertext(m) => write!(f, "bad ciphertext: {m}"),
+            CryptoError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl Error for CryptoError {}

@@ -1,0 +1,101 @@
+//! HMAC-SHA256 (RFC 2104).
+
+use crate::sha256::{digest, Sha256, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+
+/// Computes HMAC-SHA256 of `data` under `key`.
+///
+/// Keys longer than the block size are hashed first, per the RFC.
+///
+/// # Example
+///
+/// ```
+/// let tag = jcasim::hmac::hmac_sha256(b"key", b"message");
+/// assert_eq!(tag.len(), 32);
+/// ```
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let kd = digest(key);
+        key_block[..DIGEST_LEN].copy_from_slice(&kd);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finish();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finish()
+}
+
+/// Constant-time tag comparison (length must match).
+pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+    let expected = hmac_sha256(key, data);
+    if tag.len() != expected.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(tag) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        // Key = 0x0b * 20, Data = "Hi There"
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hex(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_long_key() {
+        // Case 6: 131-byte key of 0xaa, hashed-key path.
+        let key = [0xaau8; 131];
+        assert_eq!(
+            hex(&hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"msg");
+        assert!(verify(b"k", b"msg", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!verify(b"k", b"msg", &bad));
+        assert!(!verify(b"k", b"msg", &tag[..31]));
+        assert!(!verify(b"other", b"msg", &tag));
+    }
+}

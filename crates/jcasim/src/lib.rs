@@ -1,0 +1,31 @@
+//! A simulated Java Cryptography Architecture provider.
+//!
+//! The paper's generated code runs against the JDK's default JCA provider.
+//! This crate is the Rust substitute: pure-Rust implementations of the
+//! primitives the eleven use cases exercise — SHA-256, HMAC-SHA256,
+//! PBKDF2, AES-128 in CBC/CTR/GCM modes with PKCS#7 padding, a reduced-
+//! size RSA (for hybrid/asymmetric encryption and signing), and a
+//! deterministic CSPRNG standing in for `SecureRandom`.
+//!
+//! The [`provider`] module maps JCA algorithm strings
+//! (`"PBKDF2WithHmacSHA256"`, `"AES/CBC/PKCS5Padding"`, …) to these
+//! implementations, exactly the dispatch `getInstance` performs in Java.
+//!
+//! Security note: the RSA implementation uses deliberately small key sizes
+//! (u128 arithmetic) so key generation stays fast in tests; it exists to
+//! exercise the same code paths as the paper's experiments, not to protect
+//! data. DESIGN.md records this substitution.
+
+pub mod aes;
+pub mod error;
+pub mod hmac;
+pub mod modes;
+pub mod pbkdf2;
+pub mod provider;
+pub mod rng;
+pub mod rsa;
+pub mod sha256;
+pub mod sha512;
+
+pub use error::CryptoError;
+pub use provider::Provider;

@@ -1,0 +1,102 @@
+//! PBKDF2 with HMAC-SHA256 (RFC 8018).
+
+use crate::hmac::hmac_sha256;
+
+/// Derives `dk_len` bytes of key material from `password` and `salt` with
+/// `iterations` rounds of PBKDF2-HMAC-SHA256.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero (the JCA throws
+/// `IllegalArgumentException` for the same input).
+///
+/// # Example
+///
+/// ```
+/// let key = jcasim::pbkdf2::pbkdf2_hmac_sha256(b"password", b"salt", 1000, 16);
+/// assert_eq!(key.len(), 16);
+/// ```
+pub fn pbkdf2_hmac_sha256(
+    password: &[u8],
+    salt: &[u8],
+    iterations: u32,
+    dk_len: usize,
+) -> Vec<u8> {
+    assert!(iterations > 0, "iteration count must be positive");
+    let mut out = Vec::with_capacity(dk_len);
+    let mut block_index: u32 = 1;
+    while out.len() < dk_len {
+        let mut block_input = salt.to_vec();
+        block_input.extend_from_slice(&block_index.to_be_bytes());
+        let mut u = hmac_sha256(password, &block_input);
+        let mut t = u;
+        for _ in 1..iterations {
+            u = hmac_sha256(password, &u);
+            for (ti, ui) in t.iter_mut().zip(&u) {
+                *ti ^= ui;
+            }
+        }
+        let take = (dk_len - out.len()).min(t.len());
+        out.extend_from_slice(&t[..take]);
+        block_index += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn known_vector_one_iteration() {
+        // Widely published PBKDF2-HMAC-SHA256 vector.
+        let dk = pbkdf2_hmac_sha256(b"password", b"salt", 1, 32);
+        assert_eq!(
+            hex(&dk),
+            "120fb6cffcf8b32c43e7225256c4f837a86548c92ccc35480805987cb70be17b"
+        );
+    }
+
+    #[test]
+    fn known_vector_4096_iterations() {
+        let dk = pbkdf2_hmac_sha256(b"password", b"salt", 4096, 32);
+        assert_eq!(
+            hex(&dk),
+            "c5e478d59288c841aa530db6845c4c8d962893a001ce4e11a4963873aa98134a"
+        );
+    }
+
+    #[test]
+    fn multi_block_output() {
+        // 40 bytes needs two HMAC blocks.
+        let dk = pbkdf2_hmac_sha256(b"passwordPASSWORDpassword", b"saltSALTsaltSALTsaltSALTsaltSALTsalt", 4096, 40);
+        assert_eq!(
+            hex(&dk),
+            "348c89dbcbd32b2f32d814b8116e84cf2b17347ebc1800181c4e2a1fb8dd53e1c635518c7dac47e9"
+        );
+    }
+
+    #[test]
+    fn output_length_is_exact() {
+        for len in [1, 16, 31, 32, 33, 64, 65] {
+            assert_eq!(pbkdf2_hmac_sha256(b"p", b"s", 2, len).len(), len);
+        }
+    }
+
+    #[test]
+    fn different_salts_differ() {
+        let a = pbkdf2_hmac_sha256(b"p", b"salt-a", 100, 32);
+        let b = pbkdf2_hmac_sha256(b"p", b"salt-b", 100, 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "iteration count")]
+    fn zero_iterations_panics() {
+        pbkdf2_hmac_sha256(b"p", b"s", 0, 16);
+    }
+}

@@ -1,0 +1,506 @@
+//! The algorithm registry: maps JCA algorithm / transformation strings to
+//! the primitive implementations, mirroring `getInstance` dispatch.
+
+use crate::aes::Aes128;
+use crate::error::CryptoError;
+use crate::hmac;
+use crate::modes;
+use crate::pbkdf2;
+use crate::rng::SecureRandom;
+use crate::rsa;
+use crate::sha256;
+use crate::sha512;
+
+/// Key material held by runtime key objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyMaterial {
+    /// A symmetric key (raw bytes) with its algorithm name.
+    Secret {
+        /// Raw key bytes.
+        bytes: Vec<u8>,
+        /// Algorithm name, e.g. `"AES"`.
+        algorithm: String,
+    },
+    /// An RSA private key.
+    Private(rsa::PrivateKey),
+    /// An RSA public key.
+    Public(rsa::PublicKey),
+}
+
+impl KeyMaterial {
+    /// The encoded form (`Key.getEncoded()`); RSA keys encode their
+    /// parameters big-endian.
+    pub fn encoded(&self) -> Vec<u8> {
+        match self {
+            KeyMaterial::Secret { bytes, .. } => bytes.clone(),
+            KeyMaterial::Private(k) => {
+                let mut v = k.n.to_be_bytes().to_vec();
+                v.extend_from_slice(&k.d.to_be_bytes());
+                v
+            }
+            KeyMaterial::Public(k) => {
+                let mut v = k.n.to_be_bytes().to_vec();
+                v.extend_from_slice(&k.e.to_be_bytes());
+                v
+            }
+        }
+    }
+
+    /// The algorithm name (`Key.getAlgorithm()`).
+    pub fn algorithm(&self) -> &str {
+        match self {
+            KeyMaterial::Secret { algorithm, .. } => algorithm,
+            KeyMaterial::Private(_) | KeyMaterial::Public(_) => "RSA",
+        }
+    }
+}
+
+/// A parsed cipher transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transformation {
+    /// `AES/CBC/PKCS5Padding`
+    AesCbcPkcs5,
+    /// `AES/CTR/NoPadding`
+    AesCtr,
+    /// `AES/GCM/NoPadding`
+    AesGcm,
+    /// `RSA/ECB/PKCS1Padding` (chunked textbook RSA in this simulation)
+    RsaEcb,
+}
+
+impl Transformation {
+    /// Parses a JCA transformation string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NoSuchAlgorithm`] for unknown strings —
+    /// including insecure ones like `AES/ECB/PKCS5Padding`, which this
+    /// provider deliberately refuses to implement.
+    pub fn parse(s: &str) -> Result<Transformation, CryptoError> {
+        match s {
+            "AES/CBC/PKCS5Padding" => Ok(Transformation::AesCbcPkcs5),
+            "AES/CTR/NoPadding" => Ok(Transformation::AesCtr),
+            "AES/GCM/NoPadding" => Ok(Transformation::AesGcm),
+            "RSA/ECB/PKCS1Padding" | "RSA" => Ok(Transformation::RsaEcb),
+            other => Err(CryptoError::NoSuchAlgorithm(other.to_owned())),
+        }
+    }
+
+    /// Whether the transformation needs an IV/nonce parameter.
+    pub fn needs_iv(&self) -> bool {
+        matches!(
+            self,
+            Transformation::AesCbcPkcs5 | Transformation::AesCtr | Transformation::AesGcm
+        )
+    }
+
+    /// The IV/nonce length in bytes (0 when none is needed).
+    pub fn iv_len(&self) -> usize {
+        match self {
+            Transformation::AesCbcPkcs5 => 16,
+            Transformation::AesCtr | Transformation::AesGcm => 12,
+            Transformation::RsaEcb => 0,
+        }
+    }
+}
+
+/// The simulated provider. All operations are stateless; stateful JCA
+/// objects (ciphers, digests) live in the interpreter and call in here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Provider;
+
+impl Provider {
+    /// Creates the provider.
+    pub fn new() -> Self {
+        Provider
+    }
+
+    /// `MessageDigest.getInstance(alg)` + `digest`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NoSuchAlgorithm`] for digests other than
+    /// SHA-256 (the only digest the shipped rules allow).
+    pub fn digest(&self, algorithm: &str, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        match algorithm {
+            "SHA-256" => Ok(sha256::digest(data).to_vec()),
+            other => Err(CryptoError::NoSuchAlgorithm(other.to_owned())),
+        }
+    }
+
+    /// `Mac.getInstance(alg)` + `doFinal`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NoSuchAlgorithm`] for unknown MACs.
+    pub fn mac(&self, algorithm: &str, key: &[u8], data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        match algorithm {
+            "HmacSHA256" => Ok(hmac::hmac_sha256(key, data).to_vec()),
+            other => Err(CryptoError::NoSuchAlgorithm(other.to_owned())),
+        }
+    }
+
+    /// `SecretKeyFactory.getInstance(alg).generateSecret(spec)` for the
+    /// PBKDF2 family. `key_len_bits` comes from the `PBEKeySpec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NoSuchAlgorithm`] for unknown KDFs and
+    /// [`CryptoError::InvalidParameter`] for a zero iteration count or
+    /// non-byte-aligned key length.
+    pub fn derive_key(
+        &self,
+        algorithm: &str,
+        password: &[u8],
+        salt: &[u8],
+        iterations: i64,
+        key_len_bits: i64,
+    ) -> Result<Vec<u8>, CryptoError> {
+        let sha256_kdfs = ["PBKDF2WithHmacSHA256", "PBEWithHmacSHA256AndAES_128"];
+        let sha512_kdfs = [
+            "PBKDF2WithHmacSHA512",
+            "PBEWithHmacSHA512AndAES_128",
+            "PBEWithHmacSHA512AndAES_256",
+        ];
+        let use_sha512 = if sha256_kdfs.contains(&algorithm) {
+            false
+        } else if sha512_kdfs.contains(&algorithm) {
+            true
+        } else {
+            return Err(CryptoError::NoSuchAlgorithm(algorithm.to_owned()));
+        };
+        if iterations <= 0 {
+            return Err(CryptoError::InvalidParameter(
+                "iteration count must be positive".into(),
+            ));
+        }
+        if key_len_bits <= 0 || key_len_bits % 8 != 0 {
+            return Err(CryptoError::InvalidParameter(format!(
+                "key length {key_len_bits} not a positive multiple of 8"
+            )));
+        }
+        let dk_len = (key_len_bits / 8) as usize;
+        Ok(if use_sha512 {
+            sha512::pbkdf2_hmac_sha512(password, salt, iterations as u32, dk_len)
+        } else {
+            pbkdf2::pbkdf2_hmac_sha256(password, salt, iterations as u32, dk_len)
+        })
+    }
+
+    /// `KeyGenerator.getInstance(alg)` + `init(bits)` + `generateKey()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NoSuchAlgorithm`] for non-AES generators and
+    /// [`CryptoError::InvalidParameter`] for key sizes other than 128
+    /// (this simulation implements AES-128 only; the rules allow 128 and
+    /// 256, and the generator picks the first listed preference).
+    pub fn generate_key(
+        &self,
+        algorithm: &str,
+        bits: i64,
+        rng: &mut SecureRandom,
+    ) -> Result<KeyMaterial, CryptoError> {
+        if algorithm != "AES" {
+            return Err(CryptoError::NoSuchAlgorithm(algorithm.to_owned()));
+        }
+        if bits != 128 {
+            return Err(CryptoError::InvalidParameter(format!(
+                "simulated provider implements AES-128 only, got {bits}"
+            )));
+        }
+        let mut key = vec![0u8; 16];
+        rng.next_bytes(&mut key);
+        Ok(KeyMaterial::Secret {
+            bytes: key,
+            algorithm: "AES".into(),
+        })
+    }
+
+    /// `KeyPairGenerator.getInstance("RSA")` + `initialize` +
+    /// `generateKeyPair()`. Any requested size maps to the simulation's
+    /// reduced-size keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NoSuchAlgorithm`] for algorithms other than
+    /// RSA.
+    pub fn generate_key_pair(
+        &self,
+        algorithm: &str,
+        _bits: i64,
+        rng: &mut SecureRandom,
+    ) -> Result<rsa::KeyPair, CryptoError> {
+        if algorithm != "RSA" {
+            return Err(CryptoError::NoSuchAlgorithm(algorithm.to_owned()));
+        }
+        rsa::generate_key_pair(rng, 62)
+    }
+
+    /// Cipher encryption under `transformation`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key/IV validation errors from the mode implementations;
+    /// RSA encryption requires a public key, AES a 16-byte secret key.
+    pub fn encrypt(
+        &self,
+        transformation: Transformation,
+        key: &KeyMaterial,
+        iv: Option<&[u8]>,
+        plaintext: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        match transformation {
+            Transformation::AesCbcPkcs5 => {
+                let aes = self.aes_key(key)?;
+                modes::cbc_encrypt(&aes, self.require_iv(iv, 16)?, plaintext)
+            }
+            Transformation::AesCtr => {
+                let aes = self.aes_key(key)?;
+                modes::ctr_transform(&aes, self.require_iv(iv, 12)?, plaintext)
+            }
+            Transformation::AesGcm => {
+                let aes = self.aes_key(key)?;
+                modes::gcm_encrypt(&aes, self.require_iv(iv, 12)?, &[], plaintext)
+            }
+            Transformation::RsaEcb => match key {
+                KeyMaterial::Public(pk) => Ok(rsa::encrypt(pk, plaintext)),
+                _ => Err(CryptoError::InvalidKey(
+                    "RSA encryption needs a public key".into(),
+                )),
+            },
+        }
+    }
+
+    /// Cipher decryption under `transformation`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Provider::encrypt`], plus [`CryptoError::BadCiphertext`]
+    /// for padding/tag failures.
+    pub fn decrypt(
+        &self,
+        transformation: Transformation,
+        key: &KeyMaterial,
+        iv: Option<&[u8]>,
+        ciphertext: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        match transformation {
+            Transformation::AesCbcPkcs5 => {
+                let aes = self.aes_key(key)?;
+                modes::cbc_decrypt(&aes, self.require_iv(iv, 16)?, ciphertext)
+            }
+            Transformation::AesCtr => {
+                let aes = self.aes_key(key)?;
+                modes::ctr_transform(&aes, self.require_iv(iv, 12)?, ciphertext)
+            }
+            Transformation::AesGcm => {
+                let aes = self.aes_key(key)?;
+                modes::gcm_decrypt(&aes, self.require_iv(iv, 12)?, &[], ciphertext)
+            }
+            Transformation::RsaEcb => match key {
+                KeyMaterial::Private(sk) => rsa::decrypt(sk, ciphertext),
+                _ => Err(CryptoError::InvalidKey(
+                    "RSA decryption needs a private key".into(),
+                )),
+            },
+        }
+    }
+
+    /// `Signature.getInstance("SHA256withRSA")` signing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NoSuchAlgorithm`] / [`CryptoError::InvalidKey`]
+    /// for unknown algorithms or non-private keys.
+    pub fn sign(
+        &self,
+        algorithm: &str,
+        key: &KeyMaterial,
+        data: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if algorithm != "SHA256withRSA" {
+            return Err(CryptoError::NoSuchAlgorithm(algorithm.to_owned()));
+        }
+        match key {
+            KeyMaterial::Private(sk) => Ok(rsa::sign(sk, data)),
+            _ => Err(CryptoError::InvalidKey("signing needs a private key".into())),
+        }
+    }
+
+    /// `Signature` verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NoSuchAlgorithm`] / [`CryptoError::InvalidKey`]
+    /// for unknown algorithms or non-public keys.
+    pub fn verify(
+        &self,
+        algorithm: &str,
+        key: &KeyMaterial,
+        data: &[u8],
+        signature: &[u8],
+    ) -> Result<bool, CryptoError> {
+        if algorithm != "SHA256withRSA" {
+            return Err(CryptoError::NoSuchAlgorithm(algorithm.to_owned()));
+        }
+        match key {
+            KeyMaterial::Public(pk) => Ok(rsa::verify(pk, data, signature)),
+            _ => Err(CryptoError::InvalidKey(
+                "verification needs a public key".into(),
+            )),
+        }
+    }
+
+    fn aes_key(&self, key: &KeyMaterial) -> Result<Aes128, CryptoError> {
+        match key {
+            KeyMaterial::Secret { bytes, .. } if bytes.len() == 16 => Ok(Aes128::new(bytes)),
+            KeyMaterial::Secret { bytes, .. } => Err(CryptoError::InvalidKey(format!(
+                "AES-128 needs a 16-byte key, got {}",
+                bytes.len()
+            ))),
+            _ => Err(CryptoError::InvalidKey("AES needs a secret key".into())),
+        }
+    }
+
+    fn require_iv<'a>(&self, iv: Option<&'a [u8]>, len: usize) -> Result<&'a [u8], CryptoError> {
+        match iv {
+            Some(v) if v.len() == len => Ok(v),
+            Some(v) => Err(CryptoError::InvalidParameter(format!(
+                "IV must be {len} bytes, got {}",
+                v.len()
+            ))),
+            None => Err(CryptoError::InvalidParameter("missing IV".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secret(bytes: &[u8]) -> KeyMaterial {
+        KeyMaterial::Secret {
+            bytes: bytes.to_vec(),
+            algorithm: "AES".into(),
+        }
+    }
+
+    #[test]
+    fn transformation_parsing() {
+        assert_eq!(
+            Transformation::parse("AES/CBC/PKCS5Padding").unwrap(),
+            Transformation::AesCbcPkcs5
+        );
+        assert_eq!(
+            Transformation::parse("AES/GCM/NoPadding").unwrap(),
+            Transformation::AesGcm
+        );
+        // ECB is refused — there is no secure way to use it.
+        assert!(Transformation::parse("AES/ECB/PKCS5Padding").is_err());
+        assert!(Transformation::parse("DES/CBC/PKCS5Padding").is_err());
+    }
+
+    #[test]
+    fn digest_dispatch() {
+        let p = Provider::new();
+        assert_eq!(p.digest("SHA-256", b"abc").unwrap().len(), 32);
+        assert!(matches!(
+            p.digest("MD5", b"abc"),
+            Err(CryptoError::NoSuchAlgorithm(_))
+        ));
+    }
+
+    #[test]
+    fn derive_key_matches_pbkdf2() {
+        let p = Provider::new();
+        let dk = p
+            .derive_key("PBKDF2WithHmacSHA256", b"password", b"salt", 1, 256)
+            .unwrap();
+        assert_eq!(dk, crate::pbkdf2::pbkdf2_hmac_sha256(b"password", b"salt", 1, 32));
+        assert!(p.derive_key("PBKDF1", b"p", b"s", 1, 128).is_err());
+        assert!(p
+            .derive_key("PBKDF2WithHmacSHA256", b"p", b"s", 0, 128)
+            .is_err());
+        assert!(p
+            .derive_key("PBKDF2WithHmacSHA256", b"p", b"s", 1, 127)
+            .is_err());
+    }
+
+    #[test]
+    fn aes_cipher_roundtrip_through_provider() {
+        let p = Provider::new();
+        let key = secret(&[1u8; 16]);
+        for (t, ivlen) in [
+            (Transformation::AesCbcPkcs5, 16usize),
+            (Transformation::AesCtr, 12),
+            (Transformation::AesGcm, 12),
+        ] {
+            let iv = vec![7u8; ivlen];
+            let ct = p.encrypt(t, &key, Some(&iv), b"hello world").unwrap();
+            assert_eq!(p.decrypt(t, &key, Some(&iv), &ct).unwrap(), b"hello world");
+        }
+    }
+
+    #[test]
+    fn rsa_through_provider() {
+        let p = Provider::new();
+        let mut rng = SecureRandom::from_seed(9);
+        let kp = p.generate_key_pair("RSA", 2048, &mut rng).unwrap();
+        let public = KeyMaterial::Public(kp.public);
+        let private = KeyMaterial::Private(kp.private);
+        let ct = p
+            .encrypt(Transformation::RsaEcb, &public, None, b"wrapped key!")
+            .unwrap();
+        assert_eq!(
+            p.decrypt(Transformation::RsaEcb, &private, None, &ct).unwrap(),
+            b"wrapped key!"
+        );
+        // Key-role confusion is rejected.
+        assert!(p
+            .encrypt(Transformation::RsaEcb, &private, None, b"x")
+            .is_err());
+        assert!(p
+            .decrypt(Transformation::RsaEcb, &public, None, &ct)
+            .is_err());
+
+        let sig = p.sign("SHA256withRSA", &private, b"msg").unwrap();
+        assert!(p.verify("SHA256withRSA", &public, b"msg", &sig).unwrap());
+        assert!(!p.verify("SHA256withRSA", &public, b"other", &sig).unwrap());
+    }
+
+    #[test]
+    fn keygen_constraints() {
+        let p = Provider::new();
+        let mut rng = SecureRandom::new();
+        let k = p.generate_key("AES", 128, &mut rng).unwrap();
+        assert_eq!(k.encoded().len(), 16);
+        assert_eq!(k.algorithm(), "AES");
+        assert!(p.generate_key("DES", 56, &mut rng).is_err());
+        assert!(p.generate_key("AES", 192, &mut rng).is_err());
+    }
+
+    #[test]
+    fn wrong_key_sizes_rejected() {
+        let p = Provider::new();
+        let bad = secret(&[1u8; 8]);
+        assert!(p
+            .encrypt(Transformation::AesCbcPkcs5, &bad, Some(&[0u8; 16]), b"x")
+            .is_err());
+        let good = secret(&[1u8; 16]);
+        assert!(p
+            .encrypt(Transformation::AesCbcPkcs5, &good, Some(&[0u8; 8]), b"x")
+            .is_err());
+        assert!(p
+            .encrypt(Transformation::AesCbcPkcs5, &good, None, b"x")
+            .is_err());
+    }
+
+    #[test]
+    fn mac_dispatch() {
+        let p = Provider::new();
+        let tag = p.mac("HmacSHA256", b"key", b"data").unwrap();
+        assert_eq!(tag.len(), 32);
+        assert!(p.mac("HmacMD5", b"key", b"data").is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! SHA-256 as specified in FIPS 180-4.
+//!
+//! The round constants are the standard FIPS values (the first 32 bits of
+//! the fractional parts of the cube roots of the first 64 primes); the
+//! initial hash state derives from square roots of the first 8 primes.
+//! Rather than hard-coding the tables, we derive them at first use with
+//! integer arithmetic — both a compactness win and a self-check that the
+//! implementation matches the spec's construction.
+
+use std::sync::OnceLock;
+
+/// Digest length in bytes.
+pub const DIGEST_LEN: usize = 32;
+
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+fn primes(count: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(count);
+    let mut n = 2;
+    while out.len() < count {
+        if is_prime(n) {
+            out.push(n);
+        }
+        n += 1;
+    }
+    out
+}
+
+/// First 32 bits of the fractional part of the k-th root of `p`, computed
+/// with pure integer arithmetic (binary search on x/2^32 such that
+/// (x/2^32 + floor(root))^k ≈ p).
+fn frac_root_bits(p: u64, k: u32) -> u32 {
+    // integer floor of the k-th root
+    let mut int_root = 1u64;
+    while (int_root + 1).pow(k) <= p {
+        int_root += 1;
+    }
+    // binary search the 32 fractional bits: find largest f in [0, 2^32)
+    // with (int_root * 2^32 + f)^k <= p * 2^(32k), using u128 checks.
+    let mut lo: u128 = 0;
+    let mut hi: u128 = 1 << 32;
+    let target = (p as u128) << (32 * k as usize);
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        let x = ((int_root as u128) << 32) + mid;
+        // x^k may exceed u128 for k=3 and 40-bit x? x < 2^35, x^3 < 2^105 — fits.
+        let mut acc: u128 = 1;
+        let mut overflow = false;
+        for _ in 0..k {
+            match acc.checked_mul(x) {
+                Some(v) => acc = v,
+                None => {
+                    overflow = true;
+                    break;
+                }
+            }
+        }
+        if !overflow && acc <= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u32
+}
+
+fn k_constants() -> &'static [u32; 64] {
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let ps = primes(64);
+        let mut k = [0u32; 64];
+        for (i, p) in ps.iter().enumerate() {
+            k[i] = frac_root_bits(*p, 3);
+        }
+        k
+    })
+}
+
+fn h_init() -> [u32; 8] {
+    static H: OnceLock<[u32; 8]> = OnceLock::new();
+    *H.get_or_init(|| {
+        let ps = primes(8);
+        let mut h = [0u32; 8];
+        for (i, p) in ps.iter().enumerate() {
+            h[i] = frac_root_bits(*p, 2);
+        }
+        h
+    })
+}
+
+/// An incremental SHA-256 hasher.
+///
+/// # Example
+///
+/// ```
+/// let mut h = jcasim::sha256::Sha256::new();
+/// h.update(b"abc");
+/// let d = h.finish();
+/// assert_eq!(d[0], 0xba);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: Vec<u8>,
+    length_bits: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: h_init(),
+            buffer: Vec::with_capacity(64),
+            length_bits: 0,
+        }
+    }
+
+    /// Feeds more input.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length_bits = self.length_bits.wrapping_add((data.len() as u64) * 8);
+        self.buffer.extend_from_slice(data);
+        while self.buffer.len() >= 64 {
+            let block: [u8; 64] = self.buffer[..64].try_into().expect("block is 64 bytes");
+            self.compress(&block);
+            self.buffer.drain(..64);
+        }
+    }
+
+    /// Finalizes and returns the 32-byte digest.
+    pub fn finish(mut self) -> [u8; DIGEST_LEN] {
+        let len_bits = self.length_bits;
+        self.buffer.push(0x80);
+        while self.buffer.len() % 64 != 56 {
+            self.buffer.push(0);
+        }
+        let padded = std::mem::take(&mut self.buffer);
+        let mut final_input = padded;
+        final_input.extend_from_slice(&len_bits.to_be_bytes());
+        for chunk in final_input.chunks_exact(64) {
+            let block: [u8; 64] = chunk.try_into().expect("chunk is 64 bytes");
+            self.compress(&block);
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let k = k_constants();
+        let mut w = [0u32; 64];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256.
+pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn derived_constants_match_fips() {
+        // Spot-check spec values: K[0], K[63], H[0], H[7].
+        assert_eq!(k_constants()[0], 0x428a2f98);
+        assert_eq!(k_constants()[63], 0xc67178f2);
+        assert_eq!(h_init()[0], 0x6a09e667);
+        assert_eq!(h_init()[7], 0x5be0cd19);
+    }
+
+    #[test]
+    fn nist_vector_empty() {
+        assert_eq!(
+            hex(&digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn nist_vector_abc() {
+        assert_eq!(
+            hex(&digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn nist_vector_448_bits() {
+        assert_eq!(
+            hex(&digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let mut h = Sha256::new();
+        for chunk in data.chunks(17) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), digest(&data));
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&digest(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+}

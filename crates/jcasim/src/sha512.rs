@@ -1,0 +1,357 @@
+//! SHA-512 as specified in FIPS 180-4 (the 64-bit sibling of SHA-256).
+//!
+//! As with [`crate::sha256`], the round constants (first 64 bits of the
+//! fractional parts of the cube roots of the first 80 primes) and the
+//! initial state (square roots of the first 8 primes) are derived at
+//! first use with integer arithmetic rather than hard-coded.
+
+use std::sync::OnceLock;
+
+/// Digest length in bytes.
+pub const DIGEST_LEN: usize = 64;
+const BLOCK_LEN: usize = 128;
+
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+fn primes(count: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(count);
+    let mut n = 2;
+    while out.len() < count {
+        if is_prime(n) {
+            out.push(n);
+        }
+        n += 1;
+    }
+    out
+}
+
+/// First 64 bits of the fractional part of the k-th root of `p`: binary
+/// search on the fraction f such that (root + f/2^64)^k ≈ p, done in
+/// integer arithmetic. For k ∈ {2, 3} and p < 410 the intermediate
+/// (root·2^64 + f)^k stays inside u256, which we emulate with u128 pairs
+/// via a helper big-multiply on 64-bit limbs.
+fn frac_root_bits64(p: u64, k: u32) -> u64 {
+    let mut int_root = 1u64;
+    while (int_root + 1).pow(k) <= p {
+        int_root += 1;
+    }
+    // Compare (int_root*2^64 + f)^k against p * 2^(64k) using 512-bit
+    // arithmetic on 64-bit limbs (little-endian limb order).
+    let target = {
+        // p << 64k as limbs
+        let mut t = vec![0u64; 8];
+        let shift_limbs = k as usize; // 64k bits = k limbs
+        t[shift_limbs] = p;
+        t
+    };
+    let mut lo: u128 = 0;
+    let mut hi: u128 = 1 << 64;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        let x = [mid as u64, int_root + ((mid >> 64) as u64)]; // x = int_root·2^64 + mid
+        let mut acc = vec![1u64, 0, 0, 0, 0, 0, 0, 0];
+        for _ in 0..k {
+            acc = limb_mul(&acc, &x);
+        }
+        if limb_le(&acc, &target) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u64
+}
+
+/// Multiplies an 8-limb number by a 2-limb number, truncating to 8 limbs
+/// (overflow cannot occur for the magnitudes used here).
+fn limb_mul(a: &[u64], b: &[u64; 2]) -> Vec<u64> {
+    let mut out = vec![0u64; 8];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            if bj == 0 || i + j >= 8 {
+                continue;
+            }
+            let prod = u128::from(ai) * u128::from(bj);
+            let mut carry = prod as u64;
+            let mut k = i + j;
+            let mut high = (prod >> 64) as u64;
+            while (carry != 0 || high != 0) && k < 8 {
+                let (sum, c1) = out[k].overflowing_add(carry);
+                out[k] = sum;
+                carry = high + u64::from(c1);
+                high = 0;
+                k += 1;
+            }
+        }
+    }
+    out
+}
+
+fn limb_le(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..8).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    true
+}
+
+fn k_constants() -> &'static [u64; 80] {
+    static K: OnceLock<[u64; 80]> = OnceLock::new();
+    K.get_or_init(|| {
+        let ps = primes(80);
+        let mut k = [0u64; 80];
+        for (i, p) in ps.iter().enumerate() {
+            k[i] = frac_root_bits64(*p, 3);
+        }
+        k
+    })
+}
+
+fn h_init() -> [u64; 8] {
+    static H: OnceLock<[u64; 8]> = OnceLock::new();
+    *H.get_or_init(|| {
+        let ps = primes(8);
+        let mut h = [0u64; 8];
+        for (i, p) in ps.iter().enumerate() {
+            h[i] = frac_root_bits64(*p, 2);
+        }
+        h
+    })
+}
+
+/// An incremental SHA-512 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha512 {
+    state: [u64; 8],
+    buffer: Vec<u8>,
+    length_bits: u128,
+}
+
+impl Default for Sha512 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha512 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha512 {
+            state: h_init(),
+            buffer: Vec::with_capacity(BLOCK_LEN),
+            length_bits: 0,
+        }
+    }
+
+    /// Feeds more input.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length_bits = self.length_bits.wrapping_add((data.len() as u128) * 8);
+        self.buffer.extend_from_slice(data);
+        while self.buffer.len() >= BLOCK_LEN {
+            let block: [u8; BLOCK_LEN] =
+                self.buffer[..BLOCK_LEN].try_into().expect("block size");
+            self.compress(&block);
+            self.buffer.drain(..BLOCK_LEN);
+        }
+    }
+
+    /// Finalizes and returns the 64-byte digest.
+    pub fn finish(mut self) -> [u8; DIGEST_LEN] {
+        let len_bits = self.length_bits;
+        self.buffer.push(0x80);
+        while self.buffer.len() % BLOCK_LEN != 112 {
+            self.buffer.push(0);
+        }
+        let mut tail = std::mem::take(&mut self.buffer);
+        tail.extend_from_slice(&len_bits.to_be_bytes());
+        for chunk in tail.chunks_exact(BLOCK_LEN) {
+            let block: [u8; BLOCK_LEN] = chunk.try_into().expect("block size");
+            self.compress(&block);
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let k = k_constants();
+        let mut w = [0u64; 80];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u64::from_be_bytes(block[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        for i in 16..80 {
+            let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
+            let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..80 {
+            let big_s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let big_s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-512.
+pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha512::new();
+    h.update(data);
+    h.finish()
+}
+
+/// HMAC-SHA512 (RFC 2104 over the 128-byte block size).
+pub fn hmac_sha512(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let kd = digest(key);
+        key_block[..DIGEST_LEN].copy_from_slice(&kd);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha512::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finish();
+    let mut outer = Sha512::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finish()
+}
+
+/// PBKDF2 with HMAC-SHA512 (RFC 8018).
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+pub fn pbkdf2_hmac_sha512(password: &[u8], salt: &[u8], iterations: u32, dk_len: usize) -> Vec<u8> {
+    assert!(iterations > 0, "iteration count must be positive");
+    let mut out = Vec::with_capacity(dk_len);
+    let mut block_index: u32 = 1;
+    while out.len() < dk_len {
+        let mut block_input = salt.to_vec();
+        block_input.extend_from_slice(&block_index.to_be_bytes());
+        let mut u = hmac_sha512(password, &block_input);
+        let mut t = u;
+        for _ in 1..iterations {
+            u = hmac_sha512(password, &u);
+            for (ti, ui) in t.iter_mut().zip(&u) {
+                *ti ^= ui;
+            }
+        }
+        let take = (dk_len - out.len()).min(t.len());
+        out.extend_from_slice(&t[..take]);
+        block_index += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn derived_constants_match_fips() {
+        assert_eq!(k_constants()[0], 0x428a2f98d728ae22);
+        assert_eq!(k_constants()[79], 0x6c44198c4a475817);
+        assert_eq!(h_init()[0], 0x6a09e667f3bcc908);
+        assert_eq!(h_init()[7], 0x5be0cd19137e2179);
+    }
+
+    #[test]
+    fn nist_vector_abc() {
+        assert_eq!(
+            hex(&digest(b"abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+             2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+        );
+    }
+
+    #[test]
+    fn nist_vector_empty() {
+        assert_eq!(
+            hex(&digest(b"")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce\
+             47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+        );
+    }
+
+    #[test]
+    fn rfc4231_hmac_case_2() {
+        assert_eq!(
+            hex(&hmac_sha512(b"Jefe", b"what do ya want for nothing?")),
+            "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554\
+             9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 253) as u8).collect();
+        let mut h = Sha512::new();
+        for chunk in data.chunks(111) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), digest(&data));
+    }
+
+    #[test]
+    fn pbkdf2_sha512_lengths_and_determinism() {
+        let a = pbkdf2_hmac_sha512(b"password", b"salt", 10, 16);
+        let b = pbkdf2_hmac_sha512(b"password", b"salt", 10, 16);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, pbkdf2_hmac_sha512(b"password", b"pepper", 10, 16));
+        assert_eq!(pbkdf2_hmac_sha512(b"p", b"s", 2, 100).len(), 100);
+    }
+}

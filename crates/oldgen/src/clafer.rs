@@ -1,0 +1,355 @@
+//! A miniature variability-modelling language in the spirit of Clafer,
+//! with a backtracking solver.
+//!
+//! A model declares attributes with finite domains and implication
+//! constraints between them:
+//!
+//! ```text
+//! feature pbe {
+//!     attr kdfAlgorithm in { "PBKDF2WithHmacSHA256", "PBEWithHmacSHA512AndAES_128" };
+//!     attr iterations in { 10000, 50000 };
+//!     attr keySize in { 128, 256 };
+//!     constraint keySize == 256 => iterations == 50000;
+//! }
+//! ```
+//!
+//! [`Model::solve`] returns the lexicographically-first assignment
+//! satisfying every constraint; the old generator feeds it into its XSL
+//! templates. User pins (wizard answers) can fix attributes up front.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// An attribute value: string or integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    /// A string option (algorithm names).
+    Str(String),
+    /// An integer option (key sizes, iteration counts).
+    Int(i64),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => f.write_str(s),
+            AttrValue::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// `lhs op rhs` where each side is an attribute or literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comparison {
+    /// Attribute name or literal on the left.
+    pub left: Operand,
+    /// `true` = equality, `false` = inequality.
+    pub equals: bool,
+    /// Attribute name or literal on the right.
+    pub right: Operand,
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// Attribute reference.
+    Attr(String),
+    /// Literal value.
+    Lit(AttrValue),
+}
+
+/// A constraint: either a bare comparison or an implication between two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelConstraint {
+    /// The comparison must hold.
+    Holds(Comparison),
+    /// If the antecedent holds, the consequent must too.
+    Implies(Comparison, Comparison),
+}
+
+/// A parsed feature model.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    /// Feature name (diagnostics only).
+    pub name: String,
+    /// Attribute domains, in declaration order.
+    pub attributes: Vec<(String, Vec<AttrValue>)>,
+    /// Constraints.
+    pub constraints: Vec<ModelConstraint>,
+}
+
+/// Parse/solve errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaferError {
+    /// Syntax error with a description.
+    Parse(String),
+    /// No assignment satisfies the constraints (and pins).
+    Unsatisfiable,
+    /// A pinned attribute does not exist or the value is outside its
+    /// domain.
+    BadPin(String),
+}
+
+impl fmt::Display for ClaferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClaferError::Parse(m) => write!(f, "clafer parse error: {m}"),
+            ClaferError::Unsatisfiable => f.write_str("model is unsatisfiable"),
+            ClaferError::BadPin(m) => write!(f, "bad pin: {m}"),
+        }
+    }
+}
+
+impl Error for ClaferError {}
+
+impl Model {
+    /// Parses a model from source text.
+    ///
+    /// # Errors
+    ///
+    /// [`ClaferError::Parse`] describing the first syntax problem.
+    pub fn parse(source: &str) -> Result<Model, ClaferError> {
+        let mut model = Model::default();
+        let mut lines = source
+            .lines()
+            .map(|l| l.split("//").next().unwrap_or("").trim())
+            .filter(|l| !l.is_empty());
+        let header = lines
+            .next()
+            .ok_or_else(|| ClaferError::Parse("empty model".into()))?;
+        let name = header
+            .strip_prefix("feature ")
+            .and_then(|r| r.strip_suffix('{'))
+            .ok_or_else(|| ClaferError::Parse("expected `feature <name> {`".into()))?;
+        model.name = name.trim().to_owned();
+        for line in lines {
+            if line == "}" {
+                return Ok(model);
+            }
+            if let Some(rest) = line.strip_prefix("attr ") {
+                let rest = rest
+                    .strip_suffix(';')
+                    .ok_or_else(|| ClaferError::Parse(format!("missing `;`: {line}")))?;
+                let (attr, domain) = rest
+                    .split_once(" in ")
+                    .ok_or_else(|| ClaferError::Parse(format!("expected `in`: {line}")))?;
+                let domain = domain
+                    .trim()
+                    .strip_prefix('{')
+                    .and_then(|d| d.strip_suffix('}'))
+                    .ok_or_else(|| ClaferError::Parse(format!("expected `{{…}}`: {line}")))?;
+                let values: Result<Vec<AttrValue>, ClaferError> = domain
+                    .split(',')
+                    .map(|v| parse_value(v.trim()))
+                    .collect();
+                model.attributes.push((attr.trim().to_owned(), values?));
+            } else if let Some(rest) = line.strip_prefix("constraint ") {
+                let rest = rest
+                    .strip_suffix(';')
+                    .ok_or_else(|| ClaferError::Parse(format!("missing `;`: {line}")))?;
+                model.constraints.push(parse_constraint(rest)?);
+            } else {
+                return Err(ClaferError::Parse(format!("unexpected line: {line}")));
+            }
+        }
+        Err(ClaferError::Parse("missing closing `}`".into()))
+    }
+
+    /// Solves the model: first satisfying assignment in domain order,
+    /// honouring `pins` (attribute → forced value).
+    ///
+    /// # Errors
+    ///
+    /// [`ClaferError::BadPin`] for unknown attributes or out-of-domain pin
+    /// values; [`ClaferError::Unsatisfiable`] when no assignment works.
+    pub fn solve(
+        &self,
+        pins: &BTreeMap<String, AttrValue>,
+    ) -> Result<BTreeMap<String, AttrValue>, ClaferError> {
+        for (k, v) in pins {
+            let Some((_, domain)) = self.attributes.iter().find(|(n, _)| n == k) else {
+                return Err(ClaferError::BadPin(format!("unknown attribute `{k}`")));
+            };
+            if !domain.contains(v) {
+                return Err(ClaferError::BadPin(format!("`{v}` not in domain of `{k}`")));
+            }
+        }
+        let mut assignment = BTreeMap::new();
+        if self.backtrack(0, pins, &mut assignment) {
+            Ok(assignment)
+        } else {
+            Err(ClaferError::Unsatisfiable)
+        }
+    }
+
+    fn backtrack(
+        &self,
+        idx: usize,
+        pins: &BTreeMap<String, AttrValue>,
+        assignment: &mut BTreeMap<String, AttrValue>,
+    ) -> bool {
+        if idx == self.attributes.len() {
+            return self.consistent(assignment, true);
+        }
+        let (name, domain) = &self.attributes[idx];
+        let candidates: Vec<&AttrValue> = match pins.get(name) {
+            Some(v) => vec![v],
+            None => domain.iter().collect(),
+        };
+        for v in candidates {
+            assignment.insert(name.clone(), v.clone());
+            if self.consistent(assignment, false) && self.backtrack(idx + 1, pins, assignment) {
+                return true;
+            }
+        }
+        assignment.remove(name);
+        false
+    }
+
+    /// Checks constraints; unassigned attributes make a constraint
+    /// undecided (treated as satisfied unless `complete`).
+    fn consistent(&self, assignment: &BTreeMap<String, AttrValue>, complete: bool) -> bool {
+        self.constraints.iter().all(|c| {
+            let verdict = match c {
+                ModelConstraint::Holds(cmp) => eval_cmp(cmp, assignment),
+                ModelConstraint::Implies(a, b) => match eval_cmp(a, assignment) {
+                    Some(false) => Some(true),
+                    Some(true) => eval_cmp(b, assignment),
+                    None => None,
+                },
+            };
+            match verdict {
+                Some(ok) => ok,
+                None => !complete,
+            }
+        })
+    }
+}
+
+fn eval_cmp(c: &Comparison, assignment: &BTreeMap<String, AttrValue>) -> Option<bool> {
+    let value = |o: &Operand| -> Option<AttrValue> {
+        match o {
+            Operand::Lit(v) => Some(v.clone()),
+            Operand::Attr(a) => assignment.get(a).cloned(),
+        }
+    };
+    let l = value(&c.left)?;
+    let r = value(&c.right)?;
+    Some(if c.equals { l == r } else { l != r })
+}
+
+fn parse_value(s: &str) -> Result<AttrValue, ClaferError> {
+    if let Some(stripped) = s.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| ClaferError::Parse(format!("unterminated string: {s}")))?;
+        Ok(AttrValue::Str(inner.to_owned()))
+    } else {
+        s.parse::<i64>()
+            .map(AttrValue::Int)
+            .map_err(|_| ClaferError::Parse(format!("bad value: {s}")))
+    }
+}
+
+fn parse_operand(s: &str) -> Result<Operand, ClaferError> {
+    let s = s.trim();
+    if s.starts_with('"') || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        Ok(Operand::Lit(parse_value(s)?))
+    } else {
+        Ok(Operand::Attr(s.to_owned()))
+    }
+}
+
+fn parse_comparison(s: &str) -> Result<Comparison, ClaferError> {
+    let (left, equals, right) = if let Some((l, r)) = s.split_once("==") {
+        (l, true, r)
+    } else if let Some((l, r)) = s.split_once("!=") {
+        (l, false, r)
+    } else {
+        return Err(ClaferError::Parse(format!("expected `==`/`!=`: {s}")));
+    };
+    Ok(Comparison {
+        left: parse_operand(left)?,
+        equals,
+        right: parse_operand(right)?,
+    })
+}
+
+fn parse_constraint(s: &str) -> Result<ModelConstraint, ClaferError> {
+    if let Some((a, b)) = s.split_once("=>") {
+        Ok(ModelConstraint::Implies(
+            parse_comparison(a.trim())?,
+            parse_comparison(b.trim())?,
+        ))
+    } else {
+        Ok(ModelConstraint::Holds(parse_comparison(s.trim())?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: &str = r#"
+        feature pbe {
+            attr kdf in { "PBKDF2WithHmacSHA256", "PBEWithHmacSHA512AndAES_128" };
+            attr iterations in { 10000, 50000 };
+            attr keySize in { 128, 256 };
+            constraint keySize == 256 => iterations == 50000;
+        }
+    "#;
+
+    #[test]
+    fn parses_and_solves_first_assignment() {
+        let m = Model::parse(MODEL).unwrap();
+        assert_eq!(m.name, "pbe");
+        assert_eq!(m.attributes.len(), 3);
+        let sol = m.solve(&BTreeMap::new()).unwrap();
+        assert_eq!(sol["kdf"], AttrValue::Str("PBKDF2WithHmacSHA256".into()));
+        assert_eq!(sol["iterations"], AttrValue::Int(10000));
+        assert_eq!(sol["keySize"], AttrValue::Int(128));
+    }
+
+    #[test]
+    fn pins_steer_the_solution_through_constraints() {
+        let m = Model::parse(MODEL).unwrap();
+        let pins = BTreeMap::from([("keySize".to_owned(), AttrValue::Int(256))]);
+        let sol = m.solve(&pins).unwrap();
+        // The implication forces the higher iteration count.
+        assert_eq!(sol["iterations"], AttrValue::Int(50000));
+    }
+
+    #[test]
+    fn bad_pins_are_rejected() {
+        let m = Model::parse(MODEL).unwrap();
+        assert!(matches!(
+            m.solve(&BTreeMap::from([("keySize".to_owned(), AttrValue::Int(512))])),
+            Err(ClaferError::BadPin(_))
+        ));
+        assert!(matches!(
+            m.solve(&BTreeMap::from([("nope".to_owned(), AttrValue::Int(1))])),
+            Err(ClaferError::BadPin(_))
+        ));
+    }
+
+    #[test]
+    fn unsatisfiable_model_is_detected() {
+        let src = r#"
+            feature broken {
+                attr a in { 1, 2 };
+                constraint a == 3;
+            }
+        "#;
+        let m = Model::parse(src).unwrap();
+        assert_eq!(m.solve(&BTreeMap::new()), Err(ClaferError::Unsatisfiable));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Model::parse("").is_err());
+        assert!(Model::parse("feature x {").is_err()); // no closing brace
+        assert!(Model::parse("feature x {\n attr a in { 1 }\n}").is_err()); // missing ;
+        assert!(Model::parse("feature x {\n bogus;\n}").is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! CogniCrypt_old-gen — the XSL/Clafer baseline code generator.
+//!
+//! The paper compares CogniCryptGEN against CogniCrypt's previous
+//! generator, which combines an algorithm model in the variability
+//! language Clafer with hard-coded XSL code templates (RQ4, RQ5, §6.2).
+//! This crate is a functional analogue:
+//!
+//! * [`clafer`] — a small feature/attribute model language with a
+//!   backtracking constraint solver that picks secure algorithm
+//!   configurations,
+//! * [`xml`] + [`xsl`] — a miniature XSL transformation engine
+//!   (`value-of`, `if`, `choose`) applied to code templates,
+//! * [`usecases`] — the eight use cases the old generator supports, each
+//!   an XSL template file plus a Clafer model file.
+//!
+//! Unlike CogniCryptGEN, nothing here is derived from CrySL rules: the
+//! templates hard-code the API usage, which is exactly the maintenance
+//! problem the paper's Table 2 quantifies.
+
+pub mod clafer;
+pub mod usecases;
+pub mod xml;
+pub mod xsl;
+
+pub use clafer::{ClaferError, Model};
+pub use usecases::{generate_use_case, old_gen_use_cases, OldUseCase};
+pub use xsl::XslError;

@@ -1,0 +1,296 @@
+//! A miniature XML parser, sufficient for the XSL-like templates.
+//!
+//! Supports elements, attributes (double-quoted), text nodes, comments and
+//! self-closing tags. No entities beyond `&lt; &gt; &amp; &quot;`.
+
+use std::error::Error;
+use std::fmt;
+
+/// An XML node: element or text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element with name, attributes and children.
+    Element(Element),
+    /// A text node (whitespace preserved).
+    Text(String),
+}
+
+/// An XML element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name, including any prefix (`xsl:value-of`).
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Looks up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// XML parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the problem.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for XmlError {}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            offset: self.i,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.i..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.i;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b':' || c == b'-' || c == b'_')
+        {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.i]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected `<`"));
+        }
+        self.i += 1;
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.i += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected `>` after `/`"));
+                    }
+                    self.i += 1;
+                    return Ok(Element {
+                        name,
+                        attributes,
+                        children: Vec::new(),
+                    });
+                }
+                Some(b'>') => {
+                    self.i += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected `=`"));
+                    }
+                    self.i += 1;
+                    self.skip_ws();
+                    if self.peek() != Some(b'"') {
+                        return Err(self.err("expected `\"`"));
+                    }
+                    self.i += 1;
+                    let start = self.i;
+                    while self.peek().is_some_and(|c| c != b'"') {
+                        self.i += 1;
+                    }
+                    if self.peek() != Some(b'"') {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let value =
+                        unescape(&String::from_utf8_lossy(&self.src[start..self.i]));
+                    self.i += 1;
+                    attributes.push((attr_name, value));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        let children = self.parse_children(&name)?;
+        Ok(Element {
+            name,
+            attributes,
+            children,
+        })
+    }
+
+    fn parse_children(&mut self, parent: &str) -> Result<Vec<Node>, XmlError> {
+        let mut children = Vec::new();
+        loop {
+            if self.starts_with("<!--") {
+                let end = self.find("-->")?;
+                self.i = end + 3;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.i += 2;
+                let name = self.parse_name()?;
+                if name != parent {
+                    return Err(self.err(format!("mismatched close tag `{name}` vs `{parent}`")));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected `>`"));
+                }
+                self.i += 1;
+                return Ok(children);
+            }
+            match self.peek() {
+                Some(b'<') => children.push(Node::Element(self.parse_element()?)),
+                Some(_) => {
+                    let start = self.i;
+                    while self.peek().is_some_and(|c| c != b'<') {
+                        self.i += 1;
+                    }
+                    let text =
+                        unescape(&String::from_utf8_lossy(&self.src[start..self.i]));
+                    children.push(Node::Text(text));
+                }
+                None => return Err(self.err(format!("missing close tag for `{parent}`"))),
+            }
+        }
+    }
+
+    fn find(&self, needle: &str) -> Result<usize, XmlError> {
+        self.src[self.i..]
+            .windows(needle.len())
+            .position(|w| w == needle.as_bytes())
+            .map(|p| self.i + p)
+            .ok_or_else(|| self.err(format!("`{needle}` not found")))
+    }
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&amp;", "&")
+}
+
+/// Parses a document and returns its root element. Leading/trailing
+/// whitespace, comments and an optional `<?xml …?>` declaration are
+/// skipped.
+///
+/// # Errors
+///
+/// [`XmlError`] with the byte offset of the first problem.
+pub fn parse(source: &str) -> Result<Element, XmlError> {
+    let mut p = Parser {
+        src: source.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    if p.starts_with("<?xml") {
+        let end = p.find("?>")?;
+        p.i = end + 2;
+        p.skip_ws();
+    }
+    while p.starts_with("<!--") {
+        let end = p.find("-->")?;
+        p.i = end + 3;
+        p.skip_ws();
+    }
+    let root = p.parse_element()?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_attributes() {
+        let root = parse(
+            r#"<?xml version="1.0"?>
+            <!-- header -->
+            <a x="1" y="two">
+                text <b/> more
+                <c z="&quot;q&quot;">inner</c>
+            </a>"#,
+        )
+        .unwrap();
+        assert_eq!(root.name, "a");
+        assert_eq!(root.attr("x"), Some("1"));
+        assert_eq!(root.attr("y"), Some("two"));
+        // text, <b/>, text, <c>, trailing whitespace text
+        assert_eq!(root.children.len(), 5);
+        match &root.children[3] {
+            Node::Element(c) => {
+                assert_eq!(c.attr("z"), Some("\"q\""));
+                assert_eq!(c.children, vec![Node::Text("inner".into())]);
+            }
+            other => panic!("expected element, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let root = parse(r#"<xsl:template name="t"><xsl:value-of select="x"/></xsl:template>"#)
+            .unwrap();
+        assert_eq!(root.name, "xsl:template");
+        match &root.children[0] {
+            Node::Element(e) => assert_eq!(e.name, "xsl:value-of"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escapes_in_text() {
+        let root = parse("<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>").unwrap();
+        assert_eq!(root.children, vec![Node::Text("1 < 2 && 3 > 2".into())]);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("<a>").is_err()); // unclosed
+        assert!(parse("<a></b>").is_err()); // mismatch
+        assert!(parse("<a x=1></a>").is_err()); // unquoted attr
+        assert!(parse("<a></a><b/>").is_err()); // two roots
+        assert!(parse("no tags").is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! A miniature XSL transformation engine over the [`crate::xml`] model.
+//!
+//! Supported instructions (enough for the old generator's templates):
+//!
+//! * `<xsl:value-of select="attr"/>` — substitute a configuration value,
+//! * `<xsl:if test="attr == 'lit'">…</xsl:if>` (also `!=`),
+//! * `<xsl:choose><xsl:when test="…">…</xsl:when><xsl:otherwise>…</xsl:otherwise></xsl:choose>`,
+//! * `<xsl:template name="…">` — the transformation root,
+//! * everything else is copied to the output verbatim (text content).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::clafer::AttrValue;
+use crate::xml::{Element, Node};
+
+/// An XSL evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XslError {
+    /// Description.
+    pub message: String,
+}
+
+impl XslError {
+    fn new(message: impl Into<String>) -> Self {
+        XslError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xsl error: {}", self.message)
+    }
+}
+
+impl Error for XslError {}
+
+/// Applies the template rooted at `root` (an `xsl:stylesheet` or
+/// `xsl:template`) to the configuration, producing text output.
+///
+/// # Errors
+///
+/// [`XslError`] for unknown instructions, unknown attributes in `select`,
+/// or malformed `test` expressions.
+pub fn apply(root: &Element, config: &BTreeMap<String, AttrValue>) -> Result<String, XslError> {
+    let mut out = String::new();
+    if root.name == "xsl:stylesheet" {
+        for child in &root.children {
+            if let Node::Element(e) = child {
+                if e.name == "xsl:template" {
+                    eval_children(e, config, &mut out)?;
+                }
+            }
+        }
+    } else {
+        eval_children(root, config, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn eval_children(
+    e: &Element,
+    config: &BTreeMap<String, AttrValue>,
+    out: &mut String,
+) -> Result<(), XslError> {
+    for child in &e.children {
+        eval_node(child, config, out)?;
+    }
+    Ok(())
+}
+
+fn eval_node(
+    node: &Node,
+    config: &BTreeMap<String, AttrValue>,
+    out: &mut String,
+) -> Result<(), XslError> {
+    match node {
+        Node::Text(t) => {
+            out.push_str(t);
+            Ok(())
+        }
+        Node::Element(e) => match e.name.as_str() {
+            "xsl:value-of" => {
+                let select = e
+                    .attr("select")
+                    .ok_or_else(|| XslError::new("value-of without select"))?;
+                let value = config
+                    .get(select)
+                    .ok_or_else(|| XslError::new(format!("unknown attribute `{select}`")))?;
+                out.push_str(&value.to_string());
+                Ok(())
+            }
+            "xsl:if" => {
+                let test = e.attr("test").ok_or_else(|| XslError::new("if without test"))?;
+                if eval_test(test, config)? {
+                    eval_children(e, config, out)?;
+                }
+                Ok(())
+            }
+            "xsl:choose" => {
+                for branch in &e.children {
+                    if let Node::Element(b) = branch {
+                        match b.name.as_str() {
+                            "xsl:when" => {
+                                let test = b
+                                    .attr("test")
+                                    .ok_or_else(|| XslError::new("when without test"))?;
+                                if eval_test(test, config)? {
+                                    eval_children(b, config, out)?;
+                                    return Ok(());
+                                }
+                            }
+                            "xsl:otherwise" => {
+                                eval_children(b, config, out)?;
+                                return Ok(());
+                            }
+                            other => {
+                                return Err(XslError::new(format!(
+                                    "unexpected `{other}` inside choose"
+                                )))
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }
+            other => Err(XslError::new(format!("unknown instruction `{other}`"))),
+        },
+    }
+}
+
+/// Evaluates `attr == 'lit'` / `attr != 'lit'` / `attr == 123`.
+fn eval_test(test: &str, config: &BTreeMap<String, AttrValue>) -> Result<bool, XslError> {
+    let (lhs, equals, rhs) = if let Some((l, r)) = test.split_once("==") {
+        (l, true, r)
+    } else if let Some((l, r)) = test.split_once("!=") {
+        (l, false, r)
+    } else {
+        return Err(XslError::new(format!("bad test `{test}`")));
+    };
+    let attr = lhs.trim();
+    let value = config
+        .get(attr)
+        .ok_or_else(|| XslError::new(format!("unknown attribute `{attr}`")))?;
+    let rhs = rhs.trim();
+    let expected = if let Some(stripped) = rhs.strip_prefix('\'') {
+        AttrValue::Str(
+            stripped
+                .strip_suffix('\'')
+                .ok_or_else(|| XslError::new(format!("unterminated literal in `{test}`")))?
+                .to_owned(),
+        )
+    } else {
+        AttrValue::Int(
+            rhs.parse::<i64>()
+                .map_err(|_| XslError::new(format!("bad literal in `{test}`")))?,
+        )
+    };
+    let same = *value == expected;
+    Ok(if equals { same } else { !same })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml::parse;
+
+    fn config() -> BTreeMap<String, AttrValue> {
+        BTreeMap::from([
+            ("alg".to_owned(), AttrValue::Str("AES".into())),
+            ("keySize".to_owned(), AttrValue::Int(128)),
+        ])
+    }
+
+    #[test]
+    fn value_of_substitutes() {
+        let t = parse(r#"<xsl:template name="t">key = <xsl:value-of select="alg"/>-<xsl:value-of select="keySize"/>;</xsl:template>"#).unwrap();
+        assert_eq!(apply(&t, &config()).unwrap(), "key = AES-128;");
+    }
+
+    #[test]
+    fn if_filters_output() {
+        let t = parse(
+            r#"<xsl:template name="t"><xsl:if test="keySize == 128">small</xsl:if><xsl:if test="keySize == 256">big</xsl:if></xsl:template>"#,
+        )
+        .unwrap();
+        assert_eq!(apply(&t, &config()).unwrap(), "small");
+    }
+
+    #[test]
+    fn choose_picks_first_matching_when() {
+        let t = parse(
+            r#"<xsl:template name="t"><xsl:choose><xsl:when test="alg == 'DES'">weak</xsl:when><xsl:when test="alg == 'AES'">strong</xsl:when><xsl:otherwise>other</xsl:otherwise></xsl:choose></xsl:template>"#,
+        )
+        .unwrap();
+        assert_eq!(apply(&t, &config()).unwrap(), "strong");
+    }
+
+    #[test]
+    fn otherwise_fires_when_nothing_matches() {
+        let t = parse(
+            r#"<xsl:template name="t"><xsl:choose><xsl:when test="alg == 'DES'">weak</xsl:when><xsl:otherwise>fallback</xsl:otherwise></xsl:choose></xsl:template>"#,
+        )
+        .unwrap();
+        assert_eq!(apply(&t, &config()).unwrap(), "fallback");
+    }
+
+    #[test]
+    fn stylesheet_concatenates_templates() {
+        let t = parse(
+            r#"<xsl:stylesheet><xsl:template name="a">A</xsl:template><xsl:template name="b">B</xsl:template></xsl:stylesheet>"#,
+        )
+        .unwrap();
+        assert_eq!(apply(&t, &config()).unwrap(), "AB");
+    }
+
+    #[test]
+    fn errors_for_unknown_select_and_bad_tests() {
+        let t = parse(r#"<xsl:template name="t"><xsl:value-of select="nope"/></xsl:template>"#)
+            .unwrap();
+        assert!(apply(&t, &config()).is_err());
+        let t2 = parse(r#"<xsl:template name="t"><xsl:if test="garbage">x</xsl:if></xsl:template>"#)
+            .unwrap();
+        assert!(apply(&t2, &config()).is_err());
+        let t3 = parse(r#"<xsl:template name="t"><bogus/></xsl:template>"#).unwrap();
+        assert!(apply(&t3, &config()).is_err());
+    }
+}

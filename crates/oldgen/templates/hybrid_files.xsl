@@ -1,0 +1,107 @@
+<?xml version="1.0"?>
+<!-- XSL template for "Hybrid File Encryption" (old-generator artefact). -->
+<xsl:stylesheet>
+<xsl:template name="imports">package de.crypto.cognicrypt;
+
+import java.security.SecureRandom;
+import java.security.KeyPair;
+import java.security.KeyPairGenerator;
+import java.security.PrivateKey;
+import java.security.PublicKey;
+import java.security.NoSuchAlgorithmException;
+import java.security.InvalidKeyException;
+import java.security.InvalidAlgorithmParameterException;
+import javax.crypto.Cipher;
+import javax.crypto.KeyGenerator;
+import javax.crypto.SecretKey;
+import javax.crypto.BadPaddingException;
+import javax.crypto.IllegalBlockSizeException;
+import javax.crypto.NoSuchPaddingException;
+import javax.crypto.spec.IvParameterSpec;
+import java.nio.file.Files;
+import java.nio.file.Paths;
+import java.io.IOException;
+
+public class HybridFileEncryptor {
+</xsl:template>
+<xsl:template name="keyPair">
+    public KeyPair generateKeyPair() throws NoSuchAlgorithmException {
+        KeyPairGenerator keyPairGenerator = KeyPairGenerator.getInstance("RSA");
+        keyPairGenerator.initialize(<xsl:value-of select="rsaKeySize"/>);
+        return keyPairGenerator.generateKeyPair();
+    }
+</xsl:template>
+<xsl:template name="sessionKey">
+    public SecretKey generateSessionKey() throws NoSuchAlgorithmException {
+        KeyGenerator keyGenerator =
+                KeyGenerator.getInstance("<xsl:value-of select="sessionKeyAlgorithm"/>");
+        keyGenerator.init(<xsl:value-of select="sessionKeySize"/>);
+        return keyGenerator.generateKey();
+    }
+</xsl:template>
+<xsl:template name="wrap">
+    public byte[] wrapSessionKey(SecretKey sessionKey, PublicKey publicKey)
+            throws NoSuchAlgorithmException, NoSuchPaddingException,
+            InvalidKeyException, IllegalBlockSizeException {
+        Cipher cipher = Cipher.getInstance("<xsl:value-of select="wrapTransformation"/>");
+        cipher.init(Cipher.WRAP_MODE, publicKey);
+        return cipher.wrap(sessionKey);
+    }
+
+    public SecretKey unwrapSessionKey(byte[] wrapped, PrivateKey privateKey)
+            throws NoSuchAlgorithmException, NoSuchPaddingException,
+            InvalidKeyException {
+        Cipher cipher = Cipher.getInstance("<xsl:value-of select="wrapTransformation"/>");
+        cipher.init(Cipher.UNWRAP_MODE, privateKey);
+        return (SecretKey) cipher.unwrap(wrapped,
+                "<xsl:value-of select="sessionKeyAlgorithm"/>", Cipher.SECRET_KEY);
+    }
+</xsl:template>
+<xsl:template name="encrypt">
+    public void encryptFile(String inPath, String outPath, SecretKey key)
+            throws NoSuchAlgorithmException, NoSuchPaddingException,
+            InvalidKeyException, InvalidAlgorithmParameterException,
+            IllegalBlockSizeException, BadPaddingException, IOException {
+        byte[] plainText = Files.readAllBytes(Paths.get(inPath));
+        byte[] ivBytes = new byte[<xsl:value-of select="ivLength"/>];
+        SecureRandom secureRandom = SecureRandom.getInstance("<xsl:value-of select="prng"/>");
+        secureRandom.nextBytes(ivBytes);
+        IvParameterSpec ivSpec = new IvParameterSpec(ivBytes);
+        Cipher cipher = Cipher.getInstance("<xsl:value-of select="dataTransformation"/>");
+        cipher.init(Cipher.ENCRYPT_MODE, key, ivSpec);
+        byte[] cipherText = cipher.doFinal(plainText);
+        byte[] framed = new byte[ivBytes.length + cipherText.length];
+        System.arraycopy(ivBytes, 0, framed, 0, ivBytes.length);
+        System.arraycopy(cipherText, 0, framed, ivBytes.length, cipherText.length);
+        Files.write(Paths.get(outPath), framed);
+    }
+</xsl:template>
+<xsl:template name="decrypt">
+    public void decryptFile(String inPath, String outPath, SecretKey key)
+            throws NoSuchAlgorithmException, NoSuchPaddingException,
+            InvalidKeyException, InvalidAlgorithmParameterException,
+            IllegalBlockSizeException, BadPaddingException, IOException {
+        byte[] data = Files.readAllBytes(Paths.get(inPath));
+        byte[] ivBytes = new byte[<xsl:value-of select="ivLength"/>];
+        System.arraycopy(data, 0, ivBytes, 0, ivBytes.length);
+        byte[] encrypted = new byte[data.length - ivBytes.length];
+        System.arraycopy(data, ivBytes.length, encrypted, 0, encrypted.length);
+        IvParameterSpec ivSpec = new IvParameterSpec(ivBytes);
+        Cipher cipher = Cipher.getInstance("<xsl:value-of select="dataTransformation"/>");
+        cipher.init(Cipher.DECRYPT_MODE, key, ivSpec);
+        byte[] decrypted = cipher.doFinal(encrypted);
+        Files.write(Paths.get(outPath), decrypted);
+    }
+</xsl:template>
+<xsl:template name="usage">
+    public static void templateUsage(String inPath, String outPath) throws Exception {
+        HybridFileEncryptor enc = new HybridFileEncryptor();
+        KeyPair keyPair = enc.generateKeyPair();
+        SecretKey sessionKey = enc.generateSessionKey();
+        enc.encryptFile(inPath, outPath, sessionKey);
+        byte[] wrapped = enc.wrapSessionKey(sessionKey, keyPair.getPublic());
+        SecretKey recovered = enc.unwrapSessionKey(wrapped, keyPair.getPrivate());
+    }
+}
+</xsl:template>
+</xsl:stylesheet>

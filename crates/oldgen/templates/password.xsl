@@ -1,0 +1,53 @@
+<?xml version="1.0"?>
+<!-- XSL template for "Secure User-Password Storage" (old-generator artefact). -->
+<xsl:stylesheet>
+<xsl:template name="imports">package de.crypto.cognicrypt;
+
+import java.security.SecureRandom;
+import java.security.NoSuchAlgorithmException;
+import java.security.spec.InvalidKeySpecException;
+import java.util.Arrays;
+import javax.crypto.SecretKey;
+import javax.crypto.SecretKeyFactory;
+import javax.crypto.spec.PBEKeySpec;
+
+public class SecurePasswordStore {
+</xsl:template>
+<xsl:template name="createSalt">
+    public byte[] createSalt() throws NoSuchAlgorithmException {
+        byte[] salt = new byte[<xsl:value-of select="saltLength"/>];
+        SecureRandom secureRandom = SecureRandom.getInstance("<xsl:value-of select="prng"/>");
+        secureRandom.nextBytes(salt);
+        return salt;
+    }
+</xsl:template>
+<xsl:template name="hash">
+    public byte[] hashPassword(char[] pwd, byte[] salt)
+            throws NoSuchAlgorithmException, InvalidKeySpecException {
+        PBEKeySpec pbeKeySpec = new PBEKeySpec(pwd, salt,
+                <xsl:value-of select="iterations"/>, <xsl:value-of select="hashSize"/>);
+        SecretKeyFactory secretKeyFactory =
+                SecretKeyFactory.getInstance("<xsl:value-of select="kdfAlgorithm"/>");
+        SecretKey secretKey = secretKeyFactory.generateSecret(pbeKeySpec);
+        byte[] hash = secretKey.getEncoded();
+        pbeKeySpec.clearPassword();
+        return hash;
+    }
+</xsl:template>
+<xsl:template name="verify">
+    public boolean verifyPassword(char[] pwd, byte[] salt, byte[] expectedHash)
+            throws NoSuchAlgorithmException, InvalidKeySpecException {
+        byte[] hash = hashPassword(pwd, salt);
+        return Arrays.equals(hash, expectedHash);
+    }
+</xsl:template>
+<xsl:template name="usage">
+    public static void templateUsage(char[] pwd) throws Exception {
+        SecurePasswordStore store = new SecurePasswordStore();
+        byte[] salt = store.createSalt();
+        byte[] hash = store.hashPassword(pwd, salt);
+        boolean ok = store.verifyPassword(pwd, salt, hash);
+    }
+}
+</xsl:template>
+</xsl:stylesheet>

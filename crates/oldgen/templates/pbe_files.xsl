@@ -1,0 +1,93 @@
+<?xml version="1.0"?>
+<!-- XSL template for "PBE on Files" (old-generator artefact).
+     The Java code below is hard-coded; only algorithm names, sizes and
+     iteration counts come from the Clafer configuration. Any change to
+     the API usage (e.g. a new clearPassword requirement) must be edited
+     here by hand, in every template that uses PBEKeySpec. -->
+<xsl:stylesheet>
+<xsl:template name="imports">package de.crypto.cognicrypt;
+
+import java.security.SecureRandom;
+import java.security.NoSuchAlgorithmException;
+import java.security.InvalidKeyException;
+import java.security.InvalidAlgorithmParameterException;
+import java.security.spec.InvalidKeySpecException;
+import java.nio.file.Files;
+import java.nio.file.Paths;
+import java.io.IOException;
+import javax.crypto.Cipher;
+import javax.crypto.SecretKey;
+import javax.crypto.SecretKeyFactory;
+import javax.crypto.BadPaddingException;
+import javax.crypto.IllegalBlockSizeException;
+import javax.crypto.NoSuchPaddingException;
+import javax.crypto.spec.IvParameterSpec;
+import javax.crypto.spec.PBEKeySpec;
+import javax.crypto.spec.SecretKeySpec;
+
+public class SecureFileEncryptor {
+</xsl:template>
+<xsl:template name="getKey">
+    public SecretKey getKey(char[] pwd)
+            throws NoSuchAlgorithmException, InvalidKeySpecException {
+        byte[] salt = new byte[<xsl:value-of select="saltLength"/>];
+        SecureRandom secureRandom = SecureRandom.getInstance("<xsl:value-of select="prng"/>");
+        secureRandom.nextBytes(salt);
+        PBEKeySpec pbeKeySpec = new PBEKeySpec(pwd, salt,
+                <xsl:value-of select="iterations"/>, <xsl:value-of select="keySize"/>);
+        SecretKeyFactory secretKeyFactory =
+                SecretKeyFactory.getInstance("<xsl:value-of select="kdfAlgorithm"/>");
+        SecretKey secretKey = secretKeyFactory.generateSecret(pbeKeySpec);
+        byte[] keyMaterial = secretKey.getEncoded();
+        SecretKeySpec encryptionKey =
+                new SecretKeySpec(keyMaterial, "<xsl:value-of select="keyAlgorithm"/>");
+        pbeKeySpec.clearPassword();
+        return encryptionKey;
+    }
+</xsl:template>
+<xsl:template name="encrypt">
+    public void encryptFile(String inPath, String outPath, SecretKey key)
+            throws NoSuchAlgorithmException, NoSuchPaddingException,
+            InvalidKeyException, InvalidAlgorithmParameterException,
+            IllegalBlockSizeException, BadPaddingException, IOException {
+        byte[] plainText = Files.readAllBytes(Paths.get(inPath));
+        byte[] ivBytes = new byte[<xsl:value-of select="ivLength"/>];
+        SecureRandom secureRandom = SecureRandom.getInstance("<xsl:value-of select="prng"/>");
+        secureRandom.nextBytes(ivBytes);
+        IvParameterSpec ivSpec = new IvParameterSpec(ivBytes);
+        Cipher cipher = Cipher.getInstance("<xsl:value-of select="cipherTransformation"/>");
+        cipher.init(Cipher.ENCRYPT_MODE, key, ivSpec);
+        byte[] cipherText = cipher.doFinal(plainText);
+        byte[] framed = new byte[ivBytes.length + cipherText.length];
+        System.arraycopy(ivBytes, 0, framed, 0, ivBytes.length);
+        System.arraycopy(cipherText, 0, framed, ivBytes.length, cipherText.length);
+        Files.write(Paths.get(outPath), framed);
+    }
+</xsl:template>
+<xsl:template name="decrypt">
+    public void decryptFile(String inPath, String outPath, SecretKey key)
+            throws NoSuchAlgorithmException, NoSuchPaddingException,
+            InvalidKeyException, InvalidAlgorithmParameterException,
+            IllegalBlockSizeException, BadPaddingException, IOException {
+        byte[] data = Files.readAllBytes(Paths.get(inPath));
+        byte[] ivBytes = new byte[<xsl:value-of select="ivLength"/>];
+        System.arraycopy(data, 0, ivBytes, 0, ivBytes.length);
+        byte[] encrypted = new byte[data.length - ivBytes.length];
+        System.arraycopy(data, ivBytes.length, encrypted, 0, encrypted.length);
+        IvParameterSpec ivSpec = new IvParameterSpec(ivBytes);
+        Cipher cipher = Cipher.getInstance("<xsl:value-of select="cipherTransformation"/>");
+        cipher.init(Cipher.DECRYPT_MODE, key, ivSpec);
+        byte[] decrypted = cipher.doFinal(encrypted);
+        Files.write(Paths.get(outPath), decrypted);
+    }
+</xsl:template>
+<xsl:template name="usage">
+    public static void templateUsage(char[] pwd, String inPath, String outPath)
+            throws Exception {
+        SecureFileEncryptor enc = new SecureFileEncryptor();
+        SecretKey key = enc.getKey(pwd);
+        enc.encryptFile(inPath, outPath, key);
+    }
+}
+</xsl:template>
+</xsl:stylesheet>

@@ -1,0 +1,51 @@
+<?xml version="1.0"?>
+<!-- XSL template for "Digital Signing of Strings" (old-generator artefact). -->
+<xsl:stylesheet>
+<xsl:template name="imports">package de.crypto.cognicrypt;
+
+import java.security.KeyPair;
+import java.security.KeyPairGenerator;
+import java.security.PrivateKey;
+import java.security.PublicKey;
+import java.security.Signature;
+import java.security.NoSuchAlgorithmException;
+import java.security.InvalidKeyException;
+import java.security.SignatureException;
+
+public class SecureSigner {
+</xsl:template>
+<xsl:template name="keyPair">
+    public KeyPair generateKeyPair() throws NoSuchAlgorithmException {
+        KeyPairGenerator keyPairGenerator = KeyPairGenerator.getInstance("RSA");
+        keyPairGenerator.initialize(<xsl:value-of select="rsaKeySize"/>);
+        return keyPairGenerator.generateKeyPair();
+    }
+</xsl:template>
+<xsl:template name="sign">
+    public byte[] sign(String data, PrivateKey privateKey)
+            throws NoSuchAlgorithmException, InvalidKeyException, SignatureException {
+        Signature signature = Signature.getInstance("<xsl:value-of select="signatureAlgorithm"/>");
+        signature.initSign(privateKey);
+        signature.update(data.getBytes());
+        return signature.sign();
+    }
+</xsl:template>
+<xsl:template name="verify">
+    public boolean verify(String data, byte[] sig, PublicKey publicKey)
+            throws NoSuchAlgorithmException, InvalidKeyException, SignatureException {
+        Signature signature = Signature.getInstance("<xsl:value-of select="signatureAlgorithm"/>");
+        signature.initVerify(publicKey);
+        signature.update(data.getBytes());
+        return signature.verify(sig);
+    }
+</xsl:template>
+<xsl:template name="usage">
+    public static void templateUsage(String data) throws Exception {
+        SecureSigner signer = new SecureSigner();
+        KeyPair keyPair = signer.generateKeyPair();
+        byte[] sig = signer.sign(data, keyPair.getPrivate());
+        boolean ok = signer.verify(data, sig, keyPair.getPublic());
+    }
+}
+</xsl:template>
+</xsl:stylesheet>

@@ -1,0 +1,203 @@
+//! The JCA CrySL rule set shipped with this reproduction.
+//!
+//! Fourteen rules cover every class the paper's eleven use cases touch.
+//! They are adaptations of the publicly maintained CrySL rules for the
+//! Java Cryptography Architecture, rewritten in this crate's CrySL dialect
+//! and tuned as the paper describes (§4): `in`-constraint literals ordered
+//! by generation preference, predicate first arguments holding operation
+//! results, and `instanceof` constraints distinguishing symmetric from
+//! asymmetric Cipher usage.
+//!
+//! # Example
+//!
+//! ```
+//! let set = rules::jca_rules();
+//! assert!(set.by_name("javax.crypto.Cipher").is_some());
+//! assert_eq!(set.len(), 14);
+//! ```
+
+use crysl::{CryslError, RuleSet};
+
+/// Name and source text of every shipped rule.
+pub const RULE_SOURCES: &[(&str, &str)] = &[
+    ("SecureRandom", include_str!("../jca/SecureRandom.crysl")),
+    ("PBEKeySpec", include_str!("../jca/PBEKeySpec.crysl")),
+    (
+        "SecretKeyFactory",
+        include_str!("../jca/SecretKeyFactory.crysl"),
+    ),
+    ("SecretKey", include_str!("../jca/SecretKey.crysl")),
+    ("SecretKeySpec", include_str!("../jca/SecretKeySpec.crysl")),
+    ("KeyGenerator", include_str!("../jca/KeyGenerator.crysl")),
+    ("Cipher", include_str!("../jca/Cipher.crysl")),
+    (
+        "IvParameterSpec",
+        include_str!("../jca/IvParameterSpec.crysl"),
+    ),
+    (
+        "GCMParameterSpec",
+        include_str!("../jca/GCMParameterSpec.crysl"),
+    ),
+    ("MessageDigest", include_str!("../jca/MessageDigest.crysl")),
+    ("Signature", include_str!("../jca/Signature.crysl")),
+    (
+        "KeyPairGenerator",
+        include_str!("../jca/KeyPairGenerator.crysl"),
+    ),
+    ("KeyPair", include_str!("../jca/KeyPair.crysl")),
+    ("Mac", include_str!("../jca/Mac.crysl")),
+];
+
+/// Parses and returns the full JCA rule set.
+///
+/// # Panics
+///
+/// Panics if a shipped rule fails to parse — that is a build defect, and
+/// [`try_jca_rules`] exists for callers that prefer an error.
+pub fn jca_rules() -> RuleSet {
+    try_jca_rules().expect("shipped JCA rules must parse")
+}
+
+/// Parses the shipped rule set, surfacing any parse error.
+///
+/// # Errors
+///
+/// Returns the first [`CryslError`] hit while parsing/validating a rule.
+pub fn try_jca_rules() -> Result<RuleSet, CryslError> {
+    let mut set = RuleSet::new();
+    for (_, src) in RULE_SOURCES {
+        set.add_source(src)?;
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crysl::ast::{Constraint, Literal, PredArg};
+    use statemachine::paths::{enumerate, PathLimit};
+    use statemachine::{Dfa, Nfa};
+
+    #[test]
+    fn all_rules_parse_and_validate() {
+        let set = try_jca_rules().unwrap();
+        assert_eq!(set.len(), RULE_SOURCES.len());
+    }
+
+    #[test]
+    fn pbekeyspec_matches_paper_figure_2() {
+        let set = jca_rules();
+        let r = set.by_name("javax.crypto.spec.PBEKeySpec").unwrap();
+        assert_eq!(r.objects.len(), 4);
+        assert!(r.method_event("c1").unwrap().is_constructor_of("PBEKeySpec"));
+        assert_eq!(r.requires[0].name, "randomized");
+        assert_eq!(r.ensures[0].predicate.name, "speccedKey");
+        assert_eq!(r.ensures[0].after.as_deref(), Some("c1"));
+        assert_eq!(r.negates[0].name, "speccedKey");
+        assert_eq!(r.negates[0].args[1], PredArg::Wildcard);
+        // iterationCount >= 10000 present
+        assert!(r.constraints.iter().any(|c| matches!(
+            c,
+            Constraint::Cmp { left: crysl::ast::Atom::Var(v), .. } if v == "iterationCount"
+        )));
+        assert_eq!(r.forbidden.len(), 1);
+    }
+
+    #[test]
+    fn every_rule_has_a_finite_generation_path_set() {
+        let set = jca_rules();
+        for rule in set.iter() {
+            let paths = enumerate(rule, PathLimit::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", rule.class_name));
+            assert!(!paths.is_empty(), "{} has no paths", rule.class_name);
+            // Every enumerated path must be accepted by the rule's DFA.
+            let dfa = Dfa::from_nfa(&Nfa::from_rule(rule).unwrap());
+            for p in &paths {
+                let word: Vec<&str> = p.iter().map(String::as_str).collect();
+                assert!(
+                    dfa.accepts(word.iter().copied()),
+                    "{}: path {p:?} rejected",
+                    rule.class_name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cipher_has_instanceof_guarded_transformations() {
+        let set = jca_rules();
+        let cipher = set.by_name("javax.crypto.Cipher").unwrap();
+        let mut symmetric = None;
+        let mut asymmetric = 0;
+        for c in &cipher.constraints {
+            if let Constraint::Implies {
+                antecedent,
+                consequent,
+            } = c
+            {
+                if let Constraint::InstanceOf { java_type, .. } = antecedent.as_ref() {
+                    if java_type.as_str() == "javax.crypto.SecretKey" {
+                        symmetric = Some(consequent.clone());
+                    } else {
+                        asymmetric += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(asymmetric, 2);
+        match symmetric.as_deref() {
+            Some(Constraint::In { choices, .. }) => {
+                assert_eq!(choices[0], Literal::Str("AES/CBC/PKCS5Padding".into()));
+            }
+            other => panic!("expected In constraint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signature_paths_split_on_sign_and_verify() {
+        let set = jca_rules();
+        let sig = set.by_name("java.security.Signature").unwrap();
+        let paths = enumerate(sig, PathLimit::default()).unwrap();
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().any(|p| p.contains(&"s1".to_owned())));
+        assert!(paths.iter().any(|p| p.contains(&"v1".to_owned())));
+    }
+
+    #[test]
+    fn predicate_graph_links_pbe_chain() {
+        let set = jca_rules();
+        // randomized: SecureRandom -> PBEKeySpec / IvParameterSpec / GCM
+        assert_eq!(set.ensurers_of("randomized").len(), 1);
+        // speccedKey: PBEKeySpec -> SecretKeyFactory
+        assert_eq!(set.ensurers_of("speccedKey").len(), 1);
+        // generatedKey: SecretKeyFactory, SecretKeySpec, KeyGenerator,
+        // KeyPair, and Cipher (unwrap).
+        assert_eq!(set.ensurers_of("generatedKey").len(), 5);
+        // preparedIV: IvParameterSpec, GCMParameterSpec
+        assert_eq!(set.ensurers_of("preparedIV").len(), 2);
+    }
+
+    #[test]
+    fn every_shipped_rule_roundtrips_through_the_printer() {
+        // parse → print → parse is the identity on rule semantics.
+        for (name, src) in RULE_SOURCES {
+            let rule = crysl::parse_rule(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let printed = crysl::printer::print_rule(&rule);
+            let reparsed = crysl::parse_rule(&printed)
+                .unwrap_or_else(|e| panic!("{name} reparse: {e}\n---\n{printed}"));
+            assert_eq!(rule, reparsed, "{name} changed across the round trip");
+        }
+    }
+
+    #[test]
+    fn preference_order_lists_cbc_first_and_sha256_only() {
+        let set = jca_rules();
+        let md = set.by_name("java.security.MessageDigest").unwrap();
+        assert_eq!(
+            md.in_choices("alg").unwrap(),
+            &[Literal::Str("SHA-256".into())]
+        );
+        let kg = set.by_name("javax.crypto.KeyGenerator").unwrap();
+        assert_eq!(kg.in_choices("keySize").unwrap()[0], Literal::Int(128));
+    }
+}

@@ -1,0 +1,87 @@
+//! The abstract domain: allocation-site objects, tracked rule state,
+//! constant values and origin types.
+
+use std::collections::{HashMap, HashSet};
+
+use crysl::ast::{Literal, Rule};
+use javamodel::ast::JavaType;
+use statemachine::Dfa;
+
+/// An abstract value identifier (allocation site / parameter slot).
+pub type ValId = usize;
+
+/// What the analyzer knows about a value.
+#[derive(Debug, Clone)]
+pub struct AbsVal {
+    /// Identity (kept for diagnostics).
+    #[allow(dead_code)]
+    pub id: ValId,
+    /// Static type, as precise as inference allows.
+    pub ty: JavaType,
+    /// Constant value, when known (literals and constant arrays).
+    pub constant: Option<Literal>,
+    /// Whether this value is a constant array (e.g. a hard-coded salt).
+    pub constant_array: bool,
+    /// The type this value *originated* from, for `neverTypeOf` checks —
+    /// e.g. a `char[]` produced by `String.toCharArray()` originates from
+    /// `java.lang.String`.
+    pub origin: Option<String>,
+    /// Whether the value entered the method as a parameter (producers
+    /// outside the analysis scope).
+    pub from_parameter: bool,
+}
+
+impl AbsVal {
+    /// A fresh value of the given type.
+    pub fn new(id: ValId, ty: JavaType) -> Self {
+        AbsVal {
+            id,
+            ty,
+            constant: None,
+            constant_array: false,
+            origin: None,
+            from_parameter: false,
+        }
+    }
+}
+
+/// The tracked typestate of one ruled object.
+#[derive(Debug)]
+pub struct TrackedObject<'r> {
+    /// The abstract value this object tracks.
+    pub val: ValId,
+    /// The governing rule.
+    pub rule: &'r Rule,
+    /// Its usage-pattern DFA.
+    pub dfa: Dfa,
+    /// Current DFA state; `None` once a typestate error killed tracking.
+    pub state: Option<usize>,
+    /// Event labels observed so far.
+    pub observed: Vec<String>,
+    /// rule variable → abstract value bound at an observed event.
+    pub bindings: HashMap<String, ValId>,
+}
+
+/// The predicate store: `(predicate name, value id)` pairs currently
+/// granted.
+#[derive(Debug, Default)]
+pub struct PredicateStore {
+    granted: HashSet<(String, ValId)>,
+}
+
+impl PredicateStore {
+    /// Grants `pred` on `val`.
+    pub fn grant(&mut self, pred: &str, val: ValId) {
+        self.granted.insert((pred.to_owned(), val));
+    }
+
+    /// Revokes `pred` on `val` (NEGATES).
+    pub fn revoke(&mut self, pred: &str, val: ValId) {
+        self.granted.remove(&(pred.to_owned(), val));
+    }
+
+    /// Whether `pred` currently holds on `val`.
+    pub fn holds(&self, pred: &str, val: ValId) -> bool {
+        self.granted.contains(&(pred.to_owned(), val))
+    }
+}

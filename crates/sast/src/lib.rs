@@ -1,0 +1,28 @@
+//! A CrySL-driven static misuse analyzer — the CogniCryptSAST analogue.
+//!
+//! The paper validates CogniCryptGEN's output by running CogniCryptSAST
+//! over it (RQ1): generated code must contain no misuses. This crate
+//! implements the same five misuse classes over our Java-subset AST:
+//!
+//! * **Typestate errors** — a call the rule's `ORDER` automaton forbids in
+//!   the object's current state,
+//! * **Incomplete operations** — an object that never reaches an accepting
+//!   state (e.g. `clearPassword()` missing),
+//! * **Constraint errors** — constant arguments violating `CONSTRAINTS`
+//!   (low iteration counts, disallowed algorithms, `neverTypeOf` String
+//!   passwords),
+//! * **Required-predicate errors** — arguments lacking a predicate another
+//!   rule must have ensured (constant salts that were never randomized),
+//! * **Forbidden-method errors** — calls listed under `FORBIDDEN`.
+//!
+//! The analysis is intraprocedural and flow-sensitive, tracking one
+//! abstract object per allocation site — sufficient for generated code and
+//! for the paper's Figure 1 motivating example, which exhibits exactly
+//! three misuses that this analyzer reports.
+
+mod absdomain;
+mod analyzer;
+mod report;
+
+pub use analyzer::{analyze_method, analyze_unit, AnalyzerOptions};
+pub use report::{Misuse, MisuseKind};

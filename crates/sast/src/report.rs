@@ -1,0 +1,54 @@
+//! Misuse reports.
+
+use std::fmt;
+
+/// The misuse classes of CogniCryptSAST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MisuseKind {
+    /// A call the usage-pattern automaton forbids in the current state.
+    TypestateError,
+    /// An object that never reached an accepting state of its pattern.
+    IncompleteOperation,
+    /// A parameter value violating the rule's CONSTRAINTS.
+    ConstraintError,
+    /// A REQUIRES predicate missing on an argument.
+    RequiredPredicateError,
+    /// A call to a FORBIDDEN method.
+    ForbiddenMethodError,
+}
+
+impl fmt::Display for MisuseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MisuseKind::TypestateError => "TypestateError",
+            MisuseKind::IncompleteOperation => "IncompleteOperationError",
+            MisuseKind::ConstraintError => "ConstraintError",
+            MisuseKind::RequiredPredicateError => "RequiredPredicateError",
+            MisuseKind::ForbiddenMethodError => "ForbiddenMethodError",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One reported misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misuse {
+    /// Misuse class.
+    pub kind: MisuseKind,
+    /// The rule's class (the misused API).
+    pub class: String,
+    /// The method the misuse occurs in (`Class.method`).
+    pub location: String,
+    /// Human-readable details.
+    pub message: String,
+}
+
+impl fmt::Display for Misuse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} in {}: {}",
+            self.kind, self.class, self.location, self.message
+        )
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic finite automata via subset construction.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::nfa::Nfa;
+
+/// A deterministic finite automaton over method-event labels.
+///
+/// Built from an [`Nfa`] by subset construction. State 0 is the start
+/// state. Used by the static analyzer to track the typestate of each
+/// specified object, and by tests to check that enumerated generation
+/// paths are accepted.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    transitions: Vec<BTreeMap<String, usize>>,
+    accepting: Vec<bool>,
+}
+
+impl Dfa {
+    /// Builds a DFA directly from its parts (state 0 is the start). Used
+    /// by [`Dfa::minimize`] to construct the quotient automaton.
+    pub(crate) fn from_parts(
+        transitions: Vec<BTreeMap<String, usize>>,
+        accepting: Vec<bool>,
+    ) -> Dfa {
+        debug_assert_eq!(transitions.len(), accepting.len());
+        Dfa {
+            transitions,
+            accepting,
+        }
+    }
+
+    /// Subset construction.
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let start = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
+        let mut index: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        index.insert(start.clone(), 0);
+        let mut worklist = vec![start];
+        let mut transitions: Vec<BTreeMap<String, usize>> = vec![BTreeMap::new()];
+        let mut accepting = vec![false];
+        let alphabet: Vec<String> = nfa.alphabet().iter().map(|s| (*s).to_owned()).collect();
+
+        while let Some(set) = worklist.pop() {
+            let id = index[&set];
+            accepting[id] = set.contains(&nfa.accept());
+            for label in &alphabet {
+                let moved = nfa.move_on(&set, label);
+                if moved.is_empty() {
+                    continue;
+                }
+                let closed = nfa.epsilon_closure(&moved);
+                let next_id = *index.entry(closed.clone()).or_insert_with(|| {
+                    transitions.push(BTreeMap::new());
+                    accepting.push(false);
+                    worklist.push(closed.clone());
+                    transitions.len() - 1
+                });
+                transitions[id].insert(label.clone(), next_id);
+            }
+            // `accepting` for states discovered after their closure was
+            // computed is set when they are popped; ensure start is right.
+            if set.contains(&nfa.accept()) {
+                accepting[id] = true;
+            }
+        }
+        Dfa {
+            transitions,
+            accepting,
+        }
+    }
+
+    /// The start state (always 0).
+    pub fn start(&self) -> usize {
+        0
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Takes one step; `None` means the word is rejected (dead state).
+    pub fn step(&self, state: usize, label: &str) -> Option<usize> {
+        self.transitions.get(state)?.get(label).copied()
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting.get(state).copied().unwrap_or(false)
+    }
+
+    /// Runs the automaton on a word of labels.
+    pub fn accepts<'a>(&self, word: impl IntoIterator<Item = &'a str>) -> bool {
+        let mut state = self.start();
+        for label in word {
+            match self.step(state, label) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        self.is_accepting(state)
+    }
+
+    /// The labels on which `state` has outgoing transitions.
+    pub fn outgoing(&self, state: usize) -> impl Iterator<Item = (&str, usize)> {
+        self.transitions
+            .get(state)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(l, &t)| (l.as_str(), t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crysl::parse_rule;
+
+    fn dfa(src: &str) -> Dfa {
+        Dfa::from_nfa(&Nfa::from_rule(&parse_rule(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn accepts_simple_sequence() {
+        let d = dfa("SPEC X\nEVENTS a: f(); b: g();\nORDER a, b");
+        assert!(d.accepts(["a", "b"]));
+        assert!(!d.accepts(["a"]));
+        assert!(!d.accepts(["b", "a"]));
+        assert!(!d.accepts(["a", "b", "b"]));
+        assert!(!d.accepts([]));
+    }
+
+    #[test]
+    fn accepts_alternatives() {
+        let d = dfa("SPEC X\nEVENTS a: f(); b: g(); c: h();\nORDER a, (b | c)");
+        assert!(d.accepts(["a", "b"]));
+        assert!(d.accepts(["a", "c"]));
+        assert!(!d.accepts(["a", "b", "c"]));
+    }
+
+    #[test]
+    fn accepts_star_any_count() {
+        let d = dfa("SPEC X\nEVENTS i: init(); u: update(); f: fin();\nORDER i, u*, f");
+        assert!(d.accepts(["i", "f"]));
+        assert!(d.accepts(["i", "u", "f"]));
+        assert!(d.accepts(["i", "u", "u", "u", "f"]));
+        assert!(!d.accepts(["i", "u"]));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let d = dfa("SPEC X\nEVENTS u: update(); f: fin();\nORDER u+, f");
+        assert!(!d.accepts(["f"]));
+        assert!(d.accepts(["u", "f"]));
+        assert!(d.accepts(["u", "u", "f"]));
+    }
+
+    #[test]
+    fn optional_prefix() {
+        let d = dfa("SPEC X\nEVENTS s: set(); r: run();\nORDER s?, r");
+        assert!(d.accepts(["r"]));
+        assert!(d.accepts(["s", "r"]));
+        assert!(!d.accepts(["s"]));
+        assert!(!d.accepts(["s", "s", "r"]));
+    }
+
+    #[test]
+    fn empty_order_accepts_everything() {
+        let d = dfa("SPEC X\nEVENTS a: f(); b: g();");
+        assert!(d.accepts([]));
+        assert!(d.accepts(["a", "b", "a", "a"]));
+    }
+
+    #[test]
+    fn aggregate_expansion_in_dfa() {
+        let d = dfa("SPEC X\nEVENTS g1: f(); g2: f(_); G := g1 | g2; n: next();\nORDER G, n");
+        assert!(d.accepts(["g1", "n"]));
+        assert!(d.accepts(["g2", "n"]));
+        assert!(!d.accepts(["g1", "g2", "n"]));
+    }
+
+    #[test]
+    fn dead_state_rejects() {
+        let d = dfa("SPEC X\nEVENTS a: f();\nORDER a");
+        assert_eq!(d.step(d.start(), "zz"), None);
+    }
+}

@@ -1,0 +1,102 @@
+//! Graphviz DOT export for usage-pattern automata — handy when debugging
+//! a rule's ORDER section or documenting a rule set.
+
+use std::fmt::Write as _;
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+
+/// Renders a DFA in Graphviz DOT syntax. Accepting states are drawn as
+/// double circles; the start state is marked by an incoming arrow from an
+/// invisible node.
+pub fn dfa_to_dot(dfa: &Dfa, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(out, "    rankdir=LR;");
+    let _ = writeln!(out, "    __start [shape=point];");
+    let _ = writeln!(out, "    __start -> s{};", dfa.start());
+    for s in 0..dfa.state_count() {
+        let shape = if dfa.is_accepting(s) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "    s{s} [shape={shape}, label=\"{s}\"];");
+    }
+    for s in 0..dfa.state_count() {
+        for (label, t) in dfa.outgoing(s) {
+            let _ = writeln!(out, "    s{s} -> s{t} [label=\"{}\"];", escape(label));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders an NFA (including epsilon edges, drawn dashed).
+pub fn nfa_to_dot(nfa: &Nfa, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(out, "    rankdir=LR;");
+    let _ = writeln!(out, "    __start [shape=point];");
+    let _ = writeln!(out, "    __start -> s{};", nfa.start());
+    for s in 0..nfa.state_count() {
+        let shape = if s == nfa.accept() {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "    s{s} [shape={shape}, label=\"{s}\"];");
+    }
+    for t in nfa.transitions() {
+        match &t.label {
+            Some(l) => {
+                let _ = writeln!(
+                    out,
+                    "    s{} -> s{} [label=\"{}\"];",
+                    t.from,
+                    t.to,
+                    escape(l)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "    s{} -> s{} [style=dashed, label=\"ε\"];", t.from, t.to);
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crysl::parse_rule;
+
+    #[test]
+    fn dot_output_has_expected_structure() {
+        let rule = parse_rule("SPEC X\nEVENTS a: fa(); b: fb();\nORDER a, b?").unwrap();
+        let nfa = Nfa::from_rule(&rule).unwrap();
+        let dfa = Dfa::from_nfa(&nfa);
+        let dot = dfa_to_dot(&dfa, "X usage pattern");
+        assert!(dot.starts_with("digraph \"X usage pattern\" {"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("label=\"b\""));
+        assert!(dot.trim_end().ends_with('}'));
+
+        let ndot = nfa_to_dot(&nfa, "X");
+        assert!(ndot.contains("style=dashed")); // epsilon edges present
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let rule = parse_rule("SPEC X\nEVENTS a: fa();\nORDER a").unwrap();
+        let dfa = Dfa::from_nfa(&Nfa::from_rule(&rule).unwrap());
+        let dot = dfa_to_dot(&dfa, "quoted \"title\"");
+        assert!(dot.contains("digraph \"quoted \\\"title\\\"\""));
+    }
+}

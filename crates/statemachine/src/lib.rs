@@ -1,0 +1,40 @@
+//! Finite state machines over CrySL event labels.
+//!
+//! CogniCryptGEN translates a rule's `ORDER` pattern into a finite state
+//! machine and classifies any path of method calls that leads to an
+//! accepting state as correct (paper §3.3). This crate provides:
+//!
+//! * [`Nfa`] — Thompson construction from an [`crysl::ast::OrderExpr`],
+//!   with aggregates expanded to their concrete method events,
+//! * [`Dfa`] — subset construction, used by the static analyzer for
+//!   typestate checking,
+//! * [`paths`] — finite enumeration of accepting call sequences, with
+//!   repetition unrolled to *at most one* occurrence exactly as the paper
+//!   describes ("one where the method is not called and one where it is").
+//!
+//! # Example
+//!
+//! ```
+//! use crysl::parse_rule;
+//! use statemachine::{Dfa, Nfa, paths};
+//!
+//! let rule = parse_rule(
+//!     "SPEC X\nEVENTS a: first(); b: second(); c: third();\nORDER a, (b | c), b?",
+//! )?;
+//! let dfa = Dfa::from_nfa(&Nfa::from_rule(&rule)?);
+//! assert!(dfa.accepts(["a", "c", "b"].iter().copied()));
+//! assert!(!dfa.accepts(["b"].iter().copied()));
+//!
+//! let all = paths::enumerate(&rule, paths::PathLimit::default())?;
+//! assert_eq!(all.len(), 4); // a·b, a·c, a·b·b, a·c·b
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod dfa;
+pub mod dot;
+pub mod minimize;
+pub mod nfa;
+pub mod paths;
+
+pub use dfa::Dfa;
+pub use nfa::{Nfa, StateMachineError};

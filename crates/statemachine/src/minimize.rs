@@ -1,0 +1,217 @@
+//! DFA minimization by partition refinement (Moore's algorithm).
+//!
+//! The subset construction can produce redundant states, especially for
+//! rules with aggregates and nested alternatives. Minimization
+//! canonicalizes the automaton: two rules describe the same usage
+//! language iff their minimized DFAs are isomorphic, which the analyzer
+//! uses to keep typestate tracking small and tests use to compare ORDER
+//! patterns semantically.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::dfa::Dfa;
+
+impl Dfa {
+    /// Returns the minimal DFA recognizing the same language.
+    ///
+    /// Implementation: complete the automaton with an explicit dead state,
+    /// then refine the accepting/rejecting partition until stable, then
+    /// drop the dead state's class again.
+    pub fn minimize(&self) -> Dfa {
+        let alphabet: BTreeSet<String> = (0..self.state_count())
+            .flat_map(|s| self.outgoing(s).map(|(l, _)| l.to_owned()).collect::<Vec<_>>())
+            .collect();
+        let n = self.state_count();
+        let dead = n; // implicit dead state index in the completed automaton
+        let total = n + 1;
+
+        let step = |s: usize, a: &str| -> usize {
+            if s == dead {
+                dead
+            } else {
+                self.step(s, a).unwrap_or(dead)
+            }
+        };
+        let accepting = |s: usize| s != dead && self.is_accepting(s);
+
+        // Initial partition: accepting vs. non-accepting.
+        let mut class: Vec<usize> = (0..total).map(|s| usize::from(accepting(s))).collect();
+        loop {
+            // Signature of a state: (class, class of successor per letter).
+            let mut signature_to_class: BTreeMap<(usize, Vec<usize>), usize> = BTreeMap::new();
+            let mut next_class = vec![0usize; total];
+            for s in 0..total {
+                let sig = (
+                    class[s],
+                    alphabet.iter().map(|a| class[step(s, a)]).collect::<Vec<_>>(),
+                );
+                let next_id = signature_to_class.len();
+                let id = *signature_to_class.entry(sig).or_insert(next_id);
+                next_class[s] = id;
+            }
+            if next_class == class {
+                break;
+            }
+            class = next_class;
+        }
+
+        // Build the quotient automaton, skipping the dead class entirely
+        // (our Dfa representation treats missing transitions as rejection).
+        let dead_class = class[dead];
+        // Map surviving classes to dense indices, with the start state's
+        // class first.
+        let mut index: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut order: Vec<usize> = Vec::new();
+        let start_class = class[self.start()];
+        index.insert(start_class, 0);
+        order.push(start_class);
+        for &c in class.iter().take(n) {
+            if c != dead_class && !index.contains_key(&c) {
+                index.insert(c, order.len());
+                order.push(c);
+            }
+        }
+
+        let mut transitions: Vec<BTreeMap<String, usize>> = vec![BTreeMap::new(); order.len()];
+        let mut accepting_v = vec![false; order.len()];
+        for s in 0..n {
+            let c = class[s];
+            if c == dead_class {
+                continue;
+            }
+            let from = index[&c];
+            if self.is_accepting(s) {
+                accepting_v[from] = true;
+            }
+            for a in &alphabet {
+                let t = step(s, a);
+                let tc = class[t];
+                if tc != dead_class {
+                    transitions[from].insert(a.clone(), index[&tc]);
+                }
+            }
+        }
+        Dfa::from_parts(transitions, accepting_v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crysl::parse_rule;
+
+    fn dfa(order: &str) -> Dfa {
+        let src = format!("SPEC X\nEVENTS a: fa(); b: fb(); c: fc();\nORDER {order}");
+        Dfa::from_nfa(&Nfa::from_rule(&parse_rule(&src).unwrap()).unwrap())
+    }
+
+    fn words(max_len: usize) -> Vec<Vec<&'static str>> {
+        let alphabet = ["a", "b", "c"];
+        let mut out: Vec<Vec<&'static str>> = vec![vec![]];
+        let mut frontier = vec![vec![]];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for l in alphabet {
+                    let mut w2: Vec<&'static str> = w.clone();
+                    w2.push(l);
+                    out.push(w2.clone());
+                    next.push(w2);
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    fn assert_equivalent(a: &Dfa, b: &Dfa) {
+        for w in words(5) {
+            assert_eq!(
+                a.accepts(w.iter().copied()),
+                b.accepts(w.iter().copied()),
+                "disagree on {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimization_preserves_the_language() {
+        for order in ["a, b", "(a | b), c", "a, b*, c", "(a, b)+ | c", "a?, b?, c?"] {
+            let d = dfa(order);
+            let m = d.minimize();
+            assert!(m.state_count() <= d.state_count(), "{order}");
+            assert_equivalent(&d, &m);
+        }
+    }
+
+    #[test]
+    fn equivalent_patterns_minimize_to_same_size() {
+        // `a | a` and `a` denote the same language.
+        let m1 = dfa("a | a").minimize();
+        let m2 = dfa("a").minimize();
+        assert_eq!(m1.state_count(), m2.state_count());
+        assert_equivalent(&m1, &m2);
+        // `a, (b | b)` equals `a, b`.
+        assert_equivalent(&dfa("a, (b | b)").minimize(), &dfa("a, b").minimize());
+    }
+
+    #[test]
+    fn redundant_alternative_states_collapse() {
+        // The subset construction for `(a, c) | (b, c)` has distinct
+        // intermediate states that the quotient merges.
+        let d = dfa("(a, c) | (b, c)");
+        let m = d.minimize();
+        assert!(m.state_count() < d.state_count() || d.state_count() <= 3);
+        assert_equivalent(&d, &m);
+    }
+
+    #[test]
+    fn minimal_dfa_of_shipped_rules_is_small() {
+        for rule in rules_fixture() {
+            let d = Dfa::from_nfa(&Nfa::from_rule(&rule).unwrap());
+            let m = d.minimize();
+            assert!(m.state_count() <= d.state_count());
+            // Spot-check equivalence on short words over the rule alphabet.
+            let labels: Vec<String> = rule
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    crysl::ast::EventDecl::Method(m) => Some(m.label.clone()),
+                    _ => None,
+                })
+                .collect();
+            let mut stack: Vec<Vec<&str>> = vec![vec![]];
+            for _ in 0..3 {
+                let mut next = Vec::new();
+                for w in &stack {
+                    for l in &labels {
+                        let mut w2 = w.clone();
+                        w2.push(l.as_str());
+                        next.push(w2);
+                    }
+                }
+                for w in &next {
+                    assert_eq!(
+                        d.accepts(w.iter().copied()),
+                        m.accepts(w.iter().copied()),
+                        "{}: {w:?}",
+                        rule.class_name
+                    );
+                }
+                stack = next;
+            }
+        }
+    }
+
+    fn rules_fixture() -> Vec<crysl::Rule> {
+        [
+            "SPEC A\nEVENTS g: getInstance(); i: init(); f: doFinal();\nORDER g, i, f",
+            "SPEC B\nEVENTS a: fa(); b: fb();\nORDER a, b*",
+            "SPEC C\nEVENTS x: fx(); y: fy(); z: fz();\nORDER (x | y)+, z?",
+        ]
+        .iter()
+        .map(|s| parse_rule(s).unwrap())
+        .collect()
+    }
+}

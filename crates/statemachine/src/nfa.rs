@@ -1,0 +1,314 @@
+//! Thompson construction of an NFA from a CrySL `ORDER` expression.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use crysl::ast::{EventDecl, OrderExpr, Rule};
+
+/// Errors produced while building or exploring a state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateMachineError {
+    /// An `ORDER` label did not resolve to any concrete method event.
+    UnknownLabel(String),
+    /// Path enumeration exceeded the configured limit.
+    TooManyPaths {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for StateMachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateMachineError::UnknownLabel(l) => {
+                write!(f, "ORDER label `{l}` resolves to no method event")
+            }
+            StateMachineError::TooManyPaths { limit } => {
+                write!(f, "path enumeration exceeded limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for StateMachineError {}
+
+/// A transition on a concrete method-event label, or an epsilon move.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state.
+    pub from: usize,
+    /// Label, or `None` for an epsilon transition.
+    pub label: Option<String>,
+    /// Target state.
+    pub to: usize,
+}
+
+/// A nondeterministic finite automaton over method-event labels.
+///
+/// States are dense indices; `start` is always state 0 of the construction.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    state_count: usize,
+    start: usize,
+    accept: usize,
+    transitions: Vec<Transition>,
+}
+
+impl Nfa {
+    /// Builds the NFA for a rule's `ORDER` pattern.
+    ///
+    /// Aggregate labels are expanded to alternatives over their concrete
+    /// method events, so the automaton's alphabet consists solely of
+    /// method-event labels. A rule without an `ORDER` section yields an
+    /// automaton accepting any sequence of the rule's events (the CrySL
+    /// semantics of an unconstrained usage pattern).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateMachineError::UnknownLabel`] if a label resolves to no
+    /// method event (validation normally rules this out).
+    pub fn from_rule(rule: &Rule) -> Result<Nfa, StateMachineError> {
+        let order = match &rule.order {
+            OrderExpr::Empty => {
+                // No ORDER: every event may occur any number of times.
+                let labels: Vec<OrderExpr> = rule
+                    .events
+                    .iter()
+                    .filter_map(|e| match e {
+                        EventDecl::Method(m) => Some(OrderExpr::Label(m.label.clone())),
+                        EventDecl::Aggregate { .. } => None,
+                    })
+                    .collect();
+                if labels.is_empty() {
+                    OrderExpr::Empty
+                } else {
+                    OrderExpr::Star(Box::new(OrderExpr::Alt(labels)))
+                }
+            }
+            other => other.clone(),
+        };
+        let mut builder = Builder {
+            rule,
+            next_state: 0,
+            transitions: Vec::new(),
+        };
+        let start = builder.fresh();
+        let accept = builder.fresh();
+        builder.build(&order, start, accept)?;
+        Ok(Nfa {
+            state_count: builder.next_state,
+            start,
+            accept,
+            transitions: builder.transitions,
+        })
+    }
+
+    /// The initial state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The (single) accepting state of the Thompson construction.
+    pub fn accept(&self) -> usize {
+        self.accept
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// The epsilon closure of a set of states.
+    pub fn epsilon_closure(&self, states: &BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut closure = states.clone();
+        let mut frontier: Vec<usize> = states.iter().copied().collect();
+        while let Some(s) = frontier.pop() {
+            for t in &self.transitions {
+                if t.from == s && t.label.is_none() && closure.insert(t.to) {
+                    frontier.push(t.to);
+                }
+            }
+        }
+        closure
+    }
+
+    /// States reachable from `states` by consuming `label` (no closure
+    /// applied to the result).
+    pub fn move_on(&self, states: &BTreeSet<usize>, label: &str) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for t in &self.transitions {
+            if states.contains(&t.from) && t.label.as_deref() == Some(label) {
+                out.insert(t.to);
+            }
+        }
+        out
+    }
+
+    /// The alphabet: every distinct transition label, sorted.
+    pub fn alphabet(&self) -> Vec<&str> {
+        let mut labels: Vec<&str> = self
+            .transitions
+            .iter()
+            .filter_map(|t| t.label.as_deref())
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+}
+
+struct Builder<'r> {
+    rule: &'r Rule,
+    next_state: usize,
+    transitions: Vec<Transition>,
+}
+
+impl Builder<'_> {
+    fn fresh(&mut self) -> usize {
+        let s = self.next_state;
+        self.next_state += 1;
+        s
+    }
+
+    fn eps(&mut self, from: usize, to: usize) {
+        self.transitions.push(Transition {
+            from,
+            label: None,
+            to,
+        });
+    }
+
+    fn sym(&mut self, from: usize, label: &str, to: usize) {
+        self.transitions.push(Transition {
+            from,
+            label: Some(label.to_owned()),
+            to,
+        });
+    }
+
+    fn build(&mut self, e: &OrderExpr, from: usize, to: usize) -> Result<(), StateMachineError> {
+        match e {
+            OrderExpr::Empty => {
+                self.eps(from, to);
+            }
+            OrderExpr::Label(l) => {
+                let events = self.rule.resolve_label(l);
+                if events.is_empty() {
+                    return Err(StateMachineError::UnknownLabel(l.clone()));
+                }
+                for m in events {
+                    let label = m.label.clone();
+                    self.sym(from, &label, to);
+                }
+            }
+            OrderExpr::Seq(parts) => {
+                let mut cur = from;
+                for (i, p) in parts.iter().enumerate() {
+                    let next = if i == parts.len() - 1 {
+                        to
+                    } else {
+                        self.fresh()
+                    };
+                    self.build(p, cur, next)?;
+                    cur = next;
+                }
+                if parts.is_empty() {
+                    self.eps(from, to);
+                }
+            }
+            OrderExpr::Alt(parts) => {
+                for p in parts {
+                    self.build(p, from, to)?;
+                }
+                if parts.is_empty() {
+                    self.eps(from, to);
+                }
+            }
+            OrderExpr::Opt(inner) => {
+                self.eps(from, to);
+                self.build(inner, from, to)?;
+            }
+            OrderExpr::Star(inner) => {
+                let s = self.fresh();
+                self.eps(from, s);
+                self.eps(s, to);
+                self.build(inner, s, s)?;
+            }
+            OrderExpr::Plus(inner) => {
+                let s = self.fresh();
+                self.build(inner, from, s)?;
+                self.eps(s, to);
+                self.build(inner, s, s)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crysl::parse_rule;
+
+    fn nfa(src: &str) -> Nfa {
+        Nfa::from_rule(&parse_rule(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn sequence_builds_linear_chain() {
+        let n = nfa("SPEC X\nEVENTS a: f(); b: g();\nORDER a, b");
+        assert_eq!(n.alphabet(), vec!["a", "b"]);
+        // Simulate: start --a--> --b--> accept
+        let s0 = n.epsilon_closure(&BTreeSet::from([n.start()]));
+        let s1 = n.epsilon_closure(&n.move_on(&s0, "a"));
+        let s2 = n.epsilon_closure(&n.move_on(&s1, "b"));
+        assert!(s2.contains(&n.accept()));
+        assert!(!s1.contains(&n.accept()));
+    }
+
+    #[test]
+    fn aggregates_expand_to_member_labels() {
+        let n = nfa("SPEC X\nEVENTS g1: f(); g2: f(_); G := g1 | g2;\nORDER G");
+        assert_eq!(n.alphabet(), vec!["g1", "g2"]);
+    }
+
+    #[test]
+    fn missing_order_allows_any_event_sequence() {
+        let n = nfa("SPEC X\nEVENTS a: f(); b: g();");
+        let mut states = n.epsilon_closure(&BTreeSet::from([n.start()]));
+        assert!(states.contains(&n.accept())); // empty word accepted
+        for label in ["b", "a", "b", "b"] {
+            states = n.epsilon_closure(&n.move_on(&states, label));
+            assert!(states.contains(&n.accept()));
+        }
+    }
+
+    #[test]
+    fn star_loops_back() {
+        let n = nfa("SPEC X\nEVENTS a: f(); b: g();\nORDER a, b*");
+        let s0 = n.epsilon_closure(&BTreeSet::from([n.start()]));
+        let mut s = n.epsilon_closure(&n.move_on(&s0, "a"));
+        assert!(s.contains(&n.accept()));
+        for _ in 0..3 {
+            s = n.epsilon_closure(&n.move_on(&s, "b"));
+            assert!(s.contains(&n.accept()));
+        }
+    }
+
+    #[test]
+    fn plus_requires_at_least_one() {
+        let n = nfa("SPEC X\nEVENTS a: f();\nORDER a+");
+        let s0 = n.epsilon_closure(&BTreeSet::from([n.start()]));
+        assert!(!s0.contains(&n.accept()));
+        let s1 = n.epsilon_closure(&n.move_on(&s0, "a"));
+        assert!(s1.contains(&n.accept()));
+        let s2 = n.epsilon_closure(&n.move_on(&s1, "a"));
+        assert!(s2.contains(&n.accept()));
+    }
+}

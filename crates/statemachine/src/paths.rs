@@ -1,0 +1,240 @@
+//! Finite enumeration of accepting call sequences.
+//!
+//! CogniCryptGEN compiles a list of correct paths of method calls for each
+//! rule (paper §3.3). Methods the state machine allows to be called
+//! repeatedly are unrolled into two paths — one where the method is not
+//! called, one where it is called once — because the generator "does not
+//! currently support repeated calls". We implement that by rewriting the
+//! `ORDER` expression before enumeration: `x*` becomes `x?` and `x+`
+//! becomes `x`.
+
+use std::collections::BTreeSet;
+
+use crysl::ast::{EventDecl, OrderExpr, Rule};
+
+use crate::nfa::StateMachineError;
+
+/// Upper bound on the number of enumerated paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathLimit(pub usize);
+
+impl Default for PathLimit {
+    /// A generous default (4096) — real JCA rules stay far below it.
+    fn default() -> Self {
+        PathLimit(4096)
+    }
+}
+
+/// Rewrites repetition into single occurrence: `x*` → `x?`, `x+` → `x`.
+///
+/// The resulting expression denotes a finite language whose words are
+/// exactly the generation candidates the paper describes.
+pub fn unroll(e: &OrderExpr) -> OrderExpr {
+    match e {
+        OrderExpr::Empty => OrderExpr::Empty,
+        OrderExpr::Label(l) => OrderExpr::Label(l.clone()),
+        OrderExpr::Seq(parts) => OrderExpr::Seq(parts.iter().map(unroll).collect()),
+        OrderExpr::Alt(parts) => OrderExpr::Alt(parts.iter().map(unroll).collect()),
+        OrderExpr::Opt(x) => OrderExpr::Opt(Box::new(unroll(x))),
+        OrderExpr::Star(x) => OrderExpr::Opt(Box::new(unroll(x))),
+        OrderExpr::Plus(x) => unroll(x),
+    }
+}
+
+/// Enumerates every accepting sequence of method-event labels for `rule`,
+/// with repetition unrolled. Paths are deduplicated and sorted by length
+/// (shortest first), then lexicographically — the generator's
+/// "shortest path wins" tie-break relies on this order.
+///
+/// A rule without an `ORDER` section yields the single path that calls each
+/// method event once, in declaration order (the generator still needs *a*
+/// call sequence to emit; with no ordering constraint the declaration order
+/// is the canonical choice).
+///
+/// # Errors
+///
+/// Returns [`StateMachineError::TooManyPaths`] if enumeration exceeds
+/// `limit`, and [`StateMachineError::UnknownLabel`] for unresolvable labels.
+pub fn enumerate(rule: &Rule, limit: PathLimit) -> Result<Vec<Vec<String>>, StateMachineError> {
+    let order = match &rule.order {
+        OrderExpr::Empty => {
+            let labels: Vec<String> = rule
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    EventDecl::Method(m) => Some(m.label.clone()),
+                    EventDecl::Aggregate { .. } => None,
+                })
+                .collect();
+            return Ok(vec![labels]);
+        }
+        o => unroll(o),
+    };
+    let mut out: BTreeSet<Vec<String>> = BTreeSet::new();
+    expand(rule, &order, &[], &mut out, limit.0)?;
+    let mut paths: Vec<Vec<String>> = out.into_iter().collect();
+    paths.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    Ok(paths)
+}
+
+fn expand(
+    rule: &Rule,
+    e: &OrderExpr,
+    prefix: &[String],
+    out: &mut BTreeSet<Vec<String>>,
+    limit: usize,
+) -> Result<(), StateMachineError> {
+    let words = words_of(rule, e, limit)?;
+    for w in words {
+        let mut path = prefix.to_vec();
+        path.extend(w);
+        out.insert(path);
+        if out.len() > limit {
+            return Err(StateMachineError::TooManyPaths { limit });
+        }
+    }
+    Ok(())
+}
+
+/// All words of the (finite) language of `e`.
+fn words_of(
+    rule: &Rule,
+    e: &OrderExpr,
+    limit: usize,
+) -> Result<Vec<Vec<String>>, StateMachineError> {
+    let words = match e {
+        OrderExpr::Empty => vec![Vec::new()],
+        OrderExpr::Label(l) => {
+            let events = rule.resolve_label(l);
+            if events.is_empty() {
+                return Err(StateMachineError::UnknownLabel(l.clone()));
+            }
+            events.into_iter().map(|m| vec![m.label.clone()]).collect()
+        }
+        OrderExpr::Seq(parts) => {
+            let mut acc: Vec<Vec<String>> = vec![Vec::new()];
+            for p in parts {
+                let part_words = words_of(rule, p, limit)?;
+                let mut next = Vec::new();
+                for a in &acc {
+                    for w in &part_words {
+                        let mut joined = a.clone();
+                        joined.extend(w.iter().cloned());
+                        next.push(joined);
+                        if next.len() > limit {
+                            return Err(StateMachineError::TooManyPaths { limit });
+                        }
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        OrderExpr::Alt(parts) => {
+            let mut acc = Vec::new();
+            for p in parts {
+                acc.extend(words_of(rule, p, limit)?);
+                if acc.len() > limit {
+                    return Err(StateMachineError::TooManyPaths { limit });
+                }
+            }
+            acc
+        }
+        OrderExpr::Opt(x) => {
+            let mut acc = vec![Vec::new()];
+            acc.extend(words_of(rule, x, limit)?);
+            acc
+        }
+        // `unroll` has eliminated these before enumeration, but handle them
+        // anyway so the function is total: one occurrence (+ optional none).
+        OrderExpr::Star(x) => {
+            let mut acc = vec![Vec::new()];
+            acc.extend(words_of(rule, x, limit)?);
+            acc
+        }
+        OrderExpr::Plus(x) => words_of(rule, x, limit)?,
+    };
+    Ok(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dfa, Nfa};
+    use crysl::parse_rule;
+
+    fn paths(src: &str) -> Vec<Vec<String>> {
+        enumerate(&parse_rule(src).unwrap(), PathLimit::default()).unwrap()
+    }
+
+    #[test]
+    fn single_sequence_single_path() {
+        // PBEKeySpec from the paper: exactly one path c1·cP.
+        let p = paths("SPEC PBEKeySpec\nEVENTS c1: PBEKeySpec(); cP: clearPassword();\nORDER c1, cP");
+        assert_eq!(p, vec![vec!["c1".to_owned(), "cP".to_owned()]]);
+    }
+
+    #[test]
+    fn optional_yields_two_paths() {
+        let p = paths("SPEC X\nEVENTS a: f(); b: g();\nORDER a, b?");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0], vec!["a"]); // shortest first
+        assert_eq!(p[1], vec!["a", "b"]);
+    }
+
+    #[test]
+    fn star_unrolls_to_at_most_once() {
+        let p = paths("SPEC X\nEVENTS a: f(); u: upd();\nORDER a, u*");
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&vec!["a".to_owned()]));
+        assert!(p.contains(&vec!["a".to_owned(), "u".to_owned()]));
+    }
+
+    #[test]
+    fn plus_unrolls_to_exactly_once() {
+        let p = paths("SPEC X\nEVENTS a: f(); u: upd();\nORDER a, u+");
+        assert_eq!(p, vec![vec!["a".to_owned(), "u".to_owned()]]);
+    }
+
+    #[test]
+    fn alternatives_and_aggregates_multiply() {
+        let p = paths("SPEC X\nEVENTS g1: f(); g2: f(_); G := g1 | g2; n: next();\nORDER G, n");
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&vec!["g1".to_owned(), "n".to_owned()]));
+        assert!(p.contains(&vec!["g2".to_owned(), "n".to_owned()]));
+    }
+
+    #[test]
+    fn no_order_gives_declaration_order() {
+        let p = paths("SPEC X\nEVENTS b: g(); a: f();");
+        assert_eq!(p, vec![vec!["b".to_owned(), "a".to_owned()]]);
+    }
+
+    #[test]
+    fn every_enumerated_path_is_accepted_by_the_dfa() {
+        // Non-starred patterns: the unrolled language is a sublanguage of
+        // the full one, so the DFA (built without unrolling) must accept.
+        let rule = parse_rule(
+            "SPEC X\nEVENTS a: f(); b: g(); c: h(); d: i();\nORDER a, (b | c)+, d?, b*",
+        )
+        .unwrap();
+        let dfa = Dfa::from_nfa(&Nfa::from_rule(&rule).unwrap());
+        let all = enumerate(&rule, PathLimit::default()).unwrap();
+        assert!(!all.is_empty());
+        for path in &all {
+            let word: Vec<&str> = path.iter().map(String::as_str).collect();
+            assert!(dfa.accepts(word.iter().copied()), "rejected: {path:?}");
+        }
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        // 2^12 paths from twelve optionals exceeds a limit of 100.
+        let events: String = (0..12).map(|i| format!("e{i}: f{i}(); ")).collect();
+        let order: Vec<String> = (0..12).map(|i| format!("e{i}?")).collect();
+        let src = format!("SPEC X\nEVENTS {events}\nORDER {}", order.join(", "));
+        let rule = parse_rule(&src).unwrap();
+        let err = enumerate(&rule, PathLimit(100)).unwrap_err();
+        assert_eq!(err, StateMachineError::TooManyPaths { limit: 100 });
+    }
+}

@@ -1,0 +1,73 @@
+//! Latin-square task assignment, as used by the study design (paper §5.4)
+//! to avoid learning and carry-over effects.
+
+/// One participant's assignment: which tool handles which task, in which
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Participant index.
+    pub participant: usize,
+    /// `(task index, tool index)` pairs in execution order.
+    pub sequence: [(usize, usize); 2],
+}
+
+/// Builds a balanced assignment of `participants` over two tasks and two
+/// tools: every combination of (task order × tool-task pairing) appears
+/// equally often — the 2×2 latin-square counterbalancing the paper uses.
+///
+/// # Panics
+///
+/// Panics unless `participants` is a positive multiple of 4 (the number
+/// of distinct conditions).
+pub fn latin_square_assignment(participants: usize) -> Vec<Assignment> {
+    assert!(
+        participants > 0 && participants.is_multiple_of(4),
+        "participant count must be a positive multiple of 4"
+    );
+    // The four counterbalanced conditions:
+    //   (first task, tool for first task) — the other task/tool follow.
+    const CONDITIONS: [[(usize, usize); 2]; 4] = [
+        [(0, 0), (1, 1)],
+        [(0, 1), (1, 0)],
+        [(1, 0), (0, 1)],
+        [(1, 1), (0, 0)],
+    ];
+    (0..participants)
+        .map(|p| Assignment {
+            participant: p,
+            sequence: CONDITIONS[p % 4],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_participants_are_perfectly_balanced() {
+        let a = latin_square_assignment(16);
+        assert_eq!(a.len(), 16);
+        // Each condition appears exactly 4 times.
+        for cond in 0..4 {
+            let count = a
+                .iter()
+                .filter(|x| x.sequence == latin_square_assignment(4)[cond].sequence)
+                .count();
+            assert_eq!(count, 4);
+        }
+        // Every participant sees both tasks and both tools exactly once.
+        for x in &a {
+            let tasks: Vec<usize> = x.sequence.iter().map(|(t, _)| *t).collect();
+            let tools: Vec<usize> = x.sequence.iter().map(|(_, t)| *t).collect();
+            assert_eq!({ let mut s = tasks.clone(); s.sort_unstable(); s }, vec![0, 1]);
+            assert_eq!({ let mut s = tools.clone(); s.sort_unstable(); s }, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn non_multiple_of_four_panics() {
+        latin_square_assignment(6);
+    }
+}

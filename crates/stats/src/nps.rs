@@ -1,0 +1,60 @@
+//! The Net Promoter Score.
+//!
+//! Respondents rate likelihood-to-recommend on 0–10. Ratings 9–10 are
+//! promoters, 0–6 detractors, 7–8 passives. The score is
+//! `%promoters − %detractors`, ranging −100..=100. The paper reads values
+//! below 0 as unsatisfactory and above 50 as excellent.
+
+/// Computes the NPS for a set of 0–10 ratings.
+///
+/// # Panics
+///
+/// Panics on an empty slice or a rating above 10.
+pub fn net_promoter_score(ratings: &[u8]) -> f64 {
+    assert!(!ratings.is_empty(), "no ratings");
+    let mut promoters = 0usize;
+    let mut detractors = 0usize;
+    for &r in ratings {
+        assert!(r <= 10, "rating out of range: {r}");
+        if r >= 9 {
+            promoters += 1;
+        } else if r <= 6 {
+            detractors += 1;
+        }
+    }
+    let n = ratings.len() as f64;
+    (promoters as f64 / n - detractors as f64 / n) * 100.0
+}
+
+/// Threshold below which a system counts as unsatisfactory.
+pub const UNSATISFACTORY: f64 = 0.0;
+/// Threshold above which satisfaction counts as excellent.
+pub const EXCELLENT: f64 = 50.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_promoters_and_all_detractors() {
+        assert_eq!(net_promoter_score(&[9, 10, 9, 10]), 100.0);
+        assert_eq!(net_promoter_score(&[0, 3, 6, 5]), -100.0);
+    }
+
+    #[test]
+    fn passives_do_not_count() {
+        assert_eq!(net_promoter_score(&[7, 8, 7, 8]), 0.0);
+    }
+
+    #[test]
+    fn mixed_population() {
+        // 2 promoters, 1 passive, 1 detractor of 4 → 50% − 25% = 25.
+        assert_eq!(net_promoter_score(&[9, 10, 8, 2]), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rating_above_ten_panics() {
+        net_promoter_score(&[11]);
+    }
+}

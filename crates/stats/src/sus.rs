@@ -1,0 +1,75 @@
+//! The System Usability Scale.
+//!
+//! Ten Likert items (1–5). Odd items are positively phrased, even items
+//! negatively; the standard scoring maps each item to 0–4 and scales the
+//! sum to 0–100. A score above 68 is conventionally read as "usable".
+
+/// One participant's answers to the ten SUS items, each in 1..=5.
+pub type SusResponse = [u8; 10];
+
+/// Computes the SUS score (0–100) for one response.
+///
+/// # Panics
+///
+/// Panics if any item lies outside 1..=5.
+pub fn sus_score(response: &SusResponse) -> f64 {
+    let mut sum = 0i32;
+    for (i, &item) in response.iter().enumerate() {
+        assert!((1..=5).contains(&item), "SUS item out of range: {item}");
+        let contribution = if i % 2 == 0 {
+            i32::from(item) - 1 // positively phrased (items 1,3,5,7,9)
+        } else {
+            5 - i32::from(item) // negatively phrased (items 2,4,6,8,10)
+        };
+        sum += contribution;
+    }
+    f64::from(sum) * 2.5
+}
+
+/// Mean SUS score across a group of respondents.
+///
+/// # Panics
+///
+/// Panics on an empty slice or out-of-range items.
+pub fn mean_sus(responses: &[SusResponse]) -> f64 {
+    assert!(!responses.is_empty(), "no responses");
+    responses.iter().map(sus_score).sum::<f64>() / responses.len() as f64
+}
+
+/// The conventional usability threshold (Brooke / Bangor): systems above
+/// 68 are considered usable.
+pub const USABLE_THRESHOLD: f64 = 68.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extreme_scores() {
+        // Best possible: all positives 5, all negatives 1.
+        assert_eq!(sus_score(&[5, 1, 5, 1, 5, 1, 5, 1, 5, 1]), 100.0);
+        // Worst possible.
+        assert_eq!(sus_score(&[1, 5, 1, 5, 1, 5, 1, 5, 1, 5]), 0.0);
+        // All-neutral.
+        assert_eq!(sus_score(&[3; 10]), 50.0);
+    }
+
+    #[test]
+    fn known_mixed_example() {
+        // positives: 4,4,4,4,4 → 3 each = 15; negatives: 2,2,2,2,2 → 3
+        // each = 15; total 30 × 2.5 = 75.
+        assert_eq!(sus_score(&[4, 2, 4, 2, 4, 2, 4, 2, 4, 2]), 75.0);
+    }
+
+    #[test]
+    fn mean_over_group() {
+        let group = [[5, 1, 5, 1, 5, 1, 5, 1, 5, 1], [3; 10]];
+        assert_eq!(mean_sus(&group), 75.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_item_panics() {
+        sus_score(&[0, 1, 1, 1, 1, 1, 1, 1, 1, 1]);
+    }
+}

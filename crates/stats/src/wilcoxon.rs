@@ -1,0 +1,205 @@
+//! The Wilcoxon signed-rank test for paired samples.
+//!
+//! For small samples (n ≤ 25 non-zero differences) the exact two-sided
+//! p-value is computed by enumerating the distribution of the rank-sum
+//! statistic with dynamic programming; larger samples use the normal
+//! approximation with tie and continuity corrections.
+
+/// The outcome of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WilcoxonResult {
+    /// The smaller of the positive/negative rank sums (the W statistic).
+    pub w: f64,
+    /// Number of non-zero paired differences.
+    pub n: usize,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Whether the exact distribution was used (vs. normal approximation).
+    pub exact: bool,
+}
+
+/// Runs the two-sided Wilcoxon signed-rank test on paired samples.
+///
+/// Zero differences are dropped (the standard treatment); ties among the
+/// absolute differences receive mid-ranks.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    let mut diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return WilcoxonResult {
+            w: 0.0,
+            n: 0,
+            p_value: 1.0,
+            exact: true,
+        };
+    }
+    // Rank |d|, mid-ranks for ties.
+    diffs.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).expect("no NaN"));
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && abs[j + 1] == abs[i] {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = mid;
+        }
+        i = j + 1;
+    }
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| *r)
+        .sum();
+    let w_minus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d < 0.0)
+        .map(|(_, r)| *r)
+        .sum();
+    let w = w_plus.min(w_minus);
+
+    let has_ties = {
+        let mut sorted = abs.clone();
+        sorted.dedup();
+        sorted.len() != n
+    };
+
+    // Exact test requires integer rank sums (no mid-ranks).
+    if n <= 25 && !has_ties {
+        let p = exact_p(w as usize, n);
+        WilcoxonResult {
+            w,
+            n,
+            p_value: p.min(1.0),
+            exact: true,
+        }
+    } else {
+        let nf = n as f64;
+        let mean = nf * (nf + 1.0) / 4.0;
+        let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0;
+        // Continuity correction.
+        let z = (w - mean + 0.5) / var.sqrt();
+        let p = 2.0 * normal_cdf(z);
+        WilcoxonResult {
+            w,
+            n,
+            p_value: p.min(1.0),
+            exact: false,
+        }
+    }
+}
+
+/// Exact two-sided p-value: P(W ≤ w) under H0, doubled.
+fn exact_p(w: usize, n: usize) -> f64 {
+    // counts[s] = number of sign assignments with rank-sum s.
+    let max_sum = n * (n + 1) / 2;
+    let mut counts = vec![0u128; max_sum + 1];
+    counts[0] = 1;
+    for rank in 1..=n {
+        for s in (rank..=max_sum).rev() {
+            counts[s] += counts[s - rank];
+        }
+    }
+    let total: u128 = 1u128 << n;
+    let le_w: u128 = counts.iter().take(w + 1).sum();
+    let p = 2.0 * (le_w as f64) / (total as f64);
+    p.min(1.0)
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26, |error| ≤ 1.5e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let r = wilcoxon_signed_rank(&a, &a);
+        assert_eq!(r.n, 0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn textbook_example_exact() {
+        // Classic example: n=10, all differences positive ⇒ W = 0,
+        // exact two-sided p = 2/2^10 ≈ 0.00195.
+        let a = [10.0, 12.0, 14.0, 16.0, 18.0, 20.0, 22.0, 24.0, 26.0, 28.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 9.5];
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(r.exact);
+        assert_eq!(r.w, 0.0);
+        assert!((r.p_value - 2.0 / 1024.0).abs() < 1e-12, "{}", r.p_value);
+    }
+
+    #[test]
+    fn mixed_signs_moderate_p() {
+        let a = [5.0, 3.0, 8.0, 6.0, 2.0, 7.0];
+        let b = [4.0, 5.0, 6.0, 7.0, 1.0, 6.5];
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(r.p_value > 0.05, "{}", r.p_value);
+    }
+
+    #[test]
+    fn strong_effect_with_n16_is_significant() {
+        // 16 participants, consistent improvement — like the paper's SUS
+        // comparison (p = 0.005).
+        let new: Vec<f64> = (0..16).map(|i| 70.0 + (i % 5) as f64 * 3.0).collect();
+        let old: Vec<f64> = (0..16).map(|i| 45.0 + (i % 7) as f64 * 2.0).collect();
+        let r = wilcoxon_signed_rank(&new, &old);
+        assert!(r.p_value < 0.01, "{}", r.p_value);
+    }
+
+    #[test]
+    fn normal_cdf_sanity() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ties_fall_back_to_normal_approximation() {
+        let a = [2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]; // all diffs equal
+        let r = wilcoxon_signed_rank(&a, &b);
+        assert!(!r.exact);
+        assert!(r.p_value < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn unequal_lengths_panic() {
+        wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]);
+    }
+}

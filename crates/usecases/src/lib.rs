@@ -1,0 +1,192 @@
+//! The eleven common cryptographic use cases of the paper's Table 1,
+//! implemented as CogniCryptGEN code templates.
+//!
+//! | # | Use case | Module |
+//! |---|----------|--------|
+//! | 1 | PBE on files | [`pbe`] |
+//! | 2 | PBE on strings | [`pbe`] |
+//! | 3 | PBE on byte arrays | [`pbe`] |
+//! | 4 | Symmetric-key encryption | [`symmetric`] |
+//! | 5 | Hybrid file encryption | [`hybrid`] |
+//! | 6 | Hybrid string encryption | [`hybrid`] |
+//! | 7 | Hybrid byte-array encryption | [`hybrid`] |
+//! | 8 | Asymmetric string encryption | [`asymmetric`] |
+//! | 9 | Secure user-password storage | [`password`] |
+//! | 10 | Digital signing of strings | [`signing`] |
+//! | 11 | Hashing of strings | [`hashing`] |
+//!
+//! Use cases 1–3 share the same fluent-API chains and differ only in
+//! wrapper glue, as the paper observes; the same holds for 5–7.
+
+pub mod asymmetric;
+pub mod gcm;
+pub mod hashing;
+pub mod hybrid;
+pub mod password;
+pub mod pbe;
+pub mod signing;
+pub mod symmetric;
+
+use cognicrypt_core::Template;
+
+/// Package all use-case templates generate into.
+pub const PACKAGE: &str = "de.crypto.cognicrypt";
+
+/// A catalogued use case: its Table 1 row, name, sources and template.
+#[derive(Debug, Clone)]
+pub struct UseCase {
+    /// Row number in the paper's Table 1.
+    pub id: u8,
+    /// Human-readable name, as in Table 1.
+    pub name: &'static str,
+    /// Source citations from Table 1 (`[21]` = CogniCrypt, `[27]` =
+    /// CryptoExamples, `[29]` = Nadi et al.).
+    pub sources: &'static str,
+    /// The code template.
+    pub template: Template,
+}
+
+/// All eleven use cases, in Table 1 order.
+pub fn all_use_cases() -> Vec<UseCase> {
+    vec![
+        UseCase {
+            id: 1,
+            name: "PBE on Files",
+            sources: "[21]",
+            template: pbe::pbe_files(),
+        },
+        UseCase {
+            id: 2,
+            name: "PBE on Strings",
+            sources: "[21], [27]",
+            template: pbe::pbe_strings(),
+        },
+        UseCase {
+            id: 3,
+            name: "PBE on Byte-Arrays",
+            sources: "[21]",
+            template: pbe::pbe_byte_arrays(),
+        },
+        UseCase {
+            id: 4,
+            name: "Symmetric-Key Encryption",
+            sources: "[27], [29]",
+            template: symmetric::symmetric_encryption(),
+        },
+        UseCase {
+            id: 5,
+            name: "Hybrid File Encryption",
+            sources: "[21]",
+            template: hybrid::hybrid_files(),
+        },
+        UseCase {
+            id: 6,
+            name: "Hybrid String Encryption",
+            sources: "[21]",
+            template: hybrid::hybrid_strings(),
+        },
+        UseCase {
+            id: 7,
+            name: "Hybrid Byte-Array Encryption",
+            sources: "[21]",
+            template: hybrid::hybrid_byte_arrays(),
+        },
+        UseCase {
+            id: 8,
+            name: "Asymmetric String Encryption",
+            sources: "[27]",
+            template: asymmetric::asymmetric_strings(),
+        },
+        UseCase {
+            id: 9,
+            name: "Secure User-Password Storage",
+            sources: "[21], [27]",
+            template: password::password_storage(),
+        },
+        UseCase {
+            id: 10,
+            name: "Digital Signing of Strings",
+            sources: "[21], [27], [29]",
+            template: signing::signing_strings(),
+        },
+        UseCase {
+            id: 11,
+            name: "Hashing of Strings",
+            sources: "[27]",
+            template: hashing::hashing_strings(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cognicrypt_core::generate;
+    use javamodel::jca::jca_type_table;
+
+    #[test]
+    fn catalog_has_eleven_entries_in_order() {
+        let ucs = all_use_cases();
+        assert_eq!(ucs.len(), 11);
+        for (i, uc) in ucs.iter().enumerate() {
+            assert_eq!(uc.id as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn every_use_case_generates_without_fallback() {
+        let rules = rules::jca_rules();
+        let table = jca_type_table();
+        for uc in all_use_cases() {
+            let generated = generate(&uc.template, &rules, &table)
+                .unwrap_or_else(|e| panic!("use case {} ({}): {e}", uc.id, uc.name));
+            assert!(
+                generated.hoisted.is_empty(),
+                "use case {} needed the fallback: {:?}",
+                uc.id,
+                generated.hoisted
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_variants_share_chains_but_not_glue() {
+        // Paper §5.1: "The same is true for use cases 5–7."
+        let h5 = hybrid::hybrid_files();
+        let h6 = hybrid::hybrid_strings();
+        let h7 = hybrid::hybrid_byte_arrays();
+        let rules_of = |t: &Template| -> Vec<Vec<String>> {
+            t.methods
+                .iter()
+                .filter_map(|m| m.chain.as_ref())
+                .map(|c| c.entries.iter().map(|e| e.rule.clone()).collect())
+                .collect()
+        };
+        assert_eq!(rules_of(&h5), rules_of(&h6));
+        assert_eq!(rules_of(&h6), rules_of(&h7));
+        assert_ne!(h5, h6);
+        assert_ne!(h6, h7);
+    }
+
+    #[test]
+    fn pbe_variants_share_chains_but_not_glue() {
+        // Paper §5.1: use cases 1–3 have the exact same fluent-API calls.
+        let c1 = pbe::pbe_files();
+        let c2 = pbe::pbe_strings();
+        let c3 = pbe::pbe_byte_arrays();
+        let chains = |t: &Template| -> Vec<_> {
+            t.methods.iter().filter_map(|m| m.chain.clone()).collect()
+        };
+        let (a, b, c) = (chains(&c1), chains(&c2), chains(&c3));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(b.len(), c.len());
+        for ((x, y), z) in a.iter().zip(&b).zip(&c) {
+            let rules_of = |ch: &cognicrypt_core::template::GeneratorChain| {
+                ch.entries.iter().map(|e| e.rule.clone()).collect::<Vec<_>>()
+            };
+            assert_eq!(rules_of(x), rules_of(y));
+            assert_eq!(rules_of(y), rules_of(z));
+        }
+        assert_ne!(c1, c2);
+    }
+}

@@ -1,0 +1,12 @@
+//! Facade crate re-exporting the CogniCryptGEN reproduction workspace.
+pub use cognicrypt_core as core;
+pub use crysl;
+pub use interp;
+pub use javamodel;
+pub use jcasim;
+pub use oldgen;
+pub use rules;
+pub use sast;
+pub use statemachine;
+pub use stats;
+pub use usecases;

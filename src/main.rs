@@ -1,0 +1,138 @@
+//! `cognicryptgen` — command-line front end for the reproduction.
+//!
+//! ```text
+//! cognicryptgen list                 list the shipped use cases
+//! cognicryptgen generate <id|name>   generate a use case, print Java
+//! cognicryptgen template <id|name>   print the use case's code template
+//! cognicryptgen rules [class]        print the CrySL rule set (or one rule)
+//! cognicryptgen analyze <file>       run the misuse analyzer on Java text
+//! cognicryptgen oldgen <id>          run the XSL/Clafer baseline generator
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use cognicryptgen::core::generate;
+use cognicryptgen::core::template::render_java;
+use cognicryptgen::javamodel::jca::jca_type_table;
+use cognicryptgen::javamodel::parser::parse_java;
+use cognicryptgen::rules::jca_rules;
+use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
+use cognicryptgen::usecases::{all_use_cases, UseCase};
+
+const USAGE: &str = "usage: cognicryptgen <list|generate|template|rules|analyze|oldgen> [arg]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("generate") => with_use_case(args.get(1), cmd_generate),
+        Some("template") => with_use_case(args.get(1), cmd_template),
+        Some("rules") => cmd_rules(args.get(1).map(String::as_str)),
+        Some("analyze") => cmd_analyze(args.get(1).map(String::as_str)),
+        Some("oldgen") => cmd_oldgen(args.get(1).map(String::as_str)),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn find_use_case(selector: &str) -> Result<UseCase, String> {
+    let cases = all_use_cases();
+    if let Ok(id) = selector.parse::<u8>() {
+        if let Some(uc) = cases.iter().find(|u| u.id == id) {
+            return Ok(uc.clone());
+        }
+    }
+    let lowered = selector.to_lowercase();
+    cases
+        .iter()
+        .find(|u| u.name.to_lowercase().contains(&lowered))
+        .cloned()
+        .ok_or_else(|| format!("no use case matches `{selector}` (try `list`)"))
+}
+
+fn with_use_case(
+    selector: Option<&String>,
+    f: fn(&UseCase) -> Result<(), String>,
+) -> Result<(), String> {
+    let selector = selector.ok_or_else(|| "missing use-case id or name".to_owned())?;
+    f(&find_use_case(selector)?)
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<4} {:<32} Sources", "#", "Use case (paper Table 1)");
+    for uc in all_use_cases() {
+        println!("{:<4} {:<32} {}", uc.id, uc.name, uc.sources);
+    }
+    Ok(())
+}
+
+fn cmd_generate(uc: &UseCase) -> Result<(), String> {
+    let generated =
+        generate(&uc.template, &jca_rules(), &jca_type_table()).map_err(|e| e.to_string())?;
+    print!("{}", generated.java_source);
+    Ok(())
+}
+
+fn cmd_template(uc: &UseCase) -> Result<(), String> {
+    print!("{}", render_java(&uc.template));
+    Ok(())
+}
+
+fn cmd_rules(class: Option<&str>) -> Result<(), String> {
+    let set = jca_rules();
+    match class {
+        Some(name) => {
+            let rule = set
+                .by_name(name)
+                .ok_or_else(|| format!("no rule for `{name}`"))?;
+            print!("{}", cognicryptgen::crysl::printer::print_rule(rule));
+        }
+        None => {
+            for rule in set.iter() {
+                println!("{}", rule.class_name);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_analyze(path: Option<&str>) -> Result<(), String> {
+    let path = path.ok_or_else(|| "missing file to analyze".to_owned())?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let table = jca_type_table();
+    let unit = parse_java(&source, &table).map_err(|e| e.to_string())?;
+    let misuses = analyze_unit(&unit, &jca_rules(), &table, AnalyzerOptions::default());
+    if misuses.is_empty() {
+        println!("no misuses found");
+    } else {
+        for m in &misuses {
+            println!("{m}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_oldgen(selector: Option<&str>) -> Result<(), String> {
+    let selector = selector.ok_or_else(|| "missing use-case id".to_owned())?;
+    let id: u8 = selector
+        .parse()
+        .map_err(|_| "oldgen expects a numeric use-case id".to_owned())?;
+    let uc = cognicryptgen::oldgen::old_gen_use_cases()
+        .into_iter()
+        .find(|u| u.id == id)
+        .ok_or_else(|| format!("old generator does not support use case {id}"))?;
+    let out = cognicryptgen::oldgen::generate_use_case(&uc, &BTreeMap::new())
+        .map_err(|e| e.to_string())?;
+    print!("{out}");
+    Ok(())
+}

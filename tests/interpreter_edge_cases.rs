@@ -1,0 +1,185 @@
+//! Interpreter edge cases beyond the crate's unit tests: branch scoping,
+//! aliasing across calls, file-system errors, and the JCA object
+//! lifecycle semantics the generator's output relies on.
+
+use cognicryptgen::interp::{Interpreter, Value};
+use cognicryptgen::javamodel::ast::*;
+
+fn unit_with(methods: Vec<MethodDecl>) -> CompilationUnit {
+    let mut class = ClassDecl::new("T");
+    class.methods = methods;
+    CompilationUnit::new("p").class(class)
+}
+
+#[test]
+fn assignments_inside_branches_reach_the_outer_scope() {
+    // x starts 0; the branch overwrites it; the return sees the new value.
+    let m = MethodDecl::new("f", JavaType::Int)
+        .param(JavaType::Boolean, "flag")
+        .statement(Stmt::decl_init(JavaType::Int, "x", Expr::int(0)))
+        .statement(Stmt::If {
+            cond: Expr::var("flag"),
+            then_body: vec![Stmt::assign("x", Expr::int(7))],
+            else_body: vec![Stmt::assign("x", Expr::int(9))],
+        })
+        .statement(Stmt::Return(Some(Expr::var("x"))));
+    let unit = unit_with(vec![m]);
+    let mut i = Interpreter::new(&unit);
+    assert_eq!(
+        i.call_static_style("T", "f", vec![Value::Bool(true)]).unwrap().as_int().unwrap(),
+        7
+    );
+    assert_eq!(
+        i.call_static_style("T", "f", vec![Value::Bool(false)]).unwrap().as_int().unwrap(),
+        9
+    );
+}
+
+#[test]
+fn byte_arrays_alias_across_method_calls() {
+    // fill(byte[]) mutates the caller's array through the reference.
+    let fill = MethodDecl::new("fill", JavaType::Void)
+        .param(JavaType::byte_array(), "buf")
+        .statement(Stmt::decl_init(
+            JavaType::class("java.security.SecureRandom"),
+            "r",
+            Expr::static_call(
+                "java.security.SecureRandom",
+                "getInstance",
+                vec![Expr::str("SHA1PRNG")],
+            ),
+        ))
+        .statement(Stmt::Expr(Expr::call(
+            Expr::var("r"),
+            "nextBytes",
+            vec![Expr::var("buf")],
+        )));
+    let caller = MethodDecl::new("go", JavaType::byte_array())
+        .statement(Stmt::decl_init(
+            JavaType::byte_array(),
+            "buf",
+            Expr::new_array(JavaType::Byte, Expr::int(8)),
+        ))
+        .statement(Stmt::decl_init(
+            JavaType::class("T"),
+            "self",
+            Expr::new_object("T", vec![]),
+        ))
+        .statement(Stmt::Expr(Expr::call(
+            Expr::var("self"),
+            "fill",
+            vec![Expr::var("buf")],
+        )))
+        .statement(Stmt::Return(Some(Expr::var("buf"))));
+    let unit = unit_with(vec![fill, caller]);
+    let mut i = Interpreter::new(&unit);
+    let out = i.call_static_style("T", "go", vec![]).unwrap();
+    assert_ne!(out.as_bytes().unwrap(), vec![0u8; 8]);
+}
+
+#[test]
+fn reading_a_missing_file_is_an_error() {
+    let m = MethodDecl::new("f", JavaType::byte_array()).statement(Stmt::Return(Some(
+        Expr::static_call("java.nio.file.Files", "readAllBytes", vec![Expr::str("ghost")]),
+    )));
+    let unit = unit_with(vec![m]);
+    let mut i = Interpreter::new(&unit);
+    let err = i.call_static_style("T", "f", vec![]).unwrap_err();
+    assert!(err.message.contains("no such file"), "{err}");
+}
+
+#[test]
+fn negative_array_size_is_an_error() {
+    let m = MethodDecl::new("f", JavaType::Void).statement(Stmt::decl_init(
+        JavaType::byte_array(),
+        "b",
+        Expr::new_array(JavaType::Byte, Expr::int(-1)),
+    ));
+    let unit = unit_with(vec![m]);
+    let mut i = Interpreter::new(&unit);
+    assert!(i.call_static_style("T", "f", vec![]).is_err());
+}
+
+#[test]
+fn slice_bounds_are_checked() {
+    let m = MethodDecl::new("f", JavaType::byte_array())
+        .param(JavaType::byte_array(), "data")
+        .statement(Stmt::Return(Some(Expr::static_call(
+            "de.cognicrypt.util.ByteArrays",
+            "slice",
+            vec![Expr::var("data"), Expr::int(0), Expr::int(999)],
+        ))));
+    let unit = unit_with(vec![m]);
+    let mut i = Interpreter::new(&unit);
+    let err = i
+        .call_static_style("T", "f", vec![Value::bytes(vec![1, 2, 3])])
+        .unwrap_err();
+    assert!(err.message.contains("bounds"), "{err}");
+}
+
+#[test]
+fn string_equals_and_concat_cooperate() {
+    let m = MethodDecl::new("f", JavaType::Boolean)
+        .param(JavaType::string(), "a")
+        .statement(Stmt::decl_init(
+            JavaType::string(),
+            "joined",
+            Expr::Bin {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::var("a")),
+                rhs: Box::new(Expr::str("!")),
+            },
+        ))
+        .statement(Stmt::Return(Some(Expr::call(
+            Expr::var("joined"),
+            "equals",
+            vec![Expr::str("hi!")],
+        ))));
+    let unit = unit_with(vec![m]);
+    let mut i = Interpreter::new(&unit);
+    assert!(i
+        .call_static_style("T", "f", vec![Value::Str("hi".into())])
+        .unwrap()
+        .as_bool()
+        .unwrap());
+    assert!(!i
+        .call_static_style("T", "f", vec![Value::Str("bye".into())])
+        .unwrap()
+        .as_bool()
+        .unwrap());
+}
+
+#[test]
+fn wrong_argument_count_to_local_method_is_an_error() {
+    let m = MethodDecl::new("f", JavaType::Void).param(JavaType::Int, "x");
+    let unit = unit_with(vec![m]);
+    let mut i = Interpreter::new(&unit);
+    let err = i.call_static_style("T", "f", vec![]).unwrap_err();
+    assert!(err.message.contains("expects 1 arguments"), "{err}");
+}
+
+#[test]
+fn cipher_requires_initialization_before_dofinal() {
+    let m = MethodDecl::new("f", JavaType::byte_array())
+        .param(JavaType::byte_array(), "data")
+        .statement(Stmt::decl_init(
+            JavaType::class("javax.crypto.Cipher"),
+            "c",
+            Expr::static_call(
+                "javax.crypto.Cipher",
+                "getInstance",
+                vec![Expr::str("AES/CBC/PKCS5Padding")],
+            ),
+        ))
+        .statement(Stmt::Return(Some(Expr::call(
+            Expr::var("c"),
+            "doFinal",
+            vec![Expr::var("data")],
+        ))));
+    let unit = unit_with(vec![m]);
+    let mut i = Interpreter::new(&unit);
+    let err = i
+        .call_static_style("T", "f", vec![Value::bytes(vec![0; 16])])
+        .unwrap_err();
+    assert!(err.message.contains("not initialized"), "{err}");
+}

@@ -1,0 +1,177 @@
+//! Property-based tests across the workspace: core invariants of the
+//! state machines, the crypto substrate, and the generator pipeline.
+
+use proptest::prelude::*;
+
+use cognicryptgen::crysl::parse_rule;
+use cognicryptgen::interp::base64;
+use cognicryptgen::jcasim::aes::Aes128;
+use cognicryptgen::jcasim::modes;
+use cognicryptgen::jcasim::pbkdf2::pbkdf2_hmac_sha256;
+use cognicryptgen::jcasim::rng::SecureRandom;
+use cognicryptgen::jcasim::rsa;
+use cognicryptgen::jcasim::sha256;
+use cognicryptgen::statemachine::paths::{enumerate, PathLimit};
+use cognicryptgen::statemachine::{Dfa, Nfa};
+
+proptest! {
+    #[test]
+    fn sha256_incremental_matches_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048), split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = sha256::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finish(), sha256::digest(&data));
+    }
+
+    #[test]
+    fn cbc_roundtrip(key in proptest::array::uniform16(any::<u8>()),
+                     iv in proptest::array::uniform16(any::<u8>()),
+                     pt in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let aes = Aes128::new(&key);
+        let ct = modes::cbc_encrypt(&aes, &iv, &pt).unwrap();
+        prop_assert_eq!(modes::cbc_decrypt(&aes, &iv, &ct).unwrap(), pt);
+    }
+
+    #[test]
+    fn gcm_roundtrip_and_tamper_detection(
+        key in proptest::array::uniform16(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        pt in proptest::collection::vec(any::<u8>(), 0..256),
+        flip in 0usize..256,
+    ) {
+        let aes = Aes128::new(&key);
+        let ct = modes::gcm_encrypt(&aes, &nonce, &[], &pt).unwrap();
+        prop_assert_eq!(modes::gcm_decrypt(&aes, &nonce, &[], &ct).unwrap(), pt);
+        let mut tampered = ct.clone();
+        let idx = flip % tampered.len();
+        tampered[idx] ^= 1;
+        prop_assert!(modes::gcm_decrypt(&aes, &nonce, &[], &tampered).is_err());
+    }
+
+    #[test]
+    fn pkcs7_roundtrip(pt in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let padded = modes::pkcs7_pad(&pt, 16);
+        prop_assert_eq!(padded.len() % 16, 0);
+        prop_assert_eq!(modes::pkcs7_unpad(&padded, 16).unwrap(), pt);
+    }
+
+    #[test]
+    fn base64_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(base64::decode(&base64::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn pbkdf2_length_and_salt_sensitivity(
+        pwd in proptest::collection::vec(any::<u8>(), 1..32),
+        salt in proptest::collection::vec(any::<u8>(), 1..32),
+        len in 1usize..64,
+    ) {
+        let dk = pbkdf2_hmac_sha256(&pwd, &salt, 2, len);
+        prop_assert_eq!(dk.len(), len);
+        let mut salt2 = salt.clone();
+        salt2[0] ^= 0xff;
+        prop_assert_ne!(dk, pbkdf2_hmac_sha256(&pwd, &salt2, 2, len));
+    }
+
+    #[test]
+    fn rsa_roundtrip(seed in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let kp = rsa::generate_key_pair(&mut SecureRandom::from_seed(seed), 40).unwrap();
+        let ct = rsa::encrypt(&kp.public, &data);
+        prop_assert_eq!(rsa::decrypt(&kp.private, &ct).unwrap(), data);
+    }
+
+    #[test]
+    fn rsa_sign_verify(seed in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let kp = rsa::generate_key_pair(&mut SecureRandom::from_seed(seed), 40).unwrap();
+        let sig = rsa::sign(&kp.private, &data);
+        prop_assert!(rsa::verify(&kp.public, &data, &sig));
+        let mut other = data.clone();
+        other.push(1);
+        prop_assert!(!rsa::verify(&kp.public, &other, &sig));
+    }
+}
+
+/// Strategy: random ORDER expressions over a fixed event alphabet,
+/// rendered as rule source text.
+fn order_expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("a".to_owned()),
+        Just("b".to_owned()),
+        Just("c".to_owned()),
+        Just("d".to_owned()),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("({x}, {y})")),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("({x} | {y})")),
+            inner.clone().prop_map(|x| format!("({x})?")),
+            inner.clone().prop_map(|x| format!("({x})*")),
+            inner.prop_map(|x| format!("({x})+")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness of path enumeration: every path the generator would use
+    /// is accepted by the rule's own automaton.
+    #[test]
+    fn enumerated_paths_are_accepted_by_the_dfa(order in order_expr_strategy()) {
+        let src = format!(
+            "SPEC X\nEVENTS a: fa(); b: fb(); c: fc(); d: fd();\nORDER {order}"
+        );
+        let rule = parse_rule(&src).unwrap();
+        let dfa = Dfa::from_nfa(&Nfa::from_rule(&rule).unwrap());
+        if let Ok(paths) = enumerate(&rule, PathLimit(512)) {
+            prop_assert!(!paths.is_empty());
+            for p in paths {
+                let word: Vec<&str> = p.iter().map(String::as_str).collect();
+                prop_assert!(dfa.accepts(word.iter().copied()), "rejected {p:?} for {order}");
+            }
+        }
+    }
+
+    /// Minimization preserves the language on sampled words.
+    #[test]
+    fn minimized_dfa_is_equivalent(order in order_expr_strategy(),
+                                   word in proptest::collection::vec(0usize..4, 0..10)) {
+        let src = format!(
+            "SPEC X\nEVENTS a: fa(); b: fb(); c: fc(); d: fd();\nORDER {order}"
+        );
+        let rule = parse_rule(&src).unwrap();
+        let dfa = Dfa::from_nfa(&Nfa::from_rule(&rule).unwrap());
+        let min = dfa.minimize();
+        prop_assert!(min.state_count() <= dfa.state_count());
+        let labels = ["a", "b", "c", "d"];
+        let w: Vec<&str> = word.iter().map(|&i| labels[i]).collect();
+        prop_assert_eq!(dfa.accepts(w.iter().copied()), min.accepts(w.iter().copied()));
+    }
+
+    /// The DFA and a direct NFA simulation agree on membership.
+    #[test]
+    fn dfa_agrees_with_nfa_simulation(order in order_expr_strategy(),
+                                      word in proptest::collection::vec(0usize..4, 0..8)) {
+        let src = format!(
+            "SPEC X\nEVENTS a: fa(); b: fb(); c: fc(); d: fd();\nORDER {order}"
+        );
+        let rule = parse_rule(&src).unwrap();
+        let nfa = Nfa::from_rule(&rule).unwrap();
+        let dfa = Dfa::from_nfa(&nfa);
+        let labels = ["a", "b", "c", "d"];
+        let w: Vec<&str> = word.iter().map(|&i| labels[i]).collect();
+        // NFA simulation.
+        let mut states = nfa.epsilon_closure(&std::collections::BTreeSet::from([nfa.start()]));
+        let mut alive = true;
+        for l in &w {
+            states = nfa.epsilon_closure(&nfa.move_on(&states, l));
+            if states.is_empty() {
+                alive = false;
+                break;
+            }
+        }
+        let nfa_accepts = alive && states.contains(&nfa.accept());
+        prop_assert_eq!(dfa.accepts(w.iter().copied()), nfa_accepts);
+    }
+}

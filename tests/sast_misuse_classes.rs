@@ -1,0 +1,209 @@
+//! One test per misuse class of the analyzer, exercised through Java
+//! source text (parsed by the Java-subset parser) — the workflow of a
+//! developer pointing the tool at a `.java` file.
+
+use cognicryptgen::javamodel::jca::jca_type_table;
+use cognicryptgen::javamodel::parser::parse_java;
+use cognicryptgen::rules::jca_rules;
+use cognicryptgen::sast::{analyze_unit, AnalyzerOptions, MisuseKind};
+
+fn kinds_of(source: &str) -> Vec<MisuseKind> {
+    let table = jca_type_table();
+    let unit = parse_java(source, &table).expect("test program parses");
+    analyze_unit(&unit, &jca_rules(), &table, AnalyzerOptions::default())
+        .into_iter()
+        .map(|m| m.kind)
+        .collect()
+}
+
+#[test]
+fn typestate_error_cipher_dofinal_before_init() {
+    let kinds = kinds_of(
+        r#"
+public class App {
+    public byte[] broken(byte[] data) {
+        Cipher cipher = Cipher.getInstance("AES/CBC/PKCS5Padding");
+        return cipher.doFinal(data);
+    }
+}
+"#,
+    );
+    assert!(kinds.contains(&MisuseKind::TypestateError), "{kinds:?}");
+}
+
+#[test]
+fn incomplete_operation_keygenerator_never_generates() {
+    let kinds = kinds_of(
+        r#"
+public class App {
+    public void broken() {
+        KeyGenerator kg = KeyGenerator.getInstance("AES");
+        kg.init(128);
+    }
+}
+"#,
+    );
+    assert!(kinds.contains(&MisuseKind::IncompleteOperation), "{kinds:?}");
+}
+
+#[test]
+fn constraint_error_small_key_size() {
+    let kinds = kinds_of(
+        r#"
+public class App {
+    public SecretKey broken() {
+        KeyGenerator kg = KeyGenerator.getInstance("AES");
+        kg.init(64);
+        return kg.generateKey();
+    }
+}
+"#,
+    );
+    assert!(kinds.contains(&MisuseKind::ConstraintError), "{kinds:?}");
+}
+
+#[test]
+fn required_predicate_error_unrandomized_iv() {
+    let kinds = kinds_of(
+        r#"
+public class App {
+    public byte[] broken(byte[] data, SecretKey key) {
+        byte[] iv = new byte[] {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+        IvParameterSpec spec = new IvParameterSpec(iv);
+        Cipher cipher = Cipher.getInstance("AES/CBC/PKCS5Padding");
+        cipher.init(1, key, spec);
+        return cipher.doFinal(data);
+    }
+}
+"#,
+    );
+    assert!(
+        kinds.contains(&MisuseKind::RequiredPredicateError),
+        "{kinds:?}"
+    );
+}
+
+#[test]
+fn forbidden_method_error_single_arg_pbekeyspec() {
+    // The rule forbids the constructor that takes only the password.
+    // Our modelled class has the overload, and the analyzer flags it.
+    let kinds = kinds_of(
+        r#"
+public class App {
+    public void broken(char[] pwd) {
+        PBEKeySpec spec = new PBEKeySpec(pwd);
+        spec.clearPassword();
+    }
+}
+"#,
+    );
+    assert!(
+        kinds.contains(&MisuseKind::ForbiddenMethodError),
+        "{kinds:?}"
+    );
+}
+
+#[test]
+fn secure_program_from_text_is_clean() {
+    let kinds = kinds_of(
+        r#"
+public class App {
+    public byte[] fine(byte[] data, SecretKey key) {
+        byte[] iv = new byte[16];
+        SecureRandom random = SecureRandom.getInstance("SHA1PRNG");
+        random.nextBytes(iv);
+        IvParameterSpec spec = new IvParameterSpec(iv);
+        Cipher cipher = Cipher.getInstance("AES/GCM/NoPadding");
+        cipher.init(1, key, spec);
+        return cipher.doFinal(data);
+    }
+}
+"#,
+    );
+    assert!(kinds.is_empty(), "{kinds:?}");
+}
+
+#[test]
+fn negates_revokes_the_spec_between_clear_and_use() {
+    // Using the spec *after* clearPassword: the speccedKey predicate was
+    // negated, so generateSecret's requirement fails.
+    let kinds = kinds_of(
+        r#"
+public class App {
+    public SecretKey broken(char[] pwd, byte[] salt) {
+        PBEKeySpec spec = new PBEKeySpec(pwd, salt, 10000, 128);
+        spec.clearPassword();
+        SecretKeyFactory skf = SecretKeyFactory.getInstance("PBKDF2WithHmacSHA256");
+        return skf.generateSecret(spec);
+    }
+}
+"#,
+    );
+    assert!(
+        kinds.contains(&MisuseKind::RequiredPredicateError),
+        "{kinds:?}"
+    );
+}
+
+#[test]
+fn strict_mode_distrusts_parameters() {
+    // With trust_parameters off, even an IV received as a method
+    // parameter must demonstrably carry `randomized` — the conservative
+    // reading of REQUIRES.
+    let table = jca_type_table();
+    let unit = parse_java(
+        r#"
+public class App {
+    public byte[] f(byte[] data, byte[] iv, SecretKey key) {
+        IvParameterSpec spec = new IvParameterSpec(iv);
+        Cipher cipher = Cipher.getInstance("AES/CBC/PKCS5Padding");
+        cipher.init(1, key, spec);
+        return cipher.doFinal(data);
+    }
+}
+"#,
+        &table,
+    )
+    .expect("parses");
+    let lenient = analyze_unit(&unit, &jca_rules(), &table, AnalyzerOptions::default());
+    assert!(lenient.is_empty(), "{lenient:?}");
+    let strict = analyze_unit(
+        &unit,
+        &jca_rules(),
+        &table,
+        AnalyzerOptions {
+            trust_parameters: false,
+        },
+    );
+    assert!(
+        strict
+            .iter()
+            .any(|m| m.kind == MisuseKind::RequiredPredicateError),
+        "{strict:?}"
+    );
+}
+
+#[test]
+fn each_misuse_reported_once() {
+    // The same violated constraint must not be reported repeatedly.
+    let table = jca_type_table();
+    let unit = parse_java(
+        r#"
+public class App {
+    public byte[] broken(byte[] data) {
+        MessageDigest md = MessageDigest.getInstance("SHA-1");
+        md.update(data);
+        return md.digest();
+    }
+}
+"#,
+        &table,
+    )
+    .expect("parses");
+    let misuses = analyze_unit(&unit, &jca_rules(), &table, AnalyzerOptions::default());
+    let constraint_errors = misuses
+        .iter()
+        .filter(|m| m.kind == MisuseKind::ConstraintError)
+        .count();
+    assert_eq!(constraint_errors, 1, "{misuses:?}");
+}
