@@ -1,16 +1,24 @@
-//! Criterion benches for every table/figure and the design-choice
-//! ablations called out in DESIGN.md.
+//! Benches for every table/figure and the design-choice ablations called
+//! out in DESIGN.md, on the in-repo `devharness` bench harness (hermetic,
+//! no registry access). The run writes `BENCH_generation.json` — the
+//! machine-readable trajectory data behind Table 1 / RQ5.
 //!
 //! * `table1/*` — generation runtime per use case (RQ2),
 //! * `oldgen/*` — the XSL/Clafer baseline's generation runtime,
 //! * `pipeline/*` — per-stage costs (rule parsing, FSM construction,
 //!   path enumeration, SAST),
 //! * `ablation/*` — path filters off, longest-path tie-break, fallback
-//!   hoisting behaviour.
+//!   hoisting behaviour,
+//! * `substrate/*`, `execution/*` — the simulated JCA and interpreter.
+//!
+//! Run with: `cargo bench -p cognicrypt-bench` (tune with
+//! `DEVHARNESS_BENCH_SAMPLES` / `DEVHARNESS_BENCH_WARMUP`; output
+//! directory with `DEVHARNESS_BENCH_DIR`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeMap;
 use std::hint::black_box;
+
+use devharness::bench::Harness;
 
 use cognicrypt_core::pathsel::SelectionOptions;
 use cognicrypt_core::{generate, Generator, GeneratorOptions};
@@ -22,90 +30,77 @@ use statemachine::paths::{enumerate, PathLimit};
 use statemachine::{Dfa, Nfa};
 use usecases::all_use_cases;
 
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1(h: &mut Harness) {
     let rules = jca_rules();
     let table = jca_type_table();
-    let mut group = c.benchmark_group("table1");
+    h.group("table1");
     for uc in all_use_cases() {
-        group.bench_function(format!("uc{:02}_{}", uc.id, slug(uc.name)), |b| {
-            b.iter(|| {
-                let g = generate(black_box(&uc.template), &rules, &table).expect("generates");
-                black_box(g);
-            })
+        h.bench(&format!("uc{:02}_{}", uc.id, slug(uc.name)), || {
+            let g = generate(black_box(&uc.template), &rules, &table).expect("generates");
+            black_box(g);
         });
     }
-    group.finish();
 }
 
-fn bench_oldgen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("oldgen");
+fn bench_oldgen(h: &mut Harness) {
+    h.group("oldgen");
     for uc in oldgen::old_gen_use_cases() {
-        group.bench_function(format!("uc{:02}_{}", uc.id, slug(uc.name)), |b| {
-            b.iter(|| {
-                let out =
-                    oldgen::generate_use_case(black_box(&uc), &BTreeMap::new()).expect("generates");
-                black_box(out);
-            })
+        h.bench(&format!("uc{:02}_{}", uc.id, slug(uc.name)), || {
+            let out =
+                oldgen::generate_use_case(black_box(&uc), &BTreeMap::new()).expect("generates");
+            black_box(out);
         });
     }
-    group.finish();
 }
 
-fn bench_pipeline_stages(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline");
-    group.bench_function("parse_jca_ruleset", |b| {
-        b.iter(|| black_box(jca_rules()))
+fn bench_pipeline_stages(h: &mut Harness) {
+    h.group("pipeline");
+    h.bench("parse_jca_ruleset", || {
+        black_box(jca_rules());
     });
-    group.bench_function("parse_single_rule", |b| {
-        let src = RULE_SOURCES
-            .iter()
-            .find(|(n, _)| *n == "Cipher")
-            .expect("Cipher rule shipped")
-            .1;
-        b.iter(|| black_box(parse_rule(black_box(src)).expect("parses")))
+    let src = RULE_SOURCES
+        .iter()
+        .find(|(n, _)| *n == "Cipher")
+        .expect("Cipher rule shipped")
+        .1;
+    h.bench("parse_single_rule", || {
+        black_box(parse_rule(black_box(src)).expect("parses"));
     });
     let rules = jca_rules();
-    group.bench_function("fsm_construction_all_rules", |b| {
-        b.iter(|| {
-            for r in rules.iter() {
-                let dfa = Dfa::from_nfa(&Nfa::from_rule(r).expect("builds"));
-                black_box(dfa);
-            }
-        })
+    h.bench("fsm_construction_all_rules", || {
+        for r in rules.iter() {
+            let dfa = Dfa::from_nfa(&Nfa::from_rule(r).expect("builds"));
+            black_box(dfa);
+        }
     });
-    group.bench_function("path_enumeration_all_rules", |b| {
-        b.iter(|| {
-            for r in rules.iter() {
-                black_box(enumerate(r, PathLimit::default()).expect("enumerates"));
-            }
-        })
+    h.bench("path_enumeration_all_rules", || {
+        for r in rules.iter() {
+            black_box(enumerate(r, PathLimit::default()).expect("enumerates"));
+        }
     });
     let table = jca_type_table();
     let generated = generate(&all_use_cases()[0].template, &rules, &table).expect("generates");
-    group.bench_function("sast_analysis_pbe_files", |b| {
-        b.iter(|| {
-            black_box(analyze_unit(
-                black_box(&generated.unit),
-                &rules,
-                &table,
-                AnalyzerOptions::default(),
-            ))
-        })
+    h.bench("sast_analysis_pbe_files", || {
+        black_box(analyze_unit(
+            black_box(&generated.unit),
+            &rules,
+            &table,
+            AnalyzerOptions::default(),
+        ));
     });
-    group.finish();
 }
 
-fn bench_ablations(c: &mut Criterion) {
+fn bench_ablations(h: &mut Harness) {
     let rules = jca_rules();
     let table = jca_type_table();
-    // Hybrid has the richest path structure — the interesting ablation
-    // subject. Filters cannot be turned off *correctness-free* for every
-    // use case; hashing works under all configurations.
+    // Hashing has the richest path structure of the configurations that
+    // stay correct under every ablation: filters cannot be turned off
+    // *correctness-free* for every use case; hashing works under all.
     let hash = all_use_cases()
         .into_iter()
         .find(|u| u.id == 11)
         .expect("hashing present");
-    let mut group = c.benchmark_group("ablation");
+    h.group("ablation");
     let configs: [(&str, SelectionOptions); 4] = [
         ("paper_defaults", SelectionOptions::default()),
         (
@@ -135,84 +130,75 @@ fn bench_ablations(c: &mut Criterion) {
             selection,
             ..GeneratorOptions::default()
         });
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let g = generator
-                    .generate(black_box(&hash.template), &rules, &table)
-                    .expect("generates");
-                black_box(g);
-            })
+        h.bench(name, || {
+            let g = generator
+                .generate(black_box(&hash.template), &rules, &table)
+                .expect("generates");
+            black_box(g);
         });
     }
-    group.finish();
 }
 
-fn bench_crypto_substrate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate");
+fn bench_crypto_substrate(h: &mut Harness) {
+    h.group("substrate");
     let data = vec![0xa5u8; 4096];
-    group.bench_function("sha256_4k", |b| {
-        b.iter(|| black_box(jcasim::sha256::digest(black_box(&data))))
+    h.bench("sha256_4k", || {
+        black_box(jcasim::sha256::digest(black_box(&data)));
     });
     let aes = jcasim::aes::Aes128::new(&[7u8; 16]);
     let iv = [9u8; 16];
-    group.bench_function("aes_cbc_4k", |b| {
-        b.iter(|| black_box(jcasim::modes::cbc_encrypt(&aes, &iv, black_box(&data)).expect("encrypts")))
+    h.bench("aes_cbc_4k", || {
+        black_box(jcasim::modes::cbc_encrypt(&aes, &iv, black_box(&data)).expect("encrypts"));
     });
-    group.bench_function("pbkdf2_1000_iters", |b| {
-        b.iter(|| black_box(jcasim::pbkdf2::pbkdf2_hmac_sha256(b"pwd", b"salt", 1000, 16)))
+    h.bench("pbkdf2_1000_iters", || {
+        black_box(jcasim::pbkdf2::pbkdf2_hmac_sha256(b"pwd", b"salt", 1000, 16));
     });
-    group.finish();
 }
 
-fn bench_execution(c: &mut Criterion) {
+fn bench_execution(h: &mut Harness) {
     // Running the generated code end-to-end on the simulated provider —
     // the part of the paper's validation that was manual in Eclipse.
     let rules = jca_rules();
     let table = jca_type_table();
-    let mut group = c.benchmark_group("execution");
+    h.group("execution");
     let hashing = all_use_cases()
         .into_iter()
         .find(|u| u.id == 11)
         .expect("hashing present");
     let generated = generate(&hashing.template, &rules, &table).expect("generates");
-    group.bench_function("interpret_hashing", |b| {
-        b.iter(|| {
-            let mut interp = interp::Interpreter::new(&generated.unit);
-            let out = interp
-                .call_static_style(
-                    "SecureHasher",
-                    "hash",
-                    vec![interp::Value::Str("benchmark input".into())],
-                )
-                .expect("runs");
-            black_box(out);
-        })
+    h.bench("interpret_hashing", || {
+        let mut interp = interp::Interpreter::new(&generated.unit);
+        let out = interp
+            .call_static_style(
+                "SecureHasher",
+                "hash",
+                vec![interp::Value::Str("benchmark input".into())],
+            )
+            .expect("runs");
+        black_box(out);
     });
     let symmetric = all_use_cases()
         .into_iter()
         .find(|u| u.id == 4)
         .expect("symmetric present");
     let sym_gen = generate(&symmetric.template, &rules, &table).expect("generates");
-    group.bench_function("interpret_symmetric_roundtrip", |b| {
-        b.iter(|| {
-            let mut interp = interp::Interpreter::new(&sym_gen.unit);
-            let key = interp
-                .call_static_style("SecureSymmetricEncryptor", "generateKey", vec![])
-                .expect("keygen runs");
-            let ct = interp
-                .call_static_style(
-                    "SecureSymmetricEncryptor",
-                    "encrypt",
-                    vec![interp::Value::bytes(vec![7u8; 256]), key.clone()],
-                )
-                .expect("encrypt runs");
-            let pt = interp
-                .call_static_style("SecureSymmetricEncryptor", "decrypt", vec![ct, key])
-                .expect("decrypt runs");
-            black_box(pt);
-        })
+    h.bench("interpret_symmetric_roundtrip", || {
+        let mut interp = interp::Interpreter::new(&sym_gen.unit);
+        let key = interp
+            .call_static_style("SecureSymmetricEncryptor", "generateKey", vec![])
+            .expect("keygen runs");
+        let ct = interp
+            .call_static_style(
+                "SecureSymmetricEncryptor",
+                "encrypt",
+                vec![interp::Value::bytes(vec![7u8; 256]), key.clone()],
+            )
+            .expect("encrypt runs");
+        let pt = interp
+            .call_static_style("SecureSymmetricEncryptor", "decrypt", vec![ct, key])
+            .expect("decrypt runs");
+        black_box(pt);
     });
-    group.finish();
 }
 
 fn slug(name: &str) -> String {
@@ -222,9 +208,19 @@ fn slug(name: &str) -> String {
         .collect()
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_table1, bench_oldgen, bench_pipeline_stages, bench_ablations, bench_crypto_substrate, bench_execution
+fn main() {
+    let mut h = Harness::new("generation");
+    bench_table1(&mut h);
+    bench_oldgen(&mut h);
+    bench_pipeline_stages(&mut h);
+    bench_ablations(&mut h);
+    bench_crypto_substrate(&mut h);
+    bench_execution(&mut h);
+    match h.finish() {
+        Ok(path) => println!("\nreport written to {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write bench report: {e}");
+            std::process::exit(1);
+        }
+    }
 }
-criterion_main!(benches);

@@ -1,39 +1,64 @@
 //! Property-based round trips for the CrySL language: randomly generated
-//! rule ASTs survive print → parse → validate unchanged.
+//! rule ASTs survive print → parse → validate unchanged. Runs on the
+//! in-repo `devharness` property harness (hermetic, no registry).
 
-use proptest::prelude::*;
+use devharness::prop::{check, gens, Config, Gen};
 
 use crysl::ast::*;
 use crysl::printer::print_rule;
 use crysl::{parse_rule, Rule};
 
-fn ident() -> impl Strategy<Value = String> {
-    // Identifiers that are not section keywords or reserved words.
-    "[a-z][a-zA-Z0-9]{0,6}".prop_filter("reserved", |s| {
-        !matches!(
-            s.as_str(),
-            "in" | "after" | "this" | "true" | "false" | "instanceof" | "neverTypeOf"
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+const ALNUM: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+fn ident() -> Gen<String> {
+    // Identifiers that are not section keywords or reserved words:
+    // one lowercase letter followed by up to six alphanumerics.
+    let first = gens::string_of(LOWER, 1, 2);
+    let rest = gens::string_of(ALNUM, 0, 7);
+    gens::tuple2(first, rest)
+        .map(|(f, r)| format!("{f}{r}"))
+        .filter("reserved word", |s| {
+            !matches!(
+                s.as_str(),
+                "in" | "after" | "this" | "true" | "false" | "instanceof" | "neverTypeOf"
+            )
+        })
+}
+
+fn type_ref() -> Gen<TypeRef> {
+    gens::one_of(vec![
+        TypeRef::scalar("int"),
+        TypeRef::scalar("boolean"),
+        TypeRef::array("byte"),
+        TypeRef::array("char"),
+        TypeRef::scalar("java.lang.String"),
+        TypeRef::scalar("java.security.Key"),
+    ])
+}
+
+fn literal() -> Gen<Literal> {
+    gens::pick(vec![
+        gens::i32_any().map(|i| Literal::Int(i.into())),
+        gens::string_of(
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789/_-",
+            1,
+            13,
         )
-    })
+        .map(Literal::Str),
+        gens::bool_any().map(Literal::Bool),
+    ])
 }
 
-fn type_ref() -> impl Strategy<Value = TypeRef> {
-    prop_oneof![
-        Just(TypeRef::scalar("int")),
-        Just(TypeRef::scalar("boolean")),
-        Just(TypeRef::array("byte")),
-        Just(TypeRef::array("char")),
-        Just(TypeRef::scalar("java.lang.String")),
-        Just(TypeRef::scalar("java.security.Key")),
-    ]
-}
-
-fn literal() -> impl Strategy<Value = Literal> {
-    prop_oneof![
-        any::<i32>().prop_map(|i| Literal::Int(i.into())),
-        "[A-Za-z0-9/_-]{1,12}".prop_map(Literal::Str),
-        any::<bool>().prop_map(Literal::Bool),
-    ]
+fn cmp_op() -> Gen<CmpOp> {
+    gens::one_of(vec![
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ])
 }
 
 #[derive(Debug, Clone)]
@@ -47,60 +72,64 @@ struct RuleSkeleton {
     ensures: Vec<(String, Option<usize>)>, // predicate, after event index
 }
 
-fn skeleton() -> impl Strategy<Value = RuleSkeleton> {
-    (
-        proptest::collection::vec((type_ref(), ident()), 1..5),
-        proptest::collection::vec((ident(), ident()), 1..5),
-        any::<bool>(),
-        proptest::collection::vec((0usize..4, cmp_op(), -1000i64..1000), 0..3),
-        proptest::collection::vec((0usize..4, proptest::collection::vec(literal(), 1..4)), 0..2),
-        proptest::collection::vec((ident(), 0usize..4), 0..2),
-        proptest::collection::vec((ident(), proptest::option::of(0usize..4)), 0..2),
-    )
-        .prop_map(
-            |(objects, raw_events, use_order, cmp, ins, requires, ensures)| {
-                // Deduplicate object and event names.
-                let mut seen = std::collections::HashSet::new();
-                let objects: Vec<(TypeRef, String)> = objects
-                    .into_iter()
-                    .filter(|(_, n)| seen.insert(n.clone()))
-                    .collect();
-                let mut seen_labels = std::collections::HashSet::new();
-                let events: Vec<(String, String, Vec<usize>)> = raw_events
-                    .into_iter()
-                    .filter(|(l, _)| seen_labels.insert(l.clone()))
-                    .enumerate()
-                    .map(|(i, (label, method))| {
-                        let params = if i % 2 == 0 && !objects.is_empty() {
-                            vec![i % objects.len()]
-                        } else {
-                            vec![]
-                        };
-                        (label, method, params)
-                    })
-                    .collect();
-                RuleSkeleton {
-                    objects,
-                    events,
-                    use_order,
-                    cmp_constraints: cmp,
-                    in_constraints: ins,
-                    requires,
-                    ensures,
-                }
-            },
-        )
-}
-
-fn cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
+fn skeleton() -> Gen<RuleSkeleton> {
+    let objects = gens::vec(gens::tuple2(type_ref(), ident()), 1, 5);
+    let raw_events = gens::vec(gens::tuple2(ident(), ident()), 1, 5);
+    let use_order = gens::bool_any();
+    let cmp = gens::vec(
+        gens::tuple3(gens::usize_range(0, 4), cmp_op(), gens::i64_range(-1000, 1000)),
+        0,
+        3,
+    );
+    let ins = gens::vec(
+        gens::tuple2(gens::usize_range(0, 4), gens::vec(literal(), 1, 4)),
+        0,
+        2,
+    );
+    let requires = gens::vec(gens::tuple2(ident(), gens::usize_range(0, 4)), 0, 2);
+    let ensures = gens::vec(
+        gens::tuple2(ident(), gens::option(gens::usize_range(0, 4))),
+        0,
+        2,
+    );
+    Gen::new(move |t| {
+        let objects = objects.run(t);
+        let raw_events = raw_events.run(t);
+        let use_order = use_order.run(t);
+        let cmp = cmp.run(t);
+        let ins = ins.run(t);
+        let requires = requires.run(t);
+        let ensures = ensures.run(t);
+        // Deduplicate object and event names.
+        let mut seen = std::collections::HashSet::new();
+        let objects: Vec<(TypeRef, String)> = objects
+            .into_iter()
+            .filter(|(_, n)| seen.insert(n.clone()))
+            .collect();
+        let mut seen_labels = std::collections::HashSet::new();
+        let events: Vec<(String, String, Vec<usize>)> = raw_events
+            .into_iter()
+            .filter(|(l, _)| seen_labels.insert(l.clone()))
+            .enumerate()
+            .map(|(i, (label, method))| {
+                let params = if i % 2 == 0 && !objects.is_empty() {
+                    vec![i % objects.len()]
+                } else {
+                    vec![]
+                };
+                (label, method, params)
+            })
+            .collect();
+        RuleSkeleton {
+            objects,
+            events,
+            use_order,
+            cmp_constraints: cmp,
+            in_constraints: ins,
+            requires,
+            ensures,
+        }
+    })
 }
 
 fn build_rule(sk: &RuleSkeleton) -> Rule {
@@ -196,21 +225,24 @@ fn build_rule(sk: &RuleSkeleton) -> Rule {
 // we compare via a second print instead of structural equality when the
 // AST has degenerate shapes; for the shapes generated here, structural
 // equality holds.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn random_rules_roundtrip(sk in skeleton()) {
-        let rule = build_rule(&sk);
-        // Some generated combinations may be structurally degenerate
-        // (e.g. Seq of a single event prints without parens and reparses
-        // as a bare label); printing twice must reach a fixpoint and the
-        // reparsed rule must print identically.
-        let printed = print_rule(&rule);
-        let reparsed = match parse_rule(&printed) {
-            Ok(r) => r,
-            Err(e) => panic!("printed rule failed to reparse: {e}\n---\n{printed}"),
-        };
-        prop_assert_eq!(print_rule(&reparsed), printed);
-    }
+#[test]
+fn random_rules_roundtrip() {
+    check(
+        "random_rules_roundtrip",
+        &Config::with_cases(128),
+        &skeleton(),
+        |sk| {
+            let rule = build_rule(sk);
+            // Some generated combinations may be structurally degenerate
+            // (e.g. Seq of a single event prints without parens and reparses
+            // as a bare label); printing twice must reach a fixpoint and the
+            // reparsed rule must print identically.
+            let printed = print_rule(&rule);
+            let reparsed = match parse_rule(&printed) {
+                Ok(r) => r,
+                Err(e) => panic!("printed rule failed to reparse: {e}\n---\n{printed}"),
+            };
+            assert_eq!(print_rule(&reparsed), printed);
+        },
+    );
 }

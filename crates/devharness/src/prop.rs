@@ -1,0 +1,649 @@
+//! A property-testing harness with composable generators and seeded,
+//! replayable shrinking.
+//!
+//! The design is "internal shrinking" (in the Hypothesis tradition):
+//! generators draw `u64`s from a [`Tape`], the tape records every draw,
+//! and shrinking operates on the recorded draw sequence — deleting,
+//! truncating and minimizing entries — then re-runs the generator on the
+//! shrunk tape. Because shrinking happens below the generators, every
+//! combinator (`map`, `filter`, `vec`, tuples, user closures) shrinks for
+//! free and invariants baked into generators can never be violated by a
+//! shrink step.
+//!
+//! ```no_run
+//! use devharness::prop::{check, gens, Config};
+//!
+//! let g = gens::vec(gens::u8_any(), 0, 64);
+//! check("sum_fits", &Config::default(), &g, |bytes| {
+//!     let total: u64 = bytes.iter().map(|&b| b as u64).sum();
+//!     assert!(total <= 255 * 64);
+//! });
+//! ```
+//!
+//! Environment knobs:
+//! * `DEVHARNESS_CASES` — override the number of cases per property;
+//! * `DEVHARNESS_SEED` — override the base seed (printed on failure, so
+//!   a failing run can be replayed exactly).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+use crate::rng::{splitmix64, RandomSource, Xoshiro256};
+
+/// The draw source generators consume. Records every draw so a failing
+/// case can be shrunk and replayed.
+pub struct Tape {
+    replay: Vec<u64>,
+    pos: usize,
+    rng: Option<Xoshiro256>,
+    log: Vec<u64>,
+}
+
+impl Tape {
+    /// A live tape: draws come from a seeded PRNG and are recorded.
+    pub fn live(seed: u64) -> Self {
+        Tape {
+            replay: Vec::new(),
+            pos: 0,
+            rng: Some(Xoshiro256::seed_from_u64(seed)),
+            log: Vec::new(),
+        }
+    }
+
+    /// A frozen replay tape: draws come from `data`; once exhausted,
+    /// further draws yield zero (the minimal value) deterministically.
+    pub fn frozen(data: Vec<u64>) -> Self {
+        Tape {
+            replay: data,
+            pos: 0,
+            rng: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn draw_u64(&mut self) -> u64 {
+        let v = if self.pos < self.replay.len() {
+            let v = self.replay[self.pos];
+            self.pos += 1;
+            v
+        } else {
+            match &mut self.rng {
+                Some(rng) => rng.next_u64(),
+                None => 0,
+            }
+        };
+        self.log.push(v);
+        v
+    }
+
+    /// A draw reduced to `[0, bound)`. Uses a simple modulo so that a
+    /// smaller raw draw never maps to a larger value-class — the property
+    /// that makes tape-level shrinking converge.
+    pub fn draw_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.draw_u64() % bound
+    }
+
+    fn into_log(self) -> Vec<u64> {
+        self.log
+    }
+}
+
+/// Payload used to abort a generation attempt (e.g. an exhausted
+/// filter). The runner treats it as "discard this case", not a failure.
+struct Rejection(String);
+
+fn reject(why: &str) -> ! {
+    std::panic::panic_any(Rejection(why.to_owned()))
+}
+
+/// A composable generator: a function from the tape to a value.
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut Tape) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { f: self.f.clone() }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a draw function as a generator. This is the escape hatch for
+    /// bespoke shapes: call `.run(tape)` on other generators inside it.
+    pub fn new(f: impl Fn(&mut Tape) -> T + 'static) -> Self {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Produces one value from the tape.
+    pub fn run(&self, tape: &mut Tape) -> T {
+        (self.f)(tape)
+    }
+
+    /// Applies a pure function to the generated value.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::new(move |tape| f(self.run(tape)))
+    }
+
+    /// Keeps only values satisfying `pred`, retrying with fresh draws.
+    /// After 100 rejected attempts the case is discarded (mirroring a
+    /// too-restrictive filter, which the runner reports).
+    pub fn filter(self, what: &str, pred: impl Fn(&T) -> bool + 'static) -> Gen<T> {
+        let what = what.to_owned();
+        Gen::new(move |tape| {
+            for _ in 0..100 {
+                let v = self.run(tape);
+                if pred(&v) {
+                    return v;
+                }
+            }
+            reject(&what)
+        })
+    }
+}
+
+/// The stock generators.
+pub mod gens {
+    use super::{Gen, Tape};
+
+    /// Any `u64`.
+    pub fn u64_any() -> Gen<u64> {
+        Gen::new(Tape::draw_u64)
+    }
+
+    /// Any `u32`.
+    pub fn u32_any() -> Gen<u32> {
+        Gen::new(|t| t.draw_u64() as u32)
+    }
+
+    /// Any byte.
+    pub fn u8_any() -> Gen<u8> {
+        Gen::new(|t| t.draw_u64() as u8)
+    }
+
+    /// Any `i32`.
+    pub fn i32_any() -> Gen<i32> {
+        Gen::new(|t| t.draw_u64() as i32)
+    }
+
+    /// Any `bool`.
+    pub fn bool_any() -> Gen<bool> {
+        Gen::new(|t| t.draw_u64() & 1 == 1)
+    }
+
+    /// A `usize` in the half-open range `[lo, hi)`.
+    pub fn usize_range(lo: usize, hi: usize) -> Gen<usize> {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        Gen::new(move |t| lo + t.draw_below((hi - lo) as u64) as usize)
+    }
+
+    /// An `i64` in the half-open range `[lo, hi)`.
+    pub fn i64_range(lo: i64, hi: i64) -> Gen<i64> {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi as i128 - lo as i128) as u64;
+        Gen::new(move |t| lo.wrapping_add(t.draw_below(span) as i64))
+    }
+
+    /// A vector of `lo..hi` (half-open) elements.
+    pub fn vec<T: 'static>(elem: Gen<T>, lo: usize, hi: usize) -> Gen<Vec<T>> {
+        let len = usize_range(lo, hi);
+        Gen::new(move |t| {
+            let n = len.run(t);
+            (0..n).map(|_| elem.run(t)).collect()
+        })
+    }
+
+    /// A byte vector of `lo..hi` (half-open) length.
+    pub fn bytes(lo: usize, hi: usize) -> Gen<Vec<u8>> {
+        vec(u8_any(), lo, hi)
+    }
+
+    /// A fixed-size byte array.
+    pub fn byte_array<const N: usize>() -> Gen<[u8; N]> {
+        Gen::new(|t| {
+            let mut out = [0u8; N];
+            for b in &mut out {
+                *b = t.draw_u64() as u8;
+            }
+            out
+        })
+    }
+
+    /// `None` or `Some` of the inner generator (about half each).
+    pub fn option<T: 'static>(inner: Gen<T>) -> Gen<Option<T>> {
+        Gen::new(move |t| {
+            // Draw 0 means None, so shrinking converges on None.
+            if t.draw_below(2) == 0 {
+                None
+            } else {
+                Some(inner.run(t))
+            }
+        })
+    }
+
+    /// One of the listed literal values, uniformly. Earlier entries are
+    /// what shrinking converges toward, so put the "simplest" first.
+    pub fn one_of<T: Clone + 'static>(choices: Vec<T>) -> Gen<T> {
+        assert!(!choices.is_empty(), "one_of requires at least one choice");
+        Gen::new(move |t| choices[t.draw_below(choices.len() as u64) as usize].clone())
+    }
+
+    /// Delegates to one of the listed sub-generators, uniformly.
+    pub fn pick<T: 'static>(arms: Vec<Gen<T>>) -> Gen<T> {
+        assert!(!arms.is_empty(), "pick requires at least one arm");
+        Gen::new(move |t| arms[t.draw_below(arms.len() as u64) as usize].run(t))
+    }
+
+    /// A string of `lo..hi` (half-open) characters drawn from `charset`.
+    pub fn string_of(charset: &str, lo: usize, hi: usize) -> Gen<String> {
+        let chars: Vec<char> = charset.chars().collect();
+        assert!(!chars.is_empty(), "empty charset");
+        let len = usize_range(lo, hi);
+        Gen::new(move |t| {
+            let n = len.run(t);
+            (0..n)
+                .map(|_| chars[t.draw_below(chars.len() as u64) as usize])
+                .collect()
+        })
+    }
+
+    /// A pair.
+    pub fn tuple2<A: 'static, B: 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+        Gen::new(move |t| (a.run(t), b.run(t)))
+    }
+
+    /// A triple.
+    pub fn tuple3<A: 'static, B: 'static, C: 'static>(
+        a: Gen<A>,
+        b: Gen<B>,
+        c: Gen<C>,
+    ) -> Gen<(A, B, C)> {
+        Gen::new(move |t| (a.run(t), b.run(t), c.run(t)))
+    }
+
+    /// A quadruple.
+    pub fn tuple4<A: 'static, B: 'static, C: 'static, D: 'static>(
+        a: Gen<A>,
+        b: Gen<B>,
+        c: Gen<C>,
+        d: Gen<D>,
+    ) -> Gen<(A, B, C, D)> {
+        Gen::new(move |t| (a.run(t), b.run(t), c.run(t), d.run(t)))
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Cases to run per property (`DEVHARNESS_CASES` overrides).
+    pub cases: u32,
+    /// Base seed (`DEVHARNESS_SEED` overrides). The default is fixed so
+    /// that CI runs are reproducible; vary the seed to explore.
+    pub seed: u64,
+    /// Maximum shrink candidates to evaluate after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let mut cfg = Config {
+            cases: 64,
+            seed: 0x0c09_71c9_0000_2020,
+            max_shrink_iters: 4096,
+        };
+        if let Ok(v) = std::env::var("DEVHARNESS_CASES") {
+            if let Ok(n) = v.trim().parse::<u32>() {
+                cfg.cases = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("DEVHARNESS_SEED") {
+            if let Ok(s) = v.trim().parse::<u64>() {
+                cfg.seed = s;
+            }
+        }
+        cfg
+    }
+}
+
+impl Config {
+    /// The default configuration with a different case count.
+    pub fn with_cases(cases: u32) -> Self {
+        let base = Config::default();
+        // An explicit DEVHARNESS_CASES wins over the per-test count.
+        if std::env::var("DEVHARNESS_CASES").is_ok() {
+            base
+        } else {
+            Config { cases, ..base }
+        }
+    }
+}
+
+enum CaseOutcome<T> {
+    Pass,
+    Rejected,
+    GenPanic(String),
+    Fail { value: T, log: Vec<u64>, message: String },
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Result<String, String> {
+    // Ok(msg) = ordinary panic; Err(why) = generation rejection.
+    if let Some(r) = payload.downcast_ref::<Rejection>() {
+        return Err(r.0.clone());
+    }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return Ok((*s).to_owned());
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return Ok(s.clone());
+    }
+    Ok("<non-string panic payload>".to_owned())
+}
+
+fn run_case<T: 'static>(
+    gen: &Gen<T>,
+    prop: &impl Fn(&T),
+    tape: Tape,
+) -> CaseOutcome<T> {
+    let mut tape = tape;
+    let generated = catch_unwind(AssertUnwindSafe(|| gen.run(&mut tape)));
+    let value = match generated {
+        Ok(v) => v,
+        Err(payload) => {
+            return match panic_message(payload) {
+                Err(_why) => CaseOutcome::Rejected,
+                Ok(msg) => CaseOutcome::GenPanic(msg),
+            }
+        }
+    };
+    let log = tape.into_log();
+    match catch_unwind(AssertUnwindSafe(|| prop(&value))) {
+        Ok(()) => CaseOutcome::Pass,
+        Err(payload) => match panic_message(payload) {
+            // A rejection raised *inside the property* is a bug in the
+            // property; surface it as a failure message.
+            Err(why) => CaseOutcome::Fail {
+                value,
+                log,
+                message: format!("generator rejection escaped into property: {why}"),
+            },
+            Ok(message) => CaseOutcome::Fail { value, log, message },
+        },
+    }
+}
+
+/// Candidate shrink transformations of a draw log, in decreasing order of
+/// aggressiveness.
+fn shrink_candidates(log: &[u64]) -> Vec<Vec<u64>> {
+    let mut out = Vec::new();
+    let n = log.len();
+    if n == 0 {
+        return out;
+    }
+    // Truncations first: they cut whole suffixes of structure at once.
+    for keep in [n / 2, (n * 3) / 4, n - 1] {
+        if keep < n {
+            out.push(log[..keep].to_vec());
+        }
+    }
+    // Block deletions shrink collections in the middle of the tape.
+    for width in [8usize, 4, 2, 1] {
+        if width >= n {
+            continue;
+        }
+        let mut start = 0;
+        while start + width <= n {
+            let mut cand = Vec::with_capacity(n - width);
+            cand.extend_from_slice(&log[..start]);
+            cand.extend_from_slice(&log[start + width..]);
+            out.push(cand);
+            start += width.max(1);
+        }
+    }
+    // Pointwise minimizations: zero, halve, decrement.
+    for i in 0..n {
+        if log[i] != 0 {
+            let mut z = log.to_vec();
+            z[i] = 0;
+            out.push(z);
+            if log[i] > 1 {
+                let mut h = log.to_vec();
+                h[i] = log[i] / 2;
+                out.push(h);
+            }
+            let mut d = log.to_vec();
+            d[i] = log[i] - 1;
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// Checks `prop` against `cases` generated values, shrinking and
+/// reporting the minimal counterexample on failure.
+///
+/// Failure panics with the base seed, the failing case index, and the
+/// shrunk value, so `DEVHARNESS_SEED=<seed> cargo test <name>` replays
+/// the run exactly.
+pub fn check<T: std::fmt::Debug + 'static>(
+    name: &str,
+    cfg: &Config,
+    gen: &Gen<T>,
+    prop: impl Fn(&T),
+) {
+    let mut stream = cfg.seed ^ fnv1a(name.as_bytes());
+    let mut rejected = 0u32;
+    let mut case = 0u32;
+    while case < cfg.cases {
+        let case_seed = splitmix64(&mut stream);
+        match run_case(gen, &prop, Tape::live(case_seed)) {
+            CaseOutcome::Pass => case += 1,
+            CaseOutcome::Rejected => {
+                // A rejected attempt does not consume the case budget,
+                // but a filter that discards most of the space starves
+                // the property; fail loudly instead of silently testing
+                // nothing.
+                rejected += 1;
+                assert!(
+                    rejected <= cfg.cases.saturating_mul(4).max(16),
+                    "property '{name}': generator rejected {rejected} candidate cases \
+                     (only {case} accepted); filter is too restrictive"
+                );
+            }
+            CaseOutcome::GenPanic(msg) => {
+                panic!("property '{name}': generator itself panicked on case {case}: {msg}")
+            }
+            CaseOutcome::Fail { value, log, message } => {
+                let (value, message) = shrink(gen, &prop, value, log, message, cfg);
+                panic!(
+                    "property '{name}' failed (case {case}, base seed {seed}).\n\
+                     replay: DEVHARNESS_SEED={seed} cargo test\n\
+                     minimal counterexample: {value:?}\n\
+                     failure: {message}",
+                    seed = cfg.seed,
+                )
+            }
+        }
+    }
+}
+
+fn shrink<T: 'static>(
+    gen: &Gen<T>,
+    prop: &impl Fn(&T),
+    value: T,
+    log: Vec<u64>,
+    message: String,
+    cfg: &Config,
+) -> (T, String) {
+    let mut best_value = value;
+    let mut best_log = log;
+    let mut best_message = message;
+    let mut budget = cfg.max_shrink_iters;
+    'outer: loop {
+        for cand in shrink_candidates(&best_log) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let CaseOutcome::Fail { value, log, message } =
+                run_case(gen, prop, Tape::frozen(cand))
+            {
+                // Only adopt strictly simpler tapes, so the loop cannot
+                // cycle between equivalent-weight candidates.
+                if tape_weight(&log) < tape_weight(&best_log) {
+                    best_value = value;
+                    best_log = log;
+                    best_message = message;
+                    continue 'outer;
+                }
+            }
+        }
+        break;
+    }
+    (best_value, best_message)
+}
+
+/// Lexicographic (length, sum) measure that every productive shrink step
+/// decreases.
+fn tape_weight(log: &[u64]) -> (usize, u128) {
+    (log.len(), log.iter().map(|&v| v as u128).sum())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_cfg(cases: u32) -> Config {
+        Config {
+            cases,
+            seed: 99,
+            max_shrink_iters: 4096,
+        }
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        let g = gens::bytes(0, 64);
+        check("len_bound", &quiet_cfg(128), &g, |v| assert!(v.len() < 64));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_cases() {
+        // Record the generated values for two identical runs via a
+        // property that never fails but logs what it sees.
+        use std::cell::RefCell;
+        let collect = |seed: u64| {
+            let seen = std::rc::Rc::new(RefCell::new(Vec::new()));
+            let seen2 = seen.clone();
+            let g = gens::vec(gens::u64_any(), 0, 8);
+            let cfg = Config {
+                cases: 32,
+                seed,
+                max_shrink_iters: 0,
+            };
+            check("collect", &cfg, &g, move |v| {
+                seen2.borrow_mut().push(v.clone());
+            });
+            std::rc::Rc::try_unwrap(seen).unwrap().into_inner()
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn failure_reports_minimal_scalar_counterexample() {
+        let g = gens::usize_range(0, 1000);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            check("ge_ten_fails", &quiet_cfg(256), &g, |&v| assert!(v < 10));
+        }));
+        let msg = match result {
+            Err(p) => *p.downcast::<String>().unwrap(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        // The minimal value violating `v < 10` is exactly 10.
+        assert!(
+            msg.contains("minimal counterexample: 10"),
+            "unexpected report: {msg}"
+        );
+        assert!(msg.contains("DEVHARNESS_SEED=99"), "no replay line: {msg}");
+    }
+
+    #[test]
+    fn failure_shrinks_collections_to_minimal_shape() {
+        let g = gens::bytes(0, 100);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            check("len_three_fails", &quiet_cfg(64), &g, |v| assert!(v.len() < 3));
+        }));
+        let msg = match result {
+            Err(p) => *p.downcast::<String>().unwrap(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        // Minimal counterexample: exactly three zero bytes.
+        assert!(
+            msg.contains("minimal counterexample: [0, 0, 0]"),
+            "unexpected report: {msg}"
+        );
+    }
+
+    #[test]
+    fn filter_discards_do_not_fail_reasonable_properties() {
+        let g = gens::usize_range(0, 100).filter("even", |v| v % 2 == 0);
+        check("filtered_even", &quiet_cfg(64), &g, |&v| {
+            assert_eq!(v % 2, 0);
+        });
+    }
+
+    #[test]
+    fn overtight_filter_is_reported() {
+        let g = gens::usize_range(0, 1_000_000).filter("impossible", |_| false);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            check("starved", &quiet_cfg(16), &g, |_| {});
+        }));
+        let msg = match result {
+            Err(p) => *p.downcast::<String>().unwrap(),
+            Ok(()) => panic!("should have reported a starved generator"),
+        };
+        assert!(msg.contains("too restrictive"), "unexpected report: {msg}");
+    }
+
+    #[test]
+    fn mapped_and_composed_generators_shrink() {
+        // A composed generator (tuple of mapped parts) still shrinks to
+        // the joint minimum.
+        let g = gens::tuple2(
+            gens::usize_range(0, 50).map(|v| v * 2),
+            gens::bytes(0, 20),
+        );
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            check("tuple_fails", &quiet_cfg(64), &g, |(a, b)| {
+                assert!(*a < 20 || b.len() < 2);
+            });
+        }));
+        let msg = match result {
+            Err(p) => *p.downcast::<String>().unwrap(),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(
+            msg.contains("minimal counterexample: (20, [0, 0])"),
+            "unexpected report: {msg}"
+        );
+    }
+
+    #[test]
+    fn frozen_tape_replays_exactly_and_pads_with_zero() {
+        let mut t = Tape::frozen(vec![5, 6]);
+        assert_eq!(t.draw_u64(), 5);
+        assert_eq!(t.draw_u64(), 6);
+        assert_eq!(t.draw_u64(), 0);
+        assert_eq!(t.into_log(), vec![5, 6, 0]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Deterministic, seedable pseudo-random number generation.
+//!
+//! The generator is xoshiro256** (Blackman & Vigna), seeded through
+//! SplitMix64 so that any 64-bit seed — including zero — expands to a
+//! well-mixed 256-bit state. Both algorithms are public-domain reference
+//! constructions reimplemented here from their specifications.
+//!
+//! [`RandomSource`] is the `RngCore`-like trait the rest of the workspace
+//! programs against; [`Xoshiro256`] is the one concrete implementation.
+
+/// The `RngCore`-like trait: a source of uniform pseudo-random bits.
+///
+/// All provided methods derive from [`RandomSource::next_u64`], so an
+/// implementation only has to supply that.
+pub trait RandomSource {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniform bits (upper half of a 64-bit draw, which for
+    /// xoshiro-family generators is the better-mixed half).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `out` with uniform bytes.
+    fn fill_bytes(&mut self, out: &mut [u8]) {
+        for chunk in out.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// A uniform value in `[0, bound)` via Lemire's multiply-shift
+    /// reduction (with the rare rejection step for exact uniformity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire 2019: debiased multiply-shift.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform value in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    fn next_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi as i128 - lo as i128) as u64;
+        lo.wrapping_add(self.next_below(span) as i64)
+    }
+
+    /// A uniform boolean.
+    fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// SplitMix64 step — used for seed expansion and for deriving per-case
+/// seeds in the property harness.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256**: a small, fast, high-quality PRNG (period 2^256 − 1).
+///
+/// Not cryptographically secure — it backs the *simulated* JCA
+/// `SecureRandom` and the test/bench harnesses, where determinism and
+/// statistical quality are what matter.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256 { s }
+    }
+
+    /// Seeds from operating-system entropy (`/dev/urandom`), falling back
+    /// to a time-and-address-derived seed on platforms without it.
+    pub fn from_entropy() -> Self {
+        Self::seed_from_u64(os_entropy_seed())
+    }
+}
+
+impl RandomSource for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Derives a 64-bit seed from OS entropy, best effort and non-panicking.
+fn os_entropy_seed() -> u64 {
+    use std::io::Read;
+    if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+        let mut buf = [0u8; 8];
+        if f.read_exact(&mut buf).is_ok() {
+            return u64::from_le_bytes(buf);
+        }
+    }
+    // Fallback: mix wall-clock time with an ASLR-influenced address.
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let marker = 0u8;
+    let addr = &marker as *const u8 as u64;
+    let mut sm = t ^ addr.rotate_left(32);
+    splitmix64(&mut sm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        // Raw xoshiro breaks on an all-zero state; SplitMix64 expansion
+        // must prevent that.
+        let mut r = Xoshiro256::seed_from_u64(0);
+        let draws: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = Xoshiro256::seed_from_u64(7);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        let mut r2 = Xoshiro256::seed_from_u64(7);
+        let mut buf2 = [0u8; 13];
+        r2.fill_bytes(&mut buf2);
+        assert_eq!(buf, buf2);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_hits_all_residues() {
+        let mut r = Xoshiro256::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = r.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn next_range_handles_negative_bounds() {
+        let mut r = Xoshiro256::seed_from_u64(9);
+        for _ in 0..200 {
+            let v = r.next_range_i64(-1000, 1000);
+            assert!((-1000..1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Xoshiro256::seed_from_u64(11);
+        for _ in 0..100 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn entropy_seeding_does_not_panic() {
+        let mut r = Xoshiro256::from_entropy();
+        let _ = r.next_u64();
+    }
+}

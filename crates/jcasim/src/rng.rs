@@ -1,16 +1,18 @@
-//! The `SecureRandom` stand-in: a deterministic, seedable CSPRNG.
+//! The `SecureRandom` stand-in: a deterministic, seedable PRNG.
 //!
 //! Benchmarks and tests need reproducible randomness, so the default
 //! construction seeds from a fixed value; callers that want entropy can
-//! seed from the OS through [`SecureRandom::from_entropy`].
+//! seed from the OS through [`SecureRandom::from_entropy`]. The backing
+//! generator is the workspace's in-repo `devharness` xoshiro256** — this
+//! simulates `java.security.SecureRandom`'s *interface*, it does not
+//! claim cryptographic strength.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use devharness::rng::{RandomSource, Xoshiro256};
 
 /// A drop-in for `java.security.SecureRandom`.
 #[derive(Debug, Clone)]
 pub struct SecureRandom {
-    rng: StdRng,
+    rng: Xoshiro256,
 }
 
 impl Default for SecureRandom {
@@ -24,21 +26,21 @@ impl SecureRandom {
     /// reproducible experiments.
     pub fn new() -> Self {
         SecureRandom {
-            rng: StdRng::seed_from_u64(0x0c09_71c9_7f9e_2020),
+            rng: Xoshiro256::seed_from_u64(0x0c09_71c9_7f9e_2020),
         }
     }
 
     /// Creates an instance seeded from a caller-provided seed.
     pub fn from_seed(seed: u64) -> Self {
         SecureRandom {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::seed_from_u64(seed),
         }
     }
 
     /// Creates an instance seeded from operating-system entropy.
     pub fn from_entropy() -> Self {
         SecureRandom {
-            rng: StdRng::from_entropy(),
+            rng: Xoshiro256::from_entropy(),
         }
     }
 
@@ -55,12 +57,12 @@ impl SecureRandom {
     /// `IllegalArgumentException`.
     pub fn next_int(&mut self, bound: i32) -> i32 {
         assert!(bound > 0, "bound must be positive");
-        self.rng.gen_range(0..bound)
+        self.rng.next_below(bound as u64) as i32
     }
 
     /// A uniform `u64` (used by the RSA key generator).
     pub fn next_u64(&mut self) -> u64 {
-        self.rng.next_u64()
+        RandomSource::next_u64(&mut self.rng)
     }
 }
 

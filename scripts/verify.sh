@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification, hermetically: build and test with no network and
+# no crates.io registry. Any attempt to resolve an external dependency
+# makes cargo fail under --offline, so dependency rot can never silently
+# return. Run from anywhere; operates on the repo this script lives in.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo"
+
+# Belt and braces: even if a future cargo invocation drops the flag,
+# CARGO_NET_OFFLINE keeps the network forbidden for the whole run.
+export CARGO_NET_OFFLINE=true
+
+# No manifest may reference the external dev dependencies the in-repo
+# devharness crate replaces (PRNG, property-testing and benchmark
+# frameworks) — their return would reintroduce registry access.
+banned='rand|proptest|criterion'
+manifests="$(git ls-files '*Cargo.toml')"
+if matches="$(grep -nE "$banned" $manifests)"; then
+    echo "error: banned external dependency reference in a manifest:" >&2
+    echo "$matches" >&2
+    exit 1
+fi
+
+echo "==> cargo build --release --offline --locked"
+cargo build --release --offline --locked
+
+echo "==> cargo test -q --offline --locked"
+cargo test -q --offline --locked
+
+echo "==> hermetic verify OK"
