@@ -1,0 +1,102 @@
+//! Benches for the cached, parallel generation engine (`GenEngine`), on
+//! the in-repo `devharness` harness. The run writes `BENCH_engine.json`.
+//!
+//! * `cold-vs-warm/*` — one use-case generation on the legacy cold path
+//!   (rules re-parsed from source, every ORDER pattern recompiled) versus
+//!   a warmed engine whose compiled artefacts are all cache hits;
+//! * `serial-vs-parallel/*` — all eleven Table-1 use cases as one batch:
+//!   the legacy serial loop (cold per iteration, as N separate CLI
+//!   invocations behaved), then an engine batch at 1, 2 and 8 worker
+//!   threads.
+//!
+//! On a single-core host the thread-count series measures scheduling
+//! overhead rather than speedup; the caching wins (`warm` vs `cold`,
+//! `engine_batch_*` vs `legacy_cold_serial`) are hardware-independent.
+//!
+//! Run with: `cargo bench -p cognicrypt-bench --bench engine` (tune with
+//! `DEVHARNESS_BENCH_SAMPLES` / `DEVHARNESS_BENCH_WARMUP`; output
+//! directory with `DEVHARNESS_BENCH_DIR`).
+
+use std::hint::black_box;
+
+use devharness::bench::Harness;
+
+use cognicrypt_core::{GenEngine, Generator};
+use javamodel::jca::jca_type_table;
+use rules::try_jca_rules;
+use usecases::all_use_cases;
+
+fn bench_cold_vs_warm(h: &mut Harness) {
+    h.group("cold-vs-warm");
+    let uc = all_use_cases()
+        .into_iter()
+        .find(|u| u.id == 1)
+        .expect("use case 1 shipped");
+    let table = jca_type_table();
+
+    // Cold: what every pre-engine invocation paid — parse the rule set
+    // from source, then compile each ORDER pattern from scratch.
+    h.bench("cold_generate_uc01", || {
+        let rules = try_jca_rules().expect("parses");
+        let g = Generator::new()
+            .generate_uncached(black_box(&uc.template), &rules, &table)
+            .expect("generates");
+        black_box(g);
+    });
+
+    // Warm: a long-lived engine whose rule set is parsed once and whose
+    // compiled-ORDER cache is fully populated.
+    let engine = GenEngine::new(try_jca_rules().expect("parses"), jca_type_table());
+    engine.warm().expect("warms");
+    h.bench("warm_generate_uc01", || {
+        let g = engine.generate(black_box(&uc.template)).expect("generates");
+        black_box(g);
+    });
+}
+
+fn bench_serial_vs_parallel(h: &mut Harness) {
+    h.group("serial-vs-parallel");
+    let templates: Vec<_> = all_use_cases()
+        .into_iter()
+        .map(|uc| uc.template)
+        .collect();
+    let table = jca_type_table();
+
+    // The pre-engine behaviour for "generate everything": one cold run
+    // per use case (each CLI invocation re-parsed the rules and
+    // recompiled every ORDER pattern it touched).
+    h.bench("legacy_cold_serial_all11", || {
+        for t in &templates {
+            let rules = try_jca_rules().expect("parses");
+            let g = Generator::new()
+                .generate_uncached(black_box(t), &rules, &table)
+                .expect("generates");
+            black_box(g);
+        }
+    });
+
+    let engine = GenEngine::new(try_jca_rules().expect("parses"), jca_type_table());
+    engine.warm().expect("warms");
+    for threads in [1usize, 2, 8] {
+        h.bench(&format!("engine_batch_all11_t{threads}"), || {
+            let results = engine.generate_batch(black_box(&templates), threads);
+            for r in &results {
+                assert!(r.is_ok());
+            }
+            black_box(results);
+        });
+    }
+}
+
+fn main() {
+    let mut h = Harness::new("engine");
+    bench_cold_vs_warm(&mut h);
+    bench_serial_vs_parallel(&mut h);
+    match h.finish() {
+        Ok(path) => println!("\nreport written to {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write bench report: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -24,7 +24,7 @@ use cognicrypt_core::pathsel::SelectionOptions;
 use cognicrypt_core::{generate, Generator, GeneratorOptions};
 use crysl::parse_rule;
 use javamodel::jca::jca_type_table;
-use rules::{jca_rules, RULE_SOURCES};
+use rules::{jca_rules, try_jca_rules, RULE_SOURCES};
 use sast::{analyze_unit, AnalyzerOptions};
 use statemachine::paths::{enumerate, PathLimit};
 use statemachine::{Dfa, Nfa};
@@ -55,8 +55,10 @@ fn bench_oldgen(h: &mut Harness) {
 
 fn bench_pipeline_stages(h: &mut Harness) {
     h.group("pipeline");
+    // `try_jca_rules` is the always-reparse path; `jca_rules` would just
+    // clone the process-wide parsed set and measure nothing.
     h.bench("parse_jca_ruleset", || {
-        black_box(jca_rules());
+        black_box(try_jca_rules().expect("parses"));
     });
     let src = RULE_SOURCES
         .iter()

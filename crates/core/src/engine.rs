@@ -1,0 +1,393 @@
+//! `GenEngine`: a thread-safe, cached, parallel generation session.
+//!
+//! The paper's generator treats CrySL rules as stable artefacts, yet the
+//! original pipeline recompiled every rule's ORDER pattern (NFA → DFA →
+//! minimization → path enumeration) on every run. The engine holds the
+//! compiled artefacts in a [`statemachine::OrderCache`] keyed by a
+//! content hash of each rule's EVENTS + ORDER sections, so repeat
+//! generations reuse them, and fans batches of templates out over scoped
+//! worker threads with deterministic, input-ordered results.
+//!
+//! Three entry points, from low to high level:
+//!
+//! * [`scatter`] — the generic fan-out primitive: run one job per item
+//!   on a fixed-size worker pool, catching worker panics so one poisoned
+//!   job can neither deadlock the batch nor discard sibling results;
+//! * [`GenEngine::generate`] — single-template generation against the
+//!   engine's shared rule set, type table and warm cache;
+//! * [`GenEngine::generate_batch`] — N templates, M worker threads,
+//!   output `i` always corresponding to input `i` regardless of thread
+//!   count or scheduling.
+//!
+//! The legacy free function [`crate::generate`] is re-expressed on top
+//! of the same machinery via a process-wide shared cache
+//! ([`shared_order_cache`]), so single-shot callers get the compiled
+//! artefacts for free.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crysl::RuleSet;
+use javamodel::TypeTable;
+use statemachine::{CacheStats, OrderCache};
+
+use crate::error::GenError;
+use crate::generator::{Generated, Generator, GeneratorOptions};
+use crate::template::Template;
+
+/// The process-wide compiled-ORDER cache backing the legacy
+/// [`crate::generate`] path. Keyed purely by content hash, so rule sets
+/// from different callers can never observe each other's artefacts
+/// except when the compilation inputs are byte-identical — in which
+/// case the artefacts are too.
+pub fn shared_order_cache() -> &'static OrderCache {
+    static CACHE: OnceLock<OrderCache> = OnceLock::new();
+    CACHE.get_or_init(OrderCache::new)
+}
+
+/// A worker thread panicked while running a batch job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the poisoned item in the input slice.
+    pub index: usize,
+    /// The panic payload, rendered to text.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch worker panicked on item {}: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// A batch item's failure: either an ordinary generation error or a
+/// panic the engine contained to that item.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The pipeline rejected the template.
+    Gen(GenError),
+    /// The worker running the template panicked.
+    Worker(WorkerPanic),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Gen(e) => e.fmt(f),
+            EngineError::Worker(p) => p.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<GenError> for EngineError {
+    fn from(e: GenError) -> Self {
+        EngineError::Gen(e)
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return (*s).to_owned();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    "<non-string panic payload>".to_owned()
+}
+
+/// Fans `items` out over at most `threads` scoped workers, running
+/// `f(index, item)` once per item and returning the results in input
+/// order.
+///
+/// Guarantees, independent of thread count and OS scheduling:
+///
+/// * result `i` is always `f(i, &items[i])` — deterministic ordering;
+/// * a panicking job is reported as `Err(WorkerPanic)` in its own slot;
+///   the worker survives and continues draining the queue, so sibling
+///   results are never lost and the call always returns.
+///
+/// `threads` is a ceiling, not a demand: the pool is additionally capped
+/// at the item count and at the machine's available parallelism, since
+/// the jobs are CPU-bound and oversubscribed workers only add scheduling
+/// overhead.
+pub fn scatter<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads = threads.clamp(1, n).min(cores.max(1));
+    if threads == 1 {
+        // One worker: run on the caller's thread — same per-job panic
+        // containment, no spawn/join overhead.
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| WorkerPanic {
+                    index: i,
+                    message: panic_text(payload),
+                })
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<R, WorkerPanic>>> = Vec::new();
+    slots.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let outcome = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
+                            .map_err(|payload| WorkerPanic {
+                                index: i,
+                                message: panic_text(payload),
+                            });
+                        produced.push((i, outcome));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Workers never unwind: every job runs under catch_unwind.
+            for (i, outcome) in handle.join().expect("batch worker survives job panics") {
+                slots[i] = Some(outcome);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// A thread-safe generation session: shared rules, type table, options
+/// and a compiled-ORDER cache that persists across calls.
+///
+/// Construction is cheap relative to what the engine amortizes: the
+/// expensive state (parsed rules, compiled DFAs and path sets) is either
+/// shared via [`Arc`] or built lazily on first use and reused after.
+#[derive(Debug)]
+pub struct GenEngine {
+    rules: Arc<RuleSet>,
+    table: Arc<TypeTable>,
+    options: GeneratorOptions,
+    cache: OrderCache,
+}
+
+impl GenEngine {
+    /// An engine over `rules` and `table` with paper-default options and
+    /// a cold private cache.
+    pub fn new(rules: impl Into<Arc<RuleSet>>, table: impl Into<Arc<TypeTable>>) -> Self {
+        GenEngine::with_options(rules, table, GeneratorOptions::default())
+    }
+
+    /// An engine with explicit generator options.
+    pub fn with_options(
+        rules: impl Into<Arc<RuleSet>>,
+        table: impl Into<Arc<TypeTable>>,
+        options: GeneratorOptions,
+    ) -> Self {
+        GenEngine {
+            rules: rules.into(),
+            table: table.into(),
+            options,
+            cache: OrderCache::new(),
+        }
+    }
+
+    /// The engine's rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The engine's type table.
+    pub fn table(&self) -> &TypeTable {
+        &self.table
+    }
+
+    /// Entry/hit/miss counters of the engine's compiled-ORDER cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Precompiles the ORDER artefact of every rule in the set, so the
+    /// first generation after startup pays no compilation cost.
+    ///
+    /// # Errors
+    ///
+    /// The first [`GenError::StateMachine`] hit while compiling a rule.
+    pub fn warm(&self) -> Result<(), GenError> {
+        for rule in self.rules.iter() {
+            self.cache.get_or_compile(rule)?;
+        }
+        Ok(())
+    }
+
+    /// Generates code for one template against the engine's shared
+    /// state, reusing (and extending) the compiled-ORDER cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`Generator::generate`].
+    pub fn generate(&self, template: &Template) -> Result<Generated, GenError> {
+        Generator::with_options(self.options).generate_with_cache(
+            template,
+            &self.rules,
+            &self.table,
+            Some(&self.cache),
+        )
+    }
+
+    /// Generates a batch of templates on up to `threads` worker threads.
+    ///
+    /// Result `i` always corresponds to `templates[i]`, whatever the
+    /// thread count or scheduling. A template whose generation fails —
+    /// or whose worker panics — yields an `Err` in its own slot without
+    /// affecting siblings or deadlocking the batch.
+    pub fn generate_batch(
+        &self,
+        templates: &[Template],
+        threads: usize,
+    ) -> Vec<Result<Generated, EngineError>> {
+        scatter(templates, threads, |_, t| self.generate(t))
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(Ok(generated)) => Ok(generated),
+                Ok(Err(e)) => Err(EngineError::Gen(e)),
+                Err(panic) => Err(EngineError::Worker(panic)),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{CrySlCodeGenerator, TemplateMethod};
+    use javamodel::ast::{Expr, JavaType, Stmt};
+    use javamodel::jca::jca_type_table;
+
+    fn digest_rule_set() -> RuleSet {
+        let mut set = RuleSet::new();
+        set.add_source(
+            "SPEC java.security.MessageDigest\nOBJECTS java.lang.String alg; byte[] input; byte[] output;\nEVENTS g1: getInstance(alg); u1: update(input); d1: output = digest(input);\nORDER g1, u1?, d1\nCONSTRAINTS alg in {\"SHA-256\"};",
+        )
+        .unwrap();
+        set
+    }
+
+    fn hash_template() -> Template {
+        let chain = CrySlCodeGenerator::get_instance()
+            .consider_crysl_rule("java.security.MessageDigest")
+            .add_parameter("data", "input")
+            .add_return_object("hash")
+            .build();
+        let method = TemplateMethod::new("hash", JavaType::byte_array())
+            .param(JavaType::byte_array(), "data")
+            .pre(Stmt::decl_init(JavaType::byte_array(), "hash", Expr::null()))
+            .chain(chain)
+            .post(Stmt::Return(Some(Expr::var("hash"))));
+        Template::new("p", "Hasher").method(method)
+    }
+
+    #[test]
+    fn engine_generates_and_caches() {
+        let engine = GenEngine::new(digest_rule_set(), jca_type_table());
+        let first = engine.generate(&hash_template()).unwrap();
+        let second = engine.generate(&hash_template()).unwrap();
+        assert_eq!(first.java_source, second.java_source);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert!(stats.hits >= 1, "second run must hit the cache: {stats:?}");
+    }
+
+    #[test]
+    fn warm_precompiles_every_rule() {
+        let engine = GenEngine::new(digest_rule_set(), jca_type_table());
+        engine.warm().unwrap();
+        assert_eq!(engine.cache_stats().entries, 1);
+        engine.generate(&hash_template()).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1, "generation after warm() never compiles");
+    }
+
+    #[test]
+    fn batch_preserves_input_order() {
+        let engine = GenEngine::new(digest_rule_set(), jca_type_table());
+        let templates: Vec<Template> = (0..6).map(|_| hash_template()).collect();
+        for threads in [1, 2, 8] {
+            let results = engine.generate_batch(&templates, threads);
+            assert_eq!(results.len(), templates.len());
+            for r in &results {
+                assert!(r.is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_surfaces_generation_errors_per_slot() {
+        let engine = GenEngine::new(digest_rule_set(), jca_type_table());
+        let bad = Template::new("p", "C").method(
+            TemplateMethod::new("go", JavaType::Void).chain(
+                CrySlCodeGenerator::get_instance()
+                    .consider_crysl_rule("no.such.Rule")
+                    .build(),
+            ),
+        );
+        let templates = vec![hash_template(), bad, hash_template()];
+        let results = engine.generate_batch(&templates, 2);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(EngineError::Gen(GenError::UnknownRule(_)))
+        ));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn scatter_contains_panics_to_their_slot() {
+        let items: Vec<usize> = (0..10).collect();
+        let results = scatter(&items, 4, |_, &v| {
+            assert!(v != 5, "poisoned item");
+            v * 2
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i == 5 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.index, 5);
+                assert!(p.message.contains("poisoned item"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_handles_empty_and_oversized_thread_counts() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(scatter(&empty, 8, |_, _| ()).is_empty());
+        let one = [7u8];
+        let r = scatter(&one, 64, |_, &v| v + 1);
+        assert_eq!(r[0].as_ref().copied().unwrap(), 8);
+    }
+}

@@ -7,8 +7,11 @@ use javamodel::typecheck::check_unit;
 use javamodel::typetable::ClassDef;
 use javamodel::TypeTable;
 
+use statemachine::OrderCache;
+
 use crate::assemble::{assemble, template_usage};
 use crate::collect::collect;
+use crate::engine::shared_order_cache;
 use crate::error::GenError;
 use crate::link::link;
 use crate::pathsel::{select_path_for_return, SelectionOptions};
@@ -57,7 +60,12 @@ impl Generator {
         Generator { options }
     }
 
-    /// Runs the pipeline on `template` against `rules` and `table`.
+    /// Runs the pipeline on `template` against `rules` and `table`,
+    /// reusing compiled ORDER artefacts from the process-wide shared
+    /// cache ([`shared_order_cache`]) so repeat single-shot calls skip
+    /// recompilation. Differential tests proved the cached path
+    /// byte-identical to the cold path; use [`Generator::generate_uncached`]
+    /// to force the cold path explicitly.
     ///
     /// # Errors
     ///
@@ -69,6 +77,35 @@ impl Generator {
         template: &Template,
         rules: &crysl::RuleSet,
         table: &TypeTable,
+    ) -> Result<Generated, GenError> {
+        self.generate_with_cache(template, rules, table, Some(shared_order_cache()))
+    }
+
+    /// [`Generator::generate`] without any compiled-artefact reuse: every
+    /// rule's ORDER pattern is recompiled from scratch. This is the
+    /// legacy cold path, kept as the reference implementation the
+    /// differential suite compares the cache against.
+    ///
+    /// # Errors
+    ///
+    /// See [`Generator::generate`].
+    pub fn generate_uncached(
+        &self,
+        template: &Template,
+        rules: &crysl::RuleSet,
+        table: &TypeTable,
+    ) -> Result<Generated, GenError> {
+        self.generate_with_cache(template, rules, table, None)
+    }
+
+    /// The pipeline with an explicit compiled-ORDER cache choice; the
+    /// engine passes its own session cache here.
+    pub(crate) fn generate_with_cache(
+        &self,
+        template: &Template,
+        rules: &crysl::RuleSet,
+        table: &TypeTable,
+        cache: Option<&OrderCache>,
     ) -> Result<Generated, GenError> {
         let mut class = ClassDecl::new(template.class_name.clone());
         let mut hoisted_report = Vec::new();
@@ -99,6 +136,7 @@ impl Generator {
                             table,
                             &self.options.selection,
                             expected,
+                            cache,
                         )?);
                     }
                     let assembled = assemble(

@@ -16,7 +16,12 @@
 //! 5. [`assemble`] — emit the Java code plus the showcase
 //!    `templateUsage()` method.
 //!
-//! The entry point is [`generate`] (or [`Generator`] for configured runs).
+//! The entry point is [`generate`] (or [`Generator`] for configured
+//! runs). For repeated or concurrent generation, [`engine::GenEngine`]
+//! shares the parsed rules, the type table and a compiled-ORDER cache
+//! across calls and fans batches out over worker threads; `generate`
+//! itself reuses the same compiled artefacts through a process-wide
+//! shared cache.
 //!
 //! # Example
 //!
@@ -44,6 +49,7 @@
 
 pub mod assemble;
 pub mod collect;
+pub mod engine;
 pub mod error;
 pub mod generator;
 pub mod link;
@@ -51,6 +57,7 @@ pub mod pathsel;
 pub mod resolve;
 pub mod template;
 
+pub use engine::{EngineError, GenEngine, WorkerPanic};
 pub use error::GenError;
 pub use generator::{generate, Generated, Generator, GeneratorOptions};
 pub use template::{CrySlCodeGenerator, Template, TemplateMethod};

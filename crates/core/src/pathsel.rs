@@ -17,6 +17,7 @@
 
 use crysl::ast::{MethodEvent, Rule};
 use statemachine::paths::{enumerate, PathLimit};
+use statemachine::OrderCache;
 
 use crate::collect::CollectedRule;
 use crate::error::GenError;
@@ -84,6 +85,10 @@ impl Default for SelectionOptions {
 
 /// Selects the call sequence for rule `idx`.
 ///
+/// When `cache` is provided, the rule's enumerated paths come from the
+/// compiled-ORDER cache (compiled on first sight) instead of a fresh
+/// NFA → DFA → enumeration run.
+///
 /// # Errors
 ///
 /// [`GenError::NoViablePath`] when every enumerated path fails a hard
@@ -97,8 +102,9 @@ pub fn select_path(
     links: &[Link],
     table: &TypeTable,
     options: &SelectionOptions,
+    cache: Option<&OrderCache>,
 ) -> Result<SelectedPath, GenError> {
-    select_path_for_return(idx, rules, links, table, options, None)
+    select_path_for_return(idx, rules, links, table, options, None, cache)
 }
 
 /// [`select_path`] with an additional requirement: the path must be able
@@ -111,16 +117,28 @@ pub fn select_path_for_return(
     table: &TypeTable,
     options: &SelectionOptions,
     return_type: Option<&javamodel::ast::JavaType>,
+    cache: Option<&OrderCache>,
 ) -> Result<SelectedPath, GenError> {
     let cr = &rules[idx];
     let rule = cr.rule;
-    let paths = enumerate(rule, PathLimit::default())?;
+    let compiled;
+    let enumerated;
+    let paths: &[Vec<String>] = match cache {
+        Some(c) => {
+            compiled = c.get_or_compile(rule)?;
+            &compiled.paths
+        }
+        None => {
+            enumerated = enumerate(rule, PathLimit::default())?;
+            &enumerated
+        }
+    };
 
     let mut survivors: Vec<Candidate> = Vec::new();
     let mut with_hoists: Vec<Candidate> = Vec::new();
     let mut last_reason = String::from("ORDER pattern has no accepting path");
 
-    for path in &paths {
+    for path in paths {
         if options.filter_template_bindings {
             if let Some(missing) = missing_binding(cr, path) {
                 last_reason = format!("path omits template-bound object `{missing}`");
@@ -392,7 +410,30 @@ mod tests {
         }
         let rules = collect(&chain, &method, &set).unwrap();
         let links = link(&rules);
-        select_path(idx, &rules, &links, &jca_type_table(), &SelectionOptions::default())
+        let uncached = select_path(
+            idx,
+            &rules,
+            &links,
+            &jca_type_table(),
+            &SelectionOptions::default(),
+            None,
+        );
+        // The cached path must be observably identical to the cold path.
+        let cache = OrderCache::new();
+        let cached = select_path(
+            idx,
+            &rules,
+            &links,
+            &jca_type_table(),
+            &SelectionOptions::default(),
+            Some(&cache),
+        );
+        match (&uncached, &cached) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "cache changed path selection"),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("cache changed the outcome: {a:?} vs {b:?}"),
+        }
+        uncached
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! assert_eq!(set.len(), 14);
 //! ```
 
+use std::sync::OnceLock;
+
 use crysl::{CryslError, RuleSet};
 
 /// Name and source text of every shipped rule.
@@ -48,24 +50,56 @@ pub const RULE_SOURCES: &[(&str, &str)] = &[
     ("Mac", include_str!("../jca/Mac.crysl")),
 ];
 
-/// Parses and returns the full JCA rule set.
+/// Returns the full JCA rule set, cloned from the process-wide parsed
+/// instance ([`shared_jca_rules`]). The embedded sources are lexed and
+/// parsed at most once per process; every later call is a cheap clone
+/// of the already-parsed set.
 ///
 /// # Panics
 ///
 /// Panics if a shipped rule fails to parse — that is a build defect, and
 /// [`try_jca_rules`] exists for callers that prefer an error.
 pub fn jca_rules() -> RuleSet {
-    try_jca_rules().expect("shipped JCA rules must parse")
+    shared_jca_rules().clone()
 }
 
-/// Parses the shipped rule set, surfacing any parse error.
+/// The process-wide parsed JCA rule set, behind a [`OnceLock`]: parsed
+/// on first access, shared (by reference) forever after. This is what
+/// the generation engine holds, so concurrent sessions read one set.
+///
+/// # Panics
+///
+/// Panics on first access if a shipped rule fails to parse (a build
+/// defect); later accesses retry initialization.
+pub fn shared_jca_rules() -> &'static RuleSet {
+    static SHARED: OnceLock<RuleSet> = OnceLock::new();
+    SHARED.get_or_init(|| try_jca_rules().expect("shipped JCA rules must parse"))
+}
+
+/// Parses the shipped rule set, surfacing any parse error. Unlike
+/// [`jca_rules`]/[`shared_jca_rules`] this always re-parses from source —
+/// it is the cold path benchmarks and differential tests measure against.
 ///
 /// # Errors
 ///
 /// Returns the first [`CryslError`] hit while parsing/validating a rule.
 pub fn try_jca_rules() -> Result<RuleSet, CryslError> {
+    rule_set_from_sources(RULE_SOURCES.iter().map(|(_, src)| *src))
+}
+
+/// Parses a rule set from raw CrySL sources — the loading path behind
+/// [`try_jca_rules`], exposed so alternative rule sets load with the
+/// same error discipline.
+///
+/// # Errors
+///
+/// Returns the first [`CryslError`] hit while parsing/validating a rule;
+/// malformed sources never panic.
+pub fn rule_set_from_sources<'a>(
+    sources: impl IntoIterator<Item = &'a str>,
+) -> Result<RuleSet, CryslError> {
     let mut set = RuleSet::new();
-    for (_, src) in RULE_SOURCES {
+    for src in sources {
         set.add_source(src)?;
     }
     Ok(set)
@@ -82,6 +116,30 @@ mod tests {
     fn all_rules_parse_and_validate() {
         let set = try_jca_rules().unwrap();
         assert_eq!(set.len(), RULE_SOURCES.len());
+    }
+
+    #[test]
+    fn shared_set_is_parsed_once_and_jca_rules_clones_it() {
+        let a = shared_jca_rules();
+        let b = shared_jca_rules();
+        assert!(std::ptr::eq(a, b), "OnceLock must hand out one instance");
+        assert_eq!(jca_rules().len(), a.len());
+    }
+
+    #[test]
+    fn malformed_rule_source_surfaces_a_crysl_error_not_a_panic() {
+        // Regression test for the panic-free loading path: a malformed
+        // source must come back as Err(CryslError) through the same
+        // loader the shipped set uses.
+        let mut sources: Vec<&str> = RULE_SOURCES.iter().map(|(_, s)| *s).collect();
+        sources.push("SPEC \nEVENTS ???");
+        let err = rule_set_from_sources(sources).unwrap_err();
+        let _: &CryslError = &err; // the concrete error type, not a panic
+        assert!(!err.to_string().is_empty());
+
+        // A duplicate of a shipped rule is also an error, not a panic.
+        let twice = [RULE_SOURCES[0].1, RULE_SOURCES[0].1];
+        assert!(rule_set_from_sources(twice).is_err());
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Compile-once/reuse-many artefacts for ORDER patterns.
+//!
+//! CrySL treats rules as stable, reusable specifications, yet the
+//! generator's hot path used to rebuild each rule's NFA → DFA →
+//! minimization → path enumeration on every run. This module memoizes
+//! that work: a [`CompiledOrder`] bundles the minimized [`Dfa`] with the
+//! enumerated accepting paths, and an [`OrderCache`] keys the artefacts
+//! by a content hash ([`order_fingerprint`]) of everything compilation
+//! reads — the `EVENTS` declarations and the `ORDER` expression.
+//!
+//! Because the key is derived from the artefact's *entire* input, a
+//! stale hit is impossible by construction: any edit to an event list or
+//! ORDER pattern changes the fingerprint, and two rules with the same
+//! fingerprint have byte-identical compilation inputs, hence structurally
+//! equal artefacts. Rules that differ only in sections compilation never
+//! reads (`SPEC` name, constraints, predicates) intentionally share an
+//! entry.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crysl::ast::{EventDecl, Rule};
+use crysl::printer::print_order;
+
+use crate::dfa::Dfa;
+use crate::nfa::{Nfa, StateMachineError};
+use crate::paths::{enumerate, PathLimit};
+
+/// 64-bit FNV-1a over a byte string (in-repo; no external hash deps).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Content hash of the rule sections ORDER compilation depends on: the
+/// `EVENTS` declarations (labels, return bindings, method names,
+/// parameter patterns, aggregates) and the `ORDER` expression.
+///
+/// The serialization uses unambiguous separators, so two rules hash
+/// equal exactly when their compilation inputs are textually identical
+/// in canonical form.
+pub fn order_fingerprint(rule: &Rule) -> u64 {
+    let mut buf = String::new();
+    for e in &rule.events {
+        match e {
+            EventDecl::Method(m) => {
+                let _ = write!(buf, "{}:", m.label);
+                if let Some(rv) = &m.return_var {
+                    let _ = write!(buf, "{rv}=");
+                }
+                let _ = write!(buf, "{}(", m.method_name);
+                for (i, p) in m.params.iter().enumerate() {
+                    if i > 0 {
+                        buf.push(',');
+                    }
+                    let _ = write!(buf, "{p}");
+                }
+                buf.push(')');
+            }
+            EventDecl::Aggregate { label, members } => {
+                let _ = write!(buf, "{label}:={}", members.join("|"));
+            }
+        }
+        buf.push(';');
+    }
+    // Unit separator between the EVENTS and ORDER sections, so content
+    // cannot migrate across the boundary and collide.
+    buf.push('\u{1f}');
+    buf.push_str(&print_order(&rule.order));
+    fnv1a_64(buf.as_bytes())
+}
+
+/// The memoized compilation of one rule's ORDER pattern: its content
+/// fingerprint, the minimized DFA, and the enumerated accepting paths
+/// (shortest-first, as [`enumerate`] orders them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledOrder {
+    /// [`order_fingerprint`] of the rule this was compiled from.
+    pub fingerprint: u64,
+    /// Minimized DFA over the rule's method-event labels.
+    pub dfa: Dfa,
+    /// Accepting call sequences with repetition unrolled.
+    pub paths: Vec<Vec<String>>,
+}
+
+impl CompiledOrder {
+    /// Runs the full NFA → DFA → minimization → enumeration pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StateMachineError`] from NFA construction or path
+    /// enumeration.
+    pub fn compile(rule: &Rule) -> Result<CompiledOrder, StateMachineError> {
+        Ok(CompiledOrder {
+            fingerprint: order_fingerprint(rule),
+            dfa: Dfa::from_nfa(&Nfa::from_rule(rule)?).minimize(),
+            paths: enumerate(rule, PathLimit::default())?,
+        })
+    }
+}
+
+/// Observability counters for an [`OrderCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Distinct compiled artefacts currently held.
+    pub entries: usize,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+}
+
+/// A thread-safe, fingerprint-keyed cache of [`CompiledOrder`]s.
+///
+/// Concurrent callers may race to compile the same fingerprint; the
+/// first inserted artefact wins and every caller observes it. Since the
+/// artefact is a deterministic function of the fingerprinted content,
+/// the race is benign.
+#[derive(Debug, Default)]
+pub struct OrderCache {
+    inner: RwLock<HashMap<u64, Arc<CompiledOrder>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl OrderCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        OrderCache::default()
+    }
+
+    /// Returns the compiled artefact for `rule`, compiling and caching
+    /// it on first sight of the rule's fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StateMachineError`] from compilation. Failures are
+    /// not cached; a later call retries.
+    pub fn get_or_compile(&self, rule: &Rule) -> Result<Arc<CompiledOrder>, StateMachineError> {
+        let fp = order_fingerprint(rule);
+        if let Some(hit) = self.read_lock().get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        // Compile outside the lock so a slow rule never serializes
+        // unrelated lookups.
+        let compiled = Arc::new(CompiledOrder::compile(rule)?);
+        debug_assert_eq!(compiled.fingerprint, fp);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Ok(map.entry(fp).or_insert(compiled).clone())
+    }
+
+    /// Current entry and hit/miss counts.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.read_lock().len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct artefacts held.
+    pub fn len(&self) -> usize {
+        self.read_lock().len()
+    }
+
+    /// Whether the cache holds no artefacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn read_lock(&self) -> std::sync::RwLockReadGuard<'_, HashMap<u64, Arc<CompiledOrder>>> {
+        match self.inner.read() {
+            Ok(g) => g,
+            // The map is never left mid-mutation (plain HashMap ops), so
+            // recovering from a poisoned lock is sound and keeps sibling
+            // batch workers alive after one worker panics.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crysl::parse_rule;
+
+    fn rule(src: &str) -> Rule {
+        parse_rule(src).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_reparses() {
+        let src = "SPEC X\nEVENTS a: f(); b: g(_);\nORDER a, b?";
+        assert_eq!(order_fingerprint(&rule(src)), order_fingerprint(&rule(src)));
+    }
+
+    #[test]
+    fn fingerprint_ignores_sections_compilation_never_reads() {
+        let a = rule("SPEC a.X\nOBJECTS int k;\nEVENTS a: f(); b: g();\nORDER a, b\nCONSTRAINTS k >= 1;");
+        let b = rule("SPEC other.Y\nEVENTS a: f(); b: g();\nORDER a, b");
+        assert_eq!(order_fingerprint(&a), order_fingerprint(&b));
+        assert_eq!(
+            CompiledOrder::compile(&a).unwrap().dfa,
+            CompiledOrder::compile(&b).unwrap().dfa
+        );
+    }
+
+    #[test]
+    fn fingerprint_changes_with_order_and_events() {
+        let base = rule("SPEC X\nEVENTS a: f(); b: g();\nORDER a, b");
+        for other in [
+            "SPEC X\nEVENTS a: f(); b: g();\nORDER b, a",
+            "SPEC X\nEVENTS a: f(); b: g();\nORDER a, b?",
+            "SPEC X\nEVENTS a: f(); b: g(_);\nORDER a, b",
+            "SPEC X\nEVENTS a: f(); b: h();\nORDER a, b",
+            "SPEC X\nOBJECTS int r;\nEVENTS a: r = f(); b: g();\nORDER a, b",
+            "SPEC X\nEVENTS a: f(); b: g(); c: h();\nORDER a, b",
+        ] {
+            assert_ne!(
+                order_fingerprint(&base),
+                order_fingerprint(&rule(other)),
+                "{other}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_artifact_matches_direct_pipeline() {
+        let r = rule("SPEC X\nEVENTS a: f(); b: g(); c: h();\nORDER a, (b | c), b?");
+        let compiled = CompiledOrder::compile(&r).unwrap();
+        assert_eq!(
+            compiled.paths,
+            enumerate(&r, PathLimit::default()).unwrap()
+        );
+        for p in &compiled.paths {
+            assert!(compiled.dfa.accepts(p.iter().map(String::as_str)));
+        }
+    }
+
+    #[test]
+    fn cache_hits_return_the_same_artifact() {
+        let cache = OrderCache::new();
+        let r = rule("SPEC X\nEVENTS a: f(); b: g();\nORDER a, b");
+        let first = cache.get_or_compile(&r).unwrap();
+        let second = cache.get_or_compile(&r).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.hits, stats.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn cache_shares_entries_across_content_equal_rules() {
+        let cache = OrderCache::new();
+        let a = rule("SPEC a.X\nEVENTS a: f(); b: g();\nORDER a, b");
+        let b = rule("SPEC b.Y\nEVENTS a: f(); b: g();\nORDER a, b");
+        let ca = cache.get_or_compile(&a).unwrap();
+        let cb = cache.get_or_compile(&b).unwrap();
+        assert!(Arc::ptr_eq(&ca, &cb));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_different_orders() {
+        let cache = OrderCache::new();
+        cache
+            .get_or_compile(&rule("SPEC X\nEVENTS a: f(); b: g();\nORDER a, b"))
+            .unwrap();
+        cache
+            .get_or_compile(&rule("SPEC X\nEVENTS a: f(); b: g();\nORDER b, a"))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
+        let cache = OrderCache::new();
+        let bad = rule("SPEC X\nEVENTS a: f();\nORDER a");
+        // Force an unknown-label failure by compiling a rule whose ORDER
+        // references a label the events cannot resolve.
+        let mut broken = bad.clone();
+        broken.order = crysl::ast::OrderExpr::Label("zz".to_owned());
+        assert!(cache.get_or_compile(&broken).is_err());
+        assert!(cache.is_empty());
+        assert!(cache.get_or_compile(&bad).is_ok());
+    }
+
+    #[test]
+    fn concurrent_lookups_converge_on_one_artifact() {
+        let cache = OrderCache::new();
+        let r = rule("SPEC X\nEVENTS a: f(); b: g(); c: h();\nORDER a, (b | c)+");
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| cache.get_or_compile(&r).unwrap()))
+                .collect();
+            let arcs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for a in &arcs[1..] {
+                assert_eq!(**a, *arcs[0]);
+            }
+        });
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -10,7 +10,7 @@ use crate::nfa::Nfa;
 /// state. Used by the static analyzer to track the typestate of each
 /// specified object, and by tests to check that enumerated generation
 /// paths are accepted.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dfa {
     transitions: Vec<BTreeMap<String, usize>>,
     accepting: Vec<bool>,

@@ -10,7 +10,10 @@
 //!   typestate checking,
 //! * [`paths`] — finite enumeration of accepting call sequences, with
 //!   repetition unrolled to *at most one* occurrence exactly as the paper
-//!   describes ("one where the method is not called and one where it is").
+//!   describes ("one where the method is not called and one where it is"),
+//! * [`compile`] — compile-once/reuse-many artefacts: the minimized DFA
+//!   plus enumerated paths behind a content-hash-keyed, thread-safe
+//!   [`OrderCache`].
 //!
 //! # Example
 //!
@@ -30,11 +33,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod compile;
 pub mod dfa;
 pub mod dot;
 pub mod minimize;
 pub mod nfa;
 pub mod paths;
 
+pub use compile::{order_fingerprint, CacheStats, CompiledOrder, OrderCache};
 pub use dfa::Dfa;
 pub use nfa::{Nfa, StateMachineError};

@@ -13,10 +13,10 @@ use cognicryptgen::core::generate;
 use cognicryptgen::interp::{Interpreter, Value};
 use cognicryptgen::javamodel::ast::{Expr, JavaType, Stmt};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::jca_rules;
+use cognicryptgen::rules::try_jca_rules;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rules = jca_rules();
+    let rules = try_jca_rules()?;
     let table = jca_type_table();
 
     // The template a crypto expert would write: two wrapper methods with

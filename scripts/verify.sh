@@ -30,4 +30,18 @@ cargo build --release --offline --locked
 echo "==> cargo test -q --offline --locked"
 cargo test -q --offline --locked
 
+# The CLI's cached batch path must emit exactly what the single-shot
+# generate path emits for every use case — a divergence means the
+# engine's compiled-ORDER cache changed observable output.
+echo "==> cli batch vs single-shot generate"
+cli="target/release/cognicryptgen"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+mkdir -p "$workdir/batch" "$workdir/single"
+"$cli" batch "$workdir/batch" 8 >/dev/null
+for id in $(seq 1 11); do
+    "$cli" generate "$id" > "$workdir/single/$(printf 'uc%02d.java' "$id")"
+done
+diff -r "$workdir/batch" "$workdir/single"
+
 echo "==> hermetic verify OK"

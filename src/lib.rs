@@ -10,3 +10,43 @@ pub use sast;
 pub use statemachine;
 pub use stats;
 pub use usecases;
+
+use std::sync::OnceLock;
+
+use cognicrypt_core::GenEngine;
+
+/// The process-wide generation engine over the shipped JCA rule set and
+/// type table: parsed rules behind `rules::shared_jca_rules`'s
+/// `OnceLock`, plus a compiled-ORDER cache that warms up across calls.
+/// The CLI's `generate` and `batch` subcommands and any embedding
+/// service share this one session.
+///
+/// # Panics
+///
+/// Panics on first access if a shipped rule fails to parse (a build
+/// defect); use [`rules::try_jca_rules`] to surface that as an error.
+pub fn jca_engine() -> &'static GenEngine {
+    static ENGINE: OnceLock<GenEngine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        GenEngine::new(
+            rules::shared_jca_rules().clone(),
+            javamodel::jca::jca_type_table(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jca_engine_is_a_singleton_and_generates() {
+        let engine = jca_engine();
+        assert!(std::ptr::eq(engine, jca_engine()));
+        let uc = usecases::all_use_cases().remove(0);
+        let first = engine.generate(&uc.template).expect("generates");
+        let second = engine.generate(&uc.template).expect("generates");
+        assert_eq!(first.java_source, second.java_source);
+        assert!(engine.cache_stats().hits > 0);
+    }
+}

@@ -1,32 +1,36 @@
 //! `cognicryptgen` — command-line front end for the reproduction.
 //!
 //! ```text
-//! cognicryptgen list                 list the shipped use cases
-//! cognicryptgen generate <id|name>   generate a use case, print Java
-//! cognicryptgen template <id|name>   print the use case's code template
-//! cognicryptgen rules [class]        print the CrySL rule set (or one rule)
-//! cognicryptgen analyze <file>       run the misuse analyzer on Java text
-//! cognicryptgen oldgen <id>          run the XSL/Clafer baseline generator
+//! cognicryptgen list                  list the shipped use cases
+//! cognicryptgen generate <id|name>    generate a use case, print Java
+//! cognicryptgen batch <dir> [threads] generate all use cases into <dir>
+//! cognicryptgen template <id|name>    print the use case's code template
+//! cognicryptgen rules [class]         print the CrySL rule set (or one rule)
+//! cognicryptgen analyze <file>        run the misuse analyzer on Java text
+//! cognicryptgen oldgen <id>           run the XSL/Clafer baseline generator
 //! ```
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::process::ExitCode;
 
-use cognicryptgen::core::generate;
 use cognicryptgen::core::template::render_java;
 use cognicryptgen::javamodel::jca::jca_type_table;
 use cognicryptgen::javamodel::parser::parse_java;
-use cognicryptgen::rules::jca_rules;
+use cognicryptgen::jca_engine;
+use cognicryptgen::rules::try_jca_rules;
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
 use cognicryptgen::usecases::{all_use_cases, UseCase};
 
-const USAGE: &str = "usage: cognicryptgen <list|generate|template|rules|analyze|oldgen> [arg]";
+const USAGE: &str =
+    "usage: cognicryptgen <list|generate|batch|template|rules|analyze|oldgen> [arg..]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("generate") => with_use_case(args.get(1), cmd_generate),
+        Some("batch") => cmd_batch(args.get(1).map(String::as_str), args.get(2).map(String::as_str)),
         Some("template") => with_use_case(args.get(1), cmd_template),
         Some("rules") => cmd_rules(args.get(1).map(String::as_str)),
         Some("analyze") => cmd_analyze(args.get(1).map(String::as_str)),
@@ -77,9 +81,62 @@ fn cmd_list() -> Result<(), String> {
 }
 
 fn cmd_generate(uc: &UseCase) -> Result<(), String> {
-    let generated =
-        generate(&uc.template, &jca_rules(), &jca_type_table()).map_err(|e| e.to_string())?;
+    let generated = jca_engine()
+        .generate(&uc.template)
+        .map_err(|e| e.to_string())?;
     print!("{}", generated.java_source);
+    Ok(())
+}
+
+/// `batch <dir> [threads]` — generate every shipped use case in one
+/// engine session, fanned over worker threads, writing `uc01.java` …
+/// `uc11.java` into `dir`. Any per-case failure is reported and turns
+/// the whole invocation into a failure after all cases ran.
+fn cmd_batch(outdir: Option<&str>, threads: Option<&str>) -> Result<(), String> {
+    let outdir = outdir.ok_or_else(|| "missing output directory for batch".to_owned())?;
+    let threads = match threads {
+        Some(t) => t
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("invalid thread count `{t}`"))?,
+        None => 4,
+    };
+    let outdir = Path::new(outdir);
+    std::fs::create_dir_all(outdir).map_err(|e| format!("{}: {e}", outdir.display()))?;
+
+    let cases = all_use_cases();
+    let templates: Vec<_> = cases.iter().map(|uc| uc.template.clone()).collect();
+    let results = jca_engine().generate_batch(&templates, threads);
+
+    let mut failures = 0usize;
+    for (uc, result) in cases.iter().zip(&results) {
+        match result {
+            Ok(generated) => {
+                let path = outdir.join(format!("uc{:02}.java", uc.id));
+                std::fs::write(&path, &generated.java_source)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                println!("uc{:02} {:<32} ok ({} bytes)", uc.id, uc.name, generated.java_source.len());
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("uc{:02} {:<32} FAILED: {e}", uc.id, uc.name);
+            }
+        }
+    }
+    let stats = jca_engine().cache_stats();
+    println!(
+        "batch: {} of {} generated with {} threads (order cache: {} entries, {} hits, {} misses)",
+        results.len() - failures,
+        results.len(),
+        threads,
+        stats.entries,
+        stats.hits,
+        stats.misses
+    );
+    if failures > 0 {
+        return Err(format!("{failures} use case(s) failed"));
+    }
     Ok(())
 }
 
@@ -89,7 +146,7 @@ fn cmd_template(uc: &UseCase) -> Result<(), String> {
 }
 
 fn cmd_rules(class: Option<&str>) -> Result<(), String> {
-    let set = jca_rules();
+    let set = try_jca_rules().map_err(|e| e.to_string())?;
     match class {
         Some(name) => {
             let rule = set
@@ -111,7 +168,8 @@ fn cmd_analyze(path: Option<&str>) -> Result<(), String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let table = jca_type_table();
     let unit = parse_java(&source, &table).map_err(|e| e.to_string())?;
-    let misuses = analyze_unit(&unit, &jca_rules(), &table, AnalyzerOptions::default());
+    let rules = try_jca_rules().map_err(|e| e.to_string())?;
+    let misuses = analyze_unit(&unit, &rules, &table, AnalyzerOptions::default());
     if misuses.is_empty() {
         println!("no misuses found");
     } else {

@@ -1,0 +1,220 @@
+//! Property tests for the compiled-ORDER cache key: the fingerprint must
+//! track *exactly* the rule content compilation reads (EVENTS + ORDER),
+//! so a stale cache hit is impossible by construction.
+//!
+//! Random rule sketches are rendered to CrySL source, parsed, mutated,
+//! and compared:
+//!
+//! * any mutation of the events or the ORDER expression changes the
+//!   fingerprint; any change confined to sections compilation never
+//!   reads (SPEC name, OBJECTS, CONSTRAINTS) does not;
+//! * fingerprint-equal rules compile to structurally equal artefacts and
+//!   share one cache entry, and a cached artefact always equals a fresh
+//!   recompilation of the rule that hits it — the no-staleness property.
+//!
+//! Runs on the in-repo `devharness` property harness (hermetic, no
+//! registry access).
+
+use std::sync::Arc;
+
+use devharness::prop::{check, Config, Gen, Tape};
+
+use cognicryptgen::crysl::ast::Rule;
+use cognicryptgen::crysl::parse_rule;
+use cognicryptgen::crysl::printer::print_order;
+use cognicryptgen::statemachine::{order_fingerprint, CompiledOrder, OrderCache};
+
+const LABELS: [&str; 5] = ["a", "b", "c", "d", "e"];
+const METHODS: [&str; 4] = ["init", "update", "doFinal", "reset"];
+const SUFFIXES: [&str; 3] = ["", "?", "+"];
+
+/// A randomly drawn rule shape: per-event method/arity, per-position
+/// ORDER suffix, and an optional alternative group.
+#[derive(Debug, Clone, PartialEq)]
+struct Sketch {
+    /// Per event: index into [`METHODS`].
+    methods: Vec<usize>,
+    /// Per event: parameter count, rendered as `_` wildcards.
+    params: Vec<usize>,
+    /// Per ORDER position: index into [`SUFFIXES`].
+    suffixes: Vec<usize>,
+    /// Positions `alt_at`/`alt_at + 1` render as `(x | y)` when both
+    /// exist.
+    alt_at: usize,
+}
+
+impl Sketch {
+    fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Renders the sketch to parseable CrySL source. `spec` names the
+    /// rule; `noise` adds an OBJECTS declaration and a CONSTRAINTS
+    /// section — content compilation never reads.
+    fn render(&self, spec: &str, noise: Option<i64>) -> String {
+        let mut src = format!("SPEC {spec}\n");
+        if noise.is_some() {
+            src.push_str("OBJECTS int budget;\n");
+        }
+        src.push_str("EVENTS ");
+        for i in 0..self.len() {
+            let params = vec!["_"; self.params[i]].join(", ");
+            src.push_str(&format!("{}: {}({}); ", LABELS[i], METHODS[self.methods[i]], params));
+        }
+        src.push_str("\nORDER ");
+        let mut pos = 0;
+        let mut terms = Vec::new();
+        while pos < self.len() {
+            let term = format!("{}{}", LABELS[pos], SUFFIXES[self.suffixes[pos]]);
+            if pos == self.alt_at && pos + 1 < self.len() {
+                let right = format!("{}{}", LABELS[pos + 1], SUFFIXES[self.suffixes[pos + 1]]);
+                terms.push(format!("({term} | {right})"));
+                pos += 2;
+            } else {
+                terms.push(term);
+                pos += 1;
+            }
+        }
+        src.push_str(&terms.join(", "));
+        if let Some(k) = noise {
+            src.push_str(&format!("\nCONSTRAINTS budget >= {k};"));
+        }
+        src
+    }
+
+    fn parse(&self, spec: &str, noise: Option<i64>) -> Rule {
+        let src = self.render(spec, noise);
+        parse_rule(&src).unwrap_or_else(|e| panic!("sketch must parse: {e}\n---\n{src}"))
+    }
+}
+
+fn sketch_from_tape(t: &mut Tape) -> Sketch {
+    let n = 2 + t.draw_below(3) as usize; // 2..=4 events
+    Sketch {
+        methods: (0..n).map(|_| t.draw_below(METHODS.len() as u64) as usize).collect(),
+        params: (0..n).map(|_| t.draw_below(3) as usize).collect(),
+        suffixes: (0..n).map(|_| t.draw_below(SUFFIXES.len() as u64) as usize).collect(),
+        alt_at: t.draw_below(n as u64 + 1) as usize, // == n → no alternative
+    }
+}
+
+/// Applies one always-content-changing mutation to the EVENTS/ORDER
+/// input of `s`.
+fn mutate(s: &Sketch, t: &mut Tape) -> Sketch {
+    let mut m = s.clone();
+    let pos = t.draw_below(s.len() as u64) as usize;
+    match t.draw_below(5) {
+        0 => m.suffixes[pos] = (m.suffixes[pos] + 1) % SUFFIXES.len(),
+        1 => {
+            let step = 1 + t.draw_below(METHODS.len() as u64 - 1) as usize;
+            m.methods[pos] = (m.methods[pos] + step) % METHODS.len();
+        }
+        2 => m.params[pos] = (m.params[pos] + 1) % 3,
+        3 if s.len() < LABELS.len() => {
+            m.methods.push(t.draw_below(METHODS.len() as u64) as usize);
+            m.params.push(t.draw_below(3) as usize);
+            m.suffixes.push(t.draw_below(SUFFIXES.len() as u64) as usize);
+        }
+        _ if s.len() > 2 => {
+            m.methods.pop();
+            m.params.pop();
+            m.suffixes.pop();
+            m.alt_at = m.alt_at.min(m.len());
+        }
+        // Fallback when the chosen structural mutation is unavailable at
+        // this size: toggling a suffix always changes the ORDER text.
+        _ => m.suffixes[pos] = (m.suffixes[pos] + 1) % SUFFIXES.len(),
+    }
+    m
+}
+
+/// The exact serialization relation the fingerprint is specified over.
+fn compilation_inputs_equal(a: &Rule, b: &Rule) -> bool {
+    a.events == b.events && print_order(&a.order) == print_order(&b.order)
+}
+
+fn cfg() -> Config {
+    Config::default()
+}
+
+#[test]
+fn fingerprint_tracks_events_and_order_exactly() {
+    let g = Gen::new(|t| {
+        let base = sketch_from_tape(t);
+        let mutated = mutate(&base, t);
+        (base, mutated)
+    });
+    check("fingerprint_tracks_events_and_order_exactly", &cfg(), &g, |(base, mutated)| {
+        let a = base.parse("pkg.Api", None);
+        let b = mutated.parse("pkg.Api", None);
+        if compilation_inputs_equal(&a, &b) {
+            assert_eq!(
+                order_fingerprint(&a),
+                order_fingerprint(&b),
+                "equal inputs must agree:\n{}\n{}",
+                base.render("pkg.Api", None),
+                mutated.render("pkg.Api", None)
+            );
+        } else {
+            assert_ne!(
+                order_fingerprint(&a),
+                order_fingerprint(&b),
+                "mutated input must change the key:\n{}\n{}",
+                base.render("pkg.Api", None),
+                mutated.render("pkg.Api", None)
+            );
+        }
+    });
+}
+
+#[test]
+fn fingerprint_ignores_sections_compilation_never_reads() {
+    let g = Gen::new(|t| {
+        let sketch = sketch_from_tape(t);
+        let noise = t.draw_below(10_000) as i64;
+        (sketch, noise)
+    });
+    check("fingerprint_ignores_sections_compilation_never_reads", &cfg(), &g, |(sketch, noise)| {
+        let plain = sketch.parse("pkg.Api", None);
+        let noisy = sketch.parse("other.Name", Some(*noise));
+        assert_eq!(order_fingerprint(&plain), order_fingerprint(&noisy));
+
+        // Hash-equal rules produce structurally equal artefacts …
+        let ca = CompiledOrder::compile(&plain).expect("compiles");
+        let cb = CompiledOrder::compile(&noisy).expect("compiles");
+        assert_eq!(ca.dfa, cb.dfa);
+        assert_eq!(ca.paths, cb.paths);
+
+        // … and share a single cache entry.
+        let cache = OrderCache::new();
+        let first = cache.get_or_compile(&plain).expect("compiles");
+        let second = cache.get_or_compile(&noisy).expect("compiles");
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+    });
+}
+
+#[test]
+fn cache_hits_are_never_stale() {
+    let g = Gen::new(sketch_from_tape);
+    check("cache_hits_are_never_stale", &cfg(), &g, |sketch| {
+        let rule = sketch.parse("pkg.Api", None);
+        let cache = OrderCache::new();
+        let cached = cache.get_or_compile(&rule).expect("compiles");
+        let hit = cache.get_or_compile(&rule).expect("compiles");
+        assert!(Arc::ptr_eq(&cached, &hit), "second lookup must hit");
+
+        // No staleness: what the cache serves is exactly what a fresh
+        // compilation of the looked-up rule would produce, and its
+        // stored fingerprint matches the lookup key.
+        let fresh = CompiledOrder::compile(&rule).expect("compiles");
+        assert_eq!(*cached, fresh);
+        assert_eq!(cached.fingerprint, order_fingerprint(&rule));
+
+        // The artefact is internally consistent: the DFA accepts every
+        // enumerated path.
+        for p in &cached.paths {
+            assert!(cached.dfa.accepts(p.iter().map(String::as_str)));
+        }
+    });
+}
