@@ -23,7 +23,7 @@ use devharness::bench::Harness;
 
 use cognicrypt_core::{GenEngine, Generator};
 use javamodel::jca::jca_type_table;
-use rules::try_jca_rules;
+use rules::{load, load_uncached};
 use usecases::all_use_cases;
 
 fn bench_cold_vs_warm(h: &mut Harness) {
@@ -37,7 +37,7 @@ fn bench_cold_vs_warm(h: &mut Harness) {
     // Cold: what every pre-engine invocation paid — parse the rule set
     // from source, then compile each ORDER pattern from scratch.
     h.bench("cold_generate_uc01", || {
-        let rules = try_jca_rules().expect("parses");
+        let rules = load_uncached().expect("parses");
         let g = Generator::new()
             .generate_uncached(black_box(&uc.template), &rules, &table)
             .expect("generates");
@@ -46,7 +46,11 @@ fn bench_cold_vs_warm(h: &mut Harness) {
 
     // Warm: a long-lived engine whose rule set is parsed once and whose
     // compiled-ORDER cache is fully populated.
-    let engine = GenEngine::new(try_jca_rules().expect("parses"), jca_type_table());
+    let engine = GenEngine::builder()
+        .rules(load().expect("parses"))
+        .type_table(jca_type_table())
+        .build()
+        .expect("rules supplied");
     engine.warm().expect("warms");
     h.bench("warm_generate_uc01", || {
         let g = engine.generate(black_box(&uc.template)).expect("generates");
@@ -67,7 +71,7 @@ fn bench_serial_vs_parallel(h: &mut Harness) {
     // recompiled every ORDER pattern it touched).
     h.bench("legacy_cold_serial_all11", || {
         for t in &templates {
-            let rules = try_jca_rules().expect("parses");
+            let rules = load_uncached().expect("parses");
             let g = Generator::new()
                 .generate_uncached(black_box(t), &rules, &table)
                 .expect("generates");
@@ -75,7 +79,11 @@ fn bench_serial_vs_parallel(h: &mut Harness) {
         }
     });
 
-    let engine = GenEngine::new(try_jca_rules().expect("parses"), jca_type_table());
+    let engine = GenEngine::builder()
+        .rules(load().expect("parses"))
+        .type_table(jca_type_table())
+        .build()
+        .expect("rules supplied");
     engine.warm().expect("warms");
     for threads in [1usize, 2, 8] {
         h.bench(&format!("engine_batch_all11_t{threads}"), || {

@@ -24,14 +24,14 @@ use cognicrypt_core::pathsel::SelectionOptions;
 use cognicrypt_core::{generate, Generator, GeneratorOptions};
 use crysl::parse_rule;
 use javamodel::jca::jca_type_table;
-use rules::{jca_rules, try_jca_rules, RULE_SOURCES};
+use rules::{load, load_uncached, RULE_SOURCES};
 use sast::{analyze_unit, AnalyzerOptions};
 use statemachine::paths::{enumerate, PathLimit};
 use statemachine::{Dfa, Nfa};
 use usecases::all_use_cases;
 
 fn bench_table1(h: &mut Harness) {
-    let rules = jca_rules();
+    let rules = load().expect("parses");
     let table = jca_type_table();
     h.group("table1");
     for uc in all_use_cases() {
@@ -55,10 +55,10 @@ fn bench_oldgen(h: &mut Harness) {
 
 fn bench_pipeline_stages(h: &mut Harness) {
     h.group("pipeline");
-    // `try_jca_rules` is the always-reparse path; `jca_rules` would just
+    // `load_uncached` is the always-reparse path; `load` would just
     // clone the process-wide parsed set and measure nothing.
     h.bench("parse_jca_ruleset", || {
-        black_box(try_jca_rules().expect("parses"));
+        black_box(load_uncached().expect("parses"));
     });
     let src = RULE_SOURCES
         .iter()
@@ -68,7 +68,7 @@ fn bench_pipeline_stages(h: &mut Harness) {
     h.bench("parse_single_rule", || {
         black_box(parse_rule(black_box(src)).expect("parses"));
     });
-    let rules = jca_rules();
+    let rules = load().expect("parses");
     h.bench("fsm_construction_all_rules", || {
         for r in rules.iter() {
             let dfa = Dfa::from_nfa(&Nfa::from_rule(r).expect("builds"));
@@ -93,7 +93,7 @@ fn bench_pipeline_stages(h: &mut Harness) {
 }
 
 fn bench_ablations(h: &mut Harness) {
-    let rules = jca_rules();
+    let rules = load().expect("parses");
     let table = jca_type_table();
     // Hashing has the richest path structure of the configurations that
     // stay correct under every ablation: filters cannot be turned off
@@ -160,7 +160,7 @@ fn bench_crypto_substrate(h: &mut Harness) {
 fn bench_execution(h: &mut Harness) {
     // Running the generated code end-to-end on the simulated provider —
     // the part of the paper's validation that was manual in Eclipse.
-    let rules = jca_rules();
+    let rules = load().expect("parses");
     let table = jca_type_table();
     h.group("execution");
     let hashing = all_use_cases()

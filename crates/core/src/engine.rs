@@ -34,6 +34,9 @@ use statemachine::{CacheStats, OrderCache};
 
 use crate::error::GenError;
 use crate::generator::{Generated, Generator, GeneratorOptions};
+use crate::telemetry::{
+    Event, GenObserver, MetricsCollector, MetricsRegistry, NoopObserver, Tee,
+};
 use crate::template::Template;
 
 /// The process-wide compiled-ORDER cache backing the legacy
@@ -82,7 +85,14 @@ impl std::fmt::Display for EngineError {
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Gen(e) => Some(e),
+            EngineError::Worker(p) => Some(p),
+        }
+    }
+}
 
 impl From<GenError> for EngineError {
     fn from(e: GenError) -> Self {
@@ -121,6 +131,23 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    scatter_on_workers(items, threads, |_worker, i, item| f(i, item))
+}
+
+/// [`scatter`] whose job function also receives the ordinal of the
+/// worker running it (`0..threads`). The worker assignment is whatever
+/// the OS scheduler produced — callers must treat it as observational
+/// (utilisation telemetry), never as data the results depend on.
+pub fn scatter_on_workers<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, usize, &T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
@@ -134,7 +161,7 @@ where
             .iter()
             .enumerate()
             .map(|(i, item)| {
-                catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| WorkerPanic {
+                catch_unwind(AssertUnwindSafe(|| f(0, i, item))).map_err(|payload| WorkerPanic {
                     index: i,
                     message: panic_text(payload),
                 })
@@ -147,15 +174,17 @@ where
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                let f = &f;
+                let next = &next;
+                scope.spawn(move || {
                     let mut produced = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        let outcome = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
+                        let outcome = catch_unwind(AssertUnwindSafe(|| f(worker, i, &items[i])))
                             .map_err(|payload| WorkerPanic {
                                 index: i,
                                 message: panic_text(payload),
@@ -180,39 +209,180 @@ where
         .collect()
 }
 
-/// A thread-safe generation session: shared rules, type table, options
-/// and a compiled-ORDER cache that persists across calls.
+/// The engine builder was asked to build without a rule set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineBuildError {
+    /// `.rules(…)` was never called.
+    MissingRules,
+}
+
+impl std::fmt::Display for EngineBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineBuildError::MissingRules => {
+                write!(f, "GenEngine::builder() needs a rule set: call .rules(…)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineBuildError {}
+
+/// Configures and builds a [`GenEngine`]. Obtained from
+/// [`GenEngine::builder`]; every knob except [`EngineBuilder::rules`]
+/// has a default.
+pub struct EngineBuilder {
+    rules: Option<Arc<RuleSet>>,
+    table: Option<Arc<TypeTable>>,
+    options: GeneratorOptions,
+    threads: usize,
+    observer: Arc<dyn GenObserver>,
+}
+
+impl std::fmt::Debug for EngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("rules", &self.rules.as_ref().map(|_| "RuleSet"))
+            .field("table", &self.table.as_ref().map(|_| "TypeTable"))
+            .field("options", &self.options)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            rules: None,
+            table: None,
+            options: GeneratorOptions::default(),
+            threads: GenEngine::DEFAULT_THREADS,
+            observer: Arc::new(NoopObserver),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// The rule set the engine generates against. Required.
+    pub fn rules(mut self, rules: impl Into<Arc<RuleSet>>) -> Self {
+        self.rules = Some(rules.into());
+        self
+    }
+
+    /// The Java type table. Defaults to the modelled JCA table
+    /// ([`javamodel::jca::jca_type_table`]).
+    pub fn type_table(mut self, table: impl Into<Arc<TypeTable>>) -> Self {
+        self.table = Some(table.into());
+        self
+    }
+
+    /// Generator options. Defaults to the paper-faithful defaults.
+    pub fn options(mut self, options: GeneratorOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Default worker-thread ceiling for [`GenEngine::batch`]. Defaults
+    /// to [`GenEngine::DEFAULT_THREADS`]; clamped to at least 1.
+    /// [`GenEngine::generate_batch`] takes an explicit count and ignores
+    /// this.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Telemetry observer for every generation this engine runs; it also
+    /// receives the [`Event::BatchJob`] placements after each batch.
+    /// Defaults to [`NoopObserver`]. The engine's own
+    /// [`MetricsRegistry`] is always fed, independent of this hook.
+    pub fn observer(mut self, observer: Arc<dyn GenObserver>) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineBuildError::MissingRules`] when no rule set was supplied.
+    pub fn build(self) -> Result<GenEngine, EngineBuildError> {
+        let rules = self.rules.ok_or(EngineBuildError::MissingRules)?;
+        let table = self
+            .table
+            .unwrap_or_else(|| Arc::new(javamodel::jca::jca_type_table()));
+        Ok(GenEngine {
+            rules,
+            table,
+            options: self.options,
+            threads: self.threads,
+            observer: self.observer,
+            metrics: Arc::new(MetricsRegistry::new()),
+            cache: OrderCache::new(),
+        })
+    }
+}
+
+/// A thread-safe generation session: shared rules, type table, options,
+/// telemetry and a compiled-ORDER cache that persists across calls.
 ///
 /// Construction is cheap relative to what the engine amortizes: the
 /// expensive state (parsed rules, compiled DFAs and path sets) is either
 /// shared via [`Arc`] or built lazily on first use and reused after.
-#[derive(Debug)]
 pub struct GenEngine {
     rules: Arc<RuleSet>,
     table: Arc<TypeTable>,
     options: GeneratorOptions,
+    threads: usize,
+    observer: Arc<dyn GenObserver>,
+    metrics: Arc<MetricsRegistry>,
     cache: OrderCache,
 }
 
+impl std::fmt::Debug for GenEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenEngine")
+            .field("options", &self.options)
+            .field("threads", &self.threads)
+            .field("cache", &self.cache.stats())
+            .finish_non_exhaustive()
+    }
+}
+
 impl GenEngine {
+    /// Default worker-thread ceiling used by [`GenEngine::batch`] when
+    /// the builder did not override it.
+    pub const DEFAULT_THREADS: usize = 4;
+
+    /// Starts configuring an engine: `GenEngine::builder().rules(…)
+    /// [.type_table(…)] [.threads(n)] [.observer(…)] .build()`.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
     /// An engine over `rules` and `table` with paper-default options and
     /// a cold private cache.
+    #[deprecated(since = "0.3.0", note = "use `GenEngine::builder()`")]
     pub fn new(rules: impl Into<Arc<RuleSet>>, table: impl Into<Arc<TypeTable>>) -> Self {
-        GenEngine::with_options(rules, table, GeneratorOptions::default())
+        GenEngine::builder()
+            .rules(rules)
+            .type_table(table)
+            .build()
+            .expect("rules supplied")
     }
 
     /// An engine with explicit generator options.
+    #[deprecated(since = "0.3.0", note = "use `GenEngine::builder().options(…)`")]
     pub fn with_options(
         rules: impl Into<Arc<RuleSet>>,
         table: impl Into<Arc<TypeTable>>,
         options: GeneratorOptions,
     ) -> Self {
-        GenEngine {
-            rules: rules.into(),
-            table: table.into(),
-            options,
-            cache: OrderCache::new(),
-        }
+        GenEngine::builder()
+            .rules(rules)
+            .type_table(table)
+            .options(options)
+            .build()
+            .expect("rules supplied")
     }
 
     /// The engine's rule set.
@@ -223,6 +393,15 @@ impl GenEngine {
     /// The engine's type table.
     pub fn table(&self) -> &TypeTable {
         &self.table
+    }
+
+    /// The engine's accumulated metrics: ORDER-cache traffic, DFA and
+    /// path-set sizes, parameter-resolution outcomes, batch-worker
+    /// utilisation. Fed on every generation regardless of the configured
+    /// observer; batch runs fold per-worker registries in here in input
+    /// order after the fan-out joins.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Entry/hit/miss counters of the engine's compiled-ORDER cache.
@@ -244,18 +423,40 @@ impl GenEngine {
     }
 
     /// Generates code for one template against the engine's shared
-    /// state, reusing (and extending) the compiled-ORDER cache.
+    /// state, reusing (and extending) the compiled-ORDER cache. The
+    /// engine's observer and metrics registry see the run.
     ///
     /// # Errors
     ///
     /// See [`Generator::generate`].
     pub fn generate(&self, template: &Template) -> Result<Generated, GenError> {
-        Generator::with_options(self.options).generate_with_cache(
+        let collector = MetricsCollector::new(self.metrics.clone());
+        self.generate_into(template, &collector)
+    }
+
+    /// One generation whose metrics land in `sink` instead of directly
+    /// in the engine registry; the configured observer still sees
+    /// everything. Batch workers use this with per-job sinks so the
+    /// engine registry can be updated deterministically afterwards.
+    fn generate_into(
+        &self,
+        template: &Template,
+        sink: &MetricsCollector,
+    ) -> Result<Generated, GenError> {
+        let observer = Tee(self.observer.as_ref(), sink);
+        Generator::with_options(self.options).generate_with_cache_observed(
             template,
             &self.rules,
             &self.table,
             Some(&self.cache),
+            &observer,
         )
+    }
+
+    /// [`GenEngine::generate_batch`] with the engine's configured
+    /// default thread ceiling.
+    pub fn batch(&self, templates: &[Template]) -> Vec<Result<Generated, EngineError>> {
+        self.generate_batch(templates, self.threads)
     }
 
     /// Generates a batch of templates on up to `threads` worker threads.
@@ -264,16 +465,35 @@ impl GenEngine {
     /// thread count or scheduling. A template whose generation fails —
     /// or whose worker panics — yields an `Err` in its own slot without
     /// affecting siblings or deadlocking the batch.
+    ///
+    /// Telemetry: each job collects its metrics into a private registry;
+    /// after the fan-out joins, the engine folds those registries into
+    /// [`GenEngine::metrics`] *in input order* and reports one
+    /// [`Event::BatchJob`] per completed job, also in input order. All
+    /// pipeline metrics are therefore identical across thread counts and
+    /// schedules; only the `engine.batch.worker.*` utilisation counters
+    /// reflect actual scheduling.
     pub fn generate_batch(
         &self,
         templates: &[Template],
         threads: usize,
     ) -> Vec<Result<Generated, EngineError>> {
-        scatter(templates, threads, |_, t| self.generate(t))
+        let slots = scatter_on_workers(templates, threads, |worker, _, t| {
+            let sink = MetricsCollector::fresh();
+            let outcome = self.generate_into(t, &sink);
+            (worker, sink, outcome)
+        });
+        let collector = MetricsCollector::new(self.metrics.clone());
+        let observer = Tee(self.observer.as_ref(), &collector);
+        slots
             .into_iter()
-            .map(|slot| match slot {
-                Ok(Ok(generated)) => Ok(generated),
-                Ok(Err(e)) => Err(EngineError::Gen(e)),
+            .enumerate()
+            .map(|(index, slot)| match slot {
+                Ok((worker, sink, outcome)) => {
+                    self.metrics.merge_from(sink.registry());
+                    observer.event(&Event::BatchJob { worker, index });
+                    outcome.map_err(EngineError::Gen)
+                }
                 Err(panic) => Err(EngineError::Worker(panic)),
             })
             .collect()
@@ -312,7 +532,11 @@ mod tests {
 
     #[test]
     fn engine_generates_and_caches() {
-        let engine = GenEngine::new(digest_rule_set(), jca_type_table());
+        let engine = GenEngine::builder()
+            .rules(digest_rule_set())
+            .type_table(jca_type_table())
+            .build()
+            .unwrap();
         let first = engine.generate(&hash_template()).unwrap();
         let second = engine.generate(&hash_template()).unwrap();
         assert_eq!(first.java_source, second.java_source);
@@ -322,8 +546,31 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_delegate_to_the_builder() {
+        let shim = GenEngine::new(digest_rule_set(), jca_type_table());
+        let opts = GenEngine::with_options(
+            digest_rule_set(),
+            jca_type_table(),
+            GeneratorOptions::default(),
+        );
+        let built = GenEngine::builder()
+            .rules(digest_rule_set())
+            .type_table(jca_type_table())
+            .build()
+            .unwrap();
+        let reference = built.generate(&hash_template()).unwrap().java_source;
+        assert_eq!(shim.generate(&hash_template()).unwrap().java_source, reference);
+        assert_eq!(opts.generate(&hash_template()).unwrap().java_source, reference);
+    }
+
+    #[test]
     fn warm_precompiles_every_rule() {
-        let engine = GenEngine::new(digest_rule_set(), jca_type_table());
+        let engine = GenEngine::builder()
+            .rules(digest_rule_set())
+            .type_table(jca_type_table())
+            .build()
+            .unwrap();
         engine.warm().unwrap();
         assert_eq!(engine.cache_stats().entries, 1);
         engine.generate(&hash_template()).unwrap();
@@ -333,7 +580,11 @@ mod tests {
 
     #[test]
     fn batch_preserves_input_order() {
-        let engine = GenEngine::new(digest_rule_set(), jca_type_table());
+        let engine = GenEngine::builder()
+            .rules(digest_rule_set())
+            .type_table(jca_type_table())
+            .build()
+            .unwrap();
         let templates: Vec<Template> = (0..6).map(|_| hash_template()).collect();
         for threads in [1, 2, 8] {
             let results = engine.generate_batch(&templates, threads);
@@ -346,7 +597,11 @@ mod tests {
 
     #[test]
     fn batch_surfaces_generation_errors_per_slot() {
-        let engine = GenEngine::new(digest_rule_set(), jca_type_table());
+        let engine = GenEngine::builder()
+            .rules(digest_rule_set())
+            .type_table(jca_type_table())
+            .build()
+            .unwrap();
         let bad = Template::new("p", "C").method(
             TemplateMethod::new("go", JavaType::Void).chain(
                 CrySlCodeGenerator::get_instance()

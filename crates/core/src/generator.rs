@@ -1,5 +1,13 @@
 //! The generator façade: runs the five pipeline steps over a template and
 //! type-checks the result.
+//!
+//! The pipeline is *phase-major*: each of the five phases (collect →
+//! link → select → resolve → assemble) runs to completion over every
+//! call chain of the template before the next phase starts. Besides
+//! matching the paper's Figure 6 structure, this gives the telemetry
+//! layer its core invariant — exactly one [`telemetry::Span`] enter/exit
+//! pair per phase per generated template, with all fine-grained events
+//! reported inside the phase they belong to.
 
 use javamodel::ast::{ClassDecl, CompilationUnit, MethodDecl};
 use javamodel::printer::print_unit;
@@ -10,12 +18,14 @@ use javamodel::TypeTable;
 use statemachine::OrderCache;
 
 use crate::assemble::{assemble, template_usage};
-use crate::collect::collect;
+use crate::collect::{collect, CollectedRule};
 use crate::engine::shared_order_cache;
 use crate::error::GenError;
-use crate::link::link;
-use crate::pathsel::{select_path_for_return, SelectionOptions};
-use crate::template::Template;
+use crate::link::{link, Link};
+use crate::pathsel::{select_path_traced, SelectedPath, SelectionOptions};
+use crate::resolve::report_path_resolutions;
+use crate::telemetry::{self, GenObserver, Phase, Span, SpanTimer};
+use crate::template::{GeneratorChain, Template, TemplateMethod};
 
 /// Options controlling a generation run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -98,6 +108,32 @@ impl Generator {
         self.generate_with_cache(template, rules, table, None)
     }
 
+    /// [`Generator::generate`] with telemetry: the observer receives one
+    /// span enter/exit pair per pipeline phase for this template (unit
+    /// label = the template class name) plus the fine-grained events
+    /// reported inside each phase. Passing [`telemetry::NoopObserver`]
+    /// is exactly [`Generator::generate`] — the differential suite
+    /// proves the output byte-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// See [`Generator::generate`].
+    pub fn generate_observed(
+        &self,
+        template: &Template,
+        rules: &crysl::RuleSet,
+        table: &TypeTable,
+        observer: &dyn GenObserver,
+    ) -> Result<Generated, GenError> {
+        self.generate_with_cache_observed(
+            template,
+            rules,
+            table,
+            Some(shared_order_cache()),
+            observer,
+        )
+    }
+
     /// The pipeline with an explicit compiled-ORDER cache choice; the
     /// engine passes its own session cache here.
     pub(crate) fn generate_with_cache(
@@ -107,43 +143,127 @@ impl Generator {
         table: &TypeTable,
         cache: Option<&OrderCache>,
     ) -> Result<Generated, GenError> {
+        self.generate_with_cache_observed(template, rules, table, cache, telemetry::noop())
+    }
+
+    /// The full pipeline: explicit cache choice *and* observer. Each
+    /// phase runs over every call chain before the next phase starts, so
+    /// the observer sees exactly one span pair per phase. A failing
+    /// phase still closes its span (the error propagates; later phases
+    /// never open).
+    pub(crate) fn generate_with_cache_observed(
+        &self,
+        template: &Template,
+        rules: &crysl::RuleSet,
+        table: &TypeTable,
+        cache: Option<&OrderCache>,
+        observer: &dyn GenObserver,
+    ) -> Result<Generated, GenError> {
+        let unit = template.class_name.as_str();
+
+        // Per-chain pipeline state, in template-method order (helper
+        // methods carry no chain and join again at assembly).
+        struct ChainWork<'r, 't> {
+            tm: &'t TemplateMethod,
+            chain: &'t GeneratorChain,
+            collected: Vec<CollectedRule<'r>>,
+            links: Vec<Link>,
+            paths: Vec<SelectedPath>,
+        }
+
+        // Phase 1: collect — gather rules and template bindings.
+        let mut works: Vec<ChainWork<'_, '_>> = Vec::new();
+        {
+            let _span = SpanTimer::enter(observer, Span { unit, phase: Phase::Collect });
+            for tm in &template.methods {
+                if let Some(chain) = &tm.chain {
+                    let collected = collect(chain, tm, rules)?;
+                    works.push(ChainWork {
+                        tm,
+                        chain,
+                        collected,
+                        links: Vec::new(),
+                        paths: Vec::new(),
+                    });
+                }
+            }
+        }
+
+        // Phase 2: link — connect rules through ENSURES/REQUIRES.
+        {
+            let _span = SpanTimer::enter(observer, Span { unit, phase: Phase::Link });
+            for w in &mut works {
+                w.links = link(&w.collected);
+            }
+        }
+
+        // Phase 3: select — pick a method sequence per rule.
+        {
+            let _span = SpanTimer::enter(observer, Span { unit, phase: Phase::Select });
+            for w in &mut works {
+                let ret_ty = w
+                    .chain
+                    .return_object
+                    .as_deref()
+                    .and_then(|r| w.tm.var_type(r));
+                for idx in 0..w.collected.len() {
+                    // The last rule must be able to produce the
+                    // nominated return object.
+                    let expected = if idx + 1 == w.collected.len() {
+                        ret_ty
+                    } else {
+                        None
+                    };
+                    w.paths.push(select_path_traced(
+                        idx,
+                        &w.collected,
+                        &w.links,
+                        table,
+                        &self.options.selection,
+                        expected,
+                        cache,
+                        observer,
+                    )?);
+                }
+            }
+        }
+
+        // Phase 4: resolve — report how every parameter of the selected
+        // paths obtains its value. The assembler re-derives the same
+        // resolutions when emitting code; this pass is what makes them
+        // observable per-parameter.
+        {
+            let _span = SpanTimer::enter(observer, Span { unit, phase: Phase::Resolve });
+            for w in &works {
+                for (idx, sp) in w.paths.iter().enumerate() {
+                    report_path_resolutions(
+                        idx,
+                        &sp.labels,
+                        &w.collected,
+                        &w.links,
+                        table,
+                        observer,
+                    );
+                }
+            }
+        }
+
+        // Phase 5: assemble — emit the Java code, the showcase class and
+        // the type check.
+        let _span = SpanTimer::enter(observer, Span { unit, phase: Phase::Assemble });
         let mut class = ClassDecl::new(template.class_name.clone());
         let mut hoisted_report = Vec::new();
         let mut chain_methods = Vec::new();
-
+        let mut work_iter = works.iter();
         for tm in &template.methods {
             match &tm.chain {
                 Some(chain) => {
-                    let collected = collect(chain, tm, rules)?;
-                    let links = link(&collected);
-                    let ret_ty = chain
-                        .return_object
-                        .as_deref()
-                        .and_then(|r| tm.var_type(r));
-                    let mut paths = Vec::with_capacity(collected.len());
-                    for idx in 0..collected.len() {
-                        // The last rule must be able to produce the
-                        // nominated return object.
-                        let expected = if idx + 1 == collected.len() {
-                            ret_ty
-                        } else {
-                            None
-                        };
-                        paths.push(select_path_for_return(
-                            idx,
-                            &collected,
-                            &links,
-                            table,
-                            &self.options.selection,
-                            expected,
-                            cache,
-                        )?);
-                    }
+                    let w = work_iter.next().expect("one ChainWork per chain method");
                     let assembled = assemble(
                         tm,
-                        &collected,
-                        &links,
-                        &paths,
+                        &w.collected,
+                        &w.links,
+                        &w.paths,
                         chain.return_object.as_deref(),
                         table,
                     )?;
@@ -248,7 +368,7 @@ mod tests {
 
     #[test]
     fn generates_paper_figure_5() {
-        let generated = generate(&pbe_template(), &rules::jca_rules(), &jca_type_table()).unwrap();
+        let generated = generate(&pbe_template(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let src = &generated.java_source;
         // The structure of Figure 5:
         assert!(src.contains("SecureRandom secureRandom = SecureRandom.getInstance(\"SHA1PRNG\");"), "{src}");
@@ -272,7 +392,7 @@ mod tests {
     #[test]
     fn generated_code_type_checks_by_construction() {
         // generate() ran check_unit internally; re-run explicitly.
-        let generated = generate(&pbe_template(), &rules::jca_rules(), &jca_type_table()).unwrap();
+        let generated = generate(&pbe_template(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let mut table = jca_type_table();
         table.add(ClassDef::new("TemplateClass").ctor(vec![]));
         javamodel::typecheck::check_unit(&generated.unit, &table).unwrap();
@@ -287,7 +407,7 @@ mod tests {
             TemplateMethod::new("go", JavaType::Void).chain(chain),
         );
         assert!(matches!(
-            generate(&t, &rules::jca_rules(), &jca_type_table()),
+            generate(&t, &rules::load().unwrap(), &jca_type_table()),
             Err(GenError::UnknownRule(_))
         ));
     }
@@ -298,7 +418,7 @@ mod tests {
             TemplateMethod::new("helper", JavaType::Int)
                 .post(Stmt::Return(Some(Expr::int(7)))),
         );
-        let generated = generate(&t, &rules::jca_rules(), &jca_type_table()).unwrap();
+        let generated = generate(&t, &rules::load().unwrap(), &jca_type_table()).unwrap();
         assert!(generated.java_source.contains("public int helper() {"));
         // Helper methods are not called from templateUsage.
         assert!(!generated.java_source.contains(".helper("));

@@ -42,10 +42,17 @@
 //!     .chain(chain)
 //!     .post(Stmt::Return(Some(Expr::var("hash"))));
 //! let template = Template::new("de.crypto.cognicrypt", "Hasher").method(method);
-//! let generated = generate(&template, &rules::jca_rules(), &jca_type_table())?;
+//! let generated = generate(&template, &rules::load()?, &jca_type_table())?;
 //! assert!(generated.java_source.contains("MessageDigest.getInstance(\"SHA-256\")"));
-//! # Ok::<(), cognicrypt_core::GenError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Observability: the [`telemetry`] module defines the
+//! [`telemetry::GenObserver`] hook API. The pipeline opens one span per
+//! phase per template and reports fine-grained events (cache traffic,
+//! DFA sizes, path selection, parameter resolution) from inside the
+//! phases; [`telemetry::PhaseTimings`] and
+//! [`telemetry::MetricsRegistry`] are ready-made collectors.
 
 pub mod assemble;
 pub mod collect;
@@ -55,9 +62,13 @@ pub mod generator;
 pub mod link;
 pub mod pathsel;
 pub mod resolve;
+pub mod telemetry;
 pub mod template;
 
-pub use engine::{EngineError, GenEngine, WorkerPanic};
+pub use engine::{EngineBuildError, EngineBuilder, EngineError, GenEngine, WorkerPanic};
 pub use error::GenError;
 pub use generator::{generate, Generated, Generator, GeneratorOptions};
+pub use telemetry::{
+    GenObserver, MetricsRegistry, NoopObserver, Phase, PhaseTimings,
+};
 pub use template::{CrySlCodeGenerator, Template, TemplateMethod};

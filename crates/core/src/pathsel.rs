@@ -17,12 +17,13 @@
 
 use crysl::ast::{MethodEvent, Rule};
 use statemachine::paths::{enumerate, PathLimit};
-use statemachine::OrderCache;
+use statemachine::{CacheLookup, OrderCache};
 
 use crate::collect::CollectedRule;
 use crate::error::GenError;
 use crate::link::{Carrier, Link, LinkSetExt};
 use crate::resolve::{resolve_var, Resolution};
+use crate::telemetry::{self, CacheOutcome, Event, GenObserver};
 use javamodel::TypeTable;
 
 /// Where a rule's instance object comes from.
@@ -119,20 +120,63 @@ pub fn select_path_for_return(
     return_type: Option<&javamodel::ast::JavaType>,
     cache: Option<&OrderCache>,
 ) -> Result<SelectedPath, GenError> {
+    select_path_traced(
+        idx,
+        rules,
+        links,
+        table,
+        options,
+        return_type,
+        cache,
+        telemetry::noop(),
+    )
+}
+
+/// [`select_path_for_return`] with telemetry: reports how the rule's
+/// compiled-ORDER artefact was obtained ([`Event::OrderCompiled`]) and
+/// the outcome of the selection ([`Event::PathSelected`]).
+#[allow(clippy::too_many_arguments)]
+pub fn select_path_traced(
+    idx: usize,
+    rules: &[CollectedRule<'_>],
+    links: &[Link],
+    table: &TypeTable,
+    options: &SelectionOptions,
+    return_type: Option<&javamodel::ast::JavaType>,
+    cache: Option<&OrderCache>,
+    observer: &dyn GenObserver,
+) -> Result<SelectedPath, GenError> {
     let cr = &rules[idx];
     let rule = cr.rule;
     let compiled;
     let enumerated;
     let paths: &[Vec<String>] = match cache {
         Some(c) => {
-            compiled = c.get_or_compile(rule)?;
+            let (artefact, lookup) = c.get_or_compile_traced(rule)?;
+            compiled = artefact;
+            observer.event(&Event::OrderCompiled {
+                rule: rule.class_name.as_str(),
+                dfa_states: Some(compiled.dfa.state_count()),
+                accepting_paths: compiled.paths.len(),
+                cache: match lookup {
+                    CacheLookup::Hit => CacheOutcome::Hit,
+                    CacheLookup::Miss => CacheOutcome::Miss,
+                },
+            });
             &compiled.paths
         }
         None => {
             enumerated = enumerate(rule, PathLimit::default())?;
+            observer.event(&Event::OrderCompiled {
+                rule: rule.class_name.as_str(),
+                dfa_states: None,
+                accepting_paths: enumerated.len(),
+                cache: CacheOutcome::Uncached,
+            });
             &enumerated
         }
     };
+    let enumerated_count = paths.len();
 
     let mut survivors: Vec<Candidate> = Vec::new();
     let mut with_hoists: Vec<Candidate> = Vec::new();
@@ -208,6 +252,12 @@ pub fn select_path_for_return(
     };
 
     let instance = instance_source(idx, rule, &chosen.0, links, table)?;
+    observer.event(&Event::PathSelected {
+        rule: rule.class_name.as_str(),
+        enumerated: enumerated_count,
+        chosen_len: chosen.0.len(),
+        hoisted: chosen.1.len(),
+    });
     Ok(SelectedPath {
         labels: chosen.0,
         hoisted: chosen.1,

@@ -20,6 +20,7 @@ use javamodel::TypeTable;
 
 use crate::collect::CollectedRule;
 use crate::link::{Carrier, Link, LinkSetExt};
+use crate::telemetry::{Event, GenObserver, ResolutionKind};
 
 /// How a rule variable obtains its value in the generated code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -229,6 +230,63 @@ pub fn resolve_var(
         return Resolution::Value(lit);
     }
     Resolution::Hoist
+}
+
+impl Resolution {
+    /// The telemetry discriminant of this resolution.
+    pub fn kind(&self) -> ResolutionKind {
+        match self {
+            Resolution::TemplateVar(_) => ResolutionKind::Template,
+            Resolution::Linked { .. } => ResolutionKind::Linked,
+            Resolution::OwnReturn => ResolutionKind::OwnReturn,
+            Resolution::This => ResolutionKind::This,
+            Resolution::Value(_) => ResolutionKind::Constraint,
+            Resolution::Hoist => ResolutionKind::Hoist,
+        }
+    }
+}
+
+/// Replays the resolution of every event parameter of rule `idx` along
+/// `path` and reports the outcome of each as a telemetry event:
+/// [`Event::ParamResolved`] for resolved parameters,
+/// [`Event::ParamHoisted`] for fallback hoists. Pure reporting — the
+/// assembler performs the authoritative resolution; this walk applies
+/// the same rules in the same order, so the reported outcomes match
+/// what the generated code does.
+pub fn report_path_resolutions(
+    idx: usize,
+    path: &[String],
+    rules: &[CollectedRule<'_>],
+    links: &[Link],
+    table: &TypeTable,
+    observer: &dyn GenObserver,
+) {
+    let rule = rules[idx].rule;
+    let mut own_returns: Vec<&str> = Vec::new();
+    for label in path {
+        let Some(m) = rule.method_event(label) else {
+            continue;
+        };
+        for p in &m.params {
+            if let crysl::ast::ParamPattern::Var(v) = p {
+                let r = resolve_var(idx, v, &own_returns, rules, links, table);
+                match r {
+                    Resolution::Hoist => observer.event(&Event::ParamHoisted {
+                        rule: rule.class_name.as_str(),
+                        variable: v,
+                    }),
+                    resolved => observer.event(&Event::ParamResolved {
+                        rule: rule.class_name.as_str(),
+                        variable: v,
+                        via: resolved.kind(),
+                    }),
+                }
+            }
+        }
+        if let Some(rv) = &m.return_var {
+            own_returns.push(rv);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,896 @@
+//! Pipeline telemetry: the `GenObserver` hook API, per-phase timings and
+//! a metrics registry.
+//!
+//! The paper's evaluation (Table 1, RQ2/RQ3) reports *per-use-case*
+//! runtime and memory for the five-phase pipeline, and the CrySL line of
+//! work stresses rule-level diagnostics over opaque totals. This module
+//! is the observability layer that makes both visible without changing
+//! what the pipeline emits:
+//!
+//! * [`GenObserver`] — the hook trait. The generator opens one span per
+//!   [`Phase`] per template (enter/exit with the measured wall time) and
+//!   reports fine-grained [`Event`]s from inside the phases: ORDER-cache
+//!   hits and misses, DFA state counts, enumerated accepting paths,
+//!   per-parameter resolution outcomes, batch-worker job placement.
+//! * [`PhaseTimings`] — an observer that accumulates monotonic per-phase
+//!   wall time per template unit, matching Table 1's runtime column.
+//! * [`MetricsRegistry`] — named counters, gauges and histograms with a
+//!   deterministic [`MetricsRegistry::merge_from`], so per-worker
+//!   registries collected by a batch can be folded in input order into
+//!   one aggregate regardless of scheduling.
+//! * [`MetricsCollector`] — the observer that maps spans and events onto
+//!   a registry (see the module constants for the metric names).
+//!
+//! Everything here is `std`-only and allocation-light; the
+//! [`NoopObserver`] path adds no measurable work, and the differential
+//! suite proves telemetry-on output byte-identical to telemetry-off.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// The five pipeline phases of the paper's Figure 6, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Gather rules and template parameters from each call chain.
+    Collect,
+    /// Connect rules through ENSURES/REQUIRES predicates.
+    Link,
+    /// Select a method sequence per rule from its state machine.
+    Select,
+    /// Find a value for every method parameter.
+    Resolve,
+    /// Emit the Java code, the showcase class, and the type check.
+    Assemble,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Collect,
+        Phase::Link,
+        Phase::Select,
+        Phase::Resolve,
+        Phase::Assemble,
+    ];
+
+    /// Stable lowercase name, used in metric keys and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Collect => "collect",
+            Phase::Link => "link",
+            Phase::Select => "select",
+            Phase::Resolve => "resolve",
+            Phase::Assemble => "assemble",
+        }
+    }
+
+    /// Position in [`Phase::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One phase execution for one template: the unit label is the template
+/// class name, which is what Table 1 keys its rows by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span<'a> {
+    /// Template class name (the per-use-case label).
+    pub unit: &'a str,
+    /// The pipeline phase this span covers.
+    pub phase: Phase,
+}
+
+/// How a compiled-ORDER lookup was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the cache.
+    Hit,
+    /// Compiled on this lookup and inserted.
+    Miss,
+    /// No cache in play — the cold enumeration path.
+    Uncached,
+}
+
+/// How a rule parameter obtained its value (the discriminant of
+/// [`crate::resolve::Resolution`], without payloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolutionKind {
+    /// Bound to a template variable by `addParameter`.
+    Template,
+    /// Supplied by a predicate link from an earlier rule.
+    Linked,
+    /// Bound by an earlier event of the same rule.
+    OwnReturn,
+    /// The rule's own instance.
+    This,
+    /// A literal derived from CONSTRAINTS.
+    Constraint,
+    /// Unresolvable — hoisted into the wrapper signature.
+    Hoist,
+}
+
+impl ResolutionKind {
+    /// Stable lowercase name, used in metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResolutionKind::Template => "template",
+            ResolutionKind::Linked => "linked",
+            ResolutionKind::OwnReturn => "own_return",
+            ResolutionKind::This => "this",
+            ResolutionKind::Constraint => "constraint",
+            ResolutionKind::Hoist => "hoist",
+        }
+    }
+}
+
+/// A fine-grained pipeline event, reported from inside a phase span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<'a> {
+    /// A rule's compiled-ORDER artefact was obtained during selection.
+    /// `dfa_states` is `None` on the cold path, which enumerates paths
+    /// without building the minimized DFA.
+    OrderCompiled {
+        /// Rule class name.
+        rule: &'a str,
+        /// States of the minimized DFA, when compiled.
+        dfa_states: Option<usize>,
+        /// Enumerated accepting call sequences.
+        accepting_paths: usize,
+        /// How the artefact was served.
+        cache: CacheOutcome,
+    },
+    /// Path selection finished for one rule.
+    PathSelected {
+        /// Rule class name.
+        rule: &'a str,
+        /// Paths the selector considered (the enumerated set).
+        enumerated: usize,
+        /// Call count of the chosen path.
+        chosen_len: usize,
+        /// Parameters the chosen path leaves to the hoisting fallback.
+        hoisted: usize,
+    },
+    /// A method parameter of a selected path was resolved.
+    ParamResolved {
+        /// Rule class name.
+        rule: &'a str,
+        /// The CrySL variable.
+        variable: &'a str,
+        /// Which resolution rule supplied the value.
+        via: ResolutionKind,
+    },
+    /// A method parameter fell through to the hoisting fallback.
+    ParamHoisted {
+        /// Rule class name.
+        rule: &'a str,
+        /// The CrySL variable.
+        variable: &'a str,
+    },
+    /// A batch job completed on an engine worker. Reported *after* the
+    /// fan-out joins, in input order; the worker assignment itself is
+    /// scheduling-dependent.
+    BatchJob {
+        /// Worker ordinal within the batch pool.
+        worker: usize,
+        /// Index of the job in the batch input.
+        index: usize,
+    },
+}
+
+/// Observer hooks for the generation pipeline.
+///
+/// All methods have empty defaults, so an implementation only overrides
+/// what it cares about. Implementations must be `Send + Sync`: the
+/// engine shares one observer across batch workers. Hook invariants the
+/// generator guarantees (and the test suite enforces):
+///
+/// * spans never nest and arrive in [`Phase::ALL`] order — exactly one
+///   `span_enter`/`span_exit` pair per phase per generated template;
+/// * `span_exit` receives the monotonic wall time of the span and is
+///   called even when the phase fails (the error still propagates);
+/// * events are reported between the enter and exit of the phase they
+///   belong to, except [`Event::BatchJob`], which the engine reports
+///   after the batch joins.
+pub trait GenObserver: Send + Sync {
+    /// A pipeline phase is starting for `span.unit`.
+    fn span_enter(&self, span: &Span<'_>) {
+        let _ = span;
+    }
+
+    /// A pipeline phase finished after `elapsed` of monotonic wall time.
+    fn span_exit(&self, span: &Span<'_>, elapsed: Duration) {
+        let _ = (span, elapsed);
+    }
+
+    /// A fine-grained pipeline event occurred.
+    fn event(&self, event: &Event<'_>) {
+        let _ = event;
+    }
+}
+
+/// The do-nothing observer: the default everywhere, and the reference
+/// point of the telemetry-off differential tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl GenObserver for NoopObserver {}
+
+/// A `&'static` no-op observer for default parameters.
+pub fn noop() -> &'static NoopObserver {
+    static NOOP: NoopObserver = NoopObserver;
+    &NOOP
+}
+
+/// Forwards every hook to both targets, in order. Lets the engine run
+/// its own metrics collector alongside a user-supplied observer without
+/// allocating.
+#[derive(Clone, Copy)]
+pub struct Tee<'a>(pub &'a dyn GenObserver, pub &'a dyn GenObserver);
+
+impl GenObserver for Tee<'_> {
+    fn span_enter(&self, span: &Span<'_>) {
+        self.0.span_enter(span);
+        self.1.span_enter(span);
+    }
+
+    fn span_exit(&self, span: &Span<'_>, elapsed: Duration) {
+        self.0.span_exit(span, elapsed);
+        self.1.span_exit(span, elapsed);
+    }
+
+    fn event(&self, event: &Event<'_>) {
+        self.0.event(event);
+        self.1.event(event);
+    }
+}
+
+/// Forwards every hook to a list of shared observers, in order.
+#[derive(Default, Clone)]
+pub struct Fanout {
+    targets: Vec<Arc<dyn GenObserver>>,
+}
+
+impl Fanout {
+    /// An empty fan-out (equivalent to [`NoopObserver`]).
+    pub fn new() -> Self {
+        Fanout::default()
+    }
+
+    /// Adds a target observer.
+    pub fn with(mut self, target: Arc<dyn GenObserver>) -> Self {
+        self.targets.push(target);
+        self
+    }
+}
+
+impl fmt::Debug for Fanout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fanout({} targets)", self.targets.len())
+    }
+}
+
+impl GenObserver for Fanout {
+    fn span_enter(&self, span: &Span<'_>) {
+        for t in &self.targets {
+            t.span_enter(span);
+        }
+    }
+
+    fn span_exit(&self, span: &Span<'_>, elapsed: Duration) {
+        for t in &self.targets {
+            t.span_exit(span, elapsed);
+        }
+    }
+
+    fn event(&self, event: &Event<'_>) {
+        for t in &self.targets {
+            t.event(event);
+        }
+    }
+}
+
+/// RAII span: `span_enter` on construction, `span_exit` with the
+/// measured monotonic time on drop — so a phase that errors out still
+/// closes its span and the enter/exit pairing invariant holds.
+pub struct SpanTimer<'o, 'u> {
+    observer: &'o dyn GenObserver,
+    span: Span<'u>,
+    start: Instant,
+}
+
+impl<'o, 'u> SpanTimer<'o, 'u> {
+    /// Opens the span and starts the clock.
+    pub fn enter(observer: &'o dyn GenObserver, span: Span<'u>) -> Self {
+        observer.span_enter(&span);
+        SpanTimer {
+            observer,
+            span,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanTimer<'_, '_> {
+    fn drop(&mut self) {
+        self.observer.span_exit(&self.span, self.start.elapsed());
+    }
+}
+
+// ---------------------------------------------------------------------
+// PhaseTimings
+// ---------------------------------------------------------------------
+
+/// Accumulated wall time and span count for one phase of one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseStat {
+    /// Completed spans.
+    pub spans: u64,
+    /// Total monotonic wall time across those spans.
+    pub total: Duration,
+}
+
+/// Per-phase timings of one template unit (one Table-1 row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitTimings {
+    /// Template class name.
+    pub unit: String,
+    /// One slot per [`Phase::ALL`] entry, in phase order.
+    pub phases: [PhaseStat; 5],
+}
+
+impl UnitTimings {
+    /// The stat for one phase.
+    pub fn phase(&self, phase: Phase) -> PhaseStat {
+        self.phases[phase.index()]
+    }
+
+    /// Wall time summed over all five phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|p| p.total).sum()
+    }
+}
+
+/// An observer that collects monotonic per-phase wall time per unit —
+/// the Table-1 runtime column, split by pipeline phase.
+///
+/// Thread-safe; share it via [`Arc`] between the engine observer slot
+/// and the reporting code that reads the snapshot afterwards.
+#[derive(Debug, Default)]
+pub struct PhaseTimings {
+    inner: Mutex<BTreeMap<String, [PhaseStat; 5]>>,
+}
+
+impl PhaseTimings {
+    /// An empty collector.
+    pub fn new() -> Self {
+        PhaseTimings::default()
+    }
+
+    /// The timings recorded for `unit`, if any span completed for it.
+    pub fn unit(&self, unit: &str) -> Option<UnitTimings> {
+        self.lock().get(unit).map(|phases| UnitTimings {
+            unit: unit.to_owned(),
+            phases: *phases,
+        })
+    }
+
+    /// All recorded units, sorted by unit name.
+    pub fn snapshot(&self) -> Vec<UnitTimings> {
+        self.lock()
+            .iter()
+            .map(|(unit, phases)| UnitTimings {
+                unit: unit.clone(),
+                phases: *phases,
+            })
+            .collect()
+    }
+
+    /// Drops all recorded timings.
+    pub fn reset(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, [PhaseStat; 5]>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            // Writers only do field arithmetic; the map is never left
+            // mid-mutation, so continuing after a poisoned lock is sound.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl GenObserver for PhaseTimings {
+    fn span_exit(&self, span: &Span<'_>, elapsed: Duration) {
+        let mut map = self.lock();
+        let slot = &mut map.entry(span.unit.to_owned()).or_default()[span.phase.index()];
+        slot.spans += 1;
+        slot.total += elapsed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+/// Order-insensitive histogram summary: merging two summaries gives the
+/// same result whatever the merge order, which is what makes batch
+/// metrics deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramStat {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramStat {
+    /// Folds one sample in.
+    pub fn observe(&mut self, sample: u64) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.count += 1;
+        self.sum += sample;
+    }
+
+    /// Folds another summary in (commutative and associative).
+    pub fn merge(&mut self, other: &HistogramStat) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Arithmetic mean of the samples, if any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// One named metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Monotonic count; merges by addition.
+    Counter(u64),
+    /// Last-set value; merges by maximum (the only order-insensitive
+    /// choice that keeps batch aggregation deterministic).
+    Gauge(u64),
+    /// Sample summary; merges per [`HistogramStat::merge`].
+    Histogram(HistogramStat),
+}
+
+impl Metric {
+    /// The counter value, if this is a counter.
+    pub fn as_counter(&self) -> Option<u64> {
+        match self {
+            Metric::Counter(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The histogram summary, if this is a histogram.
+    pub fn as_histogram(&self) -> Option<HistogramStat> {
+        match self {
+            Metric::Histogram(h) => Some(*h),
+            _ => None,
+        }
+    }
+}
+
+/// A thread-safe registry of named counters, gauges and histograms.
+///
+/// Keys are sorted (`BTreeMap`), every merge operation is commutative
+/// and associative, and histograms store order-insensitive summaries —
+/// so two registries that saw the same multiset of operations are equal,
+/// and folding per-worker registries in input order after a batch yields
+/// the same aggregate at any thread count.
+///
+/// A name is bound to the kind of its first write; operations of a
+/// different kind on the same name are ignored (and flagged in debug
+/// builds) rather than corrupting the entry.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the counter `name`, creating it at zero first.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_owned())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += n,
+            other => debug_assert!(false, "`{name}` is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_owned())
+            .or_insert(Metric::Gauge(value))
+        {
+            Metric::Gauge(g) => *g = value,
+            other => debug_assert!(false, "`{name}` is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Folds `sample` into the histogram `name`.
+    pub fn observe(&self, name: &str, sample: u64) {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_owned())
+            .or_insert(Metric::Histogram(HistogramStat::default()))
+        {
+            Metric::Histogram(h) => h.observe(sample),
+            other => debug_assert!(false, "`{name}` is not a histogram: {other:?}"),
+        }
+    }
+
+    /// The metric registered under `name`.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.lock().get(name).copied()
+    }
+
+    /// The counter `name`, or 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.get(name).and_then(|m| m.as_counter()).unwrap_or(0)
+    }
+
+    /// Folds every metric of `other` into this registry: counters add,
+    /// gauges take the maximum, histograms merge their summaries. The
+    /// result is independent of merge order.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        let theirs = other.snapshot();
+        let mut map = self.lock();
+        for (name, metric) in theirs {
+            match (map.entry(name).or_insert(match metric {
+                Metric::Counter(_) => Metric::Counter(0),
+                Metric::Gauge(_) => Metric::Gauge(0),
+                Metric::Histogram(_) => Metric::Histogram(HistogramStat::default()),
+            }), metric) {
+                (Metric::Counter(mine), Metric::Counter(n)) => *mine += n,
+                (Metric::Gauge(mine), Metric::Gauge(g)) => *mine = (*mine).max(g),
+                (Metric::Histogram(mine), Metric::Histogram(h)) => mine.merge(&h),
+                (mine, theirs) => {
+                    debug_assert!(false, "metric kind mismatch: {mine:?} vs {theirs:?}");
+                }
+            }
+        }
+    }
+
+    /// All metrics, keyed and sorted by name.
+    pub fn snapshot(&self) -> BTreeMap<String, Metric> {
+        self.lock().clone()
+    }
+
+    /// Whether no metric was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// MetricsCollector
+// ---------------------------------------------------------------------
+
+/// The observer that maps pipeline spans and events onto a
+/// [`MetricsRegistry`].
+///
+/// Metric names it writes:
+///
+/// * `phase.<phase>.spans` — completed spans per phase (counter);
+/// * `order_cache.hits` / `order_cache.misses` / `order_cache.uncached`
+///   — compiled-ORDER lookups by outcome (counters);
+/// * `order.dfa_states`, `order.accepting_paths` — per-rule artefact
+///   sizes (histograms);
+/// * `pathsel.selections` (counter), `pathsel.candidates` (histogram),
+///   `pathsel.hoisted_params` (counter);
+/// * `resolve.params`, `resolve.hoisted` and `resolve.via.<kind>` —
+///   parameter resolution outcomes (counters);
+/// * `engine.batch.worker.<NN>.jobs` — jobs per batch worker (counter;
+///   inherently scheduling-dependent, excluded from the determinism
+///   guarantees).
+///
+/// Durations are deliberately *not* recorded here — wall time varies
+/// across runs and would break the registry's determinism. Use
+/// [`PhaseTimings`] for time.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    registry: Arc<MetricsRegistry>,
+}
+
+impl MetricsCollector {
+    /// A collector writing into `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>) -> Self {
+        MetricsCollector { registry }
+    }
+
+    /// A collector over a fresh private registry.
+    pub fn fresh() -> Self {
+        MetricsCollector::new(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// The registry this collector writes into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+}
+
+impl GenObserver for MetricsCollector {
+    fn span_exit(&self, span: &Span<'_>, _elapsed: Duration) {
+        self.registry
+            .add(&format!("phase.{}.spans", span.phase.name()), 1);
+    }
+
+    fn event(&self, event: &Event<'_>) {
+        let r = &*self.registry;
+        match event {
+            Event::OrderCompiled {
+                dfa_states,
+                accepting_paths,
+                cache,
+                ..
+            } => {
+                let outcome = match cache {
+                    CacheOutcome::Hit => "order_cache.hits",
+                    CacheOutcome::Miss => "order_cache.misses",
+                    CacheOutcome::Uncached => "order_cache.uncached",
+                };
+                r.add(outcome, 1);
+                if let Some(states) = dfa_states {
+                    r.observe("order.dfa_states", *states as u64);
+                }
+                r.observe("order.accepting_paths", *accepting_paths as u64);
+            }
+            Event::PathSelected {
+                enumerated,
+                hoisted,
+                ..
+            } => {
+                r.add("pathsel.selections", 1);
+                r.observe("pathsel.candidates", *enumerated as u64);
+                r.add("pathsel.hoisted_params", *hoisted as u64);
+            }
+            Event::ParamResolved { via, .. } => {
+                r.add("resolve.params", 1);
+                r.add(&format!("resolve.via.{}", via.name()), 1);
+            }
+            Event::ParamHoisted { .. } => {
+                r.add("resolve.params", 1);
+                r.add("resolve.hoisted", 1);
+            }
+            Event::BatchJob { worker, .. } => {
+                r.add(&format!("engine.batch.worker.{worker:02}.jobs"), 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_ordered_and_named() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["collect", "link", "select", "resolve", "assemble"]);
+        for (i, p) in Phase::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn span_timer_pairs_enter_and_exit_even_on_early_exit() {
+        #[derive(Default)]
+        struct Log(Mutex<Vec<(Phase, bool)>>);
+        impl GenObserver for Log {
+            fn span_enter(&self, span: &Span<'_>) {
+                self.0.lock().unwrap().push((span.phase, true));
+            }
+            fn span_exit(&self, span: &Span<'_>, _e: Duration) {
+                self.0.lock().unwrap().push((span.phase, false));
+            }
+        }
+        let log = Log::default();
+        let run = |fail: bool| -> Result<(), ()> {
+            let _span = SpanTimer::enter(&log, Span { unit: "U", phase: Phase::Select });
+            if fail {
+                return Err(());
+            }
+            Ok(())
+        };
+        run(false).unwrap();
+        run(true).unwrap_err();
+        let seq = log.0.lock().unwrap().clone();
+        assert_eq!(
+            seq,
+            vec![
+                (Phase::Select, true),
+                (Phase::Select, false),
+                (Phase::Select, true),
+                (Phase::Select, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn phase_timings_accumulate_per_unit() {
+        let t = PhaseTimings::new();
+        let span = Span { unit: "A", phase: Phase::Collect };
+        t.span_exit(&span, Duration::from_millis(2));
+        t.span_exit(&span, Duration::from_millis(3));
+        t.span_exit(&Span { unit: "B", phase: Phase::Assemble }, Duration::from_millis(1));
+        let a = t.unit("A").unwrap();
+        assert_eq!(a.phase(Phase::Collect).spans, 2);
+        assert_eq!(a.phase(Phase::Collect).total, Duration::from_millis(5));
+        assert_eq!(a.phase(Phase::Link).spans, 0);
+        assert_eq!(a.total(), Duration::from_millis(5));
+        assert_eq!(t.snapshot().len(), 2);
+        t.reset();
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn histogram_merge_is_order_insensitive() {
+        let samples = [5u64, 1, 9, 3, 3];
+        let mut one = HistogramStat::default();
+        for s in samples {
+            one.observe(s);
+        }
+        let mut forward = HistogramStat::default();
+        let mut backward = HistogramStat::default();
+        for s in samples {
+            let mut h = HistogramStat::default();
+            h.observe(s);
+            forward.merge(&h);
+        }
+        for s in samples.iter().rev() {
+            let mut h = HistogramStat::default();
+            h.observe(*s);
+            backward.merge(&h);
+        }
+        assert_eq!(one, forward);
+        assert_eq!(one, backward);
+        assert_eq!(one.count, 5);
+        assert_eq!(one.sum, 21);
+        assert_eq!((one.min, one.max), (1, 9));
+        assert_eq!(one.mean(), Some(4.2));
+    }
+
+    #[test]
+    fn registry_merge_is_deterministic_across_orders() {
+        let build = |ops: &[(&str, u64)]| {
+            let r = MetricsRegistry::new();
+            for (name, v) in ops {
+                match *name {
+                    n if n.starts_with("c.") => r.add(n, *v),
+                    n if n.starts_with("g.") => r.set_gauge(n, *v),
+                    n => r.observe(n, *v),
+                }
+            }
+            r
+        };
+        let a = build(&[("c.x", 2), ("g.y", 7), ("h.z", 10)]);
+        let b = build(&[("c.x", 3), ("g.y", 5), ("h.z", 4)]);
+        let ab = MetricsRegistry::new();
+        ab.merge_from(&a);
+        ab.merge_from(&b);
+        let ba = MetricsRegistry::new();
+        ba.merge_from(&b);
+        ba.merge_from(&a);
+        assert_eq!(ab.snapshot(), ba.snapshot());
+        assert_eq!(ab.counter("c.x"), 5);
+        assert_eq!(ab.get("g.y"), Some(Metric::Gauge(7)));
+        let h = ab.get("h.z").unwrap().as_histogram().unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 14, 4, 10));
+    }
+
+    #[test]
+    fn collector_maps_events_onto_metric_names() {
+        let c = MetricsCollector::fresh();
+        c.event(&Event::OrderCompiled {
+            rule: "R",
+            dfa_states: Some(4),
+            accepting_paths: 2,
+            cache: CacheOutcome::Miss,
+        });
+        c.event(&Event::OrderCompiled {
+            rule: "R",
+            dfa_states: Some(4),
+            accepting_paths: 2,
+            cache: CacheOutcome::Hit,
+        });
+        c.event(&Event::PathSelected { rule: "R", enumerated: 2, chosen_len: 3, hoisted: 1 });
+        c.event(&Event::ParamResolved { rule: "R", variable: "v", via: ResolutionKind::Constraint });
+        c.event(&Event::ParamHoisted { rule: "R", variable: "w" });
+        c.event(&Event::BatchJob { worker: 1, index: 0 });
+        c.span_exit(&Span { unit: "U", phase: Phase::Link }, Duration::ZERO);
+        let r = c.registry();
+        assert_eq!(r.counter("order_cache.misses"), 1);
+        assert_eq!(r.counter("order_cache.hits"), 1);
+        assert_eq!(r.counter("pathsel.selections"), 1);
+        assert_eq!(r.counter("pathsel.hoisted_params"), 1);
+        assert_eq!(r.counter("resolve.params"), 2);
+        assert_eq!(r.counter("resolve.via.constraint"), 1);
+        assert_eq!(r.counter("resolve.hoisted"), 1);
+        assert_eq!(r.counter("engine.batch.worker.01.jobs"), 1);
+        assert_eq!(r.counter("phase.link.spans"), 1);
+        let states = r.get("order.dfa_states").unwrap().as_histogram().unwrap();
+        assert_eq!((states.count, states.sum), (2, 8));
+    }
+
+    #[test]
+    fn kind_mismatch_is_ignored_not_corrupting() {
+        // In release builds a mismatched operation must leave the
+        // original metric intact. (Debug builds assert instead.)
+        let r = MetricsRegistry::new();
+        r.add("x", 1);
+        if cfg!(not(debug_assertions)) {
+            r.observe("x", 5);
+            assert_eq!(r.get("x"), Some(Metric::Counter(1)));
+        }
+        assert_eq!(r.counter("x"), 1);
+    }
+
+    #[test]
+    fn tee_and_fanout_forward_to_all_targets() {
+        #[derive(Default)]
+        struct Count(Mutex<u32>);
+        impl GenObserver for Count {
+            fn event(&self, _e: &Event<'_>) {
+                *self.0.lock().unwrap() += 1;
+            }
+        }
+        let a = Count::default();
+        let b = Count::default();
+        Tee(&a, &b).event(&Event::BatchJob { worker: 0, index: 0 });
+        assert_eq!(*a.0.lock().unwrap(), 1);
+        assert_eq!(*b.0.lock().unwrap(), 1);
+
+        let x: Arc<Count> = Arc::new(Count::default());
+        let fan = Fanout::new().with(x.clone()).with(Arc::new(NoopObserver));
+        fan.event(&Event::BatchJob { worker: 0, index: 1 });
+        fan.event(&Event::BatchJob { worker: 0, index: 2 });
+        assert_eq!(*x.0.lock().unwrap(), 2);
+    }
+}

@@ -11,9 +11,10 @@
 //! # Example
 //!
 //! ```
-//! let set = rules::jca_rules();
+//! let set = rules::load()?;
 //! assert!(set.by_name("javax.crypto.Cipher").is_some());
 //! assert_eq!(set.len(), 14);
+//! # Ok::<(), crysl::CryslError>(())
 //! ```
 
 use std::sync::OnceLock;
@@ -50,41 +51,77 @@ pub const RULE_SOURCES: &[(&str, &str)] = &[
     ("Mac", include_str!("../jca/Mac.crysl")),
 ];
 
-/// Returns the full JCA rule set, cloned from the process-wide parsed
-/// instance ([`shared_jca_rules`]). The embedded sources are lexed and
-/// parsed at most once per process; every later call is a cheap clone
-/// of the already-parsed set.
+/// Loads the shipped JCA rule set — the single entry point that
+/// replaces the old panicking/fallible pair (`jca_rules` /
+/// `try_jca_rules`). The embedded sources are lexed and parsed at most
+/// once per process (see [`load_shared`]); every call after the first
+/// is a cheap clone of the already-parsed set.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a shipped rule fails to parse — that is a build defect, and
-/// [`try_jca_rules`] exists for callers that prefer an error.
-pub fn jca_rules() -> RuleSet {
-    shared_jca_rules().clone()
+/// Returns the first [`CryslError`] hit while parsing/validating a rule.
+/// Parse failures are remembered per process: after a failure the next
+/// call re-parses and surfaces the error again rather than panicking.
+pub fn load() -> Result<RuleSet, CryslError> {
+    load_shared().map(Clone::clone)
 }
 
 /// The process-wide parsed JCA rule set, behind a [`OnceLock`]: parsed
 /// on first access, shared (by reference) forever after. This is what
 /// the generation engine holds, so concurrent sessions read one set.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on first access if a shipped rule fails to parse (a build
-/// defect); later accesses retry initialization.
-pub fn shared_jca_rules() -> &'static RuleSet {
+/// Returns the first [`CryslError`] hit while parsing/validating a rule.
+/// Only a successful parse is cached; a later call retries.
+pub fn load_shared() -> Result<&'static RuleSet, CryslError> {
     static SHARED: OnceLock<RuleSet> = OnceLock::new();
-    SHARED.get_or_init(|| try_jca_rules().expect("shipped JCA rules must parse"))
+    if let Some(set) = SHARED.get() {
+        return Ok(set);
+    }
+    let parsed = load_uncached()?;
+    Ok(SHARED.get_or_init(|| parsed))
 }
 
-/// Parses the shipped rule set, surfacing any parse error. Unlike
-/// [`jca_rules`]/[`shared_jca_rules`] this always re-parses from source —
-/// it is the cold path benchmarks and differential tests measure against.
+/// Parses the shipped rule set from source, bypassing the process-wide
+/// cache. This is the cold path benchmarks and differential tests
+/// measure against; ordinary callers want [`load`].
 ///
 /// # Errors
 ///
 /// Returns the first [`CryslError`] hit while parsing/validating a rule.
-pub fn try_jca_rules() -> Result<RuleSet, CryslError> {
+pub fn load_uncached() -> Result<RuleSet, CryslError> {
     rule_set_from_sources(RULE_SOURCES.iter().map(|(_, src)| *src))
+}
+
+/// Returns the full JCA rule set, cloned from the process-wide parsed
+/// instance.
+///
+/// # Panics
+///
+/// Panics if a shipped rule fails to parse; [`load`] surfaces the error
+/// instead.
+#[deprecated(since = "0.3.0", note = "use `rules::load()`")]
+pub fn jca_rules() -> RuleSet {
+    load().expect("shipped JCA rules must parse")
+}
+
+/// The process-wide parsed JCA rule set.
+///
+/// # Panics
+///
+/// Panics on first access if a shipped rule fails to parse;
+/// [`load_shared`] surfaces the error instead.
+#[deprecated(since = "0.3.0", note = "use `rules::load_shared()`")]
+pub fn shared_jca_rules() -> &'static RuleSet {
+    load_shared().expect("shipped JCA rules must parse")
+}
+
+/// Parses the shipped rule set, surfacing any parse error; always
+/// re-parses from source.
+#[deprecated(since = "0.3.0", note = "use `rules::load()` (cached) or `rules::load_uncached()` (always re-parses)")]
+pub fn try_jca_rules() -> Result<RuleSet, CryslError> {
+    load_uncached()
 }
 
 /// Parses a rule set from raw CrySL sources — the loading path behind
@@ -114,16 +151,24 @@ mod tests {
 
     #[test]
     fn all_rules_parse_and_validate() {
-        let set = try_jca_rules().unwrap();
+        let set = load_uncached().unwrap();
         assert_eq!(set.len(), RULE_SOURCES.len());
     }
 
     #[test]
-    fn shared_set_is_parsed_once_and_jca_rules_clones_it() {
-        let a = shared_jca_rules();
-        let b = shared_jca_rules();
+    fn shared_set_is_parsed_once_and_load_clones_it() {
+        let a = load_shared().unwrap();
+        let b = load_shared().unwrap();
         assert!(std::ptr::eq(a, b), "OnceLock must hand out one instance");
-        assert_eq!(jca_rules().len(), a.len());
+        assert_eq!(load().unwrap().len(), a.len());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_load() {
+        assert_eq!(jca_rules().len(), load().unwrap().len());
+        assert!(std::ptr::eq(shared_jca_rules(), load_shared().unwrap()));
+        assert_eq!(try_jca_rules().unwrap().len(), load_uncached().unwrap().len());
     }
 
     #[test]
@@ -144,7 +189,7 @@ mod tests {
 
     #[test]
     fn pbekeyspec_matches_paper_figure_2() {
-        let set = jca_rules();
+        let set = load().unwrap();
         let r = set.by_name("javax.crypto.spec.PBEKeySpec").unwrap();
         assert_eq!(r.objects.len(), 4);
         assert!(r.method_event("c1").unwrap().is_constructor_of("PBEKeySpec"));
@@ -163,7 +208,7 @@ mod tests {
 
     #[test]
     fn every_rule_has_a_finite_generation_path_set() {
-        let set = jca_rules();
+        let set = load().unwrap();
         for rule in set.iter() {
             let paths = enumerate(rule, PathLimit::default())
                 .unwrap_or_else(|e| panic!("{}: {e}", rule.class_name));
@@ -183,7 +228,7 @@ mod tests {
 
     #[test]
     fn cipher_has_instanceof_guarded_transformations() {
-        let set = jca_rules();
+        let set = load().unwrap();
         let cipher = set.by_name("javax.crypto.Cipher").unwrap();
         let mut symmetric = None;
         let mut asymmetric = 0;
@@ -213,7 +258,7 @@ mod tests {
 
     #[test]
     fn signature_paths_split_on_sign_and_verify() {
-        let set = jca_rules();
+        let set = load().unwrap();
         let sig = set.by_name("java.security.Signature").unwrap();
         let paths = enumerate(sig, PathLimit::default()).unwrap();
         assert_eq!(paths.len(), 2);
@@ -223,7 +268,7 @@ mod tests {
 
     #[test]
     fn predicate_graph_links_pbe_chain() {
-        let set = jca_rules();
+        let set = load().unwrap();
         // randomized: SecureRandom -> PBEKeySpec / IvParameterSpec / GCM
         assert_eq!(set.ensurers_of("randomized").len(), 1);
         // speccedKey: PBEKeySpec -> SecretKeyFactory
@@ -249,7 +294,7 @@ mod tests {
 
     #[test]
     fn preference_order_lists_cbc_first_and_sha256_only() {
-        let set = jca_rules();
+        let set = load().unwrap();
         let md = set.by_name("java.security.MessageDigest").unwrap();
         assert_eq!(
             md.in_choices("alg").unwrap(),

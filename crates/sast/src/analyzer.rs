@@ -702,7 +702,7 @@ mod tests {
 
     fn analyze(m: MethodDecl) -> Vec<Misuse> {
         let unit = CompilationUnit::new("p").class(ClassDecl::new("C").method(m));
-        analyze_unit(&unit, &rules::jca_rules(), &jca_type_table(), AnalyzerOptions::default())
+        analyze_unit(&unit, &rules::load().unwrap(), &jca_type_table(), AnalyzerOptions::default())
     }
 
     /// The paper's Figure 1: three misuses.

@@ -105,6 +105,17 @@ impl CompiledOrder {
     }
 }
 
+/// How an [`OrderCache`] lookup was served — reported by
+/// [`OrderCache::get_or_compile_traced`] so callers can feed telemetry
+/// without re-deriving it from counter deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// Served from an existing entry.
+    Hit,
+    /// Compiled on this lookup.
+    Miss,
+}
+
 /// Observability counters for an [`OrderCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -143,10 +154,23 @@ impl OrderCache {
     /// Propagates [`StateMachineError`] from compilation. Failures are
     /// not cached; a later call retries.
     pub fn get_or_compile(&self, rule: &Rule) -> Result<Arc<CompiledOrder>, StateMachineError> {
+        self.get_or_compile_traced(rule).map(|(artefact, _)| artefact)
+    }
+
+    /// [`OrderCache::get_or_compile`] that also reports whether the
+    /// lookup hit or compiled, for telemetry.
+    ///
+    /// # Errors
+    ///
+    /// See [`OrderCache::get_or_compile`].
+    pub fn get_or_compile_traced(
+        &self,
+        rule: &Rule,
+    ) -> Result<(Arc<CompiledOrder>, CacheLookup), StateMachineError> {
         let fp = order_fingerprint(rule);
         if let Some(hit) = self.read_lock().get(&fp) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit.clone());
+            return Ok((hit.clone(), CacheLookup::Hit));
         }
         // Compile outside the lock so a slow rule never serializes
         // unrelated lookups.
@@ -157,7 +181,7 @@ impl OrderCache {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
-        Ok(map.entry(fp).or_insert(compiled).clone())
+        Ok((map.entry(fp).or_insert(compiled).clone(), CacheLookup::Miss))
     }
 
     /// Current entry and hit/miss counts.

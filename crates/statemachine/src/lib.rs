@@ -40,6 +40,6 @@ pub mod minimize;
 pub mod nfa;
 pub mod paths;
 
-pub use compile::{order_fingerprint, CacheStats, CompiledOrder, OrderCache};
+pub use compile::{order_fingerprint, CacheLookup, CacheStats, CompiledOrder, OrderCache};
 pub use dfa::Dfa;
 pub use nfa::{Nfa, StateMachineError};

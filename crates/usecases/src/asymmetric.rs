@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn generator_picks_rsa_and_two_arg_init() {
         let generated =
-            generate(&asymmetric_strings(), &rules::jca_rules(), &jca_type_table()).unwrap();
+            generate(&asymmetric_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let src = &generated.java_source;
         assert!(src.contains("Cipher.getInstance(\"RSA/ECB/PKCS1Padding\")"), "{src}");
         // No IV spec rule considered, so the 2-argument init is chosen.
@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn asymmetric_roundtrip_end_to_end() {
         let generated =
-            generate(&asymmetric_strings(), &rules::jca_rules(), &jca_type_table()).unwrap();
+            generate(&asymmetric_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let cls = "SecureAsymmetricEncryptor";
         let kp = interp.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
@@ -132,10 +132,10 @@ mod tests {
     #[test]
     fn generated_asymmetric_code_is_sast_clean() {
         let generated =
-            generate(&asymmetric_strings(), &rules::jca_rules(), &jca_type_table()).unwrap();
+            generate(&asymmetric_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
-            &rules::jca_rules(),
+            &rules::load().unwrap(),
             &jca_type_table(),
             sast::AnalyzerOptions::default(),
         );

@@ -325,7 +325,7 @@ mod tests {
     #[test]
     fn instanceof_steers_transformations() {
         let generated =
-            generate(&hybrid_byte_arrays(), &rules::jca_rules(), &jca_type_table()).unwrap();
+            generate(&hybrid_byte_arrays(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let src = &generated.java_source;
         // Data cipher: symmetric; key-wrapping cipher: asymmetric.
         assert!(src.contains("Cipher.getInstance(\"AES/CBC/PKCS5Padding\")"), "{src}");
@@ -337,7 +337,7 @@ mod tests {
     #[test]
     fn hybrid_full_protocol_roundtrip() {
         let generated =
-            generate(&hybrid_byte_arrays(), &rules::jca_rules(), &jca_type_table()).unwrap();
+            generate(&hybrid_byte_arrays(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let cls = "HybridByteArrayEncryptor";
         let key_pair = interp.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
@@ -385,10 +385,10 @@ mod tests {
     #[test]
     fn hybrid_strings_and_files_generate_sast_clean() {
         for t in [hybrid_strings(), hybrid_files()] {
-            let generated = generate(&t, &rules::jca_rules(), &jca_type_table()).unwrap();
+            let generated = generate(&t, &rules::load().unwrap(), &jca_type_table()).unwrap();
             let misuses = sast::analyze_unit(
                 &generated.unit,
-                &rules::jca_rules(),
+                &rules::load().unwrap(),
                 &jca_type_table(),
                 sast::AnalyzerOptions::default(),
             );

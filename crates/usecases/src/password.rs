@@ -77,7 +77,7 @@ mod tests {
     #[test]
     fn generated_code_uses_pbkdf2_and_clears_password() {
         let generated =
-            generate(&password_storage(), &rules::jca_rules(), &jca_type_table()).unwrap();
+            generate(&password_storage(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let src = &generated.java_source;
         assert!(src.contains("SecretKeyFactory.getInstance(\"PBKDF2WithHmacSHA256\")"), "{src}");
         assert!(src.contains(".clearPassword();"), "{src}");
@@ -87,7 +87,7 @@ mod tests {
     #[test]
     fn store_and_verify_roundtrip() {
         let generated =
-            generate(&password_storage(), &rules::jca_rules(), &jca_type_table()).unwrap();
+            generate(&password_storage(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let cls = "SecurePasswordStore";
         let salt = interp.call_static_style(cls, "createSalt", vec![]).unwrap();
@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn different_salts_give_different_hashes() {
         let generated =
-            generate(&password_storage(), &rules::jca_rules(), &jca_type_table()).unwrap();
+            generate(&password_storage(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let cls = "SecurePasswordStore";
         let s1 = interp.call_static_style(cls, "createSalt", vec![]).unwrap();
@@ -128,10 +128,10 @@ mod tests {
     #[test]
     fn generated_password_code_is_sast_clean() {
         let generated =
-            generate(&password_storage(), &rules::jca_rules(), &jca_type_table()).unwrap();
+            generate(&password_storage(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
-            &rules::jca_rules(),
+            &rules::load().unwrap(),
             &jca_type_table(),
             sast::AnalyzerOptions::default(),
         );

@@ -247,7 +247,7 @@ mod tests {
 
     #[test]
     fn pbe_bytes_roundtrip_end_to_end() {
-        let generated = generate(&pbe_byte_arrays(), &rules::jca_rules(), &jca_type_table())
+        let generated = generate(&pbe_byte_arrays(), &rules::load().unwrap(), &jca_type_table())
             .expect("generation succeeds");
         let mut interp = Interpreter::new(&generated.unit);
         let pwd: Vec<char> = "correct horse".chars().collect();
@@ -270,7 +270,7 @@ mod tests {
 
     #[test]
     fn pbe_strings_roundtrip_end_to_end() {
-        let generated = generate(&pbe_strings(), &rules::jca_rules(), &jca_type_table()).unwrap();
+        let generated = generate(&pbe_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let key = interp
             .call_static_style(
@@ -294,7 +294,7 @@ mod tests {
 
     #[test]
     fn pbe_files_roundtrip_end_to_end() {
-        let generated = generate(&pbe_files(), &rules::jca_rules(), &jca_type_table()).unwrap();
+        let generated = generate(&pbe_files(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         interp.put_file("plain.txt", b"file contents".to_vec());
         let key = interp
@@ -332,7 +332,7 @@ mod tests {
 
     #[test]
     fn wrong_password_fails_to_decrypt() {
-        let generated = generate(&pbe_byte_arrays(), &rules::jca_rules(), &jca_type_table()).unwrap();
+        let generated = generate(&pbe_byte_arrays(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let key1 = interp
             .call_static_style(
@@ -361,10 +361,10 @@ mod tests {
 
     #[test]
     fn generated_pbe_code_is_sast_clean() {
-        let generated = generate(&pbe_files(), &rules::jca_rules(), &jca_type_table()).unwrap();
+        let generated = generate(&pbe_files(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
-            &rules::jca_rules(),
+            &rules::load().unwrap(),
             &jca_type_table(),
             sast::AnalyzerOptions::default(),
         );

@@ -94,7 +94,7 @@ mod tests {
     #[test]
     fn bindings_select_sign_vs_verify_paths() {
         let generated =
-            generate(&signing_strings(), &rules::jca_rules(), &jca_type_table()).unwrap();
+            generate(&signing_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let src = &generated.java_source;
         assert!(src.contains(".initSign(privateKey)"), "{src}");
         assert!(src.contains(".sign()"), "{src}");
@@ -106,7 +106,7 @@ mod tests {
     #[test]
     fn sign_verify_roundtrip() {
         let generated =
-            generate(&signing_strings(), &rules::jca_rules(), &jca_type_table()).unwrap();
+            generate(&signing_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let cls = "SecureSigner";
         let kp = interp.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
@@ -150,10 +150,10 @@ mod tests {
     #[test]
     fn generated_signing_code_is_sast_clean() {
         let generated =
-            generate(&signing_strings(), &rules::jca_rules(), &jca_type_table()).unwrap();
+            generate(&signing_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
-            &rules::jca_rules(),
+            &rules::load().unwrap(),
             &jca_type_table(),
             sast::AnalyzerOptions::default(),
         );

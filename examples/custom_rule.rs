@@ -13,10 +13,10 @@ use cognicryptgen::core::generate;
 use cognicryptgen::interp::{Interpreter, Value};
 use cognicryptgen::javamodel::ast::{Expr, JavaType, Stmt};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::try_jca_rules;
+use cognicryptgen::rules::load;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rules = try_jca_rules()?;
+    let rules = load()?;
     let table = jca_type_table();
 
     // The template a crypto expert would write: two wrapper methods with

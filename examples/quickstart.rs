@@ -10,12 +10,12 @@
 use cognicryptgen::core::generate;
 use cognicryptgen::interp::{Interpreter, Value};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::try_jca_rules;
+use cognicryptgen::rules::load;
 use cognicryptgen::sast;
 use cognicryptgen::usecases;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rules = try_jca_rules()?;
+    let rules = load()?;
     let table = jca_type_table();
 
     // 1. The code template for "PBE on byte arrays" (paper Table 1, #3).

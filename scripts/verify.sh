@@ -24,6 +24,18 @@ if matches="$(grep -nE "$banned" $manifests)"; then
     exit 1
 fi
 
+# The pre-0.3 constructors survive only as deprecated shims; new call
+# sites must use rules::load()/load_shared()/load_uncached() and
+# GenEngine::builder(). Only the defining modules may mention the old
+# names (shim bodies, shim tests, deprecation notes).
+old_apis='jca_rules\(|try_jca_rules\(|shared_jca_rules\(|GenEngine::new\(|GenEngine::with_options\('
+sources="$(git ls-files '*.rs' | grep -v -e '^crates/rules/src/lib.rs$' -e '^crates/core/src/engine.rs$')"
+if matches="$(grep -nE "$old_apis" $sources)"; then
+    echo "error: deprecated constructor call outside its defining module:" >&2
+    echo "$matches" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release --offline --locked"
 cargo build --release --offline --locked
 
@@ -43,5 +55,14 @@ for id in $(seq 1 11); do
     "$cli" generate "$id" > "$workdir/single/$(printf 'uc%02d.java' "$id")"
 done
 diff -r "$workdir/batch" "$workdir/single"
+
+# The Table-1 telemetry report must cover all 11 use cases with all five
+# phase timings and non-empty metrics; report-check validates the schema
+# of the file report just wrote.
+echo "==> cli report -> REPORT_table1.json"
+"$cli" report "$workdir/report" >/dev/null
+report="$workdir/report/REPORT_table1.json"
+test -s "$report"
+"$cli" report-check "$report"
 
 echo "==> hermetic verify OK"

@@ -1,0 +1,153 @@
+//! The facade error type: every failure a `cognicryptgen` embedding or
+//! CLI invocation can hit, as one `#[non_exhaustive]` enum with
+//! `source()` chaining back to the underlying layer error.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use cognicrypt_core::engine::EngineBuildError;
+use cognicrypt_core::{EngineError, GenError};
+use crysl::CryslError;
+
+/// Any error the CogniCryptGEN workspace can surface to an embedder or
+/// the CLI.
+///
+/// `#[non_exhaustive]`: new failure classes may be added without a
+/// breaking release, so match with a `_` arm. Each variant wraps the
+/// underlying layer error where one exists and exposes it through
+/// [`std::error::Error::source`]; [`Error::exit_code`] gives the CLI a
+/// stable, variant-distinct process exit code.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The invocation itself was malformed (missing/unknown argument).
+    Usage(String),
+    /// Loading or parsing CrySL rules failed.
+    Rules(CryslError),
+    /// The generation pipeline rejected a template.
+    Generation(GenError),
+    /// A batch engine run failed (generation error or contained panic).
+    Engine(EngineError),
+    /// Building a [`cognicrypt_core::GenEngine`] failed.
+    EngineBuild(EngineBuildError),
+    /// A filesystem operation failed.
+    Io {
+        /// The path the operation touched.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Input data was present but invalid (unparsable Java, a report
+    /// file failing validation, …).
+    Invalid(String),
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::Io`].
+    pub fn io(path: impl Into<String>, source: std::io::Error) -> Self {
+        Error::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// The process exit code the CLI maps this variant to. Distinct per
+    /// failure class so scripts can branch without parsing stderr:
+    /// usage = 2, rules = 3, generation/engine = 4, I/O = 5, invalid
+    /// input = 6. (0 is success, 1 the generic failure of older
+    /// releases.)
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Error::Usage(_) => 2,
+            Error::Rules(_) => 3,
+            Error::Generation(_) | Error::Engine(_) | Error::EngineBuild(_) => 4,
+            Error::Io { .. } => 5,
+            Error::Invalid(_) => 6,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Usage(m) => write!(f, "usage: {m}"),
+            Error::Rules(e) => write!(f, "rule set: {e}"),
+            Error::Generation(e) => write!(f, "generation: {e}"),
+            Error::Engine(e) => write!(f, "engine: {e}"),
+            Error::EngineBuild(e) => write!(f, "engine: {e}"),
+            Error::Io { path, source } => write!(f, "{path}: {source}"),
+            Error::Invalid(m) => write!(f, "invalid input: {m}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Rules(e) => Some(e),
+            Error::Generation(e) => Some(e),
+            Error::Engine(e) => Some(e),
+            Error::EngineBuild(e) => Some(e),
+            Error::Io { source, .. } => Some(source),
+            Error::Usage(_) | Error::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<CryslError> for Error {
+    fn from(e: CryslError) -> Self {
+        Error::Rules(e)
+    }
+}
+
+impl From<GenError> for Error {
+    fn from(e: GenError) -> Self {
+        Error::Generation(e)
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+impl From<EngineBuildError> for Error {
+    fn from(e: EngineBuildError) -> Self {
+        Error::EngineBuild(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_per_failure_class() {
+        let gen = Error::from(GenError::UnknownRule("X".into()));
+        let io = Error::io("f.txt", std::io::Error::other("boom"));
+        let usage = Error::Usage("missing arg".into());
+        let invalid = Error::Invalid("bad json".into());
+        let codes = [
+            usage.exit_code(),
+            gen.exit_code(),
+            io.exit_code(),
+            invalid.exit_code(),
+        ];
+        assert_eq!(codes, [2, 4, 5, 6]);
+        // No failure maps to the success or generic-failure codes.
+        assert!(codes.iter().all(|&c| c >= 2));
+    }
+
+    #[test]
+    fn source_chains_to_the_layer_error() {
+        let e = Error::from(GenError::UnknownRule("X".into()));
+        let src = e.source().expect("generation errors chain");
+        assert!(src.downcast_ref::<GenError>().is_some());
+        assert!(e.to_string().contains("no CrySL rule"));
+
+        let e = Error::io("path", std::io::Error::other("disk"));
+        assert!(e.source().is_some());
+        assert!(Error::Usage("x".into()).source().is_none());
+    }
+}

@@ -1,4 +1,9 @@
 //! Facade crate re-exporting the CogniCryptGEN reproduction workspace.
+pub mod error;
+pub mod report;
+
+pub use error::Error;
+
 pub use cognicrypt_core as core;
 pub use crysl;
 pub use interp;
@@ -16,22 +21,23 @@ use std::sync::OnceLock;
 use cognicrypt_core::GenEngine;
 
 /// The process-wide generation engine over the shipped JCA rule set and
-/// type table: parsed rules behind `rules::shared_jca_rules`'s
-/// `OnceLock`, plus a compiled-ORDER cache that warms up across calls.
-/// The CLI's `generate` and `batch` subcommands and any embedding
-/// service share this one session.
+/// type table: parsed rules behind `rules::load_shared`'s `OnceLock`,
+/// plus a compiled-ORDER cache that warms up across calls. The CLI's
+/// `generate` and `batch` subcommands and any embedding service share
+/// this one session.
 ///
 /// # Panics
 ///
 /// Panics on first access if a shipped rule fails to parse (a build
-/// defect); use [`rules::try_jca_rules`] to surface that as an error.
+/// defect); use [`rules::load`] to surface that as an error.
 pub fn jca_engine() -> &'static GenEngine {
     static ENGINE: OnceLock<GenEngine> = OnceLock::new();
     ENGINE.get_or_init(|| {
-        GenEngine::new(
-            rules::shared_jca_rules().clone(),
-            javamodel::jca::jca_type_table(),
-        )
+        GenEngine::builder()
+            .rules(rules::load_shared().expect("shipped JCA rules must parse").clone())
+            .type_table(javamodel::jca::jca_type_table())
+            .build()
+            .expect("rules supplied")
     })
 }
 

@@ -8,7 +8,15 @@
 //! cognicryptgen rules [class]         print the CrySL rule set (or one rule)
 //! cognicryptgen analyze <file>        run the misuse analyzer on Java text
 //! cognicryptgen oldgen <id>           run the XSL/Clafer baseline generator
+//! cognicryptgen report [dir]          run all use cases instrumented, print
+//!                                     the Table-1 timing/metrics report and
+//!                                     write REPORT_table1.json into [dir]
+//! cognicryptgen report-check <file>   validate a written Table-1 report
 //! ```
+//!
+//! Failures exit with a per-class code (usage 2, rules 3,
+//! generation/engine 4, I/O 5, invalid input 6) so scripts can branch
+//! without parsing stderr.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -17,13 +25,13 @@ use std::process::ExitCode;
 use cognicryptgen::core::template::render_java;
 use cognicryptgen::javamodel::jca::jca_type_table;
 use cognicryptgen::javamodel::parser::parse_java;
-use cognicryptgen::jca_engine;
-use cognicryptgen::rules::try_jca_rules;
+use cognicryptgen::report::{self, REPORT_FILE};
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
 use cognicryptgen::usecases::{all_use_cases, UseCase};
+use cognicryptgen::{jca_engine, Error};
+use devharness::json::Json;
 
-const USAGE: &str =
-    "usage: cognicryptgen <list|generate|batch|template|rules|analyze|oldgen> [arg..]";
+const USAGE: &str = "cognicryptgen <list|generate|batch|template|rules|analyze|oldgen|report|report-check> [arg..]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,21 +43,20 @@ fn main() -> ExitCode {
         Some("rules") => cmd_rules(args.get(1).map(String::as_str)),
         Some("analyze") => cmd_analyze(args.get(1).map(String::as_str)),
         Some("oldgen") => cmd_oldgen(args.get(1).map(String::as_str)),
-        _ => {
-            eprintln!("{USAGE}");
-            return ExitCode::FAILURE;
-        }
+        Some("report") => cmd_report(args.get(1).map(String::as_str)),
+        Some("report-check") => cmd_report_check(args.get(1).map(String::as_str)),
+        _ => Err(Error::Usage(USAGE.to_owned())),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn find_use_case(selector: &str) -> Result<UseCase, String> {
+fn find_use_case(selector: &str) -> Result<UseCase, Error> {
     let cases = all_use_cases();
     if let Ok(id) = selector.parse::<u8>() {
         if let Some(uc) = cases.iter().find(|u| u.id == id) {
@@ -61,18 +68,18 @@ fn find_use_case(selector: &str) -> Result<UseCase, String> {
         .iter()
         .find(|u| u.name.to_lowercase().contains(&lowered))
         .cloned()
-        .ok_or_else(|| format!("no use case matches `{selector}` (try `list`)"))
+        .ok_or_else(|| Error::Usage(format!("no use case matches `{selector}` (try `list`)")))
 }
 
 fn with_use_case(
     selector: Option<&String>,
-    f: fn(&UseCase) -> Result<(), String>,
-) -> Result<(), String> {
-    let selector = selector.ok_or_else(|| "missing use-case id or name".to_owned())?;
+    f: fn(&UseCase) -> Result<(), Error>,
+) -> Result<(), Error> {
+    let selector = selector.ok_or_else(|| Error::Usage("missing use-case id or name".to_owned()))?;
     f(&find_use_case(selector)?)
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), Error> {
     println!("{:<4} {:<32} Sources", "#", "Use case (paper Table 1)");
     for uc in all_use_cases() {
         println!("{:<4} {:<32} {}", uc.id, uc.name, uc.sources);
@@ -80,10 +87,8 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_generate(uc: &UseCase) -> Result<(), String> {
-    let generated = jca_engine()
-        .generate(&uc.template)
-        .map_err(|e| e.to_string())?;
+fn cmd_generate(uc: &UseCase) -> Result<(), Error> {
+    let generated = jca_engine().generate(&uc.template)?;
     print!("{}", generated.java_source);
     Ok(())
 }
@@ -92,66 +97,68 @@ fn cmd_generate(uc: &UseCase) -> Result<(), String> {
 /// engine session, fanned over worker threads, writing `uc01.java` …
 /// `uc11.java` into `dir`. Any per-case failure is reported and turns
 /// the whole invocation into a failure after all cases ran.
-fn cmd_batch(outdir: Option<&str>, threads: Option<&str>) -> Result<(), String> {
-    let outdir = outdir.ok_or_else(|| "missing output directory for batch".to_owned())?;
+fn cmd_batch(outdir: Option<&str>, threads: Option<&str>) -> Result<(), Error> {
+    let outdir = outdir.ok_or_else(|| Error::Usage("missing output directory for batch".to_owned()))?;
     let threads = match threads {
         Some(t) => t
             .parse::<usize>()
             .ok()
             .filter(|&n| n > 0)
-            .ok_or_else(|| format!("invalid thread count `{t}`"))?,
+            .ok_or_else(|| Error::Usage(format!("invalid thread count `{t}`")))?,
         None => 4,
     };
     let outdir = Path::new(outdir);
-    std::fs::create_dir_all(outdir).map_err(|e| format!("{}: {e}", outdir.display()))?;
+    std::fs::create_dir_all(outdir).map_err(|e| Error::io(outdir.display().to_string(), e))?;
 
     let cases = all_use_cases();
     let templates: Vec<_> = cases.iter().map(|uc| uc.template.clone()).collect();
     let results = jca_engine().generate_batch(&templates, threads);
 
+    let mut last_failure = None;
     let mut failures = 0usize;
-    for (uc, result) in cases.iter().zip(&results) {
+    for (uc, result) in cases.iter().zip(results) {
         match result {
             Ok(generated) => {
                 let path = outdir.join(format!("uc{:02}.java", uc.id));
                 std::fs::write(&path, &generated.java_source)
-                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                    .map_err(|e| Error::io(path.display().to_string(), e))?;
                 println!("uc{:02} {:<32} ok ({} bytes)", uc.id, uc.name, generated.java_source.len());
             }
             Err(e) => {
                 failures += 1;
                 eprintln!("uc{:02} {:<32} FAILED: {e}", uc.id, uc.name);
+                last_failure = Some(e);
             }
         }
     }
     let stats = jca_engine().cache_stats();
     println!(
         "batch: {} of {} generated with {} threads (order cache: {} entries, {} hits, {} misses)",
-        results.len() - failures,
-        results.len(),
+        cases.len() - failures,
+        cases.len(),
         threads,
         stats.entries,
         stats.hits,
         stats.misses
     );
-    if failures > 0 {
-        return Err(format!("{failures} use case(s) failed"));
+    match last_failure {
+        Some(e) => Err(Error::Engine(e)),
+        None => Ok(()),
     }
-    Ok(())
 }
 
-fn cmd_template(uc: &UseCase) -> Result<(), String> {
+fn cmd_template(uc: &UseCase) -> Result<(), Error> {
     print!("{}", render_java(&uc.template));
     Ok(())
 }
 
-fn cmd_rules(class: Option<&str>) -> Result<(), String> {
-    let set = try_jca_rules().map_err(|e| e.to_string())?;
+fn cmd_rules(class: Option<&str>) -> Result<(), Error> {
+    let set = cognicryptgen::rules::load()?;
     match class {
         Some(name) => {
             let rule = set
                 .by_name(name)
-                .ok_or_else(|| format!("no rule for `{name}`"))?;
+                .ok_or_else(|| Error::Usage(format!("no rule for `{name}`")))?;
             print!("{}", cognicryptgen::crysl::printer::print_rule(rule));
         }
         None => {
@@ -163,12 +170,12 @@ fn cmd_rules(class: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_analyze(path: Option<&str>) -> Result<(), String> {
-    let path = path.ok_or_else(|| "missing file to analyze".to_owned())?;
-    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+fn cmd_analyze(path: Option<&str>) -> Result<(), Error> {
+    let path = path.ok_or_else(|| Error::Usage("missing file to analyze".to_owned()))?;
+    let source = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
     let table = jca_type_table();
-    let unit = parse_java(&source, &table).map_err(|e| e.to_string())?;
-    let rules = try_jca_rules().map_err(|e| e.to_string())?;
+    let unit = parse_java(&source, &table).map_err(|e| Error::Invalid(e.to_string()))?;
+    let rules = cognicryptgen::rules::load()?;
     let misuses = analyze_unit(&unit, &rules, &table, AnalyzerOptions::default());
     if misuses.is_empty() {
         println!("no misuses found");
@@ -180,17 +187,44 @@ fn cmd_analyze(path: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_oldgen(selector: Option<&str>) -> Result<(), String> {
-    let selector = selector.ok_or_else(|| "missing use-case id".to_owned())?;
+fn cmd_oldgen(selector: Option<&str>) -> Result<(), Error> {
+    let selector = selector.ok_or_else(|| Error::Usage("missing use-case id".to_owned()))?;
     let id: u8 = selector
         .parse()
-        .map_err(|_| "oldgen expects a numeric use-case id".to_owned())?;
+        .map_err(|_| Error::Usage("oldgen expects a numeric use-case id".to_owned()))?;
     let uc = cognicryptgen::oldgen::old_gen_use_cases()
         .into_iter()
         .find(|u| u.id == id)
-        .ok_or_else(|| format!("old generator does not support use case {id}"))?;
+        .ok_or_else(|| Error::Usage(format!("old generator does not support use case {id}")))?;
     let out = cognicryptgen::oldgen::generate_use_case(&uc, &BTreeMap::new())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| Error::Invalid(e.to_string()))?;
     print!("{out}");
+    Ok(())
+}
+
+/// `report [dir]` — generate all eleven use cases on an instrumented
+/// engine, print the Table-1 per-phase timing table with the pipeline
+/// metrics, and write the machine-readable `REPORT_table1.json` into
+/// `dir` (default: current directory).
+fn cmd_report(outdir: Option<&str>) -> Result<(), Error> {
+    let outdir = Path::new(outdir.unwrap_or("."));
+    std::fs::create_dir_all(outdir).map_err(|e| Error::io(outdir.display().to_string(), e))?;
+    let report = report::build()?;
+    print!("{}", report::render_text(&report));
+    let path = outdir.join(REPORT_FILE);
+    let doc = report::to_json(&report);
+    std::fs::write(&path, format!("{doc}\n")).map_err(|e| Error::io(path.display().to_string(), e))?;
+    println!("\nreport written to {}", path.display());
+    Ok(())
+}
+
+/// `report-check <file>` — parse a previously written Table-1 report
+/// and validate its shape (11 use cases, all five phases, metrics).
+fn cmd_report_check(path: Option<&str>) -> Result<(), Error> {
+    let path = path.ok_or_else(|| Error::Usage("missing report file to check".to_owned()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    let doc = Json::parse(&text).map_err(|e| Error::Invalid(format!("{path}: {e}")))?;
+    report::validate(&doc).map_err(|e| Error::Invalid(format!("{path}: {e}")))?;
+    println!("{path}: valid table1 report");
     Ok(())
 }

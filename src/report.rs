@@ -1,0 +1,319 @@
+//! The Table-1 reporter: runs all eleven shipped use cases through an
+//! instrumented engine and renders the paper's evaluation table —
+//! per-use-case, per-phase runtime plus the pipeline metrics — as text
+//! and as a devharness-JSON document (`REPORT_table1.json`).
+//!
+//! Wall times vary run to run; everything else in the report (metric
+//! counters, histogram summaries, cache traffic, source sizes) is
+//! deterministic, which is what [`validate`] checks a written report
+//! against.
+
+use std::sync::Arc;
+
+use cognicrypt_core::telemetry::{Metric, Phase, PhaseTimings, UnitTimings};
+use cognicrypt_core::GenEngine;
+use devharness::json::Json;
+use usecases::all_use_cases;
+
+use crate::Error;
+
+/// File name the CLI `report` subcommand writes.
+pub const REPORT_FILE: &str = "REPORT_table1.json";
+
+/// One Table-1 row: a use case, its generated size and its per-phase
+/// wall time.
+#[derive(Debug, Clone)]
+pub struct ReportRow {
+    /// Use-case id (1–11, Table 1 numbering).
+    pub id: u8,
+    /// Use-case name.
+    pub name: String,
+    /// Generated template class name (the timing unit label).
+    pub class: String,
+    /// Bytes of generated Java source.
+    pub java_bytes: usize,
+    /// Per-phase wall time of this use case's generation.
+    pub timings: UnitTimings,
+}
+
+/// A full Table-1 report: one row per shipped use case plus the
+/// engine-level metrics of the run.
+#[derive(Debug)]
+pub struct Table1Report {
+    /// Rows in use-case id order.
+    pub rows: Vec<ReportRow>,
+    /// Snapshot of the instrumented engine's metrics registry.
+    pub metrics: std::collections::BTreeMap<String, Metric>,
+}
+
+/// Generates every shipped use case on a fresh instrumented engine and
+/// collects the report. Generation runs in id order on one thread, so
+/// ORDER-cache traffic in the metrics is reproducible (first sight of a
+/// rule is a miss, every revisit a hit).
+///
+/// # Errors
+///
+/// [`Error::Rules`] when the shipped rules fail to parse and
+/// [`Error::Generation`] when a use case fails to generate — both are
+/// build defects for the shipped set.
+pub fn build() -> Result<Table1Report, Error> {
+    let timings = Arc::new(PhaseTimings::new());
+    let engine = GenEngine::builder()
+        .rules(rules::load()?)
+        .observer(timings.clone())
+        .build()?;
+
+    let mut rows = Vec::new();
+    for uc in all_use_cases() {
+        let generated = engine.generate(&uc.template)?;
+        let class = uc.template.class_name.clone();
+        let timings = timings
+            .unit(&class)
+            .expect("a successful generation records spans for its unit");
+        rows.push(ReportRow {
+            id: uc.id,
+            name: uc.name.to_owned(),
+            class,
+            java_bytes: generated.java_source.len(),
+            timings,
+        });
+    }
+    Ok(Table1Report {
+        rows,
+        metrics: engine.metrics().snapshot(),
+    })
+}
+
+fn micros(d: std::time::Duration) -> f64 {
+    // Round to whole nanoseconds' worth of precision; the JSON writer
+    // prints shortest-roundtrip floats.
+    d.as_secs_f64() * 1e6
+}
+
+/// Renders the report as the text table the `report` subcommand prints.
+pub fn render_text(report: &Table1Report) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<4} {:<34} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>7}",
+        "#", "Use case (paper Table 1)", "collect", "link", "select", "resolve", "assemble", "total µs", "bytes"
+    );
+    for row in &report.rows {
+        let t = &row.timings;
+        let _ = writeln!(
+            out,
+            "{:<4} {:<34} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>7}",
+            row.id,
+            row.name,
+            micros(t.phase(Phase::Collect).total),
+            micros(t.phase(Phase::Link).total),
+            micros(t.phase(Phase::Select).total),
+            micros(t.phase(Phase::Resolve).total),
+            micros(t.phase(Phase::Assemble).total),
+            micros(t.total()),
+            row.java_bytes,
+        );
+    }
+    let _ = writeln!(out, "\nmetrics:");
+    for (name, metric) in &report.metrics {
+        match metric {
+            Metric::Counter(n) => {
+                let _ = writeln!(out, "  {name} = {n}");
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "  {name} = {g} (gauge)");
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(
+                    out,
+                    "  {name}: count={} sum={} min={} max={}",
+                    h.count, h.sum, h.min, h.max
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Serializes the report to the devharness-JSON document written as
+/// [`REPORT_FILE`].
+pub fn to_json(report: &Table1Report) -> Json {
+    let rows = report
+        .rows
+        .iter()
+        .map(|row| {
+            let phases = Phase::ALL
+                .iter()
+                .map(|&p| {
+                    (
+                        p.name().to_owned(),
+                        Json::Num(micros(row.timings.phase(p).total)),
+                    )
+                })
+                .collect();
+            Json::Obj(vec![
+                ("id".to_owned(), Json::Num(f64::from(row.id))),
+                ("name".to_owned(), Json::Str(row.name.clone())),
+                ("class".to_owned(), Json::Str(row.class.clone())),
+                ("phases_us".to_owned(), Json::Obj(phases)),
+                ("total_us".to_owned(), Json::Num(micros(row.timings.total()))),
+                (
+                    "java_bytes".to_owned(),
+                    Json::Num(row.java_bytes as f64),
+                ),
+            ])
+        })
+        .collect();
+    let metrics = report
+        .metrics
+        .iter()
+        .map(|(name, metric)| {
+            let value = match metric {
+                Metric::Counter(n) => Json::Num(*n as f64),
+                Metric::Gauge(g) => Json::Obj(vec![("gauge".to_owned(), Json::Num(*g as f64))]),
+                Metric::Histogram(h) => Json::Obj(vec![
+                    ("count".to_owned(), Json::Num(h.count as f64)),
+                    ("sum".to_owned(), Json::Num(h.sum as f64)),
+                    ("min".to_owned(), Json::Num(h.min as f64)),
+                    ("max".to_owned(), Json::Num(h.max as f64)),
+                ]),
+            };
+            (name.clone(), value)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("report".to_owned(), Json::Str("table1".to_owned())),
+        ("use_cases".to_owned(), Json::Arr(rows)),
+        ("metrics".to_owned(), Json::Obj(metrics)),
+    ])
+}
+
+/// Validates a written report document: it must be the `table1` report,
+/// cover all eleven use cases (ids 1–11, each with all five phase
+/// timings and a total), and carry a non-empty metrics object.
+///
+/// # Errors
+///
+/// A description of the first violation found.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    if doc.get("report").and_then(Json::as_str) != Some("table1") {
+        return Err("not a table1 report (missing `report: \"table1\"`)".to_owned());
+    }
+    let cases = doc
+        .get("use_cases")
+        .and_then(Json::as_arr)
+        .ok_or("missing `use_cases` array")?;
+    if cases.len() != 11 {
+        return Err(format!("expected 11 use cases, found {}", cases.len()));
+    }
+    let mut seen = [false; 11];
+    for case in cases {
+        let id = case
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or("use case without numeric `id`")?;
+        if !(1..=11).contains(&id) {
+            return Err(format!("use-case id {id} out of Table-1 range"));
+        }
+        if std::mem::replace(&mut seen[(id - 1) as usize], true) {
+            return Err(format!("use-case id {id} appears twice"));
+        }
+        for key in ["name", "class"] {
+            if case.get(key).and_then(Json::as_str).is_none() {
+                return Err(format!("use case {id} missing `{key}`"));
+            }
+        }
+        let phases = case
+            .get("phases_us")
+            .ok_or_else(|| format!("use case {id} missing `phases_us`"))?;
+        for phase in Phase::ALL {
+            if phases.get(phase.name()).and_then(Json::as_f64).is_none() {
+                return Err(format!("use case {id} missing phase `{phase}` timing"));
+            }
+        }
+        if case.get("total_us").and_then(Json::as_f64).is_none() {
+            return Err(format!("use case {id} missing `total_us`"));
+        }
+    }
+    match doc.get("metrics") {
+        Some(Json::Obj(members)) if !members.is_empty() => {}
+        Some(Json::Obj(_)) => return Err("`metrics` object is empty".to_owned()),
+        _ => return Err("missing `metrics` object".to_owned()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_use_cases_and_validates() {
+        let report = build().expect("report builds");
+        assert_eq!(report.rows.len(), 11);
+        let ids: Vec<u8> = report.rows.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (1..=11).collect::<Vec<u8>>());
+        for row in &report.rows {
+            assert!(row.java_bytes > 0, "uc{} emitted nothing", row.id);
+            for phase in Phase::ALL {
+                assert_eq!(
+                    row.timings.phase(phase).spans,
+                    1,
+                    "uc{} ({}) phase {phase} span count",
+                    row.id,
+                    row.class
+                );
+            }
+        }
+        // Cache traffic was recorded: 14 rules, several shared across
+        // use cases, so hits must outnumber first-sight misses.
+        assert!(report.metrics.contains_key("order_cache.hits"));
+        assert!(report.metrics.contains_key("order_cache.misses"));
+
+        let doc = to_json(&report);
+        validate(&doc).expect("fresh report validates");
+
+        // The document round-trips through the devharness parser.
+        let reparsed = Json::parse(&doc.to_string()).expect("parses");
+        validate(&reparsed).expect("reparsed report validates");
+    }
+
+    #[test]
+    fn validate_rejects_mutilated_reports() {
+        let report = build().expect("report builds");
+        let doc = to_json(&report);
+
+        let strip = |doc: &Json, key: &str| -> Json {
+            match doc {
+                Json::Obj(members) => Json::Obj(
+                    members
+                        .iter()
+                        .filter(|(k, _)| k != key)
+                        .cloned()
+                        .collect(),
+                ),
+                other => other.clone(),
+            }
+        };
+        assert!(validate(&strip(&doc, "report")).is_err());
+        assert!(validate(&strip(&doc, "use_cases")).is_err());
+        assert!(validate(&strip(&doc, "metrics")).is_err());
+
+        // Ten use cases is not Table 1.
+        if let Json::Obj(mut members) = doc.clone() {
+            for (k, v) in &mut members {
+                if k == "use_cases" {
+                    if let Json::Arr(cases) = v {
+                        cases.pop();
+                    }
+                }
+            }
+            assert!(validate(&Json::Obj(members)).is_err());
+        }
+
+        let text = render_text(&report);
+        assert!(text.contains("SecureHasher") || text.contains("Hashing"));
+        assert!(text.contains("order_cache.hits"));
+    }
+}

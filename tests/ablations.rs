@@ -5,7 +5,7 @@
 use cognicryptgen::core::pathsel::SelectionOptions;
 use cognicryptgen::core::{GenError, Generator, GeneratorOptions};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::jca_rules;
+use cognicryptgen::rules::load;
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
 use cognicryptgen::usecases;
 
@@ -60,7 +60,7 @@ fn without_predicate_filters_the_iv_less_init_slips_through() {
         ..SelectionOptions::default()
     };
     let broken = generator_with(off)
-        .generate(&encrypt_only, &jca_rules(), &jca_type_table())
+        .generate(&encrypt_only, &load().unwrap(), &jca_type_table())
         .expect("generation still succeeds mechanically");
     assert!(
         broken.java_source.contains(".init(1, key);"),
@@ -72,7 +72,7 @@ fn without_predicate_filters_the_iv_less_init_slips_through() {
     let key_unit = Generator::new()
         .generate(
             &usecases::symmetric::symmetric_encryption(),
-            &jca_rules(),
+            &load().unwrap(),
             &jca_type_table(),
         )
         .expect("generates");
@@ -87,7 +87,7 @@ fn without_predicate_filters_the_iv_less_init_slips_through() {
     // With the paper's defaults the same template consumes the IV spec
     // and runs.
     let clean = Generator::new()
-        .generate(&encrypt_only, &jca_rules(), &jca_type_table())
+        .generate(&encrypt_only, &load().unwrap(), &jca_type_table())
         .expect("generates");
     assert!(clean.java_source.contains(".init(1, key, ivParameterSpec);"), "{}", clean.java_source);
 }
@@ -163,13 +163,13 @@ fn longest_path_tie_break_emits_more_calls() {
         ..SelectionOptions::default()
     };
     let short = Generator::new()
-        .generate(&usecases::pbe::pbe_strings(), &jca_rules(), &jca_type_table())
+        .generate(&usecases::pbe::pbe_strings(), &load().unwrap(), &jca_type_table())
         .expect("generates");
     let long = Generator::with_options(GeneratorOptions {
         selection: longest,
         ..GeneratorOptions::default()
     })
-    .generate(&usecases::pbe::pbe_strings(), &jca_rules(), &jca_type_table())
+    .generate(&usecases::pbe::pbe_strings(), &load().unwrap(), &jca_type_table())
     .expect("generates");
     assert!(
         long.java_source.lines().count() >= short.java_source.lines().count(),
@@ -179,7 +179,7 @@ fn longest_path_tie_break_emits_more_calls() {
     for g in [&short, &long] {
         assert!(analyze_unit(
             &g.unit,
-            &jca_rules(),
+            &load().unwrap(),
             &jca_type_table(),
             AnalyzerOptions::default()
         )
@@ -202,7 +202,7 @@ fn disabling_fallback_makes_unresolved_parameters_hard_errors() {
         ..SelectionOptions::default()
     };
     let err = generator_with(no_fallback)
-        .generate(&t, &jca_rules(), &jca_type_table())
+        .generate(&t, &load().unwrap(), &jca_type_table())
         .unwrap_err();
     assert!(matches!(err, GenError::UnresolvedParameter { .. }), "{err}");
 }

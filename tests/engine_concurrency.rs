@@ -15,12 +15,16 @@ use std::collections::BTreeMap;
 use cognicryptgen::core::engine::scatter;
 use cognicryptgen::core::{EngineError, GenEngine, GenError, Template};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::try_jca_rules;
+use cognicryptgen::rules::load;
 use cognicryptgen::usecases::all_use_cases;
 use devharness::rng::{RandomSource, Xoshiro256};
 
 fn engine() -> GenEngine {
-    GenEngine::new(try_jca_rules().expect("parses"), jca_type_table())
+    GenEngine::builder()
+        .rules(load().expect("parses"))
+        .type_table(jca_type_table())
+        .build()
+        .expect("rules supplied")
 }
 
 /// Fisher–Yates shuffle driven by the in-repo PRNG.

@@ -20,14 +20,14 @@ use cognicryptgen::javamodel::ast::{
     ClassDecl, CompilationUnit, Expr, JavaType, MethodDecl, Stmt,
 };
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::try_jca_rules;
+use cognicryptgen::rules::{load, load_uncached};
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
 use cognicryptgen::usecases::all_use_cases;
 
 /// The legacy cold path: freshly parsed rules, no compiled-artefact
 /// reuse of any kind.
 fn cold(template: &cognicryptgen::core::Template) -> Generated {
-    let rules = try_jca_rules().expect("shipped rules parse");
+    let rules = load_uncached().expect("shipped rules parse");
     Generator::new()
         .generate_uncached(template, &rules, &jca_type_table())
         .expect("cold generation succeeds")
@@ -37,7 +37,11 @@ fn cold(template: &cognicryptgen::core::Template) -> Generated {
 /// `warm()`, so the measured generation serves every artefact from the
 /// cache (asserted through the hit counter).
 fn warm(template: &cognicryptgen::core::Template) -> Generated {
-    let engine = GenEngine::new(try_jca_rules().expect("parses"), jca_type_table());
+    let engine = GenEngine::builder()
+        .rules(load().expect("parses"))
+        .type_table(jca_type_table())
+        .build()
+        .expect("rules supplied");
     engine.warm().expect("warm succeeds");
     let generated = engine.generate(template).expect("warm generation succeeds");
     let stats = engine.cache_stats();
@@ -67,9 +71,44 @@ fn warm_engine_emits_byte_identical_java_for_all_use_cases() {
 }
 
 #[test]
+fn observed_engine_emits_byte_identical_java_to_unobserved() {
+    // Telemetry must be purely observational: an engine carrying a live
+    // observer (per-phase timings and the metrics registry running)
+    // emits exactly the bytes a no-op-observer engine emits.
+    use cognicryptgen::core::telemetry::PhaseTimings;
+    use std::sync::Arc;
+
+    let timings = Arc::new(PhaseTimings::new());
+    let observed = GenEngine::builder()
+        .rules(load().expect("parses"))
+        .type_table(jca_type_table())
+        .observer(timings.clone())
+        .build()
+        .expect("rules supplied");
+    let unobserved = GenEngine::builder()
+        .rules(load().expect("parses"))
+        .type_table(jca_type_table())
+        .build()
+        .expect("rules supplied");
+    for uc in all_use_cases() {
+        let on = observed.generate(&uc.template).expect("generates");
+        let off = unobserved.generate(&uc.template).expect("generates");
+        assert_eq!(
+            on.java_source, off.java_source,
+            "use case {} ({}) diverged under telemetry",
+            uc.id, uc.name
+        );
+        assert_eq!(on.hoisted, off.hoisted, "use case {} hoisting differs", uc.id);
+    }
+    // The observer really ran: every use case has timing rows.
+    assert_eq!(timings.snapshot().len(), 11);
+    assert!(!observed.metrics().is_empty());
+}
+
+#[test]
 fn warm_engine_preserves_sast_verdicts_for_all_use_cases() {
     let table = jca_type_table();
-    let rules = try_jca_rules().expect("parses");
+    let rules = load_uncached().expect("parses");
     for uc in all_use_cases() {
         let c = analyze_unit(
             &cold(&uc.template).unit,

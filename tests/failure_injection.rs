@@ -6,7 +6,7 @@ use cognicryptgen::core::{generate, GenError};
 use cognicryptgen::crysl::RuleSet;
 use cognicryptgen::javamodel::ast::{Expr, JavaType, Stmt};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::jca_rules;
+use cognicryptgen::rules::load;
 
 fn template_with(chain: cognicryptgen::core::template::GeneratorChain) -> Template {
     Template::new("p", "C").method(TemplateMethod::new("go", JavaType::Void).chain(chain))
@@ -17,7 +17,7 @@ fn unknown_rule_in_chain() {
     let chain = CrySlCodeGenerator::get_instance()
         .consider_crysl_rule("javax.crypto.DoesNotExist")
         .build();
-    let err = generate(&template_with(chain), &jca_rules(), &jca_type_table()).unwrap_err();
+    let err = generate(&template_with(chain), &load().unwrap(), &jca_type_table()).unwrap_err();
     assert!(matches!(err, GenError::UnknownRule(_)), "{err}");
 }
 
@@ -32,7 +32,7 @@ fn binding_to_undeclared_rule_variable() {
             .param(JavaType::byte_array(), "data")
             .chain(chain),
     );
-    let err = generate(&t, &jca_rules(), &jca_type_table()).unwrap_err();
+    let err = generate(&t, &load().unwrap(), &jca_type_table()).unwrap_err();
     assert!(matches!(err, GenError::UnknownRuleVariable { .. }), "{err}");
 }
 
@@ -42,7 +42,7 @@ fn binding_to_undeclared_template_variable() {
         .consider_crysl_rule("java.security.MessageDigest")
         .add_parameter("ghost", "input")
         .build();
-    let err = generate(&template_with(chain), &jca_rules(), &jca_type_table()).unwrap_err();
+    let err = generate(&template_with(chain), &load().unwrap(), &jca_type_table()).unwrap_err();
     assert_eq!(err, GenError::UnknownTemplateVariable("ghost".into()));
 }
 
@@ -91,7 +91,7 @@ fn conflicting_template_bindings_filter_all_paths() {
             .param(JavaType::byte_array(), "data")
             .chain(chain),
     );
-    let err = generate(&t, &jca_rules(), &jca_type_table()).unwrap_err();
+    let err = generate(&t, &load().unwrap(), &jca_type_table()).unwrap_err();
     assert!(matches!(err, GenError::NoViablePath { .. }), "{err}");
 }
 
@@ -110,7 +110,7 @@ fn synthetic_case_exercising_the_hoisting_fallback() {
             .chain(chain)
             .post(Stmt::Return(Some(Expr::var("digest")))),
     );
-    let generated = generate(&t, &jca_rules(), &jca_type_table()).unwrap();
+    let generated = generate(&t, &load().unwrap(), &jca_type_table()).unwrap();
     assert_eq!(generated.hoisted.len(), 1);
     assert_eq!(generated.hoisted[0].1, vec!["input".to_owned()]);
     // The hoisted parameter appears in the wrapper signature.

@@ -6,11 +6,11 @@ use cognicryptgen::core::generate;
 use cognicryptgen::interp::{Interpreter, Value};
 use cognicryptgen::javamodel::ast::{ClassDecl, CompilationUnit, Expr, JavaType, MethodDecl, Stmt};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::jca_rules;
+use cognicryptgen::rules::load;
 use cognicryptgen::usecases;
 
 fn generated_unit(template: &cognicryptgen::core::Template) -> CompilationUnit {
-    generate(template, &jca_rules(), &jca_type_table())
+    generate(template, &load().unwrap(), &jca_type_table())
         .expect("generation succeeds")
         .unit
 }

@@ -4,13 +4,13 @@
 
 use cognicryptgen::javamodel::jca::jca_type_table;
 use cognicryptgen::javamodel::parser::parse_java;
-use cognicryptgen::rules::jca_rules;
+use cognicryptgen::rules::load;
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions, MisuseKind};
 
 fn kinds_of(source: &str) -> Vec<MisuseKind> {
     let table = jca_type_table();
     let unit = parse_java(source, &table).expect("test program parses");
-    analyze_unit(&unit, &jca_rules(), &table, AnalyzerOptions::default())
+    analyze_unit(&unit, &load().unwrap(), &table, AnalyzerOptions::default())
         .into_iter()
         .map(|m| m.kind)
         .collect()
@@ -165,11 +165,11 @@ public class App {
         &table,
     )
     .expect("parses");
-    let lenient = analyze_unit(&unit, &jca_rules(), &table, AnalyzerOptions::default());
+    let lenient = analyze_unit(&unit, &load().unwrap(), &table, AnalyzerOptions::default());
     assert!(lenient.is_empty(), "{lenient:?}");
     let strict = analyze_unit(
         &unit,
-        &jca_rules(),
+        &load().unwrap(),
         &table,
         AnalyzerOptions {
             trust_parameters: false,
@@ -200,7 +200,7 @@ public class App {
         &table,
     )
     .expect("parses");
-    let misuses = analyze_unit(&unit, &jca_rules(), &table, AnalyzerOptions::default());
+    let misuses = analyze_unit(&unit, &load().unwrap(), &table, AnalyzerOptions::default());
     let constraint_errors = misuses
         .iter()
         .filter(|m| m.kind == MisuseKind::ConstraintError)

@@ -1,0 +1,297 @@
+//! Telemetry suite: the `GenObserver` hook contract and the determinism
+//! guarantees of the metrics registry.
+//!
+//! * Hook ordering — every generated template sees exactly one
+//!   `span_enter`/`span_exit` pair per pipeline phase, in
+//!   `Phase::ALL` order, never nested, with fine-grained events
+//!   reported inside the phase that owns them.
+//! * Metrics determinism — engine metrics (minus the
+//!   scheduling-dependent `engine.batch.*` worker counters and the
+//!   `order_cache.*` hit/miss split, which races benignly on the shared
+//!   cache) are identical across thread counts and seeded input
+//!   shuffles; total cache traffic is identical everywhere.
+//! * `PhaseTimings` — covers every unit of a batch with one span per
+//!   phase.
+//! * Builder — `GenEngine::builder()` validation and the deprecated
+//!   constructor shims.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use cognicryptgen::core::engine::EngineBuildError;
+use cognicryptgen::core::telemetry::{
+    Event, GenObserver, Metric, Phase, PhaseTimings, Span,
+};
+use cognicryptgen::core::{GenEngine, Template};
+use cognicryptgen::javamodel::jca::jca_type_table;
+use cognicryptgen::rules::load;
+use cognicryptgen::usecases::all_use_cases;
+use devharness::rng::{RandomSource, Xoshiro256};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Entry {
+    Enter(String, Phase),
+    Exit(String, Phase),
+    /// Event kind name, recorded between the spans it arrived in. The
+    /// payload is the batch input index for `BatchJob` events.
+    Event(&'static str, Option<usize>),
+}
+
+/// Observer that records the hook sequence it sees.
+#[derive(Default)]
+struct Recorder {
+    log: Mutex<Vec<Entry>>,
+}
+
+impl Recorder {
+    fn take(&self) -> Vec<Entry> {
+        std::mem::take(&mut self.log.lock().unwrap())
+    }
+}
+
+impl GenObserver for Recorder {
+    fn span_enter(&self, span: &Span<'_>) {
+        self.log
+            .lock()
+            .unwrap()
+            .push(Entry::Enter(span.unit.to_owned(), span.phase));
+    }
+
+    fn span_exit(&self, span: &Span<'_>, _elapsed: Duration) {
+        self.log
+            .lock()
+            .unwrap()
+            .push(Entry::Exit(span.unit.to_owned(), span.phase));
+    }
+
+    fn event(&self, event: &Event<'_>) {
+        let (kind, index) = match event {
+            Event::OrderCompiled { .. } => ("order_compiled", None),
+            Event::PathSelected { .. } => ("path_selected", None),
+            Event::ParamResolved { .. } => ("param_resolved", None),
+            Event::ParamHoisted { .. } => ("param_hoisted", None),
+            Event::BatchJob { index, .. } => ("batch_job", Some(*index)),
+        };
+        self.log.lock().unwrap().push(Entry::Event(kind, index));
+    }
+}
+
+fn observed_engine() -> (GenEngine, Arc<Recorder>) {
+    let recorder = Arc::new(Recorder::default());
+    let engine = GenEngine::builder()
+        .rules(load().expect("parses"))
+        .type_table(jca_type_table())
+        .observer(recorder.clone())
+        .build()
+        .expect("rules supplied");
+    (engine, recorder)
+}
+
+/// Which phase an event kind must be reported from.
+fn owning_phase(kind: &str) -> Phase {
+    match kind {
+        "order_compiled" | "path_selected" => Phase::Select,
+        "param_resolved" | "param_hoisted" => Phase::Resolve,
+        other => panic!("event `{other}` has no owning phase in a single generate call"),
+    }
+}
+
+#[test]
+fn one_span_pair_per_phase_in_pipeline_order_for_every_use_case() {
+    let (engine, recorder) = observed_engine();
+    for uc in all_use_cases() {
+        engine.generate(&uc.template).expect("generates");
+        let unit = uc.template.class_name.as_str();
+        let log = recorder.take();
+
+        let mut open: Option<Phase> = None;
+        let mut pairs_seen = Vec::new();
+        for entry in &log {
+            match entry {
+                Entry::Enter(u, p) => {
+                    assert_eq!(u, unit, "uc{}: span for a foreign unit", uc.id);
+                    assert_eq!(open, None, "uc{}: nested span {p} inside {open:?}", uc.id);
+                    open = Some(*p);
+                }
+                Entry::Exit(u, p) => {
+                    assert_eq!(u, unit, "uc{}: span for a foreign unit", uc.id);
+                    assert_eq!(open, Some(*p), "uc{}: exit without matching enter", uc.id);
+                    open = None;
+                    pairs_seen.push(*p);
+                }
+                Entry::Event(kind, _) => {
+                    let inside = open.unwrap_or_else(|| {
+                        panic!("uc{}: event `{kind}` outside any span", uc.id)
+                    });
+                    assert_eq!(
+                        inside,
+                        owning_phase(kind),
+                        "uc{}: event `{kind}` reported from the wrong phase",
+                        uc.id
+                    );
+                }
+            }
+        }
+        assert_eq!(open, None, "uc{}: span left open", uc.id);
+        assert_eq!(
+            pairs_seen,
+            Phase::ALL.to_vec(),
+            "uc{}: exactly one pair per phase, in pipeline order",
+            uc.id
+        );
+
+        // Selection and resolution really happened (the events exist).
+        let kinds: Vec<&str> = log
+            .iter()
+            .filter_map(|e| match e {
+                Entry::Event(k, _) => Some(*k),
+                _ => None,
+            })
+            .collect();
+        assert!(kinds.contains(&"order_compiled"), "uc{}", uc.id);
+        assert!(kinds.contains(&"path_selected"), "uc{}", uc.id);
+        assert!(kinds.contains(&"param_resolved"), "uc{}", uc.id);
+    }
+}
+
+#[test]
+fn batch_jobs_are_reported_once_per_input_in_input_order() {
+    let (engine, recorder) = observed_engine();
+    let templates: Vec<Template> = all_use_cases().into_iter().map(|uc| uc.template).collect();
+    let results = engine.generate_batch(&templates, 4);
+    assert!(results.iter().all(Result::is_ok));
+    let indices: Vec<usize> = recorder
+        .take()
+        .iter()
+        .filter_map(|e| match e {
+            Entry::Event("batch_job", Some(i)) => Some(*i),
+            _ => None,
+        })
+        .collect();
+    // The engine reports batch jobs after the join, in input order.
+    assert_eq!(indices, (0..templates.len()).collect::<Vec<usize>>());
+}
+
+/// Engine metrics with the scheduling-dependent keys removed: the
+/// per-worker job counters, and the hit/miss split of the shared ORDER
+/// cache (two workers can race a first lookup and both record a miss).
+fn stable_metrics(engine: &GenEngine) -> BTreeMap<String, Metric> {
+    engine
+        .metrics()
+        .snapshot()
+        .into_iter()
+        .filter(|(k, _)| !k.starts_with("engine.batch.") && !k.starts_with("order_cache."))
+        .collect()
+}
+
+fn cache_lookups(engine: &GenEngine) -> u64 {
+    let m = engine.metrics();
+    m.counter("order_cache.hits") + m.counter("order_cache.misses") + m.counter("order_cache.uncached")
+}
+
+#[test]
+fn metrics_are_deterministic_across_thread_counts_and_shuffles() {
+    let cases = all_use_cases();
+    let templates: Vec<Template> = cases.iter().map(|uc| uc.template.clone()).collect();
+
+    let run = |order: &[usize], threads: usize| {
+        let engine = GenEngine::builder()
+            .rules(load().expect("parses"))
+            .type_table(jca_type_table())
+            .build()
+            .expect("rules supplied");
+        let permuted: Vec<Template> = order.iter().map(|&i| templates[i].clone()).collect();
+        let results = engine.generate_batch(&permuted, threads);
+        assert!(results.iter().all(Result::is_ok));
+        (stable_metrics(&engine), cache_lookups(&engine))
+    };
+
+    let identity: Vec<usize> = (0..templates.len()).collect();
+    let (reference, reference_lookups) = run(&identity, 1);
+    assert!(!reference.is_empty());
+    assert!(reference_lookups > 0);
+    // Phase span counters: one span per phase per template.
+    for phase in Phase::ALL {
+        assert_eq!(
+            reference.get(&format!("phase.{}.spans", phase.name())),
+            Some(&Metric::Counter(templates.len() as u64)),
+            "phase {phase} span counter"
+        );
+    }
+
+    let mut rng = Xoshiro256::seed_from_u64(0x7E1E_AE7E);
+    for threads in [1usize, 2, 8] {
+        for _shuffle in 0..3 {
+            let mut order = identity.clone();
+            for i in (1..order.len()).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                order.swap(i, j);
+            }
+            let (metrics, lookups) = run(&order, threads);
+            assert_eq!(
+                metrics, reference,
+                "metrics diverged at {threads} threads with order {order:?}"
+            );
+            assert_eq!(
+                lookups, reference_lookups,
+                "cache lookup total diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn phase_timings_cover_every_unit_of_a_batch() {
+    let timings = Arc::new(PhaseTimings::new());
+    let engine = GenEngine::builder()
+        .rules(load().expect("parses"))
+        .type_table(jca_type_table())
+        .observer(timings.clone())
+        .build()
+        .expect("rules supplied");
+    let cases = all_use_cases();
+    let templates: Vec<Template> = cases.iter().map(|uc| uc.template.clone()).collect();
+    let results = engine.generate_batch(&templates, 4);
+    assert!(results.iter().all(Result::is_ok));
+
+    let snapshot = timings.snapshot();
+    assert_eq!(snapshot.len(), cases.len(), "one timing row per use case");
+    let mut total = Duration::ZERO;
+    for uc in &cases {
+        let unit = timings
+            .unit(&uc.template.class_name)
+            .unwrap_or_else(|| panic!("no timings for {}", uc.template.class_name));
+        for phase in Phase::ALL {
+            assert_eq!(
+                unit.phase(phase).spans,
+                1,
+                "{} phase {phase} span count",
+                uc.template.class_name
+            );
+        }
+        total += unit.total();
+    }
+    assert!(total > Duration::ZERO, "the batch took measurable time");
+
+    timings.reset();
+    assert!(timings.snapshot().is_empty(), "reset clears the collector");
+}
+
+#[test]
+fn builder_requires_rules_and_defaults_the_rest() {
+    match GenEngine::builder().build() {
+        Err(EngineBuildError::MissingRules) => {}
+        other => panic!("expected MissingRules, got {other:?}"),
+    }
+    let e = EngineBuildError::MissingRules;
+    assert!(e.to_string().contains("rule"), "{e}");
+
+    // Type table, threads and observer all default: the engine works.
+    let engine = GenEngine::builder()
+        .rules(load().expect("parses"))
+        .build()
+        .expect("rules supplied");
+    let uc = all_use_cases().remove(0);
+    assert!(engine.generate(&uc.template).is_ok());
+}

@@ -5,14 +5,14 @@
 use cognicryptgen::core::generate;
 use cognicryptgen::interp::{Interpreter, Value};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::jca_rules;
+use cognicryptgen::rules::load;
 use cognicryptgen::usecases;
 
 #[test]
 fn hashing_template_usage_executes() {
     let generated = generate(
         &usecases::hashing::hashing_strings(),
-        &jca_rules(),
+        &load().unwrap(),
         &jca_type_table(),
     )
     .expect("generates");
@@ -36,7 +36,7 @@ fn hashing_template_usage_executes() {
 fn password_template_usage_chains_results_by_type() {
     let generated = generate(
         &usecases::password::password_storage(),
-        &jca_rules(),
+        &load().unwrap(),
         &jca_type_table(),
     )
     .expect("generates");
@@ -71,7 +71,7 @@ fn password_template_usage_chains_results_by_type() {
 fn pbe_template_usage_reuses_the_derived_key() {
     let generated = generate(
         &usecases::pbe::pbe_byte_arrays(),
-        &jca_rules(),
+        &load().unwrap(),
         &jca_type_table(),
     )
     .expect("generates");
