@@ -1,0 +1,145 @@
+//! Observer-overhead benches for the telemetry layer, on the in-repo
+//! `devharness` harness. The run writes `BENCH_telemetry.json`.
+//!
+//! This binary installs `memtrack::TrackingAlloc` as its global
+//! allocator — the configuration the CLI ships — so every number here
+//! already includes the allocation-counting overhead the paper's memory
+//! column costs.
+//!
+//! * `observer/*` — the full 11-use-case warm batch under each observer
+//!   tier: `NoopObserver` (baseline), `MetricsCollector`,
+//!   `PhaseTimings`, and `TraceRecorder` (reset between iterations so
+//!   the event vector cannot grow without bound);
+//! * `memtrack/*` — microbenches of the raw accounting primitives: an
+//!   `AllocScope` open/close pair, and one counted heap round trip.
+//!
+//! The run *asserts* an overhead ceiling: the median of every observed
+//! configuration must stay within `MAX_OVERHEAD`× the noop median, and
+//! the process exits non-zero on violation so a telemetry regression
+//! fails loudly in CI rather than drifting.
+//!
+//! Run with: `cargo bench -p cognicrypt-bench --bench telemetry`.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use devharness::bench::Harness;
+
+use cognicrypt_core::memtrack::{AllocScope, TrackingAlloc};
+use cognicrypt_core::telemetry::{MetricsCollector, PhaseTimings, TraceRecorder};
+use cognicrypt_core::{GenEngine, NoopObserver, Template};
+use javamodel::jca::jca_type_table;
+use rules::load;
+use usecases::all_use_cases;
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc::new();
+
+/// Highest tolerated ratio of any observed configuration's median over
+/// the noop baseline median for the same warm 11-use-case batch. The
+/// observers do strictly bounded work per hook (a few counter bumps, or
+/// one Vec push under a mutex), so 10× is generous headroom over the
+/// ~1–2× measured; crossing it means a hook started doing real work.
+const MAX_OVERHEAD: f64 = 10.0;
+
+fn warm_engine(observer: Option<Arc<dyn cognicrypt_core::GenObserver>>) -> GenEngine {
+    let mut builder = GenEngine::builder()
+        .rules(load().expect("parses"))
+        .type_table(jca_type_table());
+    if let Some(obs) = observer {
+        builder = builder.observer(obs);
+    }
+    let engine = builder.build().expect("rules supplied");
+    engine.warm().expect("warms");
+    engine
+}
+
+fn run_batch(engine: &GenEngine, templates: &[Template]) {
+    let results = engine.generate_batch(black_box(templates), 1);
+    for r in &results {
+        assert!(r.is_ok());
+    }
+    black_box(results);
+}
+
+fn bench_observers(h: &mut Harness) -> Vec<(String, u64)> {
+    h.group("observer");
+    let templates: Vec<Template> = all_use_cases().into_iter().map(|uc| uc.template).collect();
+    let mut medians = Vec::new();
+
+    let noop = warm_engine(Some(Arc::new(NoopObserver)));
+    h.bench("noop_all11", || run_batch(&noop, &templates));
+
+    let metrics = warm_engine(Some(Arc::new(MetricsCollector::fresh())));
+    h.bench("metrics_all11", || run_batch(&metrics, &templates));
+
+    let timings = warm_engine(Some(Arc::new(PhaseTimings::new())));
+    h.bench("phase_timings_all11", || run_batch(&timings, &templates));
+
+    let recorder = Arc::new(TraceRecorder::new());
+    let traced = warm_engine(Some(recorder.clone()));
+    h.bench("trace_recorder_all11", || {
+        recorder.reset();
+        run_batch(&traced, &templates);
+    });
+
+    for r in &h.report().results {
+        medians.push((r.name.clone(), r.median_ns));
+    }
+    medians
+}
+
+fn bench_memtrack_primitives(h: &mut Harness) {
+    h.group("memtrack");
+    h.bench("alloc_scope_roundtrip", || {
+        let scope = AllocScope::enter();
+        black_box(scope.finish());
+    });
+    h.bench("counted_heap_roundtrip", || {
+        let v: Vec<u8> = Vec::with_capacity(black_box(4096));
+        black_box(&v);
+        drop(v);
+    });
+}
+
+fn assert_overhead_bound(medians: &[(String, u64)]) -> bool {
+    let noop = medians
+        .iter()
+        .find(|(n, _)| n == "observer/noop_all11")
+        .map(|&(_, ns)| ns)
+        .expect("noop baseline measured");
+    let mut ok = true;
+    println!("\noverhead vs noop baseline ({noop} ns median):");
+    for (name, ns) in medians {
+        if name == "observer/noop_all11" || !name.starts_with("observer/") {
+            continue;
+        }
+        let ratio = *ns as f64 / noop as f64;
+        let verdict = if ratio <= MAX_OVERHEAD { "ok" } else { "FAIL" };
+        println!("  {name:<32} {ratio:>6.2}x   {verdict}");
+        if ratio > MAX_OVERHEAD {
+            eprintln!(
+                "error: {name} median {ns} ns is {ratio:.2}x the noop baseline (limit {MAX_OVERHEAD}x)"
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn main() {
+    let mut h = Harness::new("telemetry");
+    let medians = bench_observers(&mut h);
+    bench_memtrack_primitives(&mut h);
+    let within_bound = assert_overhead_bound(&medians);
+    match h.finish() {
+        Ok(path) => println!("\nreport written to {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write bench report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !within_bound {
+        std::process::exit(1);
+    }
+}

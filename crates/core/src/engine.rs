@@ -359,32 +359,6 @@ impl GenEngine {
         EngineBuilder::default()
     }
 
-    /// An engine over `rules` and `table` with paper-default options and
-    /// a cold private cache.
-    #[deprecated(since = "0.3.0", note = "use `GenEngine::builder()`")]
-    pub fn new(rules: impl Into<Arc<RuleSet>>, table: impl Into<Arc<TypeTable>>) -> Self {
-        GenEngine::builder()
-            .rules(rules)
-            .type_table(table)
-            .build()
-            .expect("rules supplied")
-    }
-
-    /// An engine with explicit generator options.
-    #[deprecated(since = "0.3.0", note = "use `GenEngine::builder().options(…)`")]
-    pub fn with_options(
-        rules: impl Into<Arc<RuleSet>>,
-        table: impl Into<Arc<TypeTable>>,
-        options: GeneratorOptions,
-    ) -> Self {
-        GenEngine::builder()
-            .rules(rules)
-            .type_table(table)
-            .options(options)
-            .build()
-            .expect("rules supplied")
-    }
-
     /// The engine's rule set.
     pub fn rules(&self) -> &RuleSet {
         &self.rules
@@ -543,25 +517,6 @@ mod tests {
         let stats = engine.cache_stats();
         assert_eq!(stats.entries, 1);
         assert!(stats.hits >= 1, "second run must hit the cache: {stats:?}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_delegate_to_the_builder() {
-        let shim = GenEngine::new(digest_rule_set(), jca_type_table());
-        let opts = GenEngine::with_options(
-            digest_rule_set(),
-            jca_type_table(),
-            GeneratorOptions::default(),
-        );
-        let built = GenEngine::builder()
-            .rules(digest_rule_set())
-            .type_table(jca_type_table())
-            .build()
-            .unwrap();
-        let reference = built.generate(&hash_template()).unwrap().java_source;
-        assert_eq!(shim.generate(&hash_template()).unwrap().java_source, reference);
-        assert_eq!(opts.generate(&hash_template()).unwrap().java_source, reference);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod engine;
 pub mod error;
 pub mod generator;
 pub mod link;
+pub mod memtrack;
 pub mod pathsel;
 pub mod resolve;
 pub mod telemetry;
@@ -68,7 +69,9 @@ pub mod template;
 pub use engine::{EngineBuildError, EngineBuilder, EngineError, GenEngine, WorkerPanic};
 pub use error::GenError;
 pub use generator::{generate, Generated, Generator, GeneratorOptions};
+pub use memtrack::{AllocDelta, AllocScope, TrackingAlloc};
 pub use telemetry::{
-    GenObserver, MetricsRegistry, NoopObserver, Phase, PhaseTimings,
+    validate_trace, GenObserver, MetricsRegistry, NoopObserver, Phase, PhaseTimings,
+    TraceRecorder,
 };
 pub use template::{CrySlCodeGenerator, Template, TemplateMethod};

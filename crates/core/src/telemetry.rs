@@ -1,5 +1,6 @@
-//! Pipeline telemetry: the `GenObserver` hook API, per-phase timings and
-//! a metrics registry.
+//! Pipeline telemetry: the `GenObserver` hook API, per-phase timings
+//! and memory accounting, a metrics registry, and a Chrome-trace
+//! recorder.
 //!
 //! The paper's evaluation (Table 1, RQ2/RQ3) reports *per-use-case*
 //! runtime and memory for the five-phase pipeline, and the CrySL line of
@@ -8,18 +9,25 @@
 //! what the pipeline emits:
 //!
 //! * [`GenObserver`] — the hook trait. The generator opens one span per
-//!   [`Phase`] per template (enter/exit with the measured wall time) and
-//!   reports fine-grained [`Event`]s from inside the phases: ORDER-cache
-//!   hits and misses, DFA state counts, enumerated accepting paths,
-//!   per-parameter resolution outcomes, batch-worker job placement.
+//!   [`Phase`] per template (enter/exit with the measured wall time and
+//!   the [`AllocDelta`] of the span, when [`crate::memtrack`] is
+//!   installed) and reports fine-grained [`Event`]s from inside the
+//!   phases: ORDER-cache hits and misses, DFA state counts, enumerated
+//!   accepting paths, per-parameter resolution outcomes, batch-worker
+//!   job placement.
 //! * [`PhaseTimings`] — an observer that accumulates monotonic per-phase
-//!   wall time per template unit, matching Table 1's runtime column.
+//!   wall time *and* per-phase allocation deltas per template unit —
+//!   both of Table 1's measured columns.
 //! * [`MetricsRegistry`] — named counters, gauges and histograms with a
 //!   deterministic [`MetricsRegistry::merge_from`], so per-worker
 //!   registries collected by a batch can be folded in input order into
 //!   one aggregate regardless of scheduling.
 //! * [`MetricsCollector`] — the observer that maps spans and events onto
 //!   a registry (see the module constants for the metric names).
+//! * [`TraceRecorder`] — an observer that records the span/event stream
+//!   with monotonic timestamps and serializes it in Chrome Trace Event
+//!   Format, openable in `chrome://tracing` or Perfetto
+//!   ([`validate_trace`] checks a written file's invariants).
 //!
 //! Everything here is `std`-only and allocation-light; the
 //! [`NoopObserver`] path adds no measurable work, and the differential
@@ -28,7 +36,12 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::ThreadId;
 use std::time::{Duration, Instant};
+
+use devharness::json::Json;
+
+use crate::memtrack::{AllocDelta, AllocScope};
 
 /// The five pipeline phases of the paper's Figure 6, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -194,8 +207,11 @@ pub enum Event<'a> {
 ///
 /// * spans never nest and arrive in [`Phase::ALL`] order — exactly one
 ///   `span_enter`/`span_exit` pair per phase per generated template;
-/// * `span_exit` receives the monotonic wall time of the span and is
-///   called even when the phase fails (the error still propagates);
+/// * `span_exit` receives the monotonic wall time of the span plus the
+///   span's [`AllocDelta`], and is called even when the phase fails
+///   (the error still propagates);
+/// * the alloc delta is all zeros unless the binary installed
+///   [`crate::memtrack::TrackingAlloc`] as its global allocator;
 /// * events are reported between the enter and exit of the phase they
 ///   belong to, except [`Event::BatchJob`], which the engine reports
 ///   after the batch joins.
@@ -205,9 +221,10 @@ pub trait GenObserver: Send + Sync {
         let _ = span;
     }
 
-    /// A pipeline phase finished after `elapsed` of monotonic wall time.
-    fn span_exit(&self, span: &Span<'_>, elapsed: Duration) {
-        let _ = (span, elapsed);
+    /// A pipeline phase finished after `elapsed` of monotonic wall
+    /// time, allocating `alloc` on the executing thread.
+    fn span_exit(&self, span: &Span<'_>, elapsed: Duration, alloc: AllocDelta) {
+        let _ = (span, elapsed, alloc);
     }
 
     /// A fine-grained pipeline event occurred.
@@ -241,9 +258,9 @@ impl GenObserver for Tee<'_> {
         self.1.span_enter(span);
     }
 
-    fn span_exit(&self, span: &Span<'_>, elapsed: Duration) {
-        self.0.span_exit(span, elapsed);
-        self.1.span_exit(span, elapsed);
+    fn span_exit(&self, span: &Span<'_>, elapsed: Duration, alloc: AllocDelta) {
+        self.0.span_exit(span, elapsed, alloc);
+        self.1.span_exit(span, elapsed, alloc);
     }
 
     fn event(&self, event: &Event<'_>) {
@@ -284,9 +301,9 @@ impl GenObserver for Fanout {
         }
     }
 
-    fn span_exit(&self, span: &Span<'_>, elapsed: Duration) {
+    fn span_exit(&self, span: &Span<'_>, elapsed: Duration, alloc: AllocDelta) {
         for t in &self.targets {
-            t.span_exit(span, elapsed);
+            t.span_exit(span, elapsed, alloc);
         }
     }
 
@@ -298,21 +315,30 @@ impl GenObserver for Fanout {
 }
 
 /// RAII span: `span_enter` on construction, `span_exit` with the
-/// measured monotonic time on drop — so a phase that errors out still
-/// closes its span and the enter/exit pairing invariant holds.
+/// measured monotonic time and the span's [`AllocDelta`] on drop — so a
+/// phase that errors out still closes its span and the enter/exit
+/// pairing invariant holds.
+///
+/// The allocation scope opens *after* `span_enter` returns and the
+/// delta is computed *before* `span_exit` runs, so an observer's own
+/// bookkeeping at the span boundaries is never charged to the phase.
+/// Event-handling allocations inside the phase are in scope — they are
+/// part of what the phase cost.
 pub struct SpanTimer<'o, 'u> {
     observer: &'o dyn GenObserver,
     span: Span<'u>,
+    scope: Option<AllocScope>,
     start: Instant,
 }
 
 impl<'o, 'u> SpanTimer<'o, 'u> {
-    /// Opens the span and starts the clock.
+    /// Opens the span and starts the clock and the allocation scope.
     pub fn enter(observer: &'o dyn GenObserver, span: Span<'u>) -> Self {
         observer.span_enter(&span);
         SpanTimer {
             observer,
             span,
+            scope: Some(AllocScope::enter()),
             start: Instant::now(),
         }
     }
@@ -320,7 +346,9 @@ impl<'o, 'u> SpanTimer<'o, 'u> {
 
 impl Drop for SpanTimer<'_, '_> {
     fn drop(&mut self) {
-        self.observer.span_exit(&self.span, self.start.elapsed());
+        let elapsed = self.start.elapsed();
+        let alloc = self.scope.take().map(AllocScope::finish).unwrap_or_default();
+        self.observer.span_exit(&self.span, elapsed, alloc);
     }
 }
 
@@ -328,13 +356,22 @@ impl Drop for SpanTimer<'_, '_> {
 // PhaseTimings
 // ---------------------------------------------------------------------
 
-/// Accumulated wall time and span count for one phase of one unit.
+/// Accumulated wall time, span count and allocation activity for one
+/// phase of one unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PhaseStat {
     /// Completed spans.
     pub spans: u64,
     /// Total monotonic wall time across those spans.
     pub total: Duration,
+    /// Bytes allocated across those spans (zero unless
+    /// [`crate::memtrack::TrackingAlloc`] is installed).
+    pub alloc_bytes: u64,
+    /// Allocations across those spans.
+    pub allocations: u64,
+    /// Largest scope-relative peak of live bytes any single span
+    /// reached.
+    pub peak_live_bytes: u64,
 }
 
 /// Per-phase timings of one template unit (one Table-1 row).
@@ -356,10 +393,25 @@ impl UnitTimings {
     pub fn total(&self) -> Duration {
         self.phases.iter().map(|p| p.total).sum()
     }
+
+    /// Bytes allocated, summed over all five phases.
+    pub fn alloc_total_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.alloc_bytes).sum()
+    }
+
+    /// The largest per-span peak of live bytes any phase reached.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.peak_live_bytes)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
-/// An observer that collects monotonic per-phase wall time per unit —
-/// the Table-1 runtime column, split by pipeline phase.
+/// An observer that collects monotonic per-phase wall time and
+/// allocation deltas per unit — the Table-1 runtime *and* memory
+/// columns, split by pipeline phase.
 ///
 /// Thread-safe; share it via [`Arc`] between the engine observer slot
 /// and the reporting code that reads the snapshot afterwards.
@@ -409,11 +461,14 @@ impl PhaseTimings {
 }
 
 impl GenObserver for PhaseTimings {
-    fn span_exit(&self, span: &Span<'_>, elapsed: Duration) {
+    fn span_exit(&self, span: &Span<'_>, elapsed: Duration, alloc: AllocDelta) {
         let mut map = self.lock();
         let slot = &mut map.entry(span.unit.to_owned()).or_default()[span.phase.index()];
         slot.spans += 1;
         slot.total += elapsed;
+        slot.alloc_bytes += alloc.allocated_bytes;
+        slot.allocations += alloc.allocations;
+        slot.peak_live_bytes = slot.peak_live_bytes.max(alloc.peak_live_bytes);
     }
 }
 
@@ -619,6 +674,11 @@ impl MetricsRegistry {
 /// Metric names it writes:
 ///
 /// * `phase.<phase>.spans` — completed spans per phase (counter);
+/// * `mem.phase.<phase>.alloc_bytes` — bytes allocated inside the
+///   phase's spans (counter; zero unless
+///   [`crate::memtrack::TrackingAlloc`] is installed);
+/// * `mem.phase.<phase>.peak_live_bytes` — scope-relative peak live
+///   bytes per span (histogram; `max` is the figure of interest);
 /// * `order_cache.hits` / `order_cache.misses` / `order_cache.uncached`
 ///   — compiled-ORDER lookups by outcome (counters);
 /// * `order.dfa_states`, `order.accepting_paths` — per-rule artefact
@@ -657,9 +717,15 @@ impl MetricsCollector {
 }
 
 impl GenObserver for MetricsCollector {
-    fn span_exit(&self, span: &Span<'_>, _elapsed: Duration) {
+    fn span_exit(&self, span: &Span<'_>, _elapsed: Duration, alloc: AllocDelta) {
+        let phase = span.phase.name();
+        self.registry.add(&format!("phase.{phase}.spans"), 1);
         self.registry
-            .add(&format!("phase.{}.spans", span.phase.name()), 1);
+            .add(&format!("mem.phase.{phase}.alloc_bytes"), alloc.allocated_bytes);
+        self.registry.observe(
+            &format!("mem.phase.{phase}.peak_live_bytes"),
+            alloc.peak_live_bytes,
+        );
     }
 
     fn event(&self, event: &Event<'_>) {
@@ -706,6 +772,338 @@ impl GenObserver for MetricsCollector {
     }
 }
 
+// ---------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------
+
+/// One recorded trace entry, already reduced to the Chrome Trace Event
+/// Format fields.
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    /// Event name (`name`): the phase name for spans, the event kind
+    /// for instants.
+    name: &'static str,
+    /// Category (`cat`): `"phase"`, `"pipeline"` or `"engine"`.
+    cat: &'static str,
+    /// Phase type (`ph`): `'B'` (span begin), `'E'` (span end) or
+    /// `'i'` (instant).
+    ph: char,
+    /// Microseconds since the recorder was created (`ts`).
+    ts_us: f64,
+    /// Small integer id of the recording thread (`tid`).
+    tid: u64,
+    /// The `args` object payload.
+    args: Vec<(String, Json)>,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    events: Vec<TraceEvent>,
+    /// Maps OS thread identity to a stable small integer, in order of
+    /// first appearance.
+    tids: Vec<ThreadId>,
+}
+
+/// An observer that records the span/event stream with monotonic
+/// timestamps and serializes it as a [Chrome Trace Event Format]
+/// document — load the written file in `chrome://tracing` or
+/// [Perfetto](https://ui.perfetto.dev) to see the pipeline's phases per
+/// thread on a timeline, with cache traffic and resolution outcomes as
+/// instant markers.
+///
+/// Guarantees the recorder maintains (and [`validate_trace`] checks on
+/// a written file):
+///
+/// * every `B` has a matching `E` with the same name on the same `tid`
+///   (spans close on error paths because [`SpanTimer`] is RAII);
+/// * timestamps are non-decreasing per `tid` (they are taken from one
+///   monotonic clock under the recorder's lock);
+/// * `E` events carry the span's wall time and [`AllocDelta`] in
+///   `args`; instant events carry their payload (cache outcome, DFA and
+///   path-set sizes, resolution kinds) in `args`.
+///
+/// [Chrome Trace Event Format]:
+/// https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+#[derive(Debug)]
+pub struct TraceRecorder {
+    start: Instant,
+    inner: Mutex<TraceInner>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::new()
+    }
+}
+
+impl TraceRecorder {
+    /// An empty recorder; its clock starts now.
+    pub fn new() -> Self {
+        TraceRecorder {
+            start: Instant::now(),
+            inner: Mutex::new(TraceInner::default()),
+        }
+    }
+
+    /// Recorded events so far.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().events.is_empty()
+    }
+
+    /// Drops all recorded events (the clock keeps running, so a
+    /// recorder reused across runs stays monotonic).
+    pub fn reset(&self) {
+        self.lock().events.clear();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TraceInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Appends one event, stamping it with the current thread's stable
+    /// id and the recorder clock. The timestamp is taken under the lock
+    /// so the event vector is globally time-ordered.
+    fn push(&self, name: &'static str, cat: &'static str, ph: char, args: Vec<(String, Json)>) {
+        let thread = std::thread::current().id();
+        let mut inner = self.lock();
+        let tid = match inner.tids.iter().position(|&t| t == thread) {
+            Some(i) => i as u64,
+            None => {
+                inner.tids.push(thread);
+                (inner.tids.len() - 1) as u64
+            }
+        };
+        let ts_us = self.start.elapsed().as_nanos() as f64 / 1000.0;
+        inner.events.push(TraceEvent {
+            name,
+            cat,
+            ph,
+            ts_us,
+            tid,
+            args,
+        });
+    }
+
+    /// Serializes everything recorded so far as a Chrome Trace Event
+    /// Format document (object form, `traceEvents` array).
+    pub fn to_json(&self) -> Json {
+        let inner = self.lock();
+        let events = inner
+            .events
+            .iter()
+            .map(|e| {
+                let mut members = vec![
+                    ("name".to_owned(), Json::Str(e.name.to_owned())),
+                    ("cat".to_owned(), Json::Str(e.cat.to_owned())),
+                    ("ph".to_owned(), Json::Str(e.ph.to_string())),
+                    ("ts".to_owned(), Json::Num(e.ts_us)),
+                    ("pid".to_owned(), Json::Num(1.0)),
+                    ("tid".to_owned(), Json::Num(e.tid as f64)),
+                ];
+                if e.ph == 'i' {
+                    // Instant scope: thread-level marker.
+                    members.push(("s".to_owned(), Json::Str("t".to_owned())));
+                }
+                members.push(("args".to_owned(), Json::Obj(e.args.clone())));
+                Json::Obj(members)
+            })
+            .collect();
+        Json::Obj(vec![
+            ("traceEvents".to_owned(), Json::Arr(events)),
+            ("displayTimeUnit".to_owned(), Json::Str("ms".to_owned())),
+        ])
+    }
+}
+
+fn num(n: usize) -> Json {
+    Json::Num(n as f64)
+}
+
+impl GenObserver for TraceRecorder {
+    fn span_enter(&self, span: &Span<'_>) {
+        self.push(
+            span.phase.name(),
+            "phase",
+            'B',
+            vec![("unit".to_owned(), Json::Str(span.unit.to_owned()))],
+        );
+    }
+
+    fn span_exit(&self, span: &Span<'_>, elapsed: Duration, alloc: AllocDelta) {
+        self.push(
+            span.phase.name(),
+            "phase",
+            'E',
+            vec![
+                ("unit".to_owned(), Json::Str(span.unit.to_owned())),
+                ("wall_us".to_owned(), Json::Num(elapsed.as_secs_f64() * 1e6)),
+                (
+                    "alloc_bytes".to_owned(),
+                    Json::Num(alloc.allocated_bytes as f64),
+                ),
+                ("freed_bytes".to_owned(), Json::Num(alloc.freed_bytes as f64)),
+                ("allocations".to_owned(), Json::Num(alloc.allocations as f64)),
+                (
+                    "peak_live_bytes".to_owned(),
+                    Json::Num(alloc.peak_live_bytes as f64),
+                ),
+            ],
+        );
+    }
+
+    fn event(&self, event: &Event<'_>) {
+        let (name, cat, args) = match event {
+            Event::OrderCompiled {
+                rule,
+                dfa_states,
+                accepting_paths,
+                cache,
+            } => (
+                "order_compiled",
+                "pipeline",
+                vec![
+                    ("rule".to_owned(), Json::Str((*rule).to_owned())),
+                    (
+                        "cache".to_owned(),
+                        Json::Str(
+                            match cache {
+                                CacheOutcome::Hit => "hit",
+                                CacheOutcome::Miss => "miss",
+                                CacheOutcome::Uncached => "uncached",
+                            }
+                            .to_owned(),
+                        ),
+                    ),
+                    (
+                        "dfa_states".to_owned(),
+                        dfa_states.map_or(Json::Null, num),
+                    ),
+                    ("accepting_paths".to_owned(), num(*accepting_paths)),
+                ],
+            ),
+            Event::PathSelected {
+                rule,
+                enumerated,
+                chosen_len,
+                hoisted,
+            } => (
+                "path_selected",
+                "pipeline",
+                vec![
+                    ("rule".to_owned(), Json::Str((*rule).to_owned())),
+                    ("enumerated".to_owned(), num(*enumerated)),
+                    ("chosen_len".to_owned(), num(*chosen_len)),
+                    ("hoisted".to_owned(), num(*hoisted)),
+                ],
+            ),
+            Event::ParamResolved {
+                rule,
+                variable,
+                via,
+            } => (
+                "param_resolved",
+                "pipeline",
+                vec![
+                    ("rule".to_owned(), Json::Str((*rule).to_owned())),
+                    ("variable".to_owned(), Json::Str((*variable).to_owned())),
+                    ("via".to_owned(), Json::Str(via.name().to_owned())),
+                ],
+            ),
+            Event::ParamHoisted { rule, variable } => (
+                "param_hoisted",
+                "pipeline",
+                vec![
+                    ("rule".to_owned(), Json::Str((*rule).to_owned())),
+                    ("variable".to_owned(), Json::Str((*variable).to_owned())),
+                ],
+            ),
+            Event::BatchJob { worker, index } => (
+                "batch_job",
+                "engine",
+                vec![
+                    ("worker".to_owned(), num(*worker)),
+                    ("index".to_owned(), num(*index)),
+                ],
+            ),
+        };
+        self.push(name, cat, 'i', args);
+    }
+}
+
+/// Validates a written Chrome-trace document: a `traceEvents` array
+/// whose `B`/`E` events are strictly paired (same name, LIFO per
+/// `tid`) with non-decreasing timestamps per `tid`; only `B`, `E` and
+/// `i` phase types are accepted.
+///
+/// # Errors
+///
+/// A description of the first violation found.
+pub fn validate_trace(doc: &Json) -> Result<(), String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array")?;
+    // tid → (open-span name stack, last timestamp seen).
+    let mut threads: BTreeMap<u64, (Vec<String>, f64)> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing `ph`"))?;
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing `name`"))?;
+        let tid = event
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing numeric `tid`"))?;
+        let ts = event
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric `ts`"))?;
+        let (stack, last_ts) = threads.entry(tid).or_insert_with(|| (Vec::new(), ts));
+        if ts < *last_ts {
+            return Err(format!(
+                "event {i}: timestamp {ts} goes backwards on tid {tid} (last {last_ts})"
+            ));
+        }
+        *last_ts = ts;
+        match ph {
+            "B" => stack.push(name.to_owned()),
+            "E" => match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: `E` for `{name}` closes open span `{open}` on tid {tid}"
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: `E` for `{name}` without an open span on tid {tid}"
+                    ));
+                }
+            },
+            "i" => {}
+            other => return Err(format!("event {i}: unsupported phase type `{other}`")),
+        }
+    }
+    for (tid, (stack, _)) in &threads {
+        if let Some(open) = stack.last() {
+            return Err(format!("span `{open}` left open on tid {tid}"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -727,7 +1125,7 @@ mod tests {
             fn span_enter(&self, span: &Span<'_>) {
                 self.0.lock().unwrap().push((span.phase, true));
             }
-            fn span_exit(&self, span: &Span<'_>, _e: Duration) {
+            fn span_exit(&self, span: &Span<'_>, _e: Duration, _a: AllocDelta) {
                 self.0.lock().unwrap().push((span.phase, false));
             }
         }
@@ -757,14 +1155,29 @@ mod tests {
     fn phase_timings_accumulate_per_unit() {
         let t = PhaseTimings::new();
         let span = Span { unit: "A", phase: Phase::Collect };
-        t.span_exit(&span, Duration::from_millis(2));
-        t.span_exit(&span, Duration::from_millis(3));
-        t.span_exit(&Span { unit: "B", phase: Phase::Assemble }, Duration::from_millis(1));
+        let alloc = AllocDelta {
+            allocated_bytes: 100,
+            freed_bytes: 40,
+            allocations: 3,
+            peak_live_bytes: 64,
+        };
+        t.span_exit(&span, Duration::from_millis(2), alloc);
+        t.span_exit(&span, Duration::from_millis(3), alloc);
+        t.span_exit(
+            &Span { unit: "B", phase: Phase::Assemble },
+            Duration::from_millis(1),
+            AllocDelta::default(),
+        );
         let a = t.unit("A").unwrap();
         assert_eq!(a.phase(Phase::Collect).spans, 2);
         assert_eq!(a.phase(Phase::Collect).total, Duration::from_millis(5));
+        assert_eq!(a.phase(Phase::Collect).alloc_bytes, 200);
+        assert_eq!(a.phase(Phase::Collect).allocations, 6);
+        assert_eq!(a.phase(Phase::Collect).peak_live_bytes, 64);
         assert_eq!(a.phase(Phase::Link).spans, 0);
         assert_eq!(a.total(), Duration::from_millis(5));
+        assert_eq!(a.alloc_total_bytes(), 200);
+        assert_eq!(a.peak_live_bytes(), 64);
         assert_eq!(t.snapshot().len(), 2);
         t.reset();
         assert!(t.snapshot().is_empty());
@@ -844,7 +1257,16 @@ mod tests {
         c.event(&Event::ParamResolved { rule: "R", variable: "v", via: ResolutionKind::Constraint });
         c.event(&Event::ParamHoisted { rule: "R", variable: "w" });
         c.event(&Event::BatchJob { worker: 1, index: 0 });
-        c.span_exit(&Span { unit: "U", phase: Phase::Link }, Duration::ZERO);
+        c.span_exit(
+            &Span { unit: "U", phase: Phase::Link },
+            Duration::ZERO,
+            AllocDelta {
+                allocated_bytes: 4096,
+                freed_bytes: 1024,
+                allocations: 7,
+                peak_live_bytes: 2048,
+            },
+        );
         let r = c.registry();
         assert_eq!(r.counter("order_cache.misses"), 1);
         assert_eq!(r.counter("order_cache.hits"), 1);
@@ -855,8 +1277,102 @@ mod tests {
         assert_eq!(r.counter("resolve.hoisted"), 1);
         assert_eq!(r.counter("engine.batch.worker.01.jobs"), 1);
         assert_eq!(r.counter("phase.link.spans"), 1);
+        assert_eq!(r.counter("mem.phase.link.alloc_bytes"), 4096);
+        let peak = r
+            .get("mem.phase.link.peak_live_bytes")
+            .unwrap()
+            .as_histogram()
+            .unwrap();
+        assert_eq!((peak.count, peak.max), (1, 2048));
         let states = r.get("order.dfa_states").unwrap().as_histogram().unwrap();
         assert_eq!((states.count, states.sum), (2, 8));
+    }
+
+    #[test]
+    fn trace_recorder_emits_paired_validated_chrome_events() {
+        let rec = TraceRecorder::new();
+        {
+            let _t = SpanTimer::enter(&rec, Span { unit: "U", phase: Phase::Select });
+            rec.event(&Event::OrderCompiled {
+                rule: "Cipher",
+                dfa_states: Some(5),
+                accepting_paths: 2,
+                cache: CacheOutcome::Miss,
+            });
+            rec.event(&Event::ParamResolved {
+                rule: "Cipher",
+                variable: "transformation",
+                via: ResolutionKind::Constraint,
+            });
+        }
+        assert_eq!(rec.len(), 4); // B, i, i, E
+        let doc = rec.to_json();
+        validate_trace(&doc).unwrap();
+
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("B"));
+        assert_eq!(events[0].get("name").and_then(Json::as_str), Some("select"));
+        let instant = &events[1];
+        assert_eq!(instant.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(instant.get("s").and_then(Json::as_str), Some("t"));
+        assert_eq!(
+            instant.get("args").and_then(|a| a.get("cache")).and_then(Json::as_str),
+            Some("miss")
+        );
+        let exit = &events[3];
+        assert_eq!(exit.get("ph").and_then(Json::as_str), Some("E"));
+        assert!(exit.get("args").and_then(|a| a.get("alloc_bytes")).is_some());
+        // The serialized document round-trips through the writer/parser.
+        validate_trace(&Json::parse(&doc.to_string()).unwrap()).unwrap();
+
+        rec.reset();
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn validate_trace_rejects_malformed_streams() {
+        let ev = |ph: &str, name: &str, tid: f64, ts: f64| {
+            Json::Obj(vec![
+                ("name".to_owned(), Json::Str(name.to_owned())),
+                ("ph".to_owned(), Json::Str(ph.to_owned())),
+                ("ts".to_owned(), Json::Num(ts)),
+                ("tid".to_owned(), Json::Num(tid)),
+            ])
+        };
+        let doc = |events: Vec<Json>| Json::Obj(vec![("traceEvents".to_owned(), Json::Arr(events))]);
+
+        assert!(validate_trace(&Json::Obj(vec![])).is_err());
+        // Unclosed span.
+        assert!(validate_trace(&doc(vec![ev("B", "select", 0.0, 1.0)])
+        )
+        .unwrap_err()
+        .contains("left open"));
+        // E without B.
+        assert!(validate_trace(&doc(vec![ev("E", "select", 0.0, 1.0)])).is_err());
+        // Name mismatch on close.
+        assert!(validate_trace(&doc(vec![
+            ev("B", "select", 0.0, 1.0),
+            ev("E", "resolve", 0.0, 2.0),
+        ]))
+        .is_err());
+        // Timestamp going backwards on one tid.
+        assert!(validate_trace(&doc(vec![
+            ev("B", "select", 0.0, 5.0),
+            ev("E", "select", 0.0, 3.0),
+        ]))
+        .unwrap_err()
+        .contains("backwards"));
+        // Interleaved tids are independent stacks and clocks.
+        validate_trace(&doc(vec![
+            ev("B", "select", 0.0, 5.0),
+            ev("B", "resolve", 1.0, 1.0),
+            ev("E", "select", 0.0, 6.0),
+            ev("i", "order_compiled", 1.0, 2.0),
+            ev("E", "resolve", 1.0, 2.0),
+        ]))
+        .unwrap();
+        // Unsupported phase type.
+        assert!(validate_trace(&doc(vec![ev("X", "select", 0.0, 1.0)])).is_err());
     }
 
     #[test]

@@ -84,8 +84,11 @@ pub struct BenchResult {
     /// Slowest per-iteration time, nanoseconds.
     pub max_ns: u64,
     /// Process peak resident set size after the run, kilobytes, where the
-    /// platform exposes it (`/proc/self/status` on Linux).
+    /// platform exposes it (see [`peak_rss`]).
     pub peak_rss_kb: Option<u64>,
+    /// Which platform facility supplied `peak_rss_kb` (the
+    /// [`RssSource`] name), absent when no source was available.
+    pub peak_rss_source: Option<String>,
 }
 
 impl BenchResult {
@@ -108,6 +111,13 @@ impl BenchResult {
             "peak_rss_kb".to_owned(),
             match self.peak_rss_kb {
                 Some(kb) => Json::Num(kb as f64),
+                None => Json::Null,
+            },
+        ));
+        members.push((
+            "peak_rss_source".to_owned(),
+            match &self.peak_rss_source {
+                Some(source) => Json::Str(source.clone()),
                 None => Json::Null,
             },
         ));
@@ -135,6 +145,10 @@ impl BenchResult {
             p95_ns: field("p95_ns")?,
             max_ns: field("max_ns")?,
             peak_rss_kb: v.get("peak_rss_kb").and_then(Json::as_u64),
+            peak_rss_source: v
+                .get("peak_rss_source")
+                .and_then(Json::as_str)
+                .map(str::to_owned),
         })
     }
 }
@@ -177,11 +191,97 @@ impl BenchReport {
     }
 }
 
-/// Reads the process peak RSS in kilobytes, if the platform exposes it.
-pub fn peak_rss_kb() -> Option<u64> {
+/// Which platform facility supplied a peak-RSS reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RssSource {
+    /// `getrusage(RUSAGE_SELF)` — the primary source: one syscall, no
+    /// procfs dependency, reported directly in kilobytes on Linux.
+    Getrusage,
+    /// The `VmHWM` line of `/proc/self/status` — the fallback when
+    /// `getrusage` is unavailable or reports nothing.
+    ProcStatus,
+}
+
+impl RssSource {
+    /// Stable lowercase name recorded in `BENCH_*.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            RssSource::Getrusage => "getrusage",
+            RssSource::ProcStatus => "proc_status",
+        }
+    }
+}
+
+/// A peak-RSS reading together with the facility that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeakRss {
+    /// Peak resident set size, kilobytes.
+    pub kb: u64,
+    /// Where the reading came from.
+    pub source: RssSource,
+}
+
+/// `getrusage(RUSAGE_SELF).ru_maxrss`, in kilobytes, declared directly
+/// against the C library std already links — no external crate. The
+/// layout is the 64-bit Linux `struct rusage`: two `timeval`s followed
+/// by `ru_maxrss` and thirteen more longs.
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+fn getrusage_maxrss_kb() -> Option<u64> {
+    #[repr(C)]
+    struct Rusage {
+        ru_utime: [i64; 2],
+        ru_stime: [i64; 2],
+        ru_maxrss: i64,
+        _rest: [i64; 13],
+    }
+    extern "C" {
+        fn getrusage(who: i32, usage: *mut Rusage) -> i32;
+    }
+    const RUSAGE_SELF: i32 = 0;
+    let mut usage = Rusage {
+        ru_utime: [0; 2],
+        ru_stime: [0; 2],
+        ru_maxrss: 0,
+        _rest: [0; 13],
+    };
+    let rc = unsafe { getrusage(RUSAGE_SELF, &mut usage) };
+    if rc == 0 && usage.ru_maxrss > 0 {
+        Some(usage.ru_maxrss as u64)
+    } else {
+        None
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
+fn getrusage_maxrss_kb() -> Option<u64> {
+    None
+}
+
+fn proc_status_hwm_kb() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Reads the process peak RSS: `getrusage` first, the `VmHWM` line of
+/// `/proc/self/status` as the fallback; `None` where neither exists.
+pub fn peak_rss() -> Option<PeakRss> {
+    if let Some(kb) = getrusage_maxrss_kb() {
+        return Some(PeakRss {
+            kb,
+            source: RssSource::Getrusage,
+        });
+    }
+    proc_status_hwm_kb().map(|kb| PeakRss {
+        kb,
+        source: RssSource::ProcStatus,
+    })
+}
+
+/// Reads the process peak RSS in kilobytes, if the platform exposes it.
+/// See [`peak_rss`] for the reading plus its source.
+pub fn peak_rss_kb() -> Option<u64> {
+    peak_rss().map(|p| p.kb)
 }
 
 /// Runs one benchmark under `cfg` and returns its statistics.
@@ -210,6 +310,7 @@ pub fn run<F: FnMut()>(name: &str, cfg: &BenchConfig, mut f: F) -> BenchResult {
     per_iter_ns.sort_unstable();
     let n = per_iter_ns.len();
     let mean = per_iter_ns.iter().sum::<u64>() / n as u64;
+    let rss = peak_rss();
     BenchResult {
         name: name.to_owned(),
         samples: cfg.samples,
@@ -219,7 +320,8 @@ pub fn run<F: FnMut()>(name: &str, cfg: &BenchConfig, mut f: F) -> BenchResult {
         median_ns: per_iter_ns[n / 2],
         p95_ns: per_iter_ns[percentile_index(n, 95)],
         max_ns: per_iter_ns[n - 1],
-        peak_rss_kb: peak_rss_kb(),
+        peak_rss_kb: rss.map(|p| p.kb),
+        peak_rss_source: rss.map(|p| p.source.name().to_owned()),
     }
 }
 
@@ -328,6 +430,7 @@ mod tests {
                     p95_ns: 190,
                     max_ns: 200,
                     peak_rss_kb: Some(4096),
+                    peak_rss_source: Some("getrusage".to_owned()),
                 },
                 BenchResult {
                     name: "g/b".to_owned(),
@@ -339,6 +442,7 @@ mod tests {
                     p95_ns: 3,
                     max_ns: 3,
                     peak_rss_kb: None,
+                    peak_rss_source: None,
                 },
             ],
         };
@@ -373,6 +477,23 @@ mod tests {
     #[cfg(target_os = "linux")]
     #[test]
     fn peak_rss_available_on_linux() {
-        assert!(peak_rss_kb().unwrap_or(0) > 0);
+        let p = peak_rss().expect("linux exposes peak RSS");
+        assert!(p.kb > 0);
+        // 64-bit Linux should serve the reading via the getrusage
+        // syscall, not the procfs fallback.
+        if cfg!(target_pointer_width = "64") {
+            assert_eq!(p.source, RssSource::Getrusage);
+        }
+        assert_eq!(peak_rss_kb(), Some(p.kb));
+        // Both facilities yield a positive reading when present. (They
+        // need not agree — sandboxed kernels account procfs VmHWM and
+        // getrusage differently — which is exactly why the JSON records
+        // the source used.)
+        if let Some(g) = getrusage_maxrss_kb() {
+            assert!(g > 0);
+        }
+        if let Some(v) = proc_status_hwm_kb() {
+            assert!(v > 0);
+        }
     }
 }

@@ -51,11 +51,10 @@ pub const RULE_SOURCES: &[(&str, &str)] = &[
     ("Mac", include_str!("../jca/Mac.crysl")),
 ];
 
-/// Loads the shipped JCA rule set — the single entry point that
-/// replaces the old panicking/fallible pair (`jca_rules` /
-/// `try_jca_rules`). The embedded sources are lexed and parsed at most
-/// once per process (see [`load_shared`]); every call after the first
-/// is a cheap clone of the already-parsed set.
+/// Loads the shipped JCA rule set — the single entry point. The
+/// embedded sources are lexed and parsed at most once per process (see
+/// [`load_shared`]); every call after the first is a cheap clone of the
+/// already-parsed set.
 ///
 /// # Errors
 ///
@@ -94,38 +93,8 @@ pub fn load_uncached() -> Result<RuleSet, CryslError> {
     rule_set_from_sources(RULE_SOURCES.iter().map(|(_, src)| *src))
 }
 
-/// Returns the full JCA rule set, cloned from the process-wide parsed
-/// instance.
-///
-/// # Panics
-///
-/// Panics if a shipped rule fails to parse; [`load`] surfaces the error
-/// instead.
-#[deprecated(since = "0.3.0", note = "use `rules::load()`")]
-pub fn jca_rules() -> RuleSet {
-    load().expect("shipped JCA rules must parse")
-}
-
-/// The process-wide parsed JCA rule set.
-///
-/// # Panics
-///
-/// Panics on first access if a shipped rule fails to parse;
-/// [`load_shared`] surfaces the error instead.
-#[deprecated(since = "0.3.0", note = "use `rules::load_shared()`")]
-pub fn shared_jca_rules() -> &'static RuleSet {
-    load_shared().expect("shipped JCA rules must parse")
-}
-
-/// Parses the shipped rule set, surfacing any parse error; always
-/// re-parses from source.
-#[deprecated(since = "0.3.0", note = "use `rules::load()` (cached) or `rules::load_uncached()` (always re-parses)")]
-pub fn try_jca_rules() -> Result<RuleSet, CryslError> {
-    load_uncached()
-}
-
 /// Parses a rule set from raw CrySL sources — the loading path behind
-/// [`try_jca_rules`], exposed so alternative rule sets load with the
+/// [`load_uncached`], exposed so alternative rule sets load with the
 /// same error discipline.
 ///
 /// # Errors
@@ -161,14 +130,6 @@ mod tests {
         let b = load_shared().unwrap();
         assert!(std::ptr::eq(a, b), "OnceLock must hand out one instance");
         assert_eq!(load().unwrap().len(), a.len());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_load() {
-        assert_eq!(jca_rules().len(), load().unwrap().len());
-        assert!(std::ptr::eq(shared_jca_rules(), load_shared().unwrap()));
-        assert_eq!(try_jca_rules().unwrap().len(), load_uncached().unwrap().len());
     }
 
     #[test]

@@ -24,12 +24,12 @@ if matches="$(grep -nE "$banned" $manifests)"; then
     exit 1
 fi
 
-# The pre-0.3 constructors survive only as deprecated shims; new call
-# sites must use rules::load()/load_shared()/load_uncached() and
-# GenEngine::builder(). Only the defining modules may mention the old
-# names (shim bodies, shim tests, deprecation notes).
+# The pre-0.3 constructors are gone; call sites must use
+# rules::load()/load_shared()/load_uncached() and GenEngine::builder().
+# No source file may mention the old names, not even their one-time
+# defining modules.
 old_apis='jca_rules\(|try_jca_rules\(|shared_jca_rules\(|GenEngine::new\(|GenEngine::with_options\('
-sources="$(git ls-files '*.rs' | grep -v -e '^crates/rules/src/lib.rs$' -e '^crates/core/src/engine.rs$')"
+sources="$(git ls-files '*.rs')"
 if matches="$(grep -nE "$old_apis" $sources)"; then
     echo "error: deprecated constructor call outside its defining module:" >&2
     echo "$matches" >&2
@@ -64,5 +64,18 @@ echo "==> cli report -> REPORT_table1.json"
 report="$workdir/report/REPORT_table1.json"
 test -s "$report"
 "$cli" report-check "$report"
+
+# Trace export: a traced generate and a traced batch must both produce
+# structurally valid Chrome traces (paired B/E spans, monotonic per-tid
+# timestamps — trace-check enforces the schema), and tracing must be
+# purely observational: traced output diffs clean against untraced.
+echo "==> cli --trace -> chrome trace + trace-check"
+mkdir -p "$workdir/traced-batch"
+"$cli" generate 1 --trace "$workdir/trace-gen.json" > "$workdir/traced-uc01.java"
+"$cli" trace-check "$workdir/trace-gen.json"
+diff "$workdir/traced-uc01.java" "$workdir/single/uc01.java"
+"$cli" batch "$workdir/traced-batch" 8 --trace "$workdir/trace-batch.json" >/dev/null
+"$cli" trace-check "$workdir/trace-batch.json"
+diff -r "$workdir/traced-batch" "$workdir/single"
 
 echo "==> hermetic verify OK"

@@ -9,10 +9,23 @@
 //! cognicryptgen analyze <file>        run the misuse analyzer on Java text
 //! cognicryptgen oldgen <id>           run the XSL/Clafer baseline generator
 //! cognicryptgen report [dir]          run all use cases instrumented, print
-//!                                     the Table-1 timing/metrics report and
-//!                                     write REPORT_table1.json into [dir]
+//!                                     the Table-1 timing/memory/metrics report
+//!                                     and write REPORT_table1.json into [dir]
 //! cognicryptgen report-check <file>   validate a written Table-1 report
+//! cognicryptgen trace-check <file>    validate a written Chrome trace
 //! ```
+//!
+//! `generate`, `batch` and `report` additionally accept `--trace <file>`:
+//! the run is observed by a [`TraceRecorder`] and the span/event stream
+//! is written as Chrome Trace Event Format JSON — open the file in
+//! `chrome://tracing` or Perfetto. Traced runs build a per-invocation
+//! engine (the shared engine has no observer attached); the generated
+//! Java is byte-identical either way, which the differential suite
+//! asserts.
+//!
+//! The binary installs [`TrackingAlloc`] as its global allocator, so
+//! per-phase `alloc_bytes`/`peak_live_bytes` in `report` output and in
+//! traces are real allocator-level figures, not zeros.
 //!
 //! Failures exit with a per-class code (usage 2, rules 3,
 //! generation/engine 4, I/O 5, invalid input 6) so scripts can branch
@@ -21,8 +34,12 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use cognicryptgen::core::memtrack::TrackingAlloc;
+use cognicryptgen::core::telemetry::{validate_trace, TraceRecorder};
 use cognicryptgen::core::template::render_java;
+use cognicryptgen::core::GenEngine;
 use cognicryptgen::javamodel::jca::jca_type_table;
 use cognicryptgen::javamodel::parser::parse_java;
 use cognicryptgen::report::{self, REPORT_FILE};
@@ -31,22 +48,45 @@ use cognicryptgen::usecases::{all_use_cases, UseCase};
 use cognicryptgen::{jca_engine, Error};
 use devharness::json::Json;
 
-const USAGE: &str = "cognicryptgen <list|generate|batch|template|rules|analyze|oldgen|report|report-check> [arg..]";
+/// Every allocation of the CLI process is counted, so phase spans carry
+/// real allocation deltas (library users opt in from their own binary).
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc::new();
+
+const USAGE: &str = "cognicryptgen <list|generate|batch|template|rules|analyze|oldgen|report|report-check|trace-check> [arg..] [--trace <file>]";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("list") => cmd_list(),
-        Some("generate") => with_use_case(args.get(1), cmd_generate),
-        Some("batch") => cmd_batch(args.get(1).map(String::as_str), args.get(2).map(String::as_str)),
-        Some("template") => with_use_case(args.get(1), cmd_template),
-        Some("rules") => cmd_rules(args.get(1).map(String::as_str)),
-        Some("analyze") => cmd_analyze(args.get(1).map(String::as_str)),
-        Some("oldgen") => cmd_oldgen(args.get(1).map(String::as_str)),
-        Some("report") => cmd_report(args.get(1).map(String::as_str)),
-        Some("report-check") => cmd_report_check(args.get(1).map(String::as_str)),
-        _ => Err(Error::Usage(USAGE.to_owned())),
-    };
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let result = extract_trace(&mut args).and_then(|trace| {
+        let trace = trace.as_deref();
+        match args.first().map(String::as_str) {
+            Some("list") => reject_trace(trace, "list").and_then(|()| cmd_list()),
+            Some("generate") => with_use_case(args.get(1), |uc| cmd_generate(uc, trace)),
+            Some("batch") => cmd_batch(
+                args.get(1).map(String::as_str),
+                args.get(2).map(String::as_str),
+                trace,
+            ),
+            Some("template") => {
+                reject_trace(trace, "template").and_then(|()| with_use_case(args.get(1), cmd_template))
+            }
+            Some("rules") => {
+                reject_trace(trace, "rules").and_then(|()| cmd_rules(args.get(1).map(String::as_str)))
+            }
+            Some("analyze") => {
+                reject_trace(trace, "analyze").and_then(|()| cmd_analyze(args.get(1).map(String::as_str)))
+            }
+            Some("oldgen") => {
+                reject_trace(trace, "oldgen").and_then(|()| cmd_oldgen(args.get(1).map(String::as_str)))
+            }
+            Some("report") => cmd_report(args.get(1).map(String::as_str), trace),
+            Some("report-check") => reject_trace(trace, "report-check")
+                .and_then(|()| cmd_report_check(args.get(1).map(String::as_str))),
+            Some("trace-check") => reject_trace(trace, "trace-check")
+                .and_then(|()| cmd_trace_check(args.get(1).map(String::as_str))),
+            _ => Err(Error::Usage(USAGE.to_owned())),
+        }
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -54,6 +94,50 @@ fn main() -> ExitCode {
             ExitCode::from(e.exit_code())
         }
     }
+}
+
+/// Removes `--trace <file>` from the argument list, wherever it sits.
+fn extract_trace(args: &mut Vec<String>) -> Result<Option<String>, Error> {
+    match args.iter().position(|a| a == "--trace") {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let mut tail = args.split_off(i);
+            let path = tail.remove(1);
+            tail.remove(0);
+            args.extend(tail);
+            Ok(Some(path))
+        }
+        Some(_) => Err(Error::Usage("--trace requires a file path".to_owned())),
+    }
+}
+
+fn reject_trace(trace: Option<&str>, cmd: &str) -> Result<(), Error> {
+    match trace {
+        Some(_) => Err(Error::Usage(format!(
+            "--trace is not supported by `{cmd}` (use generate, batch or report)"
+        ))),
+        None => Ok(()),
+    }
+}
+
+/// A per-invocation engine observed by `recorder` — traced runs can't
+/// use the shared [`jca_engine`], which is built without an observer.
+fn traced_engine(recorder: Arc<TraceRecorder>) -> Result<GenEngine, Error> {
+    Ok(GenEngine::builder()
+        .rules(cognicryptgen::rules::load()?)
+        .type_table(jca_type_table())
+        .observer(recorder)
+        .build()?)
+}
+
+/// Validates and writes the recorded trace, reporting to stderr so
+/// stdout stays reserved for the command's own output.
+fn write_trace(recorder: &TraceRecorder, path: &str) -> Result<(), Error> {
+    let doc = recorder.to_json();
+    validate_trace(&doc).map_err(|e| Error::Invalid(format!("recorded trace: {e}")))?;
+    std::fs::write(path, format!("{doc}\n")).map_err(|e| Error::io(path, e))?;
+    eprintln!("trace: {} events written to {path}", recorder.len());
+    Ok(())
 }
 
 fn find_use_case(selector: &str) -> Result<UseCase, Error> {
@@ -73,7 +157,7 @@ fn find_use_case(selector: &str) -> Result<UseCase, Error> {
 
 fn with_use_case(
     selector: Option<&String>,
-    f: fn(&UseCase) -> Result<(), Error>,
+    f: impl FnOnce(&UseCase) -> Result<(), Error>,
 ) -> Result<(), Error> {
     let selector = selector.ok_or_else(|| Error::Usage("missing use-case id or name".to_owned()))?;
     f(&find_use_case(selector)?)
@@ -87,8 +171,16 @@ fn cmd_list() -> Result<(), Error> {
     Ok(())
 }
 
-fn cmd_generate(uc: &UseCase) -> Result<(), Error> {
-    let generated = jca_engine().generate(&uc.template)?;
+fn cmd_generate(uc: &UseCase, trace: Option<&str>) -> Result<(), Error> {
+    let generated = match trace {
+        None => jca_engine().generate(&uc.template)?,
+        Some(path) => {
+            let recorder = Arc::new(TraceRecorder::new());
+            let generated = traced_engine(recorder.clone())?.generate(&uc.template)?;
+            write_trace(&recorder, path)?;
+            generated
+        }
+    };
     print!("{}", generated.java_source);
     Ok(())
 }
@@ -97,7 +189,7 @@ fn cmd_generate(uc: &UseCase) -> Result<(), Error> {
 /// engine session, fanned over worker threads, writing `uc01.java` …
 /// `uc11.java` into `dir`. Any per-case failure is reported and turns
 /// the whole invocation into a failure after all cases ran.
-fn cmd_batch(outdir: Option<&str>, threads: Option<&str>) -> Result<(), Error> {
+fn cmd_batch(outdir: Option<&str>, threads: Option<&str>, trace: Option<&str>) -> Result<(), Error> {
     let outdir = outdir.ok_or_else(|| Error::Usage("missing output directory for batch".to_owned()))?;
     let threads = match threads {
         Some(t) => t
@@ -110,9 +202,19 @@ fn cmd_batch(outdir: Option<&str>, threads: Option<&str>) -> Result<(), Error> {
     let outdir = Path::new(outdir);
     std::fs::create_dir_all(outdir).map_err(|e| Error::io(outdir.display().to_string(), e))?;
 
+    let recorder = trace.map(|_| Arc::new(TraceRecorder::new()));
+    let traced;
+    let engine: &GenEngine = match &recorder {
+        Some(r) => {
+            traced = traced_engine(r.clone())?;
+            &traced
+        }
+        None => jca_engine(),
+    };
+
     let cases = all_use_cases();
     let templates: Vec<_> = cases.iter().map(|uc| uc.template.clone()).collect();
-    let results = jca_engine().generate_batch(&templates, threads);
+    let results = engine.generate_batch(&templates, threads);
 
     let mut last_failure = None;
     let mut failures = 0usize;
@@ -131,7 +233,10 @@ fn cmd_batch(outdir: Option<&str>, threads: Option<&str>) -> Result<(), Error> {
             }
         }
     }
-    let stats = jca_engine().cache_stats();
+    if let (Some(recorder), Some(path)) = (&recorder, trace) {
+        write_trace(recorder, path)?;
+    }
+    let stats = engine.cache_stats();
     println!(
         "batch: {} of {} generated with {} threads (order cache: {} entries, {} hits, {} misses)",
         cases.len() - failures,
@@ -206,10 +311,14 @@ fn cmd_oldgen(selector: Option<&str>) -> Result<(), Error> {
 /// engine, print the Table-1 per-phase timing table with the pipeline
 /// metrics, and write the machine-readable `REPORT_table1.json` into
 /// `dir` (default: current directory).
-fn cmd_report(outdir: Option<&str>) -> Result<(), Error> {
+fn cmd_report(outdir: Option<&str>, trace: Option<&str>) -> Result<(), Error> {
     let outdir = Path::new(outdir.unwrap_or("."));
     std::fs::create_dir_all(outdir).map_err(|e| Error::io(outdir.display().to_string(), e))?;
-    let report = report::build()?;
+    let recorder = trace.map(|_| Arc::new(TraceRecorder::new()));
+    let report = report::build_with(recorder.clone().map(|r| r as _))?;
+    if let (Some(recorder), Some(path)) = (&recorder, trace) {
+        write_trace(recorder, path)?;
+    }
     print!("{}", report::render_text(&report));
     let path = outdir.join(REPORT_FILE);
     let doc = report::to_json(&report);
@@ -226,5 +335,21 @@ fn cmd_report_check(path: Option<&str>) -> Result<(), Error> {
     let doc = Json::parse(&text).map_err(|e| Error::Invalid(format!("{path}: {e}")))?;
     report::validate(&doc).map_err(|e| Error::Invalid(format!("{path}: {e}")))?;
     println!("{path}: valid table1 report");
+    Ok(())
+}
+
+/// `trace-check <file>` — parse a previously written Chrome trace and
+/// validate its invariants (paired B/E spans, monotonic per-tid
+/// timestamps).
+fn cmd_trace_check(path: Option<&str>) -> Result<(), Error> {
+    let path = path.ok_or_else(|| Error::Usage("missing trace file to check".to_owned()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+    let doc = Json::parse(&text).map_err(|e| Error::Invalid(format!("{path}: {e}")))?;
+    validate_trace(&doc).map_err(|e| Error::Invalid(format!("{path}: {e}")))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .map_or(0, |events| events.len());
+    println!("{path}: valid chrome trace ({events} events)");
     Ok(())
 }

@@ -1,17 +1,28 @@
 //! The Table-1 reporter: runs all eleven shipped use cases through an
 //! instrumented engine and renders the paper's evaluation table —
-//! per-use-case, per-phase runtime plus the pipeline metrics — as text
-//! and as a devharness-JSON document (`REPORT_table1.json`).
+//! per-use-case, per-phase runtime *and memory* plus the pipeline
+//! metrics — as text and as a devharness-JSON document
+//! (`REPORT_table1.json`).
 //!
-//! Wall times vary run to run; everything else in the report (metric
-//! counters, histogram summaries, cache traffic, source sizes) is
-//! deterministic, which is what [`validate`] checks a written report
+//! Memory comes from two instruments. Per-phase `alloc_bytes` /
+//! `peak_live_bytes` are allocator-level figures the engine's
+//! [`PhaseTimings`] observer collects through
+//! [`cognicrypt_core::memtrack`] — they are non-zero only when the
+//! running binary installed [`cognicrypt_core::memtrack::TrackingAlloc`]
+//! as its global allocator (the CLI does; library test binaries don't,
+//! so [`validate`] accepts zeros). The whole-process `peak_rss_kb`
+//! comes from [`devharness::bench::peak_rss`] with its source recorded.
+//!
+//! Wall times and RSS vary run to run; everything else in the report
+//! (metric counters, histogram summaries, cache traffic, source sizes)
+//! is deterministic, which is what [`validate`] checks a written report
 //! against.
 
 use std::sync::Arc;
 
-use cognicrypt_core::telemetry::{Metric, Phase, PhaseTimings, UnitTimings};
+use cognicrypt_core::telemetry::{Fanout, GenObserver, Metric, Phase, PhaseTimings, UnitTimings};
 use cognicrypt_core::GenEngine;
+use devharness::bench::{peak_rss, PeakRss};
 use devharness::json::Json;
 use usecases::all_use_cases;
 
@@ -44,6 +55,10 @@ pub struct Table1Report {
     pub rows: Vec<ReportRow>,
     /// Snapshot of the instrumented engine's metrics registry.
     pub metrics: std::collections::BTreeMap<String, Metric>,
+    /// Whole-process peak RSS after the run, with the facility that
+    /// reported it; `None` where the platform exposes neither
+    /// `getrusage` nor procfs.
+    pub peak_rss: Option<PeakRss>,
 }
 
 /// Generates every shipped use case on a fresh instrumented engine and
@@ -57,10 +72,26 @@ pub struct Table1Report {
 /// [`Error::Generation`] when a use case fails to generate — both are
 /// build defects for the shipped set.
 pub fn build() -> Result<Table1Report, Error> {
+    build_with(None)
+}
+
+/// [`build`], with an optional extra observer fanned in alongside the
+/// reporter's own [`PhaseTimings`] — this is how the CLI attaches a
+/// [`cognicrypt_core::telemetry::TraceRecorder`] to `report --trace`
+/// without a second generation pass.
+///
+/// # Errors
+///
+/// As [`build`].
+pub fn build_with(extra: Option<Arc<dyn GenObserver>>) -> Result<Table1Report, Error> {
     let timings = Arc::new(PhaseTimings::new());
+    let observer: Arc<dyn GenObserver> = match extra {
+        Some(extra) => Arc::new(Fanout::new().with(timings.clone()).with(extra)),
+        None => timings.clone(),
+    };
     let engine = GenEngine::builder()
         .rules(rules::load()?)
-        .observer(timings.clone())
+        .observer(observer)
         .build()?;
 
     let mut rows = Vec::new();
@@ -81,6 +112,7 @@ pub fn build() -> Result<Table1Report, Error> {
     Ok(Table1Report {
         rows,
         metrics: engine.metrics().snapshot(),
+        peak_rss: peak_rss(),
     })
 }
 
@@ -113,6 +145,42 @@ pub fn render_text(report: &Table1Report) -> String {
             micros(t.phase(Phase::Assemble).total),
             micros(t.total()),
             row.java_bytes,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n{:<4} {:<34} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "#", "Memory (kB allocated)", "collect", "link", "select", "resolve", "assemble", "total kB", "peak kB"
+    );
+    for row in &report.rows {
+        let t = &row.timings;
+        let kb = |p: Phase| t.phase(p).alloc_bytes as f64 / 1024.0;
+        let _ = writeln!(
+            out,
+            "{:<4} {:<34} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>10.1} {:>9.1}",
+            row.id,
+            row.name,
+            kb(Phase::Collect),
+            kb(Phase::Link),
+            kb(Phase::Select),
+            kb(Phase::Resolve),
+            kb(Phase::Assemble),
+            t.alloc_total_bytes() as f64 / 1024.0,
+            t.peak_live_bytes() as f64 / 1024.0,
+        );
+    }
+    match report.peak_rss {
+        Some(p) => {
+            let _ = writeln!(out, "\nprocess peak RSS: {} kB (via {})", p.kb, p.source.name());
+        }
+        None => {
+            let _ = writeln!(out, "\nprocess peak RSS: unavailable on this platform");
+        }
+    }
+    if report.rows.iter().all(|r| r.timings.alloc_total_bytes() == 0) {
+        let _ = writeln!(
+            out,
+            "note: allocation columns are zero — the running binary did not install memtrack::TrackingAlloc"
         );
     }
     let _ = writeln!(out, "\nmetrics:");
@@ -152,12 +220,40 @@ pub fn to_json(report: &Table1Report) -> Json {
                     )
                 })
                 .collect();
+            let mem = Phase::ALL
+                .iter()
+                .map(|&p| {
+                    let stat = row.timings.phase(p);
+                    (
+                        p.name().to_owned(),
+                        Json::Obj(vec![
+                            (
+                                "alloc_bytes".to_owned(),
+                                Json::Num(stat.alloc_bytes as f64),
+                            ),
+                            (
+                                "peak_live_bytes".to_owned(),
+                                Json::Num(stat.peak_live_bytes as f64),
+                            ),
+                        ]),
+                    )
+                })
+                .collect();
             Json::Obj(vec![
                 ("id".to_owned(), Json::Num(f64::from(row.id))),
                 ("name".to_owned(), Json::Str(row.name.clone())),
                 ("class".to_owned(), Json::Str(row.class.clone())),
                 ("phases_us".to_owned(), Json::Obj(phases)),
                 ("total_us".to_owned(), Json::Num(micros(row.timings.total()))),
+                ("phases_mem".to_owned(), Json::Obj(mem)),
+                (
+                    "alloc_total_bytes".to_owned(),
+                    Json::Num(row.timings.alloc_total_bytes() as f64),
+                ),
+                (
+                    "peak_live_bytes".to_owned(),
+                    Json::Num(row.timings.peak_live_bytes() as f64),
+                ),
                 (
                     "java_bytes".to_owned(),
                     Json::Num(row.java_bytes as f64),
@@ -186,12 +282,32 @@ pub fn to_json(report: &Table1Report) -> Json {
         ("report".to_owned(), Json::Str("table1".to_owned())),
         ("use_cases".to_owned(), Json::Arr(rows)),
         ("metrics".to_owned(), Json::Obj(metrics)),
+        (
+            "peak_rss_kb".to_owned(),
+            match report.peak_rss {
+                Some(p) => Json::Num(p.kb as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "peak_rss_source".to_owned(),
+            match report.peak_rss {
+                Some(p) => Json::Str(p.source.name().to_owned()),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
 /// Validates a written report document: it must be the `table1` report,
 /// cover all eleven use cases (ids 1–11, each with all five phase
-/// timings and a total), and carry a non-empty metrics object.
+/// timings and a total, plus per-phase `alloc_bytes`/`peak_live_bytes`
+/// memory figures and row totals), carry a non-empty metrics object,
+/// and declare its whole-process `peak_rss_kb` with the source that
+/// measured it (both may be null where the platform exposes neither).
+///
+/// Memory figures of zero are accepted: they mean the writing binary
+/// did not install the tracking allocator, not a malformed report.
 ///
 /// # Errors
 ///
@@ -235,11 +351,41 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         if case.get("total_us").and_then(Json::as_f64).is_none() {
             return Err(format!("use case {id} missing `total_us`"));
         }
+        let mem = case
+            .get("phases_mem")
+            .ok_or_else(|| format!("use case {id} missing `phases_mem`"))?;
+        for phase in Phase::ALL {
+            let slot = mem
+                .get(phase.name())
+                .ok_or_else(|| format!("use case {id} missing phase `{phase}` memory"))?;
+            for key in ["alloc_bytes", "peak_live_bytes"] {
+                if slot.get(key).and_then(Json::as_u64).is_none() {
+                    return Err(format!(
+                        "use case {id} phase `{phase}` missing integer `{key}`"
+                    ));
+                }
+            }
+        }
+        for key in ["alloc_total_bytes", "peak_live_bytes"] {
+            if case.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("use case {id} missing integer `{key}`"));
+            }
+        }
     }
     match doc.get("metrics") {
         Some(Json::Obj(members)) if !members.is_empty() => {}
         Some(Json::Obj(_)) => return Err("`metrics` object is empty".to_owned()),
         _ => return Err("missing `metrics` object".to_owned()),
+    }
+    match doc.get("peak_rss_kb") {
+        Some(Json::Null) | Some(Json::Num(_)) => {}
+        Some(_) => return Err("`peak_rss_kb` must be a number or null".to_owned()),
+        None => return Err("missing `peak_rss_kb`".to_owned()),
+    }
+    match doc.get("peak_rss_source") {
+        Some(Json::Null) | Some(Json::Str(_)) => {}
+        Some(_) => return Err("`peak_rss_source` must be a string or null".to_owned()),
+        None => return Err("missing `peak_rss_source`".to_owned()),
     }
     Ok(())
 }
@@ -274,9 +420,40 @@ mod tests {
         let doc = to_json(&report);
         validate(&doc).expect("fresh report validates");
 
+        // Every row carries the per-phase memory columns (zeros here:
+        // this test binary does not install the tracking allocator).
+        let cases = doc.get("use_cases").and_then(Json::as_arr).unwrap();
+        for case in cases {
+            let mem = case.get("phases_mem").expect("phases_mem present");
+            for phase in Phase::ALL {
+                let slot = mem.get(phase.name()).expect("every phase has a memory slot");
+                assert!(slot.get("alloc_bytes").and_then(Json::as_u64).is_some());
+                assert!(slot.get("peak_live_bytes").and_then(Json::as_u64).is_some());
+            }
+            assert!(case.get("alloc_total_bytes").and_then(Json::as_u64).is_some());
+        }
+        // The process-level RSS figure is present on Linux, with its
+        // measuring facility named.
+        if cfg!(target_os = "linux") {
+            assert!(doc.get("peak_rss_kb").and_then(Json::as_u64).unwrap_or(0) > 0);
+            assert!(doc.get("peak_rss_source").and_then(Json::as_str).is_some());
+        }
+
         // The document round-trips through the devharness parser.
         let reparsed = Json::parse(&doc.to_string()).expect("parses");
         validate(&reparsed).expect("reparsed report validates");
+    }
+
+    #[test]
+    fn build_with_fans_hooks_out_to_the_extra_observer() {
+        let recorder = Arc::new(cognicrypt_core::telemetry::TraceRecorder::new());
+        let report = build_with(Some(recorder.clone())).expect("report builds");
+        assert_eq!(report.rows.len(), 11);
+        // The recorder saw the whole instrumented run: 11 use cases ×
+        // 5 phases × (B + E), plus instant events from inside phases.
+        assert!(recorder.len() >= 110, "only {} events recorded", recorder.len());
+        cognicrypt_core::telemetry::validate_trace(&recorder.to_json())
+            .expect("recorded trace validates");
     }
 
     #[test]
@@ -299,6 +476,22 @@ mod tests {
         assert!(validate(&strip(&doc, "report")).is_err());
         assert!(validate(&strip(&doc, "use_cases")).is_err());
         assert!(validate(&strip(&doc, "metrics")).is_err());
+        assert!(validate(&strip(&doc, "peak_rss_kb")).is_err());
+        assert!(validate(&strip(&doc, "peak_rss_source")).is_err());
+
+        // A row without its memory columns is rejected.
+        if let Json::Obj(mut members) = doc.clone() {
+            for (k, v) in &mut members {
+                if k == "use_cases" {
+                    if let Json::Arr(cases) = v {
+                        cases[0] = strip(&cases[0], "phases_mem");
+                    }
+                }
+            }
+            assert!(validate(&Json::Obj(members))
+                .unwrap_err()
+                .contains("phases_mem"));
+        }
 
         // Ten use cases is not Table 1.
         if let Json::Obj(mut members) = doc.clone() {
