@@ -60,10 +60,7 @@ fn bench_cold_vs_warm(h: &mut Harness) {
 
 fn bench_serial_vs_parallel(h: &mut Harness) {
     h.group("serial-vs-parallel");
-    let templates: Vec<_> = all_use_cases()
-        .into_iter()
-        .map(|uc| uc.template)
-        .collect();
+    let templates: Vec<_> = all_use_cases().into_iter().map(|uc| uc.template).collect();
     let table = jca_type_table();
 
     // The pre-engine behaviour for "generate everything": one cold run

@@ -153,7 +153,9 @@ fn bench_crypto_substrate(h: &mut Harness) {
         black_box(jcasim::modes::cbc_encrypt(&aes, &iv, black_box(&data)).expect("encrypts"));
     });
     h.bench("pbkdf2_1000_iters", || {
-        black_box(jcasim::pbkdf2::pbkdf2_hmac_sha256(b"pwd", b"salt", 1000, 16));
+        black_box(jcasim::pbkdf2::pbkdf2_hmac_sha256(
+            b"pwd", b"salt", 1000, 16,
+        ));
     });
 }
 

@@ -1,0 +1,116 @@
+//! Bench-regression gate: compares a freshly produced `BENCH_<suite>.json`
+//! against a committed baseline and fails only on large, reproducible
+//! slowdowns.
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json> [tolerance]
+//! ```
+//!
+//! A benchmark regresses when its current median exceeds `tolerance ×`
+//! the baseline median (default 2.0 — CI runners vary, so the gate is
+//! deliberately generous and flags order-of-magnitude mistakes, not
+//! noise). Benchmarks whose baseline or current median sits below a
+//! 10 µs floor are skipped outright: at that scale timer jitter and
+//! scheduling dominate. Benchmarks present on only one side are
+//! reported but never fail the gate, so adding or retiring a benchmark
+//! does not require touching the baseline in the same change.
+//!
+//! Exit codes: 0 clean, 1 regression found, 2 usage/parse error.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use devharness::bench::BenchReport;
+
+/// Medians below this are timer noise, not signal.
+const FLOOR_NS: u64 = 10_000;
+
+const DEFAULT_TOLERANCE: f64 = 2.0;
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, current_path) = match (args.first(), args.get(1)) {
+        (Some(b), Some(c)) => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!("usage: bench_compare <baseline.json> <current.json> [tolerance]");
+            return ExitCode::from(2);
+        }
+    };
+    let tolerance = match args.get(2) {
+        None => DEFAULT_TOLERANCE,
+        Some(t) => match t.parse::<f64>() {
+            Ok(v) if v >= 1.0 => v,
+            _ => {
+                eprintln!("invalid tolerance `{t}` (must be a number >= 1.0)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let base: BTreeMap<&str, u64> = baseline
+        .results
+        .iter()
+        .map(|r| (r.name.as_str(), r.median_ns))
+        .collect();
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+
+    for r in &current.results {
+        let Some(&base_median) = base.get(r.name.as_str()) else {
+            println!(
+                "  new      {:<40} {:>10} ns (no baseline)",
+                r.name, r.median_ns
+            );
+            continue;
+        };
+        if base_median < FLOOR_NS || r.median_ns < FLOOR_NS {
+            println!(
+                "  skipped  {:<40} below the {FLOOR_NS} ns noise floor",
+                r.name
+            );
+            continue;
+        }
+        compared += 1;
+        let ratio = r.median_ns as f64 / base_median as f64;
+        if ratio > tolerance {
+            regressions += 1;
+            println!(
+                "  REGRESSED {:<39} {:>10} ns -> {:>10} ns ({ratio:.2}x > {tolerance:.2}x)",
+                r.name, base_median, r.median_ns
+            );
+        } else {
+            println!(
+                "  ok       {:<40} {:>10} ns -> {:>10} ns ({ratio:.2}x)",
+                r.name, base_median, r.median_ns
+            );
+        }
+    }
+    for name in base.keys() {
+        if !current.results.iter().any(|r| r.name == *name) {
+            println!("  retired  {name:<40} (in baseline only)");
+        }
+    }
+
+    println!(
+        "bench_compare: suite `{}`: {compared} compared, {regressions} regressed (tolerance {tolerance:.2}x)",
+        current.suite
+    );
+    if regressions > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -17,13 +17,34 @@ fn main() {
     println!("RQ5 — Usability study (replayed, 16 participants)");
     println!();
     println!("{:<34} {:>12} {:>12}", "Metric", "measured", "paper");
-    println!("{:<34} {:>12.1} {:>12}", "SUS, CogniCryptGEN", report.sus_gen_mean, "76.3");
-    println!("{:<34} {:>12.1} {:>12}", "SUS, CogniCrypt_old-gen", report.sus_old_mean, "50.8");
-    println!("{:<34} {:>12.1} {:>12}", "NPS, CogniCryptGEN", report.nps_gen, "56.3");
-    println!("{:<34} {:>12.1} {:>12}", "NPS, CogniCrypt_old-gen", report.nps_old, "-43.7");
-    println!("{:<34} {:>12.4} {:>12}", "Wilcoxon p (SUS)", report.p_sus, "0.005");
-    println!("{:<34} {:>12.4} {:>12}", "Wilcoxon p (NPS)", report.p_nps, "0.005");
-    println!("{:<34} {:>12.4} {:>12}", "Wilcoxon p (completion times)", report.p_times, "> 0.05");
+    println!(
+        "{:<34} {:>12.1} {:>12}",
+        "SUS, CogniCryptGEN", report.sus_gen_mean, "76.3"
+    );
+    println!(
+        "{:<34} {:>12.1} {:>12}",
+        "SUS, CogniCrypt_old-gen", report.sus_old_mean, "50.8"
+    );
+    println!(
+        "{:<34} {:>12.1} {:>12}",
+        "NPS, CogniCryptGEN", report.nps_gen, "56.3"
+    );
+    println!(
+        "{:<34} {:>12.1} {:>12}",
+        "NPS, CogniCrypt_old-gen", report.nps_old, "-43.7"
+    );
+    println!(
+        "{:<34} {:>12.4} {:>12}",
+        "Wilcoxon p (SUS)", report.p_sus, "0.005"
+    );
+    println!(
+        "{:<34} {:>12.4} {:>12}",
+        "Wilcoxon p (NPS)", report.p_nps, "0.005"
+    );
+    println!(
+        "{:<34} {:>12.4} {:>12}",
+        "Wilcoxon p (completion times)", report.p_times, "> 0.05"
+    );
     println!(
         "{:<34} {:>11.1}% {:>12}",
         "Encryption task slowdown (GEN)", report.encryption_slowdown_pct, "38%"
@@ -33,9 +54,7 @@ fn main() {
         "Hashing task speedup (GEN)", report.hashing_speedup_pct, "63.2%"
     );
     println!();
-    println!(
-        "Conclusions hold: usability differences significant (p < 0.01), completion-time"
-    );
+    println!("Conclusions hold: usability differences significant (p < 0.01), completion-time");
     println!("differences mixed and not significant (p > 0.05), SUS above the 68 'usable' bar");
     println!("for CogniCryptGEN only.");
 }

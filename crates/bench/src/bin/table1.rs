@@ -41,7 +41,11 @@ fn main() {
         let peak_kb = (ALLOC.peak().saturating_sub(before)) as f64 / 1024.0;
         // RQ1 validity: the generated code is misuse-free.
         let misuses = analyze_unit(&generated.unit, &rules, &table, AnalyzerOptions::default());
-        let verdict = if misuses.is_empty() { "clean" } else { "MISUSES!" };
+        let verdict = if misuses.is_empty() {
+            "clean"
+        } else {
+            "MISUSES!"
+        };
         println!(
             "{:<3} {:<32} {:<12} {:>14.3} {:>16.1}  {}",
             uc.id, uc.name, uc.sources, runtime_ms, peak_kb, verdict

@@ -232,12 +232,7 @@ impl Assembler<'_> {
         Ok(args)
     }
 
-    fn var_expr(
-        &mut self,
-        idx: usize,
-        var: &str,
-        own_returns: &[&str],
-    ) -> Result<Expr, GenError> {
+    fn var_expr(&mut self, idx: usize, var: &str, own_returns: &[&str]) -> Result<Expr, GenError> {
         // Anything already materialized under this rule wins (covers
         // template bindings, hoisted parameters, and own returns).
         if let Some(name) = self.values.get(&(idx, Carrier::Var(var.to_owned()))) {
@@ -346,9 +341,7 @@ impl Assembler<'_> {
                 // type than the API returns (`(SecretKey) cipher.unwrap(…)`).
                 let expr = match method_ret {
                     Some(rt)
-                        if *rt != ty
-                            && self.table.is_assignable(&ty, rt)
-                            && ty.is_reference() =>
+                        if *rt != ty && self.table.is_assignable(&ty, rt) && ty.is_reference() =>
                     {
                         Expr::Cast {
                             ty: ty.clone(),
@@ -557,10 +550,9 @@ mod tests {
 
     #[test]
     fn no_negates_means_nothing_deferred() {
-        let rule = parse_rule(
-            "SPEC a.X\nEVENTS a: f(); b: g();\nORDER a, b\nENSURES p[this] after a;",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("SPEC a.X\nEVENTS a: f(); b: g();\nORDER a, b\nENSURES p[this] after a;")
+                .unwrap();
         assert!(invalidating_events(&rule, &["a".to_owned(), "b".to_owned()]).is_empty());
     }
 }

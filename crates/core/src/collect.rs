@@ -1,6 +1,8 @@
 //! Step 1 of the pipeline: collect rules and template parameters from a
 //! fluent-API call chain (paper Fig. 6, step 1).
 
+use std::collections::BTreeSet;
+
 use crysl::ast::Rule;
 use crysl::RuleSet;
 use javamodel::ast::JavaType;
@@ -54,10 +56,16 @@ pub fn collect<'r>(
     rules: &'r RuleSet,
 ) -> Result<Vec<CollectedRule<'r>>, GenError> {
     let mut out = Vec::with_capacity(chain.entries.len());
+    let mut seen = BTreeSet::new();
     for entry in &chain.entries {
         let rule = rules
             .by_name(&entry.rule)
             .ok_or_else(|| GenError::UnknownRule(entry.rule.clone()))?;
+        // A repeated rule would re-emit its call sequence on the same
+        // object, which the rule's own usage pattern forbids.
+        if !seen.insert(&rule.class_name) {
+            return Err(GenError::DuplicateRule(entry.rule.clone()));
+        }
         let mut binding_types = Vec::new();
         for b in &entry.bindings {
             if rule.object(&b.rule_var).is_none() {
@@ -118,7 +126,10 @@ mod tests {
         let collected = collect(&chain, &method(), &set).unwrap();
         assert_eq!(collected.len(), 1);
         assert_eq!(collected[0].bound_template_var("out"), Some("salt"));
-        assert_eq!(collected[0].bound_type("out"), Some(&JavaType::byte_array()));
+        assert_eq!(
+            collected[0].bound_type("out"),
+            Some(&JavaType::byte_array())
+        );
     }
 
     #[test]

@@ -34,9 +34,7 @@ use statemachine::{CacheStats, OrderCache};
 
 use crate::error::GenError;
 use crate::generator::{Generated, Generator, GeneratorOptions};
-use crate::telemetry::{
-    Event, GenObserver, MetricsCollector, MetricsRegistry, NoopObserver, Tee,
-};
+use crate::telemetry::{Event, GenObserver, MetricsCollector, MetricsRegistry, NoopObserver, Tee};
 use crate::template::Template;
 
 /// The process-wide compiled-ORDER cache backing the legacy
@@ -60,7 +58,11 @@ pub struct WorkerPanic {
 
 impl std::fmt::Display for WorkerPanic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "batch worker panicked on item {}: {}", self.index, self.message)
+        write!(
+            f,
+            "batch worker panicked on item {}: {}",
+            self.index, self.message
+        )
     }
 }
 
@@ -138,11 +140,7 @@ where
 /// worker running it (`0..threads`). The worker assignment is whatever
 /// the OS scheduler produced — callers must treat it as observational
 /// (utilisation telemetry), never as data the results depend on.
-pub fn scatter_on_workers<T, R, F>(
-    items: &[T],
-    threads: usize,
-    f: F,
-) -> Vec<Result<R, WorkerPanic>>
+pub fn scatter_on_workers<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, WorkerPanic>>
 where
     T: Sync,
     R: Send,
@@ -498,7 +496,11 @@ mod tests {
             .build();
         let method = TemplateMethod::new("hash", JavaType::byte_array())
             .param(JavaType::byte_array(), "data")
-            .pre(Stmt::decl_init(JavaType::byte_array(), "hash", Expr::null()))
+            .pre(Stmt::decl_init(
+                JavaType::byte_array(),
+                "hash",
+                Expr::null(),
+            ))
             .chain(chain)
             .post(Stmt::Return(Some(Expr::var("hash"))));
         Template::new("p", "Hasher").method(method)

@@ -12,6 +12,11 @@ use std::fmt;
 pub enum GenError {
     /// `considerCrySLRule` named a class with no rule in the rule set.
     UnknownRule(String),
+    /// `considerCrySLRule` named the same class twice in one chain. Found
+    /// by fuzzing: a duplicated entry re-emitted the rule's call sequence
+    /// on the same object, which the rule's own usage pattern then
+    /// flagged as a typestate misuse.
+    DuplicateRule(String),
     /// `addParameter` referenced a variable the rule's OBJECTS section does
     /// not declare.
     UnknownRuleVariable {
@@ -57,6 +62,9 @@ impl fmt::Display for GenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GenError::UnknownRule(r) => write!(f, "no CrySL rule for `{r}`"),
+            GenError::DuplicateRule(r) => {
+                write!(f, "rule `{r}` appears more than once in the chain")
+            }
             GenError::UnknownRuleVariable { rule, variable } => {
                 write!(f, "rule `{rule}` declares no object `{variable}`")
             }

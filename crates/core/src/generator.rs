@@ -174,7 +174,13 @@ impl Generator {
         // Phase 1: collect — gather rules and template bindings.
         let mut works: Vec<ChainWork<'_, '_>> = Vec::new();
         {
-            let _span = SpanTimer::enter(observer, Span { unit, phase: Phase::Collect });
+            let _span = SpanTimer::enter(
+                observer,
+                Span {
+                    unit,
+                    phase: Phase::Collect,
+                },
+            );
             for tm in &template.methods {
                 if let Some(chain) = &tm.chain {
                     let collected = collect(chain, tm, rules)?;
@@ -191,7 +197,13 @@ impl Generator {
 
         // Phase 2: link — connect rules through ENSURES/REQUIRES.
         {
-            let _span = SpanTimer::enter(observer, Span { unit, phase: Phase::Link });
+            let _span = SpanTimer::enter(
+                observer,
+                Span {
+                    unit,
+                    phase: Phase::Link,
+                },
+            );
             for w in &mut works {
                 w.links = link(&w.collected);
             }
@@ -199,7 +211,13 @@ impl Generator {
 
         // Phase 3: select — pick a method sequence per rule.
         {
-            let _span = SpanTimer::enter(observer, Span { unit, phase: Phase::Select });
+            let _span = SpanTimer::enter(
+                observer,
+                Span {
+                    unit,
+                    phase: Phase::Select,
+                },
+            );
             for w in &mut works {
                 let ret_ty = w
                     .chain
@@ -233,7 +251,13 @@ impl Generator {
         // resolutions when emitting code; this pass is what makes them
         // observable per-parameter.
         {
-            let _span = SpanTimer::enter(observer, Span { unit, phase: Phase::Resolve });
+            let _span = SpanTimer::enter(
+                observer,
+                Span {
+                    unit,
+                    phase: Phase::Resolve,
+                },
+            );
             for w in &works {
                 for (idx, sp) in w.paths.iter().enumerate() {
                     report_path_resolutions(
@@ -250,7 +274,13 @@ impl Generator {
 
         // Phase 5: assemble — emit the Java code, the showcase class and
         // the type check.
-        let _span = SpanTimer::enter(observer, Span { unit, phase: Phase::Assemble });
+        let _span = SpanTimer::enter(
+            observer,
+            Span {
+                unit,
+                phase: Phase::Assemble,
+            },
+        );
         let mut class = ClassDecl::new(template.class_name.clone());
         let mut hoisted_report = Vec::new();
         let mut chain_methods = Vec::new();
@@ -368,19 +398,36 @@ mod tests {
 
     #[test]
     fn generates_paper_figure_5() {
-        let generated = generate(&pbe_template(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated =
+            generate(&pbe_template(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let src = &generated.java_source;
         // The structure of Figure 5:
-        assert!(src.contains("SecureRandom secureRandom = SecureRandom.getInstance(\"SHA1PRNG\");"), "{src}");
+        assert!(
+            src.contains("SecureRandom secureRandom = SecureRandom.getInstance(\"SHA1PRNG\");"),
+            "{src}"
+        );
         assert!(src.contains("secureRandom.nextBytes(salt);"), "{src}");
-        assert!(src.contains("new PBEKeySpec(pwd, salt, 10000, 128)"), "{src}");
-        assert!(src.contains("SecretKeyFactory.getInstance(\"PBKDF2WithHmacSHA256\")"), "{src}");
+        assert!(
+            src.contains("new PBEKeySpec(pwd, salt, 10000, 128)"),
+            "{src}"
+        );
+        assert!(
+            src.contains("SecretKeyFactory.getInstance(\"PBKDF2WithHmacSHA256\")"),
+            "{src}"
+        );
         assert!(src.contains(".generateSecret(pBEKeySpec)"), "{src}");
         assert!(src.contains(".getEncoded()"), "{src}");
-        assert!(src.contains("new SecretKeySpec(keyMaterial, \"AES\")"), "{src}");
+        assert!(
+            src.contains("new SecretKeySpec(keyMaterial, \"AES\")"),
+            "{src}"
+        );
         // clearPassword is deferred to just before the return.
-        let clear_pos = src.find("pBEKeySpec.clearPassword();").expect("clearPassword present");
-        let spec_pos = src.find("new SecretKeySpec").expect("SecretKeySpec present");
+        let clear_pos = src
+            .find("pBEKeySpec.clearPassword();")
+            .expect("clearPassword present");
+        let spec_pos = src
+            .find("new SecretKeySpec")
+            .expect("SecretKeySpec present");
         assert!(clear_pos > spec_pos, "clearPassword must come last:\n{src}");
         // templateUsage showcase exists and hoists the password parameter.
         assert!(src.contains("public class OutputClass"), "{src}");
@@ -392,7 +439,8 @@ mod tests {
     #[test]
     fn generated_code_type_checks_by_construction() {
         // generate() ran check_unit internally; re-run explicitly.
-        let generated = generate(&pbe_template(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated =
+            generate(&pbe_template(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let mut table = jca_type_table();
         table.add(ClassDef::new("TemplateClass").ctor(vec![]));
         javamodel::typecheck::check_unit(&generated.unit, &table).unwrap();
@@ -403,9 +451,8 @@ mod tests {
         let chain = CrySlCodeGenerator::get_instance()
             .consider_crysl_rule("javax.crypto.NoSuchRule")
             .build();
-        let t = Template::new("p", "C").method(
-            TemplateMethod::new("go", JavaType::Void).chain(chain),
-        );
+        let t =
+            Template::new("p", "C").method(TemplateMethod::new("go", JavaType::Void).chain(chain));
         assert!(matches!(
             generate(&t, &rules::load().unwrap(), &jca_type_table()),
             Err(GenError::UnknownRule(_))
@@ -415,8 +462,7 @@ mod tests {
     #[test]
     fn helper_methods_pass_through() {
         let t = Template::new("p", "C").method(
-            TemplateMethod::new("helper", JavaType::Int)
-                .post(Stmt::Return(Some(Expr::int(7)))),
+            TemplateMethod::new("helper", JavaType::Int).post(Stmt::Return(Some(Expr::int(7)))),
         );
         let generated = generate(&t, &rules::load().unwrap(), &jca_type_table()).unwrap();
         assert!(generated.java_source.contains("public int helper() {"));

@@ -71,7 +71,6 @@ pub use error::GenError;
 pub use generator::{generate, Generated, Generator, GeneratorOptions};
 pub use memtrack::{AllocDelta, AllocScope, TrackingAlloc};
 pub use telemetry::{
-    validate_trace, GenObserver, MetricsRegistry, NoopObserver, Phase, PhaseTimings,
-    TraceRecorder,
+    validate_trace, GenObserver, MetricsRegistry, NoopObserver, Phase, PhaseTimings, TraceRecorder,
 };
 pub use template::{CrySlCodeGenerator, Template, TemplateMethod};

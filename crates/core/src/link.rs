@@ -69,8 +69,7 @@ pub fn link(rules: &[CollectedRule<'_>]) -> Vec<Link> {
                     if ens.predicate.name != req.name {
                         continue;
                     }
-                    let Some(from_carrier) =
-                        ens.predicate.args.first().and_then(Carrier::from_arg)
+                    let Some(from_carrier) = ens.predicate.args.first().and_then(Carrier::from_arg)
                     else {
                         continue;
                     };
@@ -179,8 +178,10 @@ mod tests {
     fn no_backward_links() {
         let mut set = RuleSet::new();
         // B requires what A ensures, but A is listed after B.
-        set.add_source("SPEC a.B\nOBJECTS byte[] x;\nEVENTS e: f(x);\nREQUIRES p[x];").unwrap();
-        set.add_source("SPEC a.A\nOBJECTS byte[] y;\nEVENTS e: g(y);\nENSURES p[y];").unwrap();
+        set.add_source("SPEC a.B\nOBJECTS byte[] x;\nEVENTS e: f(x);\nREQUIRES p[x];")
+            .unwrap();
+        set.add_source("SPEC a.A\nOBJECTS byte[] y;\nEVENTS e: g(y);\nENSURES p[y];")
+            .unwrap();
         let chain = CrySlCodeGenerator::get_instance()
             .consider_crysl_rule("a.B")
             .consider_crysl_rule("a.A")
@@ -193,9 +194,12 @@ mod tests {
     #[test]
     fn producer_picks_latest() {
         let mut set = RuleSet::new();
-        set.add_source("SPEC a.P1\nOBJECTS byte[] a;\nEVENTS e: f(a);\nENSURES p[a];").unwrap();
-        set.add_source("SPEC a.P2\nOBJECTS byte[] b;\nEVENTS e: f(b);\nENSURES p[b];").unwrap();
-        set.add_source("SPEC a.C\nOBJECTS byte[] x;\nEVENTS e: g(x);\nREQUIRES p[x];").unwrap();
+        set.add_source("SPEC a.P1\nOBJECTS byte[] a;\nEVENTS e: f(a);\nENSURES p[a];")
+            .unwrap();
+        set.add_source("SPEC a.P2\nOBJECTS byte[] b;\nEVENTS e: f(b);\nENSURES p[b];")
+            .unwrap();
+        set.add_source("SPEC a.C\nOBJECTS byte[] x;\nEVENTS e: g(x);\nREQUIRES p[x];")
+            .unwrap();
         let chain = CrySlCodeGenerator::get_instance()
             .consider_crysl_rule("a.P1")
             .consider_crysl_rule("a.P2")

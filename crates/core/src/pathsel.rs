@@ -302,7 +302,11 @@ fn event_uses_var(m: &MethodEvent, var: &str) -> bool {
 fn predicate_gap(idx: usize, rule: &Rule, path: &[String], links: &[Link]) -> Option<String> {
     for l in links.outgoing(idx) {
         if let Some(after) = &l.from_after {
-            let anchors: Vec<&str> = rule.resolve_label(after).iter().map(|m| m.label.as_str()).collect();
+            let anchors: Vec<&str> = rule
+                .resolve_label(after)
+                .iter()
+                .map(|m| m.label.as_str())
+                .collect();
             let hit = path.iter().any(|p| anchors.contains(&p.as_str()));
             if !hit {
                 return Some(format!(
@@ -600,7 +604,9 @@ mod tests {
         let rule = "SPEC not.Modelled\nEVENTS e: go();\nORDER e";
         let err = select_for(
             &[rule],
-            CrySlCodeGenerator::get_instance().consider_crysl_rule("not.Modelled").build(),
+            CrySlCodeGenerator::get_instance()
+                .consider_crysl_rule("not.Modelled")
+                .build(),
             TemplateMethod::new("go", JavaType::Void),
             0,
         )

@@ -313,7 +313,10 @@ mod tests {
     #[test]
     fn java_type_conversion() {
         assert_eq!(java_type_of(&TypeRef::scalar("int")), JavaType::Int);
-        assert_eq!(java_type_of(&TypeRef::array("char")), JavaType::char_array());
+        assert_eq!(
+            java_type_of(&TypeRef::array("char")),
+            JavaType::char_array()
+        );
         assert_eq!(
             java_type_of(&TypeRef::scalar("java.lang.String")),
             JavaType::string()
@@ -405,7 +408,9 @@ mod tests {
     fn unresolvable_falls_back_to_hoist() {
         let (set, chain, method) = setup(
             &["SPEC a.X\nOBJECTS byte[] data;\nEVENTS e: use(data);"],
-            CrySlCodeGenerator::get_instance().consider_crysl_rule("a.X").build(),
+            CrySlCodeGenerator::get_instance()
+                .consider_crysl_rule("a.X")
+                .build(),
             &TemplateMethod::new("go", JavaType::Void),
         );
         let rules = collect(&chain, &method, &set).unwrap();

@@ -347,7 +347,11 @@ impl<'o, 'u> SpanTimer<'o, 'u> {
 impl Drop for SpanTimer<'_, '_> {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
-        let alloc = self.scope.take().map(AllocScope::finish).unwrap_or_default();
+        let alloc = self
+            .scope
+            .take()
+            .map(AllocScope::finish)
+            .unwrap_or_default();
         self.observer.span_exit(&self.span, elapsed, alloc);
     }
 }
@@ -581,10 +585,7 @@ impl MetricsRegistry {
     /// Adds `n` to the counter `name`, creating it at zero first.
     pub fn add(&self, name: &str, n: u64) {
         let mut map = self.lock();
-        match map
-            .entry(name.to_owned())
-            .or_insert(Metric::Counter(0))
-        {
+        match map.entry(name.to_owned()).or_insert(Metric::Counter(0)) {
             Metric::Counter(c) => *c += n,
             other => debug_assert!(false, "`{name}` is not a counter: {other:?}"),
         }
@@ -593,10 +594,7 @@ impl MetricsRegistry {
     /// Sets the gauge `name` to `value`.
     pub fn set_gauge(&self, name: &str, value: u64) {
         let mut map = self.lock();
-        match map
-            .entry(name.to_owned())
-            .or_insert(Metric::Gauge(value))
-        {
+        match map.entry(name.to_owned()).or_insert(Metric::Gauge(value)) {
             Metric::Gauge(g) => *g = value,
             other => debug_assert!(false, "`{name}` is not a gauge: {other:?}"),
         }
@@ -631,11 +629,14 @@ impl MetricsRegistry {
         let theirs = other.snapshot();
         let mut map = self.lock();
         for (name, metric) in theirs {
-            match (map.entry(name).or_insert(match metric {
-                Metric::Counter(_) => Metric::Counter(0),
-                Metric::Gauge(_) => Metric::Gauge(0),
-                Metric::Histogram(_) => Metric::Histogram(HistogramStat::default()),
-            }), metric) {
+            match (
+                map.entry(name).or_insert(match metric {
+                    Metric::Counter(_) => Metric::Counter(0),
+                    Metric::Gauge(_) => Metric::Gauge(0),
+                    Metric::Histogram(_) => Metric::Histogram(HistogramStat::default()),
+                }),
+                metric,
+            ) {
                 (Metric::Counter(mine), Metric::Counter(n)) => *mine += n,
                 (Metric::Gauge(mine), Metric::Gauge(g)) => *mine = (*mine).max(g),
                 (Metric::Histogram(mine), Metric::Histogram(h)) => mine.merge(&h),
@@ -720,8 +721,10 @@ impl GenObserver for MetricsCollector {
     fn span_exit(&self, span: &Span<'_>, _elapsed: Duration, alloc: AllocDelta) {
         let phase = span.phase.name();
         self.registry.add(&format!("phase.{phase}.spans"), 1);
-        self.registry
-            .add(&format!("mem.phase.{phase}.alloc_bytes"), alloc.allocated_bytes);
+        self.registry.add(
+            &format!("mem.phase.{phase}.alloc_bytes"),
+            alloc.allocated_bytes,
+        );
         self.registry.observe(
             &format!("mem.phase.{phase}.peak_live_bytes"),
             alloc.peak_live_bytes,
@@ -949,8 +952,14 @@ impl GenObserver for TraceRecorder {
                     "alloc_bytes".to_owned(),
                     Json::Num(alloc.allocated_bytes as f64),
                 ),
-                ("freed_bytes".to_owned(), Json::Num(alloc.freed_bytes as f64)),
-                ("allocations".to_owned(), Json::Num(alloc.allocations as f64)),
+                (
+                    "freed_bytes".to_owned(),
+                    Json::Num(alloc.freed_bytes as f64),
+                ),
+                (
+                    "allocations".to_owned(),
+                    Json::Num(alloc.allocations as f64),
+                ),
                 (
                     "peak_live_bytes".to_owned(),
                     Json::Num(alloc.peak_live_bytes as f64),
@@ -982,10 +991,7 @@ impl GenObserver for TraceRecorder {
                             .to_owned(),
                         ),
                     ),
-                    (
-                        "dfa_states".to_owned(),
-                        dfa_states.map_or(Json::Null, num),
-                    ),
+                    ("dfa_states".to_owned(), dfa_states.map_or(Json::Null, num)),
                     ("accepting_paths".to_owned(), num(*accepting_paths)),
                 ],
             ),
@@ -1131,7 +1137,13 @@ mod tests {
         }
         let log = Log::default();
         let run = |fail: bool| -> Result<(), ()> {
-            let _span = SpanTimer::enter(&log, Span { unit: "U", phase: Phase::Select });
+            let _span = SpanTimer::enter(
+                &log,
+                Span {
+                    unit: "U",
+                    phase: Phase::Select,
+                },
+            );
             if fail {
                 return Err(());
             }
@@ -1154,7 +1166,10 @@ mod tests {
     #[test]
     fn phase_timings_accumulate_per_unit() {
         let t = PhaseTimings::new();
-        let span = Span { unit: "A", phase: Phase::Collect };
+        let span = Span {
+            unit: "A",
+            phase: Phase::Collect,
+        };
         let alloc = AllocDelta {
             allocated_bytes: 100,
             freed_bytes: 40,
@@ -1164,7 +1179,10 @@ mod tests {
         t.span_exit(&span, Duration::from_millis(2), alloc);
         t.span_exit(&span, Duration::from_millis(3), alloc);
         t.span_exit(
-            &Span { unit: "B", phase: Phase::Assemble },
+            &Span {
+                unit: "B",
+                phase: Phase::Assemble,
+            },
             Duration::from_millis(1),
             AllocDelta::default(),
         );
@@ -1253,12 +1271,30 @@ mod tests {
             accepting_paths: 2,
             cache: CacheOutcome::Hit,
         });
-        c.event(&Event::PathSelected { rule: "R", enumerated: 2, chosen_len: 3, hoisted: 1 });
-        c.event(&Event::ParamResolved { rule: "R", variable: "v", via: ResolutionKind::Constraint });
-        c.event(&Event::ParamHoisted { rule: "R", variable: "w" });
-        c.event(&Event::BatchJob { worker: 1, index: 0 });
+        c.event(&Event::PathSelected {
+            rule: "R",
+            enumerated: 2,
+            chosen_len: 3,
+            hoisted: 1,
+        });
+        c.event(&Event::ParamResolved {
+            rule: "R",
+            variable: "v",
+            via: ResolutionKind::Constraint,
+        });
+        c.event(&Event::ParamHoisted {
+            rule: "R",
+            variable: "w",
+        });
+        c.event(&Event::BatchJob {
+            worker: 1,
+            index: 0,
+        });
         c.span_exit(
-            &Span { unit: "U", phase: Phase::Link },
+            &Span {
+                unit: "U",
+                phase: Phase::Link,
+            },
             Duration::ZERO,
             AllocDelta {
                 allocated_bytes: 4096,
@@ -1292,7 +1328,13 @@ mod tests {
     fn trace_recorder_emits_paired_validated_chrome_events() {
         let rec = TraceRecorder::new();
         {
-            let _t = SpanTimer::enter(&rec, Span { unit: "U", phase: Phase::Select });
+            let _t = SpanTimer::enter(
+                &rec,
+                Span {
+                    unit: "U",
+                    phase: Phase::Select,
+                },
+            );
             rec.event(&Event::OrderCompiled {
                 rule: "Cipher",
                 dfa_states: Some(5),
@@ -1316,12 +1358,18 @@ mod tests {
         assert_eq!(instant.get("ph").and_then(Json::as_str), Some("i"));
         assert_eq!(instant.get("s").and_then(Json::as_str), Some("t"));
         assert_eq!(
-            instant.get("args").and_then(|a| a.get("cache")).and_then(Json::as_str),
+            instant
+                .get("args")
+                .and_then(|a| a.get("cache"))
+                .and_then(Json::as_str),
             Some("miss")
         );
         let exit = &events[3];
         assert_eq!(exit.get("ph").and_then(Json::as_str), Some("E"));
-        assert!(exit.get("args").and_then(|a| a.get("alloc_bytes")).is_some());
+        assert!(exit
+            .get("args")
+            .and_then(|a| a.get("alloc_bytes"))
+            .is_some());
         // The serialized document round-trips through the writer/parser.
         validate_trace(&Json::parse(&doc.to_string()).unwrap()).unwrap();
 
@@ -1339,14 +1387,14 @@ mod tests {
                 ("tid".to_owned(), Json::Num(tid)),
             ])
         };
-        let doc = |events: Vec<Json>| Json::Obj(vec![("traceEvents".to_owned(), Json::Arr(events))]);
+        let doc =
+            |events: Vec<Json>| Json::Obj(vec![("traceEvents".to_owned(), Json::Arr(events))]);
 
         assert!(validate_trace(&Json::Obj(vec![])).is_err());
         // Unclosed span.
-        assert!(validate_trace(&doc(vec![ev("B", "select", 0.0, 1.0)])
-        )
-        .unwrap_err()
-        .contains("left open"));
+        assert!(validate_trace(&doc(vec![ev("B", "select", 0.0, 1.0)]))
+            .unwrap_err()
+            .contains("left open"));
         // E without B.
         assert!(validate_trace(&doc(vec![ev("E", "select", 0.0, 1.0)])).is_err());
         // Name mismatch on close.
@@ -1399,14 +1447,23 @@ mod tests {
         }
         let a = Count::default();
         let b = Count::default();
-        Tee(&a, &b).event(&Event::BatchJob { worker: 0, index: 0 });
+        Tee(&a, &b).event(&Event::BatchJob {
+            worker: 0,
+            index: 0,
+        });
         assert_eq!(*a.0.lock().unwrap(), 1);
         assert_eq!(*b.0.lock().unwrap(), 1);
 
         let x: Arc<Count> = Arc::new(Count::default());
         let fan = Fanout::new().with(x.clone()).with(Arc::new(NoopObserver));
-        fan.event(&Event::BatchJob { worker: 0, index: 1 });
-        fan.event(&Event::BatchJob { worker: 0, index: 2 });
+        fan.event(&Event::BatchJob {
+            worker: 0,
+            index: 1,
+        });
+        fan.event(&Event::BatchJob {
+            worker: 0,
+            index: 2,
+        });
         assert_eq!(*x.0.lock().unwrap(), 2);
     }
 }

@@ -256,7 +256,11 @@ pub fn render_java(template: &Template) -> String {
             for (i, e) in chain.entries.iter().enumerate() {
                 let _ = write!(out, "            considerCrySLRule(\"{}\")", e.rule);
                 for b in &e.bindings {
-                    let _ = write!(out, ".\n            addParameter({}, \"{}\")", b.template_var, b.rule_var);
+                    let _ = write!(
+                        out,
+                        ".\n            addParameter({}, \"{}\")",
+                        b.template_var, b.rule_var
+                    );
                 }
                 let terminal = i == chain.entries.len() - 1;
                 if terminal {
@@ -326,14 +330,20 @@ mod tests {
         let t = Template::new("de.crypto", "TemplateClass").method(method);
         let java = render_java(&t);
         assert!(java.contains("public class TemplateClass {"), "{java}");
-        assert!(java.contains("public SecretKey generateKey(char[] pwd) {"), "{java}");
+        assert!(
+            java.contains("public SecretKey generateKey(char[] pwd) {"),
+            "{java}"
+        );
         assert!(java.contains("CrySLCodeGenerator.getInstance()."), "{java}");
         assert!(
             java.contains("considerCrySLRule(\"java.security.SecureRandom\")"),
             "{java}"
         );
         assert!(java.contains("addParameter(salt, \"out\")"), "{java}");
-        assert!(java.contains("addReturnObject(encryptionKey).generate();"), "{java}");
+        assert!(
+            java.contains("addReturnObject(encryptionKey).generate();"),
+            "{java}"
+        );
         assert!(java.contains("return encryptionKey;"), "{java}");
     }
 
@@ -341,8 +351,7 @@ mod tests {
     fn render_java_handles_helper_methods_without_chains() {
         use javamodel::ast::JavaType;
         let t = Template::new("p", "C").method(
-            TemplateMethod::new("helper", JavaType::Int)
-                .post(Stmt::Return(Some(Expr::int(42)))),
+            TemplateMethod::new("helper", JavaType::Int).post(Stmt::Return(Some(Expr::int(42)))),
         );
         let java = render_java(&t);
         assert!(java.contains("public int helper() {"));

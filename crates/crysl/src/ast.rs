@@ -228,7 +228,20 @@ impl fmt::Display for Literal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Literal::Int(i) => write!(f, "{i}"),
-            Literal::Str(s) => write!(f, "\"{s}\""),
+            Literal::Str(s) => {
+                // Escape exactly what the lexer unescapes, so printed
+                // literals re-lex to the same string.
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        other => write!(f, "{other}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
             Literal::Bool(b) => write!(f, "{b}"),
         }
     }
@@ -531,7 +544,10 @@ mod tests {
     fn order_labels_collects_all() {
         let e = OrderExpr::Seq(vec![
             OrderExpr::Label("a".into()),
-            OrderExpr::Alt(vec![OrderExpr::Label("b".into()), OrderExpr::Label("c".into())]),
+            OrderExpr::Alt(vec![
+                OrderExpr::Label("b".into()),
+                OrderExpr::Label("c".into()),
+            ]),
             OrderExpr::Opt(Box::new(OrderExpr::Label("d".into()))),
         ]);
         assert_eq!(e.labels(), vec!["a", "b", "c", "d"]);

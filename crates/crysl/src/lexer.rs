@@ -325,6 +325,8 @@ impl<'a> Lexer<'a> {
                         return Err(CryslError::lex(pos, "expected digits after `-`"));
                     }
                 }
+                // Accumulate negatively so `i64::MIN` (whose magnitude
+                // exceeds `i64::MAX`) lexes without overflow.
                 let mut value: i64 = 0;
                 while let Some(d) = self.peek() {
                     if !d.is_ascii_digit() {
@@ -333,10 +335,15 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     value = value
                         .checked_mul(10)
-                        .and_then(|v| v.checked_add(i64::from(d - b'0')))
+                        .and_then(|v| v.checked_sub(i64::from(d - b'0')))
                         .ok_or_else(|| CryslError::lex(pos, "integer literal overflows i64"))?;
                 }
-                TokenKind::Int(if neg { -value } else { value })
+                if !neg {
+                    value = value
+                        .checked_neg()
+                        .ok_or_else(|| CryslError::lex(pos, "integer literal overflows i64"))?;
+                }
+                TokenKind::Int(value)
             }
             b'_' => {
                 // A lone underscore is the wildcard; `_foo` is an identifier.
@@ -377,13 +384,28 @@ impl<'a> Lexer<'a> {
     }
 }
 
+/// Upper bound on accepted source size. Real CrySL rules are a few
+/// hundred bytes; the cap keeps token vectors and downstream ASTs for
+/// hostile inputs bounded.
+pub const MAX_SOURCE_BYTES: usize = 64 * 1024;
+
 /// Tokenizes CrySL source text into a vector ending with [`TokenKind::Eof`].
 ///
 /// # Errors
 ///
-/// Returns [`CryslError::Lex`] for unknown characters, unterminated strings
-/// or comments, and integer overflow.
+/// Returns [`CryslError::Lex`] for oversized input ([`MAX_SOURCE_BYTES`]),
+/// unknown characters, unterminated strings or comments, and integer
+/// overflow.
 pub fn tokenize(source: &str) -> Result<Vec<Token>, CryslError> {
+    if source.len() > MAX_SOURCE_BYTES {
+        return Err(CryslError::lex(
+            Pos { line: 1, col: 1 },
+            format!(
+                "source is {} bytes; the limit is {MAX_SOURCE_BYTES}",
+                source.len()
+            ),
+        ));
+    }
     let mut lexer = Lexer::new(source);
     let mut tokens = Vec::new();
     loop {

@@ -39,17 +39,54 @@ const SECTIONS: &[&str] = &[
     "NEGATES",
 ];
 
+/// Maximum parenthesis-nesting depth in `ORDER` and `CONSTRAINTS`
+/// expressions. Recursive descent otherwise turns deep nesting in hostile
+/// input into a stack overflow, which aborts the process.
+pub const MAX_NEST_DEPTH: usize = 64;
+
+/// Maximum consecutive postfix operators (`?`, `*`, `+`) on one `ORDER`
+/// atom. Each operator adds a level of `Box` nesting that recursive
+/// consumers (printing, dropping) must walk.
+pub const MAX_POSTFIX_RUN: usize = 32;
+
+/// Maximum terms in one `&&` or `||` chain. The chains build left-leaning
+/// `Box` trees whose depth equals the term count.
+pub const MAX_CHAIN_TERMS: usize = 256;
+
 /// A recursive-descent parser over a token slice produced by
 /// [`crate::lexer::tokenize`].
 pub struct Parser<'t> {
     tokens: &'t [Token],
     i: usize,
+    depth: usize,
 }
 
 impl<'t> Parser<'t> {
     /// Creates a parser positioned at the first token.
     pub fn new(tokens: &'t [Token]) -> Self {
-        Parser { tokens, i: 0 }
+        Parser {
+            tokens,
+            i: 0,
+            depth: 0,
+        }
+    }
+
+    /// Enters one level of expression nesting, rejecting input deeper
+    /// than [`MAX_NEST_DEPTH`]. Callers pair it with `leave` on success;
+    /// on error the parser is abandoned, so no unwinding is needed.
+    fn enter(&mut self) -> Result<(), CryslError> {
+        self.depth += 1;
+        if self.depth > MAX_NEST_DEPTH {
+            return Err(CryslError::parse(
+                self.pos(),
+                format!("expression nesting exceeds {MAX_NEST_DEPTH} levels"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> &TokenKind {
@@ -314,6 +351,7 @@ impl<'t> Parser<'t> {
 
     fn parse_order_postfix(&mut self) -> Result<OrderExpr, CryslError> {
         let mut e = self.parse_order_atom()?;
+        let mut run = 0usize;
         loop {
             if self.eat(&TokenKind::Question) {
                 e = OrderExpr::Opt(Box::new(e));
@@ -324,13 +362,22 @@ impl<'t> Parser<'t> {
             } else {
                 return Ok(e);
             }
+            run += 1;
+            if run > MAX_POSTFIX_RUN {
+                return Err(CryslError::parse(
+                    self.pos(),
+                    format!("more than {MAX_POSTFIX_RUN} consecutive postfix operators"),
+                ));
+            }
         }
     }
 
     fn parse_order_atom(&mut self) -> Result<OrderExpr, CryslError> {
         if self.eat(&TokenKind::LParen) {
+            self.enter()?;
             let e = self.parse_order_alt()?;
             self.expect(&TokenKind::RParen, "`)`")?;
+            self.leave();
             Ok(e)
         } else {
             let label = self.expect_ident("event label")?;
@@ -354,7 +401,15 @@ impl<'t> Parser<'t> {
 
     fn parse_constraint_or(&mut self) -> Result<Constraint, CryslError> {
         let mut lhs = self.parse_constraint_and()?;
+        let mut terms = 1usize;
         while self.eat(&TokenKind::OrOr) {
+            terms += 1;
+            if terms > MAX_CHAIN_TERMS {
+                return Err(CryslError::parse(
+                    self.pos(),
+                    format!("more than {MAX_CHAIN_TERMS} `||` terms"),
+                ));
+            }
             let rhs = self.parse_constraint_and()?;
             lhs = Constraint::Or(Box::new(lhs), Box::new(rhs));
         }
@@ -363,7 +418,15 @@ impl<'t> Parser<'t> {
 
     fn parse_constraint_and(&mut self) -> Result<Constraint, CryslError> {
         let mut lhs = self.parse_constraint_atom()?;
+        let mut terms = 1usize;
         while self.eat(&TokenKind::AndAnd) {
+            terms += 1;
+            if terms > MAX_CHAIN_TERMS {
+                return Err(CryslError::parse(
+                    self.pos(),
+                    format!("more than {MAX_CHAIN_TERMS} `&&` terms"),
+                ));
+            }
             let rhs = self.parse_constraint_atom()?;
             lhs = Constraint::And(Box::new(lhs), Box::new(rhs));
         }
@@ -372,8 +435,10 @@ impl<'t> Parser<'t> {
 
     fn parse_constraint_atom(&mut self) -> Result<Constraint, CryslError> {
         if self.eat(&TokenKind::LParen) {
+            self.enter()?;
             let c = self.parse_constraint()?;
             self.expect(&TokenKind::RParen, "`)`")?;
+            self.leave();
             return Ok(c);
         }
         // instanceof[var, Type] / neverTypeOf[var, Type]
@@ -526,6 +591,10 @@ impl<'t> Parser<'t> {
             TokenKind::Ident(s) if s == "this" => {
                 self.bump();
                 Ok(PredArg::This)
+            }
+            TokenKind::Ident(s) if s == "true" || s == "false" => {
+                self.bump();
+                Ok(PredArg::Lit(Literal::Bool(s == "true")))
             }
             TokenKind::Int(i) => {
                 self.bump();

@@ -22,8 +22,7 @@ pub fn print_rule(rule: &Rule) -> String {
         for e in &rule.events {
             match e {
                 EventDecl::Method(m) => {
-                    let params: Vec<String> =
-                        m.params.iter().map(|p| p.to_string()).collect();
+                    let params: Vec<String> = m.params.iter().map(|p| p.to_string()).collect();
                     match &m.return_var {
                         Some(rv) => {
                             let _ = writeln!(
@@ -136,7 +135,27 @@ fn print_order_atomized(e: &OrderExpr) -> String {
 
 /// Renders a constraint.
 pub fn print_constraint(c: &Constraint) -> String {
+    print_constraint_prec(c, 0)
+}
+
+/// Binding strength mirroring the parser: `=>` (1) < `||` (2) < `&&` (3)
+/// < atoms (4).
+fn prec(c: &Constraint) -> u8 {
     match c {
+        Constraint::Implies { .. } => 1,
+        Constraint::Or(..) => 2,
+        Constraint::And(..) => 3,
+        _ => 4,
+    }
+}
+
+/// Prints `c`, parenthesizing whenever its operator binds looser than the
+/// surrounding context (`min`) requires, so the output reparses to the
+/// identical AST. Right operands of the left-associative `&&`/`||` need
+/// strictly tighter children; `=>` is non-associative, so both sides need
+/// at least `||` strength.
+fn print_constraint_prec(c: &Constraint, min: u8) -> String {
+    let s = match c {
         Constraint::In { var, choices } => {
             let lits: Vec<String> = choices.iter().map(|l| l.to_string()).collect();
             format!("{var} in {{{}}}", lits.join(", "))
@@ -155,11 +174,24 @@ pub fn print_constraint(c: &Constraint) -> String {
             consequent,
         } => format!(
             "{} => {}",
-            print_constraint(antecedent),
-            print_constraint(consequent)
+            print_constraint_prec(antecedent, 2),
+            print_constraint_prec(consequent, 2)
         ),
-        Constraint::And(a, b) => format!("{} && {}", print_constraint(a), print_constraint(b)),
-        Constraint::Or(a, b) => format!("{} || {}", print_constraint(a), print_constraint(b)),
+        Constraint::Or(a, b) => format!(
+            "{} || {}",
+            print_constraint_prec(a, 2),
+            print_constraint_prec(b, 3)
+        ),
+        Constraint::And(a, b) => format!(
+            "{} && {}",
+            print_constraint_prec(a, 3),
+            print_constraint_prec(b, 4)
+        ),
+    };
+    if prec(c) < min {
+        format!("({s})")
+    } else {
+        s
     }
 }
 

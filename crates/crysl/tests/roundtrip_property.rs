@@ -77,7 +77,11 @@ fn skeleton() -> Gen<RuleSkeleton> {
     let raw_events = gens::vec(gens::tuple2(ident(), ident()), 1, 5);
     let use_order = gens::bool_any();
     let cmp = gens::vec(
-        gens::tuple3(gens::usize_range(0, 4), cmp_op(), gens::i64_range(-1000, 1000)),
+        gens::tuple3(
+            gens::usize_range(0, 4),
+            cmp_op(),
+            gens::i64_range(-1000, 1000),
+        ),
         0,
         3,
     );

@@ -186,7 +186,10 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         Some(b'[') => parse_array(bytes, pos),
         Some(b'{') => parse_object(bytes, pos),
         Some(b'-') | Some(b'0'..=b'9') => parse_number(bytes, pos),
-        Some(&c) => Err(JsonError::at(*pos, format!("unexpected byte '{}'", c as char))),
+        Some(&c) => Err(JsonError::at(
+            *pos,
+            format!("unexpected byte '{}'", c as char),
+        )),
     }
 }
 
@@ -340,7 +343,9 @@ mod tests {
         assert_eq!(v.to_string(), src);
         assert_eq!(v.get("name").and_then(Json::as_str), Some("t1"));
         assert_eq!(
-            v.get("meta").and_then(|m| m.get("p95")).and_then(Json::as_f64),
+            v.get("meta")
+                .and_then(|m| m.get("p95"))
+                .and_then(Json::as_f64),
             Some(12.5)
         );
     }
@@ -355,7 +360,10 @@ mod tests {
     #[test]
     fn whitespace_tolerated() {
         let v = Json::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
-        assert_eq!(v.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
     }
 
     #[test]

@@ -323,7 +323,11 @@ enum CaseOutcome<T> {
     Pass,
     Rejected,
     GenPanic(String),
-    Fail { value: T, log: Vec<u64>, message: String },
+    Fail {
+        value: T,
+        log: Vec<u64>,
+        message: String,
+    },
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Result<String, String> {
@@ -340,11 +344,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Result<String, Strin
     Ok("<non-string panic payload>".to_owned())
 }
 
-fn run_case<T: 'static>(
-    gen: &Gen<T>,
-    prop: &impl Fn(&T),
-    tape: Tape,
-) -> CaseOutcome<T> {
+fn run_case<T: 'static>(gen: &Gen<T>, prop: &impl Fn(&T), tape: Tape) -> CaseOutcome<T> {
     let mut tape = tape;
     let generated = catch_unwind(AssertUnwindSafe(|| gen.run(&mut tape)));
     let value = match generated {
@@ -367,7 +367,11 @@ fn run_case<T: 'static>(
                 log,
                 message: format!("generator rejection escaped into property: {why}"),
             },
-            Ok(message) => CaseOutcome::Fail { value, log, message },
+            Ok(message) => CaseOutcome::Fail {
+                value,
+                log,
+                message,
+            },
         },
     }
 }
@@ -453,7 +457,11 @@ pub fn check<T: std::fmt::Debug + 'static>(
             CaseOutcome::GenPanic(msg) => {
                 panic!("property '{name}': generator itself panicked on case {case}: {msg}")
             }
-            CaseOutcome::Fail { value, log, message } => {
+            CaseOutcome::Fail {
+                value,
+                log,
+                message,
+            } => {
                 let (value, message) = shrink(gen, &prop, value, log, message, cfg);
                 panic!(
                     "property '{name}' failed (case {case}, base seed {seed}).\n\
@@ -485,8 +493,11 @@ fn shrink<T: 'static>(
                 break 'outer;
             }
             budget -= 1;
-            if let CaseOutcome::Fail { value, log, message } =
-                run_case(gen, prop, Tape::frozen(cand))
+            if let CaseOutcome::Fail {
+                value,
+                log,
+                message,
+            } = run_case(gen, prop, Tape::frozen(cand))
             {
                 // Only adopt strictly simpler tapes, so the loop cannot
                 // cycle between equivalent-weight candidates.
@@ -581,7 +592,9 @@ mod tests {
     fn failure_shrinks_collections_to_minimal_shape() {
         let g = gens::bytes(0, 100);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            check("len_three_fails", &quiet_cfg(64), &g, |v| assert!(v.len() < 3));
+            check("len_three_fails", &quiet_cfg(64), &g, |v| {
+                assert!(v.len() < 3)
+            });
         }));
         let msg = match result {
             Err(p) => *p.downcast::<String>().unwrap(),
@@ -619,10 +632,7 @@ mod tests {
     fn mapped_and_composed_generators_shrink() {
         // A composed generator (tuple of mapped parts) still shrinks to
         // the joint minimum.
-        let g = gens::tuple2(
-            gens::usize_range(0, 50).map(|v| v * 2),
-            gens::bytes(0, 20),
-        );
+        let g = gens::tuple2(gens::usize_range(0, 50).map(|v| v * 2), gens::bytes(0, 20));
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             check("tuple_fails", &quiet_cfg(64), &g, |(a, b)| {
                 assert!(*a < 20 || b.len() < 2);

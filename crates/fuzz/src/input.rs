@@ -1,0 +1,261 @@
+//! Fuzz inputs and the on-disk corpus format.
+//!
+//! Every input the fuzzer runs — generated, mutated, or replayed from the
+//! committed corpus — is a [`FuzzInput`]. The corpus serialization is a
+//! plain-text, line-oriented format so reproducers diff well and can be
+//! minimized by removing lines:
+//!
+//! ```text
+//! cognicrypt-fuzz/1 rule
+//! SPEC javax.crypto.Example
+//! ...raw CrySL source...
+//! ```
+//!
+//! ```text
+//! cognicrypt-fuzz/1 template
+//! base 9
+//! method 0
+//! rule javax.crypto.spec.PBEKeySpec
+//! bind pwd password
+//! return key
+//! ```
+//!
+//! A `rule` input is arbitrary CrySL source text (well-formed or hostile).
+//! A `template` input rebuilds the fluent-API chain of one method of a
+//! shipped use-case template from `rule`/`bind`/`return` directives, so a
+//! reproducer is meaningful without serializing whole Java templates.
+
+use cognicrypt_core::template::{Binding, ChainEntry, GeneratorChain, Template};
+use usecases::UseCase;
+
+/// Magic first-line prefix of every corpus file.
+pub const CORPUS_MAGIC: &str = "cognicrypt-fuzz/1";
+
+/// One fuzz input: hostile CrySL source or a template-chain spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzInput {
+    /// Raw CrySL source text fed to the `crysl` front-end.
+    Rule(String),
+    /// A fluent-API chain spec applied to a shipped use-case template.
+    Template(TemplateSpec),
+}
+
+/// A serializable description of a fluent-API chain, grafted onto one
+/// method of a base use-case template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateSpec {
+    /// Table-1 id of the use case whose template is the scaffold.
+    pub base: u8,
+    /// Index of the template method whose chain is replaced.
+    pub method: usize,
+    /// The chain entries, in `considerCrySLRule` order.
+    pub entries: Vec<SpecEntry>,
+    /// The `addReturnObject` variable, if any.
+    pub return_object: Option<String>,
+}
+
+/// One `considerCrySLRule` entry of a [`TemplateSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecEntry {
+    /// Class name passed to `considerCrySLRule`.
+    pub rule: String,
+    /// `(template_var, rule_var)` bindings attached to this entry.
+    pub bindings: Vec<(String, String)>,
+}
+
+impl TemplateSpec {
+    /// Grafts the spec's chain onto its base template. Returns `None`
+    /// when the base id or method index does not resolve — such a spec
+    /// is simply uninteresting, not an error.
+    pub fn build(&self, cases: &[UseCase]) -> Option<Template> {
+        let base = cases.iter().find(|u| u.id == self.base)?;
+        let mut template = base.template.clone();
+        let method = template.methods.get_mut(self.method)?;
+        method.chain = Some(GeneratorChain {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| ChainEntry {
+                    rule: e.rule.clone(),
+                    bindings: e
+                        .bindings
+                        .iter()
+                        .map(|(t, r)| Binding {
+                            template_var: t.clone(),
+                            rule_var: r.clone(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+            return_object: self.return_object.clone(),
+        });
+        Some(template)
+    }
+}
+
+impl FuzzInput {
+    /// The corpus kind tag (`rule` or `template`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FuzzInput::Rule(_) => "rule",
+            FuzzInput::Template(_) => "template",
+        }
+    }
+
+    /// Serializes the input in corpus format (header line + body).
+    pub fn encode(&self) -> String {
+        match self {
+            FuzzInput::Rule(src) => format!("{CORPUS_MAGIC} rule\n{src}"),
+            FuzzInput::Template(spec) => {
+                let mut out = format!(
+                    "{CORPUS_MAGIC} template\nbase {}\nmethod {}\n",
+                    spec.base, spec.method
+                );
+                for e in &spec.entries {
+                    out.push_str(&format!("rule {}\n", e.rule));
+                    for (t, r) in &e.bindings {
+                        out.push_str(&format!("bind {t} {r}\n"));
+                    }
+                }
+                if let Some(r) = &spec.return_object {
+                    out.push_str(&format!("return {r}\n"));
+                }
+                out
+            }
+        }
+    }
+
+    /// Parses a corpus file back into an input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for a missing/unknown header or a
+    /// malformed `template` directive.
+    pub fn decode(text: &str) -> Result<FuzzInput, String> {
+        let (header, body) = match text.split_once('\n') {
+            Some((h, b)) => (h, b),
+            None => (text, ""),
+        };
+        let kind = header
+            .strip_prefix(CORPUS_MAGIC)
+            .map(str::trim)
+            .ok_or_else(|| format!("missing `{CORPUS_MAGIC}` header"))?;
+        match kind {
+            "rule" => Ok(FuzzInput::Rule(body.to_owned())),
+            "template" => decode_template(body).map(FuzzInput::Template),
+            other => Err(format!("unknown input kind `{other}`")),
+        }
+    }
+}
+
+fn decode_template(body: &str) -> Result<TemplateSpec, String> {
+    let mut spec = TemplateSpec {
+        base: 0,
+        method: 0,
+        entries: Vec::new(),
+        return_object: None,
+    };
+    let mut saw_base = false;
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (op, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match op {
+            "base" => {
+                spec.base = rest.parse().map_err(|_| format!("bad base `{rest}`"))?;
+                saw_base = true;
+            }
+            "method" => {
+                spec.method = rest.parse().map_err(|_| format!("bad method `{rest}`"))?;
+            }
+            "rule" => spec.entries.push(SpecEntry {
+                rule: rest.to_owned(),
+                bindings: Vec::new(),
+            }),
+            "bind" => {
+                let (t, r) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| format!("bad bind `{rest}`"))?;
+                spec.entries
+                    .last_mut()
+                    .ok_or("bind before any rule")?
+                    .bindings
+                    .push((t.to_owned(), r.to_owned()));
+            }
+            "return" => spec.return_object = Some(rest.to_owned()),
+            other => return Err(format!("unknown template directive `{other}`")),
+        }
+    }
+    if !saw_base {
+        return Err("template spec is missing `base`".to_owned());
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_roundtrips_through_the_corpus_format() {
+        let input = FuzzInput::Rule("SPEC X\nEVENTS a: f();\nORDER a".to_owned());
+        let decoded = FuzzInput::decode(&input.encode()).unwrap();
+        assert_eq!(input, decoded);
+    }
+
+    #[test]
+    fn template_roundtrips_through_the_corpus_format() {
+        let input = FuzzInput::Template(TemplateSpec {
+            base: 9,
+            method: 0,
+            entries: vec![
+                SpecEntry {
+                    rule: "java.security.SecureRandom".into(),
+                    bindings: vec![("salt".into(), "out".into())],
+                },
+                SpecEntry {
+                    rule: "javax.crypto.spec.PBEKeySpec".into(),
+                    bindings: vec![],
+                },
+            ],
+            return_object: Some("key".into()),
+        });
+        let decoded = FuzzInput::decode(&input.encode()).unwrap();
+        assert_eq!(input, decoded);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(FuzzInput::decode("not a corpus file").is_err());
+        assert!(FuzzInput::decode("cognicrypt-fuzz/1 widget\n").is_err());
+        assert!(FuzzInput::decode("cognicrypt-fuzz/1 template\nbind a b\n").is_err());
+        assert!(FuzzInput::decode("cognicrypt-fuzz/1 template\nrule X\n").is_err());
+    }
+
+    #[test]
+    fn build_grafts_the_chain_onto_the_base_template() {
+        let cases = usecases::all_use_cases();
+        let spec = TemplateSpec {
+            base: 11,
+            method: 0,
+            entries: vec![SpecEntry {
+                rule: "java.security.MessageDigest".into(),
+                bindings: vec![],
+            }],
+            return_object: None,
+        };
+        let t = spec.build(&cases).unwrap();
+        let chain = t.methods[0].chain.as_ref().unwrap();
+        assert_eq!(chain.entries[0].rule, "java.security.MessageDigest");
+
+        let bad = TemplateSpec {
+            base: 99,
+            ..spec.clone()
+        };
+        assert!(bad.build(&cases).is_none());
+        let bad_method = TemplateSpec { method: 99, ..spec };
+        assert!(bad_method.build(&cases).is_none());
+    }
+}

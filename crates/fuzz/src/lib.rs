@@ -1,0 +1,337 @@
+//! Deterministic fuzzing and robustness harness for the CrySL front-end
+//! and the generation pipeline behind it.
+//!
+//! Everything is reproducible from a single `u64` seed: each iteration
+//! derives its own PRNG stream, inputs come from three deterministic
+//! sources (grammar-based generation of valid rules, byte/token mutation
+//! of rule sources, structural mutation of fluent-API template chains),
+//! and the run log contains no timing, so two runs with the same seed
+//! and budget are byte-identical — including the crash reproducers they
+//! write.
+//!
+//! A *crash* is a panic anywhere in the pipeline (captured and
+//! fingerprinted by panic site, see [`crash`]) **or** a violated
+//! differential oracle (see [`oracle`] — fingerprinted as
+//! `oracle:<name>`). Crashes deduplicate by fingerprint; the first input
+//! per fingerprint is minimized ([`minimize`]) and written to the corpus
+//! directory as `crash-<fingerprint-slug>.txt`. Corpus files replay
+//! before the budget loop, so committed reproducers act as regression
+//! gates (`--budget 0` = replay only).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crash;
+pub mod grammar;
+pub mod input;
+pub mod minimize;
+pub mod mutate;
+pub mod oracle;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use devharness::rng::{RandomSource, Xoshiro256};
+
+use crate::crash::{run_guarded, Crash};
+use crate::grammar::GrammarConfig;
+use crate::input::FuzzInput;
+pub use crate::oracle::FuzzEnv;
+
+/// Odd constant (golden-ratio based) spacing the per-iteration seeds.
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A fuzz session: replay the corpus, then run `budget` fresh inputs.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzConfig {
+    /// Number of fresh inputs to generate and execute.
+    pub budget: usize,
+    /// Master seed; every derived input is a pure function of it.
+    pub seed: u64,
+    /// Corpus directory: replayed before the budget loop, and the
+    /// destination for new crash reproducers.
+    pub corpus: Option<PathBuf>,
+}
+
+/// One deduplicated crash class found during a session.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// Panic-site (`file:line`) or oracle (`oracle:<name>`) fingerprint.
+    pub fingerprint: String,
+    /// The panic message or oracle mismatch description.
+    pub message: String,
+    /// The minimized reproducer.
+    pub minimized: FuzzInput,
+    /// Where the input came from (`replay:<file>` or `iter:<n>`).
+    pub origin: String,
+    /// Reproducer file written this session, if any.
+    pub written: Option<PathBuf>,
+}
+
+/// The outcome of a fuzz session.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Inputs executed from the corpus.
+    pub replayed: usize,
+    /// Fresh inputs executed from the budget loop.
+    pub executed: usize,
+    /// Corpus files that failed to decode (`(file, error)`).
+    pub decode_errors: Vec<(String, String)>,
+    /// Deduplicated crashes, in discovery order.
+    pub crashes: Vec<CrashReport>,
+    /// The deterministic session log (no timing, byte-identical across
+    /// runs with the same seed/budget/corpus).
+    pub log: String,
+}
+
+impl FuzzReport {
+    /// True when the session found no crashes and the corpus was clean.
+    pub fn is_clean(&self) -> bool {
+        self.crashes.is_empty() && self.decode_errors.is_empty()
+    }
+}
+
+/// Executes one input against the oracles, capturing panics and oracle
+/// violations as [`Crash`]es.
+///
+/// # Errors
+///
+/// Returns the crash (panic or violated oracle) the input triggers.
+pub fn execute_input(env: &FuzzEnv, input: &FuzzInput) -> Result<(), Crash> {
+    let outcome = run_guarded(|| match input {
+        FuzzInput::Rule(src) => oracle::check_rule(src),
+        FuzzInput::Template(spec) => oracle::check_template(env, spec),
+    })?;
+    outcome.map_err(|f| Crash {
+        fingerprint: format!("oracle:{}", f.oracle),
+        message: f.detail,
+    })
+}
+
+/// Derives the PRNG for budget iteration `i` of a session with `seed`.
+pub fn iteration_rng(seed: u64, i: usize) -> Xoshiro256 {
+    Xoshiro256::seed_from_u64(seed.wrapping_add((i as u64 + 1).wrapping_mul(SEED_STRIDE)))
+}
+
+/// Generates the input for budget iteration `i`: 40% grammar-generated
+/// valid rules, 40% mutated rule sources, 20% mutated template chains.
+pub fn iteration_input(env: &FuzzEnv, seed: u64, i: usize) -> FuzzInput {
+    let mut rng = iteration_rng(seed, i);
+    let config = GrammarConfig::default();
+    match rng.next_below(10) {
+        0..=3 => FuzzInput::Rule(grammar::gen_rule_source(&mut rng, &config)),
+        4..=7 => {
+            // Mutate a shipped rule or a freshly generated one.
+            let base = if rng.next_bool() {
+                let sources = rules::RULE_SOURCES;
+                sources[rng.next_below(sources.len() as u64) as usize]
+                    .1
+                    .to_owned()
+            } else {
+                grammar::gen_rule_source(&mut rng, &config)
+            };
+            FuzzInput::Rule(mutate::mutate_rule_source(&base, &mut rng))
+        }
+        _ => {
+            let pool: Vec<&str> = rules::RULE_SOURCES.iter().map(|(n, _)| *n).collect();
+            FuzzInput::Template(mutate::mutate_template_spec(&env.cases, &pool, &mut rng))
+        }
+    }
+}
+
+/// Runs a full fuzz session: corpus replay, budget loop, dedup,
+/// minimization, reproducer writing.
+///
+/// # Errors
+///
+/// Returns a message when the environment cannot be built or the corpus
+/// directory cannot be read/written. Crashes found by fuzzing are *not*
+/// errors — they are reported in the [`FuzzReport`].
+pub fn run(config: &FuzzConfig) -> Result<FuzzReport, String> {
+    let env = FuzzEnv::new()?;
+    let mut report = FuzzReport::default();
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+
+    let _ = writeln!(
+        report.log,
+        "fuzz: seed={} budget={} corpus={}",
+        config.seed,
+        config.budget,
+        config
+            .corpus
+            .as_ref()
+            .map_or_else(|| "-".to_owned(), |p| p.display().to_string())
+    );
+
+    // Phase 1: replay the committed corpus, sorted by file name so the
+    // order (and thus the log) is deterministic.
+    if let Some(dir) = &config.corpus {
+        for (name, text) in read_corpus(dir)? {
+            match FuzzInput::decode(&text) {
+                Ok(input) => {
+                    report.replayed += 1;
+                    if let Err(crash) = execute_input(&env, &input) {
+                        record_crash(
+                            &mut report,
+                            &mut seen,
+                            &env,
+                            crash,
+                            input,
+                            format!("replay:{name}"),
+                            None, // never rewrite replayed files
+                        );
+                    }
+                }
+                Err(e) => {
+                    let _ = writeln!(report.log, "corpus: {name}: undecodable: {e}");
+                    report.decode_errors.push((name, e));
+                }
+            }
+        }
+        let _ = writeln!(report.log, "replayed {} corpus inputs", report.replayed);
+    }
+
+    // Phase 2: the budget loop.
+    for i in 0..config.budget {
+        let input = iteration_input(&env, config.seed, i);
+        report.executed += 1;
+        if let Err(crash) = execute_input(&env, &input) {
+            record_crash(
+                &mut report,
+                &mut seen,
+                &env,
+                crash,
+                input,
+                format!("iter:{i}"),
+                config.corpus.as_deref(),
+            );
+        }
+    }
+
+    let _ = writeln!(
+        report.log,
+        "done: {} executed, {} replayed, {} crash classes, {} undecodable corpus files",
+        report.executed,
+        report.replayed,
+        report.crashes.len(),
+        report.decode_errors.len()
+    );
+    Ok(report)
+}
+
+fn record_crash(
+    report: &mut FuzzReport,
+    seen: &mut BTreeMap<String, usize>,
+    env: &FuzzEnv,
+    crash: Crash,
+    input: FuzzInput,
+    origin: String,
+    corpus: Option<&std::path::Path>,
+) {
+    if let Some(&idx) = seen.get(&crash.fingerprint) {
+        let _ = writeln!(
+            report.log,
+            "crash {} ({origin}): duplicate of #{idx}",
+            crash.fingerprint
+        );
+        return;
+    }
+    let fingerprint = crash.fingerprint.clone();
+    let minimized = minimize::minimize(
+        &input,
+        |cand| matches!(execute_input(env, cand), Err(c) if c.fingerprint == fingerprint),
+    );
+    let _ = writeln!(
+        report.log,
+        "crash {} ({origin}): {} [minimized {} -> {} bytes]",
+        crash.fingerprint,
+        crash.message,
+        input.encode().len(),
+        minimized.encode().len()
+    );
+    let written = corpus.and_then(|dir| {
+        let path = dir.join(format!("crash-{}.txt", slug(&crash.fingerprint)));
+        if path.exists() {
+            None // an earlier session already committed this class
+        } else {
+            std::fs::write(&path, minimized.encode()).ok()?;
+            let _ = writeln!(report.log, "  wrote {}", path.display());
+            Some(path)
+        }
+    });
+    seen.insert(crash.fingerprint.clone(), report.crashes.len());
+    report.crashes.push(CrashReport {
+        fingerprint: crash.fingerprint,
+        message: crash.message,
+        minimized,
+        origin,
+        written,
+    });
+}
+
+fn read_corpus(dir: &std::path::Path) -> Result<Vec<(String, String)>, String> {
+    let mut files = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("corpus dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("corpus dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.extension().is_some_and(|x| x == "txt") {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("corpus file {}: {e}", path.display()))?;
+            files.push((name, text));
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn slug(fingerprint: &str) -> String {
+    fingerprint
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_are_byte_deterministic() {
+        let config = FuzzConfig {
+            budget: 40,
+            seed: 11,
+            corpus: None,
+        };
+        let a = run(&config).unwrap();
+        let b = run(&config).unwrap();
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.crashes.len(), b.crashes.len());
+        for (x, y) in a.crashes.iter().zip(&b.crashes) {
+            assert_eq!(x.fingerprint, y.fingerprint);
+            assert_eq!(x.minimized, y.minimized);
+        }
+    }
+
+    #[test]
+    fn oracle_violations_are_fingerprinted_as_oracles() {
+        let env = FuzzEnv::new().unwrap();
+        // A rule that cannot round-trip would surface as oracle:roundtrip-*;
+        // a clean rule passes.
+        execute_input(
+            &env,
+            &FuzzInput::Rule("SPEC X\nEVENTS a: f();\nORDER a".to_owned()),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn zero_budget_without_corpus_is_a_clean_noop() {
+        let report = run(&FuzzConfig::default()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.executed, 0);
+    }
+}

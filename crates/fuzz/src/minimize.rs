@@ -1,0 +1,145 @@
+//! Automatic input minimization.
+//!
+//! A crashing input is shrunk by greedy chunk removal: repeatedly try
+//! deleting a contiguous chunk (halving chunk sizes down to one unit)
+//! and keep the deletion whenever the reduced input still reproduces the
+//! *same* crash fingerprint. Rule inputs are minimized over lines first,
+//! then characters; template inputs over their directive lines. The
+//! process is deterministic — candidates are tried in a fixed order and
+//! acceptance depends only on the reproduction callback.
+
+use crate::input::FuzzInput;
+
+/// Upper bound on reproduction attempts per minimization, so a
+/// pathological input cannot stall the fuzz loop.
+const MAX_ATTEMPTS: usize = 2_000;
+
+/// Minimizes `input` while `reproduces` keeps returning `true` (meaning:
+/// the candidate still triggers the same crash fingerprint). Returns the
+/// smallest reproducing input found.
+pub fn minimize(input: &FuzzInput, mut reproduces: impl FnMut(&FuzzInput) -> bool) -> FuzzInput {
+    let mut attempts = 0usize;
+    match input {
+        FuzzInput::Rule(src) => {
+            let lines: Vec<String> = src.lines().map(str::to_owned).collect();
+            let lines = shrink_units(lines, &mut attempts, |cand| {
+                reproduces(&FuzzInput::Rule(cand.join("\n")))
+            });
+            let chars: Vec<char> = lines.join("\n").chars().collect();
+            let chars = shrink_units(chars, &mut attempts, |cand| {
+                reproduces(&FuzzInput::Rule(cand.iter().collect()))
+            });
+            FuzzInput::Rule(chars.iter().collect())
+        }
+        FuzzInput::Template(_) => {
+            let body: Vec<String> = input
+                .encode()
+                .lines()
+                .skip(1) // header
+                .map(str::to_owned)
+                .collect();
+            let body = shrink_units(body, &mut attempts, |cand| {
+                let text = format!(
+                    "{} template\n{}",
+                    crate::input::CORPUS_MAGIC,
+                    cand.join("\n")
+                );
+                match FuzzInput::decode(&text) {
+                    Ok(decoded) => reproduces(&decoded),
+                    Err(_) => false, // e.g. dropped the `base` line
+                }
+            });
+            let text = format!(
+                "{} template\n{}",
+                crate::input::CORPUS_MAGIC,
+                body.join("\n")
+            );
+            FuzzInput::decode(&text).unwrap_or_else(|_| input.clone())
+        }
+    }
+}
+
+/// Greedy delta-debugging over a unit vector: chunk sizes halve from
+/// `len/2` down to 1; at each size every aligned chunk is tried once.
+fn shrink_units<T: Clone>(
+    mut units: Vec<T>,
+    attempts: &mut usize,
+    mut keep: impl FnMut(&[T]) -> bool,
+) -> Vec<T> {
+    let mut chunk = (units.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < units.len() {
+            if *attempts >= MAX_ATTEMPTS {
+                return units;
+            }
+            *attempts += 1;
+            let end = (start + chunk).min(units.len());
+            let mut candidate = units.clone();
+            candidate.drain(start..end);
+            if keep(&candidate) {
+                units = candidate; // chunk removed; retry same offset
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            return units;
+        }
+        chunk /= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_crashing_core() {
+        let noise: String = (0..40).map(|i| format!("line{i}\n")).collect();
+        let input = FuzzInput::Rule(format!("{noise}TRIGGER\n{noise}"));
+        let min = minimize(&input, |cand| match cand {
+            FuzzInput::Rule(s) => s.contains("TRIGGER"),
+            FuzzInput::Template(_) => false,
+        });
+        assert_eq!(min, FuzzInput::Rule("TRIGGER".to_owned()));
+    }
+
+    #[test]
+    fn character_pass_trims_within_the_line() {
+        let input = FuzzInput::Rule("prefix TRIGGER suffix".to_owned());
+        let min = minimize(&input, |cand| match cand {
+            FuzzInput::Rule(s) => s.contains("TRIGGER"),
+            FuzzInput::Template(_) => false,
+        });
+        assert_eq!(min, FuzzInput::Rule("TRIGGER".to_owned()));
+    }
+
+    #[test]
+    fn non_reproducing_input_is_returned_unchanged_in_spirit() {
+        // If nothing reproduces, shrinking keeps failing and the original
+        // survives (no unit removal is ever accepted).
+        let input = FuzzInput::Rule("a\nb\nc".to_owned());
+        let min = minimize(&input, |_| false);
+        assert_eq!(min, input);
+    }
+
+    #[test]
+    fn template_minimization_drops_irrelevant_directives() {
+        let text =
+            "cognicrypt-fuzz/1 template\nbase 9\nmethod 0\nrule A\nrule B\nrule C\nreturn key\n";
+        let input = FuzzInput::decode(text).unwrap();
+        let min = minimize(&input, |cand| match cand {
+            FuzzInput::Template(spec) => spec.entries.iter().any(|e| e.rule == "B"),
+            FuzzInput::Rule(_) => false,
+        });
+        match min {
+            FuzzInput::Template(spec) => {
+                assert_eq!(spec.entries.len(), 1);
+                assert_eq!(spec.entries[0].rule, "B");
+                assert_eq!(spec.return_object, None);
+            }
+            FuzzInput::Rule(_) => panic!("kind changed"),
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Mutation-based input generation: byte/token-level mutation of CrySL
+//! sources (for malformed-input robustness) and structural mutation of
+//! fluent-API template chains (for pipeline robustness).
+
+use devharness::rng::RandomSource;
+use usecases::UseCase;
+
+use crate::input::{SpecEntry, TemplateSpec};
+
+/// Tokens spliced into mutated sources — section keywords, operators and
+/// brackets the CrySL grammar reacts to.
+const TOKENS: &[&str] = &[
+    "SPEC",
+    "OBJECTS",
+    "EVENTS",
+    "ORDER",
+    "CONSTRAINTS",
+    "FORBIDDEN",
+    "REQUIRES",
+    "ENSURES",
+    "NEGATES",
+    ":=",
+    "=>",
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "in",
+    "after",
+    "this",
+    "instanceof",
+    "neverTypeOf",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    "[]",
+    ";",
+    ",",
+    "|",
+    "?",
+    "*",
+    "+",
+    "_",
+    "\"",
+    "//",
+    "/*",
+    "*/",
+    "-",
+];
+
+const BYTES: &[u8] = b"abzSEO019(){}[];:=|&<>?*+_.,\"\\/\n ";
+
+fn pos(rng: &mut dyn RandomSource, len: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        rng.next_below(len as u64 + 1) as usize
+    }
+}
+
+fn span(rng: &mut dyn RandomSource, len: usize) -> (usize, usize) {
+    if len == 0 {
+        return (0, 0);
+    }
+    let a = rng.next_below(len as u64) as usize;
+    let width = 1 + rng.next_below(((len - a) as u64).min(32)) as usize;
+    (a, a + width)
+}
+
+/// Mutates CrySL source text: 1–3 random edits drawn from deletion,
+/// duplication, token splicing, byte flips, truncation, and deliberate
+/// stress patterns (deep parenthesis nesting, long postfix runs, long
+/// `&&` chains) that probe the front-end's recursion and size limits.
+pub fn mutate_rule_source(base: &str, rng: &mut dyn RandomSource) -> String {
+    let mut bytes: Vec<u8> = base.bytes().collect();
+    for _ in 0..1 + rng.next_below(3) {
+        apply_one(&mut bytes, rng);
+        if bytes.len() > 1 << 20 {
+            bytes.truncate(1 << 20);
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+fn apply_one(bytes: &mut Vec<u8>, rng: &mut dyn RandomSource) {
+    match rng.next_below(10) {
+        // Delete a span.
+        0 => {
+            let (a, b) = span(rng, bytes.len());
+            bytes.drain(a..b);
+        }
+        // Duplicate a span in place.
+        1 => {
+            let (a, b) = span(rng, bytes.len());
+            let copy: Vec<u8> = bytes[a..b].to_vec();
+            let at = pos(rng, bytes.len());
+            bytes.splice(at..at, copy);
+        }
+        // Splice a grammar token.
+        2 => {
+            let tok = TOKENS[rng.next_below(TOKENS.len() as u64) as usize];
+            let at = pos(rng, bytes.len());
+            bytes.splice(at..at, tok.bytes().chain(std::iter::once(b' ')));
+        }
+        // Overwrite one byte.
+        3 => {
+            if !bytes.is_empty() {
+                let at = rng.next_below(bytes.len() as u64) as usize;
+                bytes[at] = BYTES[rng.next_below(BYTES.len() as u64) as usize];
+            }
+        }
+        // Truncate.
+        4 => {
+            let at = pos(rng, bytes.len());
+            bytes.truncate(at);
+        }
+        // Deep parenthesis nesting — probes parser recursion limits.
+        5 => {
+            let depth = 1 + rng.next_below(20_000) as usize;
+            let at = pos(rng, bytes.len());
+            bytes.splice(at..at, std::iter::repeat_n(b'(', depth));
+        }
+        // Long postfix-operator run — probes ORDER AST depth.
+        6 => {
+            let run = 1 + rng.next_below(20_000) as usize;
+            let op = [b'?', b'*', b'+'][rng.next_below(3) as usize];
+            let at = pos(rng, bytes.len());
+            bytes.splice(at..at, std::iter::repeat_n(op, run));
+        }
+        // Long `&&` chain — probes constraint AST depth.
+        7 => {
+            let reps = 1 + rng.next_below(5_000) as usize;
+            let at = pos(rng, bytes.len());
+            let clause: Vec<u8> = b" && o0 == 1".repeat(reps);
+            bytes.splice(at..at, clause);
+        }
+        // Swap two spans.
+        8 => {
+            let (a1, b1) = span(rng, bytes.len());
+            let (a2, b2) = span(rng, bytes.len());
+            if b1 <= a2 {
+                let second: Vec<u8> = bytes[a2..b2].to_vec();
+                let first: Vec<u8> = bytes[a1..b1].to_vec();
+                bytes.splice(a2..b2, first);
+                bytes.splice(a1..b1, second);
+            }
+        }
+        // Duplicate the whole source.
+        _ => {
+            let copy = bytes.clone();
+            bytes.extend(copy);
+        }
+    }
+}
+
+/// Extracts the first chained method of a use-case template as a
+/// [`TemplateSpec`], the starting point for structural mutation.
+pub fn spec_from_use_case(uc: &UseCase) -> TemplateSpec {
+    let (method, chain) = uc
+        .template
+        .methods
+        .iter()
+        .enumerate()
+        .find_map(|(i, m)| m.chain.as_ref().map(|c| (i, c)))
+        .map(|(i, c)| (i, c.clone()))
+        .unwrap_or_default();
+    TemplateSpec {
+        base: uc.id,
+        method,
+        entries: chain
+            .entries
+            .iter()
+            .map(|e| SpecEntry {
+                rule: e.rule.clone(),
+                bindings: e
+                    .bindings
+                    .iter()
+                    .map(|b| (b.template_var.clone(), b.rule_var.clone()))
+                    .collect(),
+            })
+            .collect(),
+        return_object: chain.return_object,
+    }
+}
+
+const TEMPLATE_VARS: &[&str] = &["pwd", "salt", "key", "data", "out", "ghost", "cipherText"];
+const RULE_VARS: &[&str] = &[
+    "password",
+    "salt",
+    "out",
+    "alg",
+    "keySize",
+    "iterationCount",
+    "ghost",
+    "this",
+];
+
+/// Structurally mutates a fluent-API chain: rules are renamed, dropped,
+/// duplicated or reordered; bindings are dropped, retargeted or invented;
+/// the return object changes or disappears. `rule_pool` is the set of
+/// real rule class names to draw replacements from.
+pub fn mutate_template_spec(
+    cases: &[UseCase],
+    rule_pool: &[&str],
+    rng: &mut dyn RandomSource,
+) -> TemplateSpec {
+    let base = &cases[rng.next_below(cases.len() as u64) as usize];
+    let mut spec = spec_from_use_case(base);
+    for _ in 0..1 + rng.next_below(3) {
+        mutate_spec_once(&mut spec, rule_pool, rng);
+    }
+    spec
+}
+
+fn mutate_spec_once(spec: &mut TemplateSpec, rule_pool: &[&str], rng: &mut dyn RandomSource) {
+    let pick_rule = |rng: &mut dyn RandomSource| {
+        if rng.next_below(4) == 0 {
+            "com.example.Missing".to_owned()
+        } else {
+            rule_pool[rng.next_below(rule_pool.len() as u64) as usize].to_owned()
+        }
+    };
+    match rng.next_below(9) {
+        // Rename a rule.
+        0 => {
+            if !spec.entries.is_empty() {
+                let i = rng.next_below(spec.entries.len() as u64) as usize;
+                spec.entries[i].rule = pick_rule(rng);
+            }
+        }
+        // Drop an entry.
+        1 => {
+            if !spec.entries.is_empty() {
+                let i = rng.next_below(spec.entries.len() as u64) as usize;
+                spec.entries.remove(i);
+            }
+        }
+        // Duplicate an entry.
+        2 => {
+            if !spec.entries.is_empty() {
+                let i = rng.next_below(spec.entries.len() as u64) as usize;
+                let copy = spec.entries[i].clone();
+                spec.entries.insert(i, copy);
+            }
+        }
+        // Swap two entries.
+        3 => {
+            if spec.entries.len() >= 2 {
+                let i = rng.next_below(spec.entries.len() as u64) as usize;
+                let j = rng.next_below(spec.entries.len() as u64) as usize;
+                spec.entries.swap(i, j);
+            }
+        }
+        // Append a fresh entry.
+        4 => {
+            spec.entries.push(SpecEntry {
+                rule: pick_rule(rng),
+                bindings: Vec::new(),
+            });
+        }
+        // Drop a binding.
+        5 => {
+            if let Some(e) = non_empty_entry(spec, rng) {
+                if !e.bindings.is_empty() {
+                    let i = rng.next_below(e.bindings.len() as u64) as usize;
+                    e.bindings.remove(i);
+                }
+            }
+        }
+        // Invent or retarget a binding.
+        6 => {
+            if let Some(e) = non_empty_entry(spec, rng) {
+                let t = TEMPLATE_VARS[rng.next_below(TEMPLATE_VARS.len() as u64) as usize];
+                let r = RULE_VARS[rng.next_below(RULE_VARS.len() as u64) as usize];
+                e.bindings.push((t.to_owned(), r.to_owned()));
+            }
+        }
+        // Change or drop the return object.
+        7 => {
+            spec.return_object = if rng.next_bool() {
+                Some(TEMPLATE_VARS[rng.next_below(TEMPLATE_VARS.len() as u64) as usize].to_owned())
+            } else {
+                None
+            };
+        }
+        // Point at a different method (possibly one without a chain, or
+        // out of range — the driver treats unresolvable specs as inert).
+        _ => {
+            spec.method = rng.next_below(6) as usize;
+        }
+    }
+}
+
+fn non_empty_entry<'s>(
+    spec: &'s mut TemplateSpec,
+    rng: &mut dyn RandomSource,
+) -> Option<&'s mut SpecEntry> {
+    if spec.entries.is_empty() {
+        None
+    } else {
+        let i = rng.next_below(spec.entries.len() as u64) as usize;
+        spec.entries.get_mut(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devharness::rng::Xoshiro256;
+
+    #[test]
+    fn byte_mutation_is_deterministic_and_bounded() {
+        let base = rules::RULE_SOURCES[0].1;
+        let a = mutate_rule_source(base, &mut Xoshiro256::seed_from_u64(3));
+        let b = mutate_rule_source(base, &mut Xoshiro256::seed_from_u64(3));
+        assert_eq!(a, b);
+        for seed in 0..50 {
+            let m = mutate_rule_source(base, &mut Xoshiro256::seed_from_u64(seed));
+            assert!(m.len() <= (1 << 20) + 32);
+        }
+    }
+
+    #[test]
+    fn template_mutation_yields_buildable_or_inert_specs() {
+        let cases = usecases::all_use_cases();
+        let pool: Vec<&str> = rules::RULE_SOURCES.iter().map(|(n, _)| *n).collect();
+        for seed in 0..50 {
+            let spec = mutate_template_spec(&cases, &pool, &mut Xoshiro256::seed_from_u64(seed));
+            let _ = spec.build(&cases); // must never panic
+        }
+    }
+
+    #[test]
+    fn spec_extraction_matches_the_template_chain() {
+        let cases = usecases::all_use_cases();
+        let spec = spec_from_use_case(&cases[0]);
+        assert!(!spec.entries.is_empty());
+        let rebuilt = spec.build(&cases).unwrap();
+        assert_eq!(
+            rebuilt.methods[spec.method].chain,
+            cases[0].template.methods[spec.method].chain
+        );
+    }
+}

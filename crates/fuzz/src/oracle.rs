@@ -1,0 +1,379 @@
+//! Differential oracles.
+//!
+//! Beyond "never panic", every input is checked against the properties
+//! the paper's pipeline promises:
+//!
+//! 1. **Round trip** — `parse → print → parse` is the identity on rule
+//!    semantics, and a second print is byte-identical (`crysl`).
+//! 2. **State machine** — the minimized DFA accepts every enumerated
+//!    generation path; the DFA of the *unrolled* `ORDER` accepts exactly
+//!    the enumerated path set; minimization is a fixpoint and preserves
+//!    the accepted language (`statemachine`).
+//! 3. **Generated code** — whenever generation succeeds, the emitted Java
+//!    parses, type-checks, and is misuse-free under `sast`.
+//! 4. **Engine determinism** — warm vs. cold engines and 1 vs. N worker
+//!    threads produce byte-identical output (or identical errors).
+
+use std::collections::BTreeSet;
+
+use cognicrypt_core::{GenEngine, Generator};
+use crysl::ast::{OrderExpr, Rule};
+use javamodel::typetable::{ClassDef, TypeTable};
+use sast::{analyze_unit, AnalyzerOptions};
+use statemachine::paths::{enumerate, unroll, PathLimit};
+use statemachine::{Dfa, Nfa, StateMachineError};
+use usecases::UseCase;
+
+use crate::input::TemplateSpec;
+
+/// Cap on DFA subset-construction size used by the fuzz oracles — far
+/// above anything a real rule produces, low enough that hostile `ORDER`
+/// expressions cannot blow up the fuzz run.
+pub const DFA_FUZZ_STATE_LIMIT: usize = 4096;
+
+/// A violated oracle: which property failed and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleFailure {
+    /// Short oracle name — becomes part of the crash fingerprint.
+    pub oracle: &'static str,
+    /// Human-readable mismatch description.
+    pub detail: String,
+}
+
+impl OracleFailure {
+    fn new(oracle: &'static str, detail: impl Into<String>) -> Self {
+        OracleFailure {
+            oracle,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Everything the oracles need, built once per fuzz session.
+pub struct FuzzEnv {
+    /// The shipped use cases (template-mutation scaffolds).
+    pub cases: Vec<UseCase>,
+    /// A warm engine over the shipped JCA rules.
+    pub engine: GenEngine,
+}
+
+impl FuzzEnv {
+    /// Builds the environment from the shipped rule set and use cases.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rule-set parse error message if the shipped rules are
+    /// broken (a build defect, not a fuzz finding).
+    pub fn new() -> Result<FuzzEnv, String> {
+        let rules = rules::load().map_err(|e| format!("shipped rules: {e}"))?;
+        let engine = GenEngine::builder()
+            .rules(rules)
+            .type_table(javamodel::jca::jca_type_table())
+            .build()
+            .map_err(|e| format!("engine: {e}"))?;
+        Ok(FuzzEnv {
+            cases: usecases::all_use_cases(),
+            engine,
+        })
+    }
+}
+
+/// Runs the front-end oracles on arbitrary CrySL source. Sources that
+/// fail to parse are fine (robustness is "reject, don't crash"); sources
+/// that parse must satisfy oracles 1 and 2.
+///
+/// # Errors
+///
+/// Returns the first violated oracle.
+pub fn check_rule(src: &str) -> Result<(), OracleFailure> {
+    let Ok(rule) = crysl::parse_rule(src) else {
+        return Ok(());
+    };
+    check_roundtrip(&rule)?;
+    check_statemachine(&rule)
+}
+
+fn check_roundtrip(rule: &Rule) -> Result<(), OracleFailure> {
+    let printed = crysl::printer::print_rule(rule);
+    let reparsed = crysl::parse_rule(&printed).map_err(|e| {
+        OracleFailure::new(
+            "roundtrip-parse",
+            format!("printed rule does not parse: {e}"),
+        )
+    })?;
+    if reparsed != *rule {
+        return Err(OracleFailure::new(
+            "roundtrip-ast",
+            format!("parse(print(rule)) differs for `{}`", rule.class_name),
+        ));
+    }
+    let reprinted = crysl::printer::print_rule(&reparsed);
+    if reprinted != printed {
+        return Err(OracleFailure::new(
+            "roundtrip-print",
+            format!("print is not a fixpoint for `{}`", rule.class_name),
+        ));
+    }
+    Ok(())
+}
+
+fn check_statemachine(rule: &Rule) -> Result<(), OracleFailure> {
+    let nfa = Nfa::from_rule(rule).map_err(|e| {
+        OracleFailure::new("nfa-build", format!("validated rule rejected by NFA: {e}"))
+    })?;
+    let dfa = match Dfa::try_from_nfa(&nfa, DFA_FUZZ_STATE_LIMIT) {
+        Ok(dfa) => dfa,
+        // Hitting the cap is the intended defense, not a finding.
+        Err(StateMachineError::TooManyStates { .. }) => return Ok(()),
+        Err(e) => {
+            return Err(OracleFailure::new(
+                "dfa-build",
+                format!("subset construction failed: {e}"),
+            ))
+        }
+    };
+    let min = dfa.minimize();
+    if min.state_count() > dfa.state_count() {
+        return Err(OracleFailure::new(
+            "minimize-grows",
+            format!("{} -> {} states", dfa.state_count(), min.state_count()),
+        ));
+    }
+    if min.minimize().state_count() != min.state_count() {
+        return Err(OracleFailure::new(
+            "minimize-fixpoint",
+            format!("re-minimization changed {} states", min.state_count()),
+        ));
+    }
+
+    let paths = match enumerate(rule, PathLimit::default()) {
+        Ok(paths) => paths,
+        // The enumeration cap is the intended defense.
+        Err(StateMachineError::TooManyPaths { .. }) => return Ok(()),
+        Err(e) => {
+            return Err(OracleFailure::new(
+                "path-enumeration",
+                format!("validated rule has no path set: {e}"),
+            ))
+        }
+    };
+    for p in &paths {
+        let word = p.iter().map(String::as_str);
+        if !dfa.accepts(word.clone()) {
+            return Err(OracleFailure::new(
+                "dfa-rejects-path",
+                format!("path {p:?} rejected by DFA"),
+            ));
+        }
+        if !min.accepts(word) {
+            return Err(OracleFailure::new(
+                "min-rejects-path",
+                format!("path {p:?} rejected by minimized DFA"),
+            ));
+        }
+    }
+
+    // Exactness: the unrolled ORDER denotes a finite language that must
+    // equal the enumerated path set. (An absent ORDER means "any usage",
+    // where enumeration answers with the declaration-order path instead —
+    // exactness is not defined there.)
+    if rule.order != OrderExpr::Empty {
+        let mut unrolled = rule.clone();
+        unrolled.order = unroll(&rule.order);
+        let Ok(nfa_u) = Nfa::from_rule(&unrolled) else {
+            return Ok(());
+        };
+        let Ok(dfa_u) = Dfa::try_from_nfa(&nfa_u, DFA_FUZZ_STATE_LIMIT) else {
+            return Ok(());
+        };
+        let max_len = paths.iter().map(Vec::len).max().unwrap_or(0);
+        if let Some(words) = accepted_words(&dfa_u, max_len + 1, paths.len() + 1) {
+            let path_set: BTreeSet<Vec<String>> = paths.iter().cloned().collect();
+            if words != path_set {
+                return Err(OracleFailure::new(
+                    "path-exactness",
+                    format!(
+                        "unrolled DFA accepts {} words, enumeration found {} paths for `{}`",
+                        words.len(),
+                        path_set.len(),
+                        rule.class_name
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Depth-first enumeration of all words of length ≤ `max_len` the DFA
+/// accepts; `None` if more than `cap` words exist (caller gives up).
+fn accepted_words(dfa: &Dfa, max_len: usize, cap: usize) -> Option<BTreeSet<Vec<String>>> {
+    fn dfs(
+        dfa: &Dfa,
+        state: usize,
+        word: &mut Vec<String>,
+        max_len: usize,
+        cap: usize,
+        out: &mut BTreeSet<Vec<String>>,
+    ) -> bool {
+        if dfa.is_accepting(state) {
+            out.insert(word.clone());
+            if out.len() > cap {
+                return false;
+            }
+        }
+        if word.len() == max_len {
+            return true;
+        }
+        let edges: Vec<(String, usize)> = dfa
+            .outgoing(state)
+            .map(|(l, t)| (l.to_owned(), t))
+            .collect();
+        for (label, target) in edges {
+            word.push(label);
+            let ok = dfs(dfa, target, word, max_len, cap, out);
+            word.pop();
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+    let mut out = BTreeSet::new();
+    let mut word = Vec::new();
+    dfs(dfa, dfa.start(), &mut word, max_len, cap, &mut out).then_some(out)
+}
+
+/// Runs the generation oracles on a template spec: generation must not
+/// panic; successful output must parse, type-check and be misuse-free
+/// (oracle 3); and warm/cold/parallel runs must agree byte-for-byte
+/// (oracle 4).
+///
+/// # Errors
+///
+/// Returns the first violated oracle.
+pub fn check_template(env: &FuzzEnv, spec: &TemplateSpec) -> Result<(), OracleFailure> {
+    let Some(template) = spec.build(&env.cases) else {
+        return Ok(()); // unresolvable base/method: inert input
+    };
+
+    let warm = env.engine.generate(&template);
+    let again = env.engine.generate(&template);
+    if outcome(&warm) != outcome(&again) {
+        return Err(OracleFailure::new(
+            "determinism-warm",
+            "two warm runs of the same engine disagree",
+        ));
+    }
+    let cold =
+        Generator::new().generate_uncached(&template, env.engine.rules(), env.engine.table());
+    if outcome(&warm) != outcome(&cold) {
+        return Err(OracleFailure::new(
+            "determinism-cold",
+            format!(
+                "warm `{}` vs cold `{}`",
+                outcome_brief(&warm),
+                outcome_brief(&cold)
+            ),
+        ));
+    }
+
+    let pair = [template.clone(), template.clone()];
+    for threads in [1usize, 4] {
+        for (slot, result) in env.engine.generate_batch(&pair, threads).iter().enumerate() {
+            let batch_outcome = match result {
+                Ok(g) => g.java_source.clone(),
+                Err(e) => format!("error: {e}"),
+            };
+            if batch_outcome != outcome(&warm) {
+                return Err(OracleFailure::new(
+                    "determinism-batch",
+                    format!("slot {slot} at {threads} threads diverges from the warm run"),
+                ));
+            }
+        }
+    }
+
+    let Ok(generated) = warm else {
+        return Ok(()); // clean rejection is a fine outcome
+    };
+
+    let mut table: TypeTable = env.engine.table().clone();
+    table.add(ClassDef::new(template.class_name.clone()).ctor(vec![]));
+    let reparsed = parse_generated(&generated.java_source, &table)?;
+    javamodel::typecheck::check_unit(&reparsed, &table)
+        .map_err(|e| OracleFailure::new("generated-typecheck", format!("generated Java: {e}")))?;
+    let misuses = analyze_unit(
+        &reparsed,
+        env.engine.rules(),
+        env.engine.table(),
+        AnalyzerOptions::default(),
+    );
+    if !misuses.is_empty() {
+        return Err(OracleFailure::new(
+            "generated-misuse",
+            format!("{} misuses, first: {}", misuses.len(), misuses[0]),
+        ));
+    }
+    Ok(())
+}
+
+fn parse_generated(
+    source: &str,
+    table: &TypeTable,
+) -> Result<javamodel::ast::CompilationUnit, OracleFailure> {
+    javamodel::parser::parse_java(source, table)
+        .map_err(|e| OracleFailure::new("generated-parse", format!("generated Java: {e}")))
+}
+
+fn outcome<E: std::fmt::Display>(r: &Result<cognicrypt_core::Generated, E>) -> String {
+    match r {
+        Ok(g) => g.java_source.clone(),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+fn outcome_brief<E: std::fmt::Display>(r: &Result<cognicrypt_core::Generated, E>) -> String {
+    match r {
+        Ok(g) => format!("ok ({} bytes)", g.java_source.len()),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutate::spec_from_use_case;
+
+    #[test]
+    fn shipped_rules_satisfy_the_front_end_oracles() {
+        for (name, src) in rules::RULE_SOURCES {
+            check_rule(src).unwrap_or_else(|f| panic!("{name}: {}: {}", f.oracle, f.detail));
+        }
+    }
+
+    #[test]
+    fn unparsable_source_is_not_a_finding() {
+        check_rule("SPEC ???").unwrap();
+        check_rule("").unwrap();
+    }
+
+    #[test]
+    fn shipped_use_case_chains_satisfy_the_generation_oracles() {
+        let env = FuzzEnv::new().unwrap();
+        let spec = spec_from_use_case(&env.cases[10]); // hashing: smallest
+        check_template(&env, &spec).unwrap_or_else(|f| panic!("{}: {}", f.oracle, f.detail));
+    }
+
+    #[test]
+    fn unresolvable_spec_is_inert() {
+        let env = FuzzEnv::new().unwrap();
+        let spec = TemplateSpec {
+            base: 99,
+            method: 0,
+            entries: vec![],
+            return_object: None,
+        };
+        check_template(&env, &spec).unwrap();
+    }
+}

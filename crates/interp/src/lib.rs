@@ -254,15 +254,12 @@ impl<'u> Interpreter<'u> {
                 }
             }
             Expr::ArrayLit { elem, elems } => {
-                let vals: Result<Vec<Value>, _> =
-                    elems.iter().map(|e| self.eval(e, env)).collect();
+                let vals: Result<Vec<Value>, _> = elems.iter().map(|e| self.eval(e, env)).collect();
                 let vals = vals?;
                 match elem {
                     JavaType::Byte => {
-                        let bytes: Result<Vec<u8>, _> = vals
-                            .iter()
-                            .map(|v| v.as_int().map(|i| i as u8))
-                            .collect();
+                        let bytes: Result<Vec<u8>, _> =
+                            vals.iter().map(|v| v.as_int().map(|i| i as u8)).collect();
                         Ok(Value::bytes(bytes?))
                     }
                     JavaType::Char => {
@@ -308,7 +305,10 @@ impl<'u> Interpreter<'u> {
     }
 
     pub(crate) fn fresh_rng(&mut self) -> jcasim::rng::SecureRandom {
-        self.rng_seed = self.rng_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.rng_seed = self
+            .rng_seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
         jcasim::rng::SecureRandom::from_seed(self.rng_seed)
     }
 
@@ -374,11 +374,17 @@ mod tests {
         let unit = unit_with(m);
         let mut i = Interpreter::new(&unit);
         assert_eq!(
-            i.call_static_style("T", "f", vec![Value::Int(5)]).unwrap().as_int().unwrap(),
+            i.call_static_style("T", "f", vec![Value::Int(5)])
+                .unwrap()
+                .as_int()
+                .unwrap(),
             6
         );
         assert_eq!(
-            i.call_static_style("T", "f", vec![Value::Int(50)]).unwrap().as_int().unwrap(),
+            i.call_static_style("T", "f", vec![Value::Int(50)])
+                .unwrap()
+                .as_int()
+                .unwrap(),
             0
         );
     }
@@ -396,7 +402,11 @@ mod tests {
             .statement(Stmt::decl_init(
                 JavaType::class("java.security.SecureRandom"),
                 "r",
-                Expr::static_call("java.security.SecureRandom", "getInstance", vec![Expr::str("SHA1PRNG")]),
+                Expr::static_call(
+                    "java.security.SecureRandom",
+                    "getInstance",
+                    vec![Expr::str("SHA1PRNG")],
+                ),
             ))
             .statement(Stmt::Expr(Expr::call(
                 Expr::var("r"),

@@ -107,7 +107,10 @@ pub fn invoke_static(
         }
         ("javax.crypto.SecretKeyFactory", "getInstance") => {
             let algorithm = first_str(&args)?;
-            Ok(Value::native(class, NativeState::SecretKeyFactory { algorithm }))
+            Ok(Value::native(
+                class,
+                NativeState::SecretKeyFactory { algorithm },
+            ))
         }
         ("javax.crypto.KeyGenerator", "getInstance") => {
             let algorithm = first_str(&args)?;
@@ -146,7 +149,13 @@ pub fn invoke_static(
         }
         ("javax.crypto.Mac", "getInstance") => {
             let algorithm = first_str(&args)?;
-            Ok(Value::native(class, NativeState::Mac { algorithm, key: None }))
+            Ok(Value::native(
+                class,
+                NativeState::Mac {
+                    algorithm,
+                    key: None,
+                },
+            ))
         }
         ("java.security.Signature", "getInstance") => {
             let algorithm = first_str(&args)?;
@@ -303,7 +312,9 @@ pub fn invoke(
             "getBytes" => Ok(Value::bytes(s.clone().into_bytes())),
             "toCharArray" => Ok(Value::chars(s.chars().collect())),
             "length" => Ok(Value::Int(s.chars().count() as i64)),
-            "equals" => Ok(Value::Bool(matches!(args.first(), Some(Value::Str(o)) if o == s))),
+            "equals" => Ok(Value::Bool(
+                matches!(args.first(), Some(Value::Str(o)) if o == s),
+            )),
             other => Err(InterpError::new(format!("no method String.{other}"))),
         };
     }
@@ -311,15 +322,13 @@ pub fn invoke(
     let class = obj.borrow().class.clone();
     let mut state = obj.borrow_mut();
     match (&mut state.state, name) {
-        (NativeState::SecureRandom(rng), "nextBytes") => {
-            match args.first() {
-                Some(Value::Bytes(b)) => {
-                    rng.next_bytes(&mut b.borrow_mut());
-                    Ok(Value::Null)
-                }
-                _ => Err(InterpError::new("nextBytes needs a byte[]")),
+        (NativeState::SecureRandom(rng), "nextBytes") => match args.first() {
+            Some(Value::Bytes(b)) => {
+                rng.next_bytes(&mut b.borrow_mut());
+                Ok(Value::Null)
             }
-        }
+            _ => Err(InterpError::new("nextBytes needs a byte[]")),
+        },
         (NativeState::SecureRandom(rng), "nextInt") => {
             let bound = args
                 .first()
@@ -387,7 +396,10 @@ pub fn invoke(
             drop(state);
             let mut rng = interp.fresh_rng();
             let key = interp.provider().generate_key(&algorithm, bits, &mut rng)?;
-            Ok(Value::native("javax.crypto.SecretKey", NativeState::Key(key)))
+            Ok(Value::native(
+                "javax.crypto.SecretKey",
+                NativeState::Key(key),
+            ))
         }
         (NativeState::Cipher { mode, key, iv, .. }, "init") => {
             let m = args
@@ -535,9 +547,16 @@ pub fn invoke(
             };
             let algorithm = algorithm.clone();
             drop(state);
-            Ok(Value::bytes(interp.provider().mac(&algorithm, &key_bytes, &data)?))
+            Ok(Value::bytes(
+                interp.provider().mac(&algorithm, &key_bytes, &data)?,
+            ))
         }
-        (NativeState::Signature { sign_key, buffer, .. }, "initSign") => {
+        (
+            NativeState::Signature {
+                sign_key, buffer, ..
+            },
+            "initSign",
+        ) => {
             let k = key_material(
                 args.first()
                     .ok_or_else(|| InterpError::new("initSign needs a key"))?,
@@ -551,7 +570,12 @@ pub fn invoke(
                 _ => Err(InterpError::new("initSign needs a private key")),
             }
         }
-        (NativeState::Signature { verify_key, buffer, .. }, "initVerify") => {
+        (
+            NativeState::Signature {
+                verify_key, buffer, ..
+            },
+            "initVerify",
+        ) => {
             let k = key_material(
                 args.first()
                     .ok_or_else(|| InterpError::new("initVerify needs a key"))?,
@@ -573,7 +597,15 @@ pub fn invoke(
             );
             Ok(Value::Null)
         }
-        (NativeState::Signature { algorithm, sign_key, buffer, .. }, "sign") => {
+        (
+            NativeState::Signature {
+                algorithm,
+                sign_key,
+                buffer,
+                ..
+            },
+            "sign",
+        ) => {
             let sk = sign_key.ok_or_else(|| InterpError::new("Signature not init for signing"))?;
             let data = std::mem::take(buffer);
             let algorithm = algorithm.clone();
@@ -584,7 +616,15 @@ pub fn invoke(
                 &data,
             )?))
         }
-        (NativeState::Signature { algorithm, verify_key, buffer, .. }, "verify") => {
+        (
+            NativeState::Signature {
+                algorithm,
+                verify_key,
+                buffer,
+                ..
+            },
+            "verify",
+        ) => {
             let pk = verify_key
                 .ok_or_else(|| InterpError::new("Signature not init for verification"))?;
             let sig = args
@@ -613,8 +653,13 @@ pub fn invoke(
             let bits = *bits;
             drop(state);
             let mut rng = interp.fresh_rng();
-            let kp = interp.provider().generate_key_pair(&algorithm, bits, &mut rng)?;
-            Ok(Value::native("java.security.KeyPair", NativeState::KeyPair(kp)))
+            let kp = interp
+                .provider()
+                .generate_key_pair(&algorithm, bits, &mut rng)?;
+            Ok(Value::native(
+                "java.security.KeyPair",
+                NativeState::KeyPair(kp),
+            ))
         }
         (NativeState::KeyPair(kp), "getPrivate") => Ok(Value::native(
             "java.security.PrivateKey",
@@ -701,8 +746,13 @@ mod tests {
             vec![Value::Int(1), key.clone(), ivspec.clone()],
         )
         .unwrap();
-        let ct = invoke(&mut i, enc, "doFinal", vec![Value::bytes(b"attack at dawn".to_vec())])
-            .unwrap();
+        let ct = invoke(
+            &mut i,
+            enc,
+            "doFinal",
+            vec![Value::bytes(b"attack at dawn".to_vec())],
+        )
+        .unwrap();
 
         let dec = invoke_static(
             &mut i,
@@ -711,7 +761,13 @@ mod tests {
             vec![Value::Str("AES/CBC/PKCS5Padding".into())],
         )
         .unwrap();
-        invoke(&mut i, dec.clone(), "init", vec![Value::Int(2), key, ivspec]).unwrap();
+        invoke(
+            &mut i,
+            dec.clone(),
+            "init",
+            vec![Value::Int(2), key, ivspec],
+        )
+        .unwrap();
         let pt = invoke(&mut i, dec, "doFinal", vec![ct]).unwrap();
         assert_eq!(pt.as_bytes().unwrap(), b"attack at dawn");
     }
@@ -740,7 +796,13 @@ mod tests {
         )
         .unwrap();
         invoke(&mut i, signer.clone(), "initSign", vec![private]).unwrap();
-        invoke(&mut i, signer.clone(), "update", vec![Value::bytes(b"msg".to_vec())]).unwrap();
+        invoke(
+            &mut i,
+            signer.clone(),
+            "update",
+            vec![Value::bytes(b"msg".to_vec())],
+        )
+        .unwrap();
         let sig = invoke(&mut i, signer, "sign", vec![]).unwrap();
 
         let verifier = invoke_static(
@@ -751,7 +813,13 @@ mod tests {
         )
         .unwrap();
         invoke(&mut i, verifier.clone(), "initVerify", vec![public]).unwrap();
-        invoke(&mut i, verifier.clone(), "update", vec![Value::bytes(b"msg".to_vec())]).unwrap();
+        invoke(
+            &mut i,
+            verifier.clone(),
+            "update",
+            vec![Value::bytes(b"msg".to_vec())],
+        )
+        .unwrap();
         let ok = invoke(&mut i, verifier, "verify", vec![sig]).unwrap();
         assert!(ok.as_bool().unwrap());
     }
@@ -762,17 +830,28 @@ mod tests {
         let mut i = Interpreter::new(&unit);
         let s = Value::Str("hello".into());
         assert_eq!(
-            invoke(&mut i, s.clone(), "getBytes", vec![]).unwrap().as_bytes().unwrap(),
+            invoke(&mut i, s.clone(), "getBytes", vec![])
+                .unwrap()
+                .as_bytes()
+                .unwrap(),
             b"hello"
         );
         assert_eq!(
-            invoke(&mut i, s.clone(), "length", vec![]).unwrap().as_int().unwrap(),
+            invoke(&mut i, s.clone(), "length", vec![])
+                .unwrap()
+                .as_int()
+                .unwrap(),
             5
         );
-        assert!(invoke(&mut i, s.clone(), "equals", vec![Value::Str("hello".into())])
-            .unwrap()
-            .as_bool()
-            .unwrap());
+        assert!(invoke(
+            &mut i,
+            s.clone(),
+            "equals",
+            vec![Value::Str("hello".into())]
+        )
+        .unwrap()
+        .as_bool()
+        .unwrap());
         let chars = invoke(&mut i, s, "toCharArray", vec![]).unwrap();
         assert_eq!(chars.as_chars().unwrap(), vec!['h', 'e', 'l', 'l', 'o']);
     }

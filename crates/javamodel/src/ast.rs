@@ -461,7 +461,10 @@ mod tests {
     #[test]
     fn java_type_display_and_names() {
         assert_eq!(JavaType::byte_array().to_string(), "byte[]");
-        assert_eq!(JavaType::class("javax.crypto.Cipher").simple_name(), "Cipher");
+        assert_eq!(
+            JavaType::class("javax.crypto.Cipher").simple_name(),
+            "Cipher"
+        );
         assert_eq!(
             JavaType::Array(Box::new(JavaType::class("a.B"))).class_name(),
             Some("a.B")

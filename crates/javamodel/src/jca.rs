@@ -140,7 +140,11 @@ pub fn jca_type_table() -> TypeTable {
         ClassDef::new(KEY_GENERATOR)
             .static_method("getInstance", vec![cls(STRING)], cls(KEY_GENERATOR))
             .method("init", vec![JavaType::Int], JavaType::Void)
-            .method("init", vec![JavaType::Int, cls(SECURE_RANDOM)], JavaType::Void)
+            .method(
+                "init",
+                vec![JavaType::Int, cls(SECURE_RANDOM)],
+                JavaType::Void,
+            )
             .method("generateKey", vec![], cls(SECRET_KEY)),
     );
 
@@ -154,8 +158,16 @@ pub fn jca_type_table() -> TypeTable {
                 vec![JavaType::Int, cls(KEY), cls(ALGORITHM_PARAMETER_SPEC)],
                 JavaType::Void,
             )
-            .method("doFinal", vec![JavaType::byte_array()], JavaType::byte_array())
-            .method("update", vec![JavaType::byte_array()], JavaType::byte_array())
+            .method(
+                "doFinal",
+                vec![JavaType::byte_array()],
+                JavaType::byte_array(),
+            )
+            .method(
+                "update",
+                vec![JavaType::byte_array()],
+                JavaType::byte_array(),
+            )
             .method("getIV", vec![], JavaType::byte_array())
             .method("wrap", vec![cls(KEY)], JavaType::byte_array())
             .method(
@@ -188,13 +200,21 @@ pub fn jca_type_table() -> TypeTable {
             .static_method("getInstance", vec![cls(STRING)], cls(MESSAGE_DIGEST))
             .method("update", vec![JavaType::byte_array()], JavaType::Void)
             .method("digest", vec![], JavaType::byte_array())
-            .method("digest", vec![JavaType::byte_array()], JavaType::byte_array()),
+            .method(
+                "digest",
+                vec![JavaType::byte_array()],
+                JavaType::byte_array(),
+            ),
     );
     t.add(
         ClassDef::new(MAC)
             .static_method("getInstance", vec![cls(STRING)], cls(MAC))
             .method("init", vec![cls(KEY)], JavaType::Void)
-            .method("doFinal", vec![JavaType::byte_array()], JavaType::byte_array()),
+            .method(
+                "doFinal",
+                vec![JavaType::byte_array()],
+                JavaType::byte_array(),
+            ),
     );
     t.add(
         ClassDef::new(SIGNATURE)
@@ -332,11 +352,15 @@ mod tests {
     fn constants_present() {
         let t = jca_type_table();
         assert_eq!(
-            t.resolve_constant(CIPHER, "ENCRYPT_MODE").unwrap().int_value,
+            t.resolve_constant(CIPHER, "ENCRYPT_MODE")
+                .unwrap()
+                .int_value,
             Some(1)
         );
         assert_eq!(
-            t.resolve_constant(CIPHER, "DECRYPT_MODE").unwrap().int_value,
+            t.resolve_constant(CIPHER, "DECRYPT_MODE")
+                .unwrap()
+                .int_value,
             Some(2)
         );
     }

@@ -30,7 +30,11 @@ pub struct JavaParseError {
 
 impl fmt::Display for JavaParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "java parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "java parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -119,9 +123,7 @@ impl<'a> Lexer<'a> {
                                 Some(b'"') => s.push('"'),
                                 Some(b'\\') => s.push('\\'),
                                 Some(b'n') => s.push('\n'),
-                                other => {
-                                    return Err(self.err(format!("bad escape {other:?}")))
-                                }
+                                other => return Err(self.err(format!("bad escape {other:?}"))),
                             },
                             Some(c) => s.push(c as char),
                             None => return Err(self.err("unterminated string")),
@@ -463,8 +465,8 @@ impl JavaParser {
             first.as_str(),
             "void" | "int" | "long" | "boolean" | "char" | "byte"
         );
-        let class_like = self.simple_to_fqn.contains_key(first)
-            || self.local_classes.iter().any(|c| c == first);
+        let class_like =
+            self.simple_to_fqn.contains_key(first) || self.local_classes.iter().any(|c| c == first);
         if !primitive && !class_like {
             return false;
         }
@@ -492,7 +494,10 @@ impl JavaParser {
         };
         let mut ty = base;
         while *self.peek() == Tok::Punct('[')
-            && matches!(self.tokens.get(self.i + 1).map(|(t, _)| t), Some(Tok::Punct(']')))
+            && matches!(
+                self.tokens.get(self.i + 1).map(|(t, _)| t),
+                Some(Tok::Punct(']'))
+            )
         {
             self.bump();
             self.bump();
@@ -505,9 +510,10 @@ impl JavaParser {
         if self.local_classes.iter().any(|c| c == simple) {
             return Ok(simple.to_owned());
         }
-        self.simple_to_fqn.get(simple).cloned().ok_or_else(|| {
-            self.err(format!("unknown class `{simple}` (not in the type table)"))
-        })
+        self.simple_to_fqn
+            .get(simple)
+            .cloned()
+            .ok_or_else(|| self.err(format!("unknown class `{simple}` (not in the type table)")))
     }
 
     // Expressions. Precedence: comparison (==, !=, <) < additive (+) <
@@ -573,9 +579,9 @@ impl JavaParser {
                         field: name,
                     },
                     other => {
-                        return Err(self.err(format!(
-                            "field access on non-class expression {other:?}"
-                        )))
+                        return Err(
+                            self.err(format!("field access on non-class expression {other:?}"))
+                        )
                     }
                 };
             }
@@ -665,10 +671,9 @@ impl JavaParser {
                 // Either a cast `(T) expr` or a parenthesized expression.
                 self.bump();
                 if let Tok::Ident(name) = self.peek().clone() {
-                    let is_type = matches!(
-                        name.as_str(),
-                        "int" | "long" | "boolean" | "char" | "byte"
-                    ) || self.is_class_name(&name);
+                    let is_type =
+                        matches!(name.as_str(), "int" | "long" | "boolean" | "char" | "byte")
+                            || self.is_class_name(&name);
                     // A cast has `)` (possibly after `[]`) right after the
                     // type, followed by a primary.
                     if is_type {
@@ -774,9 +779,23 @@ mod tests {
             Stmt::Decl { init: Some(Expr::StaticField { class, field }), .. }
                 if class == "javax.crypto.Cipher" && field == "ENCRYPT_MODE"
         ));
-        assert!(matches!(&m.body[1], Stmt::Decl { init: Some(Expr::NewArray { .. }), .. }));
-        assert!(matches!(&m.body[2], Stmt::Decl { init: Some(Expr::ArrayLit { elems, .. }), .. } if elems.len() == 3));
-        assert!(matches!(&m.body[3], Stmt::Decl { init: Some(Expr::Cast { .. }), .. }));
+        assert!(matches!(
+            &m.body[1],
+            Stmt::Decl {
+                init: Some(Expr::NewArray { .. }),
+                ..
+            }
+        ));
+        assert!(
+            matches!(&m.body[2], Stmt::Decl { init: Some(Expr::ArrayLit { elems, .. }), .. } if elems.len() == 3)
+        );
+        assert!(matches!(
+            &m.body[3],
+            Stmt::Decl {
+                init: Some(Expr::Cast { .. }),
+                ..
+            }
+        ));
         assert!(matches!(&m.body[4], Stmt::If { .. }));
     }
 
@@ -798,10 +817,22 @@ mod tests {
 
     #[test]
     fn rejects_unknown_classes_and_garbage() {
-        assert!(parse_java("public class C { public Unknown f() { return null; } }", &jca_type_table()).is_err());
+        assert!(parse_java(
+            "public class C { public Unknown f() { return null; } }",
+            &jca_type_table()
+        )
+        .is_err());
         assert!(parse_java("class C {}", &jca_type_table()).is_err()); // missing public
-        assert!(parse_java("public class C { public void f() { @ } }", &jca_type_table()).is_err());
-        assert!(parse_java("public class C { public void f() { return 1 } }", &jca_type_table()).is_err());
+        assert!(parse_java(
+            "public class C { public void f() { @ } }",
+            &jca_type_table()
+        )
+        .is_err());
+        assert!(parse_java(
+            "public class C { public void f() { return 1 } }",
+            &jca_type_table()
+        )
+        .is_err());
     }
 
     #[test]
@@ -813,7 +844,11 @@ mod tests {
         .unwrap();
         let m = unit.find_class("C").unwrap().find_method("f").unwrap();
         match &m.body[0] {
-            Stmt::Return(Some(Expr::Bin { op: BinOp::Add, lhs, .. })) => {
+            Stmt::Return(Some(Expr::Bin {
+                op: BinOp::Add,
+                lhs,
+                ..
+            })) => {
                 assert!(matches!(lhs.as_ref(), Expr::Bin { op: BinOp::Add, .. }));
             }
             other => panic!("unexpected {other:?}"),

@@ -155,7 +155,11 @@ pub fn print_expr(e: &Expr) -> String {
             format!("new {}[{}]", elem.simple_or_qualified(), print_expr(len))
         }
         Expr::ArrayLit { elem, elems } => {
-            format!("new {}[] {{{}}}", elem.simple_or_qualified(), print_args(elems))
+            format!(
+                "new {}[] {{{}}}",
+                elem.simple_or_qualified(),
+                print_args(elems)
+            )
         }
         Expr::Bin { op, lhs, rhs } => {
             let o = match op {
@@ -223,8 +227,8 @@ mod tests {
                 vec![Expr::var("salt")],
             )))
             .statement(Stmt::Return(Some(Expr::null())));
-        let unit =
-            CompilationUnit::new("de.crypto.cognicrypt").class(ClassDecl::new("TemplateClass").method(m));
+        let unit = CompilationUnit::new("de.crypto.cognicrypt")
+            .class(ClassDecl::new("TemplateClass").method(m));
         let src = print_unit(&unit);
         assert!(src.contains("package de.crypto.cognicrypt;"));
         assert!(src.contains("public class TemplateClass {"));
@@ -293,7 +297,11 @@ mod tests {
     #[test]
     fn comments_print_as_line_comments() {
         let mut out = String::new();
-        print_stmt(&mut out, &Stmt::Comment("call with a real password".into()), 0);
+        print_stmt(
+            &mut out,
+            &Stmt::Comment("call with a real password".into()),
+            0,
+        );
         assert_eq!(out, "// call with a real password\n");
     }
 }

@@ -67,8 +67,9 @@ impl Inferred {
 pub fn check_unit(unit: &CompilationUnit, table: &TypeTable) -> Result<(), TypeError> {
     for class in &unit.classes {
         for method in &class.methods {
-            check_method(unit, class, method, table)
-                .map_err(|e| TypeError::new(format!("{}.{}: {}", class.name, method.name, e.message)))?;
+            check_method(unit, class, method, table).map_err(|e| {
+                TypeError::new(format!("{}.{}: {}", class.name, method.name, e.message))
+            })?;
         }
     }
     Ok(())
@@ -133,7 +134,9 @@ impl Checker<'_> {
             }
             Stmt::Assign { target, value } => {
                 let Some(ty) = env.get(target).cloned() else {
-                    return Err(TypeError::new(format!("assignment to undeclared `{target}`")));
+                    return Err(TypeError::new(format!(
+                        "assignment to undeclared `{target}`"
+                    )));
                 };
                 let it = self.infer(value, env)?;
                 if !it.assignable_to(&ty, self.table) {
@@ -220,9 +223,7 @@ impl Checker<'_> {
                         .table
                         .resolve_method(class_name, name, false, &arg_tys)
                         .ok_or_else(|| {
-                            TypeError::new(format!(
-                                "no method {class_name}.{name}({arg_tys:?})"
-                            ))
+                            TypeError::new(format!("no method {class_name}.{name}({arg_tys:?})"))
                         })?;
                     Ok(Inferred::Ty(m.ret.clone()))
                 } else {
@@ -490,14 +491,19 @@ mod tests {
 
     #[test]
     fn calls_between_unit_classes_resolve() {
-        let callee = MethodDecl::new("produce", JavaType::Int).statement(Stmt::Return(Some(Expr::int(1))));
+        let callee =
+            MethodDecl::new("produce", JavaType::Int).statement(Stmt::Return(Some(Expr::int(1))));
         let caller = MethodDecl::new("consume", JavaType::Int)
             .statement(Stmt::decl_init(
                 JavaType::class("Helper"),
                 "h",
                 Expr::new_object("Helper", vec![]),
             ))
-            .statement(Stmt::Return(Some(Expr::call(Expr::var("h"), "produce", vec![]))));
+            .statement(Stmt::Return(Some(Expr::call(
+                Expr::var("h"),
+                "produce",
+                vec![],
+            ))));
         let mut table = jca_type_table();
         // Local classes are constructible with their default constructor:
         // model `Helper` in the table for the `new` expression.

@@ -235,11 +235,9 @@ impl TypeTable {
         args: &[JavaType],
     ) -> Option<&MethodSig> {
         let def = self.classes.get(class)?;
-        if let Some(m) = def
-            .methods
-            .iter()
-            .find(|m| m.name == name && m.is_static == is_static && self.applicable(&m.params, args))
-        {
+        if let Some(m) = def.methods.iter().find(|m| {
+            m.name == name && m.is_static == is_static && self.applicable(&m.params, args)
+        }) {
             return Some(m);
         }
         if let Some(s) = &def.superclass {
@@ -288,7 +286,11 @@ mod tests {
         );
         t.add(
             ClassDef::new("a.Cipher")
-                .static_method("getInstance", vec![JavaType::string()], JavaType::class("a.Cipher"))
+                .static_method(
+                    "getInstance",
+                    vec![JavaType::string()],
+                    JavaType::class("a.Cipher"),
+                )
                 .method(
                     "init",
                     vec![JavaType::Int, JavaType::class("a.Key")],
@@ -311,11 +313,20 @@ mod tests {
     #[test]
     fn assignability() {
         let t = sample();
-        assert!(t.is_assignable(&JavaType::class("a.SecretKeySpec"), &JavaType::class("a.Key")));
-        assert!(!t.is_assignable(&JavaType::class("a.Key"), &JavaType::class("a.SecretKeySpec")));
+        assert!(t.is_assignable(
+            &JavaType::class("a.SecretKeySpec"),
+            &JavaType::class("a.Key")
+        ));
+        assert!(!t.is_assignable(
+            &JavaType::class("a.Key"),
+            &JavaType::class("a.SecretKeySpec")
+        ));
         assert!(t.is_assignable(&JavaType::Int, &JavaType::Int));
         assert!(!t.is_assignable(&JavaType::Int, &JavaType::Long));
-        assert!(t.is_assignable(&JavaType::byte_array(), &JavaType::class("java.lang.Object")));
+        assert!(t.is_assignable(
+            &JavaType::byte_array(),
+            &JavaType::class("java.lang.Object")
+        ));
     }
 
     #[test]
@@ -339,7 +350,10 @@ mod tests {
     fn ctor_and_constant_lookup() {
         let t = sample();
         assert!(t
-            .resolve_ctor("a.SecretKeySpec", &[JavaType::byte_array(), JavaType::string()])
+            .resolve_ctor(
+                "a.SecretKeySpec",
+                &[JavaType::byte_array(), JavaType::string()]
+            )
             .is_some());
         assert!(t.resolve_ctor("a.SecretKeySpec", &[]).is_none());
         let c = t.resolve_constant("a.Cipher", "ENCRYPT_MODE").unwrap();
@@ -349,9 +363,7 @@ mod tests {
     #[test]
     fn method_lookup_searches_supertypes() {
         let mut t = sample();
-        t.add(
-            ClassDef::new("a.Base").method("go", vec![], JavaType::Void),
-        );
+        t.add(ClassDef::new("a.Base").method("go", vec![], JavaType::Void));
         t.add(ClassDef::new("a.Derived").extends("a.Base"));
         assert!(t.resolve_method("a.Derived", "go", false, &[]).is_some());
     }

@@ -236,8 +236,10 @@ mod tests {
     use super::*;
 
     fn aes() -> Aes128 {
-        Aes128::new(&[0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
-            0x09, 0xcf, 0x4f, 0x3c])
+        Aes128::new(&[
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ])
     }
 
     #[test]

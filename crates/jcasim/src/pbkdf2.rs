@@ -16,12 +16,7 @@ use crate::hmac::hmac_sha256;
 /// let key = jcasim::pbkdf2::pbkdf2_hmac_sha256(b"password", b"salt", 1000, 16);
 /// assert_eq!(key.len(), 16);
 /// ```
-pub fn pbkdf2_hmac_sha256(
-    password: &[u8],
-    salt: &[u8],
-    iterations: u32,
-    dk_len: usize,
-) -> Vec<u8> {
+pub fn pbkdf2_hmac_sha256(password: &[u8], salt: &[u8], iterations: u32, dk_len: usize) -> Vec<u8> {
     assert!(iterations > 0, "iteration count must be positive");
     let mut out = Vec::with_capacity(dk_len);
     let mut block_index: u32 = 1;
@@ -73,7 +68,12 @@ mod tests {
     #[test]
     fn multi_block_output() {
         // 40 bytes needs two HMAC blocks.
-        let dk = pbkdf2_hmac_sha256(b"passwordPASSWORDpassword", b"saltSALTsaltSALTsaltSALTsaltSALTsalt", 4096, 40);
+        let dk = pbkdf2_hmac_sha256(
+            b"passwordPASSWORDpassword",
+            b"saltSALTsaltSALTsaltSALTsaltSALTsalt",
+            4096,
+            40,
+        );
         assert_eq!(
             hex(&dk),
             "348c89dbcbd32b2f32d814b8116e84cf2b17347ebc1800181c4e2a1fb8dd53e1c635518c7dac47e9"

@@ -324,7 +324,9 @@ impl Provider {
         }
         match key {
             KeyMaterial::Private(sk) => Ok(rsa::sign(sk, data)),
-            _ => Err(CryptoError::InvalidKey("signing needs a private key".into())),
+            _ => Err(CryptoError::InvalidKey(
+                "signing needs a private key".into(),
+            )),
         }
     }
 
@@ -417,7 +419,10 @@ mod tests {
         let dk = p
             .derive_key("PBKDF2WithHmacSHA256", b"password", b"salt", 1, 256)
             .unwrap();
-        assert_eq!(dk, crate::pbkdf2::pbkdf2_hmac_sha256(b"password", b"salt", 1, 32));
+        assert_eq!(
+            dk,
+            crate::pbkdf2::pbkdf2_hmac_sha256(b"password", b"salt", 1, 32)
+        );
         assert!(p.derive_key("PBKDF1", b"p", b"s", 1, 128).is_err());
         assert!(p
             .derive_key("PBKDF2WithHmacSHA256", b"p", b"s", 0, 128)
@@ -453,7 +458,8 @@ mod tests {
             .encrypt(Transformation::RsaEcb, &public, None, b"wrapped key!")
             .unwrap();
         assert_eq!(
-            p.decrypt(Transformation::RsaEcb, &private, None, &ct).unwrap(),
+            p.decrypt(Transformation::RsaEcb, &private, None, &ct)
+                .unwrap(),
             b"wrapped key!"
         );
         // Key-role confusion is rejected.

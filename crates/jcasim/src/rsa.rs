@@ -315,7 +315,9 @@ mod tests {
         let kp1 = keys();
         let kp2 = generate_key_pair(&mut SecureRandom::from_seed(7), 62).unwrap();
         let ct = encrypt(&kp1.public, b"secret");
-        if let Ok(pt) = decrypt(&kp2.private, &ct) { assert_ne!(pt, b"secret") }
+        if let Ok(pt) = decrypt(&kp2.private, &ct) {
+            assert_ne!(pt, b"secret")
+        }
     }
 
     #[test]

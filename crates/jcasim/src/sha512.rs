@@ -164,8 +164,7 @@ impl Sha512 {
         self.length_bits = self.length_bits.wrapping_add((data.len() as u128) * 8);
         self.buffer.extend_from_slice(data);
         while self.buffer.len() >= BLOCK_LEN {
-            let block: [u8; BLOCK_LEN] =
-                self.buffer[..BLOCK_LEN].try_into().expect("block size");
+            let block: [u8; BLOCK_LEN] = self.buffer[..BLOCK_LEN].try_into().expect("block size");
             self.compress(&block);
             self.buffer.drain(..BLOCK_LEN);
         }

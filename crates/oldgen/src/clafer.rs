@@ -139,10 +139,8 @@ impl Model {
                     .strip_prefix('{')
                     .and_then(|d| d.strip_suffix('}'))
                     .ok_or_else(|| ClaferError::Parse(format!("expected `{{…}}`: {line}")))?;
-                let values: Result<Vec<AttrValue>, ClaferError> = domain
-                    .split(',')
-                    .map(|v| parse_value(v.trim()))
-                    .collect();
+                let values: Result<Vec<AttrValue>, ClaferError> =
+                    domain.split(',').map(|v| parse_value(v.trim())).collect();
                 model.attributes.push((attr.trim().to_owned(), values?));
             } else if let Some(rest) = line.strip_prefix("constraint ") {
                 let rest = rest
@@ -324,7 +322,10 @@ mod tests {
     fn bad_pins_are_rejected() {
         let m = Model::parse(MODEL).unwrap();
         assert!(matches!(
-            m.solve(&BTreeMap::from([("keySize".to_owned(), AttrValue::Int(512))])),
+            m.solve(&BTreeMap::from([(
+                "keySize".to_owned(),
+                AttrValue::Int(512)
+            )])),
             Err(ClaferError::BadPin(_))
         ));
         assert!(matches!(

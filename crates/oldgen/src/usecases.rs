@@ -157,7 +157,10 @@ mod tests {
     fn pbe_template_substitutes_solved_configuration() {
         let uc = &old_gen_use_cases()[0];
         let out = generate_use_case(uc, &BTreeMap::new()).unwrap();
-        assert!(out.contains("new PBEKeySpec(pwd, salt,\n                10000, 128)"), "{out}");
+        assert!(
+            out.contains("new PBEKeySpec(pwd, salt,\n                10000, 128)"),
+            "{out}"
+        );
         assert!(out.contains("SecretKeyFactory.getInstance(\"PBKDF2WithHmacSHA256\")"));
         assert!(out.contains("Cipher.getInstance(\"AES/CBC/PKCS5Padding\")"));
         assert!(out.contains("new byte[16]")); // CBC IV length from constraint
@@ -188,14 +191,22 @@ mod tests {
         // artefacts are genuine re-implementations, so we assert the
         // order of magnitude, not the exact numbers.
         for uc in old_gen_use_cases() {
-            let xsl_loc = uc.xsl_source.lines().filter(|l| !l.trim().is_empty()).count();
+            let xsl_loc = uc
+                .xsl_source
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .count();
             let clafer_loc = uc
                 .clafer_source
                 .lines()
                 .filter(|l| !l.trim().is_empty())
                 .count();
             assert!(xsl_loc >= 40, "use case {} XSL too small: {xsl_loc}", uc.id);
-            assert!(clafer_loc >= 5, "use case {} model too small: {clafer_loc}", uc.id);
+            assert!(
+                clafer_loc >= 5,
+                "use case {} model too small: {clafer_loc}",
+                uc.id
+            );
         }
     }
 }

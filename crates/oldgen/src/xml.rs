@@ -139,8 +139,7 @@ impl<'a> Parser<'a> {
                     if self.peek() != Some(b'"') {
                         return Err(self.err("unterminated attribute value"));
                     }
-                    let value =
-                        unescape(&String::from_utf8_lossy(&self.src[start..self.i]));
+                    let value = unescape(&String::from_utf8_lossy(&self.src[start..self.i]));
                     self.i += 1;
                     attributes.push((attr_name, value));
                 }
@@ -183,8 +182,7 @@ impl<'a> Parser<'a> {
                     while self.peek().is_some_and(|c| c != b'<') {
                         self.i += 1;
                     }
-                    let text =
-                        unescape(&String::from_utf8_lossy(&self.src[start..self.i]));
+                    let text = unescape(&String::from_utf8_lossy(&self.src[start..self.i]));
                     children.push(Node::Text(text));
                 }
                 None => return Err(self.err(format!("missing close tag for `{parent}`"))),
@@ -270,8 +268,8 @@ mod tests {
 
     #[test]
     fn prefixed_names() {
-        let root = parse(r#"<xsl:template name="t"><xsl:value-of select="x"/></xsl:template>"#)
-            .unwrap();
+        let root =
+            parse(r#"<xsl:template name="t"><xsl:value-of select="x"/></xsl:template>"#).unwrap();
         assert_eq!(root.name, "xsl:template");
         match &root.children[0] {
             Node::Element(e) => assert_eq!(e.name, "xsl:value-of"),

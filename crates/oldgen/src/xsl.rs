@@ -94,7 +94,9 @@ fn eval_node(
                 Ok(())
             }
             "xsl:if" => {
-                let test = e.attr("test").ok_or_else(|| XslError::new("if without test"))?;
+                let test = e
+                    .attr("test")
+                    .ok_or_else(|| XslError::new("if without test"))?;
                 if eval_test(test, config)? {
                     eval_children(e, config, out)?;
                 }
@@ -222,8 +224,9 @@ mod tests {
         let t = parse(r#"<xsl:template name="t"><xsl:value-of select="nope"/></xsl:template>"#)
             .unwrap();
         assert!(apply(&t, &config()).is_err());
-        let t2 = parse(r#"<xsl:template name="t"><xsl:if test="garbage">x</xsl:if></xsl:template>"#)
-            .unwrap();
+        let t2 =
+            parse(r#"<xsl:template name="t"><xsl:if test="garbage">x</xsl:if></xsl:template>"#)
+                .unwrap();
         assert!(apply(&t2, &config()).is_err());
         let t3 = parse(r#"<xsl:template name="t"><bogus/></xsl:template>"#).unwrap();
         assert!(apply(&t3, &config()).is_err());

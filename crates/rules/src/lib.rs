@@ -62,7 +62,7 @@ pub const RULE_SOURCES: &[(&str, &str)] = &[
 /// Parse failures are remembered per process: after a failure the next
 /// call re-parses and surfaces the error again rather than panicking.
 pub fn load() -> Result<RuleSet, CryslError> {
-    load_shared().map(Clone::clone)
+    load_shared().cloned()
 }
 
 /// The process-wide parsed JCA rule set, behind a [`OnceLock`]: parsed
@@ -153,7 +153,10 @@ mod tests {
         let set = load().unwrap();
         let r = set.by_name("javax.crypto.spec.PBEKeySpec").unwrap();
         assert_eq!(r.objects.len(), 4);
-        assert!(r.method_event("c1").unwrap().is_constructor_of("PBEKeySpec"));
+        assert!(r
+            .method_event("c1")
+            .unwrap()
+            .is_constructor_of("PBEKeySpec"));
         assert_eq!(r.requires[0].name, "randomized");
         assert_eq!(r.ensures[0].predicate.name, "speccedKey");
         assert_eq!(r.ensures[0].after.as_deref(), Some("c1"));

@@ -2,9 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use crysl::ast::{
-    Atom, CmpOp, Constraint, Literal, MethodEvent, ParamPattern, PredArg, Rule,
-};
+use crysl::ast::{Atom, CmpOp, Constraint, Literal, MethodEvent, ParamPattern, PredArg, Rule};
 use crysl::RuleSet;
 use javamodel::ast::*;
 use javamodel::TypeTable;
@@ -106,10 +104,7 @@ impl<'a> Analyzer<'a> {
     }
 
     fn report(&mut self, kind: MisuseKind, class: &str, key: String, message: String) {
-        if self
-            .reported
-            .insert((kind, class.to_owned(), key))
-        {
+        if self.reported.insert((kind, class.to_owned(), key)) {
             self.misuses.push(Misuse {
                 kind,
                 class: class.to_owned(),
@@ -286,7 +281,8 @@ impl<'a> Analyzer<'a> {
                         if let Some(cls) = ret_ty.class_name() {
                             if let Some(rule) = self.rules.by_name(cls) {
                                 if self.tracked_index(recv_id).is_none()
-                                    || rule.class_name.as_str() != self.vals[&recv_id].ty.class_name().unwrap_or("")
+                                    || rule.class_name.as_str()
+                                        != self.vals[&recv_id].ty.class_name().unwrap_or("")
                                 {
                                     self.track(id, rule);
                                 }
@@ -503,7 +499,10 @@ impl<'a> Analyzer<'a> {
                     MisuseKind::ConstraintError,
                     &class,
                     format!("constraint:{i}"),
-                    format!("constraint violated: {}", crysl::printer::print_constraint(c)),
+                    format!(
+                        "constraint violated: {}",
+                        crysl::printer::print_constraint(c)
+                    ),
                 );
             }
         }
@@ -631,10 +630,7 @@ impl<'a> Analyzer<'a> {
                             grants.push((ens.predicate.name.clone(), val));
                         }
                         // NEGATES: a later event revokes the predicate.
-                        let negated = rule
-                            .negates
-                            .iter()
-                            .any(|n| n.name == ens.predicate.name);
+                        let negated = rule.negates.iter().any(|n| n.name == ens.predicate.name);
                         if negated
                             && !anchors.contains(&event.label.as_str())
                             && t.observed.iter().any(|o| anchors.contains(&o.as_str()))
@@ -667,7 +663,10 @@ impl<'a> Analyzer<'a> {
             .filter_map(|t| match t.state {
                 Some(s) if !t.dfa.is_accepting(s) => Some((
                     t.rule.class_name.to_string(),
-                    format!("object never completed its usage pattern (observed {:?})", t.observed),
+                    format!(
+                        "object never completed its usage pattern (observed {:?})",
+                        t.observed
+                    ),
                 )),
                 _ => None,
             })
@@ -702,7 +701,12 @@ mod tests {
 
     fn analyze(m: MethodDecl) -> Vec<Misuse> {
         let unit = CompilationUnit::new("p").class(ClassDecl::new("C").method(m));
-        analyze_unit(&unit, &rules::load().unwrap(), &jca_type_table(), AnalyzerOptions::default())
+        analyze_unit(
+            &unit,
+            &rules::load().unwrap(),
+            &jca_type_table(),
+            AnalyzerOptions::default(),
+        )
     }
 
     /// The paper's Figure 1: three misuses.
@@ -832,7 +836,10 @@ mod tests {
                 vec![Expr::var("data")],
             )));
         let misuses = analyze(m);
-        assert!(misuses.iter().any(|m| m.kind == MisuseKind::TypestateError), "{misuses:?}");
+        assert!(
+            misuses.iter().any(|m| m.kind == MisuseKind::TypestateError),
+            "{misuses:?}"
+        );
     }
 
     #[test]
@@ -917,7 +924,9 @@ mod tests {
             ))));
         let misuses = analyze(m);
         assert!(
-            misuses.iter().any(|mi| mi.kind == MisuseKind::ConstraintError),
+            misuses
+                .iter()
+                .any(|mi| mi.kind == MisuseKind::ConstraintError),
             "{misuses:?}"
         );
     }

@@ -94,15 +94,23 @@ impl CompiledOrder {
     ///
     /// # Errors
     ///
-    /// Propagates [`StateMachineError`] from NFA construction or path
-    /// enumeration.
+    /// Propagates [`StateMachineError`] from NFA construction, bounded
+    /// DFA construction ([`CompiledOrder::DFA_STATE_LIMIT`] states), or
+    /// path enumeration.
     pub fn compile(rule: &Rule) -> Result<CompiledOrder, StateMachineError> {
+        let nfa = Nfa::from_rule(rule)?;
         Ok(CompiledOrder {
             fingerprint: order_fingerprint(rule),
-            dfa: Dfa::from_nfa(&Nfa::from_rule(rule)?).minimize(),
+            dfa: Dfa::try_from_nfa(&nfa, Self::DFA_STATE_LIMIT)?.minimize(),
             paths: enumerate(rule, PathLimit::default())?,
         })
     }
+
+    /// Subset-construction state bound applied by [`CompiledOrder::compile`].
+    /// Orders of magnitude above any real rule (the JCA rule set peaks
+    /// below a hundred states), it turns an exponential blow-up on a
+    /// hostile `ORDER` into a reported error.
+    pub const DFA_STATE_LIMIT: usize = 65_536;
 }
 
 /// How an [`OrderCache`] lookup was served — reported by
@@ -154,7 +162,8 @@ impl OrderCache {
     /// Propagates [`StateMachineError`] from compilation. Failures are
     /// not cached; a later call retries.
     pub fn get_or_compile(&self, rule: &Rule) -> Result<Arc<CompiledOrder>, StateMachineError> {
-        self.get_or_compile_traced(rule).map(|(artefact, _)| artefact)
+        self.get_or_compile_traced(rule)
+            .map(|(artefact, _)| artefact)
     }
 
     /// [`OrderCache::get_or_compile`] that also reports whether the
@@ -231,7 +240,9 @@ mod tests {
 
     #[test]
     fn fingerprint_ignores_sections_compilation_never_reads() {
-        let a = rule("SPEC a.X\nOBJECTS int k;\nEVENTS a: f(); b: g();\nORDER a, b\nCONSTRAINTS k >= 1;");
+        let a = rule(
+            "SPEC a.X\nOBJECTS int k;\nEVENTS a: f(); b: g();\nORDER a, b\nCONSTRAINTS k >= 1;",
+        );
         let b = rule("SPEC other.Y\nEVENTS a: f(); b: g();\nORDER a, b");
         assert_eq!(order_fingerprint(&a), order_fingerprint(&b));
         assert_eq!(
@@ -263,10 +274,7 @@ mod tests {
     fn compiled_artifact_matches_direct_pipeline() {
         let r = rule("SPEC X\nEVENTS a: f(); b: g(); c: h();\nORDER a, (b | c), b?");
         let compiled = CompiledOrder::compile(&r).unwrap();
-        assert_eq!(
-            compiled.paths,
-            enumerate(&r, PathLimit::default()).unwrap()
-        );
+        assert_eq!(compiled.paths, enumerate(&r, PathLimit::default()).unwrap());
         for p in &compiled.paths {
             assert!(compiled.dfa.accepts(p.iter().map(String::as_str)));
         }

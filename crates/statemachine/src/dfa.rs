@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use crate::nfa::Nfa;
+use crate::nfa::{Nfa, StateMachineError};
 
 /// A deterministic finite automaton over method-event labels.
 ///
@@ -30,8 +30,26 @@ impl Dfa {
         }
     }
 
-    /// Subset construction.
+    /// Subset construction without a state bound. Real CrySL rules
+    /// produce small automata; callers handling untrusted rules should
+    /// prefer [`Dfa::try_from_nfa`].
     pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        match Dfa::try_from_nfa(nfa, usize::MAX) {
+            Ok(dfa) => dfa,
+            Err(_) => unreachable!("usize::MAX state limit cannot be exceeded"),
+        }
+    }
+
+    /// Subset construction, aborting once more than `max_states` DFA
+    /// states have been discovered. Subset construction is worst-case
+    /// exponential in NFA size, so any consumer of untrusted `ORDER`
+    /// expressions needs this bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateMachineError::TooManyStates`] when the bound is
+    /// exceeded.
+    pub fn try_from_nfa(nfa: &Nfa, max_states: usize) -> Result<Dfa, StateMachineError> {
         let start = nfa.epsilon_closure(&BTreeSet::from([nfa.start()]));
         let mut index: HashMap<BTreeSet<usize>, usize> = HashMap::new();
         index.insert(start.clone(), 0);
@@ -55,6 +73,9 @@ impl Dfa {
                     worklist.push(closed.clone());
                     transitions.len() - 1
                 });
+                if transitions.len() > max_states {
+                    return Err(StateMachineError::TooManyStates { limit: max_states });
+                }
                 transitions[id].insert(label.clone(), next_id);
             }
             // `accepting` for states discovered after their closure was
@@ -63,10 +84,10 @@ impl Dfa {
                 accepting[id] = true;
             }
         }
-        Dfa {
+        Ok(Dfa {
             transitions,
             accepting,
-        }
+        })
     }
 
     /// The start state (always 0).
@@ -176,6 +197,18 @@ mod tests {
         assert!(d.accepts(["g1", "n"]));
         assert!(d.accepts(["g2", "n"]));
         assert!(!d.accepts(["g1", "g2", "n"]));
+    }
+
+    #[test]
+    fn try_from_nfa_enforces_the_state_cap() {
+        let rule =
+            crysl::parse_rule("SPEC X\nEVENTS a: f(); b: g();\nORDER (a | b)*, a, b").unwrap();
+        let nfa = Nfa::from_rule(&rule).unwrap();
+        assert_eq!(
+            Dfa::try_from_nfa(&nfa, 1),
+            Err(StateMachineError::TooManyStates { limit: 1 })
+        );
+        assert_eq!(Dfa::try_from_nfa(&nfa, 4096).unwrap(), Dfa::from_nfa(&nfa));
     }
 
     #[test]

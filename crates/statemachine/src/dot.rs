@@ -59,7 +59,11 @@ pub fn nfa_to_dot(nfa: &Nfa, title: &str) -> String {
                 );
             }
             None => {
-                let _ = writeln!(out, "    s{} -> s{} [style=dashed, label=\"ε\"];", t.from, t.to);
+                let _ = writeln!(
+                    out,
+                    "    s{} -> s{} [style=dashed, label=\"ε\"];",
+                    t.from, t.to
+                );
             }
         }
     }

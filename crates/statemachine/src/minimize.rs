@@ -19,7 +19,11 @@ impl Dfa {
     /// drop the dead state's class again.
     pub fn minimize(&self) -> Dfa {
         let alphabet: BTreeSet<String> = (0..self.state_count())
-            .flat_map(|s| self.outgoing(s).map(|(l, _)| l.to_owned()).collect::<Vec<_>>())
+            .flat_map(|s| {
+                self.outgoing(s)
+                    .map(|(l, _)| l.to_owned())
+                    .collect::<Vec<_>>()
+            })
             .collect();
         let n = self.state_count();
         let dead = n; // implicit dead state index in the completed automaton
@@ -43,7 +47,10 @@ impl Dfa {
             for s in 0..total {
                 let sig = (
                     class[s],
-                    alphabet.iter().map(|a| class[step(s, a)]).collect::<Vec<_>>(),
+                    alphabet
+                        .iter()
+                        .map(|a| class[step(s, a)])
+                        .collect::<Vec<_>>(),
                 );
                 let next_id = signature_to_class.len();
                 let id = *signature_to_class.entry(sig).or_insert(next_id);
@@ -137,7 +144,13 @@ mod tests {
 
     #[test]
     fn minimization_preserves_the_language() {
-        for order in ["a, b", "(a | b), c", "a, b*, c", "(a, b)+ | c", "a?, b?, c?"] {
+        for order in [
+            "a, b",
+            "(a | b), c",
+            "a, b*, c",
+            "(a, b)+ | c",
+            "a?, b?, c?",
+        ] {
             let d = dfa(order);
             let m = d.minimize();
             assert!(m.state_count() <= d.state_count(), "{order}");

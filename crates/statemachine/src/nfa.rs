@@ -16,6 +16,11 @@ pub enum StateMachineError {
         /// The limit that was exceeded.
         limit: usize,
     },
+    /// DFA subset construction exceeded the configured state limit.
+    TooManyStates {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for StateMachineError {
@@ -26,6 +31,9 @@ impl fmt::Display for StateMachineError {
             }
             StateMachineError::TooManyPaths { limit } => {
                 write!(f, "path enumeration exceeded limit of {limit}")
+            }
+            StateMachineError::TooManyStates { limit } => {
+                write!(f, "DFA construction exceeded limit of {limit} states")
             }
         }
     }

@@ -170,7 +170,8 @@ mod tests {
     #[test]
     fn single_sequence_single_path() {
         // PBEKeySpec from the paper: exactly one path c1·cP.
-        let p = paths("SPEC PBEKeySpec\nEVENTS c1: PBEKeySpec(); cP: clearPassword();\nORDER c1, cP");
+        let p =
+            paths("SPEC PBEKeySpec\nEVENTS c1: PBEKeySpec(); cP: clearPassword();\nORDER c1, cP");
         assert_eq!(p, vec![vec!["c1".to_owned(), "cP".to_owned()]]);
     }
 
@@ -214,10 +215,9 @@ mod tests {
     fn every_enumerated_path_is_accepted_by_the_dfa() {
         // Non-starred patterns: the unrolled language is a sublanguage of
         // the full one, so the DFA (built without unrolling) must accept.
-        let rule = parse_rule(
-            "SPEC X\nEVENTS a: f(); b: g(); c: h(); d: i();\nORDER a, (b | c)+, d?, b*",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("SPEC X\nEVENTS a: f(); b: g(); c: h(); d: i();\nORDER a, (b | c)+, d?, b*")
+                .unwrap();
         let dfa = Dfa::from_nfa(&Nfa::from_rule(&rule).unwrap());
         let all = enumerate(&rule, PathLimit::default()).unwrap();
         assert!(!all.is_empty());

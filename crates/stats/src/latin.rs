@@ -60,8 +60,22 @@ mod tests {
         for x in &a {
             let tasks: Vec<usize> = x.sequence.iter().map(|(t, _)| *t).collect();
             let tools: Vec<usize> = x.sequence.iter().map(|(_, t)| *t).collect();
-            assert_eq!({ let mut s = tasks.clone(); s.sort_unstable(); s }, vec![0, 1]);
-            assert_eq!({ let mut s = tools.clone(); s.sort_unstable(); s }, vec![0, 1]);
+            assert_eq!(
+                {
+                    let mut s = tasks.clone();
+                    s.sort_unstable();
+                    s
+                },
+                vec![0, 1]
+            );
+            assert_eq!(
+                {
+                    let mut s = tools.clone();
+                    s.sort_unstable();
+                    s
+                },
+                vec![0, 1]
+            );
         }
     }
 

@@ -90,12 +90,12 @@ pub fn replayed_study() -> StudyData {
     // Per-participant SUS scores: sum 1220 (mean 76.25 ≈ 76.3) for the
     // new generator, sum 812.5 (mean 50.78 ≈ 50.8) for the old one.
     let gen_scores = [
-        80.0, 72.5, 77.5, 70.0, 85.0, 75.0, 80.0, 72.5, 75.0, 82.5, 77.5, 70.0, 75.0, 80.0,
-        72.5, 75.0,
+        80.0, 72.5, 77.5, 70.0, 85.0, 75.0, 80.0, 72.5, 75.0, 82.5, 77.5, 70.0, 75.0, 80.0, 72.5,
+        75.0,
     ];
     let old_scores = [
-        55.0, 47.5, 52.5, 45.0, 60.0, 50.0, 55.0, 47.5, 50.0, 57.5, 52.5, 45.0, 50.0, 55.0,
-        47.5, 42.5,
+        55.0, 47.5, 52.5, 45.0, 60.0, 50.0, 55.0, 47.5, 50.0, 57.5, 52.5, 45.0, 50.0, 55.0, 47.5,
+        42.5,
     ];
     // NPS: 11 promoters, 3 passives, 2 detractors → +56.25 (≈ 56.3);
     //       2 promoters, 5 passives, 9 detractors → −43.75 (≈ −43.7).
@@ -202,8 +202,16 @@ mod tests {
     #[test]
     fn aggregates_match_the_paper() {
         let report = evaluate(&replayed_study());
-        assert!((report.sus_gen_mean - 76.3).abs() < 0.5, "{}", report.sus_gen_mean);
-        assert!((report.sus_old_mean - 50.8).abs() < 0.5, "{}", report.sus_old_mean);
+        assert!(
+            (report.sus_gen_mean - 76.3).abs() < 0.5,
+            "{}",
+            report.sus_gen_mean
+        );
+        assert!(
+            (report.sus_old_mean - 50.8).abs() < 0.5,
+            "{}",
+            report.sus_old_mean
+        );
         assert!((report.nps_gen - 56.3).abs() < 0.5, "{}", report.nps_gen);
         assert!((report.nps_old - -43.7).abs() < 0.5, "{}", report.nps_old);
     }

@@ -92,10 +92,17 @@ mod tests {
 
     #[test]
     fn generator_picks_rsa_and_two_arg_init() {
-        let generated =
-            generate(&asymmetric_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &asymmetric_strings(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let src = &generated.java_source;
-        assert!(src.contains("Cipher.getInstance(\"RSA/ECB/PKCS1Padding\")"), "{src}");
+        assert!(
+            src.contains("Cipher.getInstance(\"RSA/ECB/PKCS1Padding\")"),
+            "{src}"
+        );
         // No IV spec rule considered, so the 2-argument init is chosen.
         assert!(src.contains(".init(1, publicKey)"), "{src}");
         assert!(src.contains(".init(mode, privateKey)"), "{src}");
@@ -104,18 +111,30 @@ mod tests {
 
     #[test]
     fn asymmetric_roundtrip_end_to_end() {
-        let generated =
-            generate(&asymmetric_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &asymmetric_strings(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let cls = "SecureAsymmetricEncryptor";
-        let kp = interp.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+        let kp = interp
+            .call_static_style(cls, "generateKeyPair", vec![])
+            .unwrap();
         let pub_key = accessor(kp.clone(), "getPublic");
         let priv_key = accessor(kp, "getPrivate");
         let ct = interp
-            .call_static_style(cls, "encrypt", vec![Value::Str("rsa secret".into()), pub_key])
+            .call_static_style(
+                cls,
+                "encrypt",
+                vec![Value::Str("rsa secret".into()), pub_key],
+            )
             .unwrap();
         assert_ne!(ct.as_bytes().unwrap(), b"rsa secret");
-        let pt = interp.call_static_style(cls, "decrypt", vec![ct, priv_key]).unwrap();
+        let pt = interp
+            .call_static_style(cls, "decrypt", vec![ct, priv_key])
+            .unwrap();
         assert_eq!(pt.as_str().unwrap(), "rsa secret");
     }
 
@@ -123,7 +142,11 @@ mod tests {
         use javamodel::ast::*;
         let m = MethodDecl::new("acc", JavaType::class("java.lang.Object"))
             .param(JavaType::class("java.security.KeyPair"), "kp")
-            .statement(Stmt::Return(Some(Expr::call(Expr::var("kp"), name, vec![]))));
+            .statement(Stmt::Return(Some(Expr::call(
+                Expr::var("kp"),
+                name,
+                vec![],
+            ))));
         let unit = CompilationUnit::new("q").class(ClassDecl::new("Acc").method(m));
         let mut helper = Interpreter::new(&unit);
         helper.call_static_style("Acc", "acc", vec![recv]).unwrap()
@@ -131,8 +154,12 @@ mod tests {
 
     #[test]
     fn generated_asymmetric_code_is_sast_clean() {
-        let generated =
-            generate(&asymmetric_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &asymmetric_strings(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
             &rules::load().unwrap(),

@@ -133,21 +133,34 @@ mod tests {
 
     #[test]
     fn generated_code_uses_gcm_with_full_tag() {
-        let generated =
-            generate(&authenticated_encryption(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &authenticated_encryption(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let src = &generated.java_source;
-        assert!(src.contains("Cipher.getInstance(gcmTransformation)"), "{src}");
+        assert!(
+            src.contains("Cipher.getInstance(gcmTransformation)"),
+            "{src}"
+        );
         // GCMParameterSpec's tag length comes from the rule constraint.
         assert!(src.contains("new GCMParameterSpec(128, nonce)"), "{src}");
     }
 
     #[test]
     fn seal_open_roundtrip_and_tamper_detection() {
-        let generated =
-            generate(&authenticated_encryption(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &authenticated_encryption(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let cls = "AuthenticatedEncryptor";
-        let key = interp.call_static_style(cls, "generateKey", vec![]).unwrap();
+        let key = interp
+            .call_static_style(cls, "generateKey", vec![])
+            .unwrap();
         let sealed = interp
             .call_static_style(
                 cls,
@@ -172,8 +185,12 @@ mod tests {
 
     #[test]
     fn generated_gcm_code_is_sast_clean() {
-        let generated =
-            generate(&authenticated_encryption(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &authenticated_encryption(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
             &rules::load().unwrap(),

@@ -44,8 +44,12 @@ mod tests {
 
     #[test]
     fn generated_code_uses_sha256() {
-        let generated =
-            generate(&hashing_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &hashing_strings(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         assert!(generated
             .java_source
             .contains("MessageDigest.getInstance(\"SHA-256\")"));
@@ -53,8 +57,12 @@ mod tests {
 
     #[test]
     fn hash_matches_reference_sha256() {
-        let generated =
-            generate(&hashing_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &hashing_strings(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let out = interp
             .call_static_style("SecureHasher", "hash", vec![Value::Str("abc".into())])
@@ -70,8 +78,12 @@ mod tests {
 
     #[test]
     fn generated_hashing_code_is_sast_clean() {
-        let generated =
-            generate(&hashing_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &hashing_strings(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
             &rules::load().unwrap(),

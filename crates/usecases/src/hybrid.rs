@@ -92,7 +92,12 @@ fn shared_methods() -> Vec<TemplateMethod> {
         .chain(unwrap_key_chain())
         .post(Stmt::Return(Some(Expr::var("sessionKey"))));
 
-    vec![generate_key_pair, generate_session_key, wrap_key, unwrap_key]
+    vec![
+        generate_key_pair,
+        generate_session_key,
+        wrap_key,
+        unwrap_key,
+    ]
 }
 
 /// Use case 7: hybrid encryption of byte arrays.
@@ -324,28 +329,46 @@ mod tests {
 
     #[test]
     fn instanceof_steers_transformations() {
-        let generated =
-            generate(&hybrid_byte_arrays(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &hybrid_byte_arrays(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let src = &generated.java_source;
         // Data cipher: symmetric; key-wrapping cipher: asymmetric.
-        assert!(src.contains("Cipher.getInstance(\"AES/CBC/PKCS5Padding\")"), "{src}");
-        assert!(src.contains("Cipher.getInstance(\"RSA/ECB/PKCS1Padding\")"), "{src}");
+        assert!(
+            src.contains("Cipher.getInstance(\"AES/CBC/PKCS5Padding\")"),
+            "{src}"
+        );
+        assert!(
+            src.contains("Cipher.getInstance(\"RSA/ECB/PKCS1Padding\")"),
+            "{src}"
+        );
         assert!(src.contains(".wrap(sessionKey)"), "{src}");
         assert!(src.contains(".unwrap(wrapped, \"AES\", 3)"), "{src}");
     }
 
     #[test]
     fn hybrid_full_protocol_roundtrip() {
-        let generated =
-            generate(&hybrid_byte_arrays(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &hybrid_byte_arrays(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let cls = "HybridByteArrayEncryptor";
-        let key_pair = interp.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+        let key_pair = interp
+            .call_static_style(cls, "generateKeyPair", vec![])
+            .unwrap();
         // KeyPair accessors run through a tiny helper program.
         let pub_key = native_call(key_pair.clone(), "getPublic");
         let priv_key = native_call(key_pair, "getPrivate");
 
-        let session = interp.call_static_style(cls, "generateSessionKey", vec![]).unwrap();
+        let session = interp
+            .call_static_style(cls, "generateSessionKey", vec![])
+            .unwrap();
         let ct = interp
             .call_static_style(
                 cls,

@@ -174,15 +174,17 @@ mod tests {
         let c1 = pbe::pbe_files();
         let c2 = pbe::pbe_strings();
         let c3 = pbe::pbe_byte_arrays();
-        let chains = |t: &Template| -> Vec<_> {
-            t.methods.iter().filter_map(|m| m.chain.clone()).collect()
-        };
+        let chains =
+            |t: &Template| -> Vec<_> { t.methods.iter().filter_map(|m| m.chain.clone()).collect() };
         let (a, b, c) = (chains(&c1), chains(&c2), chains(&c3));
         assert_eq!(a.len(), b.len());
         assert_eq!(b.len(), c.len());
         for ((x, y), z) in a.iter().zip(&b).zip(&c) {
             let rules_of = |ch: &cognicrypt_core::template::GeneratorChain| {
-                ch.entries.iter().map(|e| e.rule.clone()).collect::<Vec<_>>()
+                ch.entries
+                    .iter()
+                    .map(|e| e.rule.clone())
+                    .collect::<Vec<_>>()
             };
             assert_eq!(rules_of(x), rules_of(y));
             assert_eq!(rules_of(y), rules_of(z));

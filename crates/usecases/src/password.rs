@@ -45,7 +45,11 @@ pub fn password_storage() -> Template {
     let hash_password = TemplateMethod::new("hashPassword", JavaType::byte_array())
         .param(JavaType::char_array(), "pwd")
         .param(JavaType::byte_array(), "salt")
-        .pre(Stmt::decl_init(JavaType::byte_array(), "hash", Expr::null()))
+        .pre(Stmt::decl_init(
+            JavaType::byte_array(),
+            "hash",
+            Expr::null(),
+        ))
         .chain(hash_chain())
         .post(Stmt::Return(Some(Expr::var("hash"))));
 
@@ -53,7 +57,11 @@ pub fn password_storage() -> Template {
         .param(JavaType::char_array(), "pwd")
         .param(JavaType::byte_array(), "salt")
         .param(JavaType::byte_array(), "expectedHash")
-        .pre(Stmt::decl_init(JavaType::byte_array(), "hash", Expr::null()))
+        .pre(Stmt::decl_init(
+            JavaType::byte_array(),
+            "hash",
+            Expr::null(),
+        ))
         .chain(hash_chain())
         .post(Stmt::Return(Some(Expr::static_call(
             names::ARRAYS,
@@ -76,18 +84,32 @@ mod tests {
 
     #[test]
     fn generated_code_uses_pbkdf2_and_clears_password() {
-        let generated =
-            generate(&password_storage(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &password_storage(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let src = &generated.java_source;
-        assert!(src.contains("SecretKeyFactory.getInstance(\"PBKDF2WithHmacSHA256\")"), "{src}");
+        assert!(
+            src.contains("SecretKeyFactory.getInstance(\"PBKDF2WithHmacSHA256\")"),
+            "{src}"
+        );
         assert!(src.contains(".clearPassword();"), "{src}");
-        assert!(src.contains("new PBEKeySpec(pwd, salt, 10000, 128)"), "{src}");
+        assert!(
+            src.contains("new PBEKeySpec(pwd, salt, 10000, 128)"),
+            "{src}"
+        );
     }
 
     #[test]
     fn store_and_verify_roundtrip() {
-        let generated =
-            generate(&password_storage(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &password_storage(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let cls = "SecurePasswordStore";
         let salt = interp.call_static_style(cls, "createSalt", vec![]).unwrap();
@@ -97,7 +119,11 @@ mod tests {
             .unwrap();
         assert_eq!(hash.as_bytes().unwrap().len(), 16); // 128-bit hash
         let ok = interp
-            .call_static_style(cls, "verifyPassword", vec![pwd(), salt.clone(), hash.clone()])
+            .call_static_style(
+                cls,
+                "verifyPassword",
+                vec![pwd(), salt.clone(), hash.clone()],
+            )
             .unwrap();
         assert!(ok.as_bool().unwrap());
         let bad = interp
@@ -112,23 +138,35 @@ mod tests {
 
     #[test]
     fn different_salts_give_different_hashes() {
-        let generated =
-            generate(&password_storage(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &password_storage(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let cls = "SecurePasswordStore";
         let s1 = interp.call_static_style(cls, "createSalt", vec![]).unwrap();
         let s2 = interp.call_static_style(cls, "createSalt", vec![]).unwrap();
         assert_ne!(s1.as_bytes().unwrap(), s2.as_bytes().unwrap());
         let pwd = || Value::chars("same".chars().collect());
-        let h1 = interp.call_static_style(cls, "hashPassword", vec![pwd(), s1]).unwrap();
-        let h2 = interp.call_static_style(cls, "hashPassword", vec![pwd(), s2]).unwrap();
+        let h1 = interp
+            .call_static_style(cls, "hashPassword", vec![pwd(), s1])
+            .unwrap();
+        let h2 = interp
+            .call_static_style(cls, "hashPassword", vec![pwd(), s2])
+            .unwrap();
         assert_ne!(h1.as_bytes().unwrap(), h2.as_bytes().unwrap());
     }
 
     #[test]
     fn generated_password_code_is_sast_clean() {
-        let generated =
-            generate(&password_storage(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &password_storage(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
             &rules::load().unwrap(),

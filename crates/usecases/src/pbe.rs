@@ -247,12 +247,20 @@ mod tests {
 
     #[test]
     fn pbe_bytes_roundtrip_end_to_end() {
-        let generated = generate(&pbe_byte_arrays(), &rules::load().unwrap(), &jca_type_table())
-            .expect("generation succeeds");
+        let generated = generate(
+            &pbe_byte_arrays(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .expect("generation succeeds");
         let mut interp = Interpreter::new(&generated.unit);
         let pwd: Vec<char> = "correct horse".chars().collect();
         let key = interp
-            .call_static_style("SecureByteArrayEncryptor", "getKey", vec![Value::chars(pwd)])
+            .call_static_style(
+                "SecureByteArrayEncryptor",
+                "getKey",
+                vec![Value::chars(pwd)],
+            )
             .expect("key derivation runs");
         let ct = interp
             .call_static_style(
@@ -270,7 +278,8 @@ mod tests {
 
     #[test]
     fn pbe_strings_roundtrip_end_to_end() {
-        let generated = generate(&pbe_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated =
+            generate(&pbe_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let key = interp
             .call_static_style(
@@ -332,7 +341,12 @@ mod tests {
 
     #[test]
     fn wrong_password_fails_to_decrypt() {
-        let generated = generate(&pbe_byte_arrays(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &pbe_byte_arrays(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let key1 = interp
             .call_static_style(
@@ -356,7 +370,11 @@ mod tests {
             )
             .unwrap();
         // Wrong key: padding failure or garbled output.
-        if let Ok(pt) = interp.call_static_style("SecureByteArrayEncryptor", "decrypt", vec![ct, key2]) { assert_ne!(pt.as_bytes().unwrap(), b"sixteen byte msg") }
+        if let Ok(pt) =
+            interp.call_static_style("SecureByteArrayEncryptor", "decrypt", vec![ct, key2])
+        {
+            assert_ne!(pt.as_bytes().unwrap(), b"sixteen byte msg")
+        }
     }
 
     #[test]

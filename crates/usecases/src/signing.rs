@@ -93,23 +93,36 @@ mod tests {
 
     #[test]
     fn bindings_select_sign_vs_verify_paths() {
-        let generated =
-            generate(&signing_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &signing_strings(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let src = &generated.java_source;
         assert!(src.contains(".initSign(privateKey)"), "{src}");
         assert!(src.contains(".sign()"), "{src}");
         assert!(src.contains(".initVerify(publicKey)"), "{src}");
         assert!(src.contains(".verify(signature)"), "{src}");
-        assert!(src.contains("Signature.getInstance(\"SHA256withRSA\")"), "{src}");
+        assert!(
+            src.contains("Signature.getInstance(\"SHA256withRSA\")"),
+            "{src}"
+        );
     }
 
     #[test]
     fn sign_verify_roundtrip() {
-        let generated =
-            generate(&signing_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &signing_strings(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let cls = "SecureSigner";
-        let kp = interp.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+        let kp = interp
+            .call_static_style(cls, "generateKeyPair", vec![])
+            .unwrap();
         let priv_key = accessor(kp.clone(), "getPrivate");
         let pub_key = accessor(kp, "getPublic");
         let sig = interp
@@ -123,7 +136,11 @@ mod tests {
             .call_static_style(
                 cls,
                 "verify",
-                vec![Value::Str("signed message".into()), sig.clone(), pub_key.clone()],
+                vec![
+                    Value::Str("signed message".into()),
+                    sig.clone(),
+                    pub_key.clone(),
+                ],
             )
             .unwrap();
         assert!(ok.as_bool().unwrap());
@@ -141,7 +158,11 @@ mod tests {
         use javamodel::ast::*;
         let m = MethodDecl::new("acc", JavaType::class("java.lang.Object"))
             .param(JavaType::class("java.security.KeyPair"), "kp")
-            .statement(Stmt::Return(Some(Expr::call(Expr::var("kp"), name, vec![]))));
+            .statement(Stmt::Return(Some(Expr::call(
+                Expr::var("kp"),
+                name,
+                vec![],
+            ))));
         let unit = CompilationUnit::new("q").class(ClassDecl::new("Acc").method(m));
         let mut helper = Interpreter::new(&unit);
         helper.call_static_style("Acc", "acc", vec![recv]).unwrap()
@@ -149,8 +170,12 @@ mod tests {
 
     #[test]
     fn generated_signing_code_is_sast_clean() {
-        let generated =
-            generate(&signing_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &signing_strings(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
             &rules::load().unwrap(),

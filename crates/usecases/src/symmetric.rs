@@ -96,18 +96,29 @@ mod tests {
 
     #[test]
     fn generated_code_selects_aes_128() {
-        let generated =
-            generate(&symmetric_encryption(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &symmetric_encryption(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let src = &generated.java_source;
         assert!(src.contains("KeyGenerator.getInstance(\"AES\")"), "{src}");
         assert!(src.contains(".init(128)"), "{src}");
-        assert!(src.contains("Cipher.getInstance(\"AES/CBC/PKCS5Padding\")"), "{src}");
+        assert!(
+            src.contains("Cipher.getInstance(\"AES/CBC/PKCS5Padding\")"),
+            "{src}"
+        );
     }
 
     #[test]
     fn symmetric_roundtrip_end_to_end() {
-        let generated =
-            generate(&symmetric_encryption(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &symmetric_encryption(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let key = interp
             .call_static_style("SecureSymmetricEncryptor", "generateKey", vec![])
@@ -127,8 +138,12 @@ mod tests {
 
     #[test]
     fn distinct_keys_per_call() {
-        let generated =
-            generate(&symmetric_encryption(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &symmetric_encryption(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let k1 = interp
             .call_static_style("SecureSymmetricEncryptor", "generateKey", vec![])
@@ -151,8 +166,12 @@ mod tests {
 
     #[test]
     fn generated_symmetric_code_is_sast_clean() {
-        let generated =
-            generate(&symmetric_encryption(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &symmetric_encryption(),
+            &rules::load().unwrap(),
+            &jca_type_table(),
+        )
+        .unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
             &rules::load().unwrap(),

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --example custom_rule`
 
-use cognicryptgen::core::template::{CrySlCodeGenerator, Template, TemplateMethod};
 use cognicryptgen::core::generate;
+use cognicryptgen::core::template::{CrySlCodeGenerator, Template, TemplateMethod};
 use cognicryptgen::interp::{Interpreter, Value};
 use cognicryptgen::javamodel::ast::{Expr, JavaType, Stmt};
 use cognicryptgen::javamodel::jca::jca_type_table;
@@ -21,19 +21,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The template a crypto expert would write: two wrapper methods with
     // fluent-API chains, a few lines of glue.
-    let generate_key = TemplateMethod::new("generateKey", JavaType::class("javax.crypto.SecretKey"))
-        .pre(Stmt::decl_init(
-            JavaType::class("javax.crypto.SecretKey"),
-            "key",
-            Expr::null(),
-        ))
-        .chain(
-            CrySlCodeGenerator::get_instance()
-                .consider_crysl_rule("javax.crypto.KeyGenerator")
-                .add_return_object("key")
-                .build(),
-        )
-        .post(Stmt::Return(Some(Expr::var("key"))));
+    let generate_key =
+        TemplateMethod::new("generateKey", JavaType::class("javax.crypto.SecretKey"))
+            .pre(Stmt::decl_init(
+                JavaType::class("javax.crypto.SecretKey"),
+                "key",
+                Expr::null(),
+            ))
+            .chain(
+                CrySlCodeGenerator::get_instance()
+                    .consider_crysl_rule("javax.crypto.KeyGenerator")
+                    .add_return_object("key")
+                    .build(),
+            )
+            .post(Stmt::Return(Some(Expr::var("key"))));
 
     let tag = TemplateMethod::new("authenticate", JavaType::byte_array())
         .param(JavaType::byte_array(), "message")

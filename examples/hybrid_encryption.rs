@@ -20,7 +20,11 @@ use cognicryptgen::usecases::hybrid;
 fn key_accessor(recv: Value, name: &str) -> Value {
     let m = MethodDecl::new("acc", JavaType::class("java.lang.Object"))
         .param(JavaType::class("java.security.KeyPair"), "kp")
-        .statement(Stmt::Return(Some(Expr::call(Expr::var("kp"), name, vec![]))));
+        .statement(Stmt::Return(Some(Expr::call(
+            Expr::var("kp"),
+            name,
+            vec![],
+        ))));
     let unit = CompilationUnit::new("helper").class(ClassDecl::new("Acc").method(m));
     let mut helper = Interpreter::new(&unit);
     helper
@@ -30,7 +34,10 @@ fn key_accessor(recv: Value, name: &str) -> Value {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let generated = generate(&hybrid::hybrid_byte_arrays(), &load()?, &jca_type_table())?;
-    println!("Generated {} lines of Java.\n", generated.java_source.lines().count());
+    println!(
+        "Generated {} lines of Java.\n",
+        generated.java_source.lines().count()
+    );
 
     let cls = "HybridByteArrayEncryptor";
     let mut interp = Interpreter::new(&generated.unit);
@@ -60,7 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Recipient side: unwrap, decrypt.
     let recovered_key =
         interp.call_static_style(cls, "unwrapSessionKey", vec![wrapped_key, private_key])?;
-    let decrypted = interp.call_static_style(cls, "decryptData", vec![ciphertext, recovered_key])?;
+    let decrypted =
+        interp.call_static_style(cls, "decryptData", vec![ciphertext, recovered_key])?;
     assert_eq!(decrypted.as_bytes()?, payload);
     println!("[recipient] payload recovered: round trip succeeded");
     Ok(())

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. The code template for "PBE on byte arrays" (paper Table 1, #3).
     let template = usecases::pbe::pbe_byte_arrays();
-    println!("== Template: {} (3 methods, ~60 LoC of glue) ==\n", template.class_name);
+    println!(
+        "== Template: {} (3 methods, ~60 LoC of glue) ==\n",
+        template.class_name
+    );
 
     // 2. Generate: rules + template -> complete Java implementation.
     let generated = generate(&template, &rules, &table)?;
@@ -51,11 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "encrypt",
         vec![Value::bytes(secret.clone()), key.clone()],
     )?;
-    let recovered = interp.call_static_style(
-        "SecureByteArrayEncryptor",
-        "decrypt",
-        vec![ciphertext, key],
-    )?;
+    let recovered =
+        interp.call_static_style("SecureByteArrayEncryptor", "decrypt", vec![ciphertext, key])?;
     assert_eq!(recovered.as_bytes()?, secret);
     println!("== Executed: encrypt/decrypt round trip succeeded ==");
     Ok(())

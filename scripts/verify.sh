@@ -78,4 +78,11 @@ diff "$workdir/traced-uc01.java" "$workdir/single/uc01.java"
 "$cli" trace-check "$workdir/trace-batch.json"
 diff -r "$workdir/traced-batch" "$workdir/single"
 
+# Corpus replay: every committed fuzz reproducer must pass the oracles
+# it once crashed. A budget of 0 replays the corpus and runs nothing
+# else, so the gate is deterministic and fast; any crash or undecodable
+# corpus file makes the CLI exit non-zero.
+echo "==> cli fuzz --corpus corpus/ --budget 0"
+"$cli" fuzz --corpus corpus/ --budget 0
+
 echo "==> hermetic verify OK"

@@ -5,6 +5,7 @@ pub mod report;
 pub use error::Error;
 
 pub use cognicrypt_core as core;
+pub use cognicrypt_fuzz as fuzz;
 pub use crysl;
 pub use interp;
 pub use javamodel;
@@ -34,7 +35,11 @@ pub fn jca_engine() -> &'static GenEngine {
     static ENGINE: OnceLock<GenEngine> = OnceLock::new();
     ENGINE.get_or_init(|| {
         GenEngine::builder()
-            .rules(rules::load_shared().expect("shipped JCA rules must parse").clone())
+            .rules(
+                rules::load_shared()
+                    .expect("shipped JCA rules must parse")
+                    .clone(),
+            )
             .type_table(javamodel::jca::jca_type_table())
             .build()
             .expect("rules supplied")

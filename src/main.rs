@@ -13,6 +13,12 @@
 //!                                     and write REPORT_table1.json into [dir]
 //! cognicryptgen report-check <file>   validate a written Table-1 report
 //! cognicryptgen trace-check <file>    validate a written Chrome trace
+//! cognicryptgen fuzz [--budget <n>] [--seed <s>] [--corpus <dir>]
+//!                                     deterministic fuzzing of the CrySL
+//!                                     front-end and generation pipeline;
+//!                                     replays <dir> first, writes new crash
+//!                                     reproducers there, exits non-zero on
+//!                                     any crash
 //! ```
 //!
 //! `generate`, `batch` and `report` additionally accept `--trace <file>`:
@@ -53,7 +59,7 @@ use devharness::json::Json;
 #[global_allocator]
 static ALLOC: TrackingAlloc = TrackingAlloc::new();
 
-const USAGE: &str = "cognicryptgen <list|generate|batch|template|rules|analyze|oldgen|report|report-check|trace-check> [arg..] [--trace <file>]";
+const USAGE: &str = "cognicryptgen <list|generate|batch|template|rules|analyze|oldgen|report|report-check|trace-check|fuzz> [arg..] [--trace <file>]";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,23 +73,20 @@ fn main() -> ExitCode {
                 args.get(2).map(String::as_str),
                 trace,
             ),
-            Some("template") => {
-                reject_trace(trace, "template").and_then(|()| with_use_case(args.get(1), cmd_template))
-            }
-            Some("rules") => {
-                reject_trace(trace, "rules").and_then(|()| cmd_rules(args.get(1).map(String::as_str)))
-            }
-            Some("analyze") => {
-                reject_trace(trace, "analyze").and_then(|()| cmd_analyze(args.get(1).map(String::as_str)))
-            }
-            Some("oldgen") => {
-                reject_trace(trace, "oldgen").and_then(|()| cmd_oldgen(args.get(1).map(String::as_str)))
-            }
+            Some("template") => reject_trace(trace, "template")
+                .and_then(|()| with_use_case(args.get(1), cmd_template)),
+            Some("rules") => reject_trace(trace, "rules")
+                .and_then(|()| cmd_rules(args.get(1).map(String::as_str))),
+            Some("analyze") => reject_trace(trace, "analyze")
+                .and_then(|()| cmd_analyze(args.get(1).map(String::as_str))),
+            Some("oldgen") => reject_trace(trace, "oldgen")
+                .and_then(|()| cmd_oldgen(args.get(1).map(String::as_str))),
             Some("report") => cmd_report(args.get(1).map(String::as_str), trace),
             Some("report-check") => reject_trace(trace, "report-check")
                 .and_then(|()| cmd_report_check(args.get(1).map(String::as_str))),
             Some("trace-check") => reject_trace(trace, "trace-check")
                 .and_then(|()| cmd_trace_check(args.get(1).map(String::as_str))),
+            Some("fuzz") => reject_trace(trace, "fuzz").and_then(|()| cmd_fuzz(&args[1..])),
             _ => Err(Error::Usage(USAGE.to_owned())),
         }
     });
@@ -159,7 +162,8 @@ fn with_use_case(
     selector: Option<&String>,
     f: impl FnOnce(&UseCase) -> Result<(), Error>,
 ) -> Result<(), Error> {
-    let selector = selector.ok_or_else(|| Error::Usage("missing use-case id or name".to_owned()))?;
+    let selector =
+        selector.ok_or_else(|| Error::Usage("missing use-case id or name".to_owned()))?;
     f(&find_use_case(selector)?)
 }
 
@@ -189,8 +193,13 @@ fn cmd_generate(uc: &UseCase, trace: Option<&str>) -> Result<(), Error> {
 /// engine session, fanned over worker threads, writing `uc01.java` …
 /// `uc11.java` into `dir`. Any per-case failure is reported and turns
 /// the whole invocation into a failure after all cases ran.
-fn cmd_batch(outdir: Option<&str>, threads: Option<&str>, trace: Option<&str>) -> Result<(), Error> {
-    let outdir = outdir.ok_or_else(|| Error::Usage("missing output directory for batch".to_owned()))?;
+fn cmd_batch(
+    outdir: Option<&str>,
+    threads: Option<&str>,
+    trace: Option<&str>,
+) -> Result<(), Error> {
+    let outdir =
+        outdir.ok_or_else(|| Error::Usage("missing output directory for batch".to_owned()))?;
     let threads = match threads {
         Some(t) => t
             .parse::<usize>()
@@ -224,7 +233,12 @@ fn cmd_batch(outdir: Option<&str>, threads: Option<&str>, trace: Option<&str>) -
                 let path = outdir.join(format!("uc{:02}.java", uc.id));
                 std::fs::write(&path, &generated.java_source)
                     .map_err(|e| Error::io(path.display().to_string(), e))?;
-                println!("uc{:02} {:<32} ok ({} bytes)", uc.id, uc.name, generated.java_source.len());
+                println!(
+                    "uc{:02} {:<32} ok ({} bytes)",
+                    uc.id,
+                    uc.name,
+                    generated.java_source.len()
+                );
             }
             Err(e) => {
                 failures += 1;
@@ -322,7 +336,8 @@ fn cmd_report(outdir: Option<&str>, trace: Option<&str>) -> Result<(), Error> {
     print!("{}", report::render_text(&report));
     let path = outdir.join(REPORT_FILE);
     let doc = report::to_json(&report);
-    std::fs::write(&path, format!("{doc}\n")).map_err(|e| Error::io(path.display().to_string(), e))?;
+    std::fs::write(&path, format!("{doc}\n"))
+        .map_err(|e| Error::io(path.display().to_string(), e))?;
     println!("\nreport written to {}", path.display());
     Ok(())
 }
@@ -336,6 +351,55 @@ fn cmd_report_check(path: Option<&str>) -> Result<(), Error> {
     report::validate(&doc).map_err(|e| Error::Invalid(format!("{path}: {e}")))?;
     println!("{path}: valid table1 report");
     Ok(())
+}
+
+/// `fuzz [--budget <n>] [--seed <s>] [--corpus <dir>]` — run the
+/// deterministic fuzzing harness: replay the corpus directory (if
+/// given), then execute `n` fresh inputs derived from the seed. New
+/// crash classes are minimized and written into the corpus directory.
+/// The session log goes to stdout; any crash or undecodable corpus file
+/// makes the invocation fail with the invalid-input exit code.
+fn cmd_fuzz(args: &[String]) -> Result<(), Error> {
+    let mut config = cognicryptgen::fuzz::FuzzConfig {
+        budget: 1000,
+        seed: 1,
+        corpus: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| Error::Usage(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--budget" => {
+                let v = value("--budget")?;
+                config.budget = v
+                    .parse()
+                    .map_err(|_| Error::Usage(format!("invalid budget `{v}`")))?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                config.seed = v
+                    .parse()
+                    .map_err(|_| Error::Usage(format!("invalid seed `{v}`")))?;
+            }
+            "--corpus" => config.corpus = Some(value("--corpus")?.into()),
+            other => return Err(Error::Usage(format!("unknown fuzz option `{other}`"))),
+        }
+    }
+    let report = cognicryptgen::fuzz::run(&config).map_err(Error::Invalid)?;
+    print!("{}", report.log);
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(Error::Invalid(format!(
+            "fuzzing found {} crash class(es) and {} undecodable corpus file(s)",
+            report.crashes.len(),
+            report.decode_errors.len()
+        )))
+    }
 }
 
 /// `trace-check <file>` — parse a previously written Chrome trace and

@@ -129,7 +129,15 @@ pub fn render_text(report: &Table1Report) -> String {
     let _ = writeln!(
         out,
         "{:<4} {:<34} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>7}",
-        "#", "Use case (paper Table 1)", "collect", "link", "select", "resolve", "assemble", "total µs", "bytes"
+        "#",
+        "Use case (paper Table 1)",
+        "collect",
+        "link",
+        "select",
+        "resolve",
+        "assemble",
+        "total µs",
+        "bytes"
     );
     for row in &report.rows {
         let t = &row.timings;
@@ -150,7 +158,15 @@ pub fn render_text(report: &Table1Report) -> String {
     let _ = writeln!(
         out,
         "\n{:<4} {:<34} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
-        "#", "Memory (kB allocated)", "collect", "link", "select", "resolve", "assemble", "total kB", "peak kB"
+        "#",
+        "Memory (kB allocated)",
+        "collect",
+        "link",
+        "select",
+        "resolve",
+        "assemble",
+        "total kB",
+        "peak kB"
     );
     for row in &report.rows {
         let t = &row.timings;
@@ -171,13 +187,22 @@ pub fn render_text(report: &Table1Report) -> String {
     }
     match report.peak_rss {
         Some(p) => {
-            let _ = writeln!(out, "\nprocess peak RSS: {} kB (via {})", p.kb, p.source.name());
+            let _ = writeln!(
+                out,
+                "\nprocess peak RSS: {} kB (via {})",
+                p.kb,
+                p.source.name()
+            );
         }
         None => {
             let _ = writeln!(out, "\nprocess peak RSS: unavailable on this platform");
         }
     }
-    if report.rows.iter().all(|r| r.timings.alloc_total_bytes() == 0) {
+    if report
+        .rows
+        .iter()
+        .all(|r| r.timings.alloc_total_bytes() == 0)
+    {
         let _ = writeln!(
             out,
             "note: allocation columns are zero — the running binary did not install memtrack::TrackingAlloc"
@@ -227,10 +252,7 @@ pub fn to_json(report: &Table1Report) -> Json {
                     (
                         p.name().to_owned(),
                         Json::Obj(vec![
-                            (
-                                "alloc_bytes".to_owned(),
-                                Json::Num(stat.alloc_bytes as f64),
-                            ),
+                            ("alloc_bytes".to_owned(), Json::Num(stat.alloc_bytes as f64)),
                             (
                                 "peak_live_bytes".to_owned(),
                                 Json::Num(stat.peak_live_bytes as f64),
@@ -244,7 +266,10 @@ pub fn to_json(report: &Table1Report) -> Json {
                 ("name".to_owned(), Json::Str(row.name.clone())),
                 ("class".to_owned(), Json::Str(row.class.clone())),
                 ("phases_us".to_owned(), Json::Obj(phases)),
-                ("total_us".to_owned(), Json::Num(micros(row.timings.total()))),
+                (
+                    "total_us".to_owned(),
+                    Json::Num(micros(row.timings.total())),
+                ),
                 ("phases_mem".to_owned(), Json::Obj(mem)),
                 (
                     "alloc_total_bytes".to_owned(),
@@ -254,10 +279,7 @@ pub fn to_json(report: &Table1Report) -> Json {
                     "peak_live_bytes".to_owned(),
                     Json::Num(row.timings.peak_live_bytes() as f64),
                 ),
-                (
-                    "java_bytes".to_owned(),
-                    Json::Num(row.java_bytes as f64),
-                ),
+                ("java_bytes".to_owned(), Json::Num(row.java_bytes as f64)),
             ])
         })
         .collect();
@@ -426,11 +448,16 @@ mod tests {
         for case in cases {
             let mem = case.get("phases_mem").expect("phases_mem present");
             for phase in Phase::ALL {
-                let slot = mem.get(phase.name()).expect("every phase has a memory slot");
+                let slot = mem
+                    .get(phase.name())
+                    .expect("every phase has a memory slot");
                 assert!(slot.get("alloc_bytes").and_then(Json::as_u64).is_some());
                 assert!(slot.get("peak_live_bytes").and_then(Json::as_u64).is_some());
             }
-            assert!(case.get("alloc_total_bytes").and_then(Json::as_u64).is_some());
+            assert!(case
+                .get("alloc_total_bytes")
+                .and_then(Json::as_u64)
+                .is_some());
         }
         // The process-level RSS figure is present on Linux, with its
         // measuring facility named.
@@ -451,7 +478,11 @@ mod tests {
         assert_eq!(report.rows.len(), 11);
         // The recorder saw the whole instrumented run: 11 use cases ×
         // 5 phases × (B + E), plus instant events from inside phases.
-        assert!(recorder.len() >= 110, "only {} events recorded", recorder.len());
+        assert!(
+            recorder.len() >= 110,
+            "only {} events recorded",
+            recorder.len()
+        );
         cognicrypt_core::telemetry::validate_trace(&recorder.to_json())
             .expect("recorded trace validates");
     }
@@ -463,13 +494,9 @@ mod tests {
 
         let strip = |doc: &Json, key: &str| -> Json {
             match doc {
-                Json::Obj(members) => Json::Obj(
-                    members
-                        .iter()
-                        .filter(|(k, _)| k != key)
-                        .cloned()
-                        .collect(),
-                ),
+                Json::Obj(members) => {
+                    Json::Obj(members.iter().filter(|(k, _)| k != key).cloned().collect())
+                }
                 other => other.clone(),
             }
         };

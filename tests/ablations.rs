@@ -39,7 +39,11 @@ fn without_predicate_filters_the_iv_less_init_slips_through() {
                 "ivBytes",
                 Expr::new_array(JavaType::Byte, Expr::int(16)),
             ))
-            .pre(Stmt::decl_init(JavaType::byte_array(), "cipherText", Expr::null()))
+            .pre(Stmt::decl_init(
+                JavaType::byte_array(),
+                "cipherText",
+                Expr::null(),
+            ))
             .chain(
                 CrySlCodeGenerator::get_instance()
                     .consider_crysl_rule("java.security.SecureRandom")
@@ -89,7 +93,13 @@ fn without_predicate_filters_the_iv_less_init_slips_through() {
     let clean = Generator::new()
         .generate(&encrypt_only, &load().unwrap(), &jca_type_table())
         .expect("generates");
-    assert!(clean.java_source.contains(".init(1, key, ivParameterSpec);"), "{}", clean.java_source);
+    assert!(
+        clean
+            .java_source
+            .contains(".init(1, key, ivParameterSpec);"),
+        "{}",
+        clean.java_source
+    );
 }
 
 #[test]
@@ -163,13 +173,21 @@ fn longest_path_tie_break_emits_more_calls() {
         ..SelectionOptions::default()
     };
     let short = Generator::new()
-        .generate(&usecases::pbe::pbe_strings(), &load().unwrap(), &jca_type_table())
+        .generate(
+            &usecases::pbe::pbe_strings(),
+            &load().unwrap(),
+            &jca_type_table(),
+        )
         .expect("generates");
     let long = Generator::with_options(GeneratorOptions {
         selection: longest,
         ..GeneratorOptions::default()
     })
-    .generate(&usecases::pbe::pbe_strings(), &load().unwrap(), &jca_type_table())
+    .generate(
+        &usecases::pbe::pbe_strings(),
+        &load().unwrap(),
+        &jca_type_table(),
+    )
     .expect("generates");
     assert!(
         long.java_source.lines().count() >= short.java_source.lines().count(),
@@ -195,8 +213,7 @@ fn disabling_fallback_makes_unresolved_parameters_hard_errors() {
     let chain = CrySlCodeGenerator::get_instance()
         .consider_crysl_rule("java.security.MessageDigest")
         .build();
-    let t = Template::new("p", "C")
-        .method(TemplateMethod::new("go", JavaType::Void).chain(chain));
+    let t = Template::new("p", "C").method(TemplateMethod::new("go", JavaType::Void).chain(chain));
     let no_fallback = SelectionOptions {
         fallback_hoisting: false,
         ..SelectionOptions::default()

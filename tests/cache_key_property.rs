@@ -59,7 +59,10 @@ impl Sketch {
         src.push_str("EVENTS ");
         for i in 0..self.len() {
             let params = vec!["_"; self.params[i]].join(", ");
-            src.push_str(&format!("{}: {}({}); ", LABELS[i], METHODS[self.methods[i]], params));
+            src.push_str(&format!(
+                "{}: {}({}); ",
+                LABELS[i], METHODS[self.methods[i]], params
+            ));
         }
         src.push_str("\nORDER ");
         let mut pos = 0;
@@ -91,9 +94,13 @@ impl Sketch {
 fn sketch_from_tape(t: &mut Tape) -> Sketch {
     let n = 2 + t.draw_below(3) as usize; // 2..=4 events
     Sketch {
-        methods: (0..n).map(|_| t.draw_below(METHODS.len() as u64) as usize).collect(),
+        methods: (0..n)
+            .map(|_| t.draw_below(METHODS.len() as u64) as usize)
+            .collect(),
         params: (0..n).map(|_| t.draw_below(3) as usize).collect(),
-        suffixes: (0..n).map(|_| t.draw_below(SUFFIXES.len() as u64) as usize).collect(),
+        suffixes: (0..n)
+            .map(|_| t.draw_below(SUFFIXES.len() as u64) as usize)
+            .collect(),
         alt_at: t.draw_below(n as u64 + 1) as usize, // == n → no alternative
     }
 }
@@ -113,7 +120,8 @@ fn mutate(s: &Sketch, t: &mut Tape) -> Sketch {
         3 if s.len() < LABELS.len() => {
             m.methods.push(t.draw_below(METHODS.len() as u64) as usize);
             m.params.push(t.draw_below(3) as usize);
-            m.suffixes.push(t.draw_below(SUFFIXES.len() as u64) as usize);
+            m.suffixes
+                .push(t.draw_below(SUFFIXES.len() as u64) as usize);
         }
         _ if s.len() > 2 => {
             m.methods.pop();
@@ -144,27 +152,32 @@ fn fingerprint_tracks_events_and_order_exactly() {
         let mutated = mutate(&base, t);
         (base, mutated)
     });
-    check("fingerprint_tracks_events_and_order_exactly", &cfg(), &g, |(base, mutated)| {
-        let a = base.parse("pkg.Api", None);
-        let b = mutated.parse("pkg.Api", None);
-        if compilation_inputs_equal(&a, &b) {
-            assert_eq!(
-                order_fingerprint(&a),
-                order_fingerprint(&b),
-                "equal inputs must agree:\n{}\n{}",
-                base.render("pkg.Api", None),
-                mutated.render("pkg.Api", None)
-            );
-        } else {
-            assert_ne!(
-                order_fingerprint(&a),
-                order_fingerprint(&b),
-                "mutated input must change the key:\n{}\n{}",
-                base.render("pkg.Api", None),
-                mutated.render("pkg.Api", None)
-            );
-        }
-    });
+    check(
+        "fingerprint_tracks_events_and_order_exactly",
+        &cfg(),
+        &g,
+        |(base, mutated)| {
+            let a = base.parse("pkg.Api", None);
+            let b = mutated.parse("pkg.Api", None);
+            if compilation_inputs_equal(&a, &b) {
+                assert_eq!(
+                    order_fingerprint(&a),
+                    order_fingerprint(&b),
+                    "equal inputs must agree:\n{}\n{}",
+                    base.render("pkg.Api", None),
+                    mutated.render("pkg.Api", None)
+                );
+            } else {
+                assert_ne!(
+                    order_fingerprint(&a),
+                    order_fingerprint(&b),
+                    "mutated input must change the key:\n{}\n{}",
+                    base.render("pkg.Api", None),
+                    mutated.render("pkg.Api", None)
+                );
+            }
+        },
+    );
 }
 
 #[test]
@@ -174,24 +187,29 @@ fn fingerprint_ignores_sections_compilation_never_reads() {
         let noise = t.draw_below(10_000) as i64;
         (sketch, noise)
     });
-    check("fingerprint_ignores_sections_compilation_never_reads", &cfg(), &g, |(sketch, noise)| {
-        let plain = sketch.parse("pkg.Api", None);
-        let noisy = sketch.parse("other.Name", Some(*noise));
-        assert_eq!(order_fingerprint(&plain), order_fingerprint(&noisy));
+    check(
+        "fingerprint_ignores_sections_compilation_never_reads",
+        &cfg(),
+        &g,
+        |(sketch, noise)| {
+            let plain = sketch.parse("pkg.Api", None);
+            let noisy = sketch.parse("other.Name", Some(*noise));
+            assert_eq!(order_fingerprint(&plain), order_fingerprint(&noisy));
 
-        // Hash-equal rules produce structurally equal artefacts …
-        let ca = CompiledOrder::compile(&plain).expect("compiles");
-        let cb = CompiledOrder::compile(&noisy).expect("compiles");
-        assert_eq!(ca.dfa, cb.dfa);
-        assert_eq!(ca.paths, cb.paths);
+            // Hash-equal rules produce structurally equal artefacts …
+            let ca = CompiledOrder::compile(&plain).expect("compiles");
+            let cb = CompiledOrder::compile(&noisy).expect("compiles");
+            assert_eq!(ca.dfa, cb.dfa);
+            assert_eq!(ca.paths, cb.paths);
 
-        // … and share a single cache entry.
-        let cache = OrderCache::new();
-        let first = cache.get_or_compile(&plain).expect("compiles");
-        let second = cache.get_or_compile(&noisy).expect("compiles");
-        assert!(Arc::ptr_eq(&first, &second));
-        assert_eq!(cache.len(), 1);
-    });
+            // … and share a single cache entry.
+            let cache = OrderCache::new();
+            let first = cache.get_or_compile(&plain).expect("compiles");
+            let second = cache.get_or_compile(&noisy).expect("compiles");
+            assert!(Arc::ptr_eq(&first, &second));
+            assert_eq!(cache.len(), 1);
+        },
+    );
 }
 
 #[test]

@@ -16,9 +16,7 @@
 
 use cognicryptgen::core::{GenEngine, Generated, Generator};
 use cognicryptgen::interp::{Interpreter, Value};
-use cognicryptgen::javamodel::ast::{
-    ClassDecl, CompilationUnit, Expr, JavaType, MethodDecl, Stmt,
-};
+use cognicryptgen::javamodel::ast::{ClassDecl, CompilationUnit, Expr, JavaType, MethodDecl, Stmt};
 use cognicryptgen::javamodel::jca::jca_type_table;
 use cognicryptgen::rules::{load, load_uncached};
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
@@ -98,7 +96,11 @@ fn observed_engine_emits_byte_identical_java_to_unobserved() {
             "use case {} ({}) diverged under telemetry",
             uc.id, uc.name
         );
-        assert_eq!(on.hoisted, off.hoisted, "use case {} hoisting differs", uc.id);
+        assert_eq!(
+            on.hoisted, off.hoisted,
+            "use case {} hoisting differs",
+            uc.id
+        );
     }
     // The observer really ran: every use case has timing rows.
     assert_eq!(timings.snapshot().len(), 11);
@@ -122,9 +124,8 @@ fn warm_engine_preserves_sast_verdicts_for_all_use_cases() {
             &table,
             AnalyzerOptions::default(),
         );
-        let render = |ms: &[_]| -> Vec<String> {
-            ms.iter().map(|m| format!("{m}")).collect::<Vec<_>>()
-        };
+        let render =
+            |ms: &[_]| -> Vec<String> { ms.iter().map(|m| format!("{m}")).collect::<Vec<_>>() };
         assert_eq!(
             render(&c),
             render(&w),
@@ -132,7 +133,11 @@ fn warm_engine_preserves_sast_verdicts_for_all_use_cases() {
             uc.id,
             uc.name
         );
-        assert!(c.is_empty(), "use case {} generated code has misuses", uc.id);
+        assert!(
+            c.is_empty(),
+            "use case {} generated code has misuses",
+            uc.id
+        );
     }
 }
 
@@ -158,7 +163,11 @@ fn warm_engine_preserves_runtime_behaviour_for_all_use_cases() {
 fn key_pair_accessor(recv: Value, name: &str) -> Value {
     let m = MethodDecl::new("acc", JavaType::class("java.lang.Object"))
         .param(JavaType::class("java.security.KeyPair"), "kp")
-        .statement(Stmt::Return(Some(Expr::call(Expr::var("kp"), name, vec![]))));
+        .statement(Stmt::Return(Some(Expr::call(
+            Expr::var("kp"),
+            name,
+            vec![],
+        ))));
     let unit = CompilationUnit::new("helper").class(ClassDecl::new("Acc").method(m));
     Interpreter::new(&unit)
         .call_static_style("Acc", "acc", vec![recv])
@@ -232,7 +241,11 @@ fn transcript(id: u8, unit: &CompilationUnit) -> Vec<String> {
             record(&mut t, "key", &key);
             let data = b"byte array payload".to_vec();
             let ct = i
-                .call_static_style(cls, "encrypt", vec![Value::bytes(data.clone()), key.clone()])
+                .call_static_style(
+                    cls,
+                    "encrypt",
+                    vec![Value::bytes(data.clone()), key.clone()],
+                )
                 .unwrap();
             record(&mut t, "ct", &ct);
             let pt = i.call_static_style(cls, "decrypt", vec![ct, key]).unwrap();
@@ -367,7 +380,9 @@ fn transcript(id: u8, unit: &CompilationUnit) -> Vec<String> {
                 .call_static_style(cls, "encrypt", vec![Value::Str("to bob".into()), public])
                 .unwrap();
             record(&mut t, "ct", &ct);
-            let pt = i.call_static_style(cls, "decrypt", vec![ct, private]).unwrap();
+            let pt = i
+                .call_static_style(cls, "decrypt", vec![ct, private])
+                .unwrap();
             assert_eq!(pt.as_str().unwrap(), "to bob");
             record(&mut t, "pt", &pt);
         }

@@ -106,7 +106,11 @@ fn synthetic_case_exercising_the_hoisting_fallback() {
         .build();
     let t = Template::new("p", "C").method(
         TemplateMethod::new("go", JavaType::byte_array())
-            .pre(Stmt::decl_init(JavaType::byte_array(), "digest", Expr::null()))
+            .pre(Stmt::decl_init(
+                JavaType::byte_array(),
+                "digest",
+                Expr::null(),
+            ))
             .chain(chain)
             .post(Stmt::Return(Some(Expr::var("digest")))),
     );
@@ -114,7 +118,11 @@ fn synthetic_case_exercising_the_hoisting_fallback() {
     assert_eq!(generated.hoisted.len(), 1);
     assert_eq!(generated.hoisted[0].1, vec!["input".to_owned()]);
     // The hoisted parameter appears in the wrapper signature.
-    assert!(generated.java_source.contains("go(byte[] input)"), "{}", generated.java_source);
+    assert!(
+        generated.java_source.contains("go(byte[] input)"),
+        "{}",
+        generated.java_source
+    );
 }
 
 #[test]
@@ -132,6 +140,10 @@ fn broken_rule_sources_are_rejected() {
     let mut rules = RuleSet::new();
     // Unbalanced sections, missing SPEC, undeclared objects.
     assert!(rules.add_source("OBJECTS int x;").is_err());
-    assert!(rules.add_source("SPEC a.B\nCONSTRAINTS ghost >= 1;").is_err());
-    assert!(rules.add_source("SPEC a.B\nEVENTS e: f(undeclared);").is_err());
+    assert!(rules
+        .add_source("SPEC a.B\nCONSTRAINTS ghost >= 1;")
+        .is_err());
+    assert!(rules
+        .add_source("SPEC a.B\nEVENTS e: f(undeclared);")
+        .is_err());
 }

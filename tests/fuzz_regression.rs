@@ -1,0 +1,193 @@
+//! Regression tests for crash classes found by the fuzzing harness
+//! (`cognicryptgen fuzz`), one named test per class. Each test replays
+//! the committed reproducer from `corpus/` through the fuzzer's own
+//! oracles — exactly what the corpus-replay gate in `scripts/verify.sh`
+//! and CI does — and then pins the specific fixed behavior directly, so
+//! a regression fails with a pointed message instead of a generic
+//! "corpus replay found crashes".
+
+use cognicryptgen::core::GenError;
+use cognicryptgen::crysl;
+use cognicryptgen::fuzz::input::FuzzInput;
+use cognicryptgen::fuzz::{execute_input, FuzzEnv};
+use cognicryptgen::jca_engine;
+
+fn corpus(name: &str) -> FuzzInput {
+    let path = format!("{}/corpus/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    FuzzInput::decode(&text).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn replay_clean(name: &str) -> FuzzInput {
+    let input = corpus(name);
+    let env = FuzzEnv::new().unwrap();
+    if let Err(crash) = execute_input(&env, &input) {
+        panic!(
+            "{name} regressed: {} — {}",
+            crash.fingerprint, crash.message
+        );
+    }
+    input
+}
+
+/// Fuzz finding: a chain naming the same rule twice generated code that
+/// called the rule's sequence twice on one object — a typestate misuse
+/// the rule itself forbids. Generation must reject the chain instead.
+#[test]
+fn duplicate_chain_rule_is_rejected_not_misgenerated() {
+    let FuzzInput::Template(spec) = replay_clean("crash-oracle-generated-misuse.txt") else {
+        panic!("reproducer changed kind");
+    };
+    let env = FuzzEnv::new().unwrap();
+    let template = spec.build(&env.cases).expect("base template resolves");
+    match jca_engine().generate(&template) {
+        Err(GenError::DuplicateRule(rule)) => assert_eq!(rule, "javax.crypto.SecretKey"),
+        other => panic!("expected DuplicateRule, got {other:?}"),
+    }
+}
+
+/// Fuzz finding: the printer emitted string literals unescaped, so a
+/// rule containing `"`, `\` or a newline in a string failed the
+/// parse→print→parse round trip.
+#[test]
+fn string_literals_roundtrip_through_the_printer() {
+    let FuzzInput::Rule(src) = replay_clean("seed-roundtrip-string-escapes.txt") else {
+        panic!("reproducer changed kind");
+    };
+    let rule = crysl::parse_rule(&src).expect("escaped strings parse");
+    let printed = crysl::printer::print_rule(&rule);
+    assert_eq!(crysl::parse_rule(&printed).unwrap(), rule);
+    assert!(printed.contains(r#""A\"B""#), "quote must stay escaped");
+}
+
+/// Fuzz finding: `print_constraint` ignored precedence, so
+/// `(a => b) && c` printed as `a => b && c` and reparsed differently.
+#[test]
+fn constraint_precedence_survives_the_roundtrip() {
+    let FuzzInput::Rule(src) = replay_clean("seed-roundtrip-constraint-precedence.txt") else {
+        panic!("reproducer changed kind");
+    };
+    let rule = crysl::parse_rule(&src).unwrap();
+    let reparsed = crysl::parse_rule(&crysl::printer::print_rule(&rule)).unwrap();
+    assert_eq!(rule.constraints, reparsed.constraints);
+}
+
+/// Fuzz finding: `true`/`false` in predicate arguments lexed as plain
+/// identifiers, so printed rules with boolean predicate args failed to
+/// reparse (validation rejected them as undeclared variables).
+#[test]
+fn boolean_predicate_arguments_parse_as_literals() {
+    let FuzzInput::Rule(src) = replay_clean("seed-pred-arg-bool.txt") else {
+        panic!("reproducer changed kind");
+    };
+    let rule = crysl::parse_rule(&src).expect("boolean predicate args parse");
+    assert_eq!(
+        rule.ensures[0].predicate.args[1],
+        crysl::ast::PredArg::Lit(crysl::ast::Literal::Bool(true))
+    );
+    assert_eq!(
+        crysl::parse_rule(&crysl::printer::print_rule(&rule)).unwrap(),
+        rule
+    );
+}
+
+/// Fuzz finding: the lexer accumulated integers positively before
+/// negating, so `i64::MIN` — which the printer happily emits — could
+/// not be read back.
+#[test]
+fn i64_min_literal_roundtrips() {
+    let FuzzInput::Rule(src) = replay_clean("seed-int-extremes.txt") else {
+        panic!("reproducer changed kind");
+    };
+    let rule = crysl::parse_rule(&src).expect("i64::MIN parses");
+    assert_eq!(
+        crysl::parse_rule(&crysl::printer::print_rule(&rule)).unwrap(),
+        rule
+    );
+}
+
+/// Hardening: deep parenthesis nesting must be rejected with a parse
+/// error, not ride recursive descent into a stack overflow (which
+/// aborts the process and cannot be caught).
+#[test]
+fn deep_paren_nesting_is_rejected_cleanly() {
+    let FuzzInput::Rule(src) = replay_clean("seed-deep-paren-nesting.txt") else {
+        panic!("reproducer changed kind");
+    };
+    let err = crysl::parse_rule(&src).expect_err("over-deep nesting is rejected");
+    assert!(err.to_string().contains("nesting"), "{err}");
+
+    let hostile = format!(
+        "SPEC X\nEVENTS e0: m0();\nORDER {}e0{}",
+        "(".repeat(10_000),
+        ")".repeat(10_000)
+    );
+    assert!(crysl::parse_rule(&hostile).is_err());
+}
+
+/// Hardening: unbounded postfix-operator runs build arbitrarily deep
+/// `Opt`/`Star`/`Plus` towers that recursive consumers must walk.
+#[test]
+fn postfix_operator_runs_are_capped() {
+    let FuzzInput::Rule(src) = replay_clean("seed-postfix-run.txt") else {
+        panic!("reproducer changed kind");
+    };
+    let err = crysl::parse_rule(&src).expect_err("over-long postfix run is rejected");
+    assert!(err.to_string().contains("postfix"), "{err}");
+    assert!(crysl::parse_rule("SPEC X\nEVENTS e0: m0();\nORDER e0????").is_ok());
+}
+
+/// Hardening: `&&`/`||` chains build left-leaning box trees whose depth
+/// equals the term count, so the term count is capped.
+#[test]
+fn constraint_chain_length_is_capped() {
+    let FuzzInput::Rule(src) = replay_clean("seed-constraint-chain-cap.txt") else {
+        panic!("reproducer changed kind");
+    };
+    let err = crysl::parse_rule(&src).expect_err("over-long `&&` chain is rejected");
+    assert!(err.to_string().contains("terms"), "{err}");
+}
+
+/// Hardening: subset construction is worst-case exponential, so the
+/// fuzz oracles and the compiled-ORDER pipeline bound DFA size instead
+/// of hanging or exhausting memory on hostile `ORDER` expressions.
+#[test]
+fn dfa_subset_construction_is_capped() {
+    let FuzzInput::Rule(src) = replay_clean("seed-dfa-state-cap.txt") else {
+        panic!("reproducer changed kind");
+    };
+    let rule = crysl::parse_rule(&src).unwrap();
+    let nfa = cognicryptgen::statemachine::Nfa::from_rule(&rule).unwrap();
+    assert_eq!(
+        cognicryptgen::statemachine::Dfa::try_from_nfa(&nfa, 4096),
+        Err(cognicryptgen::statemachine::StateMachineError::TooManyStates { limit: 4096 })
+    );
+}
+
+/// Hardening: the lexer rejects oversized sources before building token
+/// vectors, bounding memory for every downstream stage.
+#[test]
+fn oversized_sources_are_rejected_by_the_lexer() {
+    let big = format!("SPEC X\n// {}\nEVENTS e0: m0();", "x".repeat(128 * 1024));
+    let err = crysl::parse_rule(&big).expect_err("oversized source is rejected");
+    assert!(err.to_string().contains("limit"), "{err}");
+}
+
+/// The full committed corpus replays clean through the fuzzer — the same
+/// gate `scripts/verify.sh` and CI run via `fuzz --corpus corpus/
+/// --budget 0`, kept here so `cargo test` alone also covers it.
+#[test]
+fn committed_corpus_replays_without_crashes() {
+    let report = cognicryptgen::fuzz::run(&cognicryptgen::fuzz::FuzzConfig {
+        budget: 0,
+        seed: 0,
+        corpus: Some(format!("{}/corpus", env!("CARGO_MANIFEST_DIR")).into()),
+    })
+    .unwrap();
+    assert!(
+        report.replayed >= 10,
+        "corpus shrank to {}",
+        report.replayed
+    );
+    assert!(report.is_clean(), "{}", report.log);
+}

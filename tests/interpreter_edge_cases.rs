@@ -26,11 +26,17 @@ fn assignments_inside_branches_reach_the_outer_scope() {
     let unit = unit_with(vec![m]);
     let mut i = Interpreter::new(&unit);
     assert_eq!(
-        i.call_static_style("T", "f", vec![Value::Bool(true)]).unwrap().as_int().unwrap(),
+        i.call_static_style("T", "f", vec![Value::Bool(true)])
+            .unwrap()
+            .as_int()
+            .unwrap(),
         7
     );
     assert_eq!(
-        i.call_static_style("T", "f", vec![Value::Bool(false)]).unwrap().as_int().unwrap(),
+        i.call_static_style("T", "f", vec![Value::Bool(false)])
+            .unwrap()
+            .as_int()
+            .unwrap(),
         9
     );
 }
@@ -80,7 +86,11 @@ fn byte_arrays_alias_across_method_calls() {
 #[test]
 fn reading_a_missing_file_is_an_error() {
     let m = MethodDecl::new("f", JavaType::byte_array()).statement(Stmt::Return(Some(
-        Expr::static_call("java.nio.file.Files", "readAllBytes", vec![Expr::str("ghost")]),
+        Expr::static_call(
+            "java.nio.file.Files",
+            "readAllBytes",
+            vec![Expr::str("ghost")],
+        ),
     )));
     let unit = unit_with(vec![m]);
     let mut i = Interpreter::new(&unit);

@@ -209,7 +209,10 @@ fn recorded_trace_is_strictly_paired_with_monotonic_timestamps() {
     let doc = recorder.to_json();
     validate_trace(&doc).expect("balanced B/E, monotonic per-tid timestamps");
 
-    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents");
     // 11 templates × 5 phases × (B + E) at minimum, plus instants.
     assert!(events.len() >= 110, "only {} events", events.len());
     let mut b = 0usize;
@@ -277,6 +280,6 @@ fn differential_output_is_byte_identical_with_and_without_instrumentation() {
             uc.id
         );
     }
-    assert!(recorder.len() > 0, "the instrumented engine was observed");
+    assert!(!recorder.is_empty(), "the instrumented engine was observed");
     validate_trace(&recorder.to_json()).expect("trace validates");
 }

@@ -23,13 +23,18 @@ fn cfg() -> Config {
 #[test]
 fn sha256_incremental_matches_oneshot() {
     let g = gens::tuple2(gens::bytes(0, 2048), gens::usize_range(0, 2048));
-    check("sha256_incremental_matches_oneshot", &cfg(), &g, |(data, split)| {
-        let split = (*split).min(data.len());
-        let mut h = sha256::Sha256::new();
-        h.update(&data[..split]);
-        h.update(&data[split..]);
-        assert_eq!(h.finish(), sha256::digest(data));
-    });
+    check(
+        "sha256_incremental_matches_oneshot",
+        &cfg(),
+        &g,
+        |(data, split)| {
+            let split = (*split).min(data.len());
+            let mut h = sha256::Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), sha256::digest(data));
+        },
+    );
 }
 
 #[test]
@@ -54,15 +59,23 @@ fn gcm_roundtrip_and_tamper_detection() {
         gens::bytes(0, 256),
         gens::usize_range(0, 256),
     );
-    check("gcm_roundtrip_and_tamper_detection", &cfg(), &g, |(key, nonce, pt, flip)| {
-        let aes = Aes128::new(key);
-        let ct = modes::gcm_encrypt(&aes, nonce, &[], pt).unwrap();
-        assert_eq!(modes::gcm_decrypt(&aes, nonce, &[], &ct).unwrap(), pt.clone());
-        let mut tampered = ct.clone();
-        let idx = flip % tampered.len();
-        tampered[idx] ^= 1;
-        assert!(modes::gcm_decrypt(&aes, nonce, &[], &tampered).is_err());
-    });
+    check(
+        "gcm_roundtrip_and_tamper_detection",
+        &cfg(),
+        &g,
+        |(key, nonce, pt, flip)| {
+            let aes = Aes128::new(key);
+            let ct = modes::gcm_encrypt(&aes, nonce, &[], pt).unwrap();
+            assert_eq!(
+                modes::gcm_decrypt(&aes, nonce, &[], &ct).unwrap(),
+                pt.clone()
+            );
+            let mut tampered = ct.clone();
+            let idx = flip % tampered.len();
+            tampered[idx] ^= 1;
+            assert!(modes::gcm_decrypt(&aes, nonce, &[], &tampered).is_err());
+        },
+    );
 }
 
 #[test]
@@ -85,14 +98,23 @@ fn base64_roundtrip() {
 
 #[test]
 fn pbkdf2_length_and_salt_sensitivity() {
-    let g = gens::tuple3(gens::bytes(1, 32), gens::bytes(1, 32), gens::usize_range(1, 64));
-    check("pbkdf2_length_and_salt_sensitivity", &cfg(), &g, |(pwd, salt, len)| {
-        let dk = pbkdf2_hmac_sha256(pwd, salt, 2, *len);
-        assert_eq!(dk.len(), *len);
-        let mut salt2 = salt.clone();
-        salt2[0] ^= 0xff;
-        assert_ne!(dk, pbkdf2_hmac_sha256(pwd, &salt2, 2, *len));
-    });
+    let g = gens::tuple3(
+        gens::bytes(1, 32),
+        gens::bytes(1, 32),
+        gens::usize_range(1, 64),
+    );
+    check(
+        "pbkdf2_length_and_salt_sensitivity",
+        &cfg(),
+        &g,
+        |(pwd, salt, len)| {
+            let dk = pbkdf2_hmac_sha256(pwd, salt, 2, *len);
+            assert_eq!(dk.len(), *len);
+            let mut salt2 = salt.clone();
+            salt2[0] ^= 0xff;
+            assert_ne!(dk, pbkdf2_hmac_sha256(pwd, &salt2, 2, *len));
+        },
+    );
 }
 
 #[test]
@@ -153,16 +175,17 @@ fn enumerated_paths_are_accepted_by_the_dfa() {
         &Config::with_cases(64),
         &order_expr(3),
         |order| {
-            let src = format!(
-                "SPEC X\nEVENTS a: fa(); b: fb(); c: fc(); d: fd();\nORDER {order}"
-            );
+            let src = format!("SPEC X\nEVENTS a: fa(); b: fb(); c: fc(); d: fd();\nORDER {order}");
             let rule = parse_rule(&src).unwrap();
             let dfa = Dfa::from_nfa(&Nfa::from_rule(&rule).unwrap());
             if let Ok(paths) = enumerate(&rule, PathLimit(512)) {
                 assert!(!paths.is_empty());
                 for p in paths {
                     let word: Vec<&str> = p.iter().map(String::as_str).collect();
-                    assert!(dfa.accepts(word.iter().copied()), "rejected {p:?} for {order}");
+                    assert!(
+                        dfa.accepts(word.iter().copied()),
+                        "rejected {p:?} for {order}"
+                    );
                 }
             }
         },
@@ -178,16 +201,17 @@ fn minimized_dfa_is_equivalent() {
         &Config::with_cases(64),
         &g,
         |(order, word)| {
-            let src = format!(
-                "SPEC X\nEVENTS a: fa(); b: fb(); c: fc(); d: fd();\nORDER {order}"
-            );
+            let src = format!("SPEC X\nEVENTS a: fa(); b: fb(); c: fc(); d: fd();\nORDER {order}");
             let rule = parse_rule(&src).unwrap();
             let dfa = Dfa::from_nfa(&Nfa::from_rule(&rule).unwrap());
             let min = dfa.minimize();
             assert!(min.state_count() <= dfa.state_count());
             let labels = ["a", "b", "c", "d"];
             let w: Vec<&str> = word.iter().map(|&i| labels[i]).collect();
-            assert_eq!(dfa.accepts(w.iter().copied()), min.accepts(w.iter().copied()));
+            assert_eq!(
+                dfa.accepts(w.iter().copied()),
+                min.accepts(w.iter().copied())
+            );
         },
     );
 }
@@ -201,9 +225,7 @@ fn dfa_agrees_with_nfa_simulation() {
         &Config::with_cases(64),
         &g,
         |(order, word)| {
-            let src = format!(
-                "SPEC X\nEVENTS a: fa(); b: fb(); c: fc(); d: fd();\nORDER {order}"
-            );
+            let src = format!("SPEC X\nEVENTS a: fa(); b: fb(); c: fc(); d: fd();\nORDER {order}");
             let rule = parse_rule(&src).unwrap();
             let nfa = Nfa::from_rule(&rule).unwrap();
             let dfa = Dfa::from_nfa(&nfa);

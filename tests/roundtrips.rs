@@ -18,7 +18,11 @@ fn generated_unit(template: &cognicryptgen::core::Template) -> CompilationUnit {
 fn key_pair_accessor(recv: Value, name: &str) -> Value {
     let m = MethodDecl::new("acc", JavaType::class("java.lang.Object"))
         .param(JavaType::class("java.security.KeyPair"), "kp")
-        .statement(Stmt::Return(Some(Expr::call(Expr::var("kp"), name, vec![]))));
+        .statement(Stmt::Return(Some(Expr::call(
+            Expr::var("kp"),
+            name,
+            vec![],
+        ))));
     let unit = CompilationUnit::new("helper").class(ClassDecl::new("Acc").method(m));
     Interpreter::new(&unit)
         .call_static_style("Acc", "acc", vec![recv])
@@ -115,7 +119,9 @@ fn hybrid_string_full_protocol() {
     let kp = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
     let public = key_pair_accessor(kp.clone(), "getPublic");
     let private = key_pair_accessor(kp, "getPrivate");
-    let session = i.call_static_style(cls, "generateSessionKey", vec![]).unwrap();
+    let session = i
+        .call_static_style(cls, "generateSessionKey", vec![])
+        .unwrap();
     let ct = i
         .call_static_style(
             cls,
@@ -129,7 +135,9 @@ fn hybrid_string_full_protocol() {
     let recovered = i
         .call_static_style(cls, "unwrapSessionKey", vec![wrapped, private])
         .unwrap();
-    let pt = i.call_static_style(cls, "decryptData", vec![ct, recovered]).unwrap();
+    let pt = i
+        .call_static_style(cls, "decryptData", vec![ct, recovered])
+        .unwrap();
     assert_eq!(pt.as_str().unwrap(), "hybrid message");
 }
 
@@ -142,7 +150,9 @@ fn hybrid_file_full_protocol() {
     let kp = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
     let public = key_pair_accessor(kp.clone(), "getPublic");
     let private = key_pair_accessor(kp, "getPrivate");
-    let session = i.call_static_style(cls, "generateSessionKey", vec![]).unwrap();
+    let session = i
+        .call_static_style(cls, "generateSessionKey", vec![])
+        .unwrap();
     i.call_static_style(
         cls,
         "encryptFile",
@@ -183,7 +193,9 @@ fn asymmetric_roundtrip() {
     let ct = i
         .call_static_style(cls, "encrypt", vec![Value::Str("to bob".into()), public])
         .unwrap();
-    let pt = i.call_static_style(cls, "decrypt", vec![ct, private]).unwrap();
+    let pt = i
+        .call_static_style(cls, "decrypt", vec![ct, private])
+        .unwrap();
     assert_eq!(pt.as_str().unwrap(), "to bob");
 }
 
@@ -204,7 +216,11 @@ fn password_storage_accepts_and_rejects() {
         .call_static_style(
             cls,
             "verifyPassword",
-            vec![Value::chars("pass".chars().collect()), salt.clone(), hash.clone()],
+            vec![
+                Value::chars("pass".chars().collect()),
+                salt.clone(),
+                hash.clone()
+            ],
         )
         .unwrap()
         .as_bool()

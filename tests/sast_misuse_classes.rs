@@ -43,7 +43,10 @@ public class App {
 }
 "#,
     );
-    assert!(kinds.contains(&MisuseKind::IncompleteOperation), "{kinds:?}");
+    assert!(
+        kinds.contains(&MisuseKind::IncompleteOperation),
+        "{kinds:?}"
+    );
 }
 
 #[test]

@@ -23,9 +23,7 @@ use std::time::Duration;
 
 use cognicryptgen::core::engine::EngineBuildError;
 use cognicryptgen::core::memtrack::AllocDelta;
-use cognicryptgen::core::telemetry::{
-    Event, GenObserver, Metric, Phase, PhaseTimings, Span,
-};
+use cognicryptgen::core::telemetry::{Event, GenObserver, Metric, Phase, PhaseTimings, Span};
 use cognicryptgen::core::{GenEngine, Template};
 use cognicryptgen::javamodel::jca::jca_type_table;
 use cognicryptgen::rules::load;
@@ -124,9 +122,8 @@ fn one_span_pair_per_phase_in_pipeline_order_for_every_use_case() {
                     pairs_seen.push(*p);
                 }
                 Entry::Event(kind, _) => {
-                    let inside = open.unwrap_or_else(|| {
-                        panic!("uc{}: event `{kind}` outside any span", uc.id)
-                    });
+                    let inside = open
+                        .unwrap_or_else(|| panic!("uc{}: event `{kind}` outside any span", uc.id));
                     assert_eq!(
                         inside,
                         owning_phase(kind),
@@ -198,7 +195,9 @@ fn stable_metrics(engine: &GenEngine) -> BTreeMap<String, Metric> {
 
 fn cache_lookups(engine: &GenEngine) -> u64 {
     let m = engine.metrics();
-    m.counter("order_cache.hits") + m.counter("order_cache.misses") + m.counter("order_cache.uncached")
+    m.counter("order_cache.hits")
+        + m.counter("order_cache.misses")
+        + m.counter("order_cache.uncached")
 }
 
 #[test]

@@ -26,7 +26,11 @@ fn hashing_template_usage_executes() {
     assert_eq!(usage.params.len(), 1);
     let mut interp = Interpreter::new(&generated.unit);
     let out = interp
-        .call_static_style("OutputClass", "templateUsage", vec![Value::Str("abc".into())])
+        .call_static_style(
+            "OutputClass",
+            "templateUsage",
+            vec![Value::Str("abc".into())],
+        )
         .expect("showcase runs");
     // templateUsage returns void; its body ran the full pipeline.
     assert!(matches!(out, Value::Null));
@@ -86,7 +90,8 @@ fn pbe_template_usage_reuses_the_derived_key() {
         usage
             .params
             .iter()
-            .all(|p| p.ty != cognicryptgen::javamodel::ast::JavaType::class("javax.crypto.SecretKey")),
+            .all(|p| p.ty
+                != cognicryptgen::javamodel::ast::JavaType::class("javax.crypto.SecretKey")),
         "{:?}",
         usage.params
     );
