@@ -41,10 +41,13 @@ use crate::template::Template;
 /// [`crate::generate`] path. Keyed purely by content hash, so rule sets
 /// from different callers can never observe each other's artefacts
 /// except when the compilation inputs are byte-identical — in which
-/// case the artefacts are too.
-pub fn shared_order_cache() -> &'static OrderCache {
-    static CACHE: OnceLock<OrderCache> = OnceLock::new();
-    CACHE.get_or_init(OrderCache::new)
+/// case the artefacts are too. Returned as an `Arc` so a long-lived
+/// engine (the serve daemon) can adopt the same cache via
+/// [`EngineBuilder::order_cache`] and share warm artefacts with
+/// single-shot callers in the same process.
+pub fn shared_order_cache() -> &'static Arc<OrderCache> {
+    static CACHE: OnceLock<Arc<OrderCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Arc::new(OrderCache::new()))
 }
 
 /// A worker thread panicked while running a batch job.
@@ -207,11 +210,14 @@ where
         .collect()
 }
 
-/// The engine builder was asked to build without a rule set.
+/// The engine builder was given an unusable configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineBuildError {
     /// `.rules(…)` was never called.
     MissingRules,
+    /// `.threads(0)` was requested — a pool of zero workers can run
+    /// nothing, so the engine rejects it instead of silently clamping.
+    ZeroThreads,
 }
 
 impl std::fmt::Display for EngineBuildError {
@@ -219,6 +225,9 @@ impl std::fmt::Display for EngineBuildError {
         match self {
             EngineBuildError::MissingRules => {
                 write!(f, "GenEngine::builder() needs a rule set: call .rules(…)")
+            }
+            EngineBuildError::ZeroThreads => {
+                write!(f, "thread count must be at least 1, got 0")
             }
         }
     }
@@ -235,6 +244,7 @@ pub struct EngineBuilder {
     options: GeneratorOptions,
     threads: usize,
     observer: Arc<dyn GenObserver>,
+    cache: Option<Arc<OrderCache>>,
 }
 
 impl std::fmt::Debug for EngineBuilder {
@@ -256,6 +266,7 @@ impl Default for EngineBuilder {
             options: GeneratorOptions::default(),
             threads: GenEngine::DEFAULT_THREADS,
             observer: Arc::new(NoopObserver),
+            cache: None,
         }
     }
 }
@@ -280,12 +291,26 @@ impl EngineBuilder {
         self
     }
 
-    /// Default worker-thread ceiling for [`GenEngine::batch`]. Defaults
-    /// to [`GenEngine::DEFAULT_THREADS`]; clamped to at least 1.
-    /// [`GenEngine::generate_batch`] takes an explicit count and ignores
-    /// this.
+    /// Default worker-thread ceiling for [`GenEngine::batch`].
+    /// Defaults to [`GenEngine::DEFAULT_THREADS`];
+    /// [`GenEngine::generate_batch`] takes an explicit count and
+    /// ignores this. Zero is rejected by [`EngineBuilder::build`] with
+    /// [`EngineBuildError::ZeroThreads`] — a thread count must be
+    /// validated wherever it enters, never silently repaired.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = threads;
+        self
+    }
+
+    /// The compiled-ORDER cache the engine serves lookups from.
+    /// Defaults to a fresh private cache. Supplying a shared
+    /// [`Arc<OrderCache>`] lets a resident process keep artefacts warm
+    /// across engine rebuilds (e.g. a rule-pack hot-reload): content-
+    /// hash keying makes sharing safe — an entry can only ever be
+    /// served to a rule whose compilation input is byte-identical to
+    /// the one it was compiled from.
+    pub fn order_cache(mut self, cache: Arc<OrderCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -302,9 +327,14 @@ impl EngineBuilder {
     ///
     /// # Errors
     ///
-    /// [`EngineBuildError::MissingRules`] when no rule set was supplied.
+    /// [`EngineBuildError::MissingRules`] when no rule set was
+    /// supplied; [`EngineBuildError::ZeroThreads`] when `.threads(0)`
+    /// was requested.
     pub fn build(self) -> Result<GenEngine, EngineBuildError> {
         let rules = self.rules.ok_or(EngineBuildError::MissingRules)?;
+        if self.threads == 0 {
+            return Err(EngineBuildError::ZeroThreads);
+        }
         let table = self
             .table
             .unwrap_or_else(|| Arc::new(javamodel::jca::jca_type_table()));
@@ -315,7 +345,7 @@ impl EngineBuilder {
             threads: self.threads,
             observer: self.observer,
             metrics: Arc::new(MetricsRegistry::new()),
-            cache: OrderCache::new(),
+            cache: self.cache.unwrap_or_else(|| Arc::new(OrderCache::new())),
         })
     }
 }
@@ -333,7 +363,7 @@ pub struct GenEngine {
     threads: usize,
     observer: Arc<dyn GenObserver>,
     metrics: Arc<MetricsRegistry>,
-    cache: OrderCache,
+    cache: Arc<OrderCache>,
 }
 
 impl std::fmt::Debug for GenEngine {
@@ -379,6 +409,35 @@ impl GenEngine {
     /// Entry/hit/miss counters of the engine's compiled-ORDER cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The engine's compiled-ORDER cache. Handing the `Arc` to
+    /// [`EngineBuilder::order_cache`] of a successor engine carries the
+    /// warm artefacts across a rule-set swap.
+    pub fn order_cache(&self) -> &Arc<OrderCache> {
+        &self.cache
+    }
+
+    /// A successor engine over `rules` that shares everything else with
+    /// this one — type table, options, thread ceiling, observer,
+    /// metrics registry and the compiled-ORDER cache (all by `Arc`).
+    /// This is the rule-pack hot-reload primitive for a resident
+    /// process: in-flight requests keep generating against the engine
+    /// they started on, new requests pick up the successor, unchanged
+    /// rules still hit the warm cache, and accumulated metrics survive
+    /// the swap. Call [`OrderCache::retain_fingerprints`] on the shared
+    /// cache afterwards to drop artefacts the new set no longer
+    /// produces.
+    pub fn with_rule_set(&self, rules: impl Into<Arc<RuleSet>>) -> GenEngine {
+        GenEngine {
+            rules: rules.into(),
+            table: self.table.clone(),
+            options: self.options,
+            threads: self.threads,
+            observer: self.observer.clone(),
+            metrics: self.metrics.clone(),
+            cache: self.cache.clone(),
+        }
     }
 
     /// Precompiles the ORDER artefact of every rule in the set, so the
@@ -574,6 +633,75 @@ mod tests {
             Err(EngineError::Gen(GenError::UnknownRule(_)))
         ));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn zero_threads_is_a_build_error_not_a_silent_clamp() {
+        let err = GenEngine::builder()
+            .rules(digest_rule_set())
+            .threads(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, EngineBuildError::ZeroThreads);
+        assert!(err.to_string().contains("got 0"));
+    }
+
+    #[test]
+    fn with_rule_set_shares_cache_and_metrics_across_the_swap() {
+        let engine = GenEngine::builder()
+            .rules(digest_rule_set())
+            .type_table(jca_type_table())
+            .build()
+            .unwrap();
+        let first = engine.generate(&hash_template()).unwrap();
+        assert_eq!(engine.cache_stats().entries, 1);
+        let generations_before = engine.metrics().counter("phase.collect.spans");
+
+        // Swap in a byte-identical rule set: the successor serves the
+        // same artefact from the shared warm cache (a hit, no compile).
+        let successor = engine.with_rule_set(digest_rule_set());
+        assert!(Arc::ptr_eq(engine.order_cache(), successor.order_cache()));
+        let misses_before = successor.cache_stats().misses;
+        let second = successor.generate(&hash_template()).unwrap();
+        assert_eq!(first.java_source, second.java_source);
+        assert_eq!(successor.cache_stats().misses, misses_before);
+        // Metrics accumulated before the swap survive it.
+        assert!(successor.metrics().counter("phase.collect.spans") > generations_before);
+    }
+
+    #[test]
+    fn shared_order_cache_prunes_to_the_new_rule_sets_fingerprints() {
+        let engine = GenEngine::builder()
+            .rules(digest_rule_set())
+            .type_table(jca_type_table())
+            .build()
+            .unwrap();
+        engine.warm().unwrap();
+        assert_eq!(engine.cache_stats().entries, 1);
+
+        // A "changed" rule set: same class, different ORDER.
+        let mut changed = RuleSet::new();
+        changed
+            .add_source(
+                "SPEC java.security.MessageDigest\nOBJECTS java.lang.String alg; byte[] input; byte[] output;\nEVENTS g1: getInstance(alg); u1: update(input); d1: output = digest(input);\nORDER g1, u1+, d1\nCONSTRAINTS alg in {\"SHA-256\"};",
+            )
+            .unwrap();
+        let successor = engine.with_rule_set(changed);
+        successor.warm().unwrap();
+        // Old + new fingerprints both present until invalidation...
+        assert_eq!(successor.cache_stats().entries, 2);
+        // ...then retain exactly the successor's fingerprints.
+        let keep: Vec<u64> = successor
+            .rules()
+            .iter()
+            .map(statemachine::compile::order_fingerprint)
+            .collect();
+        let dropped = successor
+            .order_cache()
+            .retain_fingerprints(|fp| keep.contains(&fp));
+        assert_eq!(dropped, 1);
+        assert_eq!(successor.cache_stats().entries, 1);
+        successor.generate(&hash_template()).unwrap();
     }
 
     #[test]

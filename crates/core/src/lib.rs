@@ -69,7 +69,7 @@ pub mod template;
 pub use engine::{EngineBuildError, EngineBuilder, EngineError, GenEngine, WorkerPanic};
 pub use error::GenError;
 pub use generator::{generate, Generated, Generator, GeneratorOptions};
-pub use memtrack::{AllocDelta, AllocScope, TrackingAlloc};
+pub use memtrack::{AllocDelta, AllocScope, ProcessStats, TrackingAlloc};
 pub use telemetry::{
     validate_trace, GenObserver, MetricsRegistry, NoopObserver, Phase, PhaseTimings, TraceRecorder,
 };

@@ -41,11 +41,24 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
 /// Set by the first tracked allocation; lets reports distinguish "no
 /// allocations measured" from "the tracking allocator is not installed".
 static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide accounting is opt-in: a long-lived daemon needs a
+/// *daemon-lifetime* peak that spans every worker thread, but the
+/// cross-thread atomics that requires would tax the allocation hot path
+/// of every short-lived CLI run that never asks for them.
+static PROCESS_ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bytes allocated process-wide since [`enable_process_stats`].
+static PROCESS_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+/// Net live bytes process-wide since [`enable_process_stats`] (signed:
+/// memory allocated before enablement may be freed after it).
+static PROCESS_LIVE: AtomicI64 = AtomicI64::new(0);
+/// Running maximum of [`PROCESS_LIVE`].
+static PROCESS_PEAK: AtomicI64 = AtomicI64::new(0);
 
 /// The per-thread counters behind the allocator and [`AllocScope`].
 struct Tls {
@@ -86,6 +99,11 @@ fn record_alloc(size: usize) {
     if !ACTIVE.load(Ordering::Relaxed) {
         ACTIVE.store(true, Ordering::Relaxed);
     }
+    if PROCESS_ENABLED.load(Ordering::Relaxed) {
+        PROCESS_ALLOCATED.fetch_add(size as u64, Ordering::Relaxed);
+        let live = PROCESS_LIVE.fetch_add(size as i64, Ordering::Relaxed) + size as i64;
+        PROCESS_PEAK.fetch_max(live, Ordering::Relaxed);
+    }
     // try_with: allocations during TLS teardown must not abort.
     let _ = TLS.try_with(|t| {
         let n = size as u64;
@@ -101,6 +119,9 @@ fn record_alloc(size: usize) {
 
 #[inline]
 fn record_free(size: usize) {
+    if PROCESS_ENABLED.load(Ordering::Relaxed) {
+        PROCESS_LIVE.fetch_sub(size as i64, Ordering::Relaxed);
+    }
     let _ = TLS.try_with(|t| {
         t.freed.set(t.freed.get().wrapping_add(size as u64));
         t.frees.set(t.frees.get() + 1);
@@ -160,6 +181,42 @@ unsafe impl GlobalAlloc for TrackingAlloc {
 /// this process — i.e. whether the binary installed it.
 pub fn is_active() -> bool {
     ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Turns on process-wide accounting (see [`process_stats`]). Counters
+/// start from zero *at the moment of the call*, so everything they
+/// report is relative to enablement — exactly the daemon-lifetime
+/// window a resident process wants. Enabling is idempotent and cannot
+/// be undone; without [`TrackingAlloc`] installed the counters simply
+/// stay zero.
+pub fn enable_process_stats() {
+    PROCESS_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// A snapshot of the process-wide counters accumulated since
+/// [`enable_process_stats`] — the cross-thread aggregate a daemon
+/// reports as its lifetime memory figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProcessStats {
+    /// Bytes allocated on any thread since enablement.
+    pub allocated_bytes: u64,
+    /// Net live bytes since enablement (signed: frees of pre-enablement
+    /// memory count against it).
+    pub live_bytes: i64,
+    /// Running maximum of `live_bytes` — the daemon-lifetime peak.
+    pub peak_live_bytes: i64,
+}
+
+/// Reads the process-wide counters, or `None` when
+/// [`enable_process_stats`] was never called.
+pub fn process_stats() -> Option<ProcessStats> {
+    PROCESS_ENABLED
+        .load(Ordering::Relaxed)
+        .then(|| ProcessStats {
+            allocated_bytes: PROCESS_ALLOCATED.load(Ordering::Relaxed),
+            live_bytes: PROCESS_LIVE.load(Ordering::Relaxed),
+            peak_live_bytes: PROCESS_PEAK.load(Ordering::Relaxed),
+        })
 }
 
 /// A snapshot of the current thread's allocation counters.
@@ -372,6 +429,25 @@ mod tests {
         let d = outer.finish();
         assert_eq!(d.peak_live_bytes, 500, "outer peak survives the error path");
         assert_eq!(thread_stats().scope_depth, depth);
+    }
+
+    #[test]
+    fn process_stats_gate_on_enablement_and_track_a_global_peak() {
+        // Disabled by default — and this test may race with others in
+        // the binary, so only relative/monotonic properties are
+        // asserted after enabling.
+        if process_stats().is_none() {
+            enable_process_stats();
+        }
+        let before = process_stats().unwrap();
+        simulate_alloc(10_000);
+        let during = process_stats().unwrap();
+        assert!(during.allocated_bytes >= before.allocated_bytes + 10_000);
+        assert!(during.peak_live_bytes >= during.live_bytes);
+        simulate_free(10_000);
+        let after = process_stats().unwrap();
+        assert!(after.peak_live_bytes >= during.peak_live_bytes.min(after.live_bytes));
+        assert!(after.live_bytes <= during.live_bytes);
     }
 
     #[test]

@@ -657,6 +657,41 @@ impl MetricsRegistry {
         self.lock().is_empty()
     }
 
+    /// Renders every metric as a line-oriented text exposition, sorted
+    /// by name — the payload of a daemon's `/metrics` endpoint. One
+    /// line per metric:
+    ///
+    /// ```text
+    /// <name> counter <value>
+    /// <name> gauge <value>
+    /// <name> histogram count=<n> sum=<s> min=<lo> max=<hi>
+    /// ```
+    ///
+    /// The format is deterministic: two registries that saw the same
+    /// multiset of operations render byte-identical text.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, metric) in self.snapshot() {
+            match metric {
+                Metric::Counter(n) => {
+                    let _ = writeln!(out, "{name} counter {n}");
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} gauge {g}");
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name} histogram count={} sum={} min={} max={}",
+                        h.count, h.sum, h.min, h.max
+                    );
+                }
+            }
+        }
+        out
+    }
+
     fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
         match self.inner.lock() {
             Ok(g) => g,
@@ -1254,6 +1289,30 @@ mod tests {
         assert_eq!(ab.get("g.y"), Some(Metric::Gauge(7)));
         let h = ab.get("h.z").unwrap().as_histogram().unwrap();
         assert_eq!((h.count, h.sum, h.min, h.max), (2, 14, 4, 10));
+    }
+
+    #[test]
+    fn render_text_is_sorted_stable_and_covers_every_kind() {
+        let r = MetricsRegistry::new();
+        r.add("serve.requests", 7);
+        r.set_gauge("serve.inflight", 2);
+        r.observe("serve.bytes", 10);
+        r.observe("serve.bytes", 4);
+        let text = r.render_text();
+        assert_eq!(
+            text,
+            "serve.bytes histogram count=2 sum=14 min=4 max=10\n\
+             serve.inflight gauge 2\n\
+             serve.requests counter 7\n"
+        );
+        // Same operations, different order — byte-identical exposition.
+        let r2 = MetricsRegistry::new();
+        r2.observe("serve.bytes", 4);
+        r2.set_gauge("serve.inflight", 2);
+        r2.observe("serve.bytes", 10);
+        r2.add("serve.requests", 7);
+        assert_eq!(r2.render_text(), text);
+        assert_eq!(MetricsRegistry::new().render_text(), "");
     }
 
     #[test]

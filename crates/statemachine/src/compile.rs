@@ -193,6 +193,32 @@ impl OrderCache {
         Ok((map.entry(fp).or_insert(compiled).clone(), CacheLookup::Miss))
     }
 
+    /// The fingerprints of every artefact currently held, sorted.
+    pub fn fingerprints(&self) -> Vec<u64> {
+        let mut fps: Vec<u64> = self.read_lock().keys().copied().collect();
+        fps.sort_unstable();
+        fps
+    }
+
+    /// Drops every artefact whose fingerprint `keep` rejects, returning
+    /// how many entries were removed. This is the hot-reload
+    /// invalidation primitive: after swapping in a new rule set, retain
+    /// exactly the fingerprints the new set produces and every entry
+    /// belonging to a changed or removed ORDER is gone, while entries
+    /// for unchanged rules survive warm. Because lookups key on the
+    /// content hash of the compilation input, even an entry that
+    /// escaped pruning could never serve a rule it wasn't compiled
+    /// from — pruning bounds memory, the key guarantees freshness.
+    pub fn retain_fingerprints(&self, keep: impl Fn(u64) -> bool) -> usize {
+        let mut map = match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let before = map.len();
+        map.retain(|fp, _| keep(*fp));
+        before - map.len()
+    }
+
     /// Current entry and hit/miss counts.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -326,6 +352,32 @@ mod tests {
         assert!(cache.get_or_compile(&broken).is_err());
         assert!(cache.is_empty());
         assert!(cache.get_or_compile(&bad).is_ok());
+    }
+
+    #[test]
+    fn retain_fingerprints_drops_exactly_the_rejected_entries() {
+        let cache = OrderCache::new();
+        let kept = rule("SPEC X\nEVENTS a: f(); b: g();\nORDER a, b");
+        let dropped = rule("SPEC X\nEVENTS a: f(); b: g();\nORDER b, a");
+        let kept_art = cache.get_or_compile(&kept).unwrap();
+        cache.get_or_compile(&dropped).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.fingerprints().len(), 2);
+
+        let keep_fp = order_fingerprint(&kept);
+        let removed = cache.retain_fingerprints(|fp| fp == keep_fp);
+        assert_eq!(removed, 1);
+        assert_eq!(cache.fingerprints(), vec![keep_fp]);
+
+        // The surviving entry still serves warm (same Arc, a hit)...
+        let hits_before = cache.stats().hits;
+        let again = cache.get_or_compile(&kept).unwrap();
+        assert!(Arc::ptr_eq(&kept_art, &again));
+        assert_eq!(cache.stats().hits, hits_before + 1);
+        // ...and the invalidated rule recompiles from scratch.
+        let misses_before = cache.stats().misses;
+        cache.get_or_compile(&dropped).unwrap();
+        assert_eq!(cache.stats().misses, misses_before + 1);
     }
 
     #[test]

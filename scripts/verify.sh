@@ -78,6 +78,33 @@ diff "$workdir/traced-uc01.java" "$workdir/single/uc01.java"
 "$cli" trace-check "$workdir/trace-batch.json"
 diff -r "$workdir/traced-batch" "$workdir/single"
 
+# Daemon smoke: boot `serve` on an ephemeral port, wait for the
+# parseable announce line, then let `serve-check` probe it end to end —
+# healthz, metrics, a generation diffed byte-for-byte against a local
+# engine, a hot-reload, shutdown. The daemon must exit 0 afterwards.
+echo "==> cli serve + serve-check round trip"
+serve_log="$workdir/serve.out"
+"$cli" serve --listen 127.0.0.1:0 --threads 2 > "$serve_log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening http=//p' "$serve_log" | head -n1)"
+    [ -n "$addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "error: serve daemon died before announcing its endpoint" >&2
+        cat "$serve_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "error: serve daemon never announced its endpoint" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+"$cli" serve-check "$addr"
+wait "$serve_pid"
+
 # Corpus replay: every committed fuzz reproducer must pass the oracles
 # it once crashed. A budget of 0 replays the corpus and runs nothing
 # else, so the gate is deterministic and fast; any crash or undecodable

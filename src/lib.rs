@@ -1,6 +1,7 @@
 //! Facade crate re-exporting the CogniCryptGEN reproduction workspace.
 pub mod error;
 pub mod report;
+pub mod serve;
 
 pub use error::Error;
 
@@ -20,6 +21,7 @@ pub use usecases;
 use std::sync::OnceLock;
 
 use cognicrypt_core::GenEngine;
+use usecases::{all_use_cases, UseCase};
 
 /// The process-wide generation engine over the shipped JCA rule set and
 /// type table: parsed rules behind `rules::load_shared`'s `OnceLock`,
@@ -27,23 +29,45 @@ use cognicrypt_core::GenEngine;
 /// `generate` and `batch` subcommands and any embedding service share
 /// this one session.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on first access if a shipped rule fails to parse (a build
-/// defect); use [`rules::load`] to surface that as an error.
-pub fn jca_engine() -> &'static GenEngine {
+/// [`Error::Rules`] when a shipped rule fails to parse — a corrupted
+/// rule pack must surface as the typed error (CLI exit code 3), never
+/// as a panic: a library-level panic would kill a resident process
+/// serving unrelated requests. Only a successfully built engine is
+/// cached; after a failure the next call retries.
+pub fn jca_engine() -> Result<&'static GenEngine, Error> {
     static ENGINE: OnceLock<GenEngine> = OnceLock::new();
-    ENGINE.get_or_init(|| {
-        GenEngine::builder()
-            .rules(
-                rules::load_shared()
-                    .expect("shipped JCA rules must parse")
-                    .clone(),
-            )
-            .type_table(javamodel::jca::jca_type_table())
-            .build()
-            .expect("rules supplied")
-    })
+    if let Some(engine) = ENGINE.get() {
+        return Ok(engine);
+    }
+    let engine = GenEngine::builder()
+        .rules(rules::load_shared()?.clone())
+        .type_table(javamodel::jca::jca_type_table())
+        .build()?;
+    Ok(ENGINE.get_or_init(|| engine))
+}
+
+/// Resolves a use-case selector — a Table-1 id (`"3"`) or a
+/// case-insensitive name fragment (`"password"`) — against the shipped
+/// use cases. Shared by the CLI front end and the daemon protocol.
+///
+/// # Errors
+///
+/// [`Error::Usage`] when nothing matches.
+pub fn find_use_case(selector: &str) -> Result<UseCase, Error> {
+    let cases = all_use_cases();
+    if let Ok(id) = selector.parse::<u8>() {
+        if let Some(uc) = cases.iter().find(|u| u.id == id) {
+            return Ok(uc.clone());
+        }
+    }
+    let lowered = selector.to_lowercase();
+    cases
+        .iter()
+        .find(|u| u.name.to_lowercase().contains(&lowered))
+        .cloned()
+        .ok_or_else(|| Error::Usage(format!("no use case matches `{selector}` (try `list`)")))
 }
 
 #[cfg(test)]
@@ -52,12 +76,22 @@ mod tests {
 
     #[test]
     fn jca_engine_is_a_singleton_and_generates() {
-        let engine = jca_engine();
-        assert!(std::ptr::eq(engine, jca_engine()));
+        let engine = jca_engine().expect("shipped rules are well-formed");
+        assert!(std::ptr::eq(engine, jca_engine().unwrap()));
         let uc = usecases::all_use_cases().remove(0);
         let first = engine.generate(&uc.template).expect("generates");
         let second = engine.generate(&uc.template).expect("generates");
         assert_eq!(first.java_source, second.java_source);
         assert!(engine.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn find_use_case_resolves_ids_and_names_and_rejects_unknowns() {
+        assert_eq!(find_use_case("1").unwrap().id, 1);
+        let by_name = find_use_case("password").unwrap();
+        assert!(by_name.name.to_lowercase().contains("password"));
+        let err = find_use_case("no-such-case").unwrap_err();
+        assert!(matches!(err, Error::Usage(_)));
+        assert_eq!(err.exit_code(), 2);
     }
 }

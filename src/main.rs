@@ -19,6 +19,16 @@
 //!                                     replays <dir> first, writes new crash
 //!                                     reproducers there, exits non-zero on
 //!                                     any crash
+//! cognicryptgen serve [--listen <addr>] [--socket <path>]
+//!                     [--threads <n>] [--rules <dir>]
+//!                                     run the long-lived generation daemon:
+//!                                     one warm engine, HTTP/1.1 and/or a
+//!                                     Unix-socket line protocol, /metrics,
+//!                                     rule-pack hot-reload
+//! cognicryptgen serve-check <addr>    probe a running daemon end to end:
+//!                                     healthz, metrics, generate (compared
+//!                                     byte-for-byte against a local engine),
+//!                                     reload, shutdown
 //! ```
 //!
 //! `generate`, `batch` and `report` additionally accept `--trace <file>`:
@@ -50,8 +60,9 @@ use cognicryptgen::javamodel::jca::jca_type_table;
 use cognicryptgen::javamodel::parser::parse_java;
 use cognicryptgen::report::{self, REPORT_FILE};
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
+use cognicryptgen::serve::{self, ServeConfig, Server};
 use cognicryptgen::usecases::{all_use_cases, UseCase};
-use cognicryptgen::{jca_engine, Error};
+use cognicryptgen::{find_use_case, jca_engine, Error};
 use devharness::json::Json;
 
 /// Every allocation of the CLI process is counted, so phase spans carry
@@ -59,7 +70,7 @@ use devharness::json::Json;
 #[global_allocator]
 static ALLOC: TrackingAlloc = TrackingAlloc::new();
 
-const USAGE: &str = "cognicryptgen <list|generate|batch|template|rules|analyze|oldgen|report|report-check|trace-check|fuzz> [arg..] [--trace <file>]";
+const USAGE: &str = "cognicryptgen <list|generate|batch|template|rules|analyze|oldgen|report|report-check|trace-check|fuzz|serve|serve-check> [arg..] [--trace <file>]";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,6 +98,9 @@ fn main() -> ExitCode {
             Some("trace-check") => reject_trace(trace, "trace-check")
                 .and_then(|()| cmd_trace_check(args.get(1).map(String::as_str))),
             Some("fuzz") => reject_trace(trace, "fuzz").and_then(|()| cmd_fuzz(&args[1..])),
+            Some("serve") => reject_trace(trace, "serve").and_then(|()| cmd_serve(&args[1..])),
+            Some("serve-check") => reject_trace(trace, "serve-check")
+                .and_then(|()| cmd_serve_check(args.get(1).map(String::as_str))),
             _ => Err(Error::Usage(USAGE.to_owned())),
         }
     });
@@ -100,18 +114,23 @@ fn main() -> ExitCode {
 }
 
 /// Removes `--trace <file>` from the argument list, wherever it sits.
+/// The extraction is strict: a `--trace` without a following path, or a
+/// second `--trace`, is a usage error — before this normalization a
+/// repeated flag silently became a positional argument of whatever
+/// subcommand ran, with the second path ignored.
 fn extract_trace(args: &mut Vec<String>) -> Result<Option<String>, Error> {
-    match args.iter().position(|a| a == "--trace") {
-        None => Ok(None),
-        Some(i) if i + 1 < args.len() => {
-            let mut tail = args.split_off(i);
-            let path = tail.remove(1);
-            tail.remove(0);
-            args.extend(tail);
-            Ok(Some(path))
+    let mut trace = None;
+    while let Some(i) = args.iter().position(|a| a == "--trace") {
+        if trace.is_some() {
+            return Err(Error::Usage("--trace given more than once".to_owned()));
         }
-        Some(_) => Err(Error::Usage("--trace requires a file path".to_owned())),
+        if i + 1 >= args.len() {
+            return Err(Error::Usage("--trace requires a file path".to_owned()));
+        }
+        args.remove(i);
+        trace = Some(args.remove(i));
     }
+    Ok(trace)
 }
 
 fn reject_trace(trace: Option<&str>, cmd: &str) -> Result<(), Error> {
@@ -143,21 +162,6 @@ fn write_trace(recorder: &TraceRecorder, path: &str) -> Result<(), Error> {
     Ok(())
 }
 
-fn find_use_case(selector: &str) -> Result<UseCase, Error> {
-    let cases = all_use_cases();
-    if let Ok(id) = selector.parse::<u8>() {
-        if let Some(uc) = cases.iter().find(|u| u.id == id) {
-            return Ok(uc.clone());
-        }
-    }
-    let lowered = selector.to_lowercase();
-    cases
-        .iter()
-        .find(|u| u.name.to_lowercase().contains(&lowered))
-        .cloned()
-        .ok_or_else(|| Error::Usage(format!("no use case matches `{selector}` (try `list`)")))
-}
-
 fn with_use_case(
     selector: Option<&String>,
     f: impl FnOnce(&UseCase) -> Result<(), Error>,
@@ -177,7 +181,7 @@ fn cmd_list() -> Result<(), Error> {
 
 fn cmd_generate(uc: &UseCase, trace: Option<&str>) -> Result<(), Error> {
     let generated = match trace {
-        None => jca_engine().generate(&uc.template)?,
+        None => jca_engine()?.generate(&uc.template)?,
         Some(path) => {
             let recorder = Arc::new(TraceRecorder::new());
             let generated = traced_engine(recorder.clone())?.generate(&uc.template)?;
@@ -218,7 +222,7 @@ fn cmd_batch(
             traced = traced_engine(r.clone())?;
             &traced
         }
-        None => jca_engine(),
+        None => jca_engine()?,
     };
 
     let cases = all_use_cases();
@@ -400,6 +404,115 @@ fn cmd_fuzz(args: &[String]) -> Result<(), Error> {
             report.decode_errors.len()
         )))
     }
+}
+
+/// `serve [--listen <addr>] [--socket <path>] [--threads <n>]
+/// [--rules <dir>]` — run the generation daemon until a protocol-level
+/// `shutdown` request. With no transport flag, HTTP binds
+/// `127.0.0.1:0` (a free port); the bound endpoints are printed as
+/// parseable `listening …` lines before the process blocks.
+fn cmd_serve(args: &[String]) -> Result<(), Error> {
+    let mut config = ServeConfig {
+        threads: GenEngine::DEFAULT_THREADS,
+        ..ServeConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| Error::Usage(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--listen" => config.http_addr = Some(value("--listen")?),
+            "--socket" => config.uds_path = Some(value("--socket")?.into()),
+            "--rules" => config.rules_dir = Some(value("--rules")?.into()),
+            "--threads" => {
+                let v = value("--threads")?;
+                config.threads = v
+                    .parse()
+                    .map_err(|_| Error::Usage(format!("invalid thread count `{v}`")))?;
+            }
+            other => return Err(Error::Usage(format!("unknown serve option `{other}`"))),
+        }
+    }
+    if config.http_addr.is_none() && config.uds_path.is_none() {
+        config.http_addr = Some("127.0.0.1:0".to_owned());
+    }
+
+    let handle = Server::start(&config)?;
+    if let Some(addr) = handle.http_addr() {
+        println!("listening http={addr}");
+    }
+    if let Some(path) = handle.uds_path() {
+        println!("listening uds={}", path.display());
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    eprintln!("serve: shut down cleanly");
+    Ok(())
+}
+
+/// `serve-check <addr>` — end-to-end probe of a running daemon:
+/// healthz, metrics, a generation compared byte-for-byte against a
+/// local engine, a hot-reload, the same generation again, shutdown.
+/// Exits non-zero on the first discrepancy, so scripts can gate on it.
+fn cmd_serve_check(addr: Option<&str>) -> Result<(), Error> {
+    let addr = addr.ok_or_else(|| Error::Usage("missing daemon address".to_owned()))?;
+    let http_err = |e: std::io::Error| Error::Invalid(format!("daemon at {addr}: {e}"));
+
+    let (code, body) = serve::http::request(addr, "GET", "/healthz", "").map_err(http_err)?;
+    if code != 200 || body.trim() != "ok" {
+        return Err(Error::Invalid(format!(
+            "healthz: expected 200 ok, got {code} {body:?}"
+        )));
+    }
+    println!("serve-check: healthz ok");
+
+    let (code, body) = serve::http::request(addr, "GET", "/metrics", "").map_err(http_err)?;
+    if code != 200 || !body.contains("serve.requests") {
+        return Err(Error::Invalid(format!(
+            "metrics: expected 200 with serve.requests, got {code}"
+        )));
+    }
+    println!("serve-check: metrics ok ({} lines)", body.lines().count());
+
+    let uc = find_use_case("1")?;
+    let local = jca_engine()?.generate(&uc.template)?.java_source;
+    let (code, remote) = serve::http::request(addr, "GET", "/generate/1", "").map_err(http_err)?;
+    if code != 200 || remote != local {
+        return Err(Error::Invalid(format!(
+            "generate: daemon output differs from local engine (status {code}, {} vs {} bytes)",
+            remote.len(),
+            local.len()
+        )));
+    }
+    println!(
+        "serve-check: generate byte-identical ({} bytes)",
+        local.len()
+    );
+
+    let (code, _) = serve::http::request(addr, "POST", "/reload", "").map_err(http_err)?;
+    if code != 200 {
+        return Err(Error::Invalid(format!("reload: expected 200, got {code}")));
+    }
+    let (code, remote) = serve::http::request(addr, "GET", "/generate/1", "").map_err(http_err)?;
+    if code != 200 || remote != local {
+        return Err(Error::Invalid(format!(
+            "generate after reload: output diverged (status {code})"
+        )));
+    }
+    println!("serve-check: reload preserved output");
+
+    let (code, _) = serve::http::request(addr, "POST", "/shutdown", "").map_err(http_err)?;
+    if code != 200 {
+        return Err(Error::Invalid(format!(
+            "shutdown: expected 200, got {code}"
+        )));
+    }
+    println!("serve-check: shutdown acknowledged");
+    Ok(())
 }
 
 /// `trace-check <file>` — parse a previously written Chrome trace and

@@ -1,0 +1,634 @@
+//! `cognicryptgen serve` — a long-lived generation daemon over
+//! `std::net`, zero external dependencies.
+//!
+//! Everything else in this workspace is one-shot: parse rules, compile
+//! ORDERs, generate, exit. A production system serving heavy traffic
+//! needs a *resident* process that pays those costs once and then
+//! answers requests from warm state. This module is that process:
+//!
+//! * one warm [`GenEngine`] (rules parsed once, every ORDER
+//!   precompiled at boot) behind a swap lock, plus the process-wide
+//!   compiled-ORDER cache shared across engine generations;
+//! * two transports over one transport-agnostic request core:
+//!   minimal HTTP/1.1 on a [`std::net::TcpListener`] ([`http`]) and a
+//!   line/JSON protocol on a Unix socket ([`uds`], unix only);
+//! * `generate`, `batch` and `report` served concurrently — batch
+//!   requests fan out over the engine's existing scatter pool;
+//! * `/metrics` rendered from the daemon's [`MetricsRegistry`] (merged
+//!   per request, never sampled) plus the engine registry and the
+//!   daemon-lifetime allocator counters from
+//!   [`cognicrypt_core::memtrack`];
+//! * rule-pack hot-reload: `/reload` parses the pack, builds a
+//!   successor engine sharing the warm cache, swaps it in, then prunes
+//!   exactly the cache entries whose content-hash fingerprints the new
+//!   pack no longer produces. A stale hit is impossible by
+//!   construction — the cache key is the hash of the compilation
+//!   input (`tests/cache_key_property.rs`) — so pruning is a memory
+//!   bound, not a correctness requirement.
+//!
+//! Error discipline: every request is handled under `catch_unwind`
+//! with the same typed [`Error`] classes (and exit-code mapping) as
+//! the CLI. Hostile traffic gets a typed protocol error; it can
+//! neither panic the daemon nor perturb concurrent well-formed
+//! requests (the `serve_soak` suite drives thousands of mixed requests
+//! to prove it).
+
+pub mod http;
+#[cfg(unix)]
+pub mod uds;
+
+use std::collections::HashSet;
+use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cognicrypt_core::memtrack::{self, AllocScope};
+use cognicrypt_core::telemetry::{MetricsCollector, MetricsRegistry};
+use cognicrypt_core::GenEngine;
+use crysl::RuleSet;
+use devharness::json::Json;
+use statemachine::order_fingerprint;
+use usecases::all_use_cases;
+
+use crate::{find_use_case, report, Error};
+
+/// How long a worker blocks in `accept` polling before rechecking the
+/// stop flag. Listeners run non-blocking; this is the shutdown latency
+/// ceiling, not a per-request cost.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Per-connection socket read/write timeout: a hostile client that
+/// connects and stalls forever must release its worker.
+pub(crate) const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Daemon configuration, as parsed from `cognicryptgen serve` flags.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// TCP address for the HTTP transport (`127.0.0.1:0` picks a free
+    /// port). `None` disables HTTP.
+    pub http_addr: Option<String>,
+    /// Path for the Unix-socket transport. `None` disables it.
+    pub uds_path: Option<PathBuf>,
+    /// Accept-pool workers per transport.
+    pub threads: usize,
+    /// Directory of `*.crysl` sources served instead of the shipped JCA
+    /// pack, re-read on every `reload`. `None` serves the shipped pack.
+    pub rules_dir: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// A config serving HTTP on `addr` with the default pool.
+    pub fn http(addr: impl Into<String>) -> Self {
+        ServeConfig {
+            http_addr: Some(addr.into()),
+            threads: GenEngine::DEFAULT_THREADS,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Checks the configuration before any resource is bound.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Usage`] when no transport is enabled or the thread
+    /// count is zero — zero workers can serve nothing, so it is
+    /// rejected here exactly as `batch 0` is rejected by the CLI.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.threads == 0 {
+            return Err(Error::Usage(
+                "thread count must be at least 1, got 0".to_owned(),
+            ));
+        }
+        if self.http_addr.is_none() && self.uds_path.is_none() {
+            return Err(Error::Usage(
+                "serve needs at least one transport: --listen <addr> or --socket <path>".to_owned(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Loads a rule pack from a directory of `*.crysl` files, sorted by
+/// file name so the pack's rule order — and therefore everything
+/// downstream — is independent of directory-iteration order.
+///
+/// # Errors
+///
+/// [`Error::Io`] when the directory is unreadable, [`Error::Invalid`]
+/// when it holds no `*.crysl` file, [`Error::Rules`] when a source
+/// fails to parse — typed, never a panic, because this path runs on a
+/// live daemon at every reload.
+pub fn load_rule_pack(dir: &Path) -> Result<RuleSet, Error> {
+    let entries = std::fs::read_dir(dir).map_err(|e| Error::io(dir.display().to_string(), e))?;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| Error::io(dir.display().to_string(), e))?;
+        let path = entry.path();
+        if path.extension().is_some_and(|ext| ext == "crysl") {
+            files.push(path);
+        }
+    }
+    if files.is_empty() {
+        return Err(Error::Invalid(format!(
+            "rule pack {} holds no .crysl file",
+            dir.display()
+        )));
+    }
+    files.sort();
+    let mut sources = Vec::with_capacity(files.len());
+    for path in &files {
+        sources.push(
+            std::fs::read_to_string(path).map_err(|e| Error::io(path.display().to_string(), e))?,
+        );
+    }
+    Ok(rules::rule_set_from_sources(
+        sources.iter().map(String::as_str),
+    )?)
+}
+
+/// One protocol request, decoded from either transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Healthz,
+    /// Render the daemon + engine metrics.
+    Metrics,
+    /// Generate one use case (id or name fragment).
+    Generate(String),
+    /// Generate every shipped use case over `threads` workers.
+    Batch(usize),
+    /// Build the Table-1 report as JSON.
+    Report,
+    /// Hot-reload the rule pack and prune the compiled-ORDER cache.
+    Reload,
+    /// Stop accepting and drain.
+    Shutdown,
+}
+
+impl Request {
+    /// Stable lowercase name, used in `serve.requests.<name>` metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Healthz => "healthz",
+            Request::Metrics => "metrics",
+            Request::Generate(_) => "generate",
+            Request::Batch(_) => "batch",
+            Request::Report => "report",
+            Request::Reload => "reload",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A finished response, transport-agnostic: the HTTP layer maps `code`
+/// to a status line, the line protocol maps `class` to its JSON.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code (`200`, `400`, `500`, …).
+    pub code: u16,
+    /// `"ok"` for success, the [`Error`] class name otherwise.
+    pub class: &'static str,
+    /// Body media type (`text/plain` or `application/json`).
+    pub content_type: &'static str,
+    /// Response payload.
+    pub body: String,
+}
+
+impl Response {
+    fn ok(content_type: &'static str, body: String) -> Response {
+        Response {
+            code: 200,
+            class: "ok",
+            content_type,
+            body,
+        }
+    }
+
+    /// Encodes a typed error as a JSON body with the class, message
+    /// and the CLI exit code of the same failure — scripts and clients
+    /// branch on the class exactly as shell scripts branch on the exit
+    /// code.
+    pub fn from_error(err: &Error) -> Response {
+        let (class, code) = match err {
+            Error::Usage(_) => ("usage", 400),
+            Error::Rules(_) => ("rules", 500),
+            Error::Generation(_) => ("generation", 500),
+            Error::Engine(_) => ("engine", 500),
+            Error::EngineBuild(_) => ("engine", 500),
+            Error::Io { .. } => ("io", 500),
+            Error::Invalid(_) => ("invalid", 400),
+        };
+        let doc = Json::Obj(vec![
+            ("error".to_owned(), Json::Str(class.to_owned())),
+            ("message".to_owned(), Json::Str(err.to_string())),
+            (
+                "exit_code".to_owned(),
+                Json::Num(f64::from(err.exit_code())),
+            ),
+        ]);
+        Response {
+            code,
+            class,
+            content_type: "application/json",
+            body: format!("{doc}\n"),
+        }
+    }
+}
+
+/// The daemon's shared state: the swappable warm engine, the
+/// daemon-lifetime metrics registry, and the stop flag every worker
+/// polls.
+pub struct ServerState {
+    engine: RwLock<Arc<GenEngine>>,
+    metrics: Arc<MetricsRegistry>,
+    rules_dir: Option<PathBuf>,
+    stop: AtomicBool,
+}
+
+impl ServerState {
+    /// Builds the warm initial state: rules loaded (pack directory or
+    /// the shipped set), every ORDER precompiled, daemon-lifetime
+    /// allocator accounting enabled.
+    ///
+    /// # Errors
+    ///
+    /// Rule loading/parsing and engine-build failures, typed.
+    pub fn new(config: &ServeConfig) -> Result<ServerState, Error> {
+        config.validate()?;
+        let rules = match &config.rules_dir {
+            Some(dir) => load_rule_pack(dir)?,
+            None => rules::load()?,
+        };
+        // The daemon adopts the process-wide compiled-ORDER cache:
+        // warm artefacts are shared with any single-shot generation in
+        // the same process, and hot-reload pruning keeps the one cache
+        // bounded for the daemon's lifetime.
+        let engine = GenEngine::builder()
+            .rules(rules)
+            .type_table(javamodel::jca::jca_type_table())
+            .threads(config.threads)
+            .order_cache(cognicrypt_core::engine::shared_order_cache().clone())
+            .build()?;
+        engine.warm()?;
+        memtrack::enable_process_stats();
+        Ok(ServerState {
+            engine: RwLock::new(Arc::new(engine)),
+            metrics: Arc::new(MetricsRegistry::new()),
+            rules_dir: config.rules_dir.clone(),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// The engine serving requests right now. In-flight requests hold
+    /// their own `Arc`, so a concurrent hot-reload never changes the
+    /// rules under a running generation.
+    pub fn engine(&self) -> Arc<GenEngine> {
+        match self.engine.read() {
+            Ok(guard) => guard.clone(),
+            // A panicked writer can only have poisoned the lock after
+            // the swap completed (the swap is a single pointer store),
+            // so the value is always intact.
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// The daemon-lifetime metrics registry (`serve.*` names).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Whether shutdown was requested.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Requests shutdown: workers finish their current connection and
+    /// exit their accept loops.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Handles one decoded request with full containment: an
+    /// [`AllocScope`] measures the request, a per-request registry is
+    /// merged into the daemon registry afterwards (the merge is
+    /// deterministic, so `/metrics` totals are independent of request
+    /// interleaving), and a panic anywhere inside is caught and
+    /// reported as a typed `"panic"` response — the worker, its
+    /// siblings, and the daemon all survive.
+    pub fn handle(&self, request: &Request) -> Response {
+        let per_request = MetricsCollector::fresh();
+        let registry = per_request.registry().clone();
+        registry.add("serve.requests", 1);
+        registry.add(&format!("serve.requests.{}", request.name()), 1);
+
+        let scope = AllocScope::enter();
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(request)));
+        let alloc = scope.finish();
+        registry.observe("serve.request.peak_live_bytes", alloc.peak_live_bytes);
+        registry.observe("serve.request.alloc_bytes", alloc.allocated_bytes);
+
+        let response = match outcome {
+            Ok(Ok(response)) => response,
+            Ok(Err(err)) => Response::from_error(&err),
+            Err(_) => {
+                registry.add("serve.request.panics", 1);
+                Response {
+                    code: 500,
+                    class: "panic",
+                    content_type: "application/json",
+                    body: format!(
+                        "{}\n",
+                        Json::Obj(vec![(
+                            "error".to_owned(),
+                            Json::Str("panic contained to this request".to_owned()),
+                        )])
+                    ),
+                }
+            }
+        };
+        if response.class != "ok" {
+            registry.add(&format!("serve.errors.{}", response.class), 1);
+        }
+        registry.observe("serve.response.bytes", response.body.len() as u64);
+        self.metrics.merge_from(&registry);
+        response
+    }
+
+    fn dispatch(&self, request: &Request) -> Result<Response, Error> {
+        match request {
+            Request::Healthz => Ok(Response::ok("text/plain", "ok\n".to_owned())),
+            Request::Metrics => Ok(Response::ok("text/plain", self.render_metrics())),
+            Request::Generate(selector) => {
+                let uc = find_use_case(selector)?;
+                let generated = self.engine().generate(&uc.template)?;
+                Ok(Response::ok("text/plain", generated.java_source))
+            }
+            Request::Batch(threads) => {
+                if *threads == 0 {
+                    return Err(Error::Usage(
+                        "thread count must be at least 1, got 0".to_owned(),
+                    ));
+                }
+                let cases = all_use_cases();
+                let templates: Vec<_> = cases.iter().map(|uc| uc.template.clone()).collect();
+                let engine = self.engine();
+                let results = engine.generate_batch(&templates, *threads);
+                let mut members = Vec::with_capacity(cases.len());
+                for (uc, result) in cases.iter().zip(results) {
+                    let source = result.map_err(Error::Engine)?;
+                    members.push((format!("uc{:02}", uc.id), Json::Str(source.java_source)));
+                }
+                Ok(Response::ok(
+                    "application/json",
+                    format!("{}\n", Json::Obj(members)),
+                ))
+            }
+            Request::Report => {
+                let report = report::build()?;
+                Ok(Response::ok(
+                    "application/json",
+                    format!("{}\n", report::to_json(&report)),
+                ))
+            }
+            Request::Reload => self.reload(),
+            Request::Shutdown => {
+                self.request_stop();
+                Ok(Response::ok("text/plain", "shutting down\n".to_owned()))
+            }
+        }
+    }
+
+    /// Hot-reloads the rule pack. Sequence: parse the pack → build a
+    /// successor engine sharing the warm compiled-ORDER cache → warm
+    /// the successor (new fingerprints compile *before* the swap, so
+    /// no request ever waits on reload compilation) → swap → prune
+    /// every cache entry whose fingerprint the new pack does not
+    /// produce. Unchanged rules keep their warm artefacts; changed or
+    /// removed rules lose exactly theirs. A parse failure leaves the
+    /// running engine untouched.
+    fn reload(&self) -> Result<Response, Error> {
+        let rules = match &self.rules_dir {
+            Some(dir) => load_rule_pack(dir)?,
+            None => rules::load()?,
+        };
+        let keep: HashSet<u64> = rules.iter().map(order_fingerprint).collect();
+        let successor = Arc::new(self.engine().with_rule_set(rules));
+        successor.warm()?;
+        let rule_count = successor.rules().len();
+        {
+            let mut guard = match self.engine.write() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *guard = successor.clone();
+        }
+        let dropped = successor
+            .order_cache()
+            .retain_fingerprints(|fp| keep.contains(&fp));
+        let kept = successor.order_cache().len();
+        self.metrics.add("serve.reloads", 1);
+        let doc = Json::Obj(vec![
+            ("rules".to_owned(), Json::Num(rule_count as f64)),
+            ("cache_entries_kept".to_owned(), Json::Num(kept as f64)),
+            (
+                "cache_entries_dropped".to_owned(),
+                Json::Num(dropped as f64),
+            ),
+        ]);
+        Ok(Response::ok("application/json", format!("{doc}\n")))
+    }
+
+    /// The `/metrics` payload: the daemon registry and the current
+    /// engine registry merged (merge order cannot matter — that is the
+    /// registry's contract), plus the daemon-lifetime allocator gauges
+    /// from [`memtrack::process_stats`].
+    pub fn render_metrics(&self) -> String {
+        let merged = MetricsRegistry::new();
+        merged.merge_from(&self.metrics);
+        merged.merge_from(self.engine().metrics());
+        if let Some(stats) = memtrack::process_stats() {
+            merged.set_gauge("mem.daemon.allocated_bytes", stats.allocated_bytes);
+            merged.set_gauge("mem.daemon.live_bytes", stats.live_bytes.max(0) as u64);
+            merged.set_gauge(
+                "mem.daemon.peak_live_bytes",
+                stats.peak_live_bytes.max(0) as u64,
+            );
+        }
+        merged.render_text()
+    }
+}
+
+/// A running daemon: its state, bound addresses and worker threads.
+/// Obtained from [`Server::start`]; [`ServerHandle::shutdown`] stops
+/// and joins it (dropping without shutdown detaches the workers).
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    http_addr: Option<std::net::SocketAddr>,
+    uds_path: Option<PathBuf>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The daemon's shared state (for in-process probing in tests).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// The bound HTTP address, when the HTTP transport is enabled.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http_addr
+    }
+
+    /// The bound Unix-socket path, when that transport is enabled.
+    pub fn uds_path(&self) -> Option<&Path> {
+        self.uds_path.as_deref()
+    }
+
+    /// Requests shutdown and joins every worker. Idempotent with a
+    /// protocol-level `shutdown` that already stopped the daemon.
+    pub fn shutdown(mut self) {
+        self.state.request_stop();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(path) = &self.uds_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Blocks until every worker exits (i.e. until a protocol-level
+    /// `shutdown` request or [`ServerState::request_stop`]).
+    pub fn join(mut self) {
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(path) = &self.uds_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// The daemon entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds the configured transports, spawns the accept pools and
+    /// returns immediately. `threads` workers per transport each run
+    /// an accept loop over a non-blocking listener, so shutdown needs
+    /// no self-connection tricks: workers observe the stop flag within
+    /// [`ACCEPT_POLL`].
+    ///
+    /// # Errors
+    ///
+    /// Config validation, rule loading, engine build and socket-bind
+    /// failures — all typed, nothing panics.
+    pub fn start(config: &ServeConfig) -> Result<ServerHandle, Error> {
+        let state = Arc::new(ServerState::new(config)?);
+        let mut workers = Vec::new();
+        let mut http_addr = None;
+
+        if let Some(addr) = &config.http_addr {
+            let listener =
+                TcpListener::bind(addr.as_str()).map_err(|e| Error::io(addr.clone(), e))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| Error::io(addr.clone(), e))?;
+            http_addr = Some(
+                listener
+                    .local_addr()
+                    .map_err(|e| Error::io(addr.clone(), e))?,
+            );
+            for ordinal in 0..config.threads {
+                let listener = listener
+                    .try_clone()
+                    .map_err(|e| Error::io(addr.clone(), e))?;
+                let state = state.clone();
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("serve-http-{ordinal}"))
+                        .spawn(move || {
+                            accept_loop(
+                                &state,
+                                || listener.accept().map(|(s, _)| s),
+                                http::serve_connection,
+                            )
+                        })
+                        .map_err(|e| Error::io("spawn http worker", e))?,
+                );
+            }
+        }
+
+        let mut uds_path = None;
+        #[cfg(unix)]
+        if let Some(path) = &config.uds_path {
+            // A stale socket file from a crashed daemon blocks bind;
+            // remove it first (connect attempts to it fail anyway).
+            let _ = std::fs::remove_file(path);
+            let listener = std::os::unix::net::UnixListener::bind(path)
+                .map_err(|e| Error::io(path.display().to_string(), e))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| Error::io(path.display().to_string(), e))?;
+            uds_path = Some(path.clone());
+            for ordinal in 0..config.threads {
+                let listener = listener
+                    .try_clone()
+                    .map_err(|e| Error::io(path.display().to_string(), e))?;
+                let state = state.clone();
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("serve-uds-{ordinal}"))
+                        .spawn(move || {
+                            accept_loop(
+                                &state,
+                                || listener.accept().map(|(s, _)| s),
+                                uds::serve_connection,
+                            )
+                        })
+                        .map_err(|e| Error::io("spawn uds worker", e))?,
+                );
+            }
+        }
+        #[cfg(not(unix))]
+        if config.uds_path.is_some() {
+            return Err(Error::Usage("--socket requires a unix platform".to_owned()));
+        }
+
+        Ok(ServerHandle {
+            state,
+            http_addr,
+            uds_path,
+            workers,
+        })
+    }
+}
+
+/// One worker's accept loop: poll the non-blocking listener, serve each
+/// connection to completion, recheck the stop flag. Connection
+/// handling is panic-contained a second time here so even a bug in
+/// transport parsing (outside [`ServerState::handle`]'s containment)
+/// can never take the worker down.
+fn accept_loop<S>(
+    state: &Arc<ServerState>,
+    mut accept: impl FnMut() -> std::io::Result<S>,
+    serve: impl Fn(&ServerState, S),
+) {
+    while !state.stopping() {
+        match accept() {
+            Ok(stream) => {
+                let result = catch_unwind(AssertUnwindSafe(|| serve(state, stream)));
+                if result.is_err() {
+                    state.metrics.add("serve.connection.panics", 1);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}

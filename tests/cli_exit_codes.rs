@@ -1,0 +1,149 @@
+//! End-to-end CLI contract tests over the real binary: per-class exit
+//! codes, the strict `--trace` flag normalization across every
+//! subcommand, and the daemon boot → serve-check → shutdown round trip.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_cognicryptgen");
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN).args(args).output().expect("binary runs")
+}
+
+fn exit_code(output: &Output) -> i32 {
+    output.status.code().expect("no signal death")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cognicryptgen-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn zero_threads_is_a_usage_error_with_exit_code_2() {
+    let dir = scratch("batch-zero");
+    let out = run(&["batch", dir.to_str().unwrap(), "0"]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("invalid thread count"));
+
+    // The same guard covers the daemon config.
+    let out = run(&["serve", "--threads", "0"]);
+    assert_eq!(exit_code(&out), 2, "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("at least 1"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_failures_all_exit_2() {
+    assert_eq!(exit_code(&run(&[])), 2);
+    assert_eq!(exit_code(&run(&["no-such-command"])), 2);
+    assert_eq!(exit_code(&run(&["generate"])), 2);
+    assert_eq!(exit_code(&run(&["generate", "no-such-use-case"])), 2);
+    assert_eq!(exit_code(&run(&["serve", "--no-such-flag"])), 2);
+    assert_eq!(exit_code(&run(&["serve-check"])), 2);
+}
+
+#[test]
+fn trace_flag_is_rejected_uniformly_where_unsupported() {
+    // Subcommands without trace support must say so — wherever the
+    // flag sits in the argument list.
+    for args in [
+        vec!["list", "--trace", "/tmp/t.json"],
+        vec!["--trace", "/tmp/t.json", "list"],
+        vec!["template", "1", "--trace", "/tmp/t.json"],
+        vec!["rules", "--trace", "/tmp/t.json"],
+        vec!["analyze", "--trace", "/tmp/t.json"],
+        vec!["oldgen", "--trace", "/tmp/t.json"],
+        vec!["report-check", "--trace", "/tmp/t.json"],
+        vec!["trace-check", "--trace", "/tmp/t.json"],
+        vec!["fuzz", "--trace", "/tmp/t.json"],
+        vec!["serve", "--trace", "/tmp/t.json"],
+        vec!["serve-check", "--trace", "/tmp/t.json"],
+    ] {
+        let out = run(&args);
+        assert_eq!(
+            exit_code(&out),
+            2,
+            "args {args:?}, stderr: {}",
+            stderr(&out)
+        );
+        assert!(
+            stderr(&out).contains("--trace is not supported"),
+            "args {args:?}, stderr: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn trace_flag_normalization_is_strict() {
+    // `--trace` without a path.
+    let out = run(&["generate", "1", "--trace"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr(&out).contains("--trace requires a file path"));
+
+    // A duplicated `--trace` used to survive as a stray positional
+    // argument; now it is a hard usage error.
+    let out = run(&[
+        "generate",
+        "1",
+        "--trace",
+        "/tmp/a.json",
+        "--trace",
+        "/tmp/b.json",
+    ]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr(&out).contains("--trace given more than once"));
+}
+
+#[test]
+fn serve_boots_passes_serve_check_and_shuts_down_cleanly() {
+    let mut daemon = Command::new(BIN)
+        .args(["serve", "--listen", "127.0.0.1:0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+
+    // The daemon announces its bound endpoint as a parseable line.
+    let stdout = daemon.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let announce = lines
+        .next()
+        .expect("daemon prints its endpoint")
+        .expect("readable stdout");
+    let addr = announce
+        .strip_prefix("listening http=")
+        .unwrap_or_else(|| panic!("unexpected announce line {announce:?}"))
+        .to_owned();
+
+    // serve-check probes the daemon end to end and, as its last step,
+    // asks it to shut down.
+    let check = run(&["serve-check", &addr]);
+    assert_eq!(
+        exit_code(&check),
+        0,
+        "serve-check failed:\n{}\n{}",
+        String::from_utf8_lossy(&check.stdout),
+        stderr(&check)
+    );
+
+    let status = daemon.wait().expect("daemon exits after shutdown");
+    assert_eq!(status.code(), Some(0), "daemon must exit cleanly");
+}
+
+#[test]
+fn serve_check_against_nothing_is_a_typed_failure() {
+    // Port 9 (discard) on localhost is practically never bound; the
+    // probe must fail with the invalid-input code, not hang or panic.
+    let out = run(&["serve-check", "127.0.0.1:9"]);
+    assert_eq!(exit_code(&out), 6, "stderr: {}", stderr(&out));
+}

@@ -40,7 +40,10 @@ fn duplicate_chain_rule_is_rejected_not_misgenerated() {
     };
     let env = FuzzEnv::new().unwrap();
     let template = spec.build(&env.cases).expect("base template resolves");
-    match jca_engine().generate(&template) {
+    match jca_engine()
+        .expect("shipped rules parse")
+        .generate(&template)
+    {
         Err(GenError::DuplicateRule(rule)) => assert_eq!(rule, "javax.crypto.SecretKey"),
         other => panic!("expected DuplicateRule, got {other:?}"),
     }

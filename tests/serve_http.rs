@@ -1,0 +1,267 @@
+//! Protocol-level tests of the serve daemon: routes, typed error
+//! classes, both transports, and the hot-reload cache-invalidation
+//! semantics — all against in-process servers on ephemeral ports.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use cognicryptgen::serve::{http, ServeConfig, Server};
+use cognicryptgen::usecases::all_use_cases;
+use devharness::json::Json;
+
+/// Daemons in this binary share the process-wide compiled-ORDER cache,
+/// so tests asserting exact cache accounting must not overlap: each
+/// daemon test holds this lock for its daemon's whole lifetime.
+fn exclusive_daemon() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A scratch directory unique to this test invocation.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cognicryptgen-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Writes the shipped rule sources into `dir` as a `*.crysl` pack,
+/// skipping any class named in `skip`.
+fn write_pack(dir: &PathBuf, skip: &[&str]) -> usize {
+    for entry in fs::read_dir(dir).expect("readable pack dir").flatten() {
+        let _ = fs::remove_file(entry.path());
+    }
+    let mut written = 0;
+    for (name, source) in rules::RULE_SOURCES {
+        if skip.contains(name) {
+            continue;
+        }
+        fs::write(dir.join(format!("{name}.crysl")), source).expect("write rule");
+        written += 1;
+    }
+    written
+}
+
+fn expected_source(selector: &str) -> String {
+    let uc = cognicryptgen::find_use_case(selector).expect("known use case");
+    cognicryptgen::jca_engine()
+        .expect("shipped rules parse")
+        .generate(&uc.template)
+        .expect("generates")
+        .java_source
+}
+
+#[test]
+fn http_routes_answer_with_typed_classes() {
+    let _guard = exclusive_daemon();
+    let handle = Server::start(&ServeConfig::http("127.0.0.1:0")).expect("daemon boots");
+    let addr = handle.http_addr().expect("http bound").to_string();
+
+    let (code, body) = http::request(&addr, "GET", "/healthz", "").unwrap();
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+    // The daemon's own output must be byte-identical to the one-shot
+    // engine — same rules, same cache machinery, no drift.
+    let (code, body) = http::request(&addr, "GET", "/generate/1", "").unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(body, expected_source("1"));
+
+    // POST variant takes the selector as the body.
+    let (code, body) = http::request(&addr, "POST", "/generate", "1").unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(body, expected_source("1"));
+
+    // A bad selector is a typed usage error carrying the CLI exit code.
+    let (code, body) = http::request(&addr, "GET", "/generate/no-such-case", "").unwrap();
+    assert_eq!(code, 400);
+    let doc = Json::parse(&body).expect("error body is JSON");
+    assert_eq!(doc.get("error").and_then(Json::as_str), Some("usage"));
+    assert_eq!(doc.get("exit_code").and_then(Json::as_u64), Some(2));
+
+    // Zero batch threads is the same usage error as `batch <dir> 0`.
+    let (code, body) = http::request(&addr, "GET", "/batch/0", "").unwrap();
+    assert_eq!(code, 400);
+    assert_eq!(
+        Json::parse(&body)
+            .unwrap()
+            .get("error")
+            .and_then(Json::as_str),
+        Some("usage")
+    );
+
+    // A real batch returns one member per shipped use case.
+    let (code, body) = http::request(&addr, "GET", "/batch/2", "").unwrap();
+    assert_eq!(code, 200);
+    let doc = Json::parse(&body).expect("batch body is JSON");
+    let Json::Obj(members) = &doc else {
+        panic!("batch response is an object")
+    };
+    assert_eq!(members.len(), all_use_cases().len());
+    assert_eq!(
+        doc.get("uc01").and_then(Json::as_str),
+        Some(expected_source("1").as_str())
+    );
+
+    let (code, body) = http::request(&addr, "GET", "/report", "").unwrap();
+    assert_eq!(code, 200);
+    let report = Json::parse(&body).expect("report body is JSON");
+    cognicryptgen::report::validate(&report).expect("daemon report validates");
+
+    let (code, _) = http::request(&addr, "GET", "/no-such-route", "").unwrap();
+    assert_eq!(code, 404);
+    let (code, _) = http::request(&addr, "DELETE", "/healthz", "").unwrap();
+    assert_eq!(code, 405);
+
+    let (code, body) = http::request(&addr, "GET", "/metrics", "").unwrap();
+    assert_eq!(code, 200);
+    assert!(body.contains("serve.requests counter"));
+    assert!(body.contains("serve.errors.usage counter"));
+    assert!(body.contains("mem.daemon.peak_live_bytes gauge"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn hot_reload_prunes_exactly_the_removed_fingerprints() {
+    let _guard = exclusive_daemon();
+    let pack = scratch("serve-pack");
+    let full = write_pack(&pack, &[]);
+
+    let config = ServeConfig {
+        http_addr: Some("127.0.0.1:0".to_owned()),
+        uds_path: None,
+        threads: 2,
+        rules_dir: Some(pack.clone()),
+    };
+    let handle = Server::start(&config).expect("daemon boots from the pack dir");
+    let addr = handle.http_addr().expect("http bound").to_string();
+
+    // Boot warms every rule, so the cache already holds the full pack.
+    let before = expected_source("1");
+    let (code, body) = http::request(&addr, "GET", "/generate/1", "").unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(body, before);
+
+    // Shrink the pack by one rule: reload must drop exactly the removed
+    // rule's cache entry and keep every other warm artefact.
+    let smaller = write_pack(&pack, &["Mac"]);
+    assert_eq!(smaller, full - 1);
+    let (code, body) = http::request(&addr, "POST", "/reload", "").unwrap();
+    assert_eq!(code, 200);
+    let doc = Json::parse(&body).expect("reload body is JSON");
+    assert_eq!(
+        doc.get("rules").and_then(Json::as_u64),
+        Some(smaller as u64)
+    );
+    assert_eq!(
+        doc.get("cache_entries_dropped").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        doc.get("cache_entries_kept").and_then(Json::as_u64),
+        Some(smaller as u64)
+    );
+
+    // Restore the full pack: the removed rule recompiles, nothing else.
+    write_pack(&pack, &[]);
+    let (code, body) = http::request(&addr, "POST", "/reload", "").unwrap();
+    assert_eq!(code, 200);
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("rules").and_then(Json::as_u64), Some(full as u64));
+    assert_eq!(
+        doc.get("cache_entries_dropped").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(
+        doc.get("cache_entries_kept").and_then(Json::as_u64),
+        Some(full as u64)
+    );
+
+    // Output across the reload cycle is still byte-identical.
+    let (code, body) = http::request(&addr, "GET", "/generate/1", "").unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(body, before);
+
+    // A pack that fails to parse leaves the running engine untouched.
+    fs::write(pack.join("Broken.crysl"), "SPEC not a rule {{{").unwrap();
+    let (code, body) = http::request(&addr, "POST", "/reload", "").unwrap();
+    assert_eq!(code, 500);
+    assert_eq!(
+        Json::parse(&body)
+            .unwrap()
+            .get("error")
+            .and_then(Json::as_str),
+        Some("rules")
+    );
+    let (code, body) = http::request(&addr, "GET", "/generate/1", "").unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(body, before);
+
+    handle.shutdown();
+    let _ = fs::remove_dir_all(&pack);
+}
+
+#[test]
+fn serve_config_rejects_zero_threads_and_no_transport() {
+    let Err(err) = Server::start(&ServeConfig {
+        http_addr: Some("127.0.0.1:0".to_owned()),
+        threads: 0,
+        ..ServeConfig::default()
+    }) else {
+        panic!("zero threads must be rejected");
+    };
+    assert!(matches!(err, cognicryptgen::Error::Usage(_)));
+    assert_eq!(err.exit_code(), 2);
+
+    let Err(err) = Server::start(&ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    }) else {
+        panic!("no transport must be rejected");
+    };
+    assert!(matches!(err, cognicryptgen::Error::Usage(_)));
+}
+
+#[cfg(unix)]
+#[test]
+fn uds_line_protocol_frames_one_json_response_per_request() {
+    use cognicryptgen::serve::uds;
+
+    let _guard = exclusive_daemon();
+    let dir = scratch("serve-uds");
+    let socket = dir.join("daemon.sock");
+    let config = ServeConfig {
+        http_addr: None,
+        uds_path: Some(socket.clone()),
+        threads: 2,
+        rules_dir: None,
+    };
+    let handle = Server::start(&config).expect("daemon boots on the socket");
+
+    let responses = uds::request_lines(
+        &socket,
+        &["healthz", "generate 1", "bogus-verb", "batch 0", "generate"],
+    )
+    .expect("socket round trip");
+    assert_eq!(responses.len(), 5);
+
+    let class = |i: usize| responses[i].get("class").and_then(Json::as_str).unwrap();
+    assert_eq!(class(0), "ok");
+    assert_eq!(class(1), "ok");
+    assert_eq!(
+        responses[1].get("body").and_then(Json::as_str),
+        Some(expected_source("1").as_str())
+    );
+    // Hostile lines get typed errors on their own lines; the stream
+    // stays synchronised — well-formed neighbours are unaffected.
+    assert_eq!(class(2), "protocol");
+    assert_eq!(class(3), "usage");
+    assert_eq!(class(4), "protocol");
+
+    // `shutdown` over the socket stops the daemon; join() returns.
+    let responses = uds::request_lines(&socket, &["shutdown"]).expect("shutdown accepted");
+    assert_eq!(responses[0].get("class").and_then(Json::as_str), Some("ok"));
+    handle.join();
+    let _ = fs::remove_dir_all(&dir);
+}

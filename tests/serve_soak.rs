@@ -1,0 +1,211 @@
+//! Soak test for the serve daemon: thousands of concurrent requests,
+//! well-formed and hostile interleaved, against one daemon instance.
+//!
+//! What must hold, per the daemon's contract:
+//!
+//! * every well-formed response is byte-identical to the one-shot
+//!   engine's output for the same use case, whatever hostile traffic
+//!   runs beside it;
+//! * hostile traffic gets typed protocol errors — never a panic, never
+//!   a hang, never a perturbed neighbour;
+//! * the daemon's peak live memory stays bounded: serving N× more
+//!   requests must not grow the peak, because all request state is
+//!   per-request and the warm caches reach steady state.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use cognicryptgen::core::memtrack::TrackingAlloc;
+use cognicryptgen::serve::{http, ServeConfig, Server};
+use cognicryptgen::usecases::all_use_cases;
+
+/// The daemon-lifetime memory gauges are allocator-level figures, so
+/// this test binary must install the tracking allocator just as the
+/// CLI binary does.
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc::new();
+
+/// Requests per client thread per storm round.
+const REQUESTS_PER_CLIENT: usize = 125;
+/// Concurrent client threads.
+const CLIENTS: usize = 8;
+
+/// Parses one gauge/counter value out of a `/metrics` rendering.
+fn metric(metrics: &str, name: &str) -> Option<u64> {
+    metrics.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let mut parts = rest.split_whitespace();
+        let kind = parts.next()?;
+        if kind != "gauge" && kind != "counter" {
+            return None;
+        }
+        parts.next()?.parse().ok()
+    })
+}
+
+/// One client's storm: a deterministic mix of well-formed and hostile
+/// requests, asserting every response inline. Returns the number of
+/// well-formed generations it verified byte-identical.
+fn storm(addr: &str, seed: usize, expected: &BTreeMap<u8, String>) -> usize {
+    let ids: Vec<u8> = expected.keys().copied().collect();
+    let mut verified = 0;
+    for i in 0..REQUESTS_PER_CLIENT {
+        match (seed + i) % 8 {
+            // Most traffic: generations checked byte-for-byte.
+            0..=3 => {
+                let id = ids[(seed + i) % ids.len()];
+                let (code, body) =
+                    http::request(addr, "GET", &format!("/generate/{id}"), "").unwrap();
+                assert_eq!(code, 200, "generate uc{id} failed mid-soak");
+                assert_eq!(
+                    &body, &expected[&id],
+                    "daemon output for uc{id} diverged from the one-shot engine"
+                );
+                verified += 1;
+            }
+            4 => {
+                let (code, body) = http::request(addr, "GET", "/healthz", "").unwrap();
+                assert_eq!((code, body.as_str()), (200, "ok\n"));
+            }
+            // Hostile: unknown selector → typed usage error.
+            5 => {
+                let (code, _) =
+                    http::request(addr, "GET", "/generate/definitely-not-a-case", "").unwrap();
+                assert_eq!(code, 400);
+            }
+            // Hostile: nonsense route and method.
+            6 => {
+                let (code, _) = http::request(addr, "GET", "/../../etc/passwd", "").unwrap();
+                assert_eq!(code, 404);
+                let (code, _) = http::request(addr, "PATCH", "/metrics", "").unwrap();
+                assert_eq!(code, 405);
+            }
+            // Hostile: raw protocol garbage on a fresh connection.
+            _ => {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream.write_all(b"\x00\xffGARBAGE noise\r\n\r\n").unwrap();
+                let mut reply = String::new();
+                let _ = stream.read_to_string(&mut reply);
+                assert!(
+                    reply.starts_with("HTTP/1.1 400"),
+                    "garbage must get a typed 400, got {reply:?}"
+                );
+            }
+        }
+    }
+    verified
+}
+
+#[test]
+fn soak_mixed_hostile_and_well_formed_traffic() {
+    let expected: BTreeMap<u8, String> = {
+        let engine = cognicryptgen::jca_engine().expect("shipped rules parse");
+        all_use_cases()
+            .iter()
+            .map(|uc| {
+                (
+                    uc.id,
+                    engine
+                        .generate(&uc.template)
+                        .expect("generates")
+                        .java_source,
+                )
+            })
+            .collect()
+    };
+
+    let config = ServeConfig {
+        http_addr: Some("127.0.0.1:0".to_owned()),
+        uds_path: None,
+        threads: 4,
+        rules_dir: None,
+    };
+    let handle = Server::start(&config).expect("daemon boots");
+    let addr = handle.http_addr().expect("http bound").to_string();
+
+    // Header bomb: a request head over the 8KiB cap must be refused
+    // without reading the rest, and the daemon must stay up.
+    {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let bomb = format!(
+            "GET /healthz HTTP/1.1\r\nX-Bomb: {}\r\n\r\n",
+            "A".repeat(16 * 1024)
+        );
+        let _ = stream.write_all(bomb.as_bytes());
+        let mut reply = String::new();
+        let _ = stream.read_to_string(&mut reply);
+        assert!(reply.starts_with("HTTP/1.1 431"), "got {reply:?}");
+    }
+    // Connect-and-abandon must not wedge a worker permanently.
+    drop(TcpStream::connect(&addr).unwrap());
+
+    // Round one: the concurrent storm.
+    let addr_ref = addr.as_str();
+    let expected_ref = &expected;
+    let verified: usize = std::thread::scope(|scope| {
+        (0..CLIENTS)
+            .map(|seed| scope.spawn(move || storm(addr_ref, seed, expected_ref)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().expect("client thread survives"))
+            .sum()
+    });
+    assert!(verified >= CLIENTS * REQUESTS_PER_CLIENT / 2);
+
+    let (code, metrics_one) = http::request(&addr, "GET", "/metrics", "").unwrap();
+    assert_eq!(code, 200);
+    let requests_one = metric(&metrics_one, "serve.requests").expect("request counter present");
+    assert!(requests_one as usize >= CLIENTS * REQUESTS_PER_CLIENT);
+    assert_eq!(
+        metric(&metrics_one, "serve.request.panics"),
+        None,
+        "a request panicked"
+    );
+    assert_eq!(
+        metric(&metrics_one, "serve.connection.panics"),
+        None,
+        "a connection panicked"
+    );
+    let peak_one =
+        metric(&metrics_one, "mem.daemon.peak_live_bytes").expect("daemon peak gauge present");
+    assert!(peak_one > 0);
+
+    // Round two: same volume again. The peak must be in steady state —
+    // a growing peak under repeat identical load means request state
+    // leaks past the request.
+    let _: usize = std::thread::scope(|scope| {
+        (0..CLIENTS)
+            .map(|seed| scope.spawn(move || storm(addr_ref, seed + 3, expected_ref)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().expect("client thread survives"))
+            .sum()
+    });
+    let (_, metrics_two) = http::request(&addr, "GET", "/metrics", "").unwrap();
+    let peak_two =
+        metric(&metrics_two, "mem.daemon.peak_live_bytes").expect("daemon peak gauge present");
+    assert!(
+        peak_two <= peak_one + peak_one / 2,
+        "peak grew {peak_one} -> {peak_two} across identical storms: request state is leaking"
+    );
+    // And an absolute ceiling: far above any honest steady state, far
+    // below a leak of thousands of retained responses.
+    assert!(
+        peak_two < 512 * 1024 * 1024,
+        "daemon peak {peak_two} bytes is unbounded"
+    );
+
+    // The daemon is still healthy and still byte-identical after the
+    // full soak.
+    let (code, body) = http::request(&addr, "GET", "/healthz", "").unwrap();
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+    let (code, body) = http::request(&addr, "GET", "/generate/1", "").unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(&body, &expected[&1]);
+
+    // Protocol-level shutdown: workers drain and join.
+    let (code, _) = http::request(&addr, "POST", "/shutdown", "").unwrap();
+    assert_eq!(code, 200);
+    handle.join();
+}
