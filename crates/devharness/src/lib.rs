@@ -13,12 +13,20 @@
 //!   p95, peak-RSS sampling where available) with machine-readable JSON
 //!   output for the Table 1 / RQ5 trajectory data;
 //! * [`json`] — the minimal JSON reader/writer backing the bench output,
-//!   so reports round-trip through a parser in tests.
+//!   so reports round-trip through a parser in tests;
+//! * [`histogram`] — an HDR-style log-linear latency histogram
+//!   (O(1) record, bounded-error quantiles, order-insensitive merge)
+//!   for workloads with millions of samples, where [`bench`]'s
+//!   sample-vector statistics would not scale;
+//! * [`pacing`] — open- and closed-loop pacing primitives for load
+//!   generation, with coordinated-omission-aware scheduling.
 //!
 //! Everything here is `std`-only by design; adding an external dependency
 //! to this crate defeats its purpose.
 
 pub mod bench;
+pub mod histogram;
 pub mod json;
+pub mod pacing;
 pub mod prop;
 pub mod rng;

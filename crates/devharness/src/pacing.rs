@@ -1,0 +1,140 @@
+//! Open- and closed-loop pacing for load generation.
+//!
+//! A closed-loop client issues its next request the moment the previous
+//! one returns: throughput adapts to the system under test, and a slow
+//! response slows the *offered* load down — which systematically hides
+//! latency spikes (coordinated omission). An open-loop client issues
+//! requests on a fixed schedule regardless of completions, the way a
+//! million independent users would, and measures each latency from the
+//! request's *scheduled* start, so time spent queueing behind a stall
+//! is charged to the stalled request.
+//!
+//! [`Pacer`] packages both disciplines behind one call: the runner asks
+//! for the start instant of operation `i` and measures from what it
+//! gets back.
+
+use std::time::{Duration, Instant};
+
+/// The pacing discipline for one client's operation stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopMode {
+    /// Back-to-back: operation `i+1` starts when `i` finishes.
+    Closed,
+    /// Fixed schedule: operation `i` is due at `start + i · interval`.
+    Open {
+        /// Gap between consecutive scheduled starts.
+        interval: Duration,
+    },
+}
+
+/// Hands out operation start instants under a [`LoopMode`].
+#[derive(Debug, Clone)]
+pub struct Pacer {
+    mode: LoopMode,
+    start: Instant,
+}
+
+impl Pacer {
+    /// A closed-loop pacer: no waiting, latency measured from the call.
+    pub fn closed() -> Self {
+        Pacer {
+            mode: LoopMode::Closed,
+            start: Instant::now(),
+        }
+    }
+
+    /// An open-loop pacer issuing at fixed `interval`s from now.
+    pub fn open(interval: Duration) -> Self {
+        Pacer {
+            mode: LoopMode::Open { interval },
+            start: Instant::now(),
+        }
+    }
+
+    /// An open-loop pacer targeting `rate` operations per second.
+    /// A rate of zero or below falls back to closed-loop.
+    pub fn per_second(rate: f64) -> Self {
+        if rate <= 0.0 {
+            return Pacer::closed();
+        }
+        Pacer::open(Duration::from_nanos((1e9 / rate) as u64))
+    }
+
+    /// The discipline this pacer runs.
+    pub fn mode(&self) -> LoopMode {
+        self.mode
+    }
+
+    /// Blocks until operation `i` is due and returns the instant its
+    /// latency must be measured from.
+    ///
+    /// Closed loop: returns immediately with now. Open loop: sleeps
+    /// until the scheduled start when it is still ahead; when the
+    /// client is already behind schedule it returns at once — but
+    /// still returns the *scheduled* instant, so the queueing delay the
+    /// backlog caused is part of the measured latency rather than
+    /// silently omitted.
+    pub fn due(&self, i: u64) -> Instant {
+        match self.mode {
+            LoopMode::Closed => Instant::now(),
+            LoopMode::Open { interval } => {
+                let scheduled = self.start + interval * u32::try_from(i).unwrap_or(u32::MAX);
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                scheduled
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_never_waits() {
+        let p = Pacer::closed();
+        let before = Instant::now();
+        let t = p.due(1_000);
+        assert!(t >= before);
+        assert!(before.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn open_loop_spaces_scheduled_starts_by_the_interval() {
+        let interval = Duration::from_millis(2);
+        let p = Pacer::open(interval);
+        let t0 = p.due(0);
+        let t3 = p.due(3);
+        assert_eq!(t3.duration_since(t0), interval * 3);
+    }
+
+    #[test]
+    fn open_loop_charges_backlog_to_the_scheduled_start() {
+        // Ask for op 0 late: the returned instant is the *scheduled*
+        // one, in the past, so a latency measured from it includes the
+        // time the op spent overdue.
+        let p = Pacer::open(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(10));
+        let scheduled = p.due(0);
+        let measured = scheduled.elapsed();
+        assert!(
+            measured >= Duration::from_millis(9),
+            "backlog was omitted: measured {measured:?}"
+        );
+    }
+
+    #[test]
+    fn per_second_rate_maps_to_interval() {
+        let p = Pacer::per_second(1000.0);
+        match p.mode() {
+            LoopMode::Open { interval } => {
+                assert_eq!(interval, Duration::from_millis(1));
+            }
+            LoopMode::Closed => panic!("expected open loop"),
+        }
+        assert_eq!(Pacer::per_second(0.0).mode(), LoopMode::Closed);
+    }
+}

@@ -1,0 +1,500 @@
+//! The `BENCH_load.json` report: what a load run leaves behind, split
+//! so each consumer gets a section it can gate mechanically.
+//!
+//! * **`results`** — an array of objects carrying every field
+//!   [`devharness::bench::BenchResult`] requires (plus an extra
+//!   `p99_ns`), so the existing `bench_compare` binary gates load
+//!   latencies and sustained throughput against a committed baseline
+//!   with zero changes. Wall-clock, varies run to run.
+//! * **`workload`** — a pure function of the seed and the system's
+//!   *behaviour*: per-class op counts, outcome tallies, verified-bytes
+//!   counts, violation totals, the schedule fingerprint. Two runs with
+//!   one seed must render this section byte-identically; the
+//!   replay-determinism gate in `verify.sh` diffs it.
+//! * **`latency`** — the full per-class histograms and the p99
+//!   isolation check, for humans and future tooling. Wall-clock.
+//! * **`gauges`** — whatever the orchestrator sampled at the end
+//!   (daemon `/loadz` snapshot, peak RSS). Wall-clock.
+
+use devharness::bench::BenchResult;
+use devharness::histogram::Histogram;
+use devharness::json::Json;
+
+use crate::workload::OpKind;
+use crate::{PhaseRun, RunConfig, TargetRun};
+
+/// The suite name: the report file is `BENCH_load.json`.
+pub const SUITE: &str = "load";
+
+/// Spec facts echoed into the report so a reader can reproduce the run.
+#[derive(Debug, Clone)]
+pub struct SpecEcho {
+    /// The seed the whole run derives from.
+    pub seed: u64,
+    /// Mixed-phase operation budget.
+    pub budget: u64,
+    /// Clean-baseline operation budget.
+    pub clean_budget: u64,
+    /// Hostile operations per 1000 in the mixed phase.
+    pub hostile_per_mille: u32,
+    /// Corpus files that fed hostile traffic.
+    pub corpus_files: u64,
+    /// FNV-1a fingerprint of the mixed schedule.
+    pub schedule_fingerprint: u64,
+}
+
+/// Everything [`render`] needs: the spec echo, the runner config, one
+/// [`TargetRun`] per target, and the orchestrator's end-of-run gauges.
+pub struct LoadReport {
+    /// Reproduction facts.
+    pub spec: SpecEcho,
+    /// Runner knobs that shaped the measurements.
+    pub config: RunConfig,
+    /// One entry per exercised target.
+    pub targets: Vec<TargetRun>,
+    /// Non-deterministic end-of-run samples (daemon snapshot, RSS).
+    pub gauges: Vec<(String, Json)>,
+}
+
+impl LoadReport {
+    /// Total violations across all targets, p99 breaches included.
+    pub fn violation_count(&self) -> u64 {
+        self.targets.iter().map(TargetRun::violation_count).sum()
+    }
+
+    /// Renders the full report document.
+    pub fn render(&self) -> Json {
+        Json::Obj(vec![
+            ("suite".to_owned(), Json::Str(SUITE.to_owned())),
+            ("results".to_owned(), Json::Arr(self.bench_results())),
+            ("workload".to_owned(), self.workload_section()),
+            ("latency".to_owned(), self.latency_section()),
+            ("gauges".to_owned(), Json::Obj(self.gauges.clone())),
+        ])
+    }
+
+    /// The `bench_compare`-compatible result objects: per target, the
+    /// well-formed latency of both phases plus the sustained mixed
+    /// throughput as nanoseconds per operation.
+    fn bench_results(&self) -> Vec<Json> {
+        let rss = devharness::bench::peak_rss();
+        let rss_kb = rss.as_ref().map(|p| p.kb);
+        let rss_source = rss.as_ref().map(|p| p.source.name().to_owned());
+        let mut out = Vec::new();
+        for run in &self.targets {
+            for (phase, data) in [("clean", &run.clean), ("mixed", &run.mixed)] {
+                let h = data.wellformed();
+                out.push(result_json(
+                    &BenchResult {
+                        name: format!("{}/wellformed.{phase}", run.target),
+                        samples: h.count().min(u64::from(u32::MAX)) as u32,
+                        iters_per_sample: 1,
+                        min_ns: h.min(),
+                        mean_ns: h.mean(),
+                        median_ns: h.quantile(0.50),
+                        p95_ns: h.quantile(0.95),
+                        max_ns: h.max(),
+                        peak_rss_kb: rss_kb,
+                        peak_rss_source: rss_source.clone(),
+                    },
+                    Some(h.quantile(0.99)),
+                ));
+            }
+            let ops = run.mixed.total_ops().max(1);
+            let ns_per_op = run.mixed.wall_ns / ops;
+            out.push(result_json(
+                &BenchResult {
+                    name: format!("{}/sustained.mixed", run.target),
+                    samples: ops.min(u64::from(u32::MAX)) as u32,
+                    iters_per_sample: 1,
+                    min_ns: ns_per_op,
+                    mean_ns: ns_per_op,
+                    median_ns: ns_per_op,
+                    p95_ns: ns_per_op,
+                    max_ns: ns_per_op,
+                    peak_rss_kb: rss_kb,
+                    peak_rss_source: rss_source.clone(),
+                },
+                None,
+            ));
+        }
+        out
+    }
+
+    /// The deterministic section: identical bytes for identical seeds
+    /// as long as the system under test behaves deterministically —
+    /// which is itself part of what the replay gate proves.
+    fn workload_section(&self) -> Json {
+        let targets: Vec<(String, Json)> = self
+            .targets
+            .iter()
+            .map(|run| {
+                (
+                    run.target.to_owned(),
+                    Json::Obj(vec![
+                        ("clean_ops".to_owned(), class_counts(&run.clean)),
+                        ("mixed_ops".to_owned(), class_counts(&run.mixed)),
+                        ("clean_outcomes".to_owned(), outcome_counts(&run.clean)),
+                        ("mixed_outcomes".to_owned(), outcome_counts(&run.mixed)),
+                        (
+                            "verified".to_owned(),
+                            Json::Num((run.clean.verified + run.mixed.verified) as f64),
+                        ),
+                        (
+                            "violations".to_owned(),
+                            Json::Num(run.violation_count() as f64),
+                        ),
+                        (
+                            "violation_messages".to_owned(),
+                            Json::Arr(run.violations().map(|v| Json::Str(v.clone())).collect()),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("seed".to_owned(), Json::Num(self.spec.seed as f64)),
+            ("budget".to_owned(), Json::Num(self.spec.budget as f64)),
+            (
+                "clean_budget".to_owned(),
+                Json::Num(self.spec.clean_budget as f64),
+            ),
+            (
+                "hostile_per_mille".to_owned(),
+                Json::Num(f64::from(self.spec.hostile_per_mille)),
+            ),
+            (
+                "corpus_files".to_owned(),
+                Json::Num(self.spec.corpus_files as f64),
+            ),
+            ("clients".to_owned(), Json::Num(self.config.clients as f64)),
+            (
+                "schedule_fingerprint".to_owned(),
+                Json::Str(format!("{:016x}", self.spec.schedule_fingerprint)),
+            ),
+            ("targets".to_owned(), Json::Obj(targets)),
+        ])
+    }
+
+    /// Full per-class histograms and the p99 isolation verdicts.
+    fn latency_section(&self) -> Json {
+        let targets: Vec<(String, Json)> = self
+            .targets
+            .iter()
+            .map(|run| {
+                (
+                    run.target.to_owned(),
+                    Json::Obj(vec![
+                        ("clean".to_owned(), class_histograms(&run.clean)),
+                        ("mixed".to_owned(), class_histograms(&run.mixed)),
+                        (
+                            "p99_isolation".to_owned(),
+                            Json::Obj(vec![
+                                ("clean_ns".to_owned(), Json::Num(run.p99.clean_ns as f64)),
+                                ("mixed_ns".to_owned(), Json::Num(run.p99.mixed_ns as f64)),
+                                ("bound_ns".to_owned(), Json::Num(run.p99.bound_ns as f64)),
+                                ("factor".to_owned(), Json::Num(self.config.p99_factor)),
+                                (
+                                    "floor_ns".to_owned(),
+                                    Json::Num(self.config.p99_floor_ns as f64),
+                                ),
+                                ("ok".to_owned(), Json::Bool(run.p99.ok)),
+                            ]),
+                        ),
+                        (
+                            "wall_ns".to_owned(),
+                            Json::Obj(vec![
+                                ("clean".to_owned(), Json::Num(run.clean.wall_ns as f64)),
+                                ("mixed".to_owned(), Json::Num(run.mixed.wall_ns as f64)),
+                            ]),
+                        ),
+                        (
+                            "throughput_millihz".to_owned(),
+                            Json::Obj(vec![
+                                (
+                                    "clean".to_owned(),
+                                    Json::Num(run.clean.throughput_millihz() as f64),
+                                ),
+                                (
+                                    "mixed".to_owned(),
+                                    Json::Num(run.mixed.throughput_millihz() as f64),
+                                ),
+                            ]),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(targets)
+    }
+}
+
+/// A [`BenchResult`] rendered with an optional extra `p99_ns` member —
+/// `BenchResult::from_json` ignores members it does not know, so the
+/// object stays parseable by the stock gate.
+fn result_json(result: &BenchResult, p99_ns: Option<u64>) -> Json {
+    let mut doc = result.to_json();
+    if let (Json::Obj(members), Some(p99)) = (&mut doc, p99_ns) {
+        members.push(("p99_ns".to_owned(), Json::Num(p99 as f64)));
+    }
+    doc
+}
+
+/// Per-class scheduled-op counts, every class present (zeros kept) so
+/// the section's shape never depends on the sampled mix.
+fn class_counts(phase: &PhaseRun) -> Json {
+    Json::Obj(
+        OpKind::CLASSES
+            .iter()
+            .map(|class| {
+                (
+                    (*class).to_owned(),
+                    Json::Num(phase.ops.get(class).copied().unwrap_or(0) as f64),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Per-outcome tallies, every outcome present.
+fn outcome_counts(phase: &PhaseRun) -> Json {
+    Json::Obj(
+        crate::OutcomeClass::ALL
+            .iter()
+            .map(|name| {
+                (
+                    (*name).to_owned(),
+                    Json::Num(phase.outcomes.get(name).copied().unwrap_or(0) as f64),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// The per-class latency histograms of one phase, classes sorted.
+fn class_histograms(phase: &PhaseRun) -> Json {
+    Json::Obj(
+        phase
+            .latency
+            .iter()
+            .map(|(class, h)| ((*class).to_owned(), h.to_json()))
+            .collect(),
+    )
+}
+
+/// A structural summary extracted by [`validate`], for `load-check`.
+#[derive(Debug)]
+pub struct ReportSummary {
+    /// The seed echoed in the workload section.
+    pub seed: u64,
+    /// The schedule fingerprint (hex, as rendered).
+    pub schedule_fingerprint: String,
+    /// `(target, violations, p99_ok)` per target.
+    pub targets: Vec<(String, u64, bool)>,
+    /// Parsed `results` entries (proving `bench_compare` can read them).
+    pub results: Vec<BenchResult>,
+}
+
+impl ReportSummary {
+    /// Total violations across targets, p99 breaches included.
+    pub fn violation_count(&self) -> u64 {
+        self.targets
+            .iter()
+            .map(|(_, v, ok)| v + u64::from(!ok))
+            .sum()
+    }
+}
+
+/// Validates a report document's structure: the suite name, that every
+/// `results` entry parses as a [`BenchResult`], and that the workload
+/// and latency sections carry the members the gates rely on.
+///
+/// # Errors
+///
+/// A human-readable description of the first structural problem.
+pub fn validate(doc: &Json) -> Result<ReportSummary, String> {
+    let suite = doc
+        .get("suite")
+        .and_then(Json::as_str)
+        .ok_or("missing `suite`")?;
+    if suite != SUITE {
+        return Err(format!("suite is `{suite}`, expected `{SUITE}`"));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing `results` array")?
+        .iter()
+        .map(BenchResult::from_json)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("results entry does not parse as a bench result: {e}"))?;
+    if results.is_empty() {
+        return Err("`results` is empty".to_owned());
+    }
+    let workload = doc.get("workload").ok_or("missing `workload` section")?;
+    let seed = workload
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("workload: missing `seed`")?;
+    let fingerprint = workload
+        .get("schedule_fingerprint")
+        .and_then(Json::as_str)
+        .ok_or("workload: missing `schedule_fingerprint`")?
+        .to_owned();
+    let latency = doc.get("latency").ok_or("missing `latency` section")?;
+    let target_objs = match workload.get("targets") {
+        Some(Json::Obj(members)) if !members.is_empty() => members,
+        _ => return Err("workload: missing or empty `targets`".to_owned()),
+    };
+    let mut targets = Vec::new();
+    for (name, entry) in target_objs {
+        let violations = entry
+            .get("violations")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("workload target `{name}`: missing `violations`"))?;
+        let p99_ok = latency
+            .get(name)
+            .and_then(|t| t.get("p99_isolation"))
+            .and_then(|p| p.get("ok"))
+            .and_then(|v| match v {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            })
+            .ok_or_else(|| format!("latency target `{name}`: missing `p99_isolation.ok`"))?;
+        for phase in ["clean", "mixed"] {
+            let histos = latency
+                .get(name)
+                .and_then(|t| t.get(phase))
+                .ok_or_else(|| format!("latency target `{name}`: missing `{phase}`"))?;
+            if let Json::Obj(members) = histos {
+                for (class, h) in members {
+                    Histogram::from_json(h)
+                        .map_err(|e| format!("latency target `{name}` {phase}/{class}: {e}"))?;
+                }
+            }
+        }
+        targets.push((name.clone(), violations, p99_ok));
+    }
+    doc.get("gauges").ok_or("missing `gauges` section")?;
+    Ok(ReportSummary {
+        seed,
+        schedule_fingerprint: fingerprint,
+        targets,
+        results,
+    })
+}
+
+/// The replay-determinism digest: the `workload` section rendered
+/// alone. Two runs of one seed must produce identical digest bytes;
+/// `verify.sh` diffs the two.
+///
+/// # Errors
+///
+/// The document has no `workload` section.
+pub fn deterministic_digest(doc: &Json) -> Result<String, String> {
+    doc.get("workload")
+        .map(|w| format!("{w}\n"))
+        .ok_or_else(|| "missing `workload` section".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{build_schedule, WorkloadSpec};
+    use crate::{run_target, Outcome, OutcomeClass, Target};
+
+    struct StubTarget;
+
+    impl Target for StubTarget {
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+
+        fn call(&self, op: &OpKind) -> Outcome {
+            match op {
+                OpKind::WellFormed { .. } => Outcome::verified(true),
+                OpKind::Reload | OpKind::Snapshot => Outcome::ok(),
+                _ => Outcome::classed(OutcomeClass::TypedError, "refused"),
+            }
+        }
+    }
+
+    fn report() -> LoadReport {
+        let spec = WorkloadSpec::standard(11, 300, (1..=11).collect(), vec![]);
+        let mixed = build_schedule(&spec);
+        let clean = build_schedule(&spec.clean_baseline(80));
+        let config = RunConfig::default();
+        let run = run_target(&StubTarget, &clean, &mixed, &config);
+        LoadReport {
+            spec: SpecEcho {
+                seed: spec.seed,
+                budget: spec.budget,
+                clean_budget: 80,
+                hostile_per_mille: spec.hostile_per_mille,
+                corpus_files: 0,
+                schedule_fingerprint: crate::workload::schedule_fingerprint(&mixed),
+            },
+            config,
+            targets: vec![run],
+            gauges: vec![("note".to_owned(), Json::Str("test".to_owned()))],
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_and_validates() {
+        let doc = report().render();
+        let text = doc.to_string();
+        let parsed = Json::parse(&text).expect("report is valid json");
+        let summary = validate(&parsed).expect("report validates");
+        assert_eq!(summary.seed, 11);
+        assert_eq!(summary.violation_count(), 0);
+        assert_eq!(summary.targets.len(), 1);
+        // Three results per target: clean + mixed wellformed, sustained.
+        assert_eq!(summary.results.len(), 3);
+        assert!(summary
+            .results
+            .iter()
+            .any(|r| r.name == "stub/sustained.mixed"));
+    }
+
+    #[test]
+    fn workload_digest_is_stable_across_runs() {
+        let a = deterministic_digest(&report().render()).expect("digest");
+        let b = deterministic_digest(&report().render()).expect("digest");
+        assert_eq!(a, b, "workload section varied between identical runs");
+        // And it carries no wall-clock members.
+        assert!(!a.contains("wall_ns"));
+        assert!(!a.contains("_isolation"));
+    }
+
+    #[test]
+    fn results_parse_with_the_stock_bench_parser() {
+        let doc = report().render();
+        let report = devharness::bench::BenchReport::parse(&doc.to_string())
+            .expect("BENCH_load.json parses as a stock bench report");
+        assert_eq!(report.suite, SUITE);
+        assert_eq!(report.results.len(), 3);
+        for r in &report.results {
+            assert!(r.samples > 0, "{}: zero samples", r.name);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_structural_damage() {
+        let doc = report().render();
+        // Drop the workload section.
+        if let Json::Obj(members) = &doc {
+            let broken = Json::Obj(
+                members
+                    .iter()
+                    .filter(|(k, _)| k != "workload")
+                    .cloned()
+                    .collect(),
+            );
+            assert!(validate(&broken).is_err());
+        } else {
+            panic!("report must be an object");
+        }
+        assert!(validate(&Json::Obj(vec![])).is_err());
+    }
+}

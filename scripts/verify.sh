@@ -112,4 +112,20 @@ wait "$serve_pid"
 echo "==> cli fuzz --corpus corpus/ --budget 0"
 "$cli" fuzz --corpus corpus/ --budget 0
 
+# Load-harness replay gate: two identically-seeded runs of the mixed
+# hostile/well-formed workload must both pass cleanly (any panic,
+# perturbed response or p99-isolation breach exits 6) and must agree
+# byte for byte on the deterministic workload section of their reports
+# — the schedule is a pure function of the seed, so a digest diff here
+# means determinism rotted somewhere in the harness.
+echo "==> cli load (seeded, x2) + replay digest diff"
+"$cli" load --seed 1 --budget 300 --clients 2 --corpus corpus/ \
+    --out "$workdir/load-a.json" >/dev/null
+"$cli" load --seed 1 --budget 300 --clients 2 --corpus corpus/ \
+    --out "$workdir/load-b.json" >/dev/null
+"$cli" load-check "$workdir/load-a.json"
+"$cli" load-check "$workdir/load-a.json" --digest > "$workdir/load-a.digest"
+"$cli" load-check "$workdir/load-b.json" --digest > "$workdir/load-b.digest"
+diff "$workdir/load-a.digest" "$workdir/load-b.digest"
+
 echo "==> hermetic verify OK"

@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the CogniCryptGEN reproduction workspace.
 pub mod error;
+pub mod loadcli;
 pub mod report;
 pub mod serve;
 
@@ -7,6 +8,7 @@ pub use error::Error;
 
 pub use cognicrypt_core as core;
 pub use cognicrypt_fuzz as fuzz;
+pub use cognicrypt_load as load;
 pub use crysl;
 pub use interp;
 pub use javamodel;

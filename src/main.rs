@@ -29,6 +29,21 @@
 //!                                     healthz, metrics, generate (compared
 //!                                     byte-for-byte against a local engine),
 //!                                     reload, shutdown
+//! cognicryptgen load [--seed <s>] [--budget <n>] [--clients <n>]
+//!                    [--rate <ops/s>] [--corpus <dir>] [--out <file>]
+//!                    [--p99-factor <f>] [--p99-floor-ms <n>]
+//!                    [--targets library,http,uds]
+//!                                     replay a seeded zipf-skewed workload —
+//!                                     hostile traffic interleaved with
+//!                                     well-formed requests, mid-run reloads —
+//!                                     against the library engine and a booted
+//!                                     daemon; write BENCH_load.json; exit 6
+//!                                     on any panic, perturbed response or
+//!                                     breached p99 isolation bound
+//! cognicryptgen load-check <file> [--digest]
+//!                                     validate a written load report; with
+//!                                     --digest print its deterministic
+//!                                     workload section for replay diffing
 //! ```
 //!
 //! `generate`, `batch` and `report` additionally accept `--trace <file>`:
@@ -70,7 +85,7 @@ use devharness::json::Json;
 #[global_allocator]
 static ALLOC: TrackingAlloc = TrackingAlloc::new();
 
-const USAGE: &str = "cognicryptgen <list|generate|batch|template|rules|analyze|oldgen|report|report-check|trace-check|fuzz|serve|serve-check> [arg..] [--trace <file>]";
+const USAGE: &str = "cognicryptgen <list|generate|batch|template|rules|analyze|oldgen|report|report-check|trace-check|fuzz|serve|serve-check|load|load-check> [arg..] [--trace <file>]";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -101,6 +116,10 @@ fn main() -> ExitCode {
             Some("serve") => reject_trace(trace, "serve").and_then(|()| cmd_serve(&args[1..])),
             Some("serve-check") => reject_trace(trace, "serve-check")
                 .and_then(|()| cmd_serve_check(args.get(1).map(String::as_str))),
+            Some("load") => reject_trace(trace, "load").and_then(|()| cmd_load(&args[1..])),
+            Some("load-check") => {
+                reject_trace(trace, "load-check").and_then(|()| cmd_load_check(&args[1..]))
+            }
             _ => Err(Error::Usage(USAGE.to_owned())),
         }
     });
@@ -513,6 +532,34 @@ fn cmd_serve_check(addr: Option<&str>) -> Result<(), Error> {
     }
     println!("serve-check: shutdown acknowledged");
     Ok(())
+}
+
+/// `load [--seed <s>] [--budget <n>] …` — the seeded load harness: a
+/// zipf-skewed workload with hostile traffic and mid-run reloads,
+/// replayed against the library engine and a daemon booted for the
+/// run. Writes `BENCH_load.json`; any isolation violation (panic,
+/// perturbed well-formed response, accepted hostile input, breached
+/// p99 bound) is the invalid-input failure, exit code 6.
+fn cmd_load(args: &[String]) -> Result<(), Error> {
+    let opts = cognicryptgen::loadcli::LoadOptions::parse(args)?;
+    cognicryptgen::loadcli::run_load(&opts)
+}
+
+/// `load-check <file> [--digest]` — validate a written load report;
+/// with `--digest`, print its deterministic workload section so the
+/// replay gate can diff two same-seed runs byte for byte.
+fn cmd_load_check(args: &[String]) -> Result<(), Error> {
+    let mut path = None;
+    let mut digest = false;
+    for arg in args {
+        match arg.as_str() {
+            "--digest" => digest = true,
+            other if path.is_none() && !other.starts_with("--") => path = Some(other),
+            other => return Err(Error::Usage(format!("unknown load-check arg `{other}`"))),
+        }
+    }
+    let path = path.ok_or_else(|| Error::Usage("missing load report file to check".to_owned()))?;
+    cognicryptgen::loadcli::check_report(path, digest)
 }
 
 /// `trace-check <file>` — parse a previously written Chrome trace and

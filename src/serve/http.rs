@@ -118,6 +118,7 @@ fn route(method: &str, path: &str, body: &str) -> Result<Request, Response> {
     match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => Ok(Request::Healthz),
         ("GET", ["metrics"]) => Ok(Request::Metrics),
+        ("GET", ["loadz"]) => Ok(Request::Loadz),
         ("GET", ["generate", selector]) => Ok(Request::Generate(percent_decode(selector))),
         ("POST", ["generate"]) => {
             let selector = body.trim();
@@ -137,7 +138,8 @@ fn route(method: &str, path: &str, body: &str) -> Result<Request, Response> {
         ("POST", ["shutdown"]) => Ok(Request::Shutdown),
         (
             _,
-            ["healthz" | "metrics" | "generate" | "batch" | "report" | "reload" | "shutdown", ..],
+            ["healthz" | "metrics" | "loadz" | "generate" | "batch" | "report" | "reload"
+            | "shutdown", ..],
         ) => Err(protocol_error(405, "method not allowed for this route")),
         _ => Err(protocol_error(404, "no such route")),
     }

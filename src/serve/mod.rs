@@ -157,6 +157,10 @@ pub enum Request {
     Healthz,
     /// Render the daemon + engine metrics.
     Metrics,
+    /// A machine-readable load snapshot: request/error/panic totals and
+    /// the allocator gauges, as one JSON object. The load harness polls
+    /// this instead of parsing the `/metrics` text.
+    Loadz,
     /// Generate one use case (id or name fragment).
     Generate(String),
     /// Generate every shipped use case over `threads` workers.
@@ -175,6 +179,7 @@ impl Request {
         match self {
             Request::Healthz => "healthz",
             Request::Metrics => "metrics",
+            Request::Loadz => "loadz",
             Request::Generate(_) => "generate",
             Request::Batch(_) => "batch",
             Request::Report => "report",
@@ -362,6 +367,10 @@ impl ServerState {
         match request {
             Request::Healthz => Ok(Response::ok("text/plain", "ok\n".to_owned())),
             Request::Metrics => Ok(Response::ok("text/plain", self.render_metrics())),
+            Request::Loadz => Ok(Response::ok(
+                "application/json",
+                format!("{}\n", self.loadz_snapshot()),
+            )),
             Request::Generate(selector) => {
                 let uc = find_use_case(selector)?;
                 let generated = self.engine().generate(&uc.template)?;
@@ -440,6 +449,69 @@ impl ServerState {
             ),
         ]);
         Ok(Response::ok("application/json", format!("{doc}\n")))
+    }
+
+    /// The `/loadz` payload: request, error and panic totals plus the
+    /// daemon-lifetime allocator gauges, as one JSON object. Everything
+    /// in it also appears in `/metrics`; this is the same data shaped
+    /// for a load harness that samples it programmatically mid-run.
+    pub fn loadz_snapshot(&self) -> Json {
+        use cognicrypt_core::telemetry::Metric;
+        let snapshot = self.metrics.snapshot();
+        let counter = |name: &str| -> f64 {
+            snapshot.get(name).and_then(Metric::as_counter).unwrap_or(0) as f64
+        };
+        let mut errors = Vec::new();
+        for (name, metric) in &snapshot {
+            if let Some(class) = name.strip_prefix("serve.errors.") {
+                errors.push((
+                    class.to_owned(),
+                    Json::Num(metric.as_counter().unwrap_or(0) as f64),
+                ));
+            }
+        }
+        let mut members = vec![
+            ("requests".to_owned(), Json::Num(counter("serve.requests"))),
+            (
+                "request_panics".to_owned(),
+                Json::Num(counter("serve.request.panics")),
+            ),
+            (
+                "connection_panics".to_owned(),
+                Json::Num(counter("serve.connection.panics")),
+            ),
+            ("reloads".to_owned(), Json::Num(counter("serve.reloads"))),
+            ("errors".to_owned(), Json::Obj(errors)),
+        ];
+        if let Some(stats) = memtrack::process_stats() {
+            members.push((
+                "mem".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "allocated_bytes".to_owned(),
+                        Json::Num(stats.allocated_bytes as f64),
+                    ),
+                    (
+                        "live_bytes".to_owned(),
+                        Json::Num(stats.live_bytes.max(0) as f64),
+                    ),
+                    (
+                        "peak_live_bytes".to_owned(),
+                        Json::Num(stats.peak_live_bytes.max(0) as f64),
+                    ),
+                ]),
+            ));
+        }
+        let cache = self.engine().cache_stats();
+        members.push((
+            "order_cache".to_owned(),
+            Json::Obj(vec![
+                ("entries".to_owned(), Json::Num(cache.entries as f64)),
+                ("hits".to_owned(), Json::Num(cache.hits as f64)),
+                ("misses".to_owned(), Json::Num(cache.misses as f64)),
+            ]),
+        ));
+        Json::Obj(members)
     }
 
     /// The `/metrics` payload: the daemon registry and the current

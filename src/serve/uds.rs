@@ -1,7 +1,8 @@
 //! Line/JSON protocol over a Unix domain socket.
 //!
-//! One request per line — `healthz`, `metrics`, `generate <selector>`,
-//! `batch [threads]`, `report`, `reload`, `shutdown` — and exactly one
+//! One request per line — `healthz`, `metrics`, `loadz`,
+//! `generate <selector>`, `batch [threads]`, `report`, `reload`,
+//! `shutdown` — and exactly one
 //! JSON object per response line:
 //!
 //! ```text
@@ -91,6 +92,7 @@ fn parse_line(line: &str) -> Result<Request, Response> {
     match (verb, rest) {
         ("healthz", "") => Ok(Request::Healthz),
         ("metrics", "") => Ok(Request::Metrics),
+        ("loadz", "") => Ok(Request::Loadz),
         ("generate", "") => Err(protocol_error("generate needs a selector")),
         ("generate", selector) => Ok(Request::Generate(selector.to_owned())),
         ("batch", "") => Ok(Request::Batch(cognicrypt_core::GenEngine::DEFAULT_THREADS)),

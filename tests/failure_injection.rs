@@ -147,3 +147,115 @@ fn broken_rule_sources_are_rejected() {
         .add_source("SPEC a.B\nEVENTS e: f(undeclared);")
         .is_err());
 }
+
+/// Failure injection against the live daemon: hostile requests
+/// interleaved with well-formed ones from concurrent clients. The
+/// isolation contract is that a hostile neighbour changes *nothing*
+/// about a well-formed response — same status, same bytes — and every
+/// hostile input gets a typed error, with zero panics over the run.
+#[test]
+fn hostile_traffic_is_isolated_from_concurrent_wellformed_responses() {
+    use cognicryptgen::serve::{http, ServeConfig, Server};
+    use devharness::json::Json;
+
+    let engine = cognicryptgen::jca_engine().expect("shipped rules parse");
+    let cases = cognicryptgen::usecases::all_use_cases();
+    let expected: Vec<(u8, String)> = cases
+        .iter()
+        .map(|uc| {
+            (
+                uc.id,
+                engine
+                    .generate(&uc.template)
+                    .expect("generates")
+                    .java_source,
+            )
+        })
+        .collect();
+
+    let config = ServeConfig {
+        http_addr: Some("127.0.0.1:0".to_owned()),
+        uds_path: None,
+        threads: 4,
+        rules_dir: None,
+    };
+    let handle = Server::start(&config).expect("daemon boots");
+    let addr = handle.http_addr().expect("http bound").to_string();
+
+    const ROUNDS: usize = 40;
+    let addr_ref = addr.as_str();
+    let expected_ref = expected.as_slice();
+    std::thread::scope(|scope| {
+        // Three hostile clients: unknown selectors, bad routes, rule
+        // sources where a selector belongs. Every answer must be a
+        // typed 4xx with an `error` class — never a 5xx panic.
+        for seed in 0..3usize {
+            scope.spawn(move || {
+                for i in 0..ROUNDS {
+                    let (code, body) = match (seed + i) % 3 {
+                        0 => http::request(addr_ref, "GET", "/generate/definitely-not-a-case", "")
+                            .unwrap(),
+                        1 => http::request(addr_ref, "GET", "/%2e%2e/%2e%2e/secret", "").unwrap(),
+                        _ => http::request(
+                            addr_ref,
+                            "POST",
+                            "/generate",
+                            "SPEC a.B\nEVENTS e: f(undeclared);",
+                        )
+                        .unwrap(),
+                    };
+                    assert!(
+                        (400..500).contains(&code),
+                        "hostile input got status {code}: {body}"
+                    );
+                    let class = Json::parse(&body)
+                        .ok()
+                        .and_then(|doc| doc.get("error").and_then(Json::as_str).map(str::to_owned))
+                        .expect("typed error body");
+                    assert_ne!(class, "panic", "hostile input panicked the daemon");
+                }
+            });
+        }
+        // Three well-formed clients riding the same daemon, checked
+        // byte for byte against the one-shot engine.
+        for seed in 0..3usize {
+            scope.spawn(move || {
+                for i in 0..ROUNDS {
+                    let (id, expected) = &expected_ref[(seed + i) % expected_ref.len()];
+                    let (code, body) =
+                        http::request(addr_ref, "GET", &format!("/generate/{id}"), "").unwrap();
+                    assert_eq!(code, 200, "uc{id} failed beside hostile traffic");
+                    assert_eq!(
+                        &body, expected,
+                        "uc{id} response perturbed by a hostile neighbour"
+                    );
+                }
+            });
+        }
+    });
+
+    // The daemon's own books must agree: zero panics, the hostile
+    // volume all accounted as typed error classes.
+    let (code, body) = http::request(&addr, "GET", "/loadz", "").unwrap();
+    assert_eq!(code, 200);
+    let snapshot = Json::parse(&body).expect("loadz is json");
+    assert_eq!(
+        snapshot.get("request_panics").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(
+        snapshot.get("connection_panics").and_then(Json::as_u64),
+        Some(0)
+    );
+    let errors = snapshot.get("errors").expect("error class map");
+    let counted: u64 = ["usage", "not_found", "invalid", "protocol"]
+        .iter()
+        .filter_map(|class| errors.get(class).and_then(Json::as_u64))
+        .sum();
+    assert!(
+        counted >= (3 * ROUNDS) as u64,
+        "only {counted} typed errors for {} hostile requests",
+        3 * ROUNDS
+    );
+    handle.shutdown();
+}

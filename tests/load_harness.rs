@@ -1,0 +1,235 @@
+//! End-to-end tests of the `cognicrypt-load` harness: a real run over
+//! the library engine and a booted daemon must be deterministic per
+//! seed, its report must parse with the stock bench tooling, a
+//! misbehaving target must fail the run with the invalid-input class
+//! (exit code 6), and the `/loadz` snapshot must be served on both
+//! transports.
+
+use std::collections::BTreeMap;
+
+use cognicryptgen::load::report::{validate, LoadReport, SpecEcho};
+use cognicryptgen::load::workload::{build_schedule, schedule_fingerprint, OpKind, WorkloadSpec};
+use cognicryptgen::load::{run_target, Outcome, OutcomeClass, RunConfig, Target};
+use cognicryptgen::loadcli::{check_report, run_load, LoadOptions};
+use cognicryptgen::serve::{http, uds, ServeConfig, Server};
+use cognicryptgen::Error;
+use devharness::bench::BenchReport;
+use devharness::json::Json;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "cognicrypt-load-test-{}-{name}",
+        std::process::id()
+    ))
+}
+
+/// One real harness run, twice with the same seed: both runs must pass
+/// with zero violations, write reports the stock bench parser accepts,
+/// and agree byte for byte on the deterministic workload section.
+#[test]
+fn seeded_run_is_deterministic_and_clean() {
+    let out_a = temp_path("a.json");
+    let out_b = temp_path("b.json");
+    let base = LoadOptions {
+        seed: 42,
+        budget: 150,
+        clients: 2,
+        corpus: Some("corpus".into()),
+        ..LoadOptions::default()
+    };
+    for out in [&out_a, &out_b] {
+        let opts = LoadOptions {
+            out: out.clone(),
+            ..base.clone()
+        };
+        run_load(&opts).expect("load run is clean");
+    }
+
+    let mut digests = Vec::new();
+    for out in [&out_a, &out_b] {
+        let text = std::fs::read_to_string(out).expect("report written");
+        let doc = Json::parse(&text).expect("report is valid json");
+        let summary = validate(&doc).expect("report validates");
+        assert_eq!(summary.seed, 42);
+        assert_eq!(summary.violation_count(), 0);
+        // Three result rows per target, every row parseable by the
+        // stock bench report parser (the CI gate runs bench_compare
+        // directly on this file).
+        let bench = BenchReport::parse(&text).expect("parses as a bench report");
+        assert_eq!(bench.suite, "load");
+        assert_eq!(bench.results.len(), summary.targets.len() * 3);
+        digests.push(
+            cognicryptgen::load::report::deterministic_digest(&doc).expect("digest extracts"),
+        );
+        std::fs::remove_file(out).ok();
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "same seed produced different workload sections"
+    );
+    // The digest must carry no wall-clock contamination.
+    assert!(!digests[0].contains("wall_ns"));
+}
+
+/// A target that accepts hostile selectors and diverges on well-formed
+/// output: the written report must record the violations and
+/// `load-check` must refuse it with the invalid-input error class.
+#[test]
+fn misbehaving_target_fails_the_check_with_exit_class_6() {
+    struct Evil;
+    impl Target for Evil {
+        fn name(&self) -> &'static str {
+            "evil"
+        }
+        fn call(&self, op: &OpKind) -> Outcome {
+            match op {
+                OpKind::WellFormed { .. } => Outcome::verified(false),
+                _ => Outcome::ok(),
+            }
+        }
+    }
+    let spec = WorkloadSpec::standard(9, 200, (1..=11).collect(), vec![]);
+    let mixed = build_schedule(&spec);
+    let clean = build_schedule(&spec.clean_baseline(40));
+    let config = RunConfig {
+        clients: 2,
+        ..RunConfig::default()
+    };
+    let run = run_target(&Evil, &clean, &mixed, &config);
+    assert!(run.violation_count() > 0);
+
+    let report = LoadReport {
+        spec: SpecEcho {
+            seed: spec.seed,
+            budget: spec.budget,
+            clean_budget: 40,
+            hostile_per_mille: spec.hostile_per_mille,
+            corpus_files: 0,
+            schedule_fingerprint: schedule_fingerprint(&mixed),
+        },
+        config,
+        targets: vec![run],
+        gauges: Vec::new(),
+    };
+    let out = temp_path("evil.json");
+    std::fs::write(&out, format!("{}\n", report.render())).expect("report written");
+    let err = check_report(out.to_str().unwrap(), false).expect_err("violations must fail");
+    assert!(matches!(err, Error::Invalid(_)), "{err}");
+    assert_eq!(err.exit_code(), 6);
+    std::fs::remove_file(&out).ok();
+}
+
+/// `/loadz` over HTTP: one JSON object with the counters and gauges the
+/// harness samples, consistent before and after traffic.
+#[test]
+fn loadz_snapshot_is_served_over_http() {
+    let config = ServeConfig {
+        http_addr: Some("127.0.0.1:0".to_owned()),
+        uds_path: None,
+        threads: 2,
+        rules_dir: None,
+    };
+    let handle = Server::start(&config).expect("daemon boots");
+    let addr = handle.http_addr().expect("http bound").to_string();
+
+    let (code, body) = http::request(&addr, "GET", "/loadz", "").unwrap();
+    assert_eq!(code, 200);
+    let doc = Json::parse(&body).expect("loadz is json");
+    let before = doc.get("requests").and_then(Json::as_u64).expect("counter");
+
+    let (code, _) = http::request(&addr, "GET", "/generate/1", "").unwrap();
+    assert_eq!(code, 200);
+    let (code, _) = http::request(&addr, "GET", "/generate/nope", "").unwrap();
+    assert_eq!(code, 400);
+
+    let (code, body) = http::request(&addr, "GET", "/loadz", "").unwrap();
+    assert_eq!(code, 200);
+    let doc = Json::parse(&body).expect("loadz is json");
+    assert!(doc.get("requests").and_then(Json::as_u64).unwrap() >= before + 2);
+    assert_eq!(doc.get("request_panics").and_then(Json::as_u64), Some(0));
+    assert_eq!(doc.get("connection_panics").and_then(Json::as_u64), Some(0));
+    let errors = doc.get("errors").expect("error class map");
+    assert!(errors.get("usage").and_then(Json::as_u64).unwrap_or(0) >= 1);
+    assert!(doc.get("order_cache").is_some());
+    // Only GET is routed.
+    let (code, _) = http::request(&addr, "POST", "/loadz", "").unwrap();
+    assert_eq!(code, 405);
+    handle.shutdown();
+}
+
+/// `/loadz` over the Unix-socket line protocol: the `loadz` verb
+/// answers with the same JSON object inside one response frame.
+#[cfg(unix)]
+#[test]
+fn loadz_snapshot_is_served_over_uds() {
+    let socket = temp_path("loadz.sock");
+    std::fs::remove_file(&socket).ok();
+    let config = ServeConfig {
+        http_addr: None,
+        uds_path: Some(socket.clone()),
+        threads: 2,
+        rules_dir: None,
+    };
+    let handle = Server::start(&config).expect("daemon boots");
+
+    let responses = uds::request_lines(&socket, &["generate 1", "loadz"]).unwrap();
+    assert_eq!(responses.len(), 2);
+    assert_eq!(responses[0].get("class").and_then(Json::as_str), Some("ok"));
+    assert_eq!(responses[1].get("class").and_then(Json::as_str), Some("ok"));
+    let body = responses[1].get("body").and_then(Json::as_str).unwrap();
+    let doc = Json::parse(body).expect("loadz body is json");
+    // The in-flight `loadz` request's own counter merges only after the
+    // response is written, so only the earlier generate is guaranteed.
+    assert!(doc.get("requests").and_then(Json::as_u64).unwrap() >= 1);
+    assert_eq!(doc.get("request_panics").and_then(Json::as_u64), Some(0));
+    handle.shutdown();
+}
+
+/// Option parsing: the CLI surface the gates script against.
+#[test]
+fn load_options_parse_and_reject() {
+    let opts = LoadOptions::parse(&[
+        "--seed".into(),
+        "7".into(),
+        "--budget".into(),
+        "500".into(),
+        "--targets".into(),
+        "library,http".into(),
+        "--rate".into(),
+        "250".into(),
+    ])
+    .expect("valid flags parse");
+    assert_eq!(opts.seed, 7);
+    assert_eq!(opts.budget, 500);
+    assert_eq!(opts.targets.len(), 2);
+    assert_eq!(opts.rate, Some(250.0));
+
+    for bad in [
+        vec!["--budget".to_owned(), "0".to_owned()],
+        vec!["--targets".to_owned(), "quic".to_owned()],
+        vec!["--nope".to_owned()],
+        vec!["--seed".to_owned()],
+    ] {
+        let err = LoadOptions::parse(&bad).expect_err("must reject");
+        assert!(matches!(err, Error::Usage(_)), "{err}");
+    }
+}
+
+/// The schedule the harness replays must cover every op class and hit
+/// every shipped use case, so "clean" runs are not quietly partial.
+#[test]
+fn standard_schedule_covers_all_classes_and_cases() {
+    let spec = WorkloadSpec::standard(1, 2_000, (1..=11).collect(), vec!["SPEC a.B".to_owned()]);
+    let ops = build_schedule(&spec);
+    let mut classes: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut cases: BTreeMap<u8, u64> = BTreeMap::new();
+    for op in &ops {
+        *classes.entry(op.kind.class()).or_default() += 1;
+        if let OpKind::WellFormed { uc } = op.kind {
+            *cases.entry(uc).or_default() += 1;
+        }
+    }
+    assert_eq!(classes.len(), OpKind::CLASSES.len(), "{classes:?}");
+    assert_eq!(cases.len(), 11, "{cases:?}");
+    let _ = OutcomeClass::ALL;
+}

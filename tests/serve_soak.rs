@@ -31,6 +31,11 @@ const REQUESTS_PER_CLIENT: usize = 125;
 /// Concurrent client threads.
 const CLIENTS: usize = 8;
 
+/// The daemon peak gauge is process-wide, so the HTTP and UDS soaks
+/// must not interleave — a concurrent sibling's allocation spike
+/// between two samples would read as a leak.
+static SOAK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Parses one gauge/counter value out of a `/metrics` rendering.
 fn metric(metrics: &str, name: &str) -> Option<u64> {
     metrics.lines().find_map(|line| {
@@ -99,6 +104,7 @@ fn storm(addr: &str, seed: usize, expected: &BTreeMap<u8, String>) -> usize {
 
 #[test]
 fn soak_mixed_hostile_and_well_formed_traffic() {
+    let _serialized = SOAK_LOCK.lock().unwrap_or_else(|p| p.into_inner());
     let expected: BTreeMap<u8, String> = {
         let engine = cognicryptgen::jca_engine().expect("shipped rules parse");
         all_use_cases()
@@ -207,5 +213,165 @@ fn soak_mixed_hostile_and_well_formed_traffic() {
     // Protocol-level shutdown: workers drain and join.
     let (code, _) = http::request(&addr, "POST", "/shutdown", "").unwrap();
     assert_eq!(code, 200);
+    handle.join();
+}
+
+/// One client's storm over the Unix-socket line protocol: a scripted
+/// mix of well-formed and hostile lines pipelined through a single
+/// connection, every response frame asserted in order. Returns the
+/// number of well-formed generations verified byte-identical.
+#[cfg(unix)]
+fn uds_storm(socket: &std::path::Path, seed: usize, expected: &BTreeMap<u8, String>) -> usize {
+    use cognicryptgen::serve::uds;
+    use devharness::json::Json;
+
+    let ids: Vec<u8> = expected.keys().copied().collect();
+    let mut verified = 0;
+    for round in 0..REQUESTS_PER_CLIENT / 5 {
+        // One pipelined script per connection: the line protocol's
+        // whole point is that hostile lines cannot desynchronise the
+        // frames that follow them on the same stream.
+        let id = ids[(seed + round) % ids.len()];
+        let generate = format!("generate {id}");
+        let script = [
+            generate.as_str(),
+            "healthz",
+            "generate definitely-not-a-case",
+            "frobnicate now",
+            "loadz",
+        ];
+        let responses = uds::request_lines(socket, &script).unwrap();
+        assert_eq!(responses.len(), script.len(), "frame count diverged");
+        let class = |i: usize| responses[i].get("class").and_then(Json::as_str).unwrap();
+        assert_eq!(class(0), "ok", "generate uc{id} failed mid-soak");
+        assert_eq!(
+            responses[0].get("body").and_then(Json::as_str),
+            Some(expected[&id].as_str()),
+            "uds output for uc{id} diverged from the one-shot engine"
+        );
+        verified += 1;
+        assert_eq!(class(1), "ok");
+        assert_eq!(class(2), "usage", "hostile selector not typed");
+        assert_eq!(class(3), "protocol", "garbage verb not typed");
+        assert_eq!(class(4), "ok", "loadz unavailable under load");
+        // A separate connection for the over-long line: the daemon
+        // answers with a typed protocol error and drops that stream
+        // (and only that stream).
+        if round % 4 == seed % 4 {
+            let bomb = "x".repeat(70 * 1024);
+            let responses = uds::request_lines(socket, &[bomb.as_str()]).unwrap();
+            assert_eq!(responses.len(), 1);
+            assert_eq!(
+                responses[0].get("class").and_then(Json::as_str),
+                Some("protocol")
+            );
+        }
+    }
+    verified
+}
+
+/// The HTTP storm assertions, ported to the Unix-socket transport:
+/// byte-identical well-formed output beside hostile lines, zero
+/// panics, and a daemon peak that reaches steady state instead of
+/// growing with the request count.
+#[cfg(unix)]
+#[test]
+fn soak_uds_mixed_hostile_and_well_formed_traffic() {
+    use cognicryptgen::serve::uds;
+    use devharness::json::Json;
+
+    let _serialized = SOAK_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let expected: BTreeMap<u8, String> = {
+        let engine = cognicryptgen::jca_engine().expect("shipped rules parse");
+        all_use_cases()
+            .iter()
+            .map(|uc| {
+                (
+                    uc.id,
+                    engine
+                        .generate(&uc.template)
+                        .expect("generates")
+                        .java_source,
+                )
+            })
+            .collect()
+    };
+
+    let socket = std::env::temp_dir().join(format!("cognicrypt-soak-{}.sock", std::process::id()));
+    std::fs::remove_file(&socket).ok();
+    let config = ServeConfig {
+        http_addr: None,
+        uds_path: Some(socket.clone()),
+        threads: 4,
+        rules_dir: None,
+    };
+    let handle = Server::start(&config).expect("daemon boots");
+
+    let metrics_text = |socket: &std::path::Path| -> String {
+        let responses = uds::request_lines(socket, &["metrics"]).unwrap();
+        responses[0]
+            .get("body")
+            .and_then(Json::as_str)
+            .expect("metrics body")
+            .to_owned()
+    };
+
+    // Round one: the concurrent storm.
+    let socket_ref = socket.as_path();
+    let expected_ref = &expected;
+    let verified: usize = std::thread::scope(|scope| {
+        (0..CLIENTS)
+            .map(|seed| scope.spawn(move || uds_storm(socket_ref, seed, expected_ref)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().expect("client thread survives"))
+            .sum()
+    });
+    assert!(verified >= CLIENTS * (REQUESTS_PER_CLIENT / 5));
+
+    let metrics_one = metrics_text(&socket);
+    assert_eq!(
+        metric(&metrics_one, "serve.request.panics"),
+        None,
+        "a request panicked"
+    );
+    assert_eq!(
+        metric(&metrics_one, "serve.connection.panics"),
+        None,
+        "a connection panicked"
+    );
+    let peak_one =
+        metric(&metrics_one, "mem.daemon.peak_live_bytes").expect("daemon peak gauge present");
+    assert!(peak_one > 0);
+
+    // Round two: same volume again — the peak must be steady-state.
+    let _: usize = std::thread::scope(|scope| {
+        (0..CLIENTS)
+            .map(|seed| scope.spawn(move || uds_storm(socket_ref, seed + 3, expected_ref)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().expect("client thread survives"))
+            .sum()
+    });
+    let metrics_two = metrics_text(&socket);
+    let peak_two =
+        metric(&metrics_two, "mem.daemon.peak_live_bytes").expect("daemon peak gauge present");
+    assert!(
+        peak_two <= peak_one + peak_one / 2,
+        "peak grew {peak_one} -> {peak_two} across identical storms: request state is leaking"
+    );
+    assert!(
+        peak_two < 512 * 1024 * 1024,
+        "daemon peak {peak_two} bytes is unbounded"
+    );
+
+    // Still healthy, still byte-identical, then a protocol shutdown.
+    let responses = uds::request_lines(&socket, &["generate 1", "shutdown"]).unwrap();
+    assert_eq!(responses[0].get("class").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        responses[0].get("body").and_then(Json::as_str),
+        Some(expected[&1].as_str())
+    );
+    assert_eq!(responses[1].get("class").and_then(Json::as_str), Some("ok"));
     handle.join();
 }
