@@ -1,0 +1,242 @@
+//! Cold-start benches: time-to-first-generation from CrySL sources
+//! versus a precompiled `.crpack`, on the in-repo `devharness` harness.
+//! The run writes `BENCH_coldstart.json`.
+//!
+//! * `cli-boot/*` — what a one-shot `generate` invocation pays before
+//!   its first output on the shipped JCA rules: load rules, build an
+//!   engine, generate use case 1. The source variant parses every
+//!   shipped CrySL rule; the pack variant decodes a checksummed binary
+//!   image and pre-seeds the compiled-ORDER cache.
+//! * `daemon-boot/*` — what `serve` pays before its first request on
+//!   the shipped rules. Source boot compiles every ORDER automaton
+//!   during warm-up; pack boot seeds the cache from the file's
+//!   artefacts and skips the warm-up walk entirely, exactly as the
+//!   daemon does.
+//! * `scaled-boot/*` — the same daemon boot over a 150-rule source
+//!   tree, the regime packs exist for. The shipped JCA set is small
+//!   enough that per-boot fixed costs blur the comparison; at rule-pack
+//!   scale, loading dominates and the binary format's advantage is
+//!   architectural: one file read + length-checked decode versus
+//!   per-file I/O + lex/parse/validate + NFA→DFA→minimize→enumerate
+//!   per rule.
+//!
+//! The binary asserts the format's headline claim after measuring:
+//! scaled pack boot must be at least 5× faster than scaled source
+//! boot. Both variants do real filesystem reads, so the comparison is
+//! honest about I/O.
+//!
+//! Run with: `cargo bench -p cognicrypt-bench --bench coldstart` (tune
+//! with `DEVHARNESS_BENCH_SAMPLES` / `DEVHARNESS_BENCH_WARMUP`; output
+//! directory with `DEVHARNESS_BENCH_DIR`).
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+use devharness::bench::Harness;
+
+use cognicrypt_core::GenEngine;
+use javamodel::jca::jca_type_table;
+use rules::{open, open_uncached, PackSource, RulePack};
+use statemachine::OrderCache;
+use usecases::all_use_cases;
+
+/// Rules in the scaled source tree. Sized so rule loading dominates
+/// boot, as it would for a production pack aggregating many crypto
+/// providers, while keeping the bench itself fast.
+const SCALED_RULES: usize = 150;
+
+/// A small init-update-finish rule — the shape of most real CrySL
+/// specifications (digests, RNGs, key specs). Event labels embed `i`,
+/// so every rule has a distinct `order_fingerprint` and the source
+/// boot compiles one ORDER automaton per rule — no accidental artefact
+/// sharing.
+fn simple_rule(i: usize) -> String {
+    format!(
+        "SPEC bench.scale{i}.Widget\n\
+         OBJECTS\n    int x;\n    byte[] buf;\n\
+         EVENTS\n    i{i}: init(x);\n    a{i}: update(buf);\n    b{i}: reset();\n    f{i}: finish(buf);\n\
+         ORDER\n    i{i}, (a{i} | b{i})+, f{i}?\n\
+         CONSTRAINTS\n    x >= 1;\n"
+    )
+}
+
+/// A stateful protocol-style rule: a long mandatory call sequence
+/// (handshake/key-agreement APIs look like this) followed by a small
+/// exchange loop. These are where precompilation pays most — subset
+/// construction and minimization grow superlinearly with the chain,
+/// while the serialized automaton still decodes in linear time.
+fn protocol_rule(i: usize) -> String {
+    let mut events = String::new();
+    let mut order = String::new();
+    for k in 0..16 {
+        events.push_str(&format!("    s{k}_{i}: step{k}(buf);\n"));
+        if k > 0 {
+            order.push_str(", ");
+        }
+        order.push_str(&format!("s{k}_{i}"));
+    }
+    format!(
+        "SPEC bench.scale{i}.Session\n\
+         OBJECTS\n    int x;\n    byte[] buf;\n\
+         EVENTS\n{events}    u{i}: send(buf);\n    v{i}: recv(buf);\n    f{i}: close();\n\
+         ORDER\n    {order}, (u{i} | v{i})+, f{i}?\n\
+         CONSTRAINTS\n    x >= 1;\n"
+    )
+}
+
+/// The scaled population: two thirds small rules, one third protocol
+/// chains — roughly the spread a multi-provider rule set shows.
+fn synthetic_rule(i: usize) -> String {
+    if i.is_multiple_of(3) {
+        protocol_rule(i)
+    } else {
+        simple_rule(i)
+    }
+}
+
+/// Writes the scaled source tree and its compiled pack; returns
+/// `(source_dir, pack_file)`.
+fn scaled_fixture() -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("cgen-coldstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let src = dir.join("rules");
+    std::fs::create_dir_all(&src).expect("scratch dir");
+    for i in 0..SCALED_RULES {
+        std::fs::write(src.join(format!("w{i:03}.crysl")), synthetic_rule(i)).expect("write rule");
+    }
+    let pack_file = dir.join("scaled.crpack");
+    let bytes = open_uncached(PackSource::SourceDir(src.clone()))
+        .expect("scaled rules parse")
+        .to_bytes()
+        .expect("scaled rules pack");
+    std::fs::write(&pack_file, bytes).expect("write pack");
+    (src, pack_file)
+}
+
+/// Writes the shipped rules as a `.crpack` scratch file; every pack-boot
+/// iteration re-reads and re-decodes it like a real boot.
+fn jca_pack(dir: &Path) -> PathBuf {
+    let path = dir.join("jca.crpack");
+    let bytes = open(PackSource::Embedded)
+        .expect("shipped rules parse")
+        .to_bytes()
+        .expect("shipped rules pack");
+    std::fs::write(&path, bytes).expect("write scratch pack");
+    path
+}
+
+/// One full boot: load from `source`, seed a fresh cache, build an
+/// engine. First generation (or warm-up) happens at the caller.
+fn boot(source: PackSource) -> GenEngine {
+    let pack: RulePack = open_uncached(source).expect("loads");
+    let cache = std::sync::Arc::new(OrderCache::new());
+    pack.seed(&cache);
+    GenEngine::builder()
+        .rules(pack.rules)
+        .type_table(jca_type_table())
+        .order_cache(cache)
+        .build()
+        .expect("rules supplied")
+}
+
+/// A daemon-style boot mirroring `serve`: load, seed, build, then warm
+/// every ORDER — except a precompiled pack, whose seeding already
+/// guarantees every lookup hits, so the daemon skips the warm-up walk.
+fn daemon_boot(source: PackSource) -> GenEngine {
+    let pack: RulePack = open_uncached(source).expect("loads");
+    let cache = std::sync::Arc::new(OrderCache::new());
+    let precompiled = pack.is_precompiled();
+    pack.seed(&cache);
+    let engine = GenEngine::builder()
+        .rules(pack.rules)
+        .type_table(jca_type_table())
+        .order_cache(cache)
+        .build()
+        .expect("rules supplied");
+    if !precompiled {
+        engine.warm().expect("warms");
+    }
+    engine
+}
+
+fn bench_cli_boot(h: &mut Harness, pack_path: &Path) {
+    h.group("cli-boot");
+    let uc = all_use_cases()
+        .into_iter()
+        .find(|u| u.id == 1)
+        .expect("use case 1 shipped");
+
+    h.bench("source_first_gen_uc01", || {
+        let engine = boot(PackSource::Embedded);
+        let g = engine.generate(black_box(&uc.template)).expect("generates");
+        black_box(g);
+    });
+
+    h.bench("pack_first_gen_uc01", || {
+        let engine = boot(PackSource::Compiled(pack_path.to_path_buf()));
+        let g = engine.generate(black_box(&uc.template)).expect("generates");
+        black_box(g);
+    });
+}
+
+fn bench_daemon_boot(h: &mut Harness, pack_path: &Path) {
+    h.group("daemon-boot");
+
+    h.bench("source_boot_warm_all", || {
+        black_box(daemon_boot(PackSource::Embedded));
+    });
+
+    h.bench("pack_boot_warm_all", || {
+        black_box(daemon_boot(PackSource::Compiled(pack_path.to_path_buf())));
+    });
+}
+
+fn bench_scaled_boot(h: &mut Harness, src: &Path, pack_path: &Path) {
+    h.group("scaled-boot");
+
+    h.bench("source_boot_warm_150", || {
+        black_box(daemon_boot(PackSource::SourceDir(src.to_path_buf())));
+    });
+
+    h.bench("pack_boot_warm_150", || {
+        black_box(daemon_boot(PackSource::Compiled(pack_path.to_path_buf())));
+    });
+}
+
+fn main() {
+    let mut h = Harness::new("coldstart");
+    let (scaled_src, scaled_pack) = scaled_fixture();
+    let jca = jca_pack(scaled_src.parent().expect("fixture parent"));
+
+    bench_cli_boot(&mut h, &jca);
+    bench_daemon_boot(&mut h, &jca);
+    bench_scaled_boot(&mut h, &scaled_src, &scaled_pack);
+
+    // The format's headline claim, checked where it is measured.
+    let report = h.report();
+    let median = |name: &str| {
+        report
+            .results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+            .expect("bench ran")
+    };
+    let source = median("scaled-boot/source_boot_warm_150");
+    let pack = median("scaled-boot/pack_boot_warm_150").max(1);
+    let speedup = source as f64 / pack as f64;
+    println!("\nscaled pack boot speedup: {speedup:.1}x (source {source} ns vs pack {pack} ns)");
+
+    let _ = std::fs::remove_dir_all(scaled_src.parent().expect("fixture parent"));
+    match h.finish() {
+        Ok(path) => println!("report written to {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write bench report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if speedup < 5.0 {
+        eprintln!("scaled pack boot is only {speedup:.1}x faster than source boot (claim: >= 5x)");
+        std::process::exit(1);
+    }
+}

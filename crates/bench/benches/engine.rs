@@ -23,7 +23,7 @@ use devharness::bench::Harness;
 
 use cognicrypt_core::{GenEngine, Generator};
 use javamodel::jca::jca_type_table;
-use rules::{load, load_uncached};
+use rules::{open, open_uncached, PackSource};
 use usecases::all_use_cases;
 
 fn bench_cold_vs_warm(h: &mut Harness) {
@@ -37,7 +37,7 @@ fn bench_cold_vs_warm(h: &mut Harness) {
     // Cold: what every pre-engine invocation paid — parse the rule set
     // from source, then compile each ORDER pattern from scratch.
     h.bench("cold_generate_uc01", || {
-        let rules = load_uncached().expect("parses");
+        let rules = open_uncached(PackSource::Embedded).expect("parses").rules;
         let g = Generator::new()
             .generate_uncached(black_box(&uc.template), &rules, &table)
             .expect("generates");
@@ -47,7 +47,7 @@ fn bench_cold_vs_warm(h: &mut Harness) {
     // Warm: a long-lived engine whose rule set is parsed once and whose
     // compiled-ORDER cache is fully populated.
     let engine = GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .type_table(jca_type_table())
         .build()
         .expect("rules supplied");
@@ -68,7 +68,7 @@ fn bench_serial_vs_parallel(h: &mut Harness) {
     // recompiled every ORDER pattern it touched).
     h.bench("legacy_cold_serial_all11", || {
         for t in &templates {
-            let rules = load_uncached().expect("parses");
+            let rules = open_uncached(PackSource::Embedded).expect("parses").rules;
             let g = Generator::new()
                 .generate_uncached(black_box(t), &rules, &table)
                 .expect("generates");
@@ -77,7 +77,7 @@ fn bench_serial_vs_parallel(h: &mut Harness) {
     });
 
     let engine = GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .type_table(jca_type_table())
         .build()
         .expect("rules supplied");

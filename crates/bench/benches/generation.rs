@@ -24,14 +24,14 @@ use cognicrypt_core::pathsel::SelectionOptions;
 use cognicrypt_core::{generate, Generator, GeneratorOptions};
 use crysl::parse_rule;
 use javamodel::jca::jca_type_table;
-use rules::{load, load_uncached, RULE_SOURCES};
+use rules::{open, open_uncached, PackSource, RULE_SOURCES};
 use sast::{analyze_unit, AnalyzerOptions};
 use statemachine::paths::{enumerate, PathLimit};
 use statemachine::{Dfa, Nfa};
 use usecases::all_use_cases;
 
 fn bench_table1(h: &mut Harness) {
-    let rules = load().expect("parses");
+    let rules = open(PackSource::Embedded).expect("parses").rules;
     let table = jca_type_table();
     h.group("table1");
     for uc in all_use_cases() {
@@ -58,7 +58,7 @@ fn bench_pipeline_stages(h: &mut Harness) {
     // `load_uncached` is the always-reparse path; `load` would just
     // clone the process-wide parsed set and measure nothing.
     h.bench("parse_jca_ruleset", || {
-        black_box(load_uncached().expect("parses"));
+        black_box(open_uncached(PackSource::Embedded).expect("parses").rules);
     });
     let src = RULE_SOURCES
         .iter()
@@ -68,7 +68,7 @@ fn bench_pipeline_stages(h: &mut Harness) {
     h.bench("parse_single_rule", || {
         black_box(parse_rule(black_box(src)).expect("parses"));
     });
-    let rules = load().expect("parses");
+    let rules = open(PackSource::Embedded).expect("parses").rules;
     h.bench("fsm_construction_all_rules", || {
         for r in rules.iter() {
             let dfa = Dfa::from_nfa(&Nfa::from_rule(r).expect("builds"));
@@ -93,7 +93,7 @@ fn bench_pipeline_stages(h: &mut Harness) {
 }
 
 fn bench_ablations(h: &mut Harness) {
-    let rules = load().expect("parses");
+    let rules = open(PackSource::Embedded).expect("parses").rules;
     let table = jca_type_table();
     // Hashing has the richest path structure of the configurations that
     // stay correct under every ablation: filters cannot be turned off
@@ -162,7 +162,7 @@ fn bench_crypto_substrate(h: &mut Harness) {
 fn bench_execution(h: &mut Harness) {
     // Running the generated code end-to-end on the simulated provider —
     // the part of the paper's validation that was manual in Eclipse.
-    let rules = load().expect("parses");
+    let rules = open(PackSource::Embedded).expect("parses").rules;
     let table = jca_type_table();
     h.group("execution");
     let hashing = all_use_cases()

@@ -29,7 +29,7 @@ use cognicrypt_core::memtrack::{AllocScope, TrackingAlloc};
 use cognicrypt_core::telemetry::{MetricsCollector, PhaseTimings, TraceRecorder};
 use cognicrypt_core::{GenEngine, NoopObserver, Template};
 use javamodel::jca::jca_type_table;
-use rules::load;
+use rules::{open, PackSource};
 use usecases::all_use_cases;
 
 #[global_allocator]
@@ -44,7 +44,7 @@ const MAX_OVERHEAD: f64 = 10.0;
 
 fn warm_engine(observer: Option<Arc<dyn cognicrypt_core::GenObserver>>) -> GenEngine {
     let mut builder = GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .type_table(jca_type_table());
     if let Some(obs) = observer {
         builder = builder.observer(obs);

@@ -13,7 +13,7 @@
 use cognicrypt_bench::{mean_runtime_ms, CountingAllocator};
 use cognicrypt_core::generate;
 use javamodel::jca::jca_type_table;
-use rules::load;
+use rules::{open, PackSource};
 use sast::{analyze_unit, AnalyzerOptions};
 use usecases::all_use_cases;
 
@@ -21,7 +21,7 @@ use usecases::all_use_cases;
 static ALLOC: CountingAllocator = CountingAllocator::new();
 
 fn main() {
-    let rules = load().expect("parses");
+    let rules = open(PackSource::Embedded).expect("parses").rules;
     let table = jca_type_table();
 
     println!("Table 1 — Common Cryptographic Use Cases (reproduction)");

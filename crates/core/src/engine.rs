@@ -30,7 +30,7 @@ use std::sync::{Arc, OnceLock};
 
 use crysl::RuleSet;
 use javamodel::TypeTable;
-use statemachine::{CacheStats, OrderCache};
+use statemachine::{CacheLookup, CacheStats, OrderCache};
 
 use crate::error::GenError;
 use crate::generator::{Generated, Generator, GeneratorOptions};
@@ -48,6 +48,18 @@ use crate::template::Template;
 pub fn shared_order_cache() -> &'static Arc<OrderCache> {
     static CACHE: OnceLock<Arc<OrderCache>> = OnceLock::new();
     CACHE.get_or_init(|| Arc::new(OrderCache::new()))
+}
+
+/// How an engine warm-up was served, reported by
+/// [`GenEngine::warm_traced`]: rules whose ORDER artefact was already
+/// in the cache (seeded from a precompiled pack or left warm by an
+/// earlier engine) versus rules that had to compile now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmStats {
+    /// Rules served from existing cache entries.
+    pub hits: usize,
+    /// Rules compiled during this warm-up.
+    pub compiled: usize,
 }
 
 /// A worker thread panicked while running a batch job.
@@ -447,10 +459,28 @@ impl GenEngine {
     ///
     /// The first [`GenError::StateMachine`] hit while compiling a rule.
     pub fn warm(&self) -> Result<(), GenError> {
+        self.warm_traced().map(|_| ())
+    }
+
+    /// [`GenEngine::warm`] that also reports how many rules were served
+    /// from already-cached artefacts versus compiled on the spot. An
+    /// engine booted from a precompiled rule pack (whose artefacts were
+    /// seeded into the cache via `OrderCache::seed`) must report
+    /// `compiled == 0` — the assertion behind the pack subsystem's
+    /// zero-compilation cold-start guarantee.
+    ///
+    /// # Errors
+    ///
+    /// See [`GenEngine::warm`].
+    pub fn warm_traced(&self) -> Result<WarmStats, GenError> {
+        let mut stats = WarmStats::default();
         for rule in self.rules.iter() {
-            self.cache.get_or_compile(rule)?;
+            match self.cache.get_or_compile_traced(rule)? {
+                (_, CacheLookup::Hit) => stats.hits += 1,
+                (_, CacheLookup::Miss) => stats.compiled += 1,
+            }
         }
-        Ok(())
+        Ok(stats)
     }
 
     /// Generates code for one template against the engine's shared

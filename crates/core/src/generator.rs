@@ -398,8 +398,12 @@ mod tests {
 
     #[test]
     fn generates_paper_figure_5() {
-        let generated =
-            generate(&pbe_template(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &pbe_template(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
+            &jca_type_table(),
+        )
+        .unwrap();
         let src = &generated.java_source;
         // The structure of Figure 5:
         assert!(
@@ -439,8 +443,12 @@ mod tests {
     #[test]
     fn generated_code_type_checks_by_construction() {
         // generate() ran check_unit internally; re-run explicitly.
-        let generated =
-            generate(&pbe_template(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &pbe_template(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
+            &jca_type_table(),
+        )
+        .unwrap();
         let mut table = jca_type_table();
         table.add(ClassDef::new("TemplateClass").ctor(vec![]));
         javamodel::typecheck::check_unit(&generated.unit, &table).unwrap();
@@ -454,7 +462,11 @@ mod tests {
         let t =
             Template::new("p", "C").method(TemplateMethod::new("go", JavaType::Void).chain(chain));
         assert!(matches!(
-            generate(&t, &rules::load().unwrap(), &jca_type_table()),
+            generate(
+                &t,
+                &rules::open(rules::PackSource::Embedded).unwrap().rules,
+                &jca_type_table()
+            ),
             Err(GenError::UnknownRule(_))
         ));
     }
@@ -464,7 +476,12 @@ mod tests {
         let t = Template::new("p", "C").method(
             TemplateMethod::new("helper", JavaType::Int).post(Stmt::Return(Some(Expr::int(7)))),
         );
-        let generated = generate(&t, &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &t,
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
+            &jca_type_table(),
+        )
+        .unwrap();
         assert!(generated.java_source.contains("public int helper() {"));
         // Helper methods are not called from templateUsage.
         assert!(!generated.java_source.contains(".helper("));

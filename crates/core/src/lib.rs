@@ -42,7 +42,8 @@
 //!     .chain(chain)
 //!     .post(Stmt::Return(Some(Expr::var("hash"))));
 //! let template = Template::new("de.crypto.cognicrypt", "Hasher").method(method);
-//! let generated = generate(&template, &rules::load()?, &jca_type_table())?;
+//! let pack = rules::open(rules::PackSource::Embedded)?;
+//! let generated = generate(&template, &pack.rules, &jca_type_table())?;
 //! assert!(generated.java_source.contains("MessageDigest.getInstance(\"SHA-256\")"));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -66,7 +67,7 @@ pub mod resolve;
 pub mod telemetry;
 pub mod template;
 
-pub use engine::{EngineBuildError, EngineBuilder, EngineError, GenEngine, WorkerPanic};
+pub use engine::{EngineBuildError, EngineBuilder, EngineError, GenEngine, WarmStats, WorkerPanic};
 pub use error::GenError;
 pub use generator::{generate, Generated, Generator, GeneratorOptions};
 pub use memtrack::{AllocDelta, AllocScope, ProcessStats, TrackingAlloc};

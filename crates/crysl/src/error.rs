@@ -48,6 +48,14 @@ pub enum CryslError {
         /// Human-readable description.
         message: String,
     },
+    /// A precompiled rule pack failed to decode: truncated input, a bad
+    /// magic number or version, a checksum mismatch, or a structurally
+    /// impossible value. Corruption is always reported through this
+    /// variant — the decoder never panics on hostile bytes.
+    Pack {
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl CryslError {
@@ -73,6 +81,13 @@ impl CryslError {
             message: message.into(),
         }
     }
+
+    /// Convenience constructor for rule-pack decode errors.
+    pub fn pack(message: impl Into<String>) -> Self {
+        CryslError::Pack {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for CryslError {
@@ -81,6 +96,7 @@ impl fmt::Display for CryslError {
             CryslError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
             CryslError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
             CryslError::Validate { message } => write!(f, "invalid rule: {message}"),
+            CryslError::Pack { message } => write!(f, "invalid rule pack: {message}"),
         }
     }
 }

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod ast;
+pub mod binfmt;
 pub mod error;
 pub mod lexer;
 pub mod parser;

@@ -20,7 +20,7 @@ use crate::parse_rule;
 /// assert!(set.by_name("SecureRandom").is_some());
 /// # Ok::<(), crysl::CryslError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuleSet {
     rules: BTreeMap<QualifiedName, Rule>,
 }

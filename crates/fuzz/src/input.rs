@@ -24,6 +24,14 @@
 //! A `template` input rebuilds the fluent-API chain of one method of a
 //! shipped use-case template from `rule`/`bind`/`return` directives, so a
 //! reproducer is meaningful without serializing whole Java templates.
+//! A `pack` input is a (usually mutated) `.crpack` binary rule-pack
+//! image, hex-encoded in 64-character lines so reproducers stay
+//! text-diffable:
+//!
+//! ```text
+//! cognicrypt-fuzz/1 pack
+//! 4352504b010000000e000000...
+//! ```
 
 use cognicrypt_core::template::{Binding, ChainEntry, GeneratorChain, Template};
 use usecases::UseCase;
@@ -31,13 +39,16 @@ use usecases::UseCase;
 /// Magic first-line prefix of every corpus file.
 pub const CORPUS_MAGIC: &str = "cognicrypt-fuzz/1";
 
-/// One fuzz input: hostile CrySL source or a template-chain spec.
+/// One fuzz input: hostile CrySL source, a template-chain spec, or a
+/// binary rule-pack image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FuzzInput {
     /// Raw CrySL source text fed to the `crysl` front-end.
     Rule(String),
     /// A fluent-API chain spec applied to a shipped use-case template.
     Template(TemplateSpec),
+    /// Raw `.crpack` bytes fed to the rule-pack decoder.
+    Pack(Vec<u8>),
 }
 
 /// A serializable description of a fluent-API chain, grafted onto one
@@ -94,11 +105,12 @@ impl TemplateSpec {
 }
 
 impl FuzzInput {
-    /// The corpus kind tag (`rule` or `template`).
+    /// The corpus kind tag (`rule`, `template` or `pack`).
     pub fn kind(&self) -> &'static str {
         match self {
             FuzzInput::Rule(_) => "rule",
             FuzzInput::Template(_) => "template",
+            FuzzInput::Pack(_) => "pack",
         }
     }
 
@@ -106,6 +118,16 @@ impl FuzzInput {
     pub fn encode(&self) -> String {
         match self {
             FuzzInput::Rule(src) => format!("{CORPUS_MAGIC} rule\n{src}"),
+            FuzzInput::Pack(bytes) => {
+                let mut out = format!("{CORPUS_MAGIC} pack\n");
+                for chunk in bytes.chunks(32) {
+                    for b in chunk {
+                        out.push_str(&format!("{b:02x}"));
+                    }
+                    out.push('\n');
+                }
+                out
+            }
             FuzzInput::Template(spec) => {
                 let mut out = format!(
                     "{CORPUS_MAGIC} template\nbase {}\nmethod {}\n",
@@ -143,9 +165,29 @@ impl FuzzInput {
         match kind {
             "rule" => Ok(FuzzInput::Rule(body.to_owned())),
             "template" => decode_template(body).map(FuzzInput::Template),
+            "pack" => decode_pack(body).map(FuzzInput::Pack),
             other => Err(format!("unknown input kind `{other}`")),
         }
     }
+}
+
+fn decode_pack(body: &str) -> Result<Vec<u8>, String> {
+    let digits: Vec<u8> = body.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if !digits.len().is_multiple_of(2) {
+        return Err(format!("pack hex has odd length {}", digits.len()));
+    }
+    let nibble = |d: u8| -> Result<u8, String> {
+        match d {
+            b'0'..=b'9' => Ok(d - b'0'),
+            b'a'..=b'f' => Ok(d - b'a' + 10),
+            b'A'..=b'F' => Ok(d - b'A' + 10),
+            other => Err(format!("bad pack hex digit `{}`", other as char)),
+        }
+    };
+    digits
+        .chunks_exact(2)
+        .map(|pair| Ok(nibble(pair[0])? << 4 | nibble(pair[1])?))
+        .collect()
 }
 
 fn decode_template(body: &str) -> Result<TemplateSpec, String> {
@@ -227,11 +269,26 @@ mod tests {
     }
 
     #[test]
+    fn pack_roundtrips_through_the_corpus_format() {
+        let bytes: Vec<u8> = (0u16..300).map(|b| (b % 251) as u8).collect();
+        let input = FuzzInput::Pack(bytes);
+        let encoded = input.encode();
+        assert!(encoded.starts_with("cognicrypt-fuzz/1 pack\n"));
+        let decoded = FuzzInput::decode(&encoded).unwrap();
+        assert_eq!(input, decoded);
+
+        let empty = FuzzInput::Pack(Vec::new());
+        assert_eq!(FuzzInput::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
     fn decode_rejects_garbage() {
         assert!(FuzzInput::decode("not a corpus file").is_err());
         assert!(FuzzInput::decode("cognicrypt-fuzz/1 widget\n").is_err());
         assert!(FuzzInput::decode("cognicrypt-fuzz/1 template\nbind a b\n").is_err());
         assert!(FuzzInput::decode("cognicrypt-fuzz/1 template\nrule X\n").is_err());
+        assert!(FuzzInput::decode("cognicrypt-fuzz/1 pack\nabc\n").is_err());
+        assert!(FuzzInput::decode("cognicrypt-fuzz/1 pack\nzz\n").is_err());
     }
 
     #[test]

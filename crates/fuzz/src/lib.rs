@@ -2,10 +2,11 @@
 //! and the generation pipeline behind it.
 //!
 //! Everything is reproducible from a single `u64` seed: each iteration
-//! derives its own PRNG stream, inputs come from three deterministic
+//! derives its own PRNG stream, inputs come from four deterministic
 //! sources (grammar-based generation of valid rules, byte/token mutation
-//! of rule sources, structural mutation of fluent-API template chains),
-//! and the run log contains no timing, so two runs with the same seed
+//! of rule sources, structural mutation of fluent-API template chains,
+//! byte mutation of compiled `.crpack` rule-pack images), and the run
+//! log contains no timing, so two runs with the same seed
 //! and budget are byte-identical — including the crash reproducers they
 //! write.
 //!
@@ -102,6 +103,7 @@ pub fn execute_input(env: &FuzzEnv, input: &FuzzInput) -> Result<(), Crash> {
     let outcome = run_guarded(|| match input {
         FuzzInput::Rule(src) => oracle::check_rule(src),
         FuzzInput::Template(spec) => oracle::check_template(env, spec),
+        FuzzInput::Pack(bytes) => oracle::check_pack(bytes),
     })?;
     outcome.map_err(|f| Crash {
         fingerprint: format!("oracle:{}", f.oracle),
@@ -114,14 +116,15 @@ pub fn iteration_rng(seed: u64, i: usize) -> Xoshiro256 {
     Xoshiro256::seed_from_u64(seed.wrapping_add((i as u64 + 1).wrapping_mul(SEED_STRIDE)))
 }
 
-/// Generates the input for budget iteration `i`: 40% grammar-generated
-/// valid rules, 40% mutated rule sources, 20% mutated template chains.
+/// Generates the input for budget iteration `i`: 30% grammar-generated
+/// valid rules, 30% mutated rule sources, 20% mutated template chains,
+/// 20% mutated rule-pack images.
 pub fn iteration_input(env: &FuzzEnv, seed: u64, i: usize) -> FuzzInput {
     let mut rng = iteration_rng(seed, i);
     let config = GrammarConfig::default();
     match rng.next_below(10) {
-        0..=3 => FuzzInput::Rule(grammar::gen_rule_source(&mut rng, &config)),
-        4..=7 => {
+        0..=2 => FuzzInput::Rule(grammar::gen_rule_source(&mut rng, &config)),
+        3..=5 => {
             // Mutate a shipped rule or a freshly generated one.
             let base = if rng.next_bool() {
                 let sources = rules::RULE_SOURCES;
@@ -133,10 +136,11 @@ pub fn iteration_input(env: &FuzzEnv, seed: u64, i: usize) -> FuzzInput {
             };
             FuzzInput::Rule(mutate::mutate_rule_source(&base, &mut rng))
         }
-        _ => {
+        6..=7 => {
             let pool: Vec<&str> = rules::RULE_SOURCES.iter().map(|(n, _)| *n).collect();
             FuzzInput::Template(mutate::mutate_template_spec(&env.cases, &pool, &mut rng))
         }
+        _ => FuzzInput::Pack(mutate::mutate_pack_bytes(&env.pack_bytes, &mut rng)),
     }
 }
 

@@ -4,9 +4,10 @@
 //! deleting a contiguous chunk (halving chunk sizes down to one unit)
 //! and keep the deletion whenever the reduced input still reproduces the
 //! *same* crash fingerprint. Rule inputs are minimized over lines first,
-//! then characters; template inputs over their directive lines. The
-//! process is deterministic — candidates are tried in a fixed order and
-//! acceptance depends only on the reproduction callback.
+//! then characters; template inputs over their directive lines; pack
+//! inputs over their raw bytes. The process is deterministic —
+//! candidates are tried in a fixed order and acceptance depends only on
+//! the reproduction callback.
 
 use crate::input::FuzzInput;
 
@@ -56,6 +57,12 @@ pub fn minimize(input: &FuzzInput, mut reproduces: impl FnMut(&FuzzInput) -> boo
             );
             FuzzInput::decode(&text).unwrap_or_else(|_| input.clone())
         }
+        FuzzInput::Pack(bytes) => {
+            let bytes = shrink_units(bytes.clone(), &mut attempts, |cand| {
+                reproduces(&FuzzInput::Pack(cand.to_vec()))
+            });
+            FuzzInput::Pack(bytes)
+        }
     }
 }
 
@@ -100,7 +107,7 @@ mod tests {
         let input = FuzzInput::Rule(format!("{noise}TRIGGER\n{noise}"));
         let min = minimize(&input, |cand| match cand {
             FuzzInput::Rule(s) => s.contains("TRIGGER"),
-            FuzzInput::Template(_) => false,
+            _ => false,
         });
         assert_eq!(min, FuzzInput::Rule("TRIGGER".to_owned()));
     }
@@ -110,9 +117,21 @@ mod tests {
         let input = FuzzInput::Rule("prefix TRIGGER suffix".to_owned());
         let min = minimize(&input, |cand| match cand {
             FuzzInput::Rule(s) => s.contains("TRIGGER"),
-            FuzzInput::Template(_) => false,
+            _ => false,
         });
         assert_eq!(min, FuzzInput::Rule("TRIGGER".to_owned()));
+    }
+
+    #[test]
+    fn pack_minimization_shrinks_to_the_crashing_bytes() {
+        let mut bytes = vec![0u8; 64];
+        bytes[40] = 0xEE;
+        let input = FuzzInput::Pack(bytes);
+        let min = minimize(&input, |cand| match cand {
+            FuzzInput::Pack(b) => b.contains(&0xEE),
+            _ => false,
+        });
+        assert_eq!(min, FuzzInput::Pack(vec![0xEE]));
     }
 
     #[test]
@@ -131,7 +150,7 @@ mod tests {
         let input = FuzzInput::decode(text).unwrap();
         let min = minimize(&input, |cand| match cand {
             FuzzInput::Template(spec) => spec.entries.iter().any(|e| e.rule == "B"),
-            FuzzInput::Rule(_) => false,
+            _ => false,
         });
         match min {
             FuzzInput::Template(spec) => {
@@ -139,7 +158,7 @@ mod tests {
                 assert_eq!(spec.entries[0].rule, "B");
                 assert_eq!(spec.return_object, None);
             }
-            FuzzInput::Rule(_) => panic!("kind changed"),
+            _ => panic!("kind changed"),
         }
     }
 }

@@ -1,8 +1,10 @@
 //! Mutation-based input generation: byte/token-level mutation of CrySL
-//! sources (for malformed-input robustness) and structural mutation of
-//! fluent-API template chains (for pipeline robustness).
+//! sources (for malformed-input robustness), structural mutation of
+//! fluent-API template chains (for pipeline robustness), and byte-level
+//! mutation of `.crpack` images (for pack-decoder robustness).
 
 use devharness::rng::RandomSource;
+use rules::pack_checksum;
 use usecases::UseCase;
 
 use crate::input::{SpecEntry, TemplateSpec};
@@ -154,6 +156,79 @@ fn apply_one(bytes: &mut Vec<u8>, rng: &mut dyn RandomSource) {
         _ => {
             let copy = bytes.clone();
             bytes.extend(copy);
+        }
+    }
+}
+
+/// Mutates a valid `.crpack` image: 1–3 edits drawn from bit flips,
+/// truncation, span deletion/duplication and length-field stress, each
+/// optionally followed by an FNV-1a-64 trailer fix-up. Without the
+/// fix-up a mutation tests the checksum gate; with it the corruption
+/// reaches the structural decoder — the part that must reject hostile
+/// layouts with a typed error instead of panicking.
+pub fn mutate_pack_bytes(base: &[u8], rng: &mut dyn RandomSource) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    for _ in 0..1 + rng.next_below(3) {
+        mutate_pack_once(&mut bytes, rng);
+    }
+    // Half the mutants get a valid trailer so the corruption survives
+    // the checksum gate and exercises the decoder proper.
+    if bytes.len() > 8 && rng.next_bool() {
+        let payload_len = bytes.len() - 8;
+        let checksum = pack_checksum(&bytes[..payload_len]);
+        bytes[payload_len..].copy_from_slice(&checksum.to_le_bytes());
+    }
+    bytes
+}
+
+fn mutate_pack_once(bytes: &mut Vec<u8>, rng: &mut dyn RandomSource) {
+    match rng.next_below(8) {
+        // Flip one bit.
+        0 | 1 => {
+            if !bytes.is_empty() {
+                let at = rng.next_below(bytes.len() as u64) as usize;
+                bytes[at] ^= 1 << rng.next_below(8);
+            }
+        }
+        // Overwrite one byte with an extreme value.
+        2 => {
+            if !bytes.is_empty() {
+                let at = rng.next_below(bytes.len() as u64) as usize;
+                bytes[at] = [0x00, 0x01, 0x7f, 0x80, 0xfe, 0xff][rng.next_below(6) as usize];
+            }
+        }
+        // Truncate.
+        3 => {
+            let at = pos(rng, bytes.len());
+            bytes.truncate(at);
+        }
+        // Delete a span.
+        4 => {
+            let (a, b) = span(rng, bytes.len());
+            bytes.drain(a..b);
+        }
+        // Duplicate a span in place.
+        5 => {
+            let (a, b) = span(rng, bytes.len());
+            let copy: Vec<u8> = bytes[a..b].to_vec();
+            let at = pos(rng, bytes.len());
+            bytes.splice(at..at, copy);
+        }
+        // Blast a 4-byte window with a huge little-endian value —
+        // aimed at count/length prefixes, which must stay capped
+        // against the remaining input instead of allocating.
+        6 => {
+            if bytes.len() >= 4 {
+                let at = rng.next_below((bytes.len() - 3) as u64) as usize;
+                let v: u32 =
+                    [0xffff_ffff, 0x7fff_ffff, 0x0100_0000, 65_536][rng.next_below(4) as usize];
+                bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        // Append trailing garbage (decoders must reject slack bytes).
+        _ => {
+            let extra = 1 + rng.next_below(64) as usize;
+            bytes.extend(std::iter::repeat_n(0xA5u8, extra));
         }
     }
 }
@@ -322,6 +397,21 @@ mod tests {
         for seed in 0..50 {
             let m = mutate_rule_source(base, &mut Xoshiro256::seed_from_u64(seed));
             assert!(m.len() <= (1 << 20) + 32);
+        }
+    }
+
+    #[test]
+    fn pack_mutation_is_deterministic_and_never_breaks_the_decoder() {
+        let base = rules::open(rules::PackSource::Embedded)
+            .unwrap()
+            .to_bytes()
+            .unwrap();
+        let a = mutate_pack_bytes(&base, &mut Xoshiro256::seed_from_u64(7));
+        let b = mutate_pack_bytes(&base, &mut Xoshiro256::seed_from_u64(7));
+        assert_eq!(a, b);
+        for seed in 0..50 {
+            let m = mutate_pack_bytes(&base, &mut Xoshiro256::seed_from_u64(seed));
+            let _ = rules::open_bytes(&m); // typed result either way, never a panic
         }
     }
 

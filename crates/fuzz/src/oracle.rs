@@ -13,6 +13,10 @@
 //!    parses, type-checks, and is misuse-free under `sast`.
 //! 4. **Engine determinism** — warm vs. cold engines and 1 vs. N worker
 //!    threads produce byte-identical output (or identical errors).
+//! 5. **Pack decoding** — hostile `.crpack` bytes are rejected with a
+//!    typed error, never a panic, and any *accepted* pack re-encodes
+//!    canonically: `to_bytes` is a byte-level fixpoint that preserves
+//!    the decoded rule set (`rules::open_bytes`).
 
 use std::collections::BTreeSet;
 
@@ -55,6 +59,9 @@ pub struct FuzzEnv {
     pub cases: Vec<UseCase>,
     /// A warm engine over the shipped JCA rules.
     pub engine: GenEngine,
+    /// A valid `.crpack` image of the shipped rules — the mutation base
+    /// for the `pack` input family.
+    pub pack_bytes: Vec<u8>,
 }
 
 impl FuzzEnv {
@@ -65,17 +72,63 @@ impl FuzzEnv {
     /// Returns the rule-set parse error message if the shipped rules are
     /// broken (a build defect, not a fuzz finding).
     pub fn new() -> Result<FuzzEnv, String> {
-        let rules = rules::load().map_err(|e| format!("shipped rules: {e}"))?;
+        let pack =
+            rules::open(rules::PackSource::Embedded).map_err(|e| format!("shipped rules: {e}"))?;
+        let pack_bytes = pack
+            .to_bytes()
+            .map_err(|e| format!("shipped rules do not pack: {e}"))?;
         let engine = GenEngine::builder()
-            .rules(rules)
+            .rules(pack.rules)
             .type_table(javamodel::jca::jca_type_table())
             .build()
             .map_err(|e| format!("engine: {e}"))?;
         Ok(FuzzEnv {
             cases: usecases::all_use_cases(),
             engine,
+            pack_bytes,
         })
     }
+}
+
+/// Runs the pack-decoder oracle on raw `.crpack` bytes. Rejection with
+/// a typed error is the expected outcome for mutated bytes; an accepted
+/// pack must re-encode canonically (oracle 5).
+///
+/// # Errors
+///
+/// Returns the first violated oracle.
+pub fn check_pack(bytes: &[u8]) -> Result<(), OracleFailure> {
+    let Ok(pack) = rules::open_bytes(bytes) else {
+        return Ok(()); // typed rejection is the intended defense
+    };
+    let reencoded = pack.to_bytes().map_err(|e| {
+        OracleFailure::new(
+            "pack-reencode",
+            format!("accepted pack fails to re-encode: {e}"),
+        )
+    })?;
+    let reopened = rules::open_bytes(&reencoded).map_err(|e| {
+        OracleFailure::new(
+            "pack-reopen",
+            format!("canonical re-encode does not decode: {e}"),
+        )
+    })?;
+    if reopened.rules != pack.rules || reopened.version != pack.version {
+        return Err(OracleFailure::new(
+            "pack-roundtrip",
+            "decode(to_bytes(pack)) changed the rule set or version",
+        ));
+    }
+    let restable = reopened.to_bytes().map_err(|e| {
+        OracleFailure::new("pack-reencode", format!("second re-encode failed: {e}"))
+    })?;
+    if restable != reencoded {
+        return Err(OracleFailure::new(
+            "pack-canonical",
+            "to_bytes is not a byte-level fixpoint",
+        ));
+    }
+    Ok(())
 }
 
 /// Runs the front-end oracles on arbitrary CrySL source. Sources that
@@ -363,6 +416,22 @@ mod tests {
         let env = FuzzEnv::new().unwrap();
         let spec = spec_from_use_case(&env.cases[10]); // hashing: smallest
         check_template(&env, &spec).unwrap_or_else(|f| panic!("{}: {}", f.oracle, f.detail));
+    }
+
+    #[test]
+    fn the_shipped_pack_satisfies_the_pack_oracle() {
+        let env = FuzzEnv::new().unwrap();
+        check_pack(&env.pack_bytes).unwrap_or_else(|f| panic!("{}: {}", f.oracle, f.detail));
+    }
+
+    #[test]
+    fn rejected_pack_bytes_are_not_a_finding() {
+        check_pack(b"").unwrap();
+        check_pack(b"CRPK but far too short").unwrap();
+        let env = FuzzEnv::new().unwrap();
+        let mut flipped = env.pack_bytes.clone();
+        flipped[10] ^= 0xff;
+        check_pack(&flipped).unwrap();
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The JCA CrySL rule set shipped with this reproduction.
+//! The JCA CrySL rule set shipped with this reproduction, behind one
+//! unified loading API.
 //!
 //! Fourteen rules cover every class the paper's eleven use cases touch.
 //! They are adaptations of the publicly maintained CrySL rules for the
@@ -8,18 +9,35 @@
 //! results, and `instanceof` constraints distinguishing symmetric from
 //! asymmetric Cipher usage.
 //!
+//! Every way to load rules goes through [`open`] with a [`PackSource`]:
+//! the embedded JCA set, a directory of `*.crysl` sources, or a
+//! precompiled `.crpack` binary produced by `cognicryptgen
+//! compile-rules`. All three return the same [`RulePack`] handle; a
+//! compiled pack additionally carries every rule's precompiled ORDER
+//! artefact, so [`RulePack::seed`] can pre-fill an
+//! [`statemachine::OrderCache`] and a cold boot compiles nothing.
+//!
 //! # Example
 //!
 //! ```
-//! let set = rules::load()?;
-//! assert!(set.by_name("javax.crypto.Cipher").is_some());
-//! assert_eq!(set.len(), 14);
-//! # Ok::<(), crysl::CryslError>(())
+//! let pack = rules::open(rules::PackSource::Embedded)?;
+//! assert!(pack.rules.by_name("javax.crypto.Cipher").is_some());
+//! assert_eq!(pack.rules.len(), 14);
+//! assert_eq!(pack.fingerprints.len(), 14);
+//! # Ok::<(), rules::PackError>(())
 //! ```
 
-use std::sync::OnceLock;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 
 use crysl::{CryslError, RuleSet};
+use statemachine::compile::fnv1a_64;
+use statemachine::{order_fingerprint, CompiledOrder, OrderCache};
+
+mod pack;
+
+pub use pack::{pack_checksum, PACK_MAGIC, PACK_VERSION};
 
 /// Name and source text of every shipped rule.
 pub const RULE_SOURCES: &[(&str, &str)] = &[
@@ -51,56 +69,363 @@ pub const RULE_SOURCES: &[(&str, &str)] = &[
     ("Mac", include_str!("../jca/Mac.crysl")),
 ];
 
-/// Loads the shipped JCA rule set — the single entry point. The
-/// embedded sources are lexed and parsed at most once per process (see
-/// [`load_shared`]); every call after the first is a cheap clone of the
-/// already-parsed set.
-///
-/// # Errors
-///
-/// Returns the first [`CryslError`] hit while parsing/validating a rule.
-/// Parse failures are remembered per process: after a failure the next
-/// call re-parses and surfaces the error again rather than panicking.
-pub fn load() -> Result<RuleSet, CryslError> {
-    load_shared().cloned()
+/// Where a rule pack comes from — the single argument of [`open`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackSource {
+    /// The fourteen JCA rules compiled into this binary
+    /// ([`RULE_SOURCES`]).
+    Embedded,
+    /// A directory of `*.crysl` source files, read in file-name order.
+    SourceDir(PathBuf),
+    /// A precompiled `.crpack` binary written by [`RulePack::to_bytes`]
+    /// (the `compile-rules` subcommand).
+    Compiled(PathBuf),
 }
 
-/// The process-wide parsed JCA rule set, behind a [`OnceLock`]: parsed
-/// on first access, shared (by reference) forever after. This is what
-/// the generation engine holds, so concurrent sessions read one set.
+impl PackSource {
+    /// Classifies a filesystem path the way `--rules` flags do: a
+    /// directory is a source pack, anything else is treated as a
+    /// compiled pack (and will fail with a typed error if it is not).
+    pub fn detect(path: impl Into<PathBuf>) -> PackSource {
+        let path = path.into();
+        if path.is_dir() {
+            PackSource::SourceDir(path)
+        } else {
+            PackSource::Compiled(path)
+        }
+    }
+
+    /// Stable short label for telemetry (`embedded`, `source-dir`,
+    /// `compiled`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PackSource::Embedded => "embedded",
+            PackSource::SourceDir(_) => "source-dir",
+            PackSource::Compiled(_) => "compiled",
+        }
+    }
+
+    /// The filesystem path behind this source, if any.
+    pub fn path(&self) -> Option<&Path> {
+        match self {
+            PackSource::Embedded => None,
+            PackSource::SourceDir(p) | PackSource::Compiled(p) => Some(p),
+        }
+    }
+}
+
+impl fmt::Display for PackSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackSource::Embedded => f.write_str("embedded"),
+            PackSource::SourceDir(p) => write!(f, "source-dir:{}", p.display()),
+            PackSource::Compiled(p) => write!(f, "compiled:{}", p.display()),
+        }
+    }
+}
+
+/// Everything [`open`] can fail with. The facade maps `Io` to its
+/// I/O class (exit 5), `Invalid` to invalid-input (exit 6) and
+/// `Crysl` — parse, validation and pack corruption alike — to the
+/// rules class (exit 3).
+#[derive(Debug)]
+pub enum PackError {
+    /// A filesystem read failed.
+    Io {
+        /// What was being read.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The source is structurally unusable (e.g. a directory with no
+    /// `*.crysl` file).
+    Invalid(String),
+    /// Lexing, parsing, validation, or pack decoding failed.
+    Crysl(CryslError),
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            PackError::Invalid(msg) => f.write_str(msg),
+            PackError::Crysl(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PackError::Io { source, .. } => Some(source),
+            PackError::Invalid(_) => None,
+            PackError::Crysl(e) => Some(e),
+        }
+    }
+}
+
+impl From<CryslError> for PackError {
+    fn from(e: CryslError) -> Self {
+        PackError::Crysl(e)
+    }
+}
+
+/// A loaded rule pack: the rules, their ORDER fingerprints, the pack
+/// format version, and where it all came from. Returned by [`open`]
+/// for every [`PackSource`]; only a [`PackSource::Compiled`] origin
+/// carries precompiled artefacts (see [`RulePack::seed`]).
+#[derive(Debug, Clone)]
+pub struct RulePack {
+    /// The parsed (or decoded) and validated rules.
+    pub rules: RuleSet,
+    /// [`order_fingerprint`] of every distinct rule ORDER, ascending.
+    pub fingerprints: Vec<u64>,
+    /// The `.crpack` format version this pack has (or would serialize
+    /// to): always [`PACK_VERSION`] in this build.
+    pub version: u32,
+    /// The source this pack was opened from.
+    pub origin: PackSource,
+    /// Precompiled ORDER artefacts, one per fingerprint, already
+    /// reference-counted so seeding a cache shares rather than deep-
+    /// copies them. Empty unless the origin is a compiled pack.
+    artefacts: Vec<Arc<CompiledOrder>>,
+}
+
+impl RulePack {
+    fn from_rule_set(
+        rules: RuleSet,
+        origin: PackSource,
+        artefacts: Vec<Arc<CompiledOrder>>,
+    ) -> RulePack {
+        let mut fingerprints: Vec<u64> = rules.iter().map(order_fingerprint).collect();
+        fingerprints.sort_unstable();
+        fingerprints.dedup();
+        RulePack {
+            rules,
+            fingerprints,
+            version: PACK_VERSION,
+            origin,
+            artefacts,
+        }
+    }
+
+    /// Whether this pack carries precompiled ORDER artefacts for every
+    /// rule (true exactly when the origin is [`PackSource::Compiled`]).
+    pub fn is_precompiled(&self) -> bool {
+        !self.artefacts.is_empty()
+    }
+
+    /// Pre-seeds `cache` with this pack's precompiled artefacts,
+    /// returning how many entries were inserted. For a compiled pack
+    /// this is the whole point: after seeding, an engine warm-up over
+    /// these rules is all cache hits and compiles nothing. For a
+    /// source-origin pack there is nothing to seed and this returns 0.
+    pub fn seed(&self, cache: &OrderCache) -> usize {
+        cache.seed(self.artefacts.iter().cloned())
+    }
+
+    /// Content fingerprint of the whole pack: FNV-1a-64 over the sorted
+    /// rule fingerprints. Two packs agree exactly when their rules'
+    /// compilation inputs agree; surfaced in `/loadz`, `/metrics` and
+    /// the Table-1 report so operators can tell which pack a daemon
+    /// actually serves.
+    pub fn pack_fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.fingerprints.len() * 8);
+        for fp in &self.fingerprints {
+            bytes.extend_from_slice(&fp.to_le_bytes());
+        }
+        fnv1a_64(&bytes)
+    }
+
+    /// Serializes this pack — rules plus freshly compiled ORDER
+    /// artefacts — into the versioned, checksummed `.crpack` byte
+    /// format ([`pack`] module docs spell out the layout).
+    ///
+    /// # Errors
+    ///
+    /// [`CryslError::Pack`] when a rule's ORDER fails to compile.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, CryslError> {
+        pack::encode(&self.rules)
+    }
+}
+
+/// Opens a rule pack from any [`PackSource`] — the single loading
+/// entry point for the whole workspace.
+///
+/// [`PackSource::Embedded`] is parsed at most once per process and
+/// served from a shared copy afterwards (the cost of a call after the
+/// first is one `RuleSet` clone). Filesystem sources are re-read on
+/// every call, which is what lets `serve` hot-reload them.
 ///
 /// # Errors
 ///
-/// Returns the first [`CryslError`] hit while parsing/validating a rule.
-/// Only a successful parse is cached; a later call retries.
-pub fn load_shared() -> Result<&'static RuleSet, CryslError> {
+/// See [`PackError`]; malformed sources and corrupt packs are typed
+/// errors, never panics.
+pub fn open(source: PackSource) -> Result<RulePack, PackError> {
+    match source {
+        PackSource::Embedded => {
+            let shared = embedded_shared()?;
+            Ok(RulePack::from_rule_set(
+                shared.clone(),
+                PackSource::Embedded,
+                Vec::new(),
+            ))
+        }
+        other => open_uncached(other),
+    }
+}
+
+/// [`open`] without the process-wide embedded cache: every call — for
+/// every source kind — lexes, parses and validates (or decodes) from
+/// scratch. This is the cold path benchmarks measure; ordinary callers
+/// want [`open`].
+///
+/// # Errors
+///
+/// See [`PackError`].
+pub fn open_uncached(source: PackSource) -> Result<RulePack, PackError> {
+    match source {
+        PackSource::Embedded => {
+            let rules = parse_embedded()?;
+            Ok(RulePack::from_rule_set(
+                rules,
+                PackSource::Embedded,
+                Vec::new(),
+            ))
+        }
+        PackSource::SourceDir(dir) => {
+            let rules = parse_source_dir(&dir)?;
+            Ok(RulePack::from_rule_set(
+                rules,
+                PackSource::SourceDir(dir),
+                Vec::new(),
+            ))
+        }
+        PackSource::Compiled(path) => {
+            let bytes = std::fs::read(&path).map_err(|e| PackError::Io {
+                path: path.clone(),
+                source: e,
+            })?;
+            let mut opened = open_bytes(&bytes)?;
+            opened.origin = PackSource::Compiled(path);
+            Ok(opened)
+        }
+    }
+}
+
+/// Decodes a `.crpack` byte image already in memory — what
+/// [`PackSource::Compiled`] does after its file read. This is the
+/// hostile-input surface: the bytes are checksum-verified and
+/// length-capped before any structure is trusted, and *any* corruption
+/// — truncation, bit flips, forged counts — is a typed
+/// [`CryslError::Pack`], never a panic. The fuzzer drives this
+/// directly with mutated pack images.
+///
+/// # Errors
+///
+/// [`PackError::Crysl`] wrapping the decode failure.
+pub fn open_bytes(bytes: &[u8]) -> Result<RulePack, PackError> {
+    let decoded = pack::decode(bytes)?;
+    // The decoder already enforced that the artefact fingerprints equal
+    // the distinct rule fingerprints in ascending order, so they *are*
+    // the pack's fingerprint list — re-deriving it from the rules would
+    // repeat per-rule hashing the decode just paid for.
+    let fingerprints = decoded.artefacts.iter().map(|a| a.fingerprint).collect();
+    Ok(RulePack {
+        rules: decoded.rules,
+        fingerprints,
+        version: decoded.version,
+        origin: PackSource::Compiled(PathBuf::from("<bytes>")),
+        artefacts: decoded.artefacts.into_iter().map(Arc::new).collect(),
+    })
+}
+
+/// The process-wide parsed embedded rule set: parsed on first access,
+/// shared forever after. Only a successful parse is cached; after a
+/// failure the next call re-parses and surfaces the error again.
+fn embedded_shared() -> Result<&'static RuleSet, CryslError> {
     static SHARED: OnceLock<RuleSet> = OnceLock::new();
     if let Some(set) = SHARED.get() {
         return Ok(set);
     }
-    let parsed = load_uncached()?;
+    let parsed = parse_embedded()?;
     Ok(SHARED.get_or_init(|| parsed))
 }
 
-/// Parses the shipped rule set from source, bypassing the process-wide
-/// cache. This is the cold path benchmarks and differential tests
-/// measure against; ordinary callers want [`load`].
-///
-/// # Errors
-///
-/// Returns the first [`CryslError`] hit while parsing/validating a rule.
-pub fn load_uncached() -> Result<RuleSet, CryslError> {
-    rule_set_from_sources(RULE_SOURCES.iter().map(|(_, src)| *src))
+fn parse_embedded() -> Result<RuleSet, CryslError> {
+    let mut set = RuleSet::new();
+    for (_, src) in RULE_SOURCES {
+        set.add_source(src)?;
+    }
+    Ok(set)
 }
 
-/// Parses a rule set from raw CrySL sources — the loading path behind
-/// [`load_uncached`], exposed so alternative rule sets load with the
-/// same error discipline.
-///
-/// # Errors
-///
-/// Returns the first [`CryslError`] hit while parsing/validating a rule;
-/// malformed sources never panic.
+/// Parses a rule pack from a directory of `*.crysl` files, sorted by
+/// file name so the pack's rule order — and therefore everything
+/// downstream — is independent of directory-iteration order.
+fn parse_source_dir(dir: &Path) -> Result<RuleSet, PackError> {
+    let io_err = |path: &Path, e: std::io::Error| PackError::Io {
+        path: path.to_path_buf(),
+        source: e,
+    };
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let path = entry.path();
+        if path.extension().is_some_and(|ext| ext == "crysl") {
+            files.push(path);
+        }
+    }
+    if files.is_empty() {
+        return Err(PackError::Invalid(format!(
+            "rule pack {} holds no .crysl file",
+            dir.display()
+        )));
+    }
+    files.sort();
+    let mut set = RuleSet::new();
+    for path in &files {
+        let source = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+        set.add_source(&source)?;
+    }
+    Ok(set)
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated pre-PackSource loading API — shims for one release.
+// ---------------------------------------------------------------------------
+
+/// Loads the shipped JCA rule set.
+#[deprecated(since = "0.8.0", note = "use rules::open(PackSource::Embedded)")]
+pub fn load() -> Result<RuleSet, CryslError> {
+    embedded_shared().cloned()
+}
+
+/// The process-wide parsed JCA rule set, shared by reference.
+#[deprecated(
+    since = "0.8.0",
+    note = "use rules::open(PackSource::Embedded); the embedded set is still parsed once per process"
+)]
+pub fn load_shared() -> Result<&'static RuleSet, CryslError> {
+    embedded_shared()
+}
+
+/// Parses the shipped rule set from source, bypassing the process-wide
+/// cache.
+#[deprecated(
+    since = "0.8.0",
+    note = "use rules::open_uncached(PackSource::Embedded)"
+)]
+pub fn load_uncached() -> Result<RuleSet, CryslError> {
+    parse_embedded()
+}
+
+/// Parses a rule set from raw CrySL sources.
+#[deprecated(
+    since = "0.8.0",
+    note = "use rules::open(PackSource::SourceDir(..)) for directories, or RuleSet::add_source directly"
+)]
 pub fn rule_set_from_sources<'a>(
     sources: impl IntoIterator<Item = &'a str>,
 ) -> Result<RuleSet, CryslError> {
@@ -118,39 +443,111 @@ mod tests {
     use statemachine::paths::{enumerate, PathLimit};
     use statemachine::{Dfa, Nfa};
 
-    #[test]
-    fn all_rules_parse_and_validate() {
-        let set = load_uncached().unwrap();
-        assert_eq!(set.len(), RULE_SOURCES.len());
+    fn embedded() -> RuleSet {
+        open(PackSource::Embedded).unwrap().rules
     }
 
     #[test]
-    fn shared_set_is_parsed_once_and_load_clones_it() {
-        let a = load_shared().unwrap();
-        let b = load_shared().unwrap();
-        assert!(std::ptr::eq(a, b), "OnceLock must hand out one instance");
-        assert_eq!(load().unwrap().len(), a.len());
+    fn all_rules_parse_and_validate() {
+        let pack = open_uncached(PackSource::Embedded).unwrap();
+        assert_eq!(pack.rules.len(), RULE_SOURCES.len());
+        assert_eq!(pack.origin, PackSource::Embedded);
+        assert!(!pack.is_precompiled());
+    }
+
+    #[test]
+    fn embedded_opens_share_one_parse() {
+        let a = open(PackSource::Embedded).unwrap();
+        let b = open(PackSource::Embedded).unwrap();
+        assert_eq!(a.rules, b.rules);
+        assert_eq!(a.fingerprints, b.fingerprints);
+        assert_eq!(a.pack_fingerprint(), b.pack_fingerprint());
+        #[allow(deprecated)]
+        {
+            // The shims ride the same process-wide parse.
+            let via_shim = load_shared().unwrap();
+            assert_eq!(*via_shim, a.rules);
+        }
+    }
+
+    #[test]
+    fn source_dir_and_compiled_pack_agree_with_embedded() {
+        let dir = std::env::temp_dir().join(format!("rules-open-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, src) in RULE_SOURCES {
+            std::fs::write(dir.join(format!("{name}.crysl")), src).unwrap();
+        }
+        let from_dir = open(PackSource::detect(&dir)).unwrap();
+        assert!(matches!(from_dir.origin, PackSource::SourceDir(_)));
+
+        let embedded = open(PackSource::Embedded).unwrap();
+        assert_eq!(from_dir.rules, embedded.rules);
+        assert_eq!(from_dir.pack_fingerprint(), embedded.pack_fingerprint());
+
+        let crpack = dir.join("jca.crpack");
+        std::fs::write(&crpack, embedded.to_bytes().unwrap()).unwrap();
+        let compiled = open(PackSource::detect(&crpack)).unwrap();
+        assert!(matches!(compiled.origin, PackSource::Compiled(_)));
+        assert!(compiled.is_precompiled());
+        assert_eq!(compiled.rules, embedded.rules);
+        assert_eq!(compiled.fingerprints, embedded.fingerprints);
+        assert_eq!(compiled.pack_fingerprint(), embedded.pack_fingerprint());
+
+        // Seeding an empty cache inserts one artefact per fingerprint;
+        // a source pack seeds nothing.
+        let cache = OrderCache::new();
+        assert_eq!(compiled.seed(&cache), compiled.fingerprints.len());
+        assert_eq!(embedded.seed(&cache), 0);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_errors_are_typed_not_panics() {
+        let missing = PathBuf::from("/nonexistent/path/jca.crpack");
+        assert!(matches!(
+            open(PackSource::Compiled(missing)).unwrap_err(),
+            PackError::Io { .. }
+        ));
+
+        let empty = std::env::temp_dir().join(format!("rules-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(matches!(
+            open(PackSource::SourceDir(empty.clone())).unwrap_err(),
+            PackError::Invalid(_)
+        ));
+        // A source file that is not a pack decodes to a typed error.
+        let bogus = empty.join("not-a-pack");
+        std::fs::write(&bogus, b"hello world, definitely not CRPK").unwrap();
+        assert!(matches!(
+            open(PackSource::Compiled(bogus)).unwrap_err(),
+            PackError::Crysl(CryslError::Pack { .. })
+        ));
+        std::fs::remove_dir_all(&empty).unwrap();
     }
 
     #[test]
     fn malformed_rule_source_surfaces_a_crysl_error_not_a_panic() {
         // Regression test for the panic-free loading path: a malformed
-        // source must come back as Err(CryslError) through the same
-        // loader the shipped set uses.
-        let mut sources: Vec<&str> = RULE_SOURCES.iter().map(|(_, s)| *s).collect();
-        sources.push("SPEC \nEVENTS ???");
-        let err = rule_set_from_sources(sources).unwrap_err();
-        let _: &CryslError = &err; // the concrete error type, not a panic
+        // source must come back as Err, and a duplicate of a shipped
+        // rule is also an error, not a panic.
+        let dir = std::env::temp_dir().join(format!("rules-malformed-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.crysl"), RULE_SOURCES[0].1).unwrap();
+        std::fs::write(dir.join("bad.crysl"), "SPEC \nEVENTS ???").unwrap();
+        let err = open(PackSource::SourceDir(dir.clone())).unwrap_err();
+        assert!(matches!(err, PackError::Crysl(_)));
         assert!(!err.to_string().is_empty());
 
-        // A duplicate of a shipped rule is also an error, not a panic.
-        let twice = [RULE_SOURCES[0].1, RULE_SOURCES[0].1];
-        assert!(rule_set_from_sources(twice).is_err());
+        std::fs::remove_file(dir.join("bad.crysl")).unwrap();
+        std::fs::write(dir.join("dup.crysl"), RULE_SOURCES[0].1).unwrap();
+        assert!(open(PackSource::SourceDir(dir.clone())).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn pbekeyspec_matches_paper_figure_2() {
-        let set = load().unwrap();
+        let set = embedded();
         let r = set.by_name("javax.crypto.spec.PBEKeySpec").unwrap();
         assert_eq!(r.objects.len(), 4);
         assert!(r
@@ -172,7 +569,7 @@ mod tests {
 
     #[test]
     fn every_rule_has_a_finite_generation_path_set() {
-        let set = load().unwrap();
+        let set = embedded();
         for rule in set.iter() {
             let paths = enumerate(rule, PathLimit::default())
                 .unwrap_or_else(|e| panic!("{}: {e}", rule.class_name));
@@ -192,7 +589,7 @@ mod tests {
 
     #[test]
     fn cipher_has_instanceof_guarded_transformations() {
-        let set = load().unwrap();
+        let set = embedded();
         let cipher = set.by_name("javax.crypto.Cipher").unwrap();
         let mut symmetric = None;
         let mut asymmetric = 0;
@@ -222,7 +619,7 @@ mod tests {
 
     #[test]
     fn signature_paths_split_on_sign_and_verify() {
-        let set = load().unwrap();
+        let set = embedded();
         let sig = set.by_name("java.security.Signature").unwrap();
         let paths = enumerate(sig, PathLimit::default()).unwrap();
         assert_eq!(paths.len(), 2);
@@ -232,7 +629,7 @@ mod tests {
 
     #[test]
     fn predicate_graph_links_pbe_chain() {
-        let set = load().unwrap();
+        let set = embedded();
         // randomized: SecureRandom -> PBEKeySpec / IvParameterSpec / GCM
         assert_eq!(set.ensurers_of("randomized").len(), 1);
         // speccedKey: PBEKeySpec -> SecretKeyFactory
@@ -258,7 +655,7 @@ mod tests {
 
     #[test]
     fn preference_order_lists_cbc_first_and_sha256_only() {
-        let set = load().unwrap();
+        let set = embedded();
         let md = set.by_name("java.security.MessageDigest").unwrap();
         assert_eq!(
             md.in_choices("alg").unwrap(),

@@ -1,0 +1,314 @@
+//! The `.crpack` on-disk format: a versioned, checksummed container
+//! holding a validated [`RuleSet`] plus every rule's precompiled ORDER
+//! artefact.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic            4 bytes   "CRPK"
+//! format version   u32       PACK_VERSION
+//! rule count       u32
+//! rules            rule count × crysl::binfmt rule encoding
+//! artefact count   u32
+//! artefacts        artefact count × statemachine::serial encoding,
+//!                  one per distinct order_fingerprint, ascending
+//! checksum         u64       FNV-1a-64 over every preceding byte,
+//!                            folded 8 bytes at a time ([`pack_checksum`])
+//! ```
+//!
+//! Decoding verifies the checksum before any structural read, so a
+//! bit flip anywhere surfaces as one typed error, re-validates every
+//! decoded rule with the same pass the parser runs, and enforces the
+//! seeding invariant: the artefact fingerprint set must equal the rule
+//! fingerprint set, so a decoded pack always pre-seeds the
+//! [`statemachine::OrderCache`] with exactly the artefacts its rules
+//! will look up — a pack-booted engine can never compile.
+
+use std::collections::BTreeMap;
+
+use crysl::binfmt::{Reader, Writer};
+use crysl::{validate, CryslError, RuleSet};
+use statemachine::serial::{read_compiled_order, write_compiled_order};
+use statemachine::{order_fingerprint, CompiledOrder};
+
+/// File magic of a compiled rule pack.
+pub const PACK_MAGIC: [u8; 4] = *b"CRPK";
+
+/// Current pack format version. Bump on any layout change; a loader
+/// only accepts its own version, so stale packs fail fast with a typed
+/// error telling the operator to recompile.
+pub const PACK_VERSION: u32 = 1;
+
+/// Smallest byte count any structurally plausible pack can have:
+/// magic + version + two zero counts + checksum.
+const MIN_PACK_BYTES: usize = 4 + 4 + 4 + 4 + 8;
+
+/// The pack trailer checksum: FNV-1a-64 folding 8-byte little-endian
+/// words, then the remaining tail bytes one at a time.
+///
+/// Word-wise folding does one xor/multiply per 8 bytes instead of per
+/// byte, which matters because decoding hashes the whole file before
+/// any structural read — the checksum is on every cold-start path. It
+/// is a different function from the byte-wise
+/// [`statemachine::compile::fnv1a_64`]; the pack format has used the
+/// word-folded variant since [`PACK_VERSION`] 1.
+pub fn pack_checksum(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut words = bytes.chunks_exact(8);
+    for word in &mut words {
+        hash ^= u64::from_le_bytes(word.try_into().expect("chunks_exact yields 8-byte words"));
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &b in words.remainder() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Serializes a rule set plus freshly compiled ORDER artefacts into
+/// the `.crpack` byte format.
+///
+/// # Errors
+///
+/// [`CryslError::Pack`] when a rule's ORDER fails to compile (state
+/// blow-up past the DFA limit or path-enumeration failure).
+pub fn encode(rules: &RuleSet) -> Result<Vec<u8>, CryslError> {
+    let mut artefacts: BTreeMap<u64, CompiledOrder> = BTreeMap::new();
+    for rule in rules.iter() {
+        let fp = order_fingerprint(rule);
+        if let std::collections::btree_map::Entry::Vacant(slot) = artefacts.entry(fp) {
+            let artefact = CompiledOrder::compile(rule).map_err(|e| {
+                CryslError::pack(format!("compiling ORDER of {}: {e}", rule.class_name))
+            })?;
+            slot.insert(artefact);
+        }
+    }
+    let mut w = Writer::new();
+    w.raw(&PACK_MAGIC);
+    w.u32(PACK_VERSION);
+    w.count(rules.len());
+    for rule in rules.iter() {
+        crysl::binfmt::write_rule(&mut w, rule);
+    }
+    w.count(artefacts.len());
+    for artefact in artefacts.values() {
+        write_compiled_order(&mut w, artefact);
+    }
+    let mut bytes = w.into_bytes();
+    let checksum = pack_checksum(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    Ok(bytes)
+}
+
+/// A successfully decoded pack: the re-validated rules, the format
+/// version the file declared, and the precompiled artefacts destined
+/// for the [`statemachine::OrderCache`].
+#[derive(Debug, Clone)]
+pub struct DecodedPack {
+    /// Decoded and re-validated rules.
+    pub rules: RuleSet,
+    /// Format version read from the file (always [`PACK_VERSION`]).
+    pub version: u32,
+    /// One artefact per distinct rule fingerprint.
+    pub artefacts: Vec<CompiledOrder>,
+}
+
+/// Decodes and fully verifies `.crpack` bytes.
+///
+/// # Errors
+///
+/// [`CryslError::Pack`] on truncation, bad magic, an unsupported
+/// version, a checksum mismatch, structural corruption, or an
+/// artefact/rule fingerprint mismatch; [`CryslError::Validate`] when a
+/// decoded rule fails re-validation. Never panics on hostile input.
+pub fn decode(bytes: &[u8]) -> Result<DecodedPack, CryslError> {
+    if bytes.len() < MIN_PACK_BYTES {
+        return Err(CryslError::pack(format!(
+            "pack of {} bytes is smaller than the {MIN_PACK_BYTES}-byte minimum",
+            bytes.len()
+        )));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let declared = u64::from_le_bytes(trailer.try_into().expect("split_at leaves 8 bytes"));
+    let actual = pack_checksum(payload);
+    if declared != actual {
+        return Err(CryslError::pack(format!(
+            "checksum mismatch: file declares {declared:#018x}, content hashes to {actual:#018x}"
+        )));
+    }
+
+    let mut r = Reader::new(payload);
+    let mut magic = [0u8; 4];
+    for b in &mut magic {
+        *b = r.u8()?;
+    }
+    if magic != PACK_MAGIC {
+        return Err(CryslError::pack(format!(
+            "bad magic {magic:?}: not a compiled rule pack"
+        )));
+    }
+    let version = r.u32()?;
+    if version != PACK_VERSION {
+        return Err(CryslError::pack(format!(
+            "unsupported pack format version {version} (this build reads {PACK_VERSION}); recompile the pack"
+        )));
+    }
+
+    let rule_count = r.count()?;
+    let mut rules = RuleSet::new();
+    for _ in 0..rule_count {
+        let rule = crysl::binfmt::read_rule(&mut r)?;
+        // Defense in depth: the checksum proves integrity, not honesty.
+        // A well-formed pack built from a malicious writer must still
+        // satisfy every invariant the parser enforces.
+        validate::validate(&rule)?;
+        rules.add(rule)?;
+    }
+
+    let artefact_count = r.count()?;
+    let mut artefacts = Vec::with_capacity(artefact_count);
+    for _ in 0..artefact_count {
+        artefacts.push(read_compiled_order(&mut r)?);
+    }
+    r.expect_end()?;
+
+    let mut rule_fps: Vec<u64> = rules.iter().map(order_fingerprint).collect();
+    rule_fps.sort_unstable();
+    rule_fps.dedup();
+    let artefact_fps: Vec<u64> = artefacts.iter().map(|a| a.fingerprint).collect();
+    if artefact_fps != rule_fps {
+        return Err(CryslError::pack(format!(
+            "artefact fingerprints do not match the rule set ({} artefacts vs {} distinct rule orders): the pack cannot guarantee an all-hit cold start",
+            artefact_fps.len(),
+            rule_fps.len()
+        )));
+    }
+
+    Ok(DecodedPack {
+        rules,
+        version,
+        artefacts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedded() -> RuleSet {
+        let mut set = RuleSet::new();
+        for (_, src) in crate::RULE_SOURCES {
+            set.add_source(src).unwrap();
+        }
+        set
+    }
+
+    #[test]
+    fn encode_decode_is_the_identity_on_the_embedded_set() {
+        let rules = embedded();
+        let bytes = encode(&rules).unwrap();
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded.version, PACK_VERSION);
+        assert_eq!(decoded.rules, rules);
+        assert_eq!(decoded.artefacts.len(), {
+            let mut fps: Vec<u64> = rules.iter().map(order_fingerprint).collect();
+            fps.sort_unstable();
+            fps.dedup();
+            fps.len()
+        });
+        // Every artefact matches a from-scratch compile of its rule.
+        for rule in rules.iter() {
+            let fresh = CompiledOrder::compile(rule).unwrap();
+            let stored = decoded
+                .artefacts
+                .iter()
+                .find(|a| a.fingerprint == fresh.fingerprint)
+                .expect("artefact present");
+            assert_eq!(*stored, fresh, "{}", rule.class_name);
+        }
+    }
+
+    #[test]
+    fn checksum_catches_any_single_bit_flip() {
+        let bytes = encode(&embedded()).unwrap();
+        // Sampled offsets (every byte would be slow at ~50KB × O(n)
+        // re-hash per flip); stride covers header, rules, artefacts and
+        // trailer regions.
+        let mut corrupted = bytes.clone();
+        for offset in (0..bytes.len()).step_by(211) {
+            corrupted[offset] ^= 0x01;
+            let err = decode(&corrupted).unwrap_err();
+            assert!(
+                matches!(err, CryslError::Pack { .. }),
+                "offset {offset}: {err}"
+            );
+            corrupted[offset] = bytes[offset];
+        }
+        // Flipping a bit in the checksum itself is also caught.
+        let last = bytes.len() - 1;
+        corrupted[last] ^= 0x80;
+        assert!(decode(&corrupted).is_err());
+    }
+
+    #[test]
+    fn truncation_is_always_a_typed_error() {
+        let bytes = encode(&embedded()).unwrap();
+        for end in [
+            0,
+            1,
+            7,
+            MIN_PACK_BYTES - 1,
+            bytes.len() / 2,
+            bytes.len() - 1,
+        ] {
+            let err = decode(&bytes[..end]).unwrap_err();
+            assert!(matches!(err, CryslError::Pack { .. }), "end {end}: {err}");
+        }
+    }
+
+    #[test]
+    fn version_skew_is_rejected_with_a_recompile_hint() {
+        let mut bytes = encode(&embedded()).unwrap();
+        bytes[4..8].copy_from_slice(&(PACK_VERSION + 1).to_le_bytes());
+        let len = bytes.len();
+        let checksum = pack_checksum(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&checksum.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("recompile"), "{err}");
+    }
+
+    #[test]
+    fn missing_artefact_violates_the_all_hit_invariant() {
+        // Re-encode with one artefact dropped (and a fixed-up checksum):
+        // structurally valid, but it can no longer guarantee a zero-
+        // compile boot, so it must be rejected.
+        let rules = embedded();
+        let mut artefacts: Vec<CompiledOrder> = {
+            let mut by_fp = BTreeMap::new();
+            for rule in rules.iter() {
+                by_fp
+                    .entry(order_fingerprint(rule))
+                    .or_insert_with(|| CompiledOrder::compile(rule).unwrap());
+            }
+            by_fp.into_values().collect()
+        };
+        artefacts.pop();
+        let mut w = Writer::new();
+        w.raw(&PACK_MAGIC);
+        w.u32(PACK_VERSION);
+        w.count(rules.len());
+        for rule in rules.iter() {
+            crysl::binfmt::write_rule(&mut w, rule);
+        }
+        w.count(artefacts.len());
+        for a in &artefacts {
+            write_compiled_order(&mut w, a);
+        }
+        let mut bytes = w.into_bytes();
+        let checksum = pack_checksum(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("all-hit"), "{err}");
+    }
+}

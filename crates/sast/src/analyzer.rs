@@ -703,7 +703,7 @@ mod tests {
         let unit = CompilationUnit::new("p").class(ClassDecl::new("C").method(m));
         analyze_unit(
             &unit,
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
             AnalyzerOptions::default(),
         )

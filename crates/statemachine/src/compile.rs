@@ -21,8 +21,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use crysl::ast::{EventDecl, Rule};
-use crysl::printer::print_order;
+use crysl::ast::{EventDecl, OrderExpr, Rule};
 
 use crate::dfa::Dfa;
 use crate::nfa::{Nfa, StateMachineError};
@@ -38,6 +37,76 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// A [`std::fmt::Write`] sink that folds everything written into an
+/// FNV-1a-64 accumulator — fingerprinting without building the
+/// canonical string. [`order_fingerprint`] sits on every cached ORDER
+/// lookup, so the allocation-free path is worth having.
+struct FnvSink(u64);
+
+impl std::fmt::Write for FnvSink {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+/// Streams the canonical ORDER rendering (identical to
+/// `crysl::printer::print_order`) into `w`.
+fn write_order(w: &mut impl std::fmt::Write, e: &OrderExpr) {
+    match e {
+        OrderExpr::Empty => {}
+        OrderExpr::Label(l) => {
+            let _ = w.write_str(l);
+        }
+        OrderExpr::Seq(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    let _ = w.write_str(", ");
+                }
+                write_order_atomized(w, p);
+            }
+        }
+        OrderExpr::Alt(parts) => {
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    let _ = w.write_str(" | ");
+                }
+                write_order_atomized(w, p);
+            }
+        }
+        OrderExpr::Opt(x) => {
+            write_order_atomized(w, x);
+            let _ = w.write_str("?");
+        }
+        OrderExpr::Star(x) => {
+            write_order_atomized(w, x);
+            let _ = w.write_str("*");
+        }
+        OrderExpr::Plus(x) => {
+            write_order_atomized(w, x);
+            let _ = w.write_str("+");
+        }
+    }
+}
+
+fn write_order_atomized(w: &mut impl std::fmt::Write, e: &OrderExpr) {
+    match e {
+        OrderExpr::Label(_)
+        | OrderExpr::Empty
+        | OrderExpr::Opt(_)
+        | OrderExpr::Star(_)
+        | OrderExpr::Plus(_) => write_order(w, e),
+        _ => {
+            let _ = w.write_str("(");
+            write_order(w, e);
+            let _ = w.write_str(")");
+        }
+    }
+}
+
 /// Content hash of the rule sections ORDER compilation depends on: the
 /// `EVENTS` declarations (labels, return bindings, method names,
 /// parameter patterns, aggregates) and the `ORDER` expression.
@@ -46,34 +115,40 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
 /// equal exactly when their compilation inputs are textually identical
 /// in canonical form.
 pub fn order_fingerprint(rule: &Rule) -> u64 {
-    let mut buf = String::new();
+    let mut sink = FnvSink(0xcbf2_9ce4_8422_2325);
     for e in &rule.events {
         match e {
             EventDecl::Method(m) => {
-                let _ = write!(buf, "{}:", m.label);
+                let _ = write!(sink, "{}:", m.label);
                 if let Some(rv) = &m.return_var {
-                    let _ = write!(buf, "{rv}=");
+                    let _ = write!(sink, "{rv}=");
                 }
-                let _ = write!(buf, "{}(", m.method_name);
+                let _ = write!(sink, "{}(", m.method_name);
                 for (i, p) in m.params.iter().enumerate() {
                     if i > 0 {
-                        buf.push(',');
+                        let _ = sink.write_str(",");
                     }
-                    let _ = write!(buf, "{p}");
+                    let _ = write!(sink, "{p}");
                 }
-                buf.push(')');
+                let _ = sink.write_str(")");
             }
             EventDecl::Aggregate { label, members } => {
-                let _ = write!(buf, "{label}:={}", members.join("|"));
+                let _ = write!(sink, "{label}:=");
+                for (i, member) in members.iter().enumerate() {
+                    if i > 0 {
+                        let _ = sink.write_str("|");
+                    }
+                    let _ = sink.write_str(member);
+                }
             }
         }
-        buf.push(';');
+        let _ = sink.write_str(";");
     }
     // Unit separator between the EVENTS and ORDER sections, so content
     // cannot migrate across the boundary and collide.
-    buf.push('\u{1f}');
-    buf.push_str(&print_order(&rule.order));
-    fnv1a_64(buf.as_bytes())
+    let _ = sink.write_str("\u{1f}");
+    write_order(&mut sink, &rule.order);
+    sink.0
 }
 
 /// The memoized compilation of one rule's ORDER pattern: its content
@@ -193,6 +268,30 @@ impl OrderCache {
         Ok((map.entry(fp).or_insert(compiled).clone(), CacheLookup::Miss))
     }
 
+    /// Inserts pre-compiled artefacts (e.g. deserialized from a rule
+    /// pack) without running compilation, returning how many entries
+    /// were actually added. An artefact whose fingerprint is already
+    /// cached is skipped — the first entry wins, mirroring the benign
+    /// race in [`OrderCache::get_or_compile_traced`]. Seeding counts as
+    /// neither a hit nor a miss; subsequent lookups for seeded
+    /// fingerprints are hits, which is how pack-boot callers verify the
+    /// cold path compiled nothing.
+    pub fn seed<A>(&self, artefacts: impl IntoIterator<Item = A>) -> usize
+    where
+        A: Into<Arc<CompiledOrder>>,
+    {
+        let mut map = match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let before = map.len();
+        for artefact in artefacts {
+            let artefact = artefact.into();
+            map.entry(artefact.fingerprint).or_insert(artefact);
+        }
+        map.len() - before
+    }
+
     /// The fingerprints of every artefact currently held, sorted.
     pub fn fingerprints(&self) -> Vec<u64> {
         let mut fps: Vec<u64> = self.read_lock().keys().copied().collect();
@@ -262,6 +361,57 @@ mod tests {
     fn fingerprint_is_stable_across_reparses() {
         let src = "SPEC X\nEVENTS a: f(); b: g(_);\nORDER a, b?";
         assert_eq!(order_fingerprint(&rule(src)), order_fingerprint(&rule(src)));
+    }
+
+    /// The streaming fingerprint must hash the exact bytes the original
+    /// string-building implementation produced; pack files persist these
+    /// values, so any drift silently invalidates every shipped pack.
+    #[test]
+    fn streamed_fingerprint_matches_the_string_built_reference() {
+        let reference = |r: &Rule| -> u64 {
+            let mut buf = String::new();
+            for e in &r.events {
+                match e {
+                    EventDecl::Method(m) => {
+                        let _ = write!(buf, "{}:", m.label);
+                        if let Some(rv) = &m.return_var {
+                            let _ = write!(buf, "{rv}=");
+                        }
+                        let _ = write!(buf, "{}(", m.method_name);
+                        for (i, p) in m.params.iter().enumerate() {
+                            if i > 0 {
+                                buf.push(',');
+                            }
+                            let _ = write!(buf, "{p}");
+                        }
+                        buf.push(')');
+                    }
+                    EventDecl::Aggregate { label, members } => {
+                        let _ = write!(buf, "{label}:={}", members.join("|"));
+                    }
+                }
+                buf.push(';');
+            }
+            buf.push('\u{1f}');
+            buf.push_str(&crysl::printer::print_order(&r.order));
+            fnv1a_64(buf.as_bytes())
+        };
+
+        for src in [
+            "SPEC X\nEVENTS a: f(); b: g(_);\nORDER a, b?",
+            "SPEC X\nOBJECTS int r;\nEVENTS a: r = f(); b: g(r, _); c: h();\n\
+             Any := a | b;\nORDER Any, (b | c)+, a*",
+            "SPEC p.q.Y\nEVENTS a: f(); b: g(); c: h(); d: i();\n\
+             ORDER (a, b)?, ((c | d), a)+",
+            "SPEC Z\nEVENTS a: f();\nORDER a",
+        ] {
+            let r = rule(src);
+            assert_eq!(
+                order_fingerprint(&r),
+                reference(&r),
+                "streamed fingerprint diverged for `{src}`"
+            );
+        }
     }
 
     #[test]
@@ -378,6 +528,22 @@ mod tests {
         let misses_before = cache.stats().misses;
         cache.get_or_compile(&dropped).unwrap();
         assert_eq!(cache.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn seeded_artefacts_serve_as_hits_without_compiling() {
+        let cache = OrderCache::new();
+        let r = rule("SPEC X\nEVENTS a: f(); b: g();\nORDER a, b");
+        let artefact = CompiledOrder::compile(&r).unwrap();
+        assert_eq!(cache.seed([artefact.clone()]), 1);
+        // Re-seeding the same fingerprint is a no-op: first entry wins.
+        assert_eq!(cache.seed([artefact.clone()]), 0);
+
+        let (served, lookup) = cache.get_or_compile_traced(&r).unwrap();
+        assert_eq!(lookup, CacheLookup::Hit);
+        assert_eq!(*served, artefact);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.hits, stats.misses), (1, 1, 0));
     }
 
     #[test]

@@ -122,6 +122,12 @@ impl Dfa {
         self.is_accepting(state)
     }
 
+    /// The raw transition table and accepting mask, for the pack
+    /// serializer ([`crate::serial`]).
+    pub(crate) fn parts(&self) -> (&[BTreeMap<String, usize>], &[bool]) {
+        (&self.transitions, &self.accepting)
+    }
+
     /// The labels on which `state` has outgoing transitions.
     pub fn outgoing(&self, state: usize) -> impl Iterator<Item = (&str, usize)> {
         self.transitions

@@ -39,6 +39,7 @@ pub mod dot;
 pub mod minimize;
 pub mod nfa;
 pub mod paths;
+pub mod serial;
 
 pub use compile::{order_fingerprint, CacheLookup, CacheStats, CompiledOrder, OrderCache};
 pub use dfa::Dfa;

@@ -1,0 +1,253 @@
+//! Binary (de)serialization of compiled ORDER artefacts — the
+//! statemachine half of precompiled rule packs.
+//!
+//! A serialized [`CompiledOrder`] carries its content fingerprint, a
+//! label table, the minimized DFA (transition table + accepting mask)
+//! and the enumerated accepting paths, in the same fixed-width
+//! little-endian byte dialect as `crysl::binfmt`. Every distinct
+//! method-event label is written once, in the table; the DFA edges and
+//! path elements refer to it by `u16` index. Labels repeat heavily —
+//! every enumerated path re-walks the same small alphabet — so
+//! interning both shrinks artefacts and turns most decode-side string
+//! reads into clones of an already-validated table entry.
+//!
+//! Deserialization treats the input as hostile: every transition
+//! target is checked against the declared state count, every label
+//! index against the table, and every count against the remaining
+//! bytes, so a corrupt artefact becomes a typed [`CryslError::Pack`],
+//! never a panic or an out-of-bounds automaton.
+
+use std::collections::BTreeMap;
+
+use crysl::binfmt::{Reader, Writer};
+use crysl::CryslError;
+
+use crate::compile::CompiledOrder;
+use crate::dfa::Dfa;
+
+/// The distinct labels of a DFA's transitions and an artefact's paths,
+/// in first-occurrence order, with the index of each.
+fn label_table(artefact: &CompiledOrder) -> (Vec<&str>, BTreeMap<&str, u16>) {
+    let (transitions, _) = artefact.dfa.parts();
+    let all = transitions
+        .iter()
+        .flat_map(|row| row.keys().map(String::as_str))
+        .chain(artefact.paths.iter().flatten().map(String::as_str));
+    let mut table: Vec<&str> = Vec::new();
+    let mut index: BTreeMap<&str, u16> = BTreeMap::new();
+    for label in all {
+        if !index.contains_key(label) {
+            let idx = u16::try_from(table.len())
+                .expect("more than 65535 distinct labels in one ORDER artefact");
+            index.insert(label, idx);
+            table.push(label);
+        }
+    }
+    (table, index)
+}
+
+/// Reads one `u16` label index and resolves it against `table`.
+fn read_label(r: &mut Reader<'_>, table: &[String]) -> Result<String, CryslError> {
+    let idx = r.u16()? as usize;
+    table.get(idx).cloned().ok_or_else(|| {
+        CryslError::pack(format!(
+            "label index {idx} out of range (table has {} entries)",
+            table.len()
+        ))
+    })
+}
+
+/// Encodes a DFA into `w`, transition labels as indices into the
+/// artefact's label table. The inverse of [`read_dfa`].
+fn write_dfa(w: &mut Writer, dfa: &Dfa, index: &BTreeMap<&str, u16>) {
+    let (transitions, accepting) = dfa.parts();
+    w.count(transitions.len());
+    for row in transitions {
+        w.count(row.len());
+        for (label, target) in row {
+            w.u16(index[label.as_str()]);
+            w.u32(*target as u32);
+        }
+    }
+    for &acc in accepting {
+        w.u8(u8::from(acc));
+    }
+}
+
+/// Decodes a DFA from `r`, validating structural invariants: the
+/// accepting mask matches the state count, every transition target
+/// names an existing state, and every label index is in `table`.
+///
+/// # Errors
+///
+/// Returns [`CryslError::Pack`] on truncation, an out-of-range
+/// transition target or label index, or a malformed accepting flag.
+fn read_dfa(r: &mut Reader<'_>, table: &[String]) -> Result<Dfa, CryslError> {
+    let states = r.count()?;
+    let mut transitions = Vec::with_capacity(states);
+    for _ in 0..states {
+        let edges = r.count()?;
+        let mut row = BTreeMap::new();
+        for _ in 0..edges {
+            let label = read_label(r, table)?;
+            let target = r.u32()? as usize;
+            if target >= states {
+                return Err(CryslError::pack(format!(
+                    "DFA transition to state {target} but only {states} states exist"
+                )));
+            }
+            row.insert(label, target);
+        }
+        transitions.push(row);
+    }
+    let mut accepting = Vec::with_capacity(states);
+    for _ in 0..states {
+        match r.u8()? {
+            0 => accepting.push(false),
+            1 => accepting.push(true),
+            tag => {
+                return Err(CryslError::pack(format!(
+                    "invalid DFA accepting flag {tag} at offset {}",
+                    r.position()
+                )))
+            }
+        }
+    }
+    if states == 0 {
+        return Err(CryslError::pack("DFA with zero states has no start state"));
+    }
+    Ok(Dfa::from_parts(transitions, accepting))
+}
+
+/// Encodes a compiled ORDER artefact (fingerprint + label table + DFA
+/// + paths) into `w`. The inverse of [`read_compiled_order`].
+pub fn write_compiled_order(w: &mut Writer, artefact: &CompiledOrder) {
+    w.u64(artefact.fingerprint);
+    let (table, index) = label_table(artefact);
+    w.count(table.len());
+    for label in &table {
+        w.str(label);
+    }
+    write_dfa(w, &artefact.dfa, &index);
+    w.count(artefact.paths.len());
+    for path in &artefact.paths {
+        w.count(path.len());
+        for label in path {
+            w.u16(index[label.as_str()]);
+        }
+    }
+}
+
+/// Decodes a compiled ORDER artefact from `r`.
+///
+/// # Errors
+///
+/// Returns [`CryslError::Pack`] on any structural corruption.
+pub fn read_compiled_order(r: &mut Reader<'_>) -> Result<CompiledOrder, CryslError> {
+    let fingerprint = r.u64()?;
+    let table_len = r.count()?;
+    let mut table = Vec::with_capacity(table_len);
+    for _ in 0..table_len {
+        table.push(r.str()?);
+    }
+    let dfa = read_dfa(r, &table)?;
+    let n = r.count()?;
+    let mut paths = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.count()?;
+        let mut path = Vec::with_capacity(len);
+        for _ in 0..len {
+            path.push(read_label(r, &table)?);
+        }
+        paths.push(path);
+    }
+    Ok(CompiledOrder {
+        fingerprint,
+        dfa,
+        paths,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crysl::parse_rule;
+
+    fn artefact(src: &str) -> CompiledOrder {
+        CompiledOrder::compile(&parse_rule(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn compiled_order_roundtrips_structurally_equal() {
+        let a = artefact("SPEC X\nEVENTS a: f(); b: g(); c: h();\nORDER a, (b | c)+, b?");
+        let mut w = Writer::new();
+        write_compiled_order(&mut w, &a);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let decoded = read_compiled_order(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(decoded, a);
+        // The decoded DFA behaves identically on its own paths.
+        for p in &decoded.paths {
+            assert!(decoded.dfa.accepts(p.iter().map(String::as_str)));
+        }
+    }
+
+    #[test]
+    fn labels_are_written_once_and_resolved_by_index() {
+        // Three labels across a DFA and many paths: the encoding must
+        // contain each label's text exactly once.
+        let a = artefact("SPEC X\nEVENTS aa: f(); bb: g(); cc: h();\nORDER aa, (bb | cc)+, bb?");
+        let mut w = Writer::new();
+        write_compiled_order(&mut w, &a);
+        let bytes = w.into_bytes();
+        for needle in [b"aa", b"bb", b"cc"] {
+            let occurrences = bytes.windows(2).filter(|win| win == needle).count();
+            assert_eq!(occurrences, 1, "label {needle:?} not interned");
+        }
+    }
+
+    #[test]
+    fn out_of_range_transition_target_is_rejected() {
+        let a = artefact("SPEC X\nEVENTS a: f(); b: g();\nORDER a, b");
+        let mut w = Writer::new();
+        write_compiled_order(&mut w, &a);
+        let mut bytes = w.into_bytes();
+        // Corrupt every byte in turn and require a typed error or a
+        // changed-but-valid decode — never a panic.
+        for i in 0..bytes.len() {
+            let orig = bytes[i];
+            bytes[i] = orig.wrapping_add(0x80);
+            let mut r = Reader::new(&bytes);
+            match read_compiled_order(&mut r) {
+                Ok(_) | Err(CryslError::Pack { .. }) => {}
+                Err(other) => panic!("non-pack error at byte {i}: {other}"),
+            }
+            bytes[i] = orig;
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let a = artefact("SPEC X\nEVENTS a: f(); b: g(); c: h();\nORDER (a | b)*, c");
+        let mut w = Writer::new();
+        write_compiled_order(&mut w, &a);
+        let bytes = w.into_bytes();
+        for end in 0..bytes.len() {
+            match read_compiled_order(&mut Reader::new(&bytes[..end])) {
+                Ok(_) | Err(CryslError::Pack { .. }) => {}
+                Err(other) => panic!("non-pack error at {end}: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_state_dfa_is_rejected() {
+        let mut w = Writer::new();
+        w.u64(7); // fingerprint
+        w.count(0); // empty label table
+        w.count(0); // zero DFA states
+        let err = read_compiled_order(&mut Reader::new(&w.into_bytes())).unwrap_err();
+        assert!(err.to_string().contains("zero states"), "{err}");
+    }
+}

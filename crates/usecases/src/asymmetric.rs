@@ -94,7 +94,7 @@ mod tests {
     fn generator_picks_rsa_and_two_arg_init() {
         let generated = generate(
             &asymmetric_strings(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -113,7 +113,7 @@ mod tests {
     fn asymmetric_roundtrip_end_to_end() {
         let generated = generate(
             &asymmetric_strings(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -156,13 +156,13 @@ mod tests {
     fn generated_asymmetric_code_is_sast_clean() {
         let generated = generate(
             &asymmetric_strings(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
             sast::AnalyzerOptions::default(),
         );

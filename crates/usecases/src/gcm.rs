@@ -135,7 +135,7 @@ mod tests {
     fn generated_code_uses_gcm_with_full_tag() {
         let generated = generate(
             &authenticated_encryption(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -152,7 +152,7 @@ mod tests {
     fn seal_open_roundtrip_and_tamper_detection() {
         let generated = generate(
             &authenticated_encryption(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -187,13 +187,13 @@ mod tests {
     fn generated_gcm_code_is_sast_clean() {
         let generated = generate(
             &authenticated_encryption(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
             sast::AnalyzerOptions::default(),
         );

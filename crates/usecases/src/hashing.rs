@@ -46,7 +46,7 @@ mod tests {
     fn generated_code_uses_sha256() {
         let generated = generate(
             &hashing_strings(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -59,7 +59,7 @@ mod tests {
     fn hash_matches_reference_sha256() {
         let generated = generate(
             &hashing_strings(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -80,13 +80,13 @@ mod tests {
     fn generated_hashing_code_is_sast_clean() {
         let generated = generate(
             &hashing_strings(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
             sast::AnalyzerOptions::default(),
         );

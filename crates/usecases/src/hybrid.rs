@@ -331,7 +331,7 @@ mod tests {
     fn instanceof_steers_transformations() {
         let generated = generate(
             &hybrid_byte_arrays(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -353,7 +353,7 @@ mod tests {
     fn hybrid_full_protocol_roundtrip() {
         let generated = generate(
             &hybrid_byte_arrays(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -408,10 +408,15 @@ mod tests {
     #[test]
     fn hybrid_strings_and_files_generate_sast_clean() {
         for t in [hybrid_strings(), hybrid_files()] {
-            let generated = generate(&t, &rules::load().unwrap(), &jca_type_table()).unwrap();
+            let generated = generate(
+                &t,
+                &rules::open(rules::PackSource::Embedded).unwrap().rules,
+                &jca_type_table(),
+            )
+            .unwrap();
             let misuses = sast::analyze_unit(
                 &generated.unit,
-                &rules::load().unwrap(),
+                &rules::open(rules::PackSource::Embedded).unwrap().rules,
                 &jca_type_table(),
                 sast::AnalyzerOptions::default(),
             );

@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn every_use_case_generates_without_fallback() {
-        let rules = rules::load().unwrap();
+        let rules = rules::open(rules::PackSource::Embedded).unwrap().rules;
         let table = jca_type_table();
         for uc in all_use_cases() {
             let generated = generate(&uc.template, &rules, &table)

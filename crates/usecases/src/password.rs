@@ -86,7 +86,7 @@ mod tests {
     fn generated_code_uses_pbkdf2_and_clears_password() {
         let generated = generate(
             &password_storage(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -106,7 +106,7 @@ mod tests {
     fn store_and_verify_roundtrip() {
         let generated = generate(
             &password_storage(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -140,7 +140,7 @@ mod tests {
     fn different_salts_give_different_hashes() {
         let generated = generate(
             &password_storage(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -163,13 +163,13 @@ mod tests {
     fn generated_password_code_is_sast_clean() {
         let generated = generate(
             &password_storage(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
             sast::AnalyzerOptions::default(),
         );

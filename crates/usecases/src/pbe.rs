@@ -249,7 +249,7 @@ mod tests {
     fn pbe_bytes_roundtrip_end_to_end() {
         let generated = generate(
             &pbe_byte_arrays(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .expect("generation succeeds");
@@ -278,8 +278,12 @@ mod tests {
 
     #[test]
     fn pbe_strings_roundtrip_end_to_end() {
-        let generated =
-            generate(&pbe_strings(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &pbe_strings(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
+            &jca_type_table(),
+        )
+        .unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         let key = interp
             .call_static_style(
@@ -303,7 +307,12 @@ mod tests {
 
     #[test]
     fn pbe_files_roundtrip_end_to_end() {
-        let generated = generate(&pbe_files(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &pbe_files(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
+            &jca_type_table(),
+        )
+        .unwrap();
         let mut interp = Interpreter::new(&generated.unit);
         interp.put_file("plain.txt", b"file contents".to_vec());
         let key = interp
@@ -343,7 +352,7 @@ mod tests {
     fn wrong_password_fails_to_decrypt() {
         let generated = generate(
             &pbe_byte_arrays(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -379,10 +388,15 @@ mod tests {
 
     #[test]
     fn generated_pbe_code_is_sast_clean() {
-        let generated = generate(&pbe_files(), &rules::load().unwrap(), &jca_type_table()).unwrap();
+        let generated = generate(
+            &pbe_files(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
+            &jca_type_table(),
+        )
+        .unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
             sast::AnalyzerOptions::default(),
         );

@@ -95,7 +95,7 @@ mod tests {
     fn bindings_select_sign_vs_verify_paths() {
         let generated = generate(
             &signing_strings(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -114,7 +114,7 @@ mod tests {
     fn sign_verify_roundtrip() {
         let generated = generate(
             &signing_strings(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -172,13 +172,13 @@ mod tests {
     fn generated_signing_code_is_sast_clean() {
         let generated = generate(
             &signing_strings(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
             sast::AnalyzerOptions::default(),
         );

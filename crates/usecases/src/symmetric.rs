@@ -98,7 +98,7 @@ mod tests {
     fn generated_code_selects_aes_128() {
         let generated = generate(
             &symmetric_encryption(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -115,7 +115,7 @@ mod tests {
     fn symmetric_roundtrip_end_to_end() {
         let generated = generate(
             &symmetric_encryption(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -140,7 +140,7 @@ mod tests {
     fn distinct_keys_per_call() {
         let generated = generate(
             &symmetric_encryption(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
@@ -168,13 +168,13 @@ mod tests {
     fn generated_symmetric_code_is_sast_clean() {
         let generated = generate(
             &symmetric_encryption(),
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .unwrap();
         let misuses = sast::analyze_unit(
             &generated.unit,
-            &rules::load().unwrap(),
+            &rules::open(rules::PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
             sast::AnalyzerOptions::default(),
         );

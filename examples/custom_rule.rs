@@ -13,10 +13,10 @@ use cognicryptgen::core::template::{CrySlCodeGenerator, Template, TemplateMethod
 use cognicryptgen::interp::{Interpreter, Value};
 use cognicryptgen::javamodel::ast::{Expr, JavaType, Stmt};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rules = load()?;
+    let rules = open(PackSource::Embedded)?.rules;
     let table = jca_type_table();
 
     // The template a crypto expert would write: two wrapper methods with

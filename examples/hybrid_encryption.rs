@@ -14,7 +14,7 @@ use cognicryptgen::core::generate;
 use cognicryptgen::interp::{Interpreter, Value};
 use cognicryptgen::javamodel::ast::{ClassDecl, CompilationUnit, Expr, JavaType, MethodDecl, Stmt};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 use cognicryptgen::usecases::hybrid;
 
 fn key_accessor(recv: Value, name: &str) -> Value {
@@ -33,7 +33,11 @@ fn key_accessor(recv: Value, name: &str) -> Value {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let generated = generate(&hybrid::hybrid_byte_arrays(), &load()?, &jca_type_table())?;
+    let generated = generate(
+        &hybrid::hybrid_byte_arrays(),
+        &open(PackSource::Embedded)?.rules,
+        &jca_type_table(),
+    )?;
     println!(
         "Generated {} lines of Java.\n",
         generated.java_source.lines().count()

@@ -13,7 +13,7 @@
 use cognicryptgen::core::generate;
 use cognicryptgen::javamodel::ast::*;
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
 use cognicryptgen::usecases;
 
@@ -79,7 +79,7 @@ fn insecure_pbe() -> CompilationUnit {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rules = load()?;
+    let rules = open(PackSource::Embedded)?.rules;
     let table = jca_type_table();
 
     println!("== Analyzing the paper's Figure 1 (hand-written, insecure) ==");

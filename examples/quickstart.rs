@@ -10,12 +10,12 @@
 use cognicryptgen::core::generate;
 use cognicryptgen::interp::{Interpreter, Value};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 use cognicryptgen::sast;
 use cognicryptgen::usecases;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rules = load()?;
+    let rules = open(PackSource::Embedded)?.rules;
     let table = jca_type_table();
 
     // 1. The code template for "PBE on byte arrays" (paper Table 1, #3).

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example rule_inspection [ClassName]`
 
 use cognicryptgen::crysl::printer::print_rule;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 use cognicryptgen::statemachine::dot::dfa_to_dot;
 use cognicryptgen::statemachine::paths::{enumerate, PathLimit};
 use cognicryptgen::statemachine::{Dfa, Nfa};
@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let class = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "java.security.Signature".to_owned());
-    let rules = load()?;
+    let rules = open(PackSource::Embedded)?.rules;
     let rule = rules
         .by_name(&class)
         .ok_or_else(|| format!("no rule for `{class}`"))?;

@@ -36,6 +36,17 @@ if matches="$(grep -nE "$old_apis" $sources)"; then
     exit 1
 fi
 
+# The PackSource redesign: every rule load goes through
+# rules::open()/open_uncached()/open_bytes(). The deprecated loader
+# shims survive only inside their defining crates for one release; no
+# call site may name the old qualified entry points.
+old_loaders='rules::load\(|rules::load_shared\(|rules::load_uncached\(|rules::rule_set_from_sources\(|serve::load_rule_pack\('
+if matches="$(grep -nE "$old_loaders" $sources)"; then
+    echo "error: pre-PackSource loader call site:" >&2
+    echo "$matches" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release --offline --locked"
 cargo build --release --offline --locked
 
@@ -82,28 +93,43 @@ diff -r "$workdir/traced-batch" "$workdir/single"
 # parseable announce line, then let `serve-check` probe it end to end —
 # healthz, metrics, a generation diffed byte-for-byte against a local
 # engine, a hot-reload, shutdown. The daemon must exit 0 afterwards.
-echo "==> cli serve + serve-check round trip"
-serve_log="$workdir/serve.out"
-"$cli" serve --listen 127.0.0.1:0 --threads 2 > "$serve_log" &
-serve_pid=$!
-addr=""
-for _ in $(seq 1 100); do
-    addr="$(sed -n 's/^listening http=//p' "$serve_log" | head -n1)"
-    [ -n "$addr" ] && break
-    if ! kill -0 "$serve_pid" 2>/dev/null; then
-        echo "error: serve daemon died before announcing its endpoint" >&2
-        cat "$serve_log" >&2
+serve_smoke() {
+    local log="$1"; shift
+    "$cli" serve --listen 127.0.0.1:0 --threads 2 "$@" > "$log" &
+    local pid=$!
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening http=//p' "$log" | head -n1)"
+        [ -n "$addr" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "error: serve daemon died before announcing its endpoint" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "error: serve daemon never announced its endpoint" >&2
+        kill "$pid" 2>/dev/null || true
         exit 1
     fi
-    sleep 0.1
-done
-if [ -z "$addr" ]; then
-    echo "error: serve daemon never announced its endpoint" >&2
-    kill "$serve_pid" 2>/dev/null || true
-    exit 1
-fi
-"$cli" serve-check "$addr"
-wait "$serve_pid"
+    "$cli" serve-check "$addr"
+    wait "$pid"
+}
+echo "==> cli serve + serve-check round trip"
+serve_smoke "$workdir/serve.out"
+
+# Precompiled rule packs: `compile-rules` must produce a pack whose
+# boot is observably identical to a source boot. The pack-booted batch
+# diffs clean against the source-booted outputs for every use case,
+# and a pack-booted daemon survives the same end-to-end serve-check
+# (including a hot reload, now of the `.crpack` file).
+echo "==> compile-rules -> pack-booted batch diff + serve-check"
+"$cli" compile-rules --embedded "$workdir/jca.crpack" >/dev/null
+mkdir -p "$workdir/pack-batch"
+"$cli" batch "$workdir/pack-batch" 8 --rules "$workdir/jca.crpack" >/dev/null
+diff -r "$workdir/pack-batch" "$workdir/single"
+serve_smoke "$workdir/serve-pack.out" --rules "$workdir/jca.crpack"
 
 # Corpus replay: every committed fuzz reproducer must pass the oracles
 # it once crashed. A budget of 0 replays the corpus and runs nothing

@@ -100,6 +100,19 @@ impl From<CryslError> for Error {
     }
 }
 
+impl From<rules::PackError> for Error {
+    fn from(e: rules::PackError) -> Self {
+        match e {
+            // Parse, validation and pack-decode failures are all the
+            // rules class (exit 3): the rule pack is bad, whatever its
+            // encoding.
+            rules::PackError::Crysl(e) => Error::Rules(e),
+            rules::PackError::Io { path, source } => Error::io(path.display().to_string(), source),
+            rules::PackError::Invalid(m) => Error::Invalid(m),
+        }
+    }
+}
+
 impl From<GenError> for Error {
     fn from(e: GenError) -> Self {
         Error::Generation(e)

@@ -26,8 +26,8 @@ use cognicrypt_core::GenEngine;
 use usecases::{all_use_cases, UseCase};
 
 /// The process-wide generation engine over the shipped JCA rule set and
-/// type table: parsed rules behind `rules::load_shared`'s `OnceLock`,
-/// plus a compiled-ORDER cache that warms up across calls. The CLI's
+/// type table: the embedded rules via `rules::open` (parsed once per
+/// process), plus a compiled-ORDER cache that warms up across calls. The CLI's
 /// `generate` and `batch` subcommands and any embedding service share
 /// this one session.
 ///
@@ -44,7 +44,7 @@ pub fn jca_engine() -> Result<&'static GenEngine, Error> {
         return Ok(engine);
     }
     let engine = GenEngine::builder()
-        .rules(rules::load_shared()?.clone())
+        .rules(rules::open(rules::PackSource::Embedded)?.rules)
         .type_table(javamodel::jca::jca_type_table())
         .build()?;
     Ok(ENGINE.get_or_init(|| engine))

@@ -298,14 +298,17 @@ impl Target for LibraryTarget {
             // The library's reload is rebuilding an engine from the
             // shipped pack — same work the daemon does on `/reload`.
             OpKind::Reload => contained("engine rebuild", &|| {
-                let rebuilt = crate::rules::load().map_err(Error::from).and_then(|rules| {
-                    GenEngine::builder()
-                        .rules(rules)
-                        .type_table(crate::javamodel::jca::jca_type_table())
-                        .order_cache(crate::core::engine::shared_order_cache().clone())
-                        .build()
-                        .map_err(Error::from)
-                });
+                let rebuilt = crate::rules::open(crate::rules::PackSource::Embedded)
+                    .map_err(Error::from)
+                    .map(|pack| pack.rules)
+                    .and_then(|rules| {
+                        GenEngine::builder()
+                            .rules(rules)
+                            .type_table(crate::javamodel::jca::jca_type_table())
+                            .order_cache(crate::core::engine::shared_order_cache().clone())
+                            .build()
+                            .map_err(Error::from)
+                    });
                 match rebuilt {
                     Ok(_) => Outcome::ok(),
                     Err(e) => Outcome::classed(OutcomeClass::TypedError, e.to_string()),

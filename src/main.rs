@@ -6,6 +6,14 @@
 //! cognicryptgen batch <dir> [threads] generate all use cases into <dir>
 //! cognicryptgen template <id|name>    print the use case's code template
 //! cognicryptgen rules [class]         print the CrySL rule set (or one rule)
+//! cognicryptgen compile-rules <src-dir|--embedded> <out.crpack>
+//!                                     parse + validate a rule set, precompile
+//!                                     every ORDER automaton, and write the
+//!                                     versioned, checksummed binary rule pack
+//!                                     — a later `--rules <out.crpack>` boot
+//!                                     (CLI or daemon) deserializes it and
+//!                                     skips parsing and ORDER compilation
+//!                                     entirely
 //! cognicryptgen analyze <file>        run the misuse analyzer on Java text
 //! cognicryptgen oldgen <id>           run the XSL/Clafer baseline generator
 //! cognicryptgen report [dir]          run all use cases instrumented, print
@@ -20,7 +28,7 @@
 //!                                     reproducers there, exits non-zero on
 //!                                     any crash
 //! cognicryptgen serve [--listen <addr>] [--socket <path>]
-//!                     [--threads <n>] [--rules <dir>]
+//!                     [--threads <n>] [--rules <dir|pack.crpack>]
 //!                                     run the long-lived generation daemon:
 //!                                     one warm engine, HTTP/1.1 and/or a
 //!                                     Unix-socket line protocol, /metrics,
@@ -46,7 +54,10 @@
 //!                                     workload section for replay diffing
 //! ```
 //!
-//! `generate`, `batch` and `report` additionally accept `--trace <file>`:
+//! `generate`, `batch` and `report` additionally accept
+//! `--rules <dir|pack.crpack>` — serve a rule pack other than the
+//! embedded one, auto-detected as a `*.crysl` source directory or a
+//! precompiled binary pack — and `--trace <file>`:
 //! the run is observed by a [`TraceRecorder`] and the span/event stream
 //! is written as Chrome Trace Event Format JSON — open the file in
 //! `chrome://tracing` or Perfetto. Traced runs build a per-invocation
@@ -74,6 +85,7 @@ use cognicryptgen::core::GenEngine;
 use cognicryptgen::javamodel::jca::jca_type_table;
 use cognicryptgen::javamodel::parser::parse_java;
 use cognicryptgen::report::{self, REPORT_FILE};
+use cognicryptgen::rules::{self, PackSource};
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
 use cognicryptgen::serve::{self, ServeConfig, Server};
 use cognicryptgen::usecases::{all_use_cases, UseCase};
@@ -85,40 +97,56 @@ use devharness::json::Json;
 #[global_allocator]
 static ALLOC: TrackingAlloc = TrackingAlloc::new();
 
-const USAGE: &str = "cognicryptgen <list|generate|batch|template|rules|analyze|oldgen|report|report-check|trace-check|fuzz|serve|serve-check|load|load-check> [arg..] [--trace <file>]";
+const USAGE: &str = "cognicryptgen <list|generate|batch|template|rules|compile-rules|analyze|oldgen|report|report-check|trace-check|fuzz|serve|serve-check|load|load-check> [arg..] [--rules <dir|pack>] [--trace <file>]";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let result = extract_trace(&mut args).and_then(|trace| {
         let trace = trace.as_deref();
+        let rules_flag = extract_flag(&mut args, "--rules", "a rule pack path")?;
+        let pack = rules_flag.as_deref();
         match args.first().map(String::as_str) {
-            Some("list") => reject_trace(trace, "list").and_then(|()| cmd_list()),
-            Some("generate") => with_use_case(args.get(1), |uc| cmd_generate(uc, trace)),
+            Some("list") => reject_custom(trace, pack, "list").and_then(|()| cmd_list()),
+            Some("generate") => with_use_case(args.get(1), |uc| cmd_generate(uc, pack, trace)),
             Some("batch") => cmd_batch(
                 args.get(1).map(String::as_str),
                 args.get(2).map(String::as_str),
+                pack,
                 trace,
             ),
-            Some("template") => reject_trace(trace, "template")
+            Some("template") => reject_custom(trace, pack, "template")
                 .and_then(|()| with_use_case(args.get(1), cmd_template)),
-            Some("rules") => reject_trace(trace, "rules")
+            Some("rules") => reject_custom(trace, pack, "rules")
                 .and_then(|()| cmd_rules(args.get(1).map(String::as_str))),
-            Some("analyze") => reject_trace(trace, "analyze")
+            Some("compile-rules") => reject_custom(trace, pack, "compile-rules")
+                .and_then(|()| cmd_compile_rules(&args[1..])),
+            Some("analyze") => reject_custom(trace, pack, "analyze")
                 .and_then(|()| cmd_analyze(args.get(1).map(String::as_str))),
-            Some("oldgen") => reject_trace(trace, "oldgen")
+            Some("oldgen") => reject_custom(trace, pack, "oldgen")
                 .and_then(|()| cmd_oldgen(args.get(1).map(String::as_str))),
-            Some("report") => cmd_report(args.get(1).map(String::as_str), trace),
-            Some("report-check") => reject_trace(trace, "report-check")
+            Some("report") => cmd_report(args.get(1).map(String::as_str), pack, trace),
+            Some("report-check") => reject_custom(trace, pack, "report-check")
                 .and_then(|()| cmd_report_check(args.get(1).map(String::as_str))),
-            Some("trace-check") => reject_trace(trace, "trace-check")
+            Some("trace-check") => reject_custom(trace, pack, "trace-check")
                 .and_then(|()| cmd_trace_check(args.get(1).map(String::as_str))),
-            Some("fuzz") => reject_trace(trace, "fuzz").and_then(|()| cmd_fuzz(&args[1..])),
-            Some("serve") => reject_trace(trace, "serve").and_then(|()| cmd_serve(&args[1..])),
-            Some("serve-check") => reject_trace(trace, "serve-check")
+            Some("fuzz") => reject_custom(trace, pack, "fuzz").and_then(|()| cmd_fuzz(&args[1..])),
+            Some("serve") => {
+                // `serve` parses its own --rules flag (it was never
+                // extracted above because extract_flag runs first —
+                // so serve's flag is the same one, reinjected here).
+                reject_trace(trace, "serve")?;
+                let mut serve_args = args[1..].to_vec();
+                if let Some(path) = rules_flag.clone() {
+                    serve_args.push("--rules".to_owned());
+                    serve_args.push(path);
+                }
+                cmd_serve(&serve_args)
+            }
+            Some("serve-check") => reject_custom(trace, pack, "serve-check")
                 .and_then(|()| cmd_serve_check(args.get(1).map(String::as_str))),
-            Some("load") => reject_trace(trace, "load").and_then(|()| cmd_load(&args[1..])),
+            Some("load") => reject_custom(trace, pack, "load").and_then(|()| cmd_load(&args[1..])),
             Some("load-check") => {
-                reject_trace(trace, "load-check").and_then(|()| cmd_load_check(&args[1..]))
+                reject_custom(trace, pack, "load-check").and_then(|()| cmd_load_check(&args[1..]))
             }
             _ => Err(Error::Usage(USAGE.to_owned())),
         }
@@ -161,14 +189,61 @@ fn reject_trace(trace: Option<&str>, cmd: &str) -> Result<(), Error> {
     }
 }
 
-/// A per-invocation engine observed by `recorder` — traced runs can't
-/// use the shared [`jca_engine`], which is built without an observer.
-fn traced_engine(recorder: Arc<TraceRecorder>) -> Result<GenEngine, Error> {
-    Ok(GenEngine::builder()
-        .rules(cognicryptgen::rules::load()?)
+/// Rejects both cross-cutting flags for subcommands taking neither.
+fn reject_custom(trace: Option<&str>, pack: Option<&str>, cmd: &str) -> Result<(), Error> {
+    reject_trace(trace, cmd)?;
+    match pack {
+        Some(_) => Err(Error::Usage(format!(
+            "--rules is not supported by `{cmd}` (use generate, batch, report or serve)"
+        ))),
+        None => Ok(()),
+    }
+}
+
+/// Removes `--<flag> <value>` from the argument list, wherever it
+/// sits, with the same strictness as [`extract_trace`].
+fn extract_flag(args: &mut Vec<String>, flag: &str, what: &str) -> Result<Option<String>, Error> {
+    let mut value = None;
+    while let Some(i) = args.iter().position(|a| a == flag) {
+        if value.is_some() {
+            return Err(Error::Usage(format!("{flag} given more than once")));
+        }
+        if i + 1 >= args.len() {
+            return Err(Error::Usage(format!("{flag} requires {what}")));
+        }
+        args.remove(i);
+        value = Some(args.remove(i));
+    }
+    Ok(value)
+}
+
+/// A per-invocation engine for runs the shared [`jca_engine`] cannot
+/// serve: a `--trace` observer attached, a `--rules` pack other than
+/// the embedded one, or both. A precompiled `.crpack` seeds the
+/// process-wide compiled-ORDER cache before the engine warms, so the
+/// boot performs no CrySL parsing and no ORDER compilation.
+fn custom_engine(
+    pack: Option<&str>,
+    recorder: Option<Arc<TraceRecorder>>,
+) -> Result<Option<GenEngine>, Error> {
+    if pack.is_none() && recorder.is_none() {
+        return Ok(None);
+    }
+    let source = match pack {
+        Some(path) => PackSource::detect(path),
+        None => PackSource::Embedded,
+    };
+    let pack = rules::open(source)?;
+    let cache = cognicryptgen::core::engine::shared_order_cache().clone();
+    pack.seed(&cache);
+    let mut builder = GenEngine::builder()
+        .rules(pack.rules)
         .type_table(jca_type_table())
-        .observer(recorder)
-        .build()?)
+        .order_cache(cache);
+    if let Some(recorder) = recorder {
+        builder = builder.observer(recorder);
+    }
+    Ok(Some(builder.build()?))
 }
 
 /// Validates and writes the recorded trace, reporting to stderr so
@@ -198,16 +273,15 @@ fn cmd_list() -> Result<(), Error> {
     Ok(())
 }
 
-fn cmd_generate(uc: &UseCase, trace: Option<&str>) -> Result<(), Error> {
-    let generated = match trace {
+fn cmd_generate(uc: &UseCase, pack: Option<&str>, trace: Option<&str>) -> Result<(), Error> {
+    let recorder = trace.map(|_| Arc::new(TraceRecorder::new()));
+    let generated = match custom_engine(pack, recorder.clone())? {
+        Some(engine) => engine.generate(&uc.template)?,
         None => jca_engine()?.generate(&uc.template)?,
-        Some(path) => {
-            let recorder = Arc::new(TraceRecorder::new());
-            let generated = traced_engine(recorder.clone())?.generate(&uc.template)?;
-            write_trace(&recorder, path)?;
-            generated
-        }
     };
+    if let (Some(recorder), Some(path)) = (&recorder, trace) {
+        write_trace(recorder, path)?;
+    }
     print!("{}", generated.java_source);
     Ok(())
 }
@@ -219,6 +293,7 @@ fn cmd_generate(uc: &UseCase, trace: Option<&str>) -> Result<(), Error> {
 fn cmd_batch(
     outdir: Option<&str>,
     threads: Option<&str>,
+    pack: Option<&str>,
     trace: Option<&str>,
 ) -> Result<(), Error> {
     let outdir =
@@ -235,11 +310,11 @@ fn cmd_batch(
     std::fs::create_dir_all(outdir).map_err(|e| Error::io(outdir.display().to_string(), e))?;
 
     let recorder = trace.map(|_| Arc::new(TraceRecorder::new()));
-    let traced;
-    let engine: &GenEngine = match &recorder {
-        Some(r) => {
-            traced = traced_engine(r.clone())?;
-            &traced
+    let custom;
+    let engine: &GenEngine = match custom_engine(pack, recorder.clone())? {
+        Some(engine) => {
+            custom = engine;
+            &custom
         }
         None => jca_engine()?,
     };
@@ -295,7 +370,7 @@ fn cmd_template(uc: &UseCase) -> Result<(), Error> {
 }
 
 fn cmd_rules(class: Option<&str>) -> Result<(), Error> {
-    let set = cognicryptgen::rules::load()?;
+    let set = rules::open(PackSource::Embedded)?.rules;
     match class {
         Some(name) => {
             let rule = set
@@ -312,12 +387,48 @@ fn cmd_rules(class: Option<&str>) -> Result<(), Error> {
     Ok(())
 }
 
+/// `compile-rules <src-dir|--embedded> <out.crpack>` — parse and
+/// validate a rule set, precompile every ORDER automaton (minimized
+/// DFA plus its enumerated paths, keyed by content-hash fingerprint),
+/// and write the whole thing as the versioned, checksummed binary rule
+/// pack a later `--rules <out.crpack>` boot loads without touching the
+/// CrySL front-end or the NFA→DFA pipeline.
+fn cmd_compile_rules(args: &[String]) -> Result<(), Error> {
+    let (src, out) = match args {
+        [src, out] => (src.as_str(), out.as_str()),
+        _ => {
+            return Err(Error::Usage(
+                "compile-rules <src-dir|--embedded> <out.crpack>".to_owned(),
+            ))
+        }
+    };
+    let source = if src == "--embedded" {
+        PackSource::Embedded
+    } else {
+        PackSource::SourceDir(src.into())
+    };
+    // Uncached: a compiler run must parse its actual input, not a
+    // previously cached embedded set.
+    let pack = rules::open_uncached(source)?;
+    let bytes = pack.to_bytes()?;
+    std::fs::write(out, &bytes).map_err(|e| Error::io(out, e))?;
+    println!(
+        "compile-rules: {} rules, {} ORDER artefacts, pack v{} fingerprint {:016x}, {} bytes -> {out}",
+        pack.rules.len(),
+        pack.fingerprints.len(),
+        cognicryptgen::rules::PACK_VERSION,
+        pack.pack_fingerprint(),
+        bytes.len(),
+    );
+    Ok(())
+}
+
 fn cmd_analyze(path: Option<&str>) -> Result<(), Error> {
     let path = path.ok_or_else(|| Error::Usage("missing file to analyze".to_owned()))?;
     let source = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
     let table = jca_type_table();
     let unit = parse_java(&source, &table).map_err(|e| Error::Invalid(e.to_string()))?;
-    let rules = cognicryptgen::rules::load()?;
+    let rules = rules::open(PackSource::Embedded)?.rules;
     let misuses = analyze_unit(&unit, &rules, &table, AnalyzerOptions::default());
     if misuses.is_empty() {
         println!("no misuses found");
@@ -348,11 +459,15 @@ fn cmd_oldgen(selector: Option<&str>) -> Result<(), Error> {
 /// engine, print the Table-1 per-phase timing table with the pipeline
 /// metrics, and write the machine-readable `REPORT_table1.json` into
 /// `dir` (default: current directory).
-fn cmd_report(outdir: Option<&str>, trace: Option<&str>) -> Result<(), Error> {
+fn cmd_report(outdir: Option<&str>, pack: Option<&str>, trace: Option<&str>) -> Result<(), Error> {
     let outdir = Path::new(outdir.unwrap_or("."));
     std::fs::create_dir_all(outdir).map_err(|e| Error::io(outdir.display().to_string(), e))?;
+    let source = match pack {
+        Some(path) => PackSource::detect(path),
+        None => PackSource::Embedded,
+    };
     let recorder = trace.map(|_| Arc::new(TraceRecorder::new()));
-    let report = report::build_with(recorder.clone().map(|r| r as _))?;
+    let report = report::build_from(source, recorder.clone().map(|r| r as _))?;
     if let (Some(recorder), Some(path)) = (&recorder, trace) {
         write_trace(recorder, path)?;
     }
@@ -426,8 +541,8 @@ fn cmd_fuzz(args: &[String]) -> Result<(), Error> {
 }
 
 /// `serve [--listen <addr>] [--socket <path>] [--threads <n>]
-/// [--rules <dir>]` — run the generation daemon until a protocol-level
-/// `shutdown` request. With no transport flag, HTTP binds
+/// [--rules <dir|pack.crpack>]` — run the generation daemon until a
+/// protocol-level `shutdown` request. With no transport flag, HTTP binds
 /// `127.0.0.1:0` (a free port); the bound endpoints are printed as
 /// parseable `listening …` lines before the process blocks.
 fn cmd_serve(args: &[String]) -> Result<(), Error> {
@@ -445,7 +560,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
         match flag.as_str() {
             "--listen" => config.http_addr = Some(value("--listen")?),
             "--socket" => config.uds_path = Some(value("--socket")?.into()),
-            "--rules" => config.rules_dir = Some(value("--rules")?.into()),
+            "--rules" => config.rules_path = Some(value("--rules")?.into()),
             "--threads" => {
                 let v = value("--threads")?;
                 config.threads = v

@@ -19,11 +19,13 @@
 //! against.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use cognicrypt_core::telemetry::{Fanout, GenObserver, Metric, Phase, PhaseTimings, UnitTimings};
 use cognicrypt_core::GenEngine;
 use devharness::bench::{peak_rss, PeakRss};
 use devharness::json::Json;
+use rules::PackSource;
 use usecases::all_use_cases;
 
 use crate::Error;
@@ -47,6 +49,37 @@ pub struct ReportRow {
     pub timings: UnitTimings,
 }
 
+/// How the reporting engine booted: which rule pack it loaded, how
+/// long loading took, and whether the ORDER artefacts were compiled
+/// during warm-up or pre-seeded from a precompiled `.crpack`. A
+/// pack-booted run must show `warm_compiled == 0` — the whole point of
+/// compiling a pack is that boot performs zero ORDER compilation.
+#[derive(Debug, Clone)]
+pub struct BootStats {
+    /// The opened [`PackSource`], rendered (`embedded`,
+    /// `source-dir:<path>`, `compiled:<path>`).
+    pub origin: String,
+    /// The source kind (`embedded` / `source-dir` / `compiled`).
+    pub kind: &'static str,
+    /// The `.crpack` format version the pack has or would serialize as.
+    pub pack_version: u32,
+    /// Content-hash fingerprint over the pack's ORDER fingerprints.
+    pub pack_fingerprint: u64,
+    /// Rules in the pack.
+    pub rules: usize,
+    /// Whether the pack carried precompiled ORDER artefacts.
+    pub precompiled: bool,
+    /// Wall time of the uncached pack open (lex/parse/validate for
+    /// sources, checksum + decode for a compiled pack).
+    pub rules_load_us: f64,
+    /// ORDER artefacts pre-seeded into the cache from the pack.
+    pub cache_seeded: usize,
+    /// Warm-up lookups served by already-present artefacts.
+    pub warm_hits: usize,
+    /// Warm-up lookups that had to compile (0 for a pack boot).
+    pub warm_compiled: usize,
+}
+
 /// A full Table-1 report: one row per shipped use case plus the
 /// engine-level metrics of the run.
 #[derive(Debug)]
@@ -59,6 +92,9 @@ pub struct Table1Report {
     /// reported it; `None` where the platform exposes neither
     /// `getrusage` nor procfs.
     pub peak_rss: Option<PeakRss>,
+    /// How the reporting engine booted (pack origin, load time, warm
+    /// cache traffic).
+    pub boot: BootStats,
 }
 
 /// Generates every shipped use case on a fresh instrumented engine and
@@ -84,15 +120,58 @@ pub fn build() -> Result<Table1Report, Error> {
 ///
 /// As [`build`].
 pub fn build_with(extra: Option<Arc<dyn GenObserver>>) -> Result<Table1Report, Error> {
+    build_from(PackSource::Embedded, extra)
+}
+
+/// [`build_with`], over an explicit [`PackSource`] — this is how
+/// `report --rules <dir|pack.crpack>` reports on a pack other than the
+/// embedded one. The open is uncached and timed, and the warm-up cache
+/// traffic is recorded, so the report's `boot` section shows the real
+/// cold-start cost of the chosen loading path: a compiled pack seeds
+/// every ORDER artefact and must warm with `warm_compiled == 0`.
+///
+/// # Errors
+///
+/// As [`build`], plus the typed pack open failures.
+pub fn build_from(
+    source: PackSource,
+    extra: Option<Arc<dyn GenObserver>>,
+) -> Result<Table1Report, Error> {
     let timings = Arc::new(PhaseTimings::new());
     let observer: Arc<dyn GenObserver> = match extra {
         Some(extra) => Arc::new(Fanout::new().with(timings.clone()).with(extra)),
         None => timings.clone(),
     };
+    let load_started = Instant::now();
+    let pack = rules::open_uncached(source)?;
+    let rules_load_us = load_started.elapsed().as_secs_f64() * 1e6;
+    let mut boot = BootStats {
+        origin: pack.origin.to_string(),
+        kind: pack.origin.kind(),
+        pack_version: pack.version,
+        pack_fingerprint: pack.pack_fingerprint(),
+        rules: pack.rules.len(),
+        precompiled: pack.is_precompiled(),
+        rules_load_us,
+        cache_seeded: 0,
+        warm_hits: 0,
+        warm_compiled: 0,
+    };
     let engine = GenEngine::builder()
-        .rules(rules::load()?)
+        .rules(pack.rules.clone())
         .observer(observer)
         .build()?;
+    boot.cache_seeded = pack.seed(engine.order_cache());
+    if pack.is_precompiled() {
+        // A pack boot warms eagerly and must find every artefact
+        // seeded: `warm_compiled == 0` is the claim a `.crpack` makes.
+        // A source boot keeps the historical lazy behaviour so the
+        // report's cache-traffic metrics stay first-sight-miss /
+        // revisit-hit deterministic.
+        let warm = engine.warm_traced()?;
+        boot.warm_hits = warm.hits;
+        boot.warm_compiled = warm.compiled;
+    }
 
     let mut rows = Vec::new();
     for uc in all_use_cases() {
@@ -113,6 +192,7 @@ pub fn build_with(extra: Option<Arc<dyn GenObserver>>) -> Result<Table1Report, E
         rows,
         metrics: engine.metrics().snapshot(),
         peak_rss: peak_rss(),
+        boot,
     })
 }
 
@@ -198,6 +278,19 @@ pub fn render_text(report: &Table1Report) -> String {
             let _ = writeln!(out, "\nprocess peak RSS: unavailable on this platform");
         }
     }
+    let boot = &report.boot;
+    let _ = writeln!(
+        out,
+        "boot: {} ({} rules, pack v{} fingerprint {:016x}) loaded in {:.1} µs; {} artefacts seeded, warm-up {} hits / {} compiled",
+        boot.origin,
+        boot.rules,
+        boot.pack_version,
+        boot.pack_fingerprint,
+        boot.rules_load_us,
+        boot.cache_seeded,
+        boot.warm_hits,
+        boot.warm_compiled,
+    );
     if report
         .rows
         .iter()
@@ -300,10 +393,39 @@ pub fn to_json(report: &Table1Report) -> Json {
             (name.clone(), value)
         })
         .collect();
+    let boot = &report.boot;
+    let boot_json = Json::Obj(vec![
+        ("origin".to_owned(), Json::Str(boot.origin.clone())),
+        ("kind".to_owned(), Json::Str(boot.kind.to_owned())),
+        (
+            "pack_version".to_owned(),
+            Json::Num(f64::from(boot.pack_version)),
+        ),
+        (
+            "pack_fingerprint".to_owned(),
+            Json::Str(format!("{:016x}", boot.pack_fingerprint)),
+        ),
+        ("rules".to_owned(), Json::Num(boot.rules as f64)),
+        (
+            "precompiled".to_owned(),
+            Json::Num(f64::from(u8::from(boot.precompiled))),
+        ),
+        ("rules_load_us".to_owned(), Json::Num(boot.rules_load_us)),
+        (
+            "cache_seeded".to_owned(),
+            Json::Num(boot.cache_seeded as f64),
+        ),
+        ("warm_hits".to_owned(), Json::Num(boot.warm_hits as f64)),
+        (
+            "warm_compiled".to_owned(),
+            Json::Num(boot.warm_compiled as f64),
+        ),
+    ]);
     Json::Obj(vec![
         ("report".to_owned(), Json::Str("table1".to_owned())),
         ("use_cases".to_owned(), Json::Arr(rows)),
         ("metrics".to_owned(), Json::Obj(metrics)),
+        ("boot".to_owned(), boot_json),
         (
             "peak_rss_kb".to_owned(),
             match report.peak_rss {
@@ -325,8 +447,11 @@ pub fn to_json(report: &Table1Report) -> Json {
 /// cover all eleven use cases (ids 1–11, each with all five phase
 /// timings and a total, plus per-phase `alloc_bytes`/`peak_live_bytes`
 /// memory figures and row totals), carry a non-empty metrics object,
-/// and declare its whole-process `peak_rss_kb` with the source that
-/// measured it (both may be null where the platform exposes neither).
+/// declare its whole-process `peak_rss_kb` with the source that
+/// measured it (both may be null where the platform exposes neither),
+/// and carry a `boot` section naming the rule-pack origin and its
+/// load/warm-up figures — with zero warm-up compilations whenever the
+/// pack was precompiled.
 ///
 /// Memory figures of zero are accepted: they mean the writing binary
 /// did not install the tracking allocator, not a malformed report.
@@ -398,6 +523,37 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         Some(Json::Obj(members)) if !members.is_empty() => {}
         Some(Json::Obj(_)) => return Err("`metrics` object is empty".to_owned()),
         _ => return Err("missing `metrics` object".to_owned()),
+    }
+    let boot = doc.get("boot").ok_or("missing `boot` object")?;
+    for key in ["origin", "kind", "pack_fingerprint"] {
+        if boot.get(key).and_then(Json::as_str).is_none() {
+            return Err(format!("`boot` missing string `{key}`"));
+        }
+    }
+    for key in [
+        "pack_version",
+        "rules",
+        "precompiled",
+        "rules_load_us",
+        "cache_seeded",
+        "warm_hits",
+        "warm_compiled",
+    ] {
+        if boot.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("`boot` missing numeric `{key}`"));
+        }
+    }
+    // The invariant the whole precompiled-pack subsystem exists for: a
+    // pack-booted report must have compiled nothing during warm-up.
+    let precompiled = boot.get("precompiled").and_then(Json::as_f64) == Some(1.0);
+    let compiled = boot
+        .get("warm_compiled")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if precompiled && compiled != 0.0 {
+        return Err(format!(
+            "precompiled boot reports {compiled} warm-up compilations (must be 0)"
+        ));
     }
     match doc.get("peak_rss_kb") {
         Some(Json::Null) | Some(Json::Num(_)) => {}
@@ -488,6 +644,39 @@ mod tests {
     }
 
     #[test]
+    fn pack_booted_report_compiles_nothing_and_matches_the_embedded_run() {
+        let dir = std::env::temp_dir().join(format!("cgen-report-pack-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pack_path = dir.join("jca.crpack");
+        let bytes = rules::open(PackSource::Embedded)
+            .unwrap()
+            .to_bytes()
+            .unwrap();
+        std::fs::write(&pack_path, bytes).unwrap();
+
+        let from_pack = build_from(PackSource::Compiled(pack_path.clone()), None)
+            .expect("pack-booted report builds");
+        let boot = &from_pack.boot;
+        assert_eq!(boot.kind, "compiled");
+        assert!(boot.precompiled);
+        assert!(boot.cache_seeded > 0);
+        assert_eq!(boot.warm_hits, boot.cache_seeded);
+        assert_eq!(boot.warm_compiled, 0, "a .crpack boot must compile nothing");
+
+        // Same generated output as an embedded-source run, row by row.
+        let from_source = build().expect("embedded report builds");
+        assert!(!from_source.boot.precompiled);
+        assert_eq!(from_source.boot.cache_seeded, 0);
+        let sizes = |r: &Table1Report| -> Vec<(u8, usize)> {
+            r.rows.iter().map(|row| (row.id, row.java_bytes)).collect()
+        };
+        assert_eq!(sizes(&from_pack), sizes(&from_source));
+
+        validate(&to_json(&from_pack)).expect("pack-booted report validates");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn validate_rejects_mutilated_reports() {
         let report = build().expect("report builds");
         let doc = to_json(&report);
@@ -503,6 +692,7 @@ mod tests {
         assert!(validate(&strip(&doc, "report")).is_err());
         assert!(validate(&strip(&doc, "use_cases")).is_err());
         assert!(validate(&strip(&doc, "metrics")).is_err());
+        assert!(validate(&strip(&doc, "boot")).is_err());
         assert!(validate(&strip(&doc, "peak_rss_kb")).is_err());
         assert!(validate(&strip(&doc, "peak_rss_source")).is_err());
 

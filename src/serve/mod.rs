@@ -18,7 +18,9 @@
 //!   per request, never sampled) plus the engine registry and the
 //!   daemon-lifetime allocator counters from
 //!   [`cognicrypt_core::memtrack`];
-//! * rule-pack hot-reload: `/reload` parses the pack, builds a
+//! * rule-pack hot-reload: `/reload` re-opens the configured
+//!   [`PackSource`] (a `*.crysl` source directory or a precompiled
+//!   `.crpack` file, auto-detected), builds a
 //!   successor engine sharing the warm cache, swaps it in, then prunes
 //!   exactly the cache entries whose content-hash fingerprints the new
 //!   pack no longer produces. A stale hit is impossible by
@@ -51,7 +53,7 @@ use cognicrypt_core::telemetry::{MetricsCollector, MetricsRegistry};
 use cognicrypt_core::GenEngine;
 use crysl::RuleSet;
 use devharness::json::Json;
-use statemachine::order_fingerprint;
+use rules::{PackSource, RulePack};
 use usecases::all_use_cases;
 
 use crate::{find_use_case, report, Error};
@@ -75,9 +77,11 @@ pub struct ServeConfig {
     pub uds_path: Option<PathBuf>,
     /// Accept-pool workers per transport.
     pub threads: usize,
-    /// Directory of `*.crysl` sources served instead of the shipped JCA
-    /// pack, re-read on every `reload`. `None` serves the shipped pack.
-    pub rules_dir: Option<PathBuf>,
+    /// Rule pack served instead of the embedded JCA set, re-read on
+    /// every `reload`: a directory of `*.crysl` sources or a
+    /// precompiled `.crpack` file, auto-detected via
+    /// [`PackSource::detect`]. `None` serves the embedded pack.
+    pub rules_path: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -112,42 +116,62 @@ impl ServeConfig {
     }
 }
 
-/// Loads a rule pack from a directory of `*.crysl` files, sorted by
-/// file name so the pack's rule order — and therefore everything
-/// downstream — is independent of directory-iteration order.
+/// Loads a rule pack from a directory of `*.crysl` files.
 ///
 /// # Errors
 ///
 /// [`Error::Io`] when the directory is unreadable, [`Error::Invalid`]
 /// when it holds no `*.crysl` file, [`Error::Rules`] when a source
-/// fails to parse — typed, never a panic, because this path runs on a
-/// live daemon at every reload.
+/// fails to parse.
+#[deprecated(
+    since = "0.8.0",
+    note = "use rules::open(PackSource::SourceDir(dir)) — or PackSource::detect to also accept .crpack files"
+)]
 pub fn load_rule_pack(dir: &Path) -> Result<RuleSet, Error> {
-    let entries = std::fs::read_dir(dir).map_err(|e| Error::io(dir.display().to_string(), e))?;
-    let mut files: Vec<PathBuf> = Vec::new();
-    for entry in entries {
-        let entry = entry.map_err(|e| Error::io(dir.display().to_string(), e))?;
-        let path = entry.path();
-        if path.extension().is_some_and(|ext| ext == "crysl") {
-            files.push(path);
+    Ok(rules::open(PackSource::SourceDir(dir.to_path_buf()))?.rules)
+}
+
+/// Pack identity served by a daemon right now, surfaced in `/loadz`
+/// and `/metrics` so operators can tell which rules — and which
+/// loading path — a resident process is actually using.
+#[derive(Debug, Clone)]
+struct PackInfo {
+    origin: String,
+    origin_kind: &'static str,
+    version: u32,
+    fingerprint: u64,
+    rules: usize,
+    precompiled: bool,
+}
+
+impl PackInfo {
+    fn of(pack: &RulePack) -> PackInfo {
+        PackInfo {
+            origin: pack.origin.to_string(),
+            origin_kind: pack.origin.kind(),
+            version: pack.version,
+            fingerprint: pack.pack_fingerprint(),
+            rules: pack.rules.len(),
+            precompiled: pack.is_precompiled(),
         }
     }
-    if files.is_empty() {
-        return Err(Error::Invalid(format!(
-            "rule pack {} holds no .crysl file",
-            dir.display()
-        )));
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("origin".to_owned(), Json::Str(self.origin.clone())),
+            ("kind".to_owned(), Json::Str(self.origin_kind.to_owned())),
+            ("version".to_owned(), Json::Num(f64::from(self.version))),
+            (
+                "fingerprint".to_owned(),
+                Json::Str(format!("{:016x}", self.fingerprint)),
+            ),
+            ("rules".to_owned(), Json::Num(self.rules as f64)),
+            (
+                "precompiled".to_owned(),
+                Json::Num(f64::from(u8::from(self.precompiled))),
+            ),
+        ])
     }
-    files.sort();
-    let mut sources = Vec::with_capacity(files.len());
-    for path in &files {
-        sources.push(
-            std::fs::read_to_string(path).map_err(|e| Error::io(path.display().to_string(), e))?,
-        );
-    }
-    Ok(rules::rule_set_from_sources(
-        sources.iter().map(String::as_str),
-    )?)
 }
 
 /// One protocol request, decoded from either transport.
@@ -250,40 +274,64 @@ impl Response {
 pub struct ServerState {
     engine: RwLock<Arc<GenEngine>>,
     metrics: Arc<MetricsRegistry>,
-    rules_dir: Option<PathBuf>,
+    rules_path: Option<PathBuf>,
+    pack_info: RwLock<PackInfo>,
     stop: AtomicBool,
 }
 
 impl ServerState {
-    /// Builds the warm initial state: rules loaded (pack directory or
-    /// the shipped set), every ORDER precompiled, daemon-lifetime
+    /// The [`PackSource`] this daemon (re)loads from: the configured
+    /// path — re-classified dir-vs-file on every call, so an operator
+    /// can even swap a source directory for a `.crpack` between
+    /// reloads — or the embedded set.
+    fn pack_source(&self) -> PackSource {
+        match &self.rules_path {
+            Some(path) => PackSource::detect(path),
+            None => PackSource::Embedded,
+        }
+    }
+
+    /// Builds the warm initial state: the rule pack opened (embedded
+    /// set, source directory, or precompiled `.crpack`), every ORDER
+    /// artefact in the cache — seeded straight from a compiled pack,
+    /// compiled during warm-up otherwise — and daemon-lifetime
     /// allocator accounting enabled.
     ///
     /// # Errors
     ///
-    /// Rule loading/parsing and engine-build failures, typed.
+    /// Rule loading/decoding and engine-build failures, typed.
     pub fn new(config: &ServeConfig) -> Result<ServerState, Error> {
         config.validate()?;
-        let rules = match &config.rules_dir {
-            Some(dir) => load_rule_pack(dir)?,
-            None => rules::load()?,
+        let source = match &config.rules_path {
+            Some(path) => PackSource::detect(path),
+            None => PackSource::Embedded,
         };
+        let pack = rules::open(source)?;
+        let info = PackInfo::of(&pack);
         // The daemon adopts the process-wide compiled-ORDER cache:
         // warm artefacts are shared with any single-shot generation in
         // the same process, and hot-reload pruning keeps the one cache
-        // bounded for the daemon's lifetime.
+        // bounded for the daemon's lifetime. A precompiled pack seeds
+        // every artefact its rules can look up (the decoder enforces
+        // this), so warm-up would be a pure all-hit walk — skipped.
+        let cache = cognicrypt_core::engine::shared_order_cache().clone();
+        let precompiled = pack.is_precompiled();
+        pack.seed(&cache);
         let engine = GenEngine::builder()
-            .rules(rules)
+            .rules(pack.rules)
             .type_table(javamodel::jca::jca_type_table())
             .threads(config.threads)
-            .order_cache(cognicrypt_core::engine::shared_order_cache().clone())
+            .order_cache(cache)
             .build()?;
-        engine.warm()?;
+        if !precompiled {
+            engine.warm()?;
+        }
         memtrack::enable_process_stats();
         Ok(ServerState {
             engine: RwLock::new(Arc::new(engine)),
             metrics: Arc::new(MetricsRegistry::new()),
-            rules_dir: config.rules_dir.clone(),
+            rules_path: config.rules_path.clone(),
+            pack_info: RwLock::new(info),
             stop: AtomicBool::new(false),
         })
     }
@@ -411,22 +459,29 @@ impl ServerState {
         }
     }
 
-    /// Hot-reloads the rule pack. Sequence: parse the pack → build a
-    /// successor engine sharing the warm compiled-ORDER cache → warm
-    /// the successor (new fingerprints compile *before* the swap, so
-    /// no request ever waits on reload compilation) → swap → prune
-    /// every cache entry whose fingerprint the new pack does not
-    /// produce. Unchanged rules keep their warm artefacts; changed or
-    /// removed rules lose exactly theirs. A parse failure leaves the
-    /// running engine untouched.
+    /// Hot-reloads the rule pack. Sequence: re-open the
+    /// [`PackSource`] → seed any precompiled artefacts into the warm
+    /// compiled-ORDER cache → build a successor engine sharing that
+    /// cache → warm the successor (new fingerprints compile *before*
+    /// the swap, so no request ever waits on reload compilation;
+    /// skipped for a precompiled pack, whose seeding already
+    /// guaranteed every lookup hits) → swap → prune every cache entry
+    /// whose fingerprint the new pack does not produce. Unchanged
+    /// rules keep their warm artefacts; changed or removed rules lose
+    /// exactly theirs. A broken pack — an unparsable source, a
+    /// truncated or bit-flipped `.crpack` — fails the open with a
+    /// typed error and leaves the running engine, its cache, and the
+    /// published pack identity untouched.
     fn reload(&self) -> Result<Response, Error> {
-        let rules = match &self.rules_dir {
-            Some(dir) => load_rule_pack(dir)?,
-            None => rules::load()?,
-        };
-        let keep: HashSet<u64> = rules.iter().map(order_fingerprint).collect();
-        let successor = Arc::new(self.engine().with_rule_set(rules));
-        successor.warm()?;
+        let pack = rules::open(self.pack_source())?;
+        let info = PackInfo::of(&pack);
+        let keep: HashSet<u64> = pack.fingerprints.iter().copied().collect();
+        let precompiled = pack.is_precompiled();
+        let seeded = pack.seed(self.engine().order_cache());
+        let successor = Arc::new(self.engine().with_rule_set(pack.rules));
+        if !precompiled {
+            successor.warm()?;
+        }
         let rule_count = successor.rules().len();
         {
             let mut guard = match self.engine.write() {
@@ -439,6 +494,14 @@ impl ServerState {
             .order_cache()
             .retain_fingerprints(|fp| keep.contains(&fp));
         let kept = successor.order_cache().len();
+        let pack_json = info.to_json();
+        {
+            let mut guard = match self.pack_info.write() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *guard = info;
+        }
         self.metrics.add("serve.reloads", 1);
         let doc = Json::Obj(vec![
             ("rules".to_owned(), Json::Num(rule_count as f64)),
@@ -447,8 +510,18 @@ impl ServerState {
                 "cache_entries_dropped".to_owned(),
                 Json::Num(dropped as f64),
             ),
+            ("cache_entries_seeded".to_owned(), Json::Num(seeded as f64)),
+            ("pack".to_owned(), pack_json),
         ]);
         Ok(Response::ok("application/json", format!("{doc}\n")))
+    }
+
+    /// A clone of the currently served pack identity.
+    fn pack_info(&self) -> PackInfo {
+        match self.pack_info.read() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
     }
 
     /// The `/loadz` payload: request, error and panic totals plus the
@@ -511,6 +584,7 @@ impl ServerState {
                 ("misses".to_owned(), Json::Num(cache.misses as f64)),
             ]),
         ));
+        members.push(("pack".to_owned(), self.pack_info().to_json()));
         Json::Obj(members)
     }
 
@@ -530,6 +604,11 @@ impl ServerState {
                 stats.peak_live_bytes.max(0) as u64,
             );
         }
+        let pack = self.pack_info();
+        merged.set_gauge("serve.pack.version", u64::from(pack.version));
+        merged.set_gauge("serve.pack.fingerprint", pack.fingerprint);
+        merged.set_gauge("serve.pack.rules", pack.rules as u64);
+        merged.set_gauge("serve.pack.precompiled", u64::from(pack.precompiled));
         merged.render_text()
     }
 }

@@ -5,7 +5,7 @@
 use cognicryptgen::core::pathsel::SelectionOptions;
 use cognicryptgen::core::{GenError, Generator, GeneratorOptions};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
 use cognicryptgen::usecases;
 
@@ -64,7 +64,11 @@ fn without_predicate_filters_the_iv_less_init_slips_through() {
         ..SelectionOptions::default()
     };
     let broken = generator_with(off)
-        .generate(&encrypt_only, &load().unwrap(), &jca_type_table())
+        .generate(
+            &encrypt_only,
+            &open(PackSource::Embedded).unwrap().rules,
+            &jca_type_table(),
+        )
         .expect("generation still succeeds mechanically");
     assert!(
         broken.java_source.contains(".init(1, key);"),
@@ -76,7 +80,7 @@ fn without_predicate_filters_the_iv_less_init_slips_through() {
     let key_unit = Generator::new()
         .generate(
             &usecases::symmetric::symmetric_encryption(),
-            &load().unwrap(),
+            &open(PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .expect("generates");
@@ -91,7 +95,11 @@ fn without_predicate_filters_the_iv_less_init_slips_through() {
     // With the paper's defaults the same template consumes the IV spec
     // and runs.
     let clean = Generator::new()
-        .generate(&encrypt_only, &load().unwrap(), &jca_type_table())
+        .generate(
+            &encrypt_only,
+            &open(PackSource::Embedded).unwrap().rules,
+            &jca_type_table(),
+        )
         .expect("generates");
     assert!(
         clean
@@ -175,7 +183,7 @@ fn longest_path_tie_break_emits_more_calls() {
     let short = Generator::new()
         .generate(
             &usecases::pbe::pbe_strings(),
-            &load().unwrap(),
+            &open(PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
         )
         .expect("generates");
@@ -185,7 +193,7 @@ fn longest_path_tie_break_emits_more_calls() {
     })
     .generate(
         &usecases::pbe::pbe_strings(),
-        &load().unwrap(),
+        &open(PackSource::Embedded).unwrap().rules,
         &jca_type_table(),
     )
     .expect("generates");
@@ -197,7 +205,7 @@ fn longest_path_tie_break_emits_more_calls() {
     for g in [&short, &long] {
         assert!(analyze_unit(
             &g.unit,
-            &load().unwrap(),
+            &open(PackSource::Embedded).unwrap().rules,
             &jca_type_table(),
             AnalyzerOptions::default()
         )
@@ -219,7 +227,11 @@ fn disabling_fallback_makes_unresolved_parameters_hard_errors() {
         ..SelectionOptions::default()
     };
     let err = generator_with(no_fallback)
-        .generate(&t, &load().unwrap(), &jca_type_table())
+        .generate(
+            &t,
+            &open(PackSource::Embedded).unwrap().rules,
+            &jca_type_table(),
+        )
         .unwrap_err();
     assert!(matches!(err, GenError::UnresolvedParameter { .. }), "{err}");
 }

@@ -15,13 +15,13 @@ use std::collections::BTreeMap;
 use cognicryptgen::core::engine::scatter;
 use cognicryptgen::core::{EngineError, GenEngine, GenError, Template};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 use cognicryptgen::usecases::all_use_cases;
 use devharness::rng::{RandomSource, Xoshiro256};
 
 fn engine() -> GenEngine {
     GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .type_table(jca_type_table())
         .build()
         .expect("rules supplied")

@@ -18,14 +18,16 @@ use cognicryptgen::core::{GenEngine, Generated, Generator};
 use cognicryptgen::interp::{Interpreter, Value};
 use cognicryptgen::javamodel::ast::{ClassDecl, CompilationUnit, Expr, JavaType, MethodDecl, Stmt};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::{load, load_uncached};
+use cognicryptgen::rules::{open, open_uncached, PackSource};
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
 use cognicryptgen::usecases::all_use_cases;
 
 /// The legacy cold path: freshly parsed rules, no compiled-artefact
 /// reuse of any kind.
 fn cold(template: &cognicryptgen::core::Template) -> Generated {
-    let rules = load_uncached().expect("shipped rules parse");
+    let rules = open_uncached(PackSource::Embedded)
+        .expect("shipped rules parse")
+        .rules;
     Generator::new()
         .generate_uncached(template, &rules, &jca_type_table())
         .expect("cold generation succeeds")
@@ -36,7 +38,7 @@ fn cold(template: &cognicryptgen::core::Template) -> Generated {
 /// cache (asserted through the hit counter).
 fn warm(template: &cognicryptgen::core::Template) -> Generated {
     let engine = GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .type_table(jca_type_table())
         .build()
         .expect("rules supplied");
@@ -78,13 +80,13 @@ fn observed_engine_emits_byte_identical_java_to_unobserved() {
 
     let timings = Arc::new(PhaseTimings::new());
     let observed = GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .type_table(jca_type_table())
         .observer(timings.clone())
         .build()
         .expect("rules supplied");
     let unobserved = GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .type_table(jca_type_table())
         .build()
         .expect("rules supplied");
@@ -110,7 +112,7 @@ fn observed_engine_emits_byte_identical_java_to_unobserved() {
 #[test]
 fn warm_engine_preserves_sast_verdicts_for_all_use_cases() {
     let table = jca_type_table();
-    let rules = load_uncached().expect("parses");
+    let rules = open_uncached(PackSource::Embedded).expect("parses").rules;
     for uc in all_use_cases() {
         let c = analyze_unit(
             &cold(&uc.template).unit,

@@ -6,7 +6,7 @@ use cognicryptgen::core::{generate, GenError};
 use cognicryptgen::crysl::RuleSet;
 use cognicryptgen::javamodel::ast::{Expr, JavaType, Stmt};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 
 fn template_with(chain: cognicryptgen::core::template::GeneratorChain) -> Template {
     Template::new("p", "C").method(TemplateMethod::new("go", JavaType::Void).chain(chain))
@@ -17,7 +17,12 @@ fn unknown_rule_in_chain() {
     let chain = CrySlCodeGenerator::get_instance()
         .consider_crysl_rule("javax.crypto.DoesNotExist")
         .build();
-    let err = generate(&template_with(chain), &load().unwrap(), &jca_type_table()).unwrap_err();
+    let err = generate(
+        &template_with(chain),
+        &open(PackSource::Embedded).unwrap().rules,
+        &jca_type_table(),
+    )
+    .unwrap_err();
     assert!(matches!(err, GenError::UnknownRule(_)), "{err}");
 }
 
@@ -32,7 +37,12 @@ fn binding_to_undeclared_rule_variable() {
             .param(JavaType::byte_array(), "data")
             .chain(chain),
     );
-    let err = generate(&t, &load().unwrap(), &jca_type_table()).unwrap_err();
+    let err = generate(
+        &t,
+        &open(PackSource::Embedded).unwrap().rules,
+        &jca_type_table(),
+    )
+    .unwrap_err();
     assert!(matches!(err, GenError::UnknownRuleVariable { .. }), "{err}");
 }
 
@@ -42,7 +52,12 @@ fn binding_to_undeclared_template_variable() {
         .consider_crysl_rule("java.security.MessageDigest")
         .add_parameter("ghost", "input")
         .build();
-    let err = generate(&template_with(chain), &load().unwrap(), &jca_type_table()).unwrap_err();
+    let err = generate(
+        &template_with(chain),
+        &open(PackSource::Embedded).unwrap().rules,
+        &jca_type_table(),
+    )
+    .unwrap_err();
     assert_eq!(err, GenError::UnknownTemplateVariable("ghost".into()));
 }
 
@@ -91,7 +106,12 @@ fn conflicting_template_bindings_filter_all_paths() {
             .param(JavaType::byte_array(), "data")
             .chain(chain),
     );
-    let err = generate(&t, &load().unwrap(), &jca_type_table()).unwrap_err();
+    let err = generate(
+        &t,
+        &open(PackSource::Embedded).unwrap().rules,
+        &jca_type_table(),
+    )
+    .unwrap_err();
     assert!(matches!(err, GenError::NoViablePath { .. }), "{err}");
 }
 
@@ -114,7 +134,12 @@ fn synthetic_case_exercising_the_hoisting_fallback() {
             .chain(chain)
             .post(Stmt::Return(Some(Expr::var("digest")))),
     );
-    let generated = generate(&t, &load().unwrap(), &jca_type_table()).unwrap();
+    let generated = generate(
+        &t,
+        &open(PackSource::Embedded).unwrap().rules,
+        &jca_type_table(),
+    )
+    .unwrap();
     assert_eq!(generated.hoisted.len(), 1);
     assert_eq!(generated.hoisted[0].1, vec!["input".to_owned()]);
     // The hoisted parameter appears in the wrapper signature.
@@ -177,7 +202,7 @@ fn hostile_traffic_is_isolated_from_concurrent_wellformed_responses() {
         http_addr: Some("127.0.0.1:0".to_owned()),
         uds_path: None,
         threads: 4,
-        rules_dir: None,
+        rules_path: None,
     };
     let handle = Server::start(&config).expect("daemon boots");
     let addr = handle.http_addr().expect("http bound").to_string();

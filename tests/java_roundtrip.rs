@@ -7,13 +7,13 @@ use cognicryptgen::core::generate;
 use cognicryptgen::javamodel::jca::jca_type_table;
 use cognicryptgen::javamodel::parser::parse_java;
 use cognicryptgen::javamodel::printer::print_unit;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
 use cognicryptgen::usecases::all_use_cases;
 
 #[test]
 fn every_generated_use_case_roundtrips_through_text() {
-    let rules = load().unwrap();
+    let rules = open(PackSource::Embedded).unwrap().rules;
     let table = jca_type_table();
     for uc in all_use_cases() {
         let generated = generate(&uc.template, &rules, &table).expect("generation succeeds");
@@ -30,7 +30,7 @@ fn every_generated_use_case_roundtrips_through_text() {
 
 #[test]
 fn sast_accepts_java_text() {
-    let rules = load().unwrap();
+    let rules = open(PackSource::Embedded).unwrap().rules;
     let table = jca_type_table();
     // Generated (secure) text analyzes clean.
     let generated = generate(&all_use_cases()[0].template, &rules, &table).expect("generates");
@@ -57,7 +57,7 @@ public class App {
 
 #[test]
 fn reparsed_units_still_type_check() {
-    let rules = load().unwrap();
+    let rules = open(PackSource::Embedded).unwrap().rules;
     let table = jca_type_table();
     for uc in all_use_cases() {
         let generated = generate(&uc.template, &rules, &table).expect("generates");

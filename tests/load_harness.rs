@@ -127,7 +127,7 @@ fn loadz_snapshot_is_served_over_http() {
         http_addr: Some("127.0.0.1:0".to_owned()),
         uds_path: None,
         threads: 2,
-        rules_dir: None,
+        rules_path: None,
     };
     let handle = Server::start(&config).expect("daemon boots");
     let addr = handle.http_addr().expect("http bound").to_string();
@@ -168,7 +168,7 @@ fn loadz_snapshot_is_served_over_uds() {
         http_addr: None,
         uds_path: Some(socket.clone()),
         threads: 2,
-        rules_dir: None,
+        rules_path: None,
     };
     let handle = Server::start(&config).expect("daemon boots");
 

@@ -24,7 +24,7 @@ use cognicryptgen::core::memtrack::{self, AllocScope, TrackingAlloc};
 use cognicryptgen::core::telemetry::{validate_trace, Metric, Phase, PhaseTimings, TraceRecorder};
 use cognicryptgen::core::{GenEngine, Template};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 use cognicryptgen::usecases::all_use_cases;
 use devharness::json::Json;
 use devharness::rng::{RandomSource, Xoshiro256};
@@ -34,7 +34,7 @@ static ALLOC: TrackingAlloc = TrackingAlloc::new();
 
 fn engine() -> GenEngine {
     GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .type_table(jca_type_table())
         .build()
         .expect("rules supplied")
@@ -106,7 +106,7 @@ fn alloc_scope_balances_on_error_paths_and_nests() {
 fn every_span_has_a_nonnegative_consistent_alloc_delta() {
     let timings = Arc::new(PhaseTimings::new());
     let engine = GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .type_table(jca_type_table())
         .observer(timings.clone())
         .build()
@@ -197,7 +197,7 @@ fn warm_engine_mem_metrics_deterministic_across_threads_and_shuffles() {
 fn recorded_trace_is_strictly_paired_with_monotonic_timestamps() {
     let recorder = Arc::new(TraceRecorder::new());
     let engine = GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .type_table(jca_type_table())
         .observer(recorder.clone())
         .build()
@@ -261,7 +261,7 @@ fn differential_output_is_byte_identical_with_and_without_instrumentation() {
     let recorder = Arc::new(TraceRecorder::new());
     let timings = Arc::new(PhaseTimings::new());
     let instrumented = GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .type_table(jca_type_table())
         .observer(Arc::new(
             cognicryptgen::core::telemetry::Fanout::new()

@@ -6,13 +6,17 @@ use cognicryptgen::core::generate;
 use cognicryptgen::interp::{Interpreter, Value};
 use cognicryptgen::javamodel::ast::{ClassDecl, CompilationUnit, Expr, JavaType, MethodDecl, Stmt};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 use cognicryptgen::usecases;
 
 fn generated_unit(template: &cognicryptgen::core::Template) -> CompilationUnit {
-    generate(template, &load().unwrap(), &jca_type_table())
-        .expect("generation succeeds")
-        .unit
+    generate(
+        template,
+        &open(PackSource::Embedded).unwrap().rules,
+        &jca_type_table(),
+    )
+    .expect("generation succeeds")
+    .unit
 }
 
 fn key_pair_accessor(recv: Value, name: &str) -> Value {

@@ -4,16 +4,21 @@
 
 use cognicryptgen::javamodel::jca::jca_type_table;
 use cognicryptgen::javamodel::parser::parse_java;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions, MisuseKind};
 
 fn kinds_of(source: &str) -> Vec<MisuseKind> {
     let table = jca_type_table();
     let unit = parse_java(source, &table).expect("test program parses");
-    analyze_unit(&unit, &load().unwrap(), &table, AnalyzerOptions::default())
-        .into_iter()
-        .map(|m| m.kind)
-        .collect()
+    analyze_unit(
+        &unit,
+        &open(PackSource::Embedded).unwrap().rules,
+        &table,
+        AnalyzerOptions::default(),
+    )
+    .into_iter()
+    .map(|m| m.kind)
+    .collect()
 }
 
 #[test]
@@ -168,11 +173,16 @@ public class App {
         &table,
     )
     .expect("parses");
-    let lenient = analyze_unit(&unit, &load().unwrap(), &table, AnalyzerOptions::default());
+    let lenient = analyze_unit(
+        &unit,
+        &open(PackSource::Embedded).unwrap().rules,
+        &table,
+        AnalyzerOptions::default(),
+    );
     assert!(lenient.is_empty(), "{lenient:?}");
     let strict = analyze_unit(
         &unit,
-        &load().unwrap(),
+        &open(PackSource::Embedded).unwrap().rules,
         &table,
         AnalyzerOptions {
             trust_parameters: false,
@@ -203,7 +213,12 @@ public class App {
         &table,
     )
     .expect("parses");
-    let misuses = analyze_unit(&unit, &load().unwrap(), &table, AnalyzerOptions::default());
+    let misuses = analyze_unit(
+        &unit,
+        &open(PackSource::Embedded).unwrap().rules,
+        &table,
+        AnalyzerOptions::default(),
+    );
     let constraint_errors = misuses
         .iter()
         .filter(|m| m.kind == MisuseKind::ConstraintError)

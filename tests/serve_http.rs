@@ -132,7 +132,7 @@ fn hot_reload_prunes_exactly_the_removed_fingerprints() {
         http_addr: Some("127.0.0.1:0".to_owned()),
         uds_path: None,
         threads: 2,
-        rules_dir: Some(pack.clone()),
+        rules_path: Some(pack.clone()),
     };
     let handle = Server::start(&config).expect("daemon boots from the pack dir");
     let addr = handle.http_addr().expect("http bound").to_string();
@@ -203,6 +203,102 @@ fn hot_reload_prunes_exactly_the_removed_fingerprints() {
 }
 
 #[test]
+fn daemon_boots_from_a_compiled_pack_and_survives_a_corrupt_reload() {
+    let _guard = exclusive_daemon();
+    let dir = scratch("serve-crpack");
+    let pack_bytes = rules::open(rules::PackSource::Embedded)
+        .expect("shipped rules")
+        .to_bytes()
+        .expect("shipped rules pack");
+    let pack_file = dir.join("jca.crpack");
+    fs::write(&pack_file, &pack_bytes).unwrap();
+
+    let config = ServeConfig {
+        http_addr: Some("127.0.0.1:0".to_owned()),
+        uds_path: None,
+        threads: 2,
+        rules_path: Some(pack_file.clone()),
+    };
+    let handle = Server::start(&config).expect("daemon boots from the .crpack");
+    let addr = handle.http_addr().expect("http bound").to_string();
+
+    // Pack-booted output is byte-identical to the embedded engine.
+    let before = expected_source("1");
+    let (code, body) = http::request(&addr, "GET", "/generate/1", "").unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(body, before);
+
+    // /loadz reports the compiled pack identity.
+    let (code, body) = http::request(&addr, "GET", "/loadz", "").unwrap();
+    assert_eq!(code, 200);
+    let doc = Json::parse(&body).expect("loadz body is JSON");
+    let pack_info = doc.get("pack").expect("loadz carries pack identity");
+    assert_eq!(
+        pack_info.get("kind").and_then(Json::as_str),
+        Some("compiled")
+    );
+    assert_eq!(pack_info.get("precompiled").and_then(Json::as_u64), Some(1));
+    let fingerprint = pack_info
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .expect("pack fingerprint")
+        .to_owned();
+
+    // Reloading the intact file succeeds and seeds every artefact.
+    let (code, body) = http::request(&addr, "POST", "/reload", "").unwrap();
+    assert_eq!(code, 200);
+    let doc = Json::parse(&body).expect("reload body is JSON");
+    assert_eq!(
+        doc.get("pack")
+            .and_then(|p| p.get("kind"))
+            .and_then(Json::as_str),
+        Some("compiled")
+    );
+
+    // Corrupt the pack on disk: reload must fail with the typed `rules`
+    // class and leave the running engine (and its pack identity) alone.
+    let mut corrupt = pack_bytes.clone();
+    corrupt[pack_bytes.len() / 2] ^= 0x40;
+    fs::write(&pack_file, &corrupt).unwrap();
+    let (code, body) = http::request(&addr, "POST", "/reload", "").unwrap();
+    assert_eq!(code, 500);
+    assert_eq!(
+        Json::parse(&body)
+            .unwrap()
+            .get("error")
+            .and_then(Json::as_str),
+        Some("rules")
+    );
+    let (code, body) = http::request(&addr, "GET", "/generate/1", "").unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(body, before);
+    let (_, body) = http::request(&addr, "GET", "/loadz", "").unwrap();
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("pack")
+            .and_then(|p| p.get("fingerprint"))
+            .and_then(Json::as_str),
+        Some(fingerprint.as_str())
+    );
+
+    // Truncation is rejected the same way.
+    fs::write(&pack_file, &pack_bytes[..pack_bytes.len() / 4]).unwrap();
+    let (code, _) = http::request(&addr, "POST", "/reload", "").unwrap();
+    assert_eq!(code, 500);
+    let (code, body) = http::request(&addr, "GET", "/generate/1", "").unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(body, before);
+
+    // Restoring the file restores reloadability.
+    fs::write(&pack_file, &pack_bytes).unwrap();
+    let (code, _) = http::request(&addr, "POST", "/reload", "").unwrap();
+    assert_eq!(code, 200);
+
+    handle.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_config_rejects_zero_threads_and_no_transport() {
     let Err(err) = Server::start(&ServeConfig {
         http_addr: Some("127.0.0.1:0".to_owned()),
@@ -235,7 +331,7 @@ fn uds_line_protocol_frames_one_json_response_per_request() {
         http_addr: None,
         uds_path: Some(socket.clone()),
         threads: 2,
-        rules_dir: None,
+        rules_path: None,
     };
     let handle = Server::start(&config).expect("daemon boots on the socket");
 

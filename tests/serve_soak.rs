@@ -125,7 +125,7 @@ fn soak_mixed_hostile_and_well_formed_traffic() {
         http_addr: Some("127.0.0.1:0".to_owned()),
         uds_path: None,
         threads: 4,
-        rules_dir: None,
+        rules_path: None,
     };
     let handle = Server::start(&config).expect("daemon boots");
     let addr = handle.http_addr().expect("http bound").to_string();
@@ -303,7 +303,7 @@ fn soak_uds_mixed_hostile_and_well_formed_traffic() {
         http_addr: None,
         uds_path: Some(socket.clone()),
         threads: 4,
-        rules_dir: None,
+        rules_path: None,
     };
     let handle = Server::start(&config).expect("daemon boots");
 

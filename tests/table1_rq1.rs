@@ -5,13 +5,13 @@
 use cognicryptgen::core::generate;
 use cognicryptgen::javamodel::jca::jca_type_table;
 use cognicryptgen::javamodel::printer::count_loc;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
 use cognicryptgen::usecases::all_use_cases;
 
 #[test]
 fn all_eleven_use_cases_generate() {
-    let rules = load().unwrap();
+    let rules = open(PackSource::Embedded).unwrap().rules;
     let table = jca_type_table();
     for uc in all_use_cases() {
         let generated = generate(&uc.template, &rules, &table)
@@ -28,7 +28,7 @@ fn all_eleven_use_cases_generate() {
 fn generated_code_type_checks() {
     // `generate` runs the type checker internally; run it again explicitly
     // so the RQ1 claim is checked independent of generator internals.
-    let rules = load().unwrap();
+    let rules = open(PackSource::Embedded).unwrap().rules;
     let table = jca_type_table();
     for uc in all_use_cases() {
         let generated = generate(&uc.template, &rules, &table).expect("generation succeeds");
@@ -44,7 +44,7 @@ fn generated_code_type_checks() {
 
 #[test]
 fn generated_code_is_misuse_free() {
-    let rules = load().unwrap();
+    let rules = open(PackSource::Embedded).unwrap().rules;
     let table = jca_type_table();
     for uc in all_use_cases() {
         let generated = generate(&uc.template, &rules, &table).expect("generation succeeds");
@@ -62,7 +62,7 @@ fn generated_code_is_misuse_free() {
 fn no_use_case_needs_the_fallback() {
     // Paper §3.3: "In practice, CogniCryptGEN did not have to take this
     // final step for any of the use cases we have implemented."
-    let rules = load().unwrap();
+    let rules = open(PackSource::Embedded).unwrap().rules;
     let table = jca_type_table();
     for uc in all_use_cases() {
         let generated = generate(&uc.template, &rules, &table).expect("generation succeeds");
@@ -77,7 +77,7 @@ fn no_use_case_needs_the_fallback() {
 
 #[test]
 fn every_use_case_has_a_template_usage_showcase() {
-    let rules = load().unwrap();
+    let rules = open(PackSource::Embedded).unwrap().rules;
     let table = jca_type_table();
     for uc in all_use_cases() {
         let generated = generate(&uc.template, &rules, &table).expect("generation succeeds");

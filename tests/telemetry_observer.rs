@@ -26,7 +26,7 @@ use cognicryptgen::core::memtrack::AllocDelta;
 use cognicryptgen::core::telemetry::{Event, GenObserver, Metric, Phase, PhaseTimings, Span};
 use cognicryptgen::core::{GenEngine, Template};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 use cognicryptgen::usecases::all_use_cases;
 use devharness::rng::{RandomSource, Xoshiro256};
 
@@ -81,7 +81,7 @@ impl GenObserver for Recorder {
 fn observed_engine() -> (GenEngine, Arc<Recorder>) {
     let recorder = Arc::new(Recorder::default());
     let engine = GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .type_table(jca_type_table())
         .observer(recorder.clone())
         .build()
@@ -207,7 +207,7 @@ fn metrics_are_deterministic_across_thread_counts_and_shuffles() {
 
     let run = |order: &[usize], threads: usize| {
         let engine = GenEngine::builder()
-            .rules(load().expect("parses"))
+            .rules(open(PackSource::Embedded).expect("parses").rules)
             .type_table(jca_type_table())
             .build()
             .expect("rules supplied");
@@ -255,7 +255,7 @@ fn metrics_are_deterministic_across_thread_counts_and_shuffles() {
 fn phase_timings_cover_every_unit_of_a_batch() {
     let timings = Arc::new(PhaseTimings::new());
     let engine = GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .type_table(jca_type_table())
         .observer(timings.clone())
         .build()
@@ -299,7 +299,7 @@ fn builder_requires_rules_and_defaults_the_rest() {
 
     // Type table, threads and observer all default: the engine works.
     let engine = GenEngine::builder()
-        .rules(load().expect("parses"))
+        .rules(open(PackSource::Embedded).expect("parses").rules)
         .build()
         .expect("rules supplied");
     let uc = all_use_cases().remove(0);

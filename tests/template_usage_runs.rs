@@ -5,14 +5,14 @@
 use cognicryptgen::core::generate;
 use cognicryptgen::interp::{Interpreter, Value};
 use cognicryptgen::javamodel::jca::jca_type_table;
-use cognicryptgen::rules::load;
+use cognicryptgen::rules::{open, PackSource};
 use cognicryptgen::usecases;
 
 #[test]
 fn hashing_template_usage_executes() {
     let generated = generate(
         &usecases::hashing::hashing_strings(),
-        &load().unwrap(),
+        &open(PackSource::Embedded).unwrap().rules,
         &jca_type_table(),
     )
     .expect("generates");
@@ -40,7 +40,7 @@ fn hashing_template_usage_executes() {
 fn password_template_usage_chains_results_by_type() {
     let generated = generate(
         &usecases::password::password_storage(),
-        &load().unwrap(),
+        &open(PackSource::Embedded).unwrap().rules,
         &jca_type_table(),
     )
     .expect("generates");
@@ -75,7 +75,7 @@ fn password_template_usage_chains_results_by_type() {
 fn pbe_template_usage_reuses_the_derived_key() {
     let generated = generate(
         &usecases::pbe::pbe_byte_arrays(),
-        &load().unwrap(),
+        &open(PackSource::Embedded).unwrap().rules,
         &jca_type_table(),
     )
     .expect("generates");
