@@ -55,7 +55,7 @@ fn bench_oldgen(h: &mut Harness) {
 
 fn bench_pipeline_stages(h: &mut Harness) {
     h.group("pipeline");
-    // `load_uncached` is the always-reparse path; `load` would just
+    // `open_uncached` is the always-reparse path; `open` would just
     // clone the process-wide parsed set and measure nothing.
     h.bench("parse_jca_ruleset", || {
         black_box(open_uncached(PackSource::Embedded).expect("parses").rules);

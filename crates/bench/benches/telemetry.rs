@@ -11,12 +11,18 @@
 //!   `PhaseTimings`, and `TraceRecorder` (reset between iterations so
 //!   the event vector cannot grow without bound);
 //! * `memtrack/*` — microbenches of the raw accounting primitives: an
-//!   `AllocScope` open/close pair, and one counted heap round trip.
+//!   `AllocScope` open/close pair, and one counted heap round trip;
+//! * `serve/*` — the daemon's per-request hot path
+//!   (`ServerState::handle` on a warm `generate`) with the
+//!   observability layer at its default ring capacity versus capacity 0
+//!   (recording disabled).
 //!
-//! The run *asserts* an overhead ceiling: the median of every observed
-//! configuration must stay within `MAX_OVERHEAD`× the noop median, and
-//! the process exits non-zero on violation so a telemetry regression
-//! fails loudly in CI rather than drifting.
+//! The run *asserts* two overhead ceilings: the median of every
+//! observed configuration must stay within `MAX_OVERHEAD`× the noop
+//! median, the observed serve hot path within `SERVE_MAX_OVERHEAD`× of
+//! the recording-disabled one, and the process exits non-zero on
+//! violation so a telemetry regression fails loudly in CI rather than
+//! drifting.
 //!
 //! Run with: `cargo bench -p cognicrypt-bench --bench telemetry`.
 
@@ -41,6 +47,15 @@ static ALLOC: TrackingAlloc = TrackingAlloc::new();
 /// one Vec push under a mutex), so 10× is generous headroom over the
 /// ~1–2× measured; crossing it means a hook started doing real work.
 const MAX_OVERHEAD: f64 = 10.0;
+
+/// Highest tolerated ratio of the daemon hot path with request
+/// observability on (access ring + latency histogram + trace-id
+/// assignment at the default capacity) over the same path with
+/// recording disabled (`obs_capacity: 0`). Per request the layer does
+/// one atomic increment, one histogram record and one ring push — all
+/// constant-time against a generation that parses nothing but still
+/// renders Java source.
+const SERVE_MAX_OVERHEAD: f64 = 1.3;
 
 fn warm_engine(observer: Option<Arc<dyn cognicrypt_core::GenObserver>>) -> GenEngine {
     let mut builder = GenEngine::builder()
@@ -102,6 +117,59 @@ fn bench_memtrack_primitives(h: &mut Harness) {
     });
 }
 
+fn bench_serve_hot_path(h: &mut Harness) -> (u64, u64) {
+    use cognicryptgen::serve::{Request, ServeConfig, ServerState};
+    h.group("serve");
+    let request = Request::Generate("1".to_owned());
+
+    // `ServerState::new` builds the full daemon state without binding
+    // sockets, so `handle` here is exactly the per-request work a
+    // transport worker does, minus I/O.
+    let observed = ServerState::new(&ServeConfig::http("127.0.0.1:0")).expect("state builds");
+    assert_eq!(observed.handle(&request).code, 200);
+    h.bench("handle_generate_observed", || {
+        black_box(observed.handle(black_box(&request)));
+    });
+
+    let blind = ServerState::new(&ServeConfig {
+        obs_capacity: 0,
+        ..ServeConfig::http("127.0.0.1:0")
+    })
+    .expect("state builds");
+    assert_eq!(blind.handle(&request).code, 200);
+    h.bench("handle_generate_unobserved", || {
+        black_box(blind.handle(black_box(&request)));
+    });
+
+    let median = |name: &str| {
+        h.report()
+            .results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+            .expect("serve medians measured")
+    };
+    (
+        median("serve/handle_generate_observed"),
+        median("serve/handle_generate_unobserved"),
+    )
+}
+
+fn assert_serve_overhead_bound(observed_ns: u64, unobserved_ns: u64) -> bool {
+    let ratio = observed_ns as f64 / unobserved_ns as f64;
+    let ok = ratio <= SERVE_MAX_OVERHEAD;
+    println!(
+        "\nserve hot-path observability overhead: {observed_ns} ns / {unobserved_ns} ns = {ratio:.3}x (limit {SERVE_MAX_OVERHEAD}x)   {}",
+        if ok { "ok" } else { "FAIL" }
+    );
+    if !ok {
+        eprintln!(
+            "error: observed serve hot path is {ratio:.3}x the recording-disabled path (limit {SERVE_MAX_OVERHEAD}x)"
+        );
+    }
+    ok
+}
+
 fn assert_overhead_bound(medians: &[(String, u64)]) -> bool {
     let noop = medians
         .iter()
@@ -131,7 +199,9 @@ fn main() {
     let mut h = Harness::new("telemetry");
     let medians = bench_observers(&mut h);
     bench_memtrack_primitives(&mut h);
-    let within_bound = assert_overhead_bound(&medians);
+    let (observed_ns, unobserved_ns) = bench_serve_hot_path(&mut h);
+    let within_bound =
+        assert_overhead_bound(&medians) & assert_serve_overhead_bound(observed_ns, unobserved_ns);
     match h.finish() {
         Ok(path) => println!("\nreport written to {}", path.display()),
         Err(e) => {

@@ -1005,9 +1005,11 @@ impl TraceRecorder {
     /// Format document (object form, `traceEvents` array).
     pub fn to_json(&self) -> Json {
         let inner = self.lock();
-        let events = inner
-            .events
-            .iter()
+        Self::render(inner.events.iter())
+    }
+
+    fn render<'e>(events: impl Iterator<Item = &'e TraceEvent>) -> Json {
+        let events = events
             .map(|e| {
                 let mut members = vec![
                     ("name".to_owned(), Json::Str(e.name.to_owned())),
@@ -1029,6 +1031,55 @@ impl TraceRecorder {
             ("traceEvents".to_owned(), Json::Arr(events)),
             ("displayTimeUnit".to_owned(), Json::Str("ms".to_owned())),
         ])
+    }
+
+    /// [`TraceRecorder::to_json`] with capture-boundary artefacts
+    /// removed, so the document always passes [`validate_trace`].
+    ///
+    /// A recorder that is armed and disarmed *while spans are in
+    /// flight* — the daemon's `/profilez` capture window — can hold a
+    /// truncated stream: an `E` whose `B` fell before arming, or a `B`
+    /// whose `E` fell after disarming. Neither is recorder breakage
+    /// (the full stream is balanced; the window just cut it), so this
+    /// export drops exactly those unpaired events per `tid` and keeps
+    /// everything else, instants included.
+    pub fn to_balanced_json(&self) -> Json {
+        let inner = self.lock();
+        let mut keep = vec![true; inner.events.len()];
+        // tid → stack of indices of currently-open B events.
+        let mut open: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, e) in inner.events.iter().enumerate() {
+            match e.ph {
+                'B' => open.entry(e.tid).or_default().push(i),
+                'E' => {
+                    let stack = open.entry(e.tid).or_default();
+                    match stack.last() {
+                        Some(&b) if inner.events[b].name == e.name => {
+                            stack.pop();
+                        }
+                        // An E that closes nothing we saw begin: its B
+                        // predates the capture window.
+                        _ => keep[i] = false,
+                    }
+                }
+                _ => {}
+            }
+        }
+        // B events still open at the end: their E postdates the
+        // capture window.
+        for (_, stack) in open {
+            for b in stack {
+                keep[b] = false;
+            }
+        }
+        Self::render(
+            inner
+                .events
+                .iter()
+                .zip(&keep)
+                .filter(|(_, &k)| k)
+                .map(|(e, _)| e),
+        )
     }
 }
 
@@ -1505,6 +1556,53 @@ mod tests {
 
         rec.reset();
         assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn balanced_export_drops_exactly_the_boundary_truncated_events() {
+        let rec = TraceRecorder::new();
+        let span = |phase| Span { unit: "U", phase };
+        // Orphan E: its B fell before the capture window opened.
+        rec.span_exit(
+            &span(Phase::Select),
+            Duration::from_micros(3),
+            AllocDelta::default(),
+        );
+        // A complete pair with an instant inside survives untouched.
+        rec.span_enter(&span(Phase::Resolve));
+        rec.event(&Event::ParamResolved {
+            rule: "Cipher",
+            variable: "transformation",
+            via: ResolutionKind::Constraint,
+        });
+        rec.span_exit(
+            &span(Phase::Resolve),
+            Duration::from_micros(7),
+            AllocDelta::default(),
+        );
+        // Dangling B: its E falls after the capture window closed.
+        rec.span_enter(&span(Phase::Assemble));
+
+        // The raw stream is truncated at both ends and fails validation.
+        assert!(validate_trace(&rec.to_json()).is_err());
+
+        // The balanced export passes and keeps the complete interior.
+        let doc = rec.to_balanced_json();
+        validate_trace(&doc).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(phases, ["B", "i", "E"]);
+        assert_eq!(
+            events[0].get("name").and_then(Json::as_str),
+            Some("resolve")
+        );
+        assert_eq!(
+            events[2].get("name").and_then(Json::as_str),
+            Some("resolve")
+        );
     }
 
     #[test]

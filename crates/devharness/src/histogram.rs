@@ -167,6 +167,36 @@ impl Histogram {
         self.max
     }
 
+    /// The interval the true sample at quantile `q` lies in: the value
+    /// range of the bucket holding rank `ceil(q · count)`, intersected
+    /// with `[min, max]`. The upper bound equals [`Histogram::quantile`];
+    /// the interval width is at most [`RELATIVE_ERROR`] of the value
+    /// (plus one for the half-open bucket edge), which is the bound two
+    /// independent histograms over related samples can be compared
+    /// under: if the same requests were timed on both sides, the lower
+    /// bound of the larger side can never exceed the upper bound of the
+    /// smaller side. `(0, 0)` when empty.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let hi = bucket_upper_bound(i).clamp(self.min, self.max);
+                let lo = match i {
+                    0 => 0,
+                    _ => (bucket_upper_bound(i - 1) + 1).clamp(self.min, self.max),
+                };
+                return (lo.min(hi), hi);
+            }
+        }
+        (self.max, self.max)
+    }
+
     /// Folds `other` in. Commutative and associative: merging
     /// per-worker histograms in any order yields the same result.
     pub fn merge(&mut self, other: &Histogram) {
@@ -445,6 +475,64 @@ mod tests {
         assert_eq!(h.quantile(0.99), 0);
         let back = Histogram::from_json(&h.to_json()).expect("empty roundtrips");
         assert_eq!(back.count(), 0);
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_the_true_rank_value() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, expected) in [(0.50, 50_000u64), (0.95, 95_000), (0.99, 99_000)] {
+            let (lo, hi) = h.quantile_bounds(q);
+            assert!(
+                lo <= expected && expected <= hi,
+                "q{q}: {expected} outside [{lo}, {hi}]"
+            );
+            assert_eq!(hi, h.quantile(q), "upper bound must equal quantile()");
+            // The interval is at most one bucket wide: RELATIVE_ERROR
+            // of the value, plus one for the half-open edge.
+            assert!(
+                (hi - lo) as f64 <= hi as f64 * RELATIVE_ERROR + 1.0,
+                "q{q}: interval [{lo}, {hi}] wider than the error bound"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_bounds_are_exact_on_unit_buckets_and_empty() {
+        let mut h = Histogram::new();
+        for v in 1..=50u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_bounds(0.5), (25, 25));
+        assert_eq!(h.quantile_bounds(1.0), (50, 50));
+        assert_eq!(Histogram::new().quantile_bounds(0.99), (0, 0));
+    }
+
+    #[test]
+    fn quantile_bounds_of_componentwise_smaller_samples_stay_consistent() {
+        // Server-side wall time is a component of what a client times:
+        // per sample, server <= client. The comparison the load harness
+        // makes — server lower bound <= client upper bound at the same
+        // quantile — must hold for any such pair of streams.
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut server = Histogram::new();
+        let mut client = Histogram::new();
+        for _ in 0..5_000 {
+            let s = rng.next_below(40_000_000);
+            let overhead = rng.next_below(3_000_000);
+            server.record(s);
+            client.record(s + overhead);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let (s_lo, _) = server.quantile_bounds(q);
+            let (_, c_hi) = client.quantile_bounds(q);
+            assert!(
+                s_lo <= c_hi,
+                "q{q}: server lower bound {s_lo} exceeds client upper bound {c_hi}"
+            );
+        }
     }
 
     #[test]

@@ -260,6 +260,44 @@ pub struct P99Check {
     pub ok: bool,
 }
 
+/// A server-side latency distribution checked against the
+/// client-observed one at quantile `q`, each with the histogram's
+/// documented bucket bounds
+/// ([`devharness::histogram::Histogram::quantile_bounds`]).
+#[derive(Debug, Clone, Copy)]
+pub struct QuantileCrossCheck {
+    /// The quantile checked (e.g. 0.99).
+    pub q: f64,
+    /// Server-side quantile bucket bounds, nanoseconds.
+    pub server_ns: (u64, u64),
+    /// Client-side quantile bucket bounds, nanoseconds.
+    pub client_ns: (u64, u64),
+    /// Whether the check passed.
+    pub ok: bool,
+}
+
+/// Cross-checks a daemon-side wall-time histogram against the
+/// client-observed latency histogram for the same requests.
+///
+/// The client measures each request from its scheduled (pacer-due)
+/// time, so connect time and queueing delay are included and every
+/// client sample is at least the server's wall time for that request.
+/// Sample-wise domination bounds the quantiles the same way, so the
+/// sound assertion is one-directional: the server's lower p-`q` bucket
+/// bound must not exceed the client's upper bucket bound. A violation
+/// means the two distributions cannot describe the same requests —
+/// daemon-side recording is broken.
+pub fn cross_check_quantile(server: &Histogram, client: &Histogram, q: f64) -> QuantileCrossCheck {
+    let server_ns = server.quantile_bounds(q);
+    let client_ns = client.quantile_bounds(q);
+    QuantileCrossCheck {
+        q,
+        server_ns,
+        client_ns,
+        ok: server_ns.0 <= client_ns.1,
+    }
+}
+
 /// Everything measured about one target.
 #[derive(Debug)]
 pub struct TargetRun {
@@ -484,6 +522,26 @@ mod tests {
         assert!(all.iter().any(|v| v.contains("wellformed")));
         assert!(all.iter().any(|v| v.contains("hostile_selector")));
         assert!(all.iter().any(|v| v.contains("panic")));
+    }
+
+    #[test]
+    fn quantile_cross_check_accepts_dominated_servers_and_flags_inversions() {
+        let mut server = Histogram::new();
+        let mut client = Histogram::new();
+        // Componentwise domination: client = server + fixed overhead.
+        for i in 1..=1000u64 {
+            server.record(i * 1000);
+            client.record(i * 1000 + 250_000);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let check = cross_check_quantile(&server, &client, q);
+            assert!(check.ok, "q={q}: {check:?}");
+            assert!(check.server_ns.0 <= check.server_ns.1);
+        }
+        // Inverted: the "server" claims a tail far above anything the
+        // client saw — impossible for the same requests.
+        let check = cross_check_quantile(&client, &server, 0.99);
+        assert!(!check.ok, "{check:?}");
     }
 
     #[test]

@@ -392,50 +392,6 @@ fn parse_source_dir(dir: &Path) -> Result<RuleSet, PackError> {
     Ok(set)
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated pre-PackSource loading API — shims for one release.
-// ---------------------------------------------------------------------------
-
-/// Loads the shipped JCA rule set.
-#[deprecated(since = "0.8.0", note = "use rules::open(PackSource::Embedded)")]
-pub fn load() -> Result<RuleSet, CryslError> {
-    embedded_shared().cloned()
-}
-
-/// The process-wide parsed JCA rule set, shared by reference.
-#[deprecated(
-    since = "0.8.0",
-    note = "use rules::open(PackSource::Embedded); the embedded set is still parsed once per process"
-)]
-pub fn load_shared() -> Result<&'static RuleSet, CryslError> {
-    embedded_shared()
-}
-
-/// Parses the shipped rule set from source, bypassing the process-wide
-/// cache.
-#[deprecated(
-    since = "0.8.0",
-    note = "use rules::open_uncached(PackSource::Embedded)"
-)]
-pub fn load_uncached() -> Result<RuleSet, CryslError> {
-    parse_embedded()
-}
-
-/// Parses a rule set from raw CrySL sources.
-#[deprecated(
-    since = "0.8.0",
-    note = "use rules::open(PackSource::SourceDir(..)) for directories, or RuleSet::add_source directly"
-)]
-pub fn rule_set_from_sources<'a>(
-    sources: impl IntoIterator<Item = &'a str>,
-) -> Result<RuleSet, CryslError> {
-    let mut set = RuleSet::new();
-    for src in sources {
-        set.add_source(src)?;
-    }
-    Ok(set)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,12 +418,9 @@ mod tests {
         assert_eq!(a.rules, b.rules);
         assert_eq!(a.fingerprints, b.fingerprints);
         assert_eq!(a.pack_fingerprint(), b.pack_fingerprint());
-        #[allow(deprecated)]
-        {
-            // The shims ride the same process-wide parse.
-            let via_shim = load_shared().unwrap();
-            assert_eq!(*via_shim, a.rules);
-        }
+        // Both opens ride the same process-wide parse.
+        let shared = embedded_shared().unwrap();
+        assert_eq!(*shared, a.rules);
     }
 
     #[test]

@@ -36,11 +36,11 @@ if matches="$(grep -nE "$old_apis" $sources)"; then
     exit 1
 fi
 
-# The PackSource redesign: every rule load goes through
-# rules::open()/open_uncached()/open_bytes(). The deprecated loader
-# shims survive only inside their defining crates for one release; no
-# call site may name the old qualified entry points.
-old_loaders='rules::load\(|rules::load_shared\(|rules::load_uncached\(|rules::rule_set_from_sources\(|serve::load_rule_pack\('
+# The PackSource redesign is complete: the deprecated loader shims are
+# deleted, so nothing is exempt any more — no source file may call the
+# old qualified entry points, and no crate may define the shim names
+# again (their return would resurrect the pre-PackSource API).
+old_loaders='rules::load\(|rules::load_shared\(|rules::load_uncached\(|rules::rule_set_from_sources\(|serve::load_rule_pack\(|fn load_shared\(|fn load_uncached\(|fn rule_set_from_sources\(|fn load_rule_pack\('
 if matches="$(grep -nE "$old_loaders" $sources)"; then
     echo "error: pre-PackSource loader call site:" >&2
     echo "$matches" >&2
@@ -89,12 +89,16 @@ diff "$workdir/traced-uc01.java" "$workdir/single/uc01.java"
 "$cli" trace-check "$workdir/trace-batch.json"
 diff -r "$workdir/traced-batch" "$workdir/single"
 
-# Daemon smoke: boot `serve` on an ephemeral port, wait for the
+# Daemon obs-smoke: boot `serve` on an ephemeral port, wait for the
 # parseable announce line, then let `serve-check` probe it end to end —
 # healthz, metrics, a generation diffed byte-for-byte against a local
-# engine, a hot-reload, shutdown. The daemon must exit 0 afterwards.
+# engine, a hot-reload, the observability surfaces (mixed hostile and
+# well-formed traffic with both outcome classes visible in /tracez,
+# /statz quantiles, a /profilez capture window), shutdown. The daemon
+# must exit 0 afterwards, and the fetched capture must pass the same
+# trace-check gate as the CLI's own --trace exports.
 serve_smoke() {
-    local log="$1"; shift
+    local log="$1"; local profile="$2"; shift 2
     "$cli" serve --listen 127.0.0.1:0 --threads 2 "$@" > "$log" &
     local pid=$!
     local addr=""
@@ -113,11 +117,12 @@ serve_smoke() {
         kill "$pid" 2>/dev/null || true
         exit 1
     fi
-    "$cli" serve-check "$addr"
+    "$cli" serve-check "$addr" --profile-out "$profile"
     wait "$pid"
+    "$cli" trace-check "$profile"
 }
-echo "==> cli serve + serve-check round trip"
-serve_smoke "$workdir/serve.out"
+echo "==> cli serve + serve-check round trip (obs probes + profilez capture)"
+serve_smoke "$workdir/serve.out" "$workdir/serve-profile.json"
 
 # Precompiled rule packs: `compile-rules` must produce a pack whose
 # boot is observably identical to a source boot. The pack-booted batch
@@ -129,7 +134,7 @@ echo "==> compile-rules -> pack-booted batch diff + serve-check"
 mkdir -p "$workdir/pack-batch"
 "$cli" batch "$workdir/pack-batch" 8 --rules "$workdir/jca.crpack" >/dev/null
 diff -r "$workdir/pack-batch" "$workdir/single"
-serve_smoke "$workdir/serve-pack.out" --rules "$workdir/jca.crpack"
+serve_smoke "$workdir/serve-pack.out" "$workdir/serve-pack-profile.json" --rules "$workdir/jca.crpack"
 
 # Corpus replay: every committed fuzz reproducer must pass the oracles
 # it once crashed. A budget of 0 replays the corpus and runs nothing

@@ -21,7 +21,10 @@ use std::sync::Arc;
 
 use cognicrypt_load::report::{LoadReport, SpecEcho, SUITE};
 use cognicrypt_load::workload::{build_schedule, schedule_fingerprint, OpKind, WorkloadSpec};
-use cognicrypt_load::{run_target, Outcome, OutcomeClass, RunConfig, Target, TargetRun};
+use cognicrypt_load::{
+    cross_check_quantile, run_target, Outcome, OutcomeClass, RunConfig, Target, TargetRun,
+};
+use devharness::histogram::Histogram;
 use devharness::json::Json;
 
 use crate::core::GenEngine;
@@ -523,6 +526,58 @@ struct DaemonEndpoints {
     uds_path: Option<PathBuf>,
 }
 
+/// Fetches the daemon's `/statz` histogram for successful `generate`
+/// requests on one transport, over that same transport.
+fn fetch_server_generate_hist(
+    endpoints: &DaemonEndpoints,
+    kind: TargetKind,
+) -> Result<Histogram, Error> {
+    let (doc, key) = match kind {
+        TargetKind::Http => {
+            let addr = endpoints
+                .http_addr
+                .as_deref()
+                .ok_or_else(|| Error::Invalid("daemon bound no HTTP address".to_owned()))?;
+            let (code, body) = serve::http::request(addr, "GET", "/statz?json=1", "")
+                .map_err(|e| Error::Invalid(format!("statz fetch: {e}")))?;
+            if code != 200 {
+                return Err(Error::Invalid(format!("statz fetch: status {code}")));
+            }
+            let doc = Json::parse(&body).map_err(|e| Error::Invalid(format!("statz body: {e}")))?;
+            (doc, "http.generate.ok")
+        }
+        TargetKind::Uds => {
+            #[cfg(unix)]
+            {
+                let path = endpoints
+                    .uds_path
+                    .as_deref()
+                    .ok_or_else(|| Error::Invalid("daemon bound no socket".to_owned()))?;
+                let responses = serve::uds::request_lines(path, &["statz json"])
+                    .map_err(|e| Error::Invalid(format!("statz fetch: {e}")))?;
+                let body = responses
+                    .first()
+                    .and_then(|r| r.get("body").and_then(Json::as_str))
+                    .ok_or_else(|| Error::Invalid("statz fetch: no response body".to_owned()))?;
+                let doc =
+                    Json::parse(body).map_err(|e| Error::Invalid(format!("statz body: {e}")))?;
+                (doc, "uds.generate.ok")
+            }
+            #[cfg(not(unix))]
+            unreachable!("uds target rejected at option parsing")
+        }
+        TargetKind::Library => {
+            return Err(Error::Invalid(
+                "the library target has no daemon-side histogram".to_owned(),
+            ))
+        }
+    };
+    let hist = doc
+        .get(key)
+        .ok_or_else(|| Error::Invalid(format!("statz: no `{key}` histogram")))?;
+    Histogram::from_json(hist).map_err(|e| Error::Invalid(format!("statz `{key}`: {e}")))
+}
+
 /// Runs the full load harness per `opts`: build schedules, boot a
 /// daemon when a transport target asks for one, drive every target,
 /// write the report, fail on any violation.
@@ -595,6 +650,8 @@ pub fn run_load(opts: &LoadOptions) -> Result<(), Error> {
     };
 
     let mut runs: Vec<TargetRun> = Vec::new();
+    let mut daemon_violations = Vec::new();
+    let mut gauges: Vec<(String, Json)> = Vec::new();
     for kind in &opts.targets {
         let run = match kind {
             TargetKind::Library => {
@@ -641,14 +698,84 @@ pub fn run_load(opts: &LoadOptions) -> Result<(), Error> {
             run.p99.clean_ns / 1_000,
             run.p99.mixed_ns / 1_000,
         );
+        // Cross-check the daemon's own `/statz` wall-time distribution
+        // for this transport's `generate` endpoint against the latency
+        // the clients observed for the same requests. A daemon that
+        // under-reports (stale histogram, dropped records) or a client
+        // clock that drifts shows up as an inconsistent pair here.
+        if matches!(kind, TargetKind::Http | TargetKind::Uds) {
+            let transport = run.target;
+            let mut client = run.clean.wellformed();
+            client.merge(&run.mixed.wellformed());
+            match fetch_server_generate_hist(&endpoints, *kind) {
+                Ok(server) => {
+                    let check = cross_check_quantile(&server, &client, 0.99);
+                    if server.count() != client.count() {
+                        daemon_violations.push(format!(
+                            "{transport}: daemon counted {} ok generate requests, \
+                             clients sent {}",
+                            server.count(),
+                            client.count(),
+                        ));
+                    }
+                    if !check.ok {
+                        daemon_violations.push(format!(
+                            "{transport}: daemon p99 bucket [{}, {}] ns cannot describe \
+                             the requests clients saw at [{}, {}] ns",
+                            check.server_ns.0,
+                            check.server_ns.1,
+                            check.client_ns.0,
+                            check.client_ns.1,
+                        ));
+                    }
+                    eprintln!(
+                        "load: {transport} statz cross-check — server p99 in [{}, {}] µs, \
+                         client p99 in [{}, {}] µs, {}",
+                        check.server_ns.0 / 1_000,
+                        check.server_ns.1 / 1_000,
+                        check.client_ns.0 / 1_000,
+                        check.client_ns.1 / 1_000,
+                        if check.ok {
+                            "consistent"
+                        } else {
+                            "INCONSISTENT"
+                        },
+                    );
+                    gauges.push((
+                        format!("statz_p99_{transport}"),
+                        Json::Obj(vec![
+                            ("q".to_owned(), Json::Num(check.q)),
+                            (
+                                "server_lo_ns".to_owned(),
+                                Json::Num(check.server_ns.0 as f64),
+                            ),
+                            (
+                                "server_hi_ns".to_owned(),
+                                Json::Num(check.server_ns.1 as f64),
+                            ),
+                            (
+                                "client_lo_ns".to_owned(),
+                                Json::Num(check.client_ns.0 as f64),
+                            ),
+                            (
+                                "client_hi_ns".to_owned(),
+                                Json::Num(check.client_ns.1 as f64),
+                            ),
+                            ("server_count".to_owned(), Json::Num(server.count() as f64)),
+                            ("client_count".to_owned(), Json::Num(client.count() as f64)),
+                            ("ok".to_owned(), Json::Bool(check.ok)),
+                        ]),
+                    ));
+                }
+                Err(e) => daemon_violations.push(format!("{transport}: {e}")),
+            }
+        }
         runs.push(run);
     }
 
     // End-of-run proof that nothing panicked inside the daemon, even
     // where a response got lost: the daemon's own counters must agree
     // with the per-response classification.
-    let mut daemon_violations = Vec::new();
-    let mut gauges: Vec<(String, Json)> = Vec::new();
     if let Some(handle) = daemon {
         let snapshot = handle.state().loadz_snapshot();
         for counter in ["request_panics", "connection_panics"] {

@@ -29,14 +29,23 @@
 //!                                     any crash
 //! cognicryptgen serve [--listen <addr>] [--socket <path>]
 //!                     [--threads <n>] [--rules <dir|pack.crpack>]
+//!                     [--slow-ms <n>] [--tracez-capacity <n>]
 //!                                     run the long-lived generation daemon:
 //!                                     one warm engine, HTTP/1.1 and/or a
 //!                                     Unix-socket line protocol, /metrics,
-//!                                     rule-pack hot-reload
-//! cognicryptgen serve-check <addr>    probe a running daemon end to end:
+//!                                     rule-pack hot-reload, per-request
+//!                                     observability (/tracez access records,
+//!                                     /statz latency quantiles, /profilez
+//!                                     on-demand trace capture; --slow-ms
+//!                                     logs slow requests to stderr)
+//! cognicryptgen serve-check <addr> [--profile-out <file>]
+//!                                     probe a running daemon end to end:
 //!                                     healthz, metrics, generate (compared
 //!                                     byte-for-byte against a local engine),
-//!                                     reload, shutdown
+//!                                     reload, tracez/statz, a profilez
+//!                                     arm→capture→validate round trip
+//!                                     (writing the capture to --profile-out
+//!                                     when given), shutdown
 //! cognicryptgen load [--seed <s>] [--budget <n>] [--clients <n>]
 //!                    [--rate <ops/s>] [--corpus <dir>] [--out <file>]
 //!                    [--p99-factor <f>] [--p99-floor-ms <n>]
@@ -142,8 +151,9 @@ fn main() -> ExitCode {
                 }
                 cmd_serve(&serve_args)
             }
-            Some("serve-check") => reject_custom(trace, pack, "serve-check")
-                .and_then(|()| cmd_serve_check(args.get(1).map(String::as_str))),
+            Some("serve-check") => {
+                reject_custom(trace, pack, "serve-check").and_then(|()| cmd_serve_check(&args[1..]))
+            }
             Some("load") => reject_custom(trace, pack, "load").and_then(|()| cmd_load(&args[1..])),
             Some("load-check") => {
                 reject_custom(trace, pack, "load-check").and_then(|()| cmd_load_check(&args[1..]))
@@ -541,10 +551,14 @@ fn cmd_fuzz(args: &[String]) -> Result<(), Error> {
 }
 
 /// `serve [--listen <addr>] [--socket <path>] [--threads <n>]
-/// [--rules <dir|pack.crpack>]` — run the generation daemon until a
-/// protocol-level `shutdown` request. With no transport flag, HTTP binds
-/// `127.0.0.1:0` (a free port); the bound endpoints are printed as
-/// parseable `listening …` lines before the process blocks.
+/// [--rules <dir|pack.crpack>] [--slow-ms <n>] [--tracez-capacity <n>]`
+/// — run the generation
+/// daemon until a protocol-level `shutdown` request. With no transport
+/// flag, HTTP binds `127.0.0.1:0` (a free port); the bound endpoints
+/// are printed as parseable `listening …` lines before the process
+/// blocks. `--slow-ms` logs every request at or above the threshold to
+/// stderr and counts it as `serve.requests.slow`; `--tracez-capacity`
+/// sizes the `/tracez` access-record ring (0 disables recording).
 fn cmd_serve(args: &[String]) -> Result<(), Error> {
     let mut config = ServeConfig {
         threads: GenEngine::DEFAULT_THREADS,
@@ -567,6 +581,19 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
                     .parse()
                     .map_err(|_| Error::Usage(format!("invalid thread count `{v}`")))?;
             }
+            "--slow-ms" => {
+                let v = value("--slow-ms")?;
+                config.slow_ms = Some(
+                    v.parse()
+                        .map_err(|_| Error::Usage(format!("invalid slow threshold `{v}`")))?,
+                );
+            }
+            "--tracez-capacity" => {
+                let v = value("--tracez-capacity")?;
+                config.obs_capacity = v
+                    .parse()
+                    .map_err(|_| Error::Usage(format!("invalid tracez capacity `{v}`")))?;
+            }
             other => return Err(Error::Usage(format!("unknown serve option `{other}`"))),
         }
     }
@@ -588,12 +615,27 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
     Ok(())
 }
 
-/// `serve-check <addr>` — end-to-end probe of a running daemon:
-/// healthz, metrics, a generation compared byte-for-byte against a
-/// local engine, a hot-reload, the same generation again, shutdown.
-/// Exits non-zero on the first discrepancy, so scripts can gate on it.
-fn cmd_serve_check(addr: Option<&str>) -> Result<(), Error> {
-    let addr = addr.ok_or_else(|| Error::Usage("missing daemon address".to_owned()))?;
+/// `serve-check <addr> [--profile-out <file>]` — end-to-end probe of a
+/// running daemon: healthz, metrics, a generation compared
+/// byte-for-byte against a local engine, a hot-reload, the same
+/// generation again, the observability surface (`/tracez` with a
+/// hostile probe showing up as a rejection, `/statz` in both
+/// renderings, a `/profilez` arm→capture→validate round trip with a
+/// 409 on double-arm), shutdown. With `--profile-out` the captured
+/// trace is also written to a file, ready for `trace-check`. Exits
+/// non-zero on the first discrepancy, so scripts can gate on it.
+fn cmd_serve_check(args: &[String]) -> Result<(), Error> {
+    let mut args = args.to_vec();
+    let profile_out = extract_flag(&mut args, "--profile-out", "an output file path")?;
+    let addr = match args.as_slice() {
+        [addr] => addr.as_str(),
+        [] => return Err(Error::Usage("missing daemon address".to_owned())),
+        _ => {
+            return Err(Error::Usage(
+                "serve-check takes one daemon address".to_owned(),
+            ))
+        }
+    };
     let http_err = |e: std::io::Error| Error::Invalid(format!("daemon at {addr}: {e}"));
 
     let (code, body) = serve::http::request(addr, "GET", "/healthz", "").map_err(http_err)?;
@@ -638,6 +680,104 @@ fn cmd_serve_check(addr: Option<&str>) -> Result<(), Error> {
         )));
     }
     println!("serve-check: reload preserved output");
+
+    // Observability surface. A deliberately unroutable probe first, so
+    // /tracez?errors=1 provably shows rejected traffic.
+    let (code, _) = serve::http::request(addr, "GET", "/no-such-route", "").map_err(http_err)?;
+    if code != 404 {
+        return Err(Error::Invalid(format!(
+            "hostile probe: expected 404, got {code}"
+        )));
+    }
+    let (code, body) = serve::http::request(addr, "GET", "/tracez", "").map_err(http_err)?;
+    let tracez = Json::parse(&body).map_err(|e| Error::Invalid(format!("tracez: {e}")))?;
+    let records = tracez
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| Error::Invalid("tracez: no records array".to_owned()))?;
+    if code != 200 || records.is_empty() {
+        return Err(Error::Invalid(format!(
+            "tracez: expected 200 with records, got {code} with {}",
+            records.len()
+        )));
+    }
+    let (code, body) =
+        serve::http::request(addr, "GET", "/tracez?errors=1", "").map_err(http_err)?;
+    let errors_doc = Json::parse(&body).map_err(|e| Error::Invalid(format!("tracez: {e}")))?;
+    let rejected = errors_doc
+        .get("records")
+        .and_then(Json::as_arr)
+        .is_some_and(|records| {
+            records
+                .iter()
+                .any(|r| r.get("endpoint").and_then(Json::as_str) == Some("rejected"))
+        });
+    if code != 200 || !rejected {
+        return Err(Error::Invalid(
+            "tracez?errors=1: hostile probe not visible as a rejected record".to_owned(),
+        ));
+    }
+    println!(
+        "serve-check: tracez ok ({} records, rejections visible)",
+        records.len()
+    );
+
+    let (code, body) = serve::http::request(addr, "GET", "/statz", "").map_err(http_err)?;
+    if code != 200 || !body.contains("http.generate.ok") {
+        return Err(Error::Invalid(format!(
+            "statz: expected 200 with an http.generate.ok row, got {code}"
+        )));
+    }
+    let (code, body) = serve::http::request(addr, "GET", "/statz?json=1", "").map_err(http_err)?;
+    let statz = Json::parse(&body).map_err(|e| Error::Invalid(format!("statz: {e}")))?;
+    if code != 200 || statz.get("http.generate.ok").is_none() {
+        return Err(Error::Invalid(format!(
+            "statz?json=1: expected 200 with an http.generate.ok histogram, got {code}"
+        )));
+    }
+    println!("serve-check: statz ok");
+
+    let (code, _) = serve::http::request(addr, "POST", "/profilez", "2").map_err(http_err)?;
+    if code != 200 {
+        return Err(Error::Invalid(format!(
+            "profilez arm: expected 200, got {code}"
+        )));
+    }
+    let (code, _) = serve::http::request(addr, "POST", "/profilez", "5").map_err(http_err)?;
+    if code != 409 {
+        return Err(Error::Invalid(format!(
+            "profilez double-arm: expected 409, got {code}"
+        )));
+    }
+    for _ in 0..2 {
+        let (code, _) = serve::http::request(addr, "GET", "/generate/1", "").map_err(http_err)?;
+        if code != 200 {
+            return Err(Error::Invalid(format!(
+                "generate during capture: expected 200, got {code}"
+            )));
+        }
+    }
+    let (code, body) = serve::http::request(addr, "GET", "/profilez", "").map_err(http_err)?;
+    if code != 200 {
+        return Err(Error::Invalid(format!(
+            "profilez fetch: expected 200, got {code}"
+        )));
+    }
+    let capture = Json::parse(&body).map_err(|e| Error::Invalid(format!("profilez: {e}")))?;
+    validate_trace(&capture).map_err(|e| Error::Invalid(format!("profilez capture: {e}")))?;
+    let events = capture
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .map_or(0, |events| events.len());
+    if events == 0 {
+        return Err(Error::Invalid(
+            "profilez capture: no events recorded".to_owned(),
+        ));
+    }
+    if let Some(path) = &profile_out {
+        std::fs::write(path, &body).map_err(|e| Error::io(path, e))?;
+    }
+    println!("serve-check: profilez round trip ok ({events} events)");
 
     let (code, _) = serve::http::request(addr, "POST", "/shutdown", "").map_err(http_err)?;
     if code != 200 {

@@ -29,20 +29,14 @@ pub fn serve_connection(state: &ServerState, stream: TcpStream) {
     });
     let response = match read_request(&mut reader) {
         Ok((method, path, body)) => match route(&method, &path, &body) {
-            Ok(request) => state.handle(&request),
+            Ok(request) => state.handle_tagged("http", &request),
             Err(response) => {
-                state.metrics().add("serve.requests", 1);
-                state
-                    .metrics()
-                    .add(&format!("serve.errors.{}", response.class), 1);
+                state.record_rejected("http", &response);
                 response
             }
         },
         Err(response) => {
-            state.metrics().add("serve.requests", 1);
-            state
-                .metrics()
-                .add(&format!("serve.errors.{}", response.class), 1);
+            state.record_rejected("http", &response);
             response
         }
     };
@@ -113,7 +107,10 @@ fn read_head_line(reader: &mut BufReader<TcpStream>) -> Result<String, Response>
 
 /// Maps `(method, path, body)` to a protocol [`Request`].
 fn route(method: &str, path: &str, body: &str) -> Result<Request, Response> {
-    let path = path.split('?').next().unwrap_or(path);
+    let (path, query) = match path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (path, ""),
+    };
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => Ok(Request::Healthz),
@@ -135,14 +132,44 @@ fn route(method: &str, path: &str, body: &str) -> Result<Request, Response> {
         },
         ("GET", ["report"]) => Ok(Request::Report),
         ("POST", ["reload"]) => Ok(Request::Reload),
+        ("GET", ["tracez"]) => Ok(Request::Tracez {
+            errors_only: query_flag(query, "errors"),
+        }),
+        ("GET", ["statz"]) => Ok(Request::Statz {
+            json: query_flag(query, "json"),
+        }),
+        ("POST", ["profilez"]) => {
+            let requests = body.trim();
+            if requests.is_empty() {
+                Ok(Request::ProfilezArm(1))
+            } else {
+                requests
+                    .parse::<u64>()
+                    .map(Request::ProfilezArm)
+                    .map_err(|_| protocol_error(400, "profilez request count must be an integer"))
+            }
+        }
+        ("GET", ["profilez"]) => Ok(Request::ProfilezGet),
         ("POST", ["shutdown"]) => Ok(Request::Shutdown),
         (
             _,
-            ["healthz" | "metrics" | "loadz" | "generate" | "batch" | "report" | "reload"
-            | "shutdown", ..],
+            ["healthz" | "metrics" | "loadz" | "generate" | "batch" | "report" | "reload" | "tracez"
+            | "statz" | "profilez" | "shutdown", ..],
         ) => Err(protocol_error(405, "method not allowed for this route")),
         _ => Err(protocol_error(404, "no such route")),
     }
+}
+
+/// Whether a `?flag=1`-style query member is set: present with no
+/// value, or any value other than `0`.
+fn query_flag(query: &str, name: &str) -> bool {
+    query.split('&').any(|member| {
+        let (key, value) = match member.split_once('=') {
+            Some((key, value)) => (key, value),
+            None => (member, ""),
+        };
+        key == name && value != "0"
+    })
 }
 
 /// Decodes `%XX` escapes and `+` (space) in a path segment; invalid
@@ -218,6 +245,7 @@ fn status_text(code: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",

@@ -36,6 +36,7 @@
 //! to prove it).
 
 pub mod http;
+pub mod obs;
 #[cfg(unix)]
 pub mod uds;
 
@@ -46,12 +47,11 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cognicrypt_core::memtrack::{self, AllocScope};
 use cognicrypt_core::telemetry::{MetricsCollector, MetricsRegistry};
 use cognicrypt_core::GenEngine;
-use crysl::RuleSet;
 use devharness::json::Json;
 use rules::{PackSource, RulePack};
 use usecases::all_use_cases;
@@ -68,7 +68,7 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 pub(crate) const IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Daemon configuration, as parsed from `cognicryptgen serve` flags.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// TCP address for the HTTP transport (`127.0.0.1:0` picks a free
     /// port). `None` disables HTTP.
@@ -82,6 +82,26 @@ pub struct ServeConfig {
     /// precompiled `.crpack` file, auto-detected via
     /// [`PackSource::detect`]. `None` serves the embedded pack.
     pub rules_path: Option<PathBuf>,
+    /// Requests at least this slow are logged to stderr and counted as
+    /// `serve.requests.slow`. `None` disables slow-request logging.
+    pub slow_ms: Option<u64>,
+    /// Access records kept for `/tracez`
+    /// ([`obs::DEFAULT_RING_CAPACITY`] by default); 0 disables
+    /// per-request recording entirely (the bench baseline).
+    pub obs_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            http_addr: None,
+            uds_path: None,
+            threads: 0,
+            rules_path: None,
+            slow_ms: None,
+            obs_capacity: obs::DEFAULT_RING_CAPACITY,
+        }
+    }
 }
 
 impl ServeConfig {
@@ -114,21 +134,6 @@ impl ServeConfig {
         }
         Ok(())
     }
-}
-
-/// Loads a rule pack from a directory of `*.crysl` files.
-///
-/// # Errors
-///
-/// [`Error::Io`] when the directory is unreadable, [`Error::Invalid`]
-/// when it holds no `*.crysl` file, [`Error::Rules`] when a source
-/// fails to parse.
-#[deprecated(
-    since = "0.8.0",
-    note = "use rules::open(PackSource::SourceDir(dir)) — or PackSource::detect to also accept .crpack files"
-)]
-pub fn load_rule_pack(dir: &Path) -> Result<RuleSet, Error> {
-    Ok(rules::open(PackSource::SourceDir(dir.to_path_buf()))?.rules)
 }
 
 /// Pack identity served by a daemon right now, surfaced in `/loadz`
@@ -193,6 +198,21 @@ pub enum Request {
     Report,
     /// Hot-reload the rule pack and prune the compiled-ORDER cache.
     Reload,
+    /// The access-record ring, newest first; optionally errors only.
+    Tracez {
+        /// Keep only records whose outcome class is not `"ok"`.
+        errors_only: bool,
+    },
+    /// Latency quantiles per `transport.endpoint.class` key: a
+    /// human-readable table, or serialized histograms as JSON.
+    Statz {
+        /// Render serialized histograms instead of the table.
+        json: bool,
+    },
+    /// Arm a trace-capture window over the next N traced requests.
+    ProfilezArm(u64),
+    /// Fetch the finished trace capture.
+    ProfilezGet,
     /// Stop accepting and drain.
     Shutdown,
 }
@@ -208,6 +228,10 @@ impl Request {
             Request::Batch(_) => "batch",
             Request::Report => "report",
             Request::Reload => "reload",
+            Request::Tracez { .. } => "tracez",
+            Request::Statz { .. } => "statz",
+            Request::ProfilezArm(_) => "profilez_arm",
+            Request::ProfilezGet => "profilez",
             Request::Shutdown => "shutdown",
         }
     }
@@ -276,6 +300,9 @@ pub struct ServerState {
     metrics: Arc<MetricsRegistry>,
     rules_path: Option<PathBuf>,
     pack_info: RwLock<PackInfo>,
+    obs: obs::RequestObs,
+    profile: Arc<obs::ProfileSwitch>,
+    slow_ns: Option<u64>,
     stop: AtomicBool,
 }
 
@@ -317,21 +344,33 @@ impl ServerState {
         let cache = cognicrypt_core::engine::shared_order_cache().clone();
         let precompiled = pack.is_precompiled();
         pack.seed(&cache);
+        // The resident trace-capture switch is the engine's observer
+        // for the daemon's whole lifetime: hot-reload successors clone
+        // the observer `Arc` (`with_rule_set`), so a `/profilez`
+        // capture works across reloads without reinstalling anything.
+        let profile = Arc::new(obs::ProfileSwitch::new());
         let engine = GenEngine::builder()
             .rules(pack.rules)
             .type_table(javamodel::jca::jca_type_table())
             .threads(config.threads)
             .order_cache(cache)
+            .observer(profile.clone())
             .build()?;
         if !precompiled {
             engine.warm()?;
         }
         memtrack::enable_process_stats();
+        let seed = info.fingerprint;
         Ok(ServerState {
             engine: RwLock::new(Arc::new(engine)),
             metrics: Arc::new(MetricsRegistry::new()),
             rules_path: config.rules_path.clone(),
             pack_info: RwLock::new(info),
+            // Trace ids are seeded from the boot pack's fingerprint:
+            // deterministic for a given pack, different across packs.
+            obs: obs::RequestObs::new(config.obs_capacity, seed),
+            profile,
+            slow_ns: config.slow_ms.map(|ms| ms.saturating_mul(1_000_000)),
             stop: AtomicBool::new(false),
         })
     }
@@ -365,24 +404,49 @@ impl ServerState {
         self.stop.store(true, Ordering::Relaxed);
     }
 
+    /// [`ServerState::handle_tagged`] with the `"inproc"` transport
+    /// tag — the entry point for in-process probing (tests, benches).
+    pub fn handle(&self, request: &Request) -> Response {
+        self.handle_tagged("inproc", request)
+    }
+
     /// Handles one decoded request with full containment: an
     /// [`AllocScope`] measures the request, a per-request registry is
     /// merged into the daemon registry afterwards (the merge is
     /// deterministic, so `/metrics` totals are independent of request
     /// interleaving), and a panic anywhere inside is caught and
     /// reported as a typed `"panic"` response — the worker, its
-    /// siblings, and the daemon all survive.
-    pub fn handle(&self, request: &Request) -> Response {
+    /// siblings, and the daemon all survive. The finished request is
+    /// recorded as a [`obs::RequestRecord`] under `transport`, fed
+    /// into the latency histograms, counted against an armed
+    /// `/profilez` window, and logged to stderr when it crossed the
+    /// `--slow-ms` threshold.
+    pub fn handle_tagged(&self, transport: &'static str, request: &Request) -> Response {
+        let (request_id, trace_id) = self.obs.begin();
         let per_request = MetricsCollector::fresh();
         let registry = per_request.registry().clone();
         registry.add("serve.requests", 1);
         registry.add(&format!("serve.requests.{}", request.name()), 1);
 
+        let cache_before = self.engine().cache_stats();
         let scope = AllocScope::enter();
+        let start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(request)));
+        let wall = start.elapsed();
         let alloc = scope.finish();
+        let cache_after = self.engine().cache_stats();
         registry.observe("serve.request.peak_live_bytes", alloc.peak_live_bytes);
         registry.observe("serve.request.alloc_bytes", alloc.allocated_bytes);
+
+        // Only requests that run the generation pipeline produce
+        // spans; counting anything else against a capture window would
+        // close it without capturing.
+        if matches!(
+            request,
+            Request::Generate(_) | Request::Batch(_) | Request::Report
+        ) {
+            self.profile.note_request();
+        }
 
         let response = match outcome {
             Ok(Ok(response)) => response,
@@ -407,8 +471,68 @@ impl ServerState {
             registry.add(&format!("serve.errors.{}", response.class), 1);
         }
         registry.observe("serve.response.bytes", response.body.len() as u64);
+
+        let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        if let Some(slow_ns) = self.slow_ns {
+            if wall_ns >= slow_ns {
+                registry.add("serve.requests.slow", 1);
+                eprintln!(
+                    "serve: slow request trace_id={trace_id:016x} transport={transport} \
+                     endpoint={} class={} wall_ms={:.1}",
+                    request.name(),
+                    response.class,
+                    wall_ns as f64 / 1e6,
+                );
+            }
+        }
+        self.obs.record(obs::RequestRecord {
+            request_id,
+            trace_id,
+            transport,
+            endpoint: request.name(),
+            selector: match request {
+                Request::Generate(selector) => Some(selector.clone()),
+                _ => None,
+            },
+            class: response.class,
+            code: response.code,
+            wall_ns,
+            alloc_bytes: alloc.allocated_bytes,
+            cache_hits: cache_after.hits.saturating_sub(cache_before.hits),
+            cache_misses: cache_after.misses.saturating_sub(cache_before.misses),
+        });
         self.metrics.merge_from(&registry);
         response
+    }
+
+    /// Records traffic that never parsed into a [`Request`] — a
+    /// malformed request line, an unknown route, an oversized body.
+    /// Rejections get the same request identity and ring visibility as
+    /// routed requests (endpoint `"rejected"`), so hostile traffic is
+    /// attributable from `/tracez` alone.
+    pub fn record_rejected(&self, transport: &'static str, response: &Response) {
+        let (request_id, trace_id) = self.obs.begin();
+        self.metrics.add("serve.requests", 1);
+        self.metrics
+            .add(&format!("serve.errors.{}", response.class), 1);
+        self.obs.record(obs::RequestRecord {
+            request_id,
+            trace_id,
+            transport,
+            endpoint: "rejected",
+            selector: None,
+            class: response.class,
+            code: response.code,
+            wall_ns: 0,
+            alloc_bytes: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        });
+    }
+
+    /// The per-request observability surface (for in-process probing).
+    pub fn obs(&self) -> &obs::RequestObs {
+        &self.obs
     }
 
     fn dispatch(&self, request: &Request) -> Result<Response, Error> {
@@ -452,6 +576,74 @@ impl ServerState {
                 ))
             }
             Request::Reload => self.reload(),
+            Request::Tracez { errors_only } => Ok(Response::ok(
+                "application/json",
+                format!("{}\n", self.obs.tracez_json(*errors_only)),
+            )),
+            Request::Statz { json } => Ok(if *json {
+                Response::ok("application/json", format!("{}\n", self.obs.statz_json()))
+            } else {
+                Response::ok("text/plain", self.obs.statz_text())
+            }),
+            Request::ProfilezArm(requests) => {
+                if *requests == 0 || *requests > obs::MAX_PROFILE_REQUESTS {
+                    return Err(Error::Usage(format!(
+                        "profilez request count must be in 1..={}, got {requests}",
+                        obs::MAX_PROFILE_REQUESTS
+                    )));
+                }
+                match self.profile.arm(*requests) {
+                    Ok(()) => Ok(Response::ok(
+                        "application/json",
+                        format!(
+                            "{}\n",
+                            Json::Obj(vec![("armed".to_owned(), Json::Num(*requests as f64),)])
+                        ),
+                    )),
+                    // One capture at a time: arming over an open
+                    // window is a typed conflict, not a silent reset.
+                    Err(remaining) => Ok(Response {
+                        code: 409,
+                        class: "conflict",
+                        content_type: "application/json",
+                        body: format!(
+                            "{}\n",
+                            Json::Obj(vec![
+                                ("error".to_owned(), Json::Str("conflict".to_owned())),
+                                (
+                                    "message".to_owned(),
+                                    Json::Str("a capture window is already armed".to_owned()),
+                                ),
+                                ("remaining".to_owned(), Json::Num(remaining as f64)),
+                            ])
+                        ),
+                    }),
+                }
+            }
+            Request::ProfilezGet => {
+                let (message, remaining) = match self.profile.fetch() {
+                    obs::ProfileFetch::Ready(doc) => {
+                        return Ok(Response::ok("application/json", format!("{doc}\n")));
+                    }
+                    obs::ProfileFetch::Armed { remaining } => {
+                        ("capture in progress", Some(remaining))
+                    }
+                    obs::ProfileFetch::Idle => ("no capture armed", None),
+                };
+                let mut members = vec![
+                    ("error".to_owned(), Json::Str("not_found".to_owned())),
+                    ("message".to_owned(), Json::Str(message.to_owned())),
+                ];
+                if let Some(remaining) = remaining {
+                    members.push(("remaining".to_owned(), Json::Num(remaining as f64)));
+                }
+                Ok(Response {
+                    code: 404,
+                    class: "not_found",
+                    content_type: "application/json",
+                    body: format!("{}\n", Json::Obj(members)),
+                })
+            }
             Request::Shutdown => {
                 self.request_stop();
                 Ok(Response::ok("text/plain", "shutting down\n".to_owned()))
@@ -609,6 +801,7 @@ impl ServerState {
         merged.set_gauge("serve.pack.fingerprint", pack.fingerprint);
         merged.set_gauge("serve.pack.rules", pack.rules as u64);
         merged.set_gauge("serve.pack.precompiled", u64::from(pack.precompiled));
+        self.obs.export_gauges(&merged);
         merged.render_text()
     }
 }

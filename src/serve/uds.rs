@@ -2,6 +2,8 @@
 //!
 //! One request per line — `healthz`, `metrics`, `loadz`,
 //! `generate <selector>`, `batch [threads]`, `report`, `reload`,
+//! `tracez [errors]`, `statz [json]`, `profilez [<n>]` (a bare
+//! `profilez` fetches the capture, `profilez <n>` arms one),
 //! `shutdown` — and exactly one
 //! JSON object per response line:
 //!
@@ -44,8 +46,7 @@ pub fn serve_connection(state: &ServerState, stream: UnixStream) {
             Ok(0) => return,
             Ok(n) if n > MAX_LINE_BYTES => {
                 let response = protocol_error("request line exceeds the 64KiB cap");
-                state.metrics().add("serve.requests", 1);
-                state.metrics().add("serve.errors.protocol", 1);
+                state.record_rejected("uds", &response);
                 if write_line(&mut writer, &response).is_err() {
                     return;
                 }
@@ -63,7 +64,7 @@ pub fn serve_connection(state: &ServerState, stream: UnixStream) {
         let response = match parse_line(line) {
             Ok(request) => {
                 let shutting_down = matches!(request, Request::Shutdown);
-                let response = state.handle(&request);
+                let response = state.handle_tagged("uds", &request);
                 if shutting_down {
                     let _ = write_line(&mut writer, &response);
                     return;
@@ -71,10 +72,7 @@ pub fn serve_connection(state: &ServerState, stream: UnixStream) {
                 response
             }
             Err(response) => {
-                state.metrics().add("serve.requests", 1);
-                state
-                    .metrics()
-                    .add(&format!("serve.errors.{}", response.class), 1);
+                state.record_rejected("uds", &response);
                 response
             }
         };
@@ -102,6 +100,15 @@ fn parse_line(line: &str) -> Result<Request, Response> {
             .map_err(|_| protocol_error("batch thread count must be an integer")),
         ("report", "") => Ok(Request::Report),
         ("reload", "") => Ok(Request::Reload),
+        ("tracez", "") => Ok(Request::Tracez { errors_only: false }),
+        ("tracez", "errors") => Ok(Request::Tracez { errors_only: true }),
+        ("statz", "") => Ok(Request::Statz { json: false }),
+        ("statz", "json") => Ok(Request::Statz { json: true }),
+        ("profilez", "") => Ok(Request::ProfilezGet),
+        ("profilez", requests) => requests
+            .parse::<u64>()
+            .map(Request::ProfilezArm)
+            .map_err(|_| protocol_error("profilez request count must be an integer")),
         ("shutdown", "") => Ok(Request::Shutdown),
         _ => Err(protocol_error("unknown request verb")),
     }
@@ -147,9 +154,19 @@ pub fn request_lines(path: &std::path::Path, lines: &[&str]) -> std::io::Result<
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     for line in lines {
-        writeln!(stream, "{line}")?;
+        if let Err(e) = writeln!(stream, "{line}") {
+            // The daemon refuses some lines mid-write — the 64 KiB cap
+            // makes it respond and close while the client is still
+            // sending — and its refusal frame stays readable after the
+            // EPIPE. Stop writing and collect it; anything else is a
+            // real transport failure.
+            match e.kind() {
+                std::io::ErrorKind::BrokenPipe | std::io::ErrorKind::ConnectionReset => break,
+                _ => return Err(e),
+            }
+        }
     }
-    stream.shutdown(std::net::Shutdown::Write)?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
     let reader = BufReader::new(stream);
     let mut responses = Vec::with_capacity(lines.len());
     for line in reader.lines() {

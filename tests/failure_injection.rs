@@ -203,6 +203,7 @@ fn hostile_traffic_is_isolated_from_concurrent_wellformed_responses() {
         uds_path: None,
         threads: 4,
         rules_path: None,
+        ..ServeConfig::default()
     };
     let handle = Server::start(&config).expect("daemon boots");
     let addr = handle.http_addr().expect("http bound").to_string();

@@ -128,6 +128,7 @@ fn loadz_snapshot_is_served_over_http() {
         uds_path: None,
         threads: 2,
         rules_path: None,
+        ..ServeConfig::default()
     };
     let handle = Server::start(&config).expect("daemon boots");
     let addr = handle.http_addr().expect("http bound").to_string();
@@ -169,6 +170,7 @@ fn loadz_snapshot_is_served_over_uds() {
         uds_path: Some(socket.clone()),
         threads: 2,
         rules_path: None,
+        ..ServeConfig::default()
     };
     let handle = Server::start(&config).expect("daemon boots");
 

@@ -133,6 +133,7 @@ fn hot_reload_prunes_exactly_the_removed_fingerprints() {
         uds_path: None,
         threads: 2,
         rules_path: Some(pack.clone()),
+        ..ServeConfig::default()
     };
     let handle = Server::start(&config).expect("daemon boots from the pack dir");
     let addr = handle.http_addr().expect("http bound").to_string();
@@ -218,6 +219,7 @@ fn daemon_boots_from_a_compiled_pack_and_survives_a_corrupt_reload() {
         uds_path: None,
         threads: 2,
         rules_path: Some(pack_file.clone()),
+        ..ServeConfig::default()
     };
     let handle = Server::start(&config).expect("daemon boots from the .crpack");
     let addr = handle.http_addr().expect("http bound").to_string();
@@ -332,6 +334,7 @@ fn uds_line_protocol_frames_one_json_response_per_request() {
         uds_path: Some(socket.clone()),
         threads: 2,
         rules_path: None,
+        ..ServeConfig::default()
     };
     let handle = Server::start(&config).expect("daemon boots on the socket");
 

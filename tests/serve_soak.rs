@@ -126,6 +126,7 @@ fn soak_mixed_hostile_and_well_formed_traffic() {
         uds_path: None,
         threads: 4,
         rules_path: None,
+        ..ServeConfig::default()
     };
     let handle = Server::start(&config).expect("daemon boots");
     let addr = handle.http_addr().expect("http bound").to_string();
@@ -304,6 +305,7 @@ fn soak_uds_mixed_hostile_and_well_formed_traffic() {
         uds_path: Some(socket.clone()),
         threads: 4,
         rules_path: None,
+        ..ServeConfig::default()
     };
     let handle = Server::start(&config).expect("daemon boots");
 
