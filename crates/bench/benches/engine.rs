@@ -4,7 +4,7 @@
 //! * `cold-vs-warm/*` — one use-case generation on the legacy cold path
 //!   (rules re-parsed from source, every ORDER pattern recompiled) versus
 //!   a warmed engine whose compiled artefacts are all cache hits;
-//! * `serial-vs-parallel/*` — all eleven Table-1 use cases as one batch:
+//! * `serial-vs-parallel/*` — every catalogued use case as one batch:
 //!   the legacy serial loop (cold per iteration, as N separate CLI
 //!   invocations behaved), then an engine batch at 1, 2 and 8 worker
 //!   threads.
@@ -66,7 +66,7 @@ fn bench_serial_vs_parallel(h: &mut Harness) {
     // The pre-engine behaviour for "generate everything": one cold run
     // per use case (each CLI invocation re-parsed the rules and
     // recompiled every ORDER pattern it touched).
-    h.bench("legacy_cold_serial_all11", || {
+    h.bench("legacy_cold_serial_all", || {
         for t in &templates {
             let rules = open_uncached(PackSource::Embedded).expect("parses").rules;
             let g = Generator::new()
@@ -83,7 +83,7 @@ fn bench_serial_vs_parallel(h: &mut Harness) {
         .expect("rules supplied");
     engine.warm().expect("warms");
     for threads in [1usize, 2, 8] {
-        h.bench(&format!("engine_batch_all11_t{threads}"), || {
+        h.bench(&format!("engine_batch_all_t{threads}"), || {
             let results = engine.generate_batch(black_box(&templates), threads);
             for r in &results {
                 assert!(r.is_ok());

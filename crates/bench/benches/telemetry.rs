@@ -6,7 +6,7 @@
 //! already includes the allocation-counting overhead the paper's memory
 //! column costs.
 //!
-//! * `observer/*` — the full 11-use-case warm batch under each observer
+//! * `observer/*` — the full catalogued-use-case warm batch under each observer
 //!   tier: `NoopObserver` (baseline), `MetricsCollector`,
 //!   `PhaseTimings`, and `TraceRecorder` (reset between iterations so
 //!   the event vector cannot grow without bound);
@@ -42,7 +42,7 @@ use usecases::all_use_cases;
 static ALLOC: TrackingAlloc = TrackingAlloc::new();
 
 /// Highest tolerated ratio of any observed configuration's median over
-/// the noop baseline median for the same warm 11-use-case batch. The
+/// the noop baseline median for the same warm full-catalogue batch. The
 /// observers do strictly bounded work per hook (a few counter bumps, or
 /// one Vec push under a mutex), so 10× is generous headroom over the
 /// ~1–2× measured; crossing it means a hook started doing real work.
@@ -83,17 +83,17 @@ fn bench_observers(h: &mut Harness) -> Vec<(String, u64)> {
     let mut medians = Vec::new();
 
     let noop = warm_engine(Some(Arc::new(NoopObserver)));
-    h.bench("noop_all11", || run_batch(&noop, &templates));
+    h.bench("noop_all", || run_batch(&noop, &templates));
 
     let metrics = warm_engine(Some(Arc::new(MetricsCollector::fresh())));
-    h.bench("metrics_all11", || run_batch(&metrics, &templates));
+    h.bench("metrics_all", || run_batch(&metrics, &templates));
 
     let timings = warm_engine(Some(Arc::new(PhaseTimings::new())));
-    h.bench("phase_timings_all11", || run_batch(&timings, &templates));
+    h.bench("phase_timings_all", || run_batch(&timings, &templates));
 
     let recorder = Arc::new(TraceRecorder::new());
     let traced = warm_engine(Some(recorder.clone()));
-    h.bench("trace_recorder_all11", || {
+    h.bench("trace_recorder_all", || {
         recorder.reset();
         run_batch(&traced, &templates);
     });
@@ -173,13 +173,13 @@ fn assert_serve_overhead_bound(observed_ns: u64, unobserved_ns: u64) -> bool {
 fn assert_overhead_bound(medians: &[(String, u64)]) -> bool {
     let noop = medians
         .iter()
-        .find(|(n, _)| n == "observer/noop_all11")
+        .find(|(n, _)| n == "observer/noop_all")
         .map(|&(_, ns)| ns)
         .expect("noop baseline measured");
     let mut ok = true;
     println!("\noverhead vs noop baseline ({noop} ns median):");
     for (name, ns) in medians {
-        if name == "observer/noop_all11" || !name.starts_with("observer/") {
+        if name == "observer/noop_all" || !name.starts_with("observer/") {
             continue;
         }
         let ratio = *ns as f64 / noop as f64;

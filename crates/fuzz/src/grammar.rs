@@ -253,6 +253,26 @@ pub fn gen_rule(rng: &mut dyn RandomSource, config: &GrammarConfig) -> Rule {
     }
 }
 
+/// Mass-produces `n` distinct valid rules as `(file-stem, source)`
+/// pairs forming one coherent loadable pack: class names are
+/// de-randomized to `de.fuzz.gen.Load<i>` so the set has no duplicate
+/// SPECs regardless of seed. This is the pack-loader load-test input —
+/// write the pairs into a directory as `<stem>.crysl` files, open it as
+/// a [`rules::PackSource::SourceDir`], compile it to a `.crpack`, and
+/// the whole front-end (lexer, parser, validator, ORDER pipeline, pack
+/// codec) chews through grammar-generated bulk instead of the 16
+/// hand-written JCA rules.
+pub fn gen_rule_pack(seed: u64, n: usize, config: &GrammarConfig) -> Vec<(String, String)> {
+    let mut rng = devharness::rng::Xoshiro256::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mut rule = gen_rule(&mut rng, config);
+            rule.class_name = QualifiedName::new(format!("de.fuzz.gen.Load{i:04}"));
+            (format!("Load{i:04}"), print_rule(&rule))
+        })
+        .collect()
+}
+
 fn gen_order(rng: &mut dyn RandomSource, labels: &[String], depth: usize) -> OrderExpr {
     if depth == 0 || rng.next_below(3) == 0 {
         return OrderExpr::Label(pick(rng, labels).clone());
@@ -344,5 +364,45 @@ mod tests {
         let a = gen_rule_source(&mut Xoshiro256::seed_from_u64(7), &config);
         let b = gen_rule_source(&mut Xoshiro256::seed_from_u64(7), &config);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mass_generated_pack_loads_compiles_and_survives_the_binary_roundtrip() {
+        // The pack-loader load test: 60 grammar-generated rules written
+        // as a source directory must load, precompile every ORDER
+        // artefact into a `.crpack`, and decode back identically.
+        let files = gen_rule_pack(0x10AD, 60, &GrammarConfig::default());
+        assert_eq!(files.len(), 60);
+        let mut stems: Vec<&str> = files.iter().map(|(s, _)| s.as_str()).collect();
+        stems.sort_unstable();
+        stems.dedup();
+        assert_eq!(stems.len(), 60, "file stems must be unique");
+
+        let dir =
+            std::env::temp_dir().join(format!("cognicrypt-grammar-pack-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (stem, source) in &files {
+            std::fs::write(dir.join(format!("{stem}.crysl")), source).unwrap();
+        }
+
+        let pack = rules::open_uncached(rules::PackSource::SourceDir(dir.clone()))
+            .unwrap_or_else(|e| panic!("generated pack fails to load: {e}"));
+        assert_eq!(pack.rules.len(), 60);
+        let bytes = pack.to_bytes().expect("every generated ORDER compiles");
+        let reopened = rules::open_bytes(&bytes).expect("compiled pack decodes");
+        assert_eq!(pack.rules, reopened.rules);
+        assert_eq!(pack.pack_fingerprint(), reopened.pack_fingerprint());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mass_generation_is_deterministic_and_seed_sensitive() {
+        let config = GrammarConfig::default();
+        let a = gen_rule_pack(1, 10, &config);
+        let b = gen_rule_pack(1, 10, &config);
+        let c = gen_rule_pack(2, 10, &config);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 }

@@ -179,6 +179,29 @@ pub fn invoke_static(
                 },
             ))
         }
+        ("javax.crypto.KeyAgreement", "getInstance") => {
+            let algorithm = first_str(&args)?;
+            if algorithm != "DH" && algorithm != "ECDH" {
+                return Err(InterpError::new(format!(
+                    "no such key agreement `{algorithm}`"
+                )));
+            }
+            Ok(Value::native(
+                class,
+                NativeState::KeyAgreement {
+                    algorithm,
+                    private: None,
+                    peer: None,
+                },
+            ))
+        }
+        ("javax.crypto.KDF", "getInstance") => {
+            let algorithm = first_str(&args)?;
+            if algorithm != "HKDF-SHA256" {
+                return Err(InterpError::new(format!("no such KDF `{algorithm}`")));
+            }
+            Ok(Value::native(class, NativeState::Kdf { algorithm }))
+        }
         ("java.nio.file.Files", "readAllBytes") => {
             let path = first_str(&args)?;
             Ok(Value::bytes(interp.read_file(&path)?))
@@ -663,12 +686,71 @@ pub fn invoke(
         }
         (NativeState::KeyPair(kp), "getPrivate") => Ok(Value::native(
             "java.security.PrivateKey",
-            NativeState::Key(KeyMaterial::Private(kp.private)),
+            NativeState::Key(kp.private.clone()),
         )),
         (NativeState::KeyPair(kp), "getPublic") => Ok(Value::native(
             "java.security.PublicKey",
-            NativeState::Key(KeyMaterial::Public(kp.public)),
+            NativeState::Key(kp.public.clone()),
         )),
+        (NativeState::KeyAgreement { private, .. }, "init") => {
+            *private = Some(key_material(args.first().ok_or_else(|| {
+                InterpError::new("KeyAgreement.init needs a private key")
+            })?)?);
+            Ok(Value::Null)
+        }
+        (NativeState::KeyAgreement { peer, .. }, "doPhase") => {
+            *peer = Some(key_material(args.first().ok_or_else(|| {
+                InterpError::new("doPhase needs the peer public key")
+            })?)?);
+            Ok(Value::Null)
+        }
+        (
+            NativeState::KeyAgreement {
+                algorithm,
+                private,
+                peer,
+            },
+            "generateSecret",
+        ) => {
+            let algorithm = algorithm.clone();
+            let private = private
+                .clone()
+                .ok_or_else(|| InterpError::new("KeyAgreement not initialized"))?;
+            let peer = peer
+                .clone()
+                .ok_or_else(|| InterpError::new("KeyAgreement has no peer phase"))?;
+            drop(state);
+            Ok(Value::bytes(
+                interp
+                    .provider()
+                    .key_agreement(&algorithm, &private, &peer)?,
+            ))
+        }
+        (NativeState::Kdf { algorithm }, "deriveData") => {
+            let ikm = args
+                .first()
+                .ok_or_else(|| InterpError::new("deriveData needs keying material"))?
+                .as_bytes()?;
+            let salt = args
+                .get(1)
+                .ok_or_else(|| InterpError::new("deriveData needs a salt"))?
+                .as_bytes()?;
+            let info = args
+                .get(2)
+                .ok_or_else(|| InterpError::new("deriveData needs context info"))?
+                .as_bytes()?;
+            let len = args
+                .get(3)
+                .ok_or_else(|| InterpError::new("deriveData needs an output length"))?
+                .as_int()?;
+            let algorithm = algorithm.clone();
+            drop(state);
+            Ok(Value::bytes(
+                interp
+                    .provider()
+                    .hkdf(&algorithm, &ikm, &salt, &info, len)?,
+            ))
+        }
         (other, _) => Err(InterpError::new(format!(
             "no method `{name}` on {class} ({other:?})"
         ))),
@@ -822,6 +904,83 @@ mod tests {
         .unwrap();
         let ok = invoke(&mut i, verifier, "verify", vec![sig]).unwrap();
         assert!(ok.as_bool().unwrap());
+    }
+
+    #[test]
+    fn key_agreement_and_hkdf_via_natives() {
+        let unit = interp_unit();
+        let mut i = Interpreter::new(&unit);
+        for (family, agreement) in [("DH", "DH"), ("EC", "ECDH")] {
+            let make_pair = |i: &mut Interpreter<'_>| {
+                let kpg = invoke_static(
+                    i,
+                    "java.security.KeyPairGenerator",
+                    "getInstance",
+                    vec![Value::Str(family.into())],
+                )
+                .unwrap();
+                invoke(i, kpg.clone(), "initialize", vec![Value::Int(2048)]).unwrap();
+                invoke(i, kpg, "generateKeyPair", vec![]).unwrap()
+            };
+            let alice = make_pair(&mut i);
+            let bob = make_pair(&mut i);
+            let secret_between = |i: &mut Interpreter<'_>, own: &Value, other: &Value| {
+                let ka = invoke_static(
+                    i,
+                    "javax.crypto.KeyAgreement",
+                    "getInstance",
+                    vec![Value::Str(agreement.into())],
+                )
+                .unwrap();
+                let private = invoke(i, own.clone(), "getPrivate", vec![]).unwrap();
+                let public = invoke(i, other.clone(), "getPublic", vec![]).unwrap();
+                invoke(i, ka.clone(), "init", vec![private]).unwrap();
+                invoke(i, ka.clone(), "doPhase", vec![public]).unwrap();
+                invoke(i, ka, "generateSecret", vec![])
+                    .unwrap()
+                    .as_bytes()
+                    .unwrap()
+            };
+            let s1 = secret_between(&mut i, &alice, &bob);
+            let s2 = secret_between(&mut i, &bob, &alice);
+            assert_eq!(s1, s2, "{agreement} shared secret must agree");
+
+            let kdf = invoke_static(
+                &mut i,
+                "javax.crypto.KDF",
+                "getInstance",
+                vec![Value::Str("HKDF-SHA256".into())],
+            )
+            .unwrap();
+            let okm = invoke(
+                &mut i,
+                kdf,
+                "deriveData",
+                vec![
+                    Value::bytes(s1),
+                    Value::bytes(vec![1; 16]),
+                    Value::bytes(b"session".to_vec()),
+                    Value::Int(32),
+                ],
+            )
+            .unwrap();
+            assert_eq!(okm.as_bytes().unwrap().len(), 32);
+        }
+        // Unknown agreements and KDFs are typed errors.
+        assert!(invoke_static(
+            &mut i,
+            "javax.crypto.KeyAgreement",
+            "getInstance",
+            vec![Value::Str("X25519".into())],
+        )
+        .is_err());
+        assert!(invoke_static(
+            &mut i,
+            "javax.crypto.KDF",
+            "getInstance",
+            vec![Value::Str("HKDF-SHA512".into())],
+        )
+        .is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use jcasim::provider::{KeyMaterial, Transformation};
+use jcasim::provider::{KeyMaterial, KeyPairMaterial, Transformation};
 use jcasim::rng::SecureRandom;
 use jcasim::rsa;
 
@@ -225,7 +225,21 @@ pub enum NativeState {
         bits: i64,
     },
     /// `java.security.KeyPair`
-    KeyPair(rsa::KeyPair),
+    KeyPair(KeyPairMaterial),
+    /// `javax.crypto.KeyAgreement`
+    KeyAgreement {
+        /// Agreement algorithm (`"DH"` / `"ECDH"`).
+        algorithm: String,
+        /// Own private key set by `init`.
+        private: Option<KeyMaterial>,
+        /// Peer public key set by `doPhase`.
+        peer: Option<KeyMaterial>,
+    },
+    /// `javax.crypto.KDF` (HKDF)
+    Kdf {
+        /// KDF algorithm.
+        algorithm: String,
+    },
 }
 
 impl fmt::Display for Value {

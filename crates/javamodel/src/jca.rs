@@ -50,6 +50,11 @@ pub mod names {
     pub const PUBLIC_KEY: &str = "java.security.PublicKey";
     /// `javax.crypto.Mac`
     pub const MAC: &str = "javax.crypto.Mac";
+    /// `javax.crypto.KeyAgreement`
+    pub const KEY_AGREEMENT: &str = "javax.crypto.KeyAgreement";
+    /// `javax.crypto.KDF` (HKDF, modelled after the JDK 24 KDF API with
+    /// a positional `deriveData` instead of `HKDFParameterSpec`)
+    pub const KDF: &str = "javax.crypto.KDF";
     /// `java.security.spec.KeySpec`
     pub const KEY_SPEC: &str = "java.security.spec.KeySpec";
     /// `java.security.spec.AlgorithmParameterSpec`
@@ -226,6 +231,29 @@ pub fn jca_type_table() -> TypeTable {
             .method("verify", vec![JavaType::byte_array()], JavaType::Boolean),
     );
 
+    // --- key agreement & derivation ----------------------------------------
+    t.add(
+        ClassDef::new(KEY_AGREEMENT)
+            .static_method("getInstance", vec![cls(STRING)], cls(KEY_AGREEMENT))
+            .method("init", vec![cls(PRIVATE_KEY)], JavaType::Void)
+            .method("doPhase", vec![cls(PUBLIC_KEY)], JavaType::Void)
+            .method("generateSecret", vec![], JavaType::byte_array()),
+    );
+    t.add(
+        ClassDef::new(KDF)
+            .static_method("getInstance", vec![cls(STRING)], cls(KDF))
+            .method(
+                "deriveData",
+                vec![
+                    JavaType::byte_array(),
+                    JavaType::byte_array(),
+                    JavaType::byte_array(),
+                    JavaType::Int,
+                ],
+                JavaType::byte_array(),
+            ),
+    );
+
     // --- key pairs ---------------------------------------------------------
     t.add(
         ClassDef::new(KEY_PAIR_GENERATOR)
@@ -313,6 +341,8 @@ mod tests {
             SIGNATURE,
             KEY_PAIR_GENERATOR,
             KEY_PAIR,
+            KEY_AGREEMENT,
+            KDF,
         ] {
             assert!(t.class(n).is_some(), "missing {n}");
         }

@@ -1,0 +1,243 @@
+//! Key agreement primitives: finite-field Diffie-Hellman and elliptic-
+//! curve Diffie-Hellman over deliberately small groups.
+//!
+//! Like the reduced-size RSA, these exist to exercise the same JCA code
+//! paths (`KeyPairGenerator("DH"/"EC")` → `KeyAgreement` → shared
+//! secret) with fast, dependency-free arithmetic — `u128` products over
+//! 64-bit moduli — not to protect data. DESIGN.md records the
+//! substitution.
+
+use crate::error::CryptoError;
+use crate::rng::SecureRandom;
+
+/// The DH group modulus: the largest 64-bit prime, 2^64 - 59.
+pub const DH_PRIME: u64 = 0xffff_ffff_ffff_ffc5;
+/// The DH group generator.
+pub const DH_GENERATOR: u64 = 5;
+
+/// The EC field modulus: the Mersenne prime 2^61 - 1 (≡ 3 mod 4, so
+/// square roots are a single exponentiation).
+pub const EC_PRIME: u64 = (1 << 61) - 1;
+/// Curve coefficient `a` in `y² = x³ + ax + b` (−3 mod p, NIST-style).
+pub const EC_A: u64 = EC_PRIME - 3;
+/// Curve coefficient `b`.
+pub const EC_B: u64 = 7;
+
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) + u128::from(b)) % u128::from(m)) as u64
+}
+
+fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
+    add_mod(a, m - (b % m), m)
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse via Fermat (the moduli are prime).
+fn inv_mod(a: u64, m: u64) -> u64 {
+    pow_mod(a, m - 2, m)
+}
+
+/// A point on the simulation curve; `None` is the point at infinity.
+pub type EcPoint = Option<(u64, u64)>;
+
+fn ec_add(p: EcPoint, q: EcPoint) -> EcPoint {
+    let m = EC_PRIME;
+    match (p, q) {
+        (None, q) => q,
+        (p, None) => p,
+        (Some((x1, y1)), Some((x2, y2))) => {
+            if x1 == x2 && add_mod(y1, y2, m) == 0 {
+                return None;
+            }
+            let lambda = if x1 == x2 && y1 == y2 {
+                // Tangent slope: (3x² + a) / 2y.
+                let num = add_mod(mul_mod(3, mul_mod(x1, x1, m), m), EC_A, m);
+                mul_mod(num, inv_mod(mul_mod(2, y1, m), m), m)
+            } else {
+                mul_mod(sub_mod(y2, y1, m), inv_mod(sub_mod(x2, x1, m), m), m)
+            };
+            let x3 = sub_mod(mul_mod(lambda, lambda, m), add_mod(x1, x2, m), m);
+            let y3 = sub_mod(mul_mod(lambda, sub_mod(x1, x3, m), m), y1, m);
+            Some((x3, y3))
+        }
+    }
+}
+
+fn ec_scalar_mul(scalar: u64, point: EcPoint) -> EcPoint {
+    let mut acc = None;
+    let mut addend = point;
+    let mut k = scalar;
+    while k > 0 {
+        if k & 1 == 1 {
+            acc = ec_add(acc, addend);
+        }
+        addend = ec_add(addend, addend);
+        k >>= 1;
+    }
+    acc
+}
+
+/// The curve generator: the first `x` whose right-hand side is a square
+/// (p ≡ 3 mod 4, so `rhs^((p+1)/4)` is the root when one exists).
+pub fn ec_generator() -> (u64, u64) {
+    let m = EC_PRIME;
+    for x in 2u64.. {
+        let rhs = add_mod(add_mod(pow_mod(x, 3, m), mul_mod(EC_A, x, m), m), EC_B, m);
+        let y = pow_mod(rhs, (m + 1) / 4, m);
+        if mul_mod(y, y, m) == rhs {
+            return (x, y);
+        }
+    }
+    unreachable!("roughly half of all x values yield a curve point")
+}
+
+/// A generated agreement key pair: the private scalar and the public
+/// element (a group element for DH, a curve point for EC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgreementKeyPair {
+    /// The private scalar.
+    pub scalar: u64,
+    /// The public value: `g^scalar mod p` for DH, the affine coordinates
+    /// of `scalar·G` for EC.
+    pub public: (u64, u64),
+}
+
+/// Generates a DH key pair in the 2^64 - 59 group.
+pub fn dh_generate(rng: &mut SecureRandom) -> AgreementKeyPair {
+    let scalar = 2 + rng.next_u64() % (DH_PRIME - 4);
+    AgreementKeyPair {
+        scalar,
+        public: (pow_mod(DH_GENERATOR, scalar, DH_PRIME), 0),
+    }
+}
+
+/// Generates an EC key pair on the simulation curve.
+pub fn ec_generate(rng: &mut SecureRandom) -> AgreementKeyPair {
+    let scalar = 2 + rng.next_u64() % (EC_PRIME - 4);
+    let point = ec_scalar_mul(scalar, Some(ec_generator()))
+        .expect("small scalars of a non-torsion generator never hit infinity here");
+    AgreementKeyPair {
+        scalar,
+        public: point,
+    }
+}
+
+/// Computes the DH shared secret `peer^scalar mod p`, big-endian.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidKey`] for a degenerate peer value
+/// (0, 1, or p-1 — the classic small-subgroup confinement checks).
+pub fn dh_shared_secret(scalar: u64, peer: u64) -> Result<Vec<u8>, CryptoError> {
+    if peer <= 1 || peer >= DH_PRIME - 1 {
+        return Err(CryptoError::InvalidKey(
+            "degenerate DH peer public value".into(),
+        ));
+    }
+    Ok(pow_mod(peer, scalar, DH_PRIME).to_be_bytes().to_vec())
+}
+
+/// Computes the ECDH shared secret: the x-coordinate of `scalar·peer`,
+/// big-endian.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidKey`] when the peer point is not on the
+/// curve or the product lands at infinity.
+pub fn ec_shared_secret(scalar: u64, peer: (u64, u64)) -> Result<Vec<u8>, CryptoError> {
+    let m = EC_PRIME;
+    let (x, y) = (peer.0 % m, peer.1 % m);
+    let rhs = add_mod(add_mod(pow_mod(x, 3, m), mul_mod(EC_A, x, m), m), EC_B, m);
+    if mul_mod(y, y, m) != rhs {
+        return Err(CryptoError::InvalidKey(
+            "peer point not on the curve".into(),
+        ));
+    }
+    match ec_scalar_mul(scalar, Some((x, y))) {
+        Some((sx, _)) => Ok(sx.to_be_bytes().to_vec()),
+        None => Err(CryptoError::InvalidKey(
+            "ECDH product is the point at infinity".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dh_agreement_commutes() {
+        let mut rng = SecureRandom::from_seed(11);
+        let alice = dh_generate(&mut rng);
+        let bob = dh_generate(&mut rng);
+        let s1 = dh_shared_secret(alice.scalar, bob.public.0).unwrap();
+        let s2 = dh_shared_secret(bob.scalar, alice.public.0).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 8);
+    }
+
+    #[test]
+    fn dh_rejects_degenerate_peers() {
+        assert!(dh_shared_secret(42, 0).is_err());
+        assert!(dh_shared_secret(42, 1).is_err());
+        assert!(dh_shared_secret(42, DH_PRIME - 1).is_err());
+    }
+
+    #[test]
+    fn generator_is_on_the_curve() {
+        let (x, y) = ec_generator();
+        let m = EC_PRIME;
+        let rhs = add_mod(add_mod(pow_mod(x, 3, m), mul_mod(EC_A, x, m), m), EC_B, m);
+        assert_eq!(mul_mod(y, y, m), rhs);
+    }
+
+    #[test]
+    fn ec_agreement_commutes() {
+        let mut rng = SecureRandom::from_seed(12);
+        let alice = ec_generate(&mut rng);
+        let bob = ec_generate(&mut rng);
+        let s1 = ec_shared_secret(alice.scalar, bob.public).unwrap();
+        let s2 = ec_shared_secret(bob.scalar, alice.public).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 8);
+    }
+
+    #[test]
+    fn ec_rejects_off_curve_peer() {
+        let (x, y) = ec_generator();
+        assert!(ec_shared_secret(7, (x, y ^ 1)).is_err());
+    }
+
+    #[test]
+    fn ec_point_arithmetic_is_a_group() {
+        let g = Some(ec_generator());
+        // 2G + 3G == 5G, and G + (-G) == infinity.
+        let five = ec_add(ec_scalar_mul(2, g), ec_scalar_mul(3, g));
+        assert_eq!(five, ec_scalar_mul(5, g));
+        let (x, y) = ec_generator();
+        assert_eq!(ec_add(g, Some((x, EC_PRIME - y))), None);
+    }
+
+    #[test]
+    fn different_seeds_give_different_pairs() {
+        let mut a = SecureRandom::from_seed(1);
+        let mut b = SecureRandom::from_seed(2);
+        assert_ne!(dh_generate(&mut a).scalar, dh_generate(&mut b).scalar);
+    }
+}

@@ -1,0 +1,355 @@
+//! ChaCha20 stream cipher and Poly1305 one-time authenticator, composed
+//! into the ChaCha20-Poly1305 AEAD (RFC 8439).
+//!
+//! Unlike the reduced-size RSA, this is the real construction: the block
+//! function, the Poly1305 field arithmetic, and the AEAD framing all
+//! follow RFC 8439 and are checked against its test vectors below.
+
+use crate::error::CryptoError;
+
+/// ChaCha20 key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// ChaCha20-Poly1305 nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+/// Poly1305 tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha20 block function: 20 rounds over the "expand 32-byte k"
+/// initial state, producing 64 bytes of keystream.
+fn chacha20_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for (i, word) in key.chunks_exact(4).enumerate() {
+        state[4 + i] = u32::from_le_bytes(word.try_into().expect("4-byte word"));
+    }
+    state[12] = counter;
+    for (i, word) in nonce.chunks_exact(4).enumerate() {
+        state[13 + i] = u32::from_le_bytes(word.try_into().expect("4-byte word"));
+    }
+    let initial = state;
+    for _ in 0..10 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for (i, (s, init)) in state.iter().zip(&initial).enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&s.wrapping_add(*init).to_le_bytes());
+    }
+    out
+}
+
+/// XORs `data` with the ChaCha20 keystream starting at `counter`
+/// (encryption and decryption are the same operation).
+pub fn chacha20_xor(
+    key: &[u8; KEY_LEN],
+    counter: u32,
+    nonce: &[u8; NONCE_LEN],
+    data: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    for (i, chunk) in data.chunks(64).enumerate() {
+        let block = chacha20_block(key, counter.wrapping_add(i as u32), nonce);
+        for (b, k) in chunk.iter().zip(&block) {
+            out.push(b ^ k);
+        }
+    }
+    out
+}
+
+/// Poly1305 over 2^130 - 5, with 26-bit limbs so every partial product
+/// fits in a `u64` (the "donna" layout).
+pub fn poly1305(key: &[u8; 32], msg: &[u8]) -> [u8; TAG_LEN] {
+    // r is clamped per RFC 8439 §2.5.
+    let t0 = u32::from_le_bytes(key[0..4].try_into().expect("4 bytes"));
+    let t1 = u32::from_le_bytes(key[4..8].try_into().expect("4 bytes"));
+    let t2 = u32::from_le_bytes(key[8..12].try_into().expect("4 bytes"));
+    let t3 = u32::from_le_bytes(key[12..16].try_into().expect("4 bytes"));
+    let r0 = u64::from(t0) & 0x03ff_ffff;
+    let r1 = u64::from((t0 >> 26) | (t1 << 6)) & 0x03ff_ff03;
+    let r2 = u64::from((t1 >> 20) | (t2 << 12)) & 0x03ff_c0ff;
+    let r3 = u64::from((t2 >> 14) | (t3 << 18)) & 0x03f0_3fff;
+    let r4 = u64::from(t3 >> 8) & 0x000f_ffff;
+    let (s1, s2, s3, s4) = (r1 * 5, r2 * 5, r3 * 5, r4 * 5);
+
+    let (mut h0, mut h1, mut h2, mut h3, mut h4) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for chunk in msg.chunks(16) {
+        // Append the 0x01 byte, then split into 26-bit limbs.
+        let mut block = [0u8; 17];
+        block[..chunk.len()].copy_from_slice(chunk);
+        block[chunk.len()] = 1;
+        let b0 = u64::from(u32::from_le_bytes(block[0..4].try_into().expect("4")));
+        let b1 = u64::from(u32::from_le_bytes(block[4..8].try_into().expect("4")));
+        let b2 = u64::from(u32::from_le_bytes(block[8..12].try_into().expect("4")));
+        let b3 = u64::from(u32::from_le_bytes(block[12..16].try_into().expect("4")));
+        let b4 = u64::from(block[16]);
+        h0 += b0 & 0x03ff_ffff;
+        h1 += ((b0 >> 26) | (b1 << 6)) & 0x03ff_ffff;
+        h2 += ((b1 >> 20) | (b2 << 12)) & 0x03ff_ffff;
+        h3 += ((b2 >> 14) | (b3 << 18)) & 0x03ff_ffff;
+        h4 += (b3 >> 8) | (b4 << 24);
+
+        // h *= r, with the 2^130 ≡ 5 reduction folded into the products.
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Carry propagation back to 26-bit limbs.
+        let mut c = d0 >> 26;
+        h0 = d0 & 0x03ff_ffff;
+        let d1 = d1 + c;
+        c = d1 >> 26;
+        h1 = d1 & 0x03ff_ffff;
+        let d2 = d2 + c;
+        c = d2 >> 26;
+        h2 = d2 & 0x03ff_ffff;
+        let d3 = d3 + c;
+        c = d3 >> 26;
+        h3 = d3 & 0x03ff_ffff;
+        let d4 = d4 + c;
+        c = d4 >> 26;
+        h4 = d4 & 0x03ff_ffff;
+        h0 += c * 5;
+        h1 += h0 >> 26;
+        h0 &= 0x03ff_ffff;
+    }
+
+    // Full carry, then compute h + -p and select the reduced value.
+    let mut c = h1 >> 26;
+    h1 &= 0x03ff_ffff;
+    h2 += c;
+    c = h2 >> 26;
+    h2 &= 0x03ff_ffff;
+    h3 += c;
+    c = h3 >> 26;
+    h3 &= 0x03ff_ffff;
+    h4 += c;
+    c = h4 >> 26;
+    h4 &= 0x03ff_ffff;
+    h0 += c * 5;
+    c = h0 >> 26;
+    h0 &= 0x03ff_ffff;
+    h1 += c;
+
+    let mut g0 = h0 + 5;
+    c = g0 >> 26;
+    g0 &= 0x03ff_ffff;
+    let mut g1 = h1 + c;
+    c = g1 >> 26;
+    g1 &= 0x03ff_ffff;
+    let mut g2 = h2 + c;
+    c = g2 >> 26;
+    g2 &= 0x03ff_ffff;
+    let mut g3 = h3 + c;
+    c = g3 >> 26;
+    g3 &= 0x03ff_ffff;
+    let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+    let mask = (g4 >> 63).wrapping_sub(1); // all-ones when h >= p
+    h0 = (h0 & !mask) | (g0 & mask);
+    h1 = (h1 & !mask) | (g1 & mask);
+    h2 = (h2 & !mask) | (g2 & mask);
+    h3 = (h3 & !mask) | (g3 & mask);
+    h4 = (h4 & !mask) | (g4 & 0x03ff_ffff & mask);
+
+    // Serialize h and add s (the second key half) mod 2^128.
+    let f0 = (h0 | (h1 << 26)) as u32 as u64
+        + u64::from(u32::from_le_bytes(key[16..20].try_into().expect("4")));
+    let f1 = ((h1 >> 6) | (h2 << 20)) as u32 as u64
+        + u64::from(u32::from_le_bytes(key[20..24].try_into().expect("4")))
+        + (f0 >> 32);
+    let f2 = ((h2 >> 12) | (h3 << 14)) as u32 as u64
+        + u64::from(u32::from_le_bytes(key[24..28].try_into().expect("4")))
+        + (f1 >> 32);
+    let f3 = ((h3 >> 18) | (h4 << 8)) as u32 as u64
+        + u64::from(u32::from_le_bytes(key[28..32].try_into().expect("4")))
+        + (f2 >> 32);
+
+    let mut tag = [0u8; TAG_LEN];
+    tag[0..4].copy_from_slice(&(f0 as u32).to_le_bytes());
+    tag[4..8].copy_from_slice(&(f1 as u32).to_le_bytes());
+    tag[8..12].copy_from_slice(&(f2 as u32).to_le_bytes());
+    tag[12..16].copy_from_slice(&(f3 as u32).to_le_bytes());
+    tag
+}
+
+fn check_key_nonce(
+    key: &[u8],
+    nonce: &[u8],
+) -> Result<([u8; KEY_LEN], [u8; NONCE_LEN]), CryptoError> {
+    let key: [u8; KEY_LEN] = key.try_into().map_err(|_| {
+        CryptoError::InvalidKey(format!("ChaCha20 needs a 32-byte key, got {}", key.len()))
+    })?;
+    let nonce: [u8; NONCE_LEN] = nonce.try_into().map_err(|_| {
+        CryptoError::InvalidParameter(format!(
+            "ChaCha20-Poly1305 nonce must be 12 bytes, got {}",
+            nonce.len()
+        ))
+    })?;
+    Ok((key, nonce))
+}
+
+/// The Poly1305 input framing of RFC 8439 §2.8: aad and ciphertext each
+/// zero-padded to 16 bytes, then their little-endian 64-bit lengths.
+fn aead_mac(otk: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+    let mut m = Vec::with_capacity(aad.len() + ciphertext.len() + 48);
+    m.extend_from_slice(aad);
+    m.resize(m.len().next_multiple_of(16), 0);
+    m.extend_from_slice(ciphertext);
+    m.resize(m.len().next_multiple_of(16), 0);
+    m.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+    m.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+    poly1305(otk, &m)
+}
+
+/// ChaCha20-Poly1305 AEAD sealing. Returns `ciphertext || tag`.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidKey`] / [`CryptoError::InvalidParameter`]
+/// for a key that is not 32 bytes or a nonce that is not 12.
+pub fn seal(
+    key: &[u8],
+    nonce: &[u8],
+    aad: &[u8],
+    plaintext: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let (key, nonce) = check_key_nonce(key, nonce)?;
+    let otk: [u8; 32] = chacha20_block(&key, 0, &nonce)[..32]
+        .try_into()
+        .expect("32 of 64 bytes");
+    let mut out = chacha20_xor(&key, 1, &nonce, plaintext);
+    let tag = aead_mac(&otk, aad, &out);
+    out.extend_from_slice(&tag);
+    Ok(out)
+}
+
+/// ChaCha20-Poly1305 AEAD opening of `ciphertext || tag`.
+///
+/// # Errors
+///
+/// As for [`seal`], plus [`CryptoError::BadCiphertext`] on a truncated
+/// input or tag mismatch (checked in constant time before decrypting).
+pub fn open(key: &[u8], nonce: &[u8], aad: &[u8], data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let (key, nonce) = check_key_nonce(key, nonce)?;
+    if data.len() < TAG_LEN {
+        return Err(CryptoError::BadCiphertext("missing Poly1305 tag".into()));
+    }
+    let (ciphertext, tag) = data.split_at(data.len() - TAG_LEN);
+    let otk: [u8; 32] = chacha20_block(&key, 0, &nonce)[..32]
+        .try_into()
+        .expect("32 of 64 bytes");
+    let expected = aead_mac(&otk, aad, ciphertext);
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(tag) {
+        diff |= a ^ b;
+    }
+    if diff != 0 {
+        return Err(CryptoError::BadCiphertext("Poly1305 tag mismatch".into()));
+    }
+    Ok(chacha20_xor(&key, 1, &nonce, ciphertext))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn chacha20_block_matches_rfc8439_2_3_2() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = chacha20_block(&key, 1, &nonce);
+        assert_eq!(
+            hex(&block[..16]),
+            "10f1e7e4d13b5915500fdd1fa32071c4",
+            "first 16 keystream bytes"
+        );
+    }
+
+    #[test]
+    fn poly1305_matches_rfc8439_2_5_2() {
+        let key: [u8; 32] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let tag = poly1305(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    #[test]
+    fn aead_matches_rfc8439_2_8_2() {
+        let key: [u8; 32] = core::array::from_fn(|i| 0x80 + i as u8);
+        let nonce = [
+            0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
+        let aad = [
+            0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+        ];
+        let pt = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let out = seal(&key, &nonce, &aad, pt).unwrap();
+        let (ct, tag) = out.split_at(out.len() - TAG_LEN);
+        assert_eq!(hex(&ct[..16]), "d31a8d34648e60db7b86afbc53ef7ec2");
+        assert_eq!(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
+        assert_eq!(open(&key, &nonce, &aad, &out).unwrap(), pt);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 200] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let sealed = seal(&key, &nonce, b"aad", &pt).unwrap();
+            assert_eq!(sealed.len(), len + TAG_LEN);
+            assert_eq!(open(&key, &nonce, b"aad", &sealed).unwrap(), pt);
+        }
+    }
+
+    #[test]
+    fn tampering_and_wrong_aad_rejected() {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        let mut sealed = seal(&key, &nonce, b"aad", b"payload").unwrap();
+        sealed[0] ^= 1;
+        assert!(matches!(
+            open(&key, &nonce, b"aad", &sealed),
+            Err(CryptoError::BadCiphertext(_))
+        ));
+        let sealed = seal(&key, &nonce, b"aad", b"payload").unwrap();
+        assert!(open(&key, &nonce, b"wrong", &sealed).is_err());
+        assert!(open(&key, &nonce, b"aad", &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn bad_key_and_nonce_sizes_rejected() {
+        assert!(seal(&[0u8; 16], &[0u8; 12], &[], b"x").is_err());
+        assert!(seal(&[0u8; 32], &[0u8; 16], &[], b"x").is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! HKDF (RFC 5869) over the crate's HMAC-SHA256 — the extract-then-
+//! expand KDF the token and key-agreement use cases derive subkeys with.
+
+use crate::error::CryptoError;
+use crate::hmac::hmac_sha256;
+
+/// HKDF-Extract: `PRK = HMAC-Hash(salt, IKM)`. An empty salt means the
+/// RFC's "not provided" case (a hash-length block of zeros).
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    if salt.is_empty() {
+        hmac_sha256(&[0u8; 32], ikm)
+    } else {
+        hmac_sha256(salt, ikm)
+    }
+}
+
+/// HKDF-Expand: grows `prk` into `len` output bytes bound to `info`.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidParameter`] when `len` is zero or
+/// exceeds the RFC's 255 × HashLen ceiling.
+pub fn expand(prk: &[u8; 32], info: &[u8], len: usize) -> Result<Vec<u8>, CryptoError> {
+    if len == 0 || len > 255 * 32 {
+        return Err(CryptoError::InvalidParameter(format!(
+            "HKDF output length {len} outside 1..=8160"
+        )));
+    }
+    let mut okm = Vec::with_capacity(len.next_multiple_of(32));
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut block = t.clone();
+        block.extend_from_slice(info);
+        block.push(counter);
+        t = hmac_sha256(prk, &block).to_vec();
+        okm.extend_from_slice(&t);
+        counter = counter.wrapping_add(1);
+    }
+    okm.truncate(len);
+    Ok(okm)
+}
+
+/// The full extract-then-expand pipeline.
+///
+/// # Errors
+///
+/// As for [`expand`].
+pub fn derive(ikm: &[u8], salt: &[u8], info: &[u8], len: usize) -> Result<Vec<u8>, CryptoError> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc5869_test_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn derive_is_extract_then_expand() {
+        let okm = derive(b"input keying material", b"salt", b"ctx", 64).unwrap();
+        assert_eq!(okm.len(), 64);
+        assert_eq!(
+            okm,
+            expand(&extract(b"salt", b"input keying material"), b"ctx", 64).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_salt_matches_zero_block() {
+        assert_eq!(extract(&[], b"ikm"), hmac_sha256(&[0u8; 32], b"ikm"));
+    }
+
+    #[test]
+    fn output_length_bounds() {
+        let prk = extract(b"s", b"ikm");
+        assert!(expand(&prk, b"", 0).is_err());
+        assert!(expand(&prk, b"", 255 * 32 + 1).is_err());
+        assert_eq!(expand(&prk, b"", 255 * 32).unwrap().len(), 255 * 32);
+    }
+
+    #[test]
+    fn distinct_info_separates_keys() {
+        let prk = extract(b"salt", b"ikm");
+        assert_ne!(
+            expand(&prk, b"enc", 32).unwrap(),
+            expand(&prk, b"mac", 32).unwrap()
+        );
+    }
+}

@@ -2,9 +2,10 @@
 //!
 //! The paper's generated code runs against the JDK's default JCA provider.
 //! This crate is the Rust substitute: pure-Rust implementations of the
-//! primitives the eleven use cases exercise — SHA-256, HMAC-SHA256,
-//! PBKDF2, AES-128 in CBC/CTR/GCM modes with PKCS#7 padding, a reduced-
-//! size RSA (for hybrid/asymmetric encryption and signing), and a
+//! primitives the use-case corpus exercises — SHA-256, HMAC-SHA256,
+//! PBKDF2, HKDF, AES-128 in CBC/CTR/GCM/GCM-SIV modes with PKCS#7
+//! padding, ChaCha20-Poly1305, a reduced-size RSA (for hybrid/asymmetric
+//! encryption and signing), small-group DH/ECDH key agreement, and a
 //! deterministic CSPRNG standing in for `SecureRandom`.
 //!
 //! The [`provider`] module maps JCA algorithm strings
@@ -17,7 +18,10 @@
 //! data. DESIGN.md records this substitution.
 
 pub mod aes;
+pub mod agree;
+pub mod chacha;
 pub mod error;
+pub mod hkdf;
 pub mod hmac;
 pub mod modes;
 pub mod pbkdf2;

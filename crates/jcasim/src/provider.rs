@@ -2,7 +2,10 @@
 //! the primitive implementations, mirroring `getInstance` dispatch.
 
 use crate::aes::Aes128;
+use crate::agree;
+use crate::chacha;
 use crate::error::CryptoError;
+use crate::hkdf;
 use crate::hmac;
 use crate::modes;
 use crate::pbkdf2;
@@ -25,6 +28,21 @@ pub enum KeyMaterial {
     Private(rsa::PrivateKey),
     /// An RSA public key.
     Public(rsa::PublicKey),
+    /// A DH/EC key-agreement private scalar.
+    AgreementPrivate {
+        /// `"DH"` or `"EC"`.
+        algorithm: String,
+        /// The private scalar.
+        scalar: u64,
+    },
+    /// A DH/EC key-agreement public value — a group element for DH
+    /// (second coordinate 0), an affine curve point for EC.
+    AgreementPublic {
+        /// `"DH"` or `"EC"`.
+        algorithm: String,
+        /// The public value.
+        point: (u64, u64),
+    },
 }
 
 impl KeyMaterial {
@@ -43,6 +61,12 @@ impl KeyMaterial {
                 v.extend_from_slice(&k.e.to_be_bytes());
                 v
             }
+            KeyMaterial::AgreementPrivate { scalar, .. } => scalar.to_be_bytes().to_vec(),
+            KeyMaterial::AgreementPublic { point, .. } => {
+                let mut v = point.0.to_be_bytes().to_vec();
+                v.extend_from_slice(&point.1.to_be_bytes());
+                v
+            }
         }
     }
 
@@ -51,8 +75,20 @@ impl KeyMaterial {
         match self {
             KeyMaterial::Secret { algorithm, .. } => algorithm,
             KeyMaterial::Private(_) | KeyMaterial::Public(_) => "RSA",
+            KeyMaterial::AgreementPrivate { algorithm, .. }
+            | KeyMaterial::AgreementPublic { algorithm, .. } => algorithm,
         }
     }
+}
+
+/// A generated key pair of any family — RSA for encrypt/sign chains,
+/// DH/EC for agreement chains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPairMaterial {
+    /// The public half.
+    pub public: KeyMaterial,
+    /// The private half.
+    pub private: KeyMaterial,
 }
 
 /// A parsed cipher transformation.
@@ -64,6 +100,11 @@ pub enum Transformation {
     AesCtr,
     /// `AES/GCM/NoPadding`
     AesGcm,
+    /// `AES/GCM-SIV/NoPadding` (misuse-resistant AEAD, SIV-shaped
+    /// simulation — see [`modes::gcm_siv_encrypt`])
+    AesGcmSiv,
+    /// `ChaCha20-Poly1305` (RFC 8439)
+    ChaCha20Poly1305,
     /// `RSA/ECB/PKCS1Padding` (chunked textbook RSA in this simulation)
     RsaEcb,
 }
@@ -81,6 +122,8 @@ impl Transformation {
             "AES/CBC/PKCS5Padding" => Ok(Transformation::AesCbcPkcs5),
             "AES/CTR/NoPadding" => Ok(Transformation::AesCtr),
             "AES/GCM/NoPadding" => Ok(Transformation::AesGcm),
+            "AES/GCM-SIV/NoPadding" => Ok(Transformation::AesGcmSiv),
+            "ChaCha20-Poly1305" => Ok(Transformation::ChaCha20Poly1305),
             "RSA/ECB/PKCS1Padding" | "RSA" => Ok(Transformation::RsaEcb),
             other => Err(CryptoError::NoSuchAlgorithm(other.to_owned())),
         }
@@ -88,17 +131,17 @@ impl Transformation {
 
     /// Whether the transformation needs an IV/nonce parameter.
     pub fn needs_iv(&self) -> bool {
-        matches!(
-            self,
-            Transformation::AesCbcPkcs5 | Transformation::AesCtr | Transformation::AesGcm
-        )
+        !matches!(self, Transformation::RsaEcb)
     }
 
     /// The IV/nonce length in bytes (0 when none is needed).
     pub fn iv_len(&self) -> usize {
         match self {
             Transformation::AesCbcPkcs5 => 16,
-            Transformation::AesCtr | Transformation::AesGcm => 12,
+            Transformation::AesCtr
+            | Transformation::AesGcm
+            | Transformation::AesGcmSiv
+            | Transformation::ChaCha20Poly1305 => 12,
             Transformation::RsaEcb => 0,
         }
     }
@@ -191,50 +234,142 @@ impl Provider {
     ///
     /// # Errors
     ///
-    /// Returns [`CryptoError::NoSuchAlgorithm`] for non-AES generators and
-    /// [`CryptoError::InvalidParameter`] for key sizes other than 128
-    /// (this simulation implements AES-128 only; the rules allow 128 and
-    /// 256, and the generator picks the first listed preference).
+    /// Returns [`CryptoError::NoSuchAlgorithm`] for generators other than
+    /// AES and ChaCha20, and [`CryptoError::InvalidParameter`] for sizes
+    /// other than AES-128 / ChaCha20-256 (the simulation implements one
+    /// key size per family; the rules allow 128 and 256, and the
+    /// generator picks the first listed preference).
     pub fn generate_key(
         &self,
         algorithm: &str,
         bits: i64,
         rng: &mut SecureRandom,
     ) -> Result<KeyMaterial, CryptoError> {
-        if algorithm != "AES" {
-            return Err(CryptoError::NoSuchAlgorithm(algorithm.to_owned()));
-        }
-        if bits != 128 {
-            return Err(CryptoError::InvalidParameter(format!(
-                "simulated provider implements AES-128 only, got {bits}"
-            )));
-        }
-        let mut key = vec![0u8; 16];
+        let len = match (algorithm, bits) {
+            ("AES", 128) => 16,
+            ("ChaCha20", 256) => 32,
+            ("AES" | "ChaCha20", _) => {
+                return Err(CryptoError::InvalidParameter(format!(
+                    "simulated provider implements AES-128 and ChaCha20-256 only, got {algorithm}-{bits}"
+                )));
+            }
+            _ => return Err(CryptoError::NoSuchAlgorithm(algorithm.to_owned())),
+        };
+        let mut key = vec![0u8; len];
         rng.next_bytes(&mut key);
         Ok(KeyMaterial::Secret {
             bytes: key,
-            algorithm: "AES".into(),
+            algorithm: algorithm.to_owned(),
         })
     }
 
-    /// `KeyPairGenerator.getInstance("RSA")` + `initialize` +
-    /// `generateKeyPair()`. Any requested size maps to the simulation's
-    /// reduced-size keys.
+    /// `KeyPairGenerator.getInstance(alg)` + `initialize` +
+    /// `generateKeyPair()` for RSA, DH and EC. Any requested size maps to
+    /// the simulation's reduced-size groups.
     ///
     /// # Errors
     ///
-    /// Returns [`CryptoError::NoSuchAlgorithm`] for algorithms other than
-    /// RSA.
+    /// Returns [`CryptoError::NoSuchAlgorithm`] for other algorithms.
     pub fn generate_key_pair(
         &self,
         algorithm: &str,
         _bits: i64,
         rng: &mut SecureRandom,
-    ) -> Result<rsa::KeyPair, CryptoError> {
-        if algorithm != "RSA" {
+    ) -> Result<KeyPairMaterial, CryptoError> {
+        match algorithm {
+            "RSA" => {
+                let kp = rsa::generate_key_pair(rng, 62)?;
+                Ok(KeyPairMaterial {
+                    public: KeyMaterial::Public(kp.public),
+                    private: KeyMaterial::Private(kp.private),
+                })
+            }
+            "DH" | "EC" => {
+                let pair = if algorithm == "DH" {
+                    agree::dh_generate(rng)
+                } else {
+                    agree::ec_generate(rng)
+                };
+                Ok(KeyPairMaterial {
+                    public: KeyMaterial::AgreementPublic {
+                        algorithm: algorithm.to_owned(),
+                        point: pair.public,
+                    },
+                    private: KeyMaterial::AgreementPrivate {
+                        algorithm: algorithm.to_owned(),
+                        scalar: pair.scalar,
+                    },
+                })
+            }
+            other => Err(CryptoError::NoSuchAlgorithm(other.to_owned())),
+        }
+    }
+
+    /// `KeyAgreement.getInstance(alg)` + `init(priv)` + `doPhase(peer)` +
+    /// `generateSecret()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NoSuchAlgorithm`] for agreements other than
+    /// DH/ECDH and [`CryptoError::InvalidKey`] when the key roles or
+    /// families do not match the agreement.
+    pub fn key_agreement(
+        &self,
+        algorithm: &str,
+        private: &KeyMaterial,
+        peer: &KeyMaterial,
+    ) -> Result<Vec<u8>, CryptoError> {
+        let family = match algorithm {
+            "DH" => "DH",
+            "ECDH" => "EC",
+            other => return Err(CryptoError::NoSuchAlgorithm(other.to_owned())),
+        };
+        let scalar = match private {
+            KeyMaterial::AgreementPrivate { algorithm, scalar } if algorithm == family => *scalar,
+            _ => {
+                return Err(CryptoError::InvalidKey(format!(
+                    "{algorithm} agreement needs a {family} private key"
+                )));
+            }
+        };
+        let point = match peer {
+            KeyMaterial::AgreementPublic { algorithm, point } if algorithm == family => *point,
+            _ => {
+                return Err(CryptoError::InvalidKey(format!(
+                    "{algorithm} agreement needs a {family} peer public key"
+                )));
+            }
+        };
+        if family == "DH" {
+            agree::dh_shared_secret(scalar, point.0)
+        } else {
+            agree::ec_shared_secret(scalar, point)
+        }
+    }
+
+    /// `KDF.getInstance(alg).deriveData(...)` — HKDF-SHA256.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NoSuchAlgorithm`] for unknown KDFs and
+    /// [`CryptoError::InvalidParameter`] for out-of-range output lengths.
+    pub fn hkdf(
+        &self,
+        algorithm: &str,
+        ikm: &[u8],
+        salt: &[u8],
+        info: &[u8],
+        len_bytes: i64,
+    ) -> Result<Vec<u8>, CryptoError> {
+        if algorithm != "HKDF-SHA256" {
             return Err(CryptoError::NoSuchAlgorithm(algorithm.to_owned()));
         }
-        rsa::generate_key_pair(rng, 62)
+        if len_bytes <= 0 {
+            return Err(CryptoError::InvalidParameter(
+                "HKDF output length must be positive".into(),
+            ));
+        }
+        hkdf::derive(ikm, salt, info, len_bytes as usize)
     }
 
     /// Cipher encryption under `transformation`.
@@ -263,6 +398,16 @@ impl Provider {
                 let aes = self.aes_key(key)?;
                 modes::gcm_encrypt(&aes, self.require_iv(iv, 12)?, &[], plaintext)
             }
+            Transformation::AesGcmSiv => {
+                let aes = self.aes_key(key)?;
+                modes::gcm_siv_encrypt(&aes, self.require_iv(iv, 12)?, &[], plaintext)
+            }
+            Transformation::ChaCha20Poly1305 => chacha::seal(
+                self.chacha_key(key)?,
+                self.require_iv(iv, 12)?,
+                &[],
+                plaintext,
+            ),
             Transformation::RsaEcb => match key {
                 KeyMaterial::Public(pk) => Ok(rsa::encrypt(pk, plaintext)),
                 _ => Err(CryptoError::InvalidKey(
@@ -298,6 +443,16 @@ impl Provider {
                 let aes = self.aes_key(key)?;
                 modes::gcm_decrypt(&aes, self.require_iv(iv, 12)?, &[], ciphertext)
             }
+            Transformation::AesGcmSiv => {
+                let aes = self.aes_key(key)?;
+                modes::gcm_siv_decrypt(&aes, self.require_iv(iv, 12)?, &[], ciphertext)
+            }
+            Transformation::ChaCha20Poly1305 => chacha::open(
+                self.chacha_key(key)?,
+                self.require_iv(iv, 12)?,
+                &[],
+                ciphertext,
+            ),
             Transformation::RsaEcb => match key {
                 KeyMaterial::Private(sk) => rsa::decrypt(sk, ciphertext),
                 _ => Err(CryptoError::InvalidKey(
@@ -350,6 +505,19 @@ impl Provider {
             KeyMaterial::Public(pk) => Ok(rsa::verify(pk, data, signature)),
             _ => Err(CryptoError::InvalidKey(
                 "verification needs a public key".into(),
+            )),
+        }
+    }
+
+    fn chacha_key<'a>(&self, key: &'a KeyMaterial) -> Result<&'a [u8], CryptoError> {
+        match key {
+            KeyMaterial::Secret { bytes, .. } if bytes.len() == 32 => Ok(bytes),
+            KeyMaterial::Secret { bytes, .. } => Err(CryptoError::InvalidKey(format!(
+                "ChaCha20-Poly1305 needs a 32-byte key, got {}",
+                bytes.len()
+            ))),
+            _ => Err(CryptoError::InvalidKey(
+                "ChaCha20-Poly1305 needs a secret key".into(),
             )),
         }
     }
@@ -452,8 +620,8 @@ mod tests {
         let p = Provider::new();
         let mut rng = SecureRandom::from_seed(9);
         let kp = p.generate_key_pair("RSA", 2048, &mut rng).unwrap();
-        let public = KeyMaterial::Public(kp.public);
-        let private = KeyMaterial::Private(kp.private);
+        let public = kp.public;
+        let private = kp.private;
         let ct = p
             .encrypt(Transformation::RsaEcb, &public, None, b"wrapped key!")
             .unwrap();
@@ -508,5 +676,85 @@ mod tests {
         let tag = p.mac("HmacSHA256", b"key", b"data").unwrap();
         assert_eq!(tag.len(), 32);
         assert!(p.mac("HmacMD5", b"key", b"data").is_err());
+    }
+
+    #[test]
+    fn chacha20_keygen_and_aead_roundtrip() {
+        let p = Provider::new();
+        let mut rng = SecureRandom::new();
+        let key = p.generate_key("ChaCha20", 256, &mut rng).unwrap();
+        assert_eq!(key.encoded().len(), 32);
+        assert_eq!(key.algorithm(), "ChaCha20");
+        assert!(p.generate_key("ChaCha20", 128, &mut rng).is_err());
+
+        let iv = [3u8; 12];
+        let ct = p
+            .encrypt(Transformation::ChaCha20Poly1305, &key, Some(&iv), b"msg")
+            .unwrap();
+        assert_eq!(
+            p.decrypt(Transformation::ChaCha20Poly1305, &key, Some(&iv), &ct)
+                .unwrap(),
+            b"msg"
+        );
+        // An AES-length key is rejected for the ChaCha transformation.
+        let short = secret(&[1u8; 16]);
+        assert!(p
+            .encrypt(Transformation::ChaCha20Poly1305, &short, Some(&iv), b"m")
+            .is_err());
+    }
+
+    #[test]
+    fn gcm_siv_through_provider_is_deterministic() {
+        let p = Provider::new();
+        let key = secret(&[1u8; 16]);
+        let iv = [4u8; 12];
+        let a = p
+            .encrypt(Transformation::AesGcmSiv, &key, Some(&iv), b"payload")
+            .unwrap();
+        let b = p
+            .encrypt(Transformation::AesGcmSiv, &key, Some(&iv), b"payload")
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            p.decrypt(Transformation::AesGcmSiv, &key, Some(&iv), &a)
+                .unwrap(),
+            b"payload"
+        );
+    }
+
+    #[test]
+    fn key_agreement_through_provider() {
+        let p = Provider::new();
+        let mut rng = SecureRandom::from_seed(21);
+        for (family, agreement) in [("DH", "DH"), ("EC", "ECDH")] {
+            let alice = p.generate_key_pair(family, 2048, &mut rng).unwrap();
+            let bob = p.generate_key_pair(family, 2048, &mut rng).unwrap();
+            let s1 = p
+                .key_agreement(agreement, &alice.private, &bob.public)
+                .unwrap();
+            let s2 = p
+                .key_agreement(agreement, &bob.private, &alice.public)
+                .unwrap();
+            assert_eq!(s1, s2, "{agreement}");
+        }
+        // Family mixups are typed errors.
+        let dh = p.generate_key_pair("DH", 2048, &mut rng).unwrap();
+        let ec = p.generate_key_pair("EC", 256, &mut rng).unwrap();
+        assert!(p.key_agreement("ECDH", &dh.private, &ec.public).is_err());
+        assert!(p.key_agreement("DH", &dh.private, &ec.public).is_err());
+        assert!(p.key_agreement("X448", &dh.private, &dh.public).is_err());
+    }
+
+    #[test]
+    fn hkdf_dispatch() {
+        let p = Provider::new();
+        let okm = p.hkdf("HKDF-SHA256", b"ikm", b"salt", b"info", 32).unwrap();
+        assert_eq!(okm.len(), 32);
+        assert_eq!(
+            okm,
+            crate::hkdf::derive(b"ikm", b"salt", b"info", 32).unwrap()
+        );
+        assert!(p.hkdf("HKDF-SHA512", b"i", b"s", b"", 32).is_err());
+        assert!(p.hkdf("HKDF-SHA256", b"i", b"s", b"", 0).is_err());
     }
 }

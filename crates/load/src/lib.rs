@@ -462,7 +462,7 @@ mod tests {
     }
 
     fn schedules() -> (Vec<Op>, Vec<Op>) {
-        let spec = WorkloadSpec::standard(3, 400, (1..=11).collect(), vec![]);
+        let spec = WorkloadSpec::standard_catalogue(3, 400, vec![]);
         (
             workload::build_schedule(&spec.clean_baseline(100)),
             workload::build_schedule(&spec),

@@ -420,7 +420,7 @@ mod tests {
     }
 
     fn report() -> LoadReport {
-        let spec = WorkloadSpec::standard(11, 300, (1..=11).collect(), vec![]);
+        let spec = WorkloadSpec::standard_catalogue(11, 300, vec![]);
         let mixed = build_schedule(&spec);
         let clean = build_schedule(&spec.clean_baseline(80));
         let config = RunConfig::default();

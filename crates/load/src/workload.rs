@@ -135,6 +135,13 @@ impl WorkloadSpec {
         }
     }
 
+    /// [`standard`](Self::standard) over the full shipped catalogue —
+    /// the id universe is derived from [`usecases::all_use_cases`], not
+    /// hardcoded, so workloads scale with the catalogue.
+    pub fn standard_catalogue(seed: u64, budget: u64, corpus: Vec<String>) -> Self {
+        Self::standard(seed, budget, catalogue_ids(), corpus)
+    }
+
     /// The clean-baseline variant of this spec: well-formed traffic
     /// only (same seed, same skew), used to measure the p99 that the
     /// mixed run is bounded against. Reloads and snapshots are
@@ -148,6 +155,19 @@ impl WorkloadSpec {
             ..self.clone()
         }
     }
+}
+
+/// Every shipped use-case id in catalogue order (hottest first under
+/// the zipf skew).
+pub fn catalogue_ids() -> Vec<u8> {
+    usecases::all_use_cases().iter().map(|u| u.id).collect()
+}
+
+/// The use-case ids a named catalogue rule pack declares, for workloads
+/// that exercise a subset pack (`aead@v1`, `token@v1`, …) instead of the
+/// full catalogue. `None` when the pack is unknown.
+pub fn pack_ids(name: &str, version: Option<u32>) -> Option<Vec<u8>> {
+    rules::catalog_pack(name, version).map(|p| p.use_cases.to_vec())
 }
 
 /// A seeded zipf(s) sampler over ranks `0..n`: rank `k` has weight
@@ -324,7 +344,20 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn spec() -> WorkloadSpec {
-        WorkloadSpec::standard(7, 2_000, (1..=11).collect(), vec!["SPEC x.Y".to_owned()])
+        WorkloadSpec::standard_catalogue(7, 2_000, vec!["SPEC x.Y".to_owned()])
+    }
+
+    #[test]
+    fn id_universes_derive_from_the_catalogue_and_packs() {
+        let all = catalogue_ids();
+        assert!(all.len() >= 25, "catalogue shrank to {}", all.len());
+        assert_eq!(all, spec().use_case_ids);
+        // Subset packs restrict the universe to their declared cases.
+        let aead = pack_ids("aead", Some(1)).expect("aead@v1 exists");
+        assert!(!aead.is_empty());
+        assert!(aead.iter().all(|id| all.contains(id)));
+        assert!(aead.len() < all.len());
+        assert_eq!(pack_ids("no-such-pack", None), None);
     }
 
     #[test]
@@ -350,14 +383,15 @@ mod tests {
                 *counts.entry(uc).or_default() += 1;
             }
         }
-        let hot = counts[&1];
-        let cold = counts.get(&11).copied().unwrap_or(0);
+        let ids = catalogue_ids();
+        let hot = counts[&ids[0]];
+        let cold = counts.get(ids.last().unwrap()).copied().unwrap_or(0);
         assert!(
             hot >= 3 * cold.max(1),
             "zipf skew missing: hot={hot} cold={cold}"
         );
         // Every case still appears: the tail is cold, not absent.
-        assert_eq!(counts.len(), 11);
+        assert_eq!(counts.len(), ids.len());
     }
 
     #[test]

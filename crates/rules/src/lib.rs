@@ -1,7 +1,7 @@
-//! The JCA CrySL rule set shipped with this reproduction, behind one
+//! The JCA CrySL rule sets shipped with this reproduction, behind one
 //! unified loading API.
 //!
-//! Fourteen rules cover every class the paper's eleven use cases touch.
+//! Sixteen rules cover every class the catalogued use cases touch.
 //! They are adaptations of the publicly maintained CrySL rules for the
 //! Java Cryptography Architecture, rewritten in this crate's CrySL dialect
 //! and tuned as the paper describes (§4): `in`-constraint literals ordered
@@ -9,21 +9,30 @@
 //! results, and `instanceof` constraints distinguishing symmetric from
 //! asymmetric Cipher usage.
 //!
+//! The rules are organized as *versioned packs* ([`PACK_CATALOG`]): the
+//! full `jca` line (whose latest version is what [`PackSource::Embedded`]
+//! serves) plus focused subsets (`aead`, `agreement`, `token`) that carry
+//! only the rules their use-case families need. `jca@v1` is the legacy
+//! rule set kept for versioning coverage — it still prefers 1024-bit RSA
+//! keys, which `jca@v2` raised to 2048.
+//!
 //! Every way to load rules goes through [`open`] with a [`PackSource`]:
-//! the embedded JCA set, a directory of `*.crysl` sources, or a
-//! precompiled `.crpack` binary produced by `cognicryptgen
-//! compile-rules`. All three return the same [`RulePack`] handle; a
-//! compiled pack additionally carries every rule's precompiled ORDER
-//! artefact, so [`RulePack::seed`] can pre-fill an
-//! [`statemachine::OrderCache`] and a cold boot compiles nothing.
+//! the embedded JCA set, a named catalog pack (`jca@v1`, `aead`, …), a
+//! directory of `*.crysl` sources, or a precompiled `.crpack` binary
+//! produced by `cognicryptgen compile-rules`. All four return the same
+//! [`RulePack`] handle; a compiled pack additionally carries every
+//! rule's precompiled ORDER artefact, so [`RulePack::seed`] can
+//! pre-fill an [`statemachine::OrderCache`] and a cold boot compiles
+//! nothing.
 //!
 //! # Example
 //!
 //! ```
 //! let pack = rules::open(rules::PackSource::Embedded)?;
 //! assert!(pack.rules.by_name("javax.crypto.Cipher").is_some());
-//! assert_eq!(pack.rules.len(), 14);
-//! assert_eq!(pack.fingerprints.len(), 14);
+//! assert_eq!(pack.rules.len(), 16);
+//! assert_eq!(pack.fingerprints.len(), 16);
+//! assert_eq!(pack.manifest.to_string(), "jca@v2");
 //! # Ok::<(), rules::PackError>(())
 //! ```
 
@@ -37,44 +46,215 @@ use statemachine::{order_fingerprint, CompiledOrder, OrderCache};
 
 mod pack;
 
-pub use pack::{pack_checksum, PACK_MAGIC, PACK_VERSION};
+pub use pack::{pack_checksum, PackManifest, PACK_MAGIC, PACK_VERSION};
 
-/// Name and source text of every shipped rule.
+const SRC_SECURE_RANDOM: (&str, &str) = ("SecureRandom", include_str!("../jca/SecureRandom.crysl"));
+const SRC_PBE_KEY_SPEC: (&str, &str) = ("PBEKeySpec", include_str!("../jca/PBEKeySpec.crysl"));
+const SRC_SECRET_KEY_FACTORY: (&str, &str) = (
+    "SecretKeyFactory",
+    include_str!("../jca/SecretKeyFactory.crysl"),
+);
+const SRC_SECRET_KEY: (&str, &str) = ("SecretKey", include_str!("../jca/SecretKey.crysl"));
+const SRC_SECRET_KEY_SPEC: (&str, &str) =
+    ("SecretKeySpec", include_str!("../jca/SecretKeySpec.crysl"));
+const SRC_KEY_GENERATOR: (&str, &str) = ("KeyGenerator", include_str!("../jca/KeyGenerator.crysl"));
+const SRC_CIPHER: (&str, &str) = ("Cipher", include_str!("../jca/Cipher.crysl"));
+const SRC_IV_PARAMETER_SPEC: (&str, &str) = (
+    "IvParameterSpec",
+    include_str!("../jca/IvParameterSpec.crysl"),
+);
+const SRC_GCM_PARAMETER_SPEC: (&str, &str) = (
+    "GCMParameterSpec",
+    include_str!("../jca/GCMParameterSpec.crysl"),
+);
+const SRC_MESSAGE_DIGEST: (&str, &str) =
+    ("MessageDigest", include_str!("../jca/MessageDigest.crysl"));
+const SRC_SIGNATURE: (&str, &str) = ("Signature", include_str!("../jca/Signature.crysl"));
+const SRC_KEY_PAIR_GENERATOR: (&str, &str) = (
+    "KeyPairGenerator",
+    include_str!("../jca/KeyPairGenerator.crysl"),
+);
+const SRC_KEY_PAIR: (&str, &str) = ("KeyPair", include_str!("../jca/KeyPair.crysl"));
+const SRC_MAC: (&str, &str) = ("Mac", include_str!("../jca/Mac.crysl"));
+const SRC_KEY_AGREEMENT: (&str, &str) = ("KeyAgreement", include_str!("../jca/KeyAgreement.crysl"));
+const SRC_KDF: (&str, &str) = ("KDF", include_str!("../jca/KDF.crysl"));
+
+/// The legacy (v1) KeyPairGenerator rule: 1024-bit RSA minimum.
+const SRC_KEY_PAIR_GENERATOR_V1: (&str, &str) = (
+    "KeyPairGenerator",
+    include_str!("../jca_v1/KeyPairGenerator.crysl"),
+);
+
+/// Name and source text of every shipped rule — the `jca` pack at its
+/// latest version, which is also what [`PackSource::Embedded`] serves.
 pub const RULE_SOURCES: &[(&str, &str)] = &[
-    ("SecureRandom", include_str!("../jca/SecureRandom.crysl")),
-    ("PBEKeySpec", include_str!("../jca/PBEKeySpec.crysl")),
-    (
-        "SecretKeyFactory",
-        include_str!("../jca/SecretKeyFactory.crysl"),
-    ),
-    ("SecretKey", include_str!("../jca/SecretKey.crysl")),
-    ("SecretKeySpec", include_str!("../jca/SecretKeySpec.crysl")),
-    ("KeyGenerator", include_str!("../jca/KeyGenerator.crysl")),
-    ("Cipher", include_str!("../jca/Cipher.crysl")),
-    (
-        "IvParameterSpec",
-        include_str!("../jca/IvParameterSpec.crysl"),
-    ),
-    (
-        "GCMParameterSpec",
-        include_str!("../jca/GCMParameterSpec.crysl"),
-    ),
-    ("MessageDigest", include_str!("../jca/MessageDigest.crysl")),
-    ("Signature", include_str!("../jca/Signature.crysl")),
-    (
-        "KeyPairGenerator",
-        include_str!("../jca/KeyPairGenerator.crysl"),
-    ),
-    ("KeyPair", include_str!("../jca/KeyPair.crysl")),
-    ("Mac", include_str!("../jca/Mac.crysl")),
+    SRC_SECURE_RANDOM,
+    SRC_PBE_KEY_SPEC,
+    SRC_SECRET_KEY_FACTORY,
+    SRC_SECRET_KEY,
+    SRC_SECRET_KEY_SPEC,
+    SRC_KEY_GENERATOR,
+    SRC_CIPHER,
+    SRC_IV_PARAMETER_SPEC,
+    SRC_GCM_PARAMETER_SPEC,
+    SRC_MESSAGE_DIGEST,
+    SRC_SIGNATURE,
+    SRC_KEY_PAIR_GENERATOR,
+    SRC_KEY_PAIR,
+    SRC_MAC,
+    SRC_KEY_AGREEMENT,
+    SRC_KDF,
 ];
+
+/// `jca@v1`: the same class coverage with the legacy KeyPairGenerator
+/// rule (1024-bit RSA preference).
+const JCA_V1_RULE_SOURCES: &[(&str, &str)] = &[
+    SRC_SECURE_RANDOM,
+    SRC_PBE_KEY_SPEC,
+    SRC_SECRET_KEY_FACTORY,
+    SRC_SECRET_KEY,
+    SRC_SECRET_KEY_SPEC,
+    SRC_KEY_GENERATOR,
+    SRC_CIPHER,
+    SRC_IV_PARAMETER_SPEC,
+    SRC_GCM_PARAMETER_SPEC,
+    SRC_MESSAGE_DIGEST,
+    SRC_SIGNATURE,
+    SRC_KEY_PAIR_GENERATOR_V1,
+    SRC_KEY_PAIR,
+    SRC_MAC,
+    SRC_KEY_AGREEMENT,
+    SRC_KDF,
+];
+
+/// `aead@v1`: the authenticated-encryption family.
+const AEAD_V1_RULE_SOURCES: &[(&str, &str)] = &[
+    SRC_SECURE_RANDOM,
+    SRC_SECRET_KEY,
+    SRC_SECRET_KEY_SPEC,
+    SRC_KEY_GENERATOR,
+    SRC_CIPHER,
+    SRC_IV_PARAMETER_SPEC,
+    SRC_GCM_PARAMETER_SPEC,
+];
+
+/// `agreement@v1`: the key-agreement family (DH/ECDH → KDF → AEAD/MAC).
+const AGREEMENT_V1_RULE_SOURCES: &[(&str, &str)] = &[
+    SRC_SECURE_RANDOM,
+    SRC_SECRET_KEY_SPEC,
+    SRC_CIPHER,
+    SRC_IV_PARAMETER_SPEC,
+    SRC_GCM_PARAMETER_SPEC,
+    SRC_KEY_PAIR_GENERATOR,
+    SRC_KEY_PAIR,
+    SRC_MAC,
+    SRC_KEY_AGREEMENT,
+    SRC_KDF,
+];
+
+/// `token@v1`: the MAC/HKDF token family.
+const TOKEN_V1_RULE_SOURCES: &[(&str, &str)] = &[
+    SRC_SECURE_RANDOM,
+    SRC_PBE_KEY_SPEC,
+    SRC_SECRET_KEY_FACTORY,
+    SRC_SECRET_KEY,
+    SRC_SECRET_KEY_SPEC,
+    SRC_KEY_GENERATOR,
+    SRC_CIPHER,
+    SRC_IV_PARAMETER_SPEC,
+    SRC_MAC,
+    SRC_KDF,
+];
+
+/// A named, versioned rule pack in the shipped catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct PackSpec {
+    /// Pack name (`jca`, `aead`, `agreement`, `token`).
+    pub name: &'static str,
+    /// Rule-set version within this pack line.
+    pub version: u32,
+    /// Name and source text of each member rule.
+    pub rules: &'static [(&'static str, &'static str)],
+    /// Catalogued use-case ids this pack can generate
+    /// (`usecases::all_use_cases` numbering).
+    pub use_cases: &'static [u8],
+}
+
+impl PackSpec {
+    /// The manifest a compile of this spec carries.
+    pub fn manifest(&self) -> PackManifest {
+        PackManifest::new(self.name, self.version)
+    }
+}
+
+/// Every named pack this build ships, all versions. Within one name,
+/// entries are ordered ascending by version; the last one is the
+/// latest.
+pub const PACK_CATALOG: &[PackSpec] = &[
+    PackSpec {
+        name: "jca",
+        version: 1,
+        rules: JCA_V1_RULE_SOURCES,
+        // The agreement family (17–21) needs DH/EC key pairs, which the
+        // legacy RSA-only KeyPairGenerator rule cannot justify.
+        use_cases: &[
+            1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 22, 23, 24, 25, 26,
+        ],
+    },
+    PackSpec {
+        name: "jca",
+        version: 2,
+        rules: RULE_SOURCES,
+        use_cases: &[
+            1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24,
+            25, 26,
+        ],
+    },
+    PackSpec {
+        name: "aead",
+        version: 1,
+        rules: AEAD_V1_RULE_SOURCES,
+        use_cases: &[4, 12, 13, 14, 15, 16, 26],
+    },
+    PackSpec {
+        name: "agreement",
+        version: 1,
+        rules: AGREEMENT_V1_RULE_SOURCES,
+        use_cases: &[17, 18, 19, 20, 21],
+    },
+    PackSpec {
+        name: "token",
+        version: 1,
+        rules: TOKEN_V1_RULE_SOURCES,
+        use_cases: &[22, 23, 24, 25, 26],
+    },
+];
+
+/// Looks up a catalog pack by name, at an explicit version or (with
+/// `None`) the latest one.
+pub fn catalog_pack(name: &str, version: Option<u32>) -> Option<&'static PackSpec> {
+    match version {
+        Some(v) => PACK_CATALOG
+            .iter()
+            .find(|p| p.name == name && p.version == v),
+        None => PACK_CATALOG.iter().rfind(|p| p.name == name),
+    }
+}
 
 /// Where a rule pack comes from — the single argument of [`open`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PackSource {
-    /// The fourteen JCA rules compiled into this binary
-    /// ([`RULE_SOURCES`]).
+    /// The sixteen JCA rules compiled into this binary
+    /// ([`RULE_SOURCES`], the latest `jca` catalog version).
     Embedded,
+    /// A named pack from [`PACK_CATALOG`], version-pinned. `version`
+    /// `None` means the latest shipped version of that name.
+    Catalog {
+        /// Pack name (`jca`, `aead`, …).
+        name: String,
+        /// Pinned version, or `None` for the latest.
+        version: Option<u32>,
+    },
     /// A directory of `*.crysl` source files, read in file-name order.
     SourceDir(PathBuf),
     /// A precompiled `.crpack` binary written by [`RulePack::to_bytes`]
@@ -83,23 +263,32 @@ pub enum PackSource {
 }
 
 impl PackSource {
-    /// Classifies a filesystem path the way `--rules` flags do: a
-    /// directory is a source pack, anything else is treated as a
-    /// compiled pack (and will fail with a typed error if it is not).
+    /// Classifies a `--rules` argument: an existing directory is a
+    /// source pack; a non-path spelling of a catalog name (`jca`,
+    /// `aead@v1`, …) is a catalog pack; anything else is treated as a
+    /// compiled pack file (and will fail with a typed error if it is
+    /// not). A version-suffixed catalog name is recognized even at an
+    /// unknown version, so `jca@v9` fails at [`open`] with a typed
+    /// unknown-version error instead of a confusing file-not-found.
     pub fn detect(path: impl Into<PathBuf>) -> PackSource {
         let path = path.into();
         if path.is_dir() {
-            PackSource::SourceDir(path)
-        } else {
-            PackSource::Compiled(path)
+            return PackSource::SourceDir(path);
         }
+        if !path.exists() {
+            if let Some(spec) = path.to_str().and_then(parse_catalog_spec) {
+                return spec;
+            }
+        }
+        PackSource::Compiled(path)
     }
 
-    /// Stable short label for telemetry (`embedded`, `source-dir`,
-    /// `compiled`).
+    /// Stable short label for telemetry (`embedded`, `catalog`,
+    /// `source-dir`, `compiled`).
     pub fn kind(&self) -> &'static str {
         match self {
             PackSource::Embedded => "embedded",
+            PackSource::Catalog { .. } => "catalog",
             PackSource::SourceDir(_) => "source-dir",
             PackSource::Compiled(_) => "compiled",
         }
@@ -108,9 +297,31 @@ impl PackSource {
     /// The filesystem path behind this source, if any.
     pub fn path(&self) -> Option<&Path> {
         match self {
-            PackSource::Embedded => None,
+            PackSource::Embedded | PackSource::Catalog { .. } => None,
             PackSource::SourceDir(p) | PackSource::Compiled(p) => Some(p),
         }
+    }
+}
+
+/// Parses `name` or `name@vN` into a [`PackSource::Catalog`] when
+/// `name` is a shipped catalog name. Returns `None` for anything that
+/// does not look like a catalog reference (so paths keep failing as
+/// paths).
+fn parse_catalog_spec(s: &str) -> Option<PackSource> {
+    let (name, version) = match s.split_once('@') {
+        Some((name, v)) => {
+            let v = v.strip_prefix('v')?.parse::<u32>().ok()?;
+            (name, Some(v))
+        }
+        None => (s, None),
+    };
+    if PACK_CATALOG.iter().any(|p| p.name == name) {
+        Some(PackSource::Catalog {
+            name: name.to_owned(),
+            version,
+        })
+    } else {
+        None
     }
 }
 
@@ -118,6 +329,10 @@ impl fmt::Display for PackSource {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PackSource::Embedded => f.write_str("embedded"),
+            PackSource::Catalog { name, version } => match version {
+                Some(v) => write!(f, "catalog:{name}@v{v}"),
+                None => write!(f, "catalog:{name}"),
+            },
             PackSource::SourceDir(p) => write!(f, "source-dir:{}", p.display()),
             PackSource::Compiled(p) => write!(f, "compiled:{}", p.display()),
         }
@@ -183,6 +398,10 @@ pub struct RulePack {
     /// The `.crpack` format version this pack has (or would serialize
     /// to): always [`PACK_VERSION`] in this build.
     pub version: u32,
+    /// Pack manifest: the named catalog line and rule-set version this
+    /// pack belongs to. Ad-hoc source-dir packs carry their directory
+    /// stem at version 0.
+    pub manifest: PackManifest,
     /// The source this pack was opened from.
     pub origin: PackSource,
     /// Precompiled ORDER artefacts, one per fingerprint, already
@@ -194,6 +413,7 @@ pub struct RulePack {
 impl RulePack {
     fn from_rule_set(
         rules: RuleSet,
+        manifest: PackManifest,
         origin: PackSource,
         artefacts: Vec<Arc<CompiledOrder>>,
     ) -> RulePack {
@@ -204,6 +424,7 @@ impl RulePack {
             rules,
             fingerprints,
             version: PACK_VERSION,
+            manifest,
             origin,
             artefacts,
         }
@@ -245,7 +466,7 @@ impl RulePack {
     ///
     /// [`CryslError::Pack`] when a rule's ORDER fails to compile.
     pub fn to_bytes(&self) -> Result<Vec<u8>, CryslError> {
-        pack::encode(&self.rules)
+        pack::encode(&self.rules, &self.manifest)
     }
 }
 
@@ -267,12 +488,21 @@ pub fn open(source: PackSource) -> Result<RulePack, PackError> {
             let shared = embedded_shared()?;
             Ok(RulePack::from_rule_set(
                 shared.clone(),
+                embedded_manifest(),
                 PackSource::Embedded,
                 Vec::new(),
             ))
         }
         other => open_uncached(other),
     }
+}
+
+/// The manifest the embedded rule set carries: the latest `jca`
+/// catalog entry.
+fn embedded_manifest() -> PackManifest {
+    catalog_pack("jca", None)
+        .expect("catalog always ships a jca pack")
+        .manifest()
 }
 
 /// [`open`] without the process-wide embedded cache: every call — for
@@ -289,14 +519,48 @@ pub fn open_uncached(source: PackSource) -> Result<RulePack, PackError> {
             let rules = parse_embedded()?;
             Ok(RulePack::from_rule_set(
                 rules,
+                embedded_manifest(),
                 PackSource::Embedded,
+                Vec::new(),
+            ))
+        }
+        PackSource::Catalog { name, version } => {
+            let spec = catalog_pack(&name, version).ok_or_else(|| {
+                let shipped: Vec<String> = PACK_CATALOG
+                    .iter()
+                    .map(|p| format!("{}@v{}", p.name, p.version))
+                    .collect();
+                PackError::Crysl(CryslError::pack(match version {
+                    Some(v) => format!(
+                        "unknown rule-pack version {name}@v{v}; this build ships {}",
+                        shipped.join(", ")
+                    ),
+                    None => format!(
+                        "unknown rule pack {name}; this build ships {}",
+                        shipped.join(", ")
+                    ),
+                }))
+            })?;
+            let mut set = RuleSet::new();
+            for (_, src) in spec.rules {
+                set.add_source(src)?;
+            }
+            Ok(RulePack::from_rule_set(
+                set,
+                spec.manifest(),
+                PackSource::Catalog { name, version },
                 Vec::new(),
             ))
         }
         PackSource::SourceDir(dir) => {
             let rules = parse_source_dir(&dir)?;
+            let stem = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "source".to_owned());
             Ok(RulePack::from_rule_set(
                 rules,
+                PackManifest::new(stem, 0),
                 PackSource::SourceDir(dir),
                 Vec::new(),
             ))
@@ -335,6 +599,7 @@ pub fn open_bytes(bytes: &[u8]) -> Result<RulePack, PackError> {
         rules: decoded.rules,
         fingerprints,
         version: decoded.version,
+        manifest: decoded.manifest,
         origin: PackSource::Compiled(PathBuf::from("<bytes>")),
         artefacts: decoded.artefacts.into_iter().map(Arc::new).collect(),
     })
@@ -603,6 +868,155 @@ mod tests {
             let reparsed = crysl::parse_rule(&printed)
                 .unwrap_or_else(|e| panic!("{name} reparse: {e}\n---\n{printed}"));
             assert_eq!(rule, reparsed, "{name} changed across the round trip");
+        }
+    }
+
+    #[test]
+    fn catalog_packs_all_parse_and_declare_use_cases() {
+        for spec in PACK_CATALOG {
+            let pack = open(PackSource::Catalog {
+                name: spec.name.to_owned(),
+                version: Some(spec.version),
+            })
+            .unwrap_or_else(|e| panic!("{}@v{}: {e}", spec.name, spec.version));
+            assert_eq!(pack.rules.len(), spec.rules.len());
+            assert_eq!(pack.manifest, spec.manifest());
+            assert!(
+                !spec.use_cases.is_empty(),
+                "{}@v{} declares no use cases",
+                spec.name,
+                spec.version
+            );
+            let mut sorted = spec.use_cases.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.as_slice(), spec.use_cases, "{} ids", spec.name);
+        }
+        // The union of pack-declared use cases covers the ≥25 scale-out.
+        let mut all: Vec<u8> = PACK_CATALOG
+            .iter()
+            .flat_map(|p| p.use_cases.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert!(all.len() >= 25, "only {} use cases catalogued", all.len());
+    }
+
+    #[test]
+    fn embedded_is_the_latest_jca_catalog_pack() {
+        let embedded = open(PackSource::Embedded).unwrap();
+        let latest = catalog_pack("jca", None).unwrap();
+        let from_catalog = open(PackSource::Catalog {
+            name: "jca".to_owned(),
+            version: None,
+        })
+        .unwrap();
+        assert_eq!(embedded.manifest, latest.manifest());
+        assert_eq!(embedded.rules, from_catalog.rules);
+        assert_eq!(embedded.pack_fingerprint(), from_catalog.pack_fingerprint());
+    }
+
+    #[test]
+    fn jca_versions_diverge_only_in_the_key_pair_generator() {
+        let v1 = open(PackSource::Catalog {
+            name: "jca".to_owned(),
+            version: Some(1),
+        })
+        .unwrap();
+        let v2 = open(PackSource::Catalog {
+            name: "jca".to_owned(),
+            version: Some(2),
+        })
+        .unwrap();
+        assert_eq!(v1.rules.len(), v2.rules.len());
+        // The ORDER automata agree (the divergence is in CONSTRAINTS),
+        // so the packs are told apart by manifest, not fingerprint.
+        assert_ne!(v1.manifest, v2.manifest);
+        assert_ne!(v1.rules, v2.rules);
+        let kpg1 = v1.rules.by_name("java.security.KeyPairGenerator").unwrap();
+        let kpg2 = v2.rules.by_name("java.security.KeyPairGenerator").unwrap();
+        assert_eq!(kpg1.in_choices("keySize").unwrap()[0], Literal::Int(1024));
+        assert_eq!(kpg2.in_choices("keySize").unwrap()[0], Literal::Int(2048));
+        for rule in v1.rules.iter() {
+            let name = rule.class_name.as_str();
+            if name != "java.security.KeyPairGenerator" {
+                assert_eq!(Some(rule), v2.rules.by_name(name));
+            }
+        }
+    }
+
+    #[test]
+    fn detect_recognizes_catalog_names_but_not_paths() {
+        // (The bare name "jca" would shadow this crate's own jca/
+        // source directory under the test cwd — existing paths win —
+        // so the bare-name case uses a catalog name with no such dir.)
+        assert_eq!(
+            PackSource::detect("agreement"),
+            PackSource::Catalog {
+                name: "agreement".to_owned(),
+                version: None
+            }
+        );
+        assert_eq!(
+            PackSource::detect("aead@v1"),
+            PackSource::Catalog {
+                name: "aead".to_owned(),
+                version: Some(1)
+            }
+        );
+        // Unknown versions still classify as catalog so open() can
+        // report them as version errors rather than missing files.
+        assert_eq!(
+            PackSource::detect("jca@v9"),
+            PackSource::Catalog {
+                name: "jca".to_owned(),
+                version: Some(9)
+            }
+        );
+        // Non-catalog spellings keep their path semantics.
+        assert!(matches!(
+            PackSource::detect("no-such-pack.crpack"),
+            PackSource::Compiled(_)
+        ));
+        assert!(matches!(
+            PackSource::detect("some/dir/jca"),
+            PackSource::Compiled(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_catalog_version_is_a_typed_error() {
+        let err = open(PackSource::Catalog {
+            name: "jca".to_owned(),
+            version: Some(9),
+        })
+        .unwrap_err();
+        assert!(matches!(err, PackError::Crysl(CryslError::Pack { .. })));
+        assert!(err.to_string().contains("jca@v9"), "{err}");
+        assert!(err.to_string().contains("jca@v2"), "{err}");
+
+        let err = open(PackSource::Catalog {
+            name: "nope".to_owned(),
+            version: None,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown rule pack"), "{err}");
+    }
+
+    #[test]
+    fn compiled_catalog_packs_round_trip_their_manifest() {
+        for spec in PACK_CATALOG {
+            let pack = open(PackSource::Catalog {
+                name: spec.name.to_owned(),
+                version: Some(spec.version),
+            })
+            .unwrap();
+            let bytes = pack.to_bytes().unwrap();
+            let reopened = open_bytes(&bytes).unwrap();
+            assert_eq!(reopened.manifest, spec.manifest());
+            assert_eq!(reopened.rules, pack.rules);
+            assert_eq!(reopened.pack_fingerprint(), pack.pack_fingerprint());
+            assert!(reopened.is_precompiled());
         }
     }
 

@@ -7,6 +7,8 @@
 //! ```text
 //! magic            4 bytes   "CRPK"
 //! format version   u32       PACK_VERSION
+//! pack name        u32-length-prefixed UTF-8 ([`PackManifest::name`])
+//! pack version     u32       ([`PackManifest::version`])
 //! rule count       u32
 //! rules            rule count × crysl::binfmt rule encoding
 //! artefact count   u32
@@ -36,12 +38,44 @@ pub const PACK_MAGIC: [u8; 4] = *b"CRPK";
 
 /// Current pack format version. Bump on any layout change; a loader
 /// only accepts its own version, so stale packs fail fast with a typed
-/// error telling the operator to recompile.
-pub const PACK_VERSION: u32 = 1;
+/// error telling the operator to recompile. Version 2 added the pack
+/// manifest (name + pack version) between the format version and the
+/// rule table.
+pub const PACK_VERSION: u32 = 2;
 
 /// Smallest byte count any structurally plausible pack can have:
-/// magic + version + two zero counts + checksum.
-const MIN_PACK_BYTES: usize = 4 + 4 + 4 + 4 + 8;
+/// magic + format version + empty manifest + two zero counts + checksum.
+const MIN_PACK_BYTES: usize = 4 + 4 + 4 + 4 + 4 + 4 + 8;
+
+/// The pack manifest: which named catalog pack (at which rule-set
+/// version) the file was compiled from. Distinct from the *format*
+/// version ([`PACK_VERSION`]), which describes the byte layout: two
+/// packs `jca@v1` and `jca@v2` both use format version 2 but carry
+/// manifests `("jca", 1)` and `("jca", 2)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackManifest {
+    /// Catalog pack name (e.g. `"jca"`); ad-hoc source-dir compiles
+    /// use the directory stem.
+    pub name: String,
+    /// Rule-set version within the named pack line.
+    pub version: u32,
+}
+
+impl PackManifest {
+    /// Creates a manifest.
+    pub fn new(name: impl Into<String>, version: u32) -> Self {
+        PackManifest {
+            name: name.into(),
+            version,
+        }
+    }
+}
+
+impl std::fmt::Display for PackManifest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@v{}", self.name, self.version)
+    }
+}
 
 /// The pack trailer checksum: FNV-1a-64 folding 8-byte little-endian
 /// words, then the remaining tail bytes one at a time.
@@ -73,7 +107,7 @@ pub fn pack_checksum(bytes: &[u8]) -> u64 {
 ///
 /// [`CryslError::Pack`] when a rule's ORDER fails to compile (state
 /// blow-up past the DFA limit or path-enumeration failure).
-pub fn encode(rules: &RuleSet) -> Result<Vec<u8>, CryslError> {
+pub fn encode(rules: &RuleSet, manifest: &PackManifest) -> Result<Vec<u8>, CryslError> {
     let mut artefacts: BTreeMap<u64, CompiledOrder> = BTreeMap::new();
     for rule in rules.iter() {
         let fp = order_fingerprint(rule);
@@ -87,6 +121,8 @@ pub fn encode(rules: &RuleSet) -> Result<Vec<u8>, CryslError> {
     let mut w = Writer::new();
     w.raw(&PACK_MAGIC);
     w.u32(PACK_VERSION);
+    w.str(&manifest.name);
+    w.u32(manifest.version);
     w.count(rules.len());
     for rule in rules.iter() {
         crysl::binfmt::write_rule(&mut w, rule);
@@ -110,6 +146,8 @@ pub struct DecodedPack {
     pub rules: RuleSet,
     /// Format version read from the file (always [`PACK_VERSION`]).
     pub version: u32,
+    /// Manifest read from the file.
+    pub manifest: PackManifest,
     /// One artefact per distinct rule fingerprint.
     pub artefacts: Vec<CompiledOrder>,
 }
@@ -155,6 +193,11 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedPack, CryslError> {
         )));
     }
 
+    let manifest = PackManifest {
+        name: r.str()?,
+        version: r.u32()?,
+    };
+
     let rule_count = r.count()?;
     let mut rules = RuleSet::new();
     for _ in 0..rule_count {
@@ -188,6 +231,7 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedPack, CryslError> {
     Ok(DecodedPack {
         rules,
         version,
+        manifest,
         artefacts,
     })
 }
@@ -195,6 +239,10 @@ pub fn decode(bytes: &[u8]) -> Result<DecodedPack, CryslError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn manifest() -> PackManifest {
+        PackManifest::new("test", 1)
+    }
 
     fn embedded() -> RuleSet {
         let mut set = RuleSet::new();
@@ -207,9 +255,10 @@ mod tests {
     #[test]
     fn encode_decode_is_the_identity_on_the_embedded_set() {
         let rules = embedded();
-        let bytes = encode(&rules).unwrap();
+        let bytes = encode(&rules, &manifest()).unwrap();
         let decoded = decode(&bytes).unwrap();
         assert_eq!(decoded.version, PACK_VERSION);
+        assert_eq!(decoded.manifest, manifest());
         assert_eq!(decoded.rules, rules);
         assert_eq!(decoded.artefacts.len(), {
             let mut fps: Vec<u64> = rules.iter().map(order_fingerprint).collect();
@@ -231,7 +280,7 @@ mod tests {
 
     #[test]
     fn checksum_catches_any_single_bit_flip() {
-        let bytes = encode(&embedded()).unwrap();
+        let bytes = encode(&embedded(), &manifest()).unwrap();
         // Sampled offsets (every byte would be slow at ~50KB × O(n)
         // re-hash per flip); stride covers header, rules, artefacts and
         // trailer regions.
@@ -253,7 +302,7 @@ mod tests {
 
     #[test]
     fn truncation_is_always_a_typed_error() {
-        let bytes = encode(&embedded()).unwrap();
+        let bytes = encode(&embedded(), &manifest()).unwrap();
         for end in [
             0,
             1,
@@ -269,7 +318,7 @@ mod tests {
 
     #[test]
     fn version_skew_is_rejected_with_a_recompile_hint() {
-        let mut bytes = encode(&embedded()).unwrap();
+        let mut bytes = encode(&embedded(), &manifest()).unwrap();
         bytes[4..8].copy_from_slice(&(PACK_VERSION + 1).to_le_bytes());
         let len = bytes.len();
         let checksum = pack_checksum(&bytes[..len - 8]);
@@ -297,6 +346,8 @@ mod tests {
         let mut w = Writer::new();
         w.raw(&PACK_MAGIC);
         w.u32(PACK_VERSION);
+        w.str("test");
+        w.u32(1);
         w.count(rules.len());
         for rule in rules.iter() {
             crysl::binfmt::write_rule(&mut w, rule);

@@ -1,5 +1,5 @@
-//! The eleven common cryptographic use cases of the paper's Table 1,
-//! implemented as CogniCryptGEN code templates.
+//! The cryptographic use-case catalogue: the paper's Table 1 (rows 1–11)
+//! plus the scale-out families the same engine generates.
 //!
 //! | # | Use case | Module |
 //! |---|----------|--------|
@@ -14,10 +14,28 @@
 //! | 9 | Secure user-password storage | [`password`] |
 //! | 10 | Digital signing of strings | [`signing`] |
 //! | 11 | Hashing of strings | [`hashing`] |
+//! | 12 | Authenticated encryption (AES-GCM) | [`gcm`] |
+//! | 13 | Deterministic AEAD (AES-GCM-SIV) | [`aead`] |
+//! | 14 | ChaCha20-Poly1305 on byte arrays | [`aead`] |
+//! | 15 | ChaCha20-Poly1305 on strings | [`aead`] |
+//! | 16 | AES-CTR stream encryption | [`aead`] |
+//! | 17 | DH shared-secret derivation | [`agreement`] |
+//! | 18 | ECDH shared-secret derivation | [`agreement`] |
+//! | 19 | DH session encryption (AES-GCM) | [`agreement`] |
+//! | 20 | ECDH session encryption (ChaCha20-Poly1305) | [`agreement`] |
+//! | 21 | MAC under an agreed key | [`agreement`] |
+//! | 22 | HMAC token minting | [`token`] |
+//! | 23 | HKDF subkey expansion | [`token`] |
+//! | 24 | HKDF-derived MAC tokens | [`token`] |
+//! | 25 | Password-derived MAC tokens | [`token`] |
+//! | 26 | Key export/import transport | [`token`] |
 //!
 //! Use cases 1–3 share the same fluent-API chains and differ only in
-//! wrapper glue, as the paper observes; the same holds for 5–7.
+//! wrapper glue, as the paper observes; the same holds for 5–7 and
+//! for 14–15.
 
+pub mod aead;
+pub mod agreement;
 pub mod asymmetric;
 pub mod gcm;
 pub mod hashing;
@@ -26,6 +44,7 @@ pub mod password;
 pub mod pbe;
 pub mod signing;
 pub mod symmetric;
+pub mod token;
 
 use cognicrypt_core::Template;
 
@@ -46,7 +65,8 @@ pub struct UseCase {
     pub template: Template,
 }
 
-/// All eleven use cases, in Table 1 order.
+/// The full catalogue in id order: Table 1 rows 1–11, then the AEAD
+/// (12–16), key-agreement (17–21) and token (22–26) families.
 pub fn all_use_cases() -> Vec<UseCase> {
     vec![
         UseCase {
@@ -115,6 +135,96 @@ pub fn all_use_cases() -> Vec<UseCase> {
             sources: "[27]",
             template: hashing::hashing_strings(),
         },
+        UseCase {
+            id: 12,
+            name: "Authenticated Encryption (AES-GCM)",
+            sources: "ext",
+            template: gcm::authenticated_encryption(),
+        },
+        UseCase {
+            id: 13,
+            name: "Deterministic AEAD (AES-GCM-SIV)",
+            sources: "ext",
+            template: aead::gcm_siv_encryption(),
+        },
+        UseCase {
+            id: 14,
+            name: "ChaCha20-Poly1305 on Byte-Arrays",
+            sources: "ext",
+            template: aead::chacha_poly_encryption(),
+        },
+        UseCase {
+            id: 15,
+            name: "ChaCha20-Poly1305 on Strings",
+            sources: "ext",
+            template: aead::chacha_poly_strings(),
+        },
+        UseCase {
+            id: 16,
+            name: "AES-CTR Stream Encryption",
+            sources: "ext",
+            template: aead::ctr_encryption(),
+        },
+        UseCase {
+            id: 17,
+            name: "DH Shared-Secret Derivation",
+            sources: "ext",
+            template: agreement::dh_agreement(),
+        },
+        UseCase {
+            id: 18,
+            name: "ECDH Shared-Secret Derivation",
+            sources: "ext",
+            template: agreement::ecdh_agreement(),
+        },
+        UseCase {
+            id: 19,
+            name: "DH Session Encryption (AES-GCM)",
+            sources: "ext",
+            template: agreement::dh_session_encryption(),
+        },
+        UseCase {
+            id: 20,
+            name: "ECDH Session Encryption (ChaCha20-Poly1305)",
+            sources: "ext",
+            template: agreement::ecdh_session_encryption(),
+        },
+        UseCase {
+            id: 21,
+            name: "MAC under an Agreed Key",
+            sources: "ext",
+            template: agreement::agreed_mac(),
+        },
+        UseCase {
+            id: 22,
+            name: "HMAC Token Minting",
+            sources: "ext",
+            template: token::hmac_token(),
+        },
+        UseCase {
+            id: 23,
+            name: "HKDF Subkey Expansion",
+            sources: "ext",
+            template: token::hkdf_subkeys(),
+        },
+        UseCase {
+            id: 24,
+            name: "HKDF-Derived MAC Tokens",
+            sources: "ext",
+            template: token::derived_mac_token(),
+        },
+        UseCase {
+            id: 25,
+            name: "Password-Derived MAC Tokens",
+            sources: "ext",
+            template: token::password_mac_token(),
+        },
+        UseCase {
+            id: 26,
+            name: "Key Export/Import Transport",
+            sources: "ext",
+            template: token::key_transport(),
+        },
     ]
 }
 
@@ -125,12 +235,17 @@ mod tests {
     use javamodel::jca::jca_type_table;
 
     #[test]
-    fn catalog_has_eleven_entries_in_order() {
+    fn catalog_has_at_least_twenty_five_entries_in_order() {
         let ucs = all_use_cases();
-        assert_eq!(ucs.len(), 11);
+        assert!(ucs.len() >= 25, "only {} use cases", ucs.len());
         for (i, uc) in ucs.iter().enumerate() {
             assert_eq!(uc.id as usize, i + 1);
         }
+        // Class names are unique: they double as generation targets.
+        let mut names: Vec<_> = ucs.iter().map(|u| u.template.class_name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ucs.len());
     }
 
     #[test]

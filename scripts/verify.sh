@@ -62,19 +62,35 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 mkdir -p "$workdir/batch" "$workdir/single"
 "$cli" batch "$workdir/batch" 8 >/dev/null
-for id in $(seq 1 11); do
+# The id universe comes from the batch output itself, so this loop can
+# never silently lag behind a growing catalogue.
+ids="$(find "$workdir/batch" -name 'uc*.java' -printf '%f\n' | sed -E 's/^uc0*([0-9]+)\.java$/\1/' | sort -n)"
+test -n "$ids"
+for id in $ids; do
     "$cli" generate "$id" > "$workdir/single/$(printf 'uc%02d.java' "$id")"
 done
 diff -r "$workdir/batch" "$workdir/single"
 
-# The Table-1 telemetry report must cover all 11 use cases with all five
-# phase timings and non-empty metrics; report-check validates the schema
-# of the file report just wrote.
+# The Table-1 telemetry report must cover every catalogued use case with
+# all five phase timings and non-empty metrics; report-check validates
+# the schema of the file report just wrote.
 echo "==> cli report -> REPORT_table1.json"
 "$cli" report "$workdir/report" >/dev/null
 report="$workdir/report/REPORT_table1.json"
 test -s "$report"
 "$cli" report-check "$report"
+
+# Scenario-count gate: the freshly generated report must carry at least
+# as many use-case rows as the committed REPORT_table1.json. A smaller
+# report means the catalogue (or the report pipeline) silently lost
+# scenarios — exactly the regression a scale-out PR must not allow.
+committed_rows="$(grep -o '"id":' REPORT_table1.json | wc -l)"
+generated_rows="$(grep -o '"id":' "$report" | wc -l)"
+if [ "$generated_rows" -lt "$committed_rows" ]; then
+    echo "error: report emits $generated_rows use-case rows; the committed REPORT_table1.json has $committed_rows" >&2
+    exit 1
+fi
+echo "==> report covers $generated_rows use cases (committed baseline: $committed_rows)"
 
 # Trace export: a traced generate and a traced batch must both produce
 # structurally valid Chrome traces (paired B/E spans, monotonic per-tid

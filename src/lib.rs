@@ -59,10 +59,15 @@ pub fn jca_engine() -> Result<&'static GenEngine, Error> {
 /// [`Error::Usage`] when nothing matches.
 pub fn find_use_case(selector: &str) -> Result<UseCase, Error> {
     let cases = all_use_cases();
+    // A numeric selector is an id, never a name fragment: "0" must not
+    // resolve just because some use-case name happens to contain that
+    // digit.
     if let Ok(id) = selector.parse::<u8>() {
-        if let Some(uc) = cases.iter().find(|u| u.id == id) {
-            return Ok(uc.clone());
-        }
+        return cases
+            .iter()
+            .find(|u| u.id == id)
+            .cloned()
+            .ok_or_else(|| Error::Usage(format!("no use case {id} (try `list`)")));
     }
     let lowered = selector.to_lowercase();
     cases

@@ -94,7 +94,7 @@ use cognicryptgen::core::GenEngine;
 use cognicryptgen::javamodel::jca::jca_type_table;
 use cognicryptgen::javamodel::parser::parse_java;
 use cognicryptgen::report::{self, REPORT_FILE};
-use cognicryptgen::rules::{self, PackSource};
+use cognicryptgen::rules::{self, PackManifest, PackSource};
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
 use cognicryptgen::serve::{self, ServeConfig, Server};
 use cognicryptgen::usecases::{all_use_cases, UseCase};
@@ -152,7 +152,7 @@ fn main() -> ExitCode {
                 cmd_serve(&serve_args)
             }
             Some("serve-check") => {
-                reject_custom(trace, pack, "serve-check").and_then(|()| cmd_serve_check(&args[1..]))
+                reject_trace(trace, "serve-check").and_then(|()| cmd_serve_check(&args[1..], pack))
             }
             Some("load") => reject_custom(trace, pack, "load").and_then(|()| cmd_load(&args[1..])),
             Some("load-check") => {
@@ -231,11 +231,13 @@ fn extract_flag(args: &mut Vec<String>, flag: &str, what: &str) -> Result<Option
 /// serve: a `--trace` observer attached, a `--rules` pack other than
 /// the embedded one, or both. A precompiled `.crpack` seeds the
 /// process-wide compiled-ORDER cache before the engine warms, so the
-/// boot performs no CrySL parsing and no ORDER compilation.
+/// boot performs no CrySL parsing and no ORDER compilation. The
+/// loaded pack's manifest rides along so callers can honour the
+/// catalogued use-case subset the pack declares.
 fn custom_engine(
     pack: Option<&str>,
     recorder: Option<Arc<TraceRecorder>>,
-) -> Result<Option<GenEngine>, Error> {
+) -> Result<Option<(GenEngine, PackManifest)>, Error> {
     if pack.is_none() && recorder.is_none() {
         return Ok(None);
     }
@@ -244,6 +246,7 @@ fn custom_engine(
         None => PackSource::Embedded,
     };
     let pack = rules::open(source)?;
+    let manifest = pack.manifest.clone();
     let cache = cognicryptgen::core::engine::shared_order_cache().clone();
     pack.seed(&cache);
     let mut builder = GenEngine::builder()
@@ -253,7 +256,15 @@ fn custom_engine(
     if let Some(recorder) = recorder {
         builder = builder.observer(recorder);
     }
-    Ok(Some(builder.build()?))
+    Ok(Some((builder.build()?, manifest)))
+}
+
+/// The catalogued use-case ids a manifest's pack declares, when the
+/// manifest names a shipped catalog entry. Packs outside the catalog
+/// (source dirs, foreign `.crpack`s) declare nothing and get the full
+/// catalogue.
+fn declared_cases(manifest: &PackManifest) -> Option<&'static [u8]> {
+    rules::catalog_pack(&manifest.name, Some(manifest.version)).map(|spec| spec.use_cases)
 }
 
 /// Validates and writes the recorded trace, reporting to stderr so
@@ -286,7 +297,7 @@ fn cmd_list() -> Result<(), Error> {
 fn cmd_generate(uc: &UseCase, pack: Option<&str>, trace: Option<&str>) -> Result<(), Error> {
     let recorder = trace.map(|_| Arc::new(TraceRecorder::new()));
     let generated = match custom_engine(pack, recorder.clone())? {
-        Some(engine) => engine.generate(&uc.template)?,
+        Some((engine, _)) => engine.generate(&uc.template)?,
         None => jca_engine()?.generate(&uc.template)?,
     };
     if let (Some(recorder), Some(path)) = (&recorder, trace) {
@@ -296,10 +307,13 @@ fn cmd_generate(uc: &UseCase, pack: Option<&str>, trace: Option<&str>) -> Result
     Ok(())
 }
 
-/// `batch <dir> [threads]` — generate every shipped use case in one
+/// `batch <dir> [threads]` — generate every catalogued use case in one
 /// engine session, fanned over worker threads, writing `uc01.java` …
-/// `uc11.java` into `dir`. Any per-case failure is reported and turns
-/// the whole invocation into a failure after all cases ran.
+/// `uc26.java` into `dir`. A `--rules` pack that names a catalog entry
+/// (directly, or through a compiled `.crpack`'s manifest) narrows the
+/// run to the use-case subset that pack declares. Any per-case failure
+/// is reported and turns the whole invocation into a failure after all
+/// cases ran.
 fn cmd_batch(
     outdir: Option<&str>,
     threads: Option<&str>,
@@ -321,15 +335,29 @@ fn cmd_batch(
 
     let recorder = trace.map(|_| Arc::new(TraceRecorder::new()));
     let custom;
+    let mut declared: Option<&'static [u8]> = None;
     let engine: &GenEngine = match custom_engine(pack, recorder.clone())? {
-        Some(engine) => {
+        Some((engine, manifest)) => {
+            declared = declared_cases(&manifest);
             custom = engine;
             &custom
         }
         None => jca_engine()?,
     };
 
-    let cases = all_use_cases();
+    let full = all_use_cases();
+    let total = full.len();
+    let cases: Vec<UseCase> = full
+        .into_iter()
+        .filter(|uc| declared.is_none_or(|ids| ids.contains(&uc.id)))
+        .collect();
+    if cases.len() < total {
+        println!(
+            "batch: rule pack declares {} of {} catalogued use cases",
+            cases.len(),
+            total
+        );
+    }
     let templates: Vec<_> = cases.iter().map(|uc| uc.template.clone()).collect();
     let results = engine.generate_batch(&templates, threads);
 
@@ -397,25 +425,29 @@ fn cmd_rules(class: Option<&str>) -> Result<(), Error> {
     Ok(())
 }
 
-/// `compile-rules <src-dir|--embedded> <out.crpack>` — parse and
-/// validate a rule set, precompile every ORDER automaton (minimized
-/// DFA plus its enumerated paths, keyed by content-hash fingerprint),
-/// and write the whole thing as the versioned, checksummed binary rule
-/// pack a later `--rules <out.crpack>` boot loads without touching the
-/// CrySL front-end or the NFA→DFA pipeline.
+/// `compile-rules <src-dir|name[@vN]|--embedded> <out.crpack>` — parse
+/// and validate a rule set (a `*.crysl` source directory, a catalog
+/// pack named `jca@v1`-style, or the embedded set), precompile every
+/// ORDER automaton (minimized DFA plus its enumerated paths, keyed by
+/// content-hash fingerprint), and write the whole thing as the
+/// versioned, checksummed binary rule pack a later `--rules
+/// <out.crpack>` boot loads without touching the CrySL front-end or
+/// the NFA→DFA pipeline. Catalog packs carry their `name@vN` manifest
+/// into the compiled artefact, so a version-pinned `.crpack` stays
+/// distinguishable after distribution.
 fn cmd_compile_rules(args: &[String]) -> Result<(), Error> {
     let (src, out) = match args {
         [src, out] => (src.as_str(), out.as_str()),
         _ => {
             return Err(Error::Usage(
-                "compile-rules <src-dir|--embedded> <out.crpack>".to_owned(),
+                "compile-rules <src-dir|name[@vN]|--embedded> <out.crpack>".to_owned(),
             ))
         }
     };
     let source = if src == "--embedded" {
         PackSource::Embedded
     } else {
-        PackSource::SourceDir(src.into())
+        PackSource::detect(src)
     };
     // Uncached: a compiler run must parse its actual input, not a
     // previously cached embedded set.
@@ -423,7 +455,8 @@ fn cmd_compile_rules(args: &[String]) -> Result<(), Error> {
     let bytes = pack.to_bytes()?;
     std::fs::write(out, &bytes).map_err(|e| Error::io(out, e))?;
     println!(
-        "compile-rules: {} rules, {} ORDER artefacts, pack v{} fingerprint {:016x}, {} bytes -> {out}",
+        "compile-rules: {} ({} rules), {} ORDER artefacts, pack v{} fingerprint {:016x}, {} bytes -> {out}",
+        pack.manifest,
         pack.rules.len(),
         pack.fingerprints.len(),
         cognicryptgen::rules::PACK_VERSION,
@@ -491,7 +524,7 @@ fn cmd_report(outdir: Option<&str>, pack: Option<&str>, trace: Option<&str>) -> 
 }
 
 /// `report-check <file>` — parse a previously written Table-1 report
-/// and validate its shape (11 use cases, all five phases, metrics).
+/// and validate its shape (every catalogued use case, all five phases, metrics).
 fn cmd_report_check(path: Option<&str>) -> Result<(), Error> {
     let path = path.ok_or_else(|| Error::Usage("missing report file to check".to_owned()))?;
     let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
@@ -615,18 +648,23 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
     Ok(())
 }
 
-/// `serve-check <addr> [--profile-out <file>]` — end-to-end probe of a
-/// running daemon: healthz, metrics, a generation compared
-/// byte-for-byte against a local engine, a hot-reload, the same
-/// generation again, the observability surface (`/tracez` with a
-/// hostile probe showing up as a rejection, `/statz` in both
-/// renderings, a `/profilez` arm→capture→validate round trip with a
-/// 409 on double-arm), shutdown. With `--profile-out` the captured
-/// trace is also written to a file, ready for `trace-check`. Exits
-/// non-zero on the first discrepancy, so scripts can gate on it.
-fn cmd_serve_check(args: &[String]) -> Result<(), Error> {
+/// `serve-check <addr> [--profile-out <file>] [--case <id>]
+/// [--rules <pack>]` — end-to-end probe of a running daemon: healthz,
+/// metrics, a generation compared byte-for-byte against a local
+/// engine, a hot-reload, the same generation again, the observability
+/// surface (`/tracez` with a hostile probe showing up as a rejection,
+/// `/statz` in both renderings, a `/profilez` arm→capture→validate
+/// round trip with a 409 on double-arm), shutdown. Probing a daemon
+/// booted on a non-embedded pack needs `--rules` with that same pack,
+/// so the local comparison engine uses the same rules; the probed use
+/// case then defaults to the first one the pack declares (`--case`
+/// overrides). With `--profile-out` the captured trace is also written
+/// to a file, ready for `trace-check`. Exits non-zero on the first
+/// discrepancy, so scripts can gate on it.
+fn cmd_serve_check(args: &[String], pack: Option<&str>) -> Result<(), Error> {
     let mut args = args.to_vec();
     let profile_out = extract_flag(&mut args, "--profile-out", "an output file path")?;
+    let case = extract_flag(&mut args, "--case", "a use-case id or name")?;
     let addr = match args.as_slice() {
         [addr] => addr.as_str(),
         [] => return Err(Error::Usage("missing daemon address".to_owned())),
@@ -654,9 +692,21 @@ fn cmd_serve_check(args: &[String]) -> Result<(), Error> {
     }
     println!("serve-check: metrics ok ({} lines)", body.lines().count());
 
-    let uc = find_use_case("1")?;
-    let local = jca_engine()?.generate(&uc.template)?.java_source;
-    let (code, remote) = serve::http::request(addr, "GET", "/generate/1", "").map_err(http_err)?;
+    let custom = custom_engine(pack, None)?;
+    let declared = custom.as_ref().and_then(|(_, m)| declared_cases(m));
+    let selector = match case {
+        Some(sel) => sel,
+        None => declared
+            .and_then(|ids| ids.first())
+            .map_or_else(|| "1".to_owned(), u8::to_string),
+    };
+    let uc = find_use_case(&selector)?;
+    let local = match &custom {
+        Some((engine, _)) => engine.generate(&uc.template)?.java_source,
+        None => jca_engine()?.generate(&uc.template)?.java_source,
+    };
+    let gen_path = format!("/generate/{}", uc.id);
+    let (code, remote) = serve::http::request(addr, "GET", &gen_path, "").map_err(http_err)?;
     if code != 200 || remote != local {
         return Err(Error::Invalid(format!(
             "generate: daemon output differs from local engine (status {code}, {} vs {} bytes)",
@@ -665,7 +715,8 @@ fn cmd_serve_check(args: &[String]) -> Result<(), Error> {
         )));
     }
     println!(
-        "serve-check: generate byte-identical ({} bytes)",
+        "serve-check: generate uc{:02} byte-identical ({} bytes)",
+        uc.id,
         local.len()
     );
 
@@ -673,7 +724,7 @@ fn cmd_serve_check(args: &[String]) -> Result<(), Error> {
     if code != 200 {
         return Err(Error::Invalid(format!("reload: expected 200, got {code}")));
     }
-    let (code, remote) = serve::http::request(addr, "GET", "/generate/1", "").map_err(http_err)?;
+    let (code, remote) = serve::http::request(addr, "GET", &gen_path, "").map_err(http_err)?;
     if code != 200 || remote != local {
         return Err(Error::Invalid(format!(
             "generate after reload: output diverged (status {code})"
@@ -750,7 +801,7 @@ fn cmd_serve_check(args: &[String]) -> Result<(), Error> {
         )));
     }
     for _ in 0..2 {
-        let (code, _) = serve::http::request(addr, "GET", "/generate/1", "").map_err(http_err)?;
+        let (code, _) = serve::http::request(addr, "GET", &gen_path, "").map_err(http_err)?;
         if code != 200 {
             return Err(Error::Invalid(format!(
                 "generate during capture: expected 200, got {code}"

@@ -53,7 +53,7 @@ use cognicrypt_core::memtrack::{self, AllocScope};
 use cognicrypt_core::telemetry::{MetricsCollector, MetricsRegistry};
 use cognicrypt_core::GenEngine;
 use devharness::json::Json;
-use rules::{PackSource, RulePack};
+use rules::{catalog_pack, PackManifest, PackSource, RulePack};
 use usecases::all_use_cases;
 
 use crate::{find_use_case, report, Error};
@@ -143,6 +143,7 @@ impl ServeConfig {
 struct PackInfo {
     origin: String,
     origin_kind: &'static str,
+    manifest: PackManifest,
     version: u32,
     fingerprint: u64,
     rules: usize,
@@ -154,6 +155,7 @@ impl PackInfo {
         PackInfo {
             origin: pack.origin.to_string(),
             origin_kind: pack.origin.kind(),
+            manifest: pack.manifest.clone(),
             version: pack.version,
             fingerprint: pack.pack_fingerprint(),
             rules: pack.rules.len(),
@@ -161,9 +163,17 @@ impl PackInfo {
         }
     }
 
+    /// The catalogued use-case ids the served pack declares, when its
+    /// manifest names a shipped catalog entry; `None` (the full
+    /// catalogue) for source dirs and foreign packs.
+    fn declared_cases(&self) -> Option<&'static [u8]> {
+        catalog_pack(&self.manifest.name, Some(self.manifest.version)).map(|spec| spec.use_cases)
+    }
+
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("origin".to_owned(), Json::Str(self.origin.clone())),
+            ("manifest".to_owned(), Json::Str(self.manifest.to_string())),
             ("kind".to_owned(), Json::Str(self.origin_kind.to_owned())),
             ("version".to_owned(), Json::Num(f64::from(self.version))),
             (
@@ -554,7 +564,11 @@ impl ServerState {
                         "thread count must be at least 1, got 0".to_owned(),
                     ));
                 }
-                let cases = all_use_cases();
+                let declared = self.pack_info().declared_cases();
+                let cases: Vec<_> = all_use_cases()
+                    .into_iter()
+                    .filter(|uc| declared.is_none_or(|ids| ids.contains(&uc.id)))
+                    .collect();
                 let templates: Vec<_> = cases.iter().map(|uc| uc.template.clone()).collect();
                 let engine = self.engine();
                 let results = engine.generate_batch(&templates, *threads);

@@ -1,0 +1,536 @@
+//! Shared interpreter drivers for the integration suites: one driver
+//! per catalogued use case, each running the generated class's full
+//! protocol on the simulated JCA provider and rendering every
+//! observable output into a transcript. The simulated `SecureRandom`
+//! is deterministic, so transcripts are byte-reproducible across
+//! interpreter instances.
+
+use cognicryptgen::interp::{Interpreter, Value};
+use cognicryptgen::javamodel::ast::{ClassDecl, CompilationUnit, Expr, JavaType, MethodDecl, Stmt};
+
+fn key_pair_accessor(recv: Value, name: &str) -> Value {
+    let m = MethodDecl::new("acc", JavaType::class("java.lang.Object"))
+        .param(JavaType::class("java.security.KeyPair"), "kp")
+        .statement(Stmt::Return(Some(Expr::call(
+            Expr::var("kp"),
+            name,
+            vec![],
+        ))));
+    let unit = CompilationUnit::new("helper").class(ClassDecl::new("Acc").method(m));
+    Interpreter::new(&unit)
+        .call_static_style("Acc", "acc", vec![recv])
+        .expect("accessor runs")
+}
+
+fn record(transcript: &mut Vec<String>, label: &str, value: &Value) {
+    transcript.push(format!("{label}={value:?}"));
+}
+
+pub fn transcript(id: u8, unit: &CompilationUnit) -> Vec<String> {
+    let mut i = Interpreter::new(unit);
+    let mut t = Vec::new();
+    match id {
+        1 => {
+            let cls = "SecureFileEncryptor";
+            let key = i
+                .call_static_style(cls, "getKey", vec![Value::chars("pw".chars().collect())])
+                .unwrap();
+            record(&mut t, "key", &key);
+            let contents: Vec<u8> = (0..300).map(|b| (b % 251) as u8).collect();
+            i.put_file("in.bin", contents.clone());
+            i.call_static_style(
+                cls,
+                "encryptFile",
+                vec![
+                    Value::Str("in.bin".into()),
+                    Value::Str("ct.bin".into()),
+                    key.clone(),
+                ],
+            )
+            .unwrap();
+            t.push(format!("ct={:?}", i.file("ct.bin").unwrap()));
+            i.call_static_style(
+                cls,
+                "decryptFile",
+                vec![
+                    Value::Str("ct.bin".into()),
+                    Value::Str("out.bin".into()),
+                    key,
+                ],
+            )
+            .unwrap();
+            let out = i.file("out.bin").unwrap();
+            assert_eq!(out, contents);
+            t.push(format!("pt={out:?}"));
+        }
+        2 => {
+            let cls = "SecureStringEncryptor";
+            let key = i
+                .call_static_style(cls, "getKey", vec![Value::chars("pw".chars().collect())])
+                .unwrap();
+            record(&mut t, "key", &key);
+            let ct = i
+                .call_static_style(
+                    cls,
+                    "encrypt",
+                    vec![Value::Str("differential secret".into()), key.clone()],
+                )
+                .unwrap();
+            record(&mut t, "ct", &ct);
+            let pt = i.call_static_style(cls, "decrypt", vec![ct, key]).unwrap();
+            assert_eq!(pt.as_str().unwrap(), "differential secret");
+            record(&mut t, "pt", &pt);
+        }
+        3 => {
+            let cls = "SecureByteArrayEncryptor";
+            let key = i
+                .call_static_style(cls, "getKey", vec![Value::chars("pw".chars().collect())])
+                .unwrap();
+            record(&mut t, "key", &key);
+            let data = b"byte array payload".to_vec();
+            let ct = i
+                .call_static_style(
+                    cls,
+                    "encrypt",
+                    vec![Value::bytes(data.clone()), key.clone()],
+                )
+                .unwrap();
+            record(&mut t, "ct", &ct);
+            let pt = i.call_static_style(cls, "decrypt", vec![ct, key]).unwrap();
+            assert_eq!(pt.as_bytes().unwrap(), data);
+            record(&mut t, "pt", &pt);
+        }
+        4 => {
+            let cls = "SecureSymmetricEncryptor";
+            let key = i.call_static_style(cls, "generateKey", vec![]).unwrap();
+            record(&mut t, "key", &key);
+            let ct = i
+                .call_static_style(
+                    cls,
+                    "encrypt",
+                    vec![Value::bytes(b"symmetric".to_vec()), key.clone()],
+                )
+                .unwrap();
+            record(&mut t, "ct", &ct);
+            let pt = i.call_static_style(cls, "decrypt", vec![ct, key]).unwrap();
+            assert_eq!(pt.as_bytes().unwrap(), b"symmetric");
+            record(&mut t, "pt", &pt);
+        }
+        5 => {
+            let cls = "HybridFileEncryptor";
+            i.put_file("report.txt", b"quarterly numbers".to_vec());
+            let kp = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+            let public = key_pair_accessor(kp.clone(), "getPublic");
+            let private = key_pair_accessor(kp, "getPrivate");
+            let session = i
+                .call_static_style(cls, "generateSessionKey", vec![])
+                .unwrap();
+            record(&mut t, "session", &session);
+            i.call_static_style(
+                cls,
+                "encryptFile",
+                vec![
+                    Value::Str("report.txt".into()),
+                    Value::Str("report.enc".into()),
+                    session.clone(),
+                ],
+            )
+            .unwrap();
+            t.push(format!("ct={:?}", i.file("report.enc").unwrap()));
+            let wrapped = i
+                .call_static_style(cls, "wrapSessionKey", vec![session, public])
+                .unwrap();
+            record(&mut t, "wrapped", &wrapped);
+            let recovered = i
+                .call_static_style(cls, "unwrapSessionKey", vec![wrapped, private])
+                .unwrap();
+            i.call_static_style(
+                cls,
+                "decryptFile",
+                vec![
+                    Value::Str("report.enc".into()),
+                    Value::Str("report.out".into()),
+                    recovered,
+                ],
+            )
+            .unwrap();
+            let out = i.file("report.out").unwrap();
+            assert_eq!(out, b"quarterly numbers");
+            t.push(format!("pt={out:?}"));
+        }
+        6 => {
+            let cls = "HybridStringEncryptor";
+            let kp = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+            let public = key_pair_accessor(kp.clone(), "getPublic");
+            let private = key_pair_accessor(kp, "getPrivate");
+            let session = i
+                .call_static_style(cls, "generateSessionKey", vec![])
+                .unwrap();
+            record(&mut t, "session", &session);
+            let ct = i
+                .call_static_style(
+                    cls,
+                    "encryptData",
+                    vec![Value::Str("hybrid message".into()), session.clone()],
+                )
+                .unwrap();
+            record(&mut t, "ct", &ct);
+            let wrapped = i
+                .call_static_style(cls, "wrapSessionKey", vec![session, public])
+                .unwrap();
+            record(&mut t, "wrapped", &wrapped);
+            let recovered = i
+                .call_static_style(cls, "unwrapSessionKey", vec![wrapped, private])
+                .unwrap();
+            let pt = i
+                .call_static_style(cls, "decryptData", vec![ct, recovered])
+                .unwrap();
+            assert_eq!(pt.as_str().unwrap(), "hybrid message");
+            record(&mut t, "pt", &pt);
+        }
+        7 => {
+            let cls = "HybridByteArrayEncryptor";
+            let kp = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+            let public = key_pair_accessor(kp.clone(), "getPublic");
+            let private = key_pair_accessor(kp, "getPrivate");
+            let session = i
+                .call_static_style(cls, "generateSessionKey", vec![])
+                .unwrap();
+            record(&mut t, "session", &session);
+            let data = b"hybrid byte payload".to_vec();
+            let ct = i
+                .call_static_style(
+                    cls,
+                    "encryptData",
+                    vec![Value::bytes(data.clone()), session.clone()],
+                )
+                .unwrap();
+            record(&mut t, "ct", &ct);
+            let wrapped = i
+                .call_static_style(cls, "wrapSessionKey", vec![session, public])
+                .unwrap();
+            record(&mut t, "wrapped", &wrapped);
+            let recovered = i
+                .call_static_style(cls, "unwrapSessionKey", vec![wrapped, private])
+                .unwrap();
+            let pt = i
+                .call_static_style(cls, "decryptData", vec![ct, recovered])
+                .unwrap();
+            assert_eq!(pt.as_bytes().unwrap(), data);
+            record(&mut t, "pt", &pt);
+        }
+        8 => {
+            let cls = "SecureAsymmetricEncryptor";
+            let kp = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+            let public = key_pair_accessor(kp.clone(), "getPublic");
+            let private = key_pair_accessor(kp, "getPrivate");
+            let ct = i
+                .call_static_style(cls, "encrypt", vec![Value::Str("to bob".into()), public])
+                .unwrap();
+            record(&mut t, "ct", &ct);
+            let pt = i
+                .call_static_style(cls, "decrypt", vec![ct, private])
+                .unwrap();
+            assert_eq!(pt.as_str().unwrap(), "to bob");
+            record(&mut t, "pt", &pt);
+        }
+        9 => {
+            let cls = "SecurePasswordStore";
+            let salt = i.call_static_style(cls, "createSalt", vec![]).unwrap();
+            record(&mut t, "salt", &salt);
+            let hash = i
+                .call_static_style(
+                    cls,
+                    "hashPassword",
+                    vec![Value::chars("pass".chars().collect()), salt.clone()],
+                )
+                .unwrap();
+            record(&mut t, "hash", &hash);
+            let ok = i
+                .call_static_style(
+                    cls,
+                    "verifyPassword",
+                    vec![
+                        Value::chars("pass".chars().collect()),
+                        salt.clone(),
+                        hash.clone(),
+                    ],
+                )
+                .unwrap();
+            assert!(ok.as_bool().unwrap());
+            record(&mut t, "accepts", &ok);
+            let bad = i
+                .call_static_style(
+                    cls,
+                    "verifyPassword",
+                    vec![Value::chars("wrong".chars().collect()), salt, hash],
+                )
+                .unwrap();
+            assert!(!bad.as_bool().unwrap());
+            record(&mut t, "rejects", &bad);
+        }
+        10 => {
+            let cls = "SecureSigner";
+            let kp = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+            let public = key_pair_accessor(kp.clone(), "getPublic");
+            let private = key_pair_accessor(kp, "getPrivate");
+            let sig = i
+                .call_static_style(cls, "sign", vec![Value::Str("contract".into()), private])
+                .unwrap();
+            record(&mut t, "sig", &sig);
+            let ok = i
+                .call_static_style(
+                    cls,
+                    "verify",
+                    vec![Value::Str("contract".into()), sig.clone(), public.clone()],
+                )
+                .unwrap();
+            assert!(ok.as_bool().unwrap());
+            record(&mut t, "verifies", &ok);
+            let tampered = i
+                .call_static_style(
+                    cls,
+                    "verify",
+                    vec![Value::Str("contract v2".into()), sig, public],
+                )
+                .unwrap();
+            assert!(!tampered.as_bool().unwrap());
+            record(&mut t, "rejects_tamper", &tampered);
+        }
+        11 => {
+            let h = i
+                .call_static_style("SecureHasher", "hash", vec![Value::Str("x".into())])
+                .unwrap();
+            assert_eq!(h.as_bytes().unwrap().len(), 32);
+            record(&mut t, "hash", &h);
+        }
+        12 | 13 | 14 | 16 => {
+            // The byte-array AEAD/stream family shares one protocol:
+            // generateKey, seal, open.
+            let cls = match id {
+                12 => "AuthenticatedEncryptor",
+                13 => "DeterministicAeadEncryptor",
+                14 => "ChaChaPolyEncryptor",
+                _ => "CtrStreamEncryptor",
+            };
+            let key = i.call_static_style(cls, "generateKey", vec![]).unwrap();
+            record(&mut t, "key", &key);
+            let sealed = i
+                .call_static_style(
+                    cls,
+                    "seal",
+                    vec![Value::bytes(b"aead payload".to_vec()), key.clone()],
+                )
+                .unwrap();
+            record(&mut t, "sealed", &sealed);
+            let opened = i.call_static_style(cls, "open", vec![sealed, key]).unwrap();
+            assert_eq!(opened.as_bytes().unwrap(), b"aead payload");
+            record(&mut t, "opened", &opened);
+        }
+        15 => {
+            let cls = "ChaChaPolyStringEncryptor";
+            let key = i.call_static_style(cls, "generateKey", vec![]).unwrap();
+            record(&mut t, "key", &key);
+            let sealed = i
+                .call_static_style(
+                    cls,
+                    "sealText",
+                    vec![Value::Str("string payload".into()), key.clone()],
+                )
+                .unwrap();
+            record(&mut t, "sealed", &sealed);
+            let opened = i
+                .call_static_style(cls, "openText", vec![sealed, key])
+                .unwrap();
+            assert_eq!(opened.as_str().unwrap(), "string payload");
+            record(&mut t, "opened", &opened);
+        }
+        17 | 18 => {
+            let cls = if id == 17 {
+                "DhKeyAgreement"
+            } else {
+                "EcdhKeyAgreement"
+            };
+            let a = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+            let b = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+            let a_priv = key_pair_accessor(a.clone(), "getPrivate");
+            let a_pub = key_pair_accessor(a, "getPublic");
+            let b_priv = key_pair_accessor(b.clone(), "getPrivate");
+            let b_pub = key_pair_accessor(b, "getPublic");
+            let s1 = i
+                .call_static_style(cls, "deriveSecret", vec![a_priv, b_pub])
+                .unwrap();
+            let s2 = i
+                .call_static_style(cls, "deriveSecret", vec![b_priv, a_pub])
+                .unwrap();
+            assert_eq!(s1.as_bytes().unwrap(), s2.as_bytes().unwrap());
+            record(&mut t, "secret", &s1);
+        }
+        19 | 20 => {
+            let cls = if id == 19 {
+                "DhSessionEncryptor"
+            } else {
+                "EcdhSessionEncryptor"
+            };
+            let a = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+            let b = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+            let a_priv = key_pair_accessor(a.clone(), "getPrivate");
+            let a_pub = key_pair_accessor(a, "getPublic");
+            let b_priv = key_pair_accessor(b.clone(), "getPrivate");
+            let b_pub = key_pair_accessor(b, "getPublic");
+            let salt = i.call_static_style(cls, "generateSalt", vec![]).unwrap();
+            record(&mut t, "salt", &salt);
+            let k1 = i
+                .call_static_style(cls, "deriveSessionKey", vec![a_priv, b_pub, salt.clone()])
+                .unwrap();
+            let k2 = i
+                .call_static_style(cls, "deriveSessionKey", vec![b_priv, a_pub, salt])
+                .unwrap();
+            let sealed = i
+                .call_static_style(cls, "seal", vec![Value::bytes(b"session".to_vec()), k1])
+                .unwrap();
+            record(&mut t, "sealed", &sealed);
+            let opened = i.call_static_style(cls, "open", vec![sealed, k2]).unwrap();
+            assert_eq!(opened.as_bytes().unwrap(), b"session");
+            record(&mut t, "opened", &opened);
+        }
+        21 => {
+            let cls = "AgreedMacAuthenticator";
+            let a = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+            let b = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
+            let a_priv = key_pair_accessor(a.clone(), "getPrivate");
+            let a_pub = key_pair_accessor(a, "getPublic");
+            let b_priv = key_pair_accessor(b.clone(), "getPrivate");
+            let b_pub = key_pair_accessor(b, "getPublic");
+            let salt = i.call_static_style(cls, "generateSalt", vec![]).unwrap();
+            let k1 = i
+                .call_static_style(cls, "deriveMacKey", vec![a_priv, b_pub, salt.clone()])
+                .unwrap();
+            let k2 = i
+                .call_static_style(cls, "deriveMacKey", vec![b_priv, a_pub, salt])
+                .unwrap();
+            let t1 = i
+                .call_static_style(
+                    cls,
+                    "authenticate",
+                    vec![Value::bytes(b"channel".to_vec()), k1],
+                )
+                .unwrap();
+            let t2 = i
+                .call_static_style(
+                    cls,
+                    "authenticate",
+                    vec![Value::bytes(b"channel".to_vec()), k2],
+                )
+                .unwrap();
+            assert_eq!(t1.as_bytes().unwrap(), t2.as_bytes().unwrap());
+            record(&mut t, "tag", &t1);
+        }
+        22 => {
+            let cls = "HmacTokenMinter";
+            let key = i.call_static_style(cls, "generateKey", vec![]).unwrap();
+            record(&mut t, "key", &key);
+            let tag = i
+                .call_static_style(
+                    cls,
+                    "mint",
+                    vec![Value::bytes(b"claim".to_vec()), key.clone()],
+                )
+                .unwrap();
+            record(&mut t, "tag", &tag);
+            let ok = i
+                .call_static_style(
+                    cls,
+                    "verify",
+                    vec![Value::bytes(b"claim".to_vec()), tag, key],
+                )
+                .unwrap();
+            assert!(ok.as_bool().unwrap());
+            record(&mut t, "verifies", &ok);
+        }
+        23 => {
+            let cls = "HkdfSubkeyDeriver";
+            let salt = i.call_static_style(cls, "generateSalt", vec![]).unwrap();
+            record(&mut t, "salt", &salt);
+            let subkey = i
+                .call_static_style(cls, "expandKey", vec![salt, Value::bytes(b"ctx".to_vec())])
+                .unwrap();
+            assert_eq!(subkey.as_bytes().unwrap().len(), 32);
+            record(&mut t, "subkey", &subkey);
+        }
+        24 => {
+            let cls = "DerivedMacTokenMinter";
+            let salt = i.call_static_style(cls, "generateSalt", vec![]).unwrap();
+            record(&mut t, "salt", &salt);
+            let key = i
+                .call_static_style(
+                    cls,
+                    "deriveMacKey",
+                    vec![Value::bytes(b"ikm".to_vec()), salt],
+                )
+                .unwrap();
+            let tag = i
+                .call_static_style(
+                    cls,
+                    "mint",
+                    vec![Value::bytes(b"claim".to_vec()), key.clone()],
+                )
+                .unwrap();
+            record(&mut t, "tag", &tag);
+            let ok = i
+                .call_static_style(
+                    cls,
+                    "verify",
+                    vec![Value::bytes(b"claim".to_vec()), tag, key],
+                )
+                .unwrap();
+            assert!(ok.as_bool().unwrap());
+            record(&mut t, "verifies", &ok);
+        }
+        25 => {
+            let cls = "PasswordMacTokenMinter";
+            let key = i
+                .call_static_style(cls, "getKey", vec![Value::chars("pw".chars().collect())])
+                .unwrap();
+            record(&mut t, "key", &key);
+            let tag = i
+                .call_static_style(
+                    cls,
+                    "mint",
+                    vec![Value::Str("session:1".into()), key.clone()],
+                )
+                .unwrap();
+            record(&mut t, "tag", &tag);
+            let ok = i
+                .call_static_style(
+                    cls,
+                    "verify",
+                    vec![Value::Str("session:1".into()), tag, key],
+                )
+                .unwrap();
+            assert!(ok.as_bool().unwrap());
+            record(&mut t, "verifies", &ok);
+        }
+        26 => {
+            let cls = "KeyTransportCodec";
+            let material = i.call_static_style(cls, "exportFreshKey", vec![]).unwrap();
+            record(&mut t, "material", &material);
+            let key = i
+                .call_static_style(cls, "importKey", vec![material])
+                .unwrap();
+            let ct = i
+                .call_static_style(
+                    cls,
+                    "encrypt",
+                    vec![Value::bytes(b"transported".to_vec()), key.clone()],
+                )
+                .unwrap();
+            record(&mut t, "ct", &ct);
+            let pt = i.call_static_style(cls, "decrypt", vec![ct, key]).unwrap();
+            assert_eq!(pt.as_bytes().unwrap(), b"transported");
+            record(&mut t, "pt", &pt);
+        }
+        other => panic!("no interpreter driver for use case {other}"),
+    }
+    t
+}

@@ -5,7 +5,7 @@
 //! every ORDER pattern recompiled, no cache anywhere. "Warm" is a
 //! `GenEngine` whose compiled-ORDER cache was fully populated before the
 //! measured generation, so every artefact lookup is a cache hit. For
-//! each of the eleven use cases the suite asserts the two paths agree on
+//! every catalogued use case the suite asserts the two paths agree on
 //!
 //! * the emitted Java source, byte for byte,
 //! * the static analyzer's verdicts on the emitted unit, and
@@ -15,12 +15,13 @@
 //!   byte-reproducible across interpreter instances).
 
 use cognicryptgen::core::{GenEngine, Generated, Generator};
-use cognicryptgen::interp::{Interpreter, Value};
-use cognicryptgen::javamodel::ast::{ClassDecl, CompilationUnit, Expr, JavaType, MethodDecl, Stmt};
 use cognicryptgen::javamodel::jca::jca_type_table;
 use cognicryptgen::rules::{open, open_uncached, PackSource};
 use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
 use cognicryptgen::usecases::all_use_cases;
+
+mod common;
+use common::transcript;
 
 /// The legacy cold path: freshly parsed rules, no compiled-artefact
 /// reuse of any kind.
@@ -105,7 +106,7 @@ fn observed_engine_emits_byte_identical_java_to_unobserved() {
         );
     }
     // The observer really ran: every use case has timing rows.
-    assert_eq!(timings.snapshot().len(), 11);
+    assert_eq!(timings.snapshot().len(), all_use_cases().len());
     assert!(!observed.metrics().is_empty());
 }
 
@@ -155,310 +156,4 @@ fn warm_engine_preserves_runtime_behaviour_for_all_use_cases() {
             uc.id, uc.name
         );
     }
-}
-
-// ---------------------------------------------------------------------
-// Per-use-case interpreter drivers. Each runs the generated class's full
-// protocol and renders every observable output into the transcript.
-// ---------------------------------------------------------------------
-
-fn key_pair_accessor(recv: Value, name: &str) -> Value {
-    let m = MethodDecl::new("acc", JavaType::class("java.lang.Object"))
-        .param(JavaType::class("java.security.KeyPair"), "kp")
-        .statement(Stmt::Return(Some(Expr::call(
-            Expr::var("kp"),
-            name,
-            vec![],
-        ))));
-    let unit = CompilationUnit::new("helper").class(ClassDecl::new("Acc").method(m));
-    Interpreter::new(&unit)
-        .call_static_style("Acc", "acc", vec![recv])
-        .expect("accessor runs")
-}
-
-fn record(transcript: &mut Vec<String>, label: &str, value: &Value) {
-    transcript.push(format!("{label}={value:?}"));
-}
-
-fn transcript(id: u8, unit: &CompilationUnit) -> Vec<String> {
-    let mut i = Interpreter::new(unit);
-    let mut t = Vec::new();
-    match id {
-        1 => {
-            let cls = "SecureFileEncryptor";
-            let key = i
-                .call_static_style(cls, "getKey", vec![Value::chars("pw".chars().collect())])
-                .unwrap();
-            record(&mut t, "key", &key);
-            let contents: Vec<u8> = (0..300).map(|b| (b % 251) as u8).collect();
-            i.put_file("in.bin", contents.clone());
-            i.call_static_style(
-                cls,
-                "encryptFile",
-                vec![
-                    Value::Str("in.bin".into()),
-                    Value::Str("ct.bin".into()),
-                    key.clone(),
-                ],
-            )
-            .unwrap();
-            t.push(format!("ct={:?}", i.file("ct.bin").unwrap()));
-            i.call_static_style(
-                cls,
-                "decryptFile",
-                vec![
-                    Value::Str("ct.bin".into()),
-                    Value::Str("out.bin".into()),
-                    key,
-                ],
-            )
-            .unwrap();
-            let out = i.file("out.bin").unwrap();
-            assert_eq!(out, contents);
-            t.push(format!("pt={out:?}"));
-        }
-        2 => {
-            let cls = "SecureStringEncryptor";
-            let key = i
-                .call_static_style(cls, "getKey", vec![Value::chars("pw".chars().collect())])
-                .unwrap();
-            record(&mut t, "key", &key);
-            let ct = i
-                .call_static_style(
-                    cls,
-                    "encrypt",
-                    vec![Value::Str("differential secret".into()), key.clone()],
-                )
-                .unwrap();
-            record(&mut t, "ct", &ct);
-            let pt = i.call_static_style(cls, "decrypt", vec![ct, key]).unwrap();
-            assert_eq!(pt.as_str().unwrap(), "differential secret");
-            record(&mut t, "pt", &pt);
-        }
-        3 => {
-            let cls = "SecureByteArrayEncryptor";
-            let key = i
-                .call_static_style(cls, "getKey", vec![Value::chars("pw".chars().collect())])
-                .unwrap();
-            record(&mut t, "key", &key);
-            let data = b"byte array payload".to_vec();
-            let ct = i
-                .call_static_style(
-                    cls,
-                    "encrypt",
-                    vec![Value::bytes(data.clone()), key.clone()],
-                )
-                .unwrap();
-            record(&mut t, "ct", &ct);
-            let pt = i.call_static_style(cls, "decrypt", vec![ct, key]).unwrap();
-            assert_eq!(pt.as_bytes().unwrap(), data);
-            record(&mut t, "pt", &pt);
-        }
-        4 => {
-            let cls = "SecureSymmetricEncryptor";
-            let key = i.call_static_style(cls, "generateKey", vec![]).unwrap();
-            record(&mut t, "key", &key);
-            let ct = i
-                .call_static_style(
-                    cls,
-                    "encrypt",
-                    vec![Value::bytes(b"symmetric".to_vec()), key.clone()],
-                )
-                .unwrap();
-            record(&mut t, "ct", &ct);
-            let pt = i.call_static_style(cls, "decrypt", vec![ct, key]).unwrap();
-            assert_eq!(pt.as_bytes().unwrap(), b"symmetric");
-            record(&mut t, "pt", &pt);
-        }
-        5 => {
-            let cls = "HybridFileEncryptor";
-            i.put_file("report.txt", b"quarterly numbers".to_vec());
-            let kp = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
-            let public = key_pair_accessor(kp.clone(), "getPublic");
-            let private = key_pair_accessor(kp, "getPrivate");
-            let session = i
-                .call_static_style(cls, "generateSessionKey", vec![])
-                .unwrap();
-            record(&mut t, "session", &session);
-            i.call_static_style(
-                cls,
-                "encryptFile",
-                vec![
-                    Value::Str("report.txt".into()),
-                    Value::Str("report.enc".into()),
-                    session.clone(),
-                ],
-            )
-            .unwrap();
-            t.push(format!("ct={:?}", i.file("report.enc").unwrap()));
-            let wrapped = i
-                .call_static_style(cls, "wrapSessionKey", vec![session, public])
-                .unwrap();
-            record(&mut t, "wrapped", &wrapped);
-            let recovered = i
-                .call_static_style(cls, "unwrapSessionKey", vec![wrapped, private])
-                .unwrap();
-            i.call_static_style(
-                cls,
-                "decryptFile",
-                vec![
-                    Value::Str("report.enc".into()),
-                    Value::Str("report.out".into()),
-                    recovered,
-                ],
-            )
-            .unwrap();
-            let out = i.file("report.out").unwrap();
-            assert_eq!(out, b"quarterly numbers");
-            t.push(format!("pt={out:?}"));
-        }
-        6 => {
-            let cls = "HybridStringEncryptor";
-            let kp = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
-            let public = key_pair_accessor(kp.clone(), "getPublic");
-            let private = key_pair_accessor(kp, "getPrivate");
-            let session = i
-                .call_static_style(cls, "generateSessionKey", vec![])
-                .unwrap();
-            record(&mut t, "session", &session);
-            let ct = i
-                .call_static_style(
-                    cls,
-                    "encryptData",
-                    vec![Value::Str("hybrid message".into()), session.clone()],
-                )
-                .unwrap();
-            record(&mut t, "ct", &ct);
-            let wrapped = i
-                .call_static_style(cls, "wrapSessionKey", vec![session, public])
-                .unwrap();
-            record(&mut t, "wrapped", &wrapped);
-            let recovered = i
-                .call_static_style(cls, "unwrapSessionKey", vec![wrapped, private])
-                .unwrap();
-            let pt = i
-                .call_static_style(cls, "decryptData", vec![ct, recovered])
-                .unwrap();
-            assert_eq!(pt.as_str().unwrap(), "hybrid message");
-            record(&mut t, "pt", &pt);
-        }
-        7 => {
-            let cls = "HybridByteArrayEncryptor";
-            let kp = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
-            let public = key_pair_accessor(kp.clone(), "getPublic");
-            let private = key_pair_accessor(kp, "getPrivate");
-            let session = i
-                .call_static_style(cls, "generateSessionKey", vec![])
-                .unwrap();
-            record(&mut t, "session", &session);
-            let data = b"hybrid byte payload".to_vec();
-            let ct = i
-                .call_static_style(
-                    cls,
-                    "encryptData",
-                    vec![Value::bytes(data.clone()), session.clone()],
-                )
-                .unwrap();
-            record(&mut t, "ct", &ct);
-            let wrapped = i
-                .call_static_style(cls, "wrapSessionKey", vec![session, public])
-                .unwrap();
-            record(&mut t, "wrapped", &wrapped);
-            let recovered = i
-                .call_static_style(cls, "unwrapSessionKey", vec![wrapped, private])
-                .unwrap();
-            let pt = i
-                .call_static_style(cls, "decryptData", vec![ct, recovered])
-                .unwrap();
-            assert_eq!(pt.as_bytes().unwrap(), data);
-            record(&mut t, "pt", &pt);
-        }
-        8 => {
-            let cls = "SecureAsymmetricEncryptor";
-            let kp = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
-            let public = key_pair_accessor(kp.clone(), "getPublic");
-            let private = key_pair_accessor(kp, "getPrivate");
-            let ct = i
-                .call_static_style(cls, "encrypt", vec![Value::Str("to bob".into()), public])
-                .unwrap();
-            record(&mut t, "ct", &ct);
-            let pt = i
-                .call_static_style(cls, "decrypt", vec![ct, private])
-                .unwrap();
-            assert_eq!(pt.as_str().unwrap(), "to bob");
-            record(&mut t, "pt", &pt);
-        }
-        9 => {
-            let cls = "SecurePasswordStore";
-            let salt = i.call_static_style(cls, "createSalt", vec![]).unwrap();
-            record(&mut t, "salt", &salt);
-            let hash = i
-                .call_static_style(
-                    cls,
-                    "hashPassword",
-                    vec![Value::chars("pass".chars().collect()), salt.clone()],
-                )
-                .unwrap();
-            record(&mut t, "hash", &hash);
-            let ok = i
-                .call_static_style(
-                    cls,
-                    "verifyPassword",
-                    vec![
-                        Value::chars("pass".chars().collect()),
-                        salt.clone(),
-                        hash.clone(),
-                    ],
-                )
-                .unwrap();
-            assert!(ok.as_bool().unwrap());
-            record(&mut t, "accepts", &ok);
-            let bad = i
-                .call_static_style(
-                    cls,
-                    "verifyPassword",
-                    vec![Value::chars("wrong".chars().collect()), salt, hash],
-                )
-                .unwrap();
-            assert!(!bad.as_bool().unwrap());
-            record(&mut t, "rejects", &bad);
-        }
-        10 => {
-            let cls = "SecureSigner";
-            let kp = i.call_static_style(cls, "generateKeyPair", vec![]).unwrap();
-            let public = key_pair_accessor(kp.clone(), "getPublic");
-            let private = key_pair_accessor(kp, "getPrivate");
-            let sig = i
-                .call_static_style(cls, "sign", vec![Value::Str("contract".into()), private])
-                .unwrap();
-            record(&mut t, "sig", &sig);
-            let ok = i
-                .call_static_style(
-                    cls,
-                    "verify",
-                    vec![Value::Str("contract".into()), sig.clone(), public.clone()],
-                )
-                .unwrap();
-            assert!(ok.as_bool().unwrap());
-            record(&mut t, "verifies", &ok);
-            let tampered = i
-                .call_static_style(
-                    cls,
-                    "verify",
-                    vec![Value::Str("contract v2".into()), sig, public],
-                )
-                .unwrap();
-            assert!(!tampered.as_bool().unwrap());
-            record(&mut t, "rejects_tamper", &tampered);
-        }
-        11 => {
-            let h = i
-                .call_static_style("SecureHasher", "hash", vec![Value::Str("x".into())])
-                .unwrap();
-            assert_eq!(h.as_bytes().unwrap().len(), 32);
-            record(&mut t, "hash", &h);
-        }
-        other => panic!("no interpreter driver for use case {other}"),
-    }
-    t
 }

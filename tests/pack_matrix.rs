@@ -1,0 +1,84 @@
+//! Per-pack round-trip suite, one test per shipped catalog pack so a CI
+//! matrix leg can select its pack by test-name filter (`jca_v1`,
+//! `aead_v1`, …). For every use case a pack declares, the generated
+//! code must be sast-clean under that pack's own rules and must execute
+//! its full protocol on the simulated JCA provider — the same bar the
+//! embedded rule set is held to, applied at every shipped version.
+
+use cognicryptgen::core::GenEngine;
+use cognicryptgen::javamodel::jca::jca_type_table;
+use cognicryptgen::rules::{self, catalog_pack, PackSource};
+use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
+use cognicryptgen::usecases::all_use_cases;
+
+mod common;
+
+fn round_trip(name: &str, version: u32) {
+    let spec = catalog_pack(name, Some(version))
+        .unwrap_or_else(|| panic!("{name}@v{version} is not in the catalog"));
+    let source = PackSource::Catalog {
+        name: name.to_owned(),
+        version: Some(version),
+    };
+    let pack = rules::open_uncached(source).expect("catalog pack opens");
+    let rules = pack.rules;
+    let table = jca_type_table();
+    let engine = GenEngine::builder()
+        .rules(rules.clone())
+        .type_table(table.clone())
+        .build()
+        .expect("engine builds from the pack");
+    assert!(
+        !spec.use_cases.is_empty(),
+        "{name}@v{version} declares no use cases"
+    );
+    for uc in all_use_cases() {
+        if !spec.use_cases.contains(&uc.id) {
+            continue;
+        }
+        let generated = engine.generate(&uc.template).unwrap_or_else(|e| {
+            panic!(
+                "{name}@v{version} fails to generate use case {} ({}): {e}",
+                uc.id, uc.name
+            )
+        });
+        let misuses = analyze_unit(&generated.unit, &rules, &table, AnalyzerOptions::default());
+        assert!(
+            misuses.is_empty(),
+            "{name}@v{version} use case {} ({}) is not sast-clean: {misuses:?}",
+            uc.id,
+            uc.name
+        );
+        let transcript = common::transcript(uc.id, &generated.unit);
+        assert!(
+            !transcript.is_empty(),
+            "{name}@v{version} use case {} produced an empty transcript",
+            uc.id
+        );
+    }
+}
+
+#[test]
+fn jca_v1() {
+    round_trip("jca", 1);
+}
+
+#[test]
+fn jca_v2() {
+    round_trip("jca", 2);
+}
+
+#[test]
+fn aead_v1() {
+    round_trip("aead", 1);
+}
+
+#[test]
+fn agreement_v1() {
+    round_trip("agreement", 1);
+}
+
+#[test]
+fn token_v1() {
+    round_trip("token", 1);
+}

@@ -1,0 +1,127 @@
+//! Pack-versioning suite: the same use-case template generated under
+//! two versions of the `jca` catalog pack must follow each version's
+//! CONSTRAINTS (divergent key-size constants), unknown versions must
+//! fail with a typed CrySL pack error, and version-pinned `.crpack`
+//! artefacts must coexist on disk and swap cleanly through one daemon
+//! hot-reload cycle.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cognicryptgen::core::GenEngine;
+use cognicryptgen::crysl::CryslError;
+use cognicryptgen::javamodel::jca::jca_type_table;
+use cognicryptgen::rules::{self, PackError, PackSource};
+use cognicryptgen::sast::{analyze_unit, AnalyzerOptions};
+use cognicryptgen::serve::{http, ServeConfig, Server};
+use cognicryptgen::usecases::all_use_cases;
+
+fn catalog(name: &str, version: u32) -> PackSource {
+    PackSource::Catalog {
+        name: name.to_owned(),
+        version: Some(version),
+    }
+}
+
+fn engine_for(source: PackSource) -> GenEngine {
+    GenEngine::builder()
+        .rules(rules::open(source).expect("catalog pack opens").rules)
+        .type_table(jca_type_table())
+        .build()
+        .expect("engine builds")
+}
+
+/// A scratch directory unique to this test invocation.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cognicrypt-packver-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn same_selector_diverges_in_key_size_across_rule_versions() {
+    // Use case 8 (asymmetric string encryption) leaves the key size to
+    // the rules: v1's minimum is 1024, v2 raised it to 2048.
+    let uc = all_use_cases().into_iter().find(|u| u.id == 8).unwrap();
+    let v1 = engine_for(catalog("jca", 1))
+        .generate(&uc.template)
+        .expect("generates under jca@v1");
+    let v2 = engine_for(catalog("jca", 2))
+        .generate(&uc.template)
+        .expect("generates under jca@v2");
+    assert!(
+        v1.java_source.contains("keyPairGenerator.initialize(1024)"),
+        "{}",
+        v1.java_source
+    );
+    assert!(
+        v2.java_source.contains("keyPairGenerator.initialize(2048)"),
+        "{}",
+        v2.java_source
+    );
+    // Each output is clean under the rules that produced it: the
+    // divergence is constraint-following, not a misuse.
+    let table = jca_type_table();
+    for (source, generated) in [(catalog("jca", 1), &v1), (catalog("jca", 2), &v2)] {
+        let rules = rules::open(source).unwrap().rules;
+        let misuses = analyze_unit(&generated.unit, &rules, &table, AnalyzerOptions::default());
+        assert!(misuses.is_empty(), "{misuses:?}");
+    }
+}
+
+#[test]
+fn unknown_pack_version_is_a_typed_crysl_error() {
+    let err = rules::open(catalog("jca", 9)).unwrap_err();
+    assert!(
+        matches!(err, PackError::Crysl(CryslError::Pack { .. })),
+        "{err:?}"
+    );
+    let message = err.to_string();
+    assert!(message.contains("jca@v9"), "{message}");
+    // The error names what this build actually ships.
+    assert!(message.contains("jca@v2"), "{message}");
+    assert!(message.contains("aead@v1"), "{message}");
+}
+
+#[test]
+fn version_pinned_crpacks_coexist_through_one_daemon_reload_cycle() {
+    let dir = scratch("reload");
+    // Both version-pinned artefacts exist side by side; the daemon's
+    // `--rules` path swaps between them via a symlink-free copy.
+    let v1_bytes = rules::open(catalog("jca", 1)).unwrap().to_bytes().unwrap();
+    let v2_bytes = rules::open(catalog("jca", 2)).unwrap().to_bytes().unwrap();
+    fs::write(dir.join("jca_v1.crpack"), &v1_bytes).unwrap();
+    fs::write(dir.join("jca_v2.crpack"), &v2_bytes).unwrap();
+    let live = dir.join("live.crpack");
+    fs::write(&live, &v1_bytes).unwrap();
+
+    let config = ServeConfig {
+        rules_path: Some(live.clone()),
+        ..ServeConfig::http("127.0.0.1:0")
+    };
+    let handle = Server::start(&config).expect("daemon boots on jca@v1");
+    let addr = handle.http_addr().expect("http bound").to_string();
+
+    let (code, body) = http::request(&addr, "GET", "/generate/8", "").unwrap();
+    assert_eq!(code, 200);
+    assert!(body.contains("keyPairGenerator.initialize(1024)"), "{body}");
+
+    // Swap the live pack to the pinned v2 artefact and hot-reload.
+    fs::write(&live, &v2_bytes).unwrap();
+    let (code, reload) = http::request(&addr, "POST", "/reload", "").unwrap();
+    assert_eq!(code, 200, "{reload}");
+
+    let (code, body) = http::request(&addr, "GET", "/generate/8", "").unwrap();
+    assert_eq!(code, 200);
+    assert!(body.contains("keyPairGenerator.initialize(2048)"), "{body}");
+
+    // The pinned artefacts are still both on disk, undisturbed.
+    assert_eq!(fs::read(dir.join("jca_v1.crpack")).unwrap(), v1_bytes);
+    assert_eq!(fs::read(dir.join("jca_v2.crpack")).unwrap(), v2_bytes);
+
+    let (code, _) = http::request(&addr, "POST", "/shutdown", "").unwrap();
+    assert_eq!(code, 200);
+    handle.join();
+    let _ = fs::remove_dir_all(&dir);
+}
